@@ -1,0 +1,80 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one paper artefact (figure panel, in-text claim,
+or ablation) and prints the same rows/series the paper reports, so the
+output can be eyeballed against the publication.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ascii_plot import loglog_plot
+from repro.analysis.report import series_table
+from repro.analysis.series import NODE_SWEEP, SweepSeries
+from repro.common.units import GiB, KiB, MiB, format_ops, format_throughput
+from repro.models import GekkoFSModel, LustreModel, aggregated_ssd_peak
+
+__all__ = [
+    "NODE_SWEEP",
+    "TRANSFER_SIZES",
+    "fig2_series",
+    "fig3_series",
+    "print_fig2",
+    "print_fig3",
+]
+
+#: Figure 3's transfer-size sweep (§IV-B).
+TRANSFER_SIZES = (("8k", 8 * KiB), ("64k", 64 * KiB), ("1m", 1 * MiB), ("64m", 64 * MiB))
+
+
+def fig2_series(op: str) -> list[SweepSeries]:
+    """The three curves of one Figure 2 panel."""
+    gekko = GekkoFSModel()
+    lustre = LustreModel()
+    return [
+        SweepSeries.sweep(
+            "Lustre single dir",
+            lambda n: lustre.metadata_throughput(n, op, single_dir=True),
+        ),
+        SweepSeries.sweep(
+            "Lustre unique dir",
+            lambda n: lustre.metadata_throughput(n, op, single_dir=False),
+        ),
+        SweepSeries.sweep("GekkoFS", lambda n: gekko.metadata_throughput(n, op)),
+    ]
+
+
+def fig3_series(*, write: bool) -> list[SweepSeries]:
+    """Figure 3 panel: one curve per transfer size plus the SSD peak."""
+    gekko = GekkoFSModel()
+    series = [
+        SweepSeries.sweep(
+            label, lambda n, t=size: gekko.data_throughput(n, t, write=write)
+        )
+        for label, size in TRANSFER_SIZES
+    ]
+    series.append(
+        SweepSeries.sweep(
+            "SSD peak", lambda n: aggregated_ssd_peak(n, write=write)
+        )
+    )
+    return series
+
+
+def print_fig2(op: str, title: str) -> list[SweepSeries]:
+    series = fig2_series(op)
+    print()
+    print(series_table(series, format_ops, title=title))
+    print()
+    print(loglog_plot(series, title=title + " [log-log]", y_label="ops/s"))
+    return series
+
+
+def print_fig3(*, write: bool, title: str) -> list[SweepSeries]:
+    series = fig3_series(write=write)
+    print()
+    print(series_table(series, format_throughput, title=title))
+    print()
+    print(loglog_plot(series, title=title + " [log-log]", y_label="B/s"))
+    return series

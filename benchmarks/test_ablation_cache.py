@@ -1,0 +1,71 @@
+"""ABL-CACHE — benefits of caching (§V future work #2).
+
+Sweeps the size-update cache flush interval on the shared-file model and
+counts the functional RPC savings, quantifying the §IV-B fix.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.common.units import KiB
+from repro.core import FSConfig, GekkoFSCluster
+from repro.models import GekkoFSModel
+from repro.workloads.ior import IorSpec, run_ior
+
+FLUSH_INTERVALS = (1, 4, 16, 64, 256)
+
+
+def _model_sweep():
+    model = GekkoFSModel()
+    fpp = model.data_iops(512, 8 * KiB, write=True)
+    rows = []
+    results = {}
+    for flush in FLUSH_INTERVALS:
+        ops = model.data_iops(
+            512, 8 * KiB, write=True, shared_file=True,
+            size_cache=True, size_cache_flush_every=flush,
+        )
+        results[flush] = ops
+        rows.append([str(flush), f"{ops / 1e6:.3f} M ops/s", f"{ops / fpp:.0%}"])
+    print()
+    print(
+        render_table(
+            ["flush interval", "shared-file writes", "of file-per-process"],
+            rows,
+            title="ABL-CACHE: size-cache flush interval at 512 nodes",
+        )
+    )
+    return results, fpp
+
+
+def test_ablation_cache_flush_interval(benchmark):
+    results, fpp = benchmark(_model_sweep)
+    # flush=1 is the cache-less protocol: the 150 K ceiling.
+    assert results[1] == pytest.approx(150e3, rel=0.06)
+    # Monotone improvement, saturating at file-per-process parity.
+    values = [results[f] for f in FLUSH_INTERVALS]
+    assert values == sorted(values)
+    assert results[256] / fpp > 0.99
+
+
+def test_ablation_cache_functional_rpc_savings(benchmark):
+    """Measured on the real code path: update-RPC count scales as 1/flush."""
+
+    def count_updates(flush):
+        config = FSConfig(size_cache_enabled=True, size_cache_flush_every=flush)
+        with GekkoFSCluster(num_nodes=4, config=config, instrument=True) as fs:
+            run_ior(
+                fs,
+                IorSpec(procs=2, transfer_size=1024, block_size=64 * 1024,
+                        file_per_process=False),
+                phases=("write",),
+            )
+            return fs.transport.rpcs_by_handler["gkfs_update_size"]
+
+    totals = benchmark.pedantic(
+        lambda: [count_updates(f) for f in (1, 8, 64)], rounds=1, iterations=1
+    )
+    writes = 2 * 64  # procs x transfers
+    assert totals[0] == writes
+    assert totals[1] == writes // 8
+    assert totals[2] == writes // 64

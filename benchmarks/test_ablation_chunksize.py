@@ -1,0 +1,75 @@
+"""ABL-CHUNK — chunk-size sensitivity (§V future work #1).
+
+"Investigate GekkoFS with various chunk sizes."  Sweep the striping
+granularity and report write throughput for small and large transfers:
+small chunks add per-chunk overhead for big transfers; large chunks
+narrow the stripe width.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.common.units import KiB, MiB, format_throughput
+from repro.models import GekkoFSModel
+from repro.models.calibration import MOGON_II
+
+CHUNK_SIZES = (64 * KiB, 256 * KiB, 512 * KiB, 2 * MiB, 16 * MiB)
+
+
+def _sweep():
+    rows = []
+    results = {}
+    for chunk in CHUNK_SIZES:
+        model = GekkoFSModel(dataclasses.replace(MOGON_II, chunk_size=chunk))
+        small = model.data_throughput(512, 8 * KiB, write=True)
+        large = model.data_throughput(512, 64 * MiB, write=True)
+        results[chunk] = (small, large)
+        rows.append(
+            [
+                f"{chunk // KiB} KiB",
+                format_throughput(small),
+                format_throughput(large),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["chunk size", "8 KiB transfers", "64 MiB transfers"],
+            rows,
+            title="ABL-CHUNK: write throughput vs chunk size (512 nodes)",
+        )
+    )
+    return results
+
+
+def test_ablation_chunk_size(benchmark):
+    results = benchmark(_sweep)
+    paper_default = results[512 * KiB]
+    # Small transfers are insensitive to chunk size (they never span one).
+    smalls = [small for small, _ in results.values()]
+    assert max(smalls) / min(smalls) < 1.05
+    # Large transfers gain from bigger chunks (fewer per-chunk overheads)...
+    assert results[2 * MiB][1] >= paper_default[1]
+    # ...with diminishing returns: the paper's 512 KiB is within 5% of the
+    # best large-chunk configuration.
+    best_large = max(large for _, large in results.values())
+    assert paper_default[1] / best_large > 0.95
+
+
+def test_ablation_chunk_size_des(benchmark):
+    """DES cross-check at 2 nodes: halving the chunk size must not change
+    small-transfer throughput."""
+    import dataclasses
+
+    def run():
+        a = GekkoFSModel(dataclasses.replace(MOGON_II, chunk_size=256 * KiB))
+        b = GekkoFSModel(dataclasses.replace(MOGON_II, chunk_size=512 * KiB))
+        return (
+            a.des_data_run(2, 8 * KiB, transfers_per_proc=16, write=True),
+            b.des_data_run(2, 8 * KiB, transfers_per_proc=16, write=True),
+        )
+
+    small_chunk, big_chunk = benchmark(run)
+    assert small_chunk == pytest.approx(big_chunk, rel=0.05)

@@ -1,0 +1,78 @@
+"""ABL-DIST — data distribution patterns (§V future work #3).
+
+"Explore different data distribution patterns."  Compares the paper's
+pseudo-random wide-striping against whole-file placement (all chunks on
+the metadata owner) on the functional file system: wide-striping spreads
+one large file's chunks over every daemon; per-file placement turns the
+owner into a hotspot.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core import FilePerNodeDistributor, FSConfig, GekkoFSCluster, SimpleHashDistributor
+
+NODES = 8
+CHUNK = 4 * 1024
+FILE_BYTES = 64 * CHUNK  # 64 chunks
+
+
+def _spread_for(distributor_cls):
+    config = FSConfig(chunk_size=CHUNK)
+    with GekkoFSCluster(
+        num_nodes=NODES, config=config, distributor=distributor_cls(NODES)
+    ) as fs:
+        client = fs.client(0)
+        fd = client.open("/gkfs/big.dat", os.O_CREAT | os.O_WRONLY)
+        client.write(fd, b"z" * FILE_BYTES)
+        client.close(fd)
+        per_daemon = [d.storage.used_bytes() for d in fs.daemons]
+        holders = sum(1 for used in per_daemon if used > 0)
+        return holders, max(per_daemon)
+
+
+def _ablation():
+    wide_holders, wide_max = _spread_for(SimpleHashDistributor)
+    local_holders, local_max = _spread_for(FilePerNodeDistributor)
+    rows = [
+        ["wide-striping (paper)", str(wide_holders), f"{wide_max} B"],
+        ["whole-file placement", str(local_holders), f"{local_max} B"],
+    ]
+    print()
+    print(
+        render_table(
+            ["policy", "daemons holding data", "max bytes on one daemon"],
+            rows,
+            title=f"ABL-DIST: one {FILE_BYTES // 1024} KiB file over {NODES} daemons",
+        )
+    )
+    return wide_holders, wide_max, local_holders, local_max
+
+
+def test_ablation_distribution_spread(benchmark):
+    wide_holders, wide_max, local_holders, local_max = benchmark(_ablation)
+    assert wide_holders == NODES  # every daemon carries part of the file
+    assert local_holders == 1  # the contrasting policy concentrates it
+    assert local_max == FILE_BYTES
+    # Wide-striping keeps the hottest daemon well below the whole file.
+    assert wide_max < FILE_BYTES / 2
+
+
+def test_ablation_distribution_rpc_balance(benchmark):
+    """Under wide-striping, chunk-write RPCs spread near-uniformly."""
+
+    def run():
+        config = FSConfig(chunk_size=CHUNK)
+        with GekkoFSCluster(num_nodes=NODES, config=config, instrument=True) as fs:
+            client = fs.client(0)
+            fd = client.open("/gkfs/big.dat", os.O_CREAT | os.O_WRONLY)
+            client.write(fd, b"z" * FILE_BYTES)
+            client.close(fd)
+            return fs.transport.rpcs_by_target
+
+    per_target = benchmark(run)
+    counts = [per_target.get(n, 0) for n in range(NODES)]
+    assert min(counts) > 0
+    assert max(counts) / (sum(counts) / NODES) < 2.5

@@ -1,0 +1,60 @@
+"""ABL-INTERF — shared-system interference on the Lustre baseline.
+
+§IV-A notes that "Lustre's metadata performance was evaluated while the
+system was accessible by other applications as well" — the baseline's
+capacity is whatever other tenants leave over.  GekkoFS is immune by
+construction: its daemons run on the job's own nodes.  This bench sweeps
+the background load on the shared MDS and shows the speedup factor the
+paper reports is a *lower bound* that widens on a busier system.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.common.units import format_ops
+from repro.models import GekkoFSModel, LustreModel
+
+LOADS = (0.0, 0.2, 0.4, 0.6)
+
+
+def _sweep():
+    gekko, lustre = GekkoFSModel(), LustreModel()
+    gk = gekko.metadata_throughput(512, "create")
+    rows = []
+    results = {}
+    for load in LOADS:
+        lu = lustre.metadata_throughput(
+            512, "create", single_dir=False, background_load=load
+        )
+        results[load] = lu
+        rows.append([f"{load:.0%}", format_ops(lu), f"{gk / lu:,.0f}x"])
+    print()
+    print(
+        render_table(
+            ["background load", "Lustre creates/s", "GekkoFS factor"],
+            rows,
+            title="ABL-INTERF: shared-MDS interference at 512 nodes",
+        )
+    )
+    return gk, results
+
+
+def test_ablation_interference(benchmark):
+    gk, results = benchmark(_sweep)
+    # Monotone degradation of the shared baseline...
+    values = [results[load] for load in LOADS]
+    assert values == sorted(values, reverse=True)
+    # ...exactly proportional to the stolen capacity...
+    assert results[0.4] == pytest.approx(results[0.0] * 0.6, rel=1e-6)
+    # ...while GekkoFS (job-private daemons) is untouched, so the paper's
+    # ~1405x is the quiet-system floor.
+    assert gk / results[0.0] == pytest.approx(1405, rel=0.06)
+    assert gk / results[0.6] > 3000
+
+
+def test_ablation_interference_validation(benchmark):
+    lustre = benchmark.pedantic(LustreModel, rounds=1, iterations=1)
+    with pytest.raises(ValueError):
+        lustre.metadata_throughput(4, "create", single_dir=True, background_load=1.0)
+    with pytest.raises(ValueError):
+        lustre.metadata_throughput(4, "create", single_dir=True, background_load=-0.1)

@@ -1,0 +1,63 @@
+"""T-DATA — the §IV-B in-text data-path claims at 512 nodes.
+
+"about 141 GiB/s (~80% of the aggregated SSD peak bandwidth) and
+204 GiB/s (~70%) for write and read operations for a transfer size of
+64 MiB ... more than 13 million write IOPS and more than 22 million read
+IOPS, while the average latency can be bounded by at most 700 µs for
+file system operations with a transfer size of 8 KiB."
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.common.units import GiB, KiB, MiB, format_throughput
+from repro.models import GekkoFSModel, aggregated_ssd_peak
+
+
+def _claims_table():
+    model = GekkoFSModel()
+    w64 = model.data_throughput(512, 64 * MiB, write=True)
+    r64 = model.data_throughput(512, 64 * MiB, write=False)
+    w_iops = model.data_iops(512, 8 * KiB, write=True)
+    r_iops = model.data_iops(512, 8 * KiB, write=False)
+    lat = model.data_latency(512, 8 * KiB, write=True)
+    rows = [
+        ["write 64 MiB", "141 GiB/s (80%)",
+         f"{format_throughput(w64)} ({w64 / aggregated_ssd_peak(512, write=True):.0%})"],
+        ["read 64 MiB", "204 GiB/s (70%)",
+         f"{format_throughput(r64)} ({r64 / aggregated_ssd_peak(512, write=False):.0%})"],
+        ["write IOPS 8 KiB", ">13 M", f"{w_iops / 1e6:.1f} M"],
+        ["read IOPS 8 KiB", ">22 M", f"{r_iops / 1e6:.1f} M"],
+        ["latency 8 KiB", "<= 700 us", f"{lat * 1e6:.0f} us"],
+    ]
+    print()
+    print(render_table(["claim", "paper", "measured"], rows,
+                       title="T-DATA: data claims at 512 nodes"))
+    return w64, r64, w_iops, r_iops, lat
+
+
+def test_claims_data_512_nodes(benchmark):
+    w64, r64, w_iops, r_iops, lat = benchmark(_claims_table)
+    assert w64 == pytest.approx(141 * GiB, rel=0.06)
+    assert r64 == pytest.approx(204 * GiB, rel=0.06)
+    assert w_iops > 13e6
+    assert r_iops > 22e6
+    assert lat <= 700e-6
+
+
+def test_claims_data_handler_pool_sensitivity(benchmark):
+    """DESIGN.md ablation hook: the data path is SSD-bound, so halving the
+    Margo handler pool must not change 64 MiB throughput materially."""
+    from repro.models.calibration import MOGON_II
+    import dataclasses
+
+    def run():
+        narrow = GekkoFSModel(dataclasses.replace(MOGON_II, handler_pool=8))
+        wide = GekkoFSModel(MOGON_II)
+        return (
+            narrow.data_throughput(512, 64 * MiB, write=True),
+            wide.data_throughput(512, 64 * MiB, write=True),
+        )
+
+    narrow_bw, wide_bw = benchmark(run)
+    assert narrow_bw == pytest.approx(wide_bw, rel=0.01)

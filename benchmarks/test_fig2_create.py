@@ -1,0 +1,33 @@
+"""FIG2a — file create throughput, 1–512 nodes (paper Figure 2a).
+
+Workload: mdtest create, 16 processes/node, single shared directory.
+Paper anchor at 512 nodes: GekkoFS ≈46 M creates/s, ~1405× Lustre.
+"""
+
+import pytest
+
+from _common import print_fig2
+from repro.models import GekkoFSModel, LustreModel
+
+
+def test_fig2a_create_throughput(benchmark):
+    series = benchmark(print_fig2, "create", "Figure 2a: create throughput (ops/s)")
+    lustre_single, lustre_unique, gekko = series
+    # Shape assertions: who wins, by how much, and the scaling slopes.
+    assert gekko.at(512) == pytest.approx(46e6, rel=0.06)
+    assert gekko.at(512) / lustre_unique.at(512) == pytest.approx(1405, rel=0.06)
+    assert gekko.scaling_exponent() > 0.85  # close to linear
+    assert lustre_unique.scaling_exponent() < 0.2  # MDS-bound, flat
+    for x in gekko.xs:
+        assert gekko.at(x) > lustre_unique.at(x) >= lustre_single.at(x)
+
+
+def test_fig2a_des_validation(benchmark):
+    """Event-level protocol run at 4 nodes agrees with the plotted model."""
+    model = GekkoFSModel()
+    des = benchmark.pedantic(
+        lambda: model.des_metadata_run(4, "create", ops_per_proc=100),
+        rounds=1,
+        iterations=1,
+    )
+    assert des == pytest.approx(model.metadata_throughput(4, "create"), rel=0.10)

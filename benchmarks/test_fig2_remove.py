@@ -1,0 +1,37 @@
+"""FIG2c — file remove throughput, 1–512 nodes (paper Figure 2c).
+
+Paper anchor at 512 nodes: GekkoFS ≈22 M removes/s, ~453× Lustre.
+Removes run at half the stat rate because a GekkoFS unlink is two RPCs
+(type-check stat + metadata delete) for mdtest's zero-byte files.
+"""
+
+import pytest
+
+from _common import print_fig2
+from repro.models import GekkoFSModel
+
+
+def test_fig2c_remove_throughput(benchmark):
+    series = benchmark(print_fig2, "remove", "Figure 2c: remove throughput (ops/s)")
+    lustre_single, lustre_unique, gekko = series
+    assert gekko.at(512) == pytest.approx(22e6, rel=0.06)
+    assert gekko.at(512) / lustre_unique.at(512) == pytest.approx(453, rel=0.06)
+    assert gekko.scaling_exponent() > 0.85
+    for x in gekko.xs:
+        assert gekko.at(x) > lustre_unique.at(x) >= lustre_single.at(x)
+
+
+def test_fig2c_remove_half_of_stat(benchmark):
+    model = benchmark.pedantic(GekkoFSModel, rounds=1, iterations=1)
+    ratio = model.metadata_throughput(512, "stat") / model.metadata_throughput(512, "remove")
+    assert ratio == pytest.approx(2.0, rel=0.05)
+
+
+def test_fig2c_des_validation(benchmark):
+    model = GekkoFSModel()
+    des = benchmark.pedantic(
+        lambda: model.des_metadata_run(4, "remove", ops_per_proc=80),
+        rounds=1,
+        iterations=1,
+    )
+    assert des == pytest.approx(model.metadata_throughput(4, "remove"), rel=0.10)

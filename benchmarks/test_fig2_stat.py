@@ -1,0 +1,29 @@
+"""FIG2b — file stat throughput, 1–512 nodes (paper Figure 2b).
+
+Paper anchor at 512 nodes: GekkoFS ≈44 M stats/s, ~359× Lustre.
+"""
+
+import pytest
+
+from _common import print_fig2
+from repro.models import GekkoFSModel
+
+
+def test_fig2b_stat_throughput(benchmark):
+    series = benchmark(print_fig2, "stat", "Figure 2b: stat throughput (ops/s)")
+    lustre_single, lustre_unique, gekko = series
+    assert gekko.at(512) == pytest.approx(44e6, rel=0.06)
+    assert gekko.at(512) / lustre_unique.at(512) == pytest.approx(359, rel=0.06)
+    assert gekko.scaling_exponent() > 0.85
+    for x in gekko.xs:
+        assert gekko.at(x) > lustre_unique.at(x) >= lustre_single.at(x)
+
+
+def test_fig2b_des_validation(benchmark):
+    model = GekkoFSModel()
+    des = benchmark.pedantic(
+        lambda: model.des_metadata_run(4, "stat", ops_per_proc=100),
+        rounds=1,
+        iterations=1,
+    )
+    assert des == pytest.approx(model.metadata_throughput(4, "stat"), rel=0.10)

@@ -1,0 +1,41 @@
+"""FIG3b — sequential read throughput, file-per-process (paper Figure 3b).
+
+Paper anchor at 512 nodes: ≈204 GiB/s at 64 MiB ≈ 70 % of SSD peak.
+"""
+
+import pytest
+
+from _common import print_fig3
+from repro.common.units import GiB, MiB
+from repro.models import GekkoFSModel
+
+
+def test_fig3b_read_throughput(benchmark):
+    series = benchmark(print_fig3, write=False, title="Figure 3b: sequential read (bytes/s)")
+    by_name = {s.name: s for s in series}
+    big = by_name["64m"]
+    assert big.at(512) == pytest.approx(204 * GiB, rel=0.06)
+    assert big.at(512) / by_name["SSD peak"].at(512) == pytest.approx(0.70, abs=0.03)
+    for x in big.xs:
+        assert by_name["8k"].at(x) <= by_name["64k"].at(x) <= by_name["1m"].at(x) <= big.at(x)
+        assert big.at(x) < by_name["SSD peak"].at(x)
+    for label in ("8k", "64k", "1m", "64m"):
+        assert by_name[label].scaling_exponent() == pytest.approx(1.0, abs=0.05)
+
+
+def test_fig3b_reads_outrun_writes(benchmark):
+    model = benchmark.pedantic(GekkoFSModel, rounds=1, iterations=1)
+    for nodes in (8, 64, 512):
+        assert model.data_throughput(nodes, 64 * MiB, write=False) > model.data_throughput(
+            nodes, 64 * MiB, write=True
+        )
+
+
+def test_fig3b_des_validation(benchmark):
+    model = GekkoFSModel()
+    des = benchmark.pedantic(
+        lambda: model.des_data_run(2, 1 * MiB, transfers_per_proc=10, write=False),
+        rounds=1,
+        iterations=1,
+    )
+    assert des == pytest.approx(model.data_throughput(2, 1 * MiB, write=False), rel=0.10)

@@ -1,0 +1,37 @@
+"""FIG3a — sequential write throughput, file-per-process (paper Figure 3a).
+
+Workload: IOR, 16 processes/node, 4 GiB/process, transfer sizes
+8 KiB / 64 KiB / 1 MiB / 64 MiB, compared against the aggregated SSD peak.
+Paper anchor at 512 nodes: ≈141 GiB/s at 64 MiB ≈ 80 % of SSD peak.
+"""
+
+import pytest
+
+from _common import print_fig3
+from repro.common.units import GiB, KiB, MiB
+from repro.models import GekkoFSModel, aggregated_ssd_peak
+
+
+def test_fig3a_write_throughput(benchmark):
+    series = benchmark(print_fig3, write=True, title="Figure 3a: sequential write (bytes/s)")
+    by_name = {s.name: s for s in series}
+    big = by_name["64m"]
+    assert big.at(512) == pytest.approx(141 * GiB, rel=0.06)
+    assert big.at(512) / by_name["SSD peak"].at(512) == pytest.approx(0.80, abs=0.03)
+    # Ordering: larger transfers are never slower; all below SSD peak.
+    for x in big.xs:
+        assert by_name["8k"].at(x) <= by_name["64k"].at(x) <= by_name["1m"].at(x) <= big.at(x)
+        assert big.at(x) < by_name["SSD peak"].at(x)
+    # Close-to-linear scaling for every transfer size.
+    for label in ("8k", "64k", "1m", "64m"):
+        assert by_name[label].scaling_exponent() == pytest.approx(1.0, abs=0.05)
+
+
+def test_fig3a_des_validation(benchmark):
+    model = GekkoFSModel()
+    des = benchmark.pedantic(
+        lambda: model.des_data_run(2, 1 * MiB, transfers_per_proc=10, write=True),
+        rounds=1,
+        iterations=1,
+    )
+    assert des == pytest.approx(model.data_throughput(2, 1 * MiB, write=True), rel=0.10)

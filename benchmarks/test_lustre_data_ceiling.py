@@ -1,0 +1,54 @@
+"""T-LDATA — why Figure 3 has no Lustre curve (§IV-B).
+
+"GekkoFS data performance is not compared with the Lustre scratch file
+system as the peak performance of the used Lustre partition, around
+12 GiB/s, is already reached for <= 10 nodes for sequential I/O."
+
+This bench reproduces the statement and derives its consequence: the
+node count where the job-temporal burst buffer overtakes the whole
+shared Lustre partition.
+"""
+
+import pytest
+
+from _common import NODE_SWEEP
+from repro.analysis.report import render_table
+from repro.common.units import GiB, MiB, format_throughput
+from repro.models import GekkoFSModel, LustreModel
+
+
+def _table():
+    gekko, lustre = GekkoFSModel(), LustreModel()
+    rows = []
+    crossover = None
+    for nodes in NODE_SWEEP:
+        gk = gekko.data_throughput(nodes, 64 * MiB, write=True)
+        lu = lustre.data_throughput(nodes)
+        if crossover is None and gk > lu:
+            crossover = nodes
+        rows.append([str(nodes), format_throughput(gk), format_throughput(lu)])
+    print()
+    print(
+        render_table(
+            ["nodes", "GekkoFS write (64 MiB)", "Lustre partition"],
+            rows,
+            title="T-LDATA: burst buffer vs shared Lustre partition",
+        )
+    )
+    print(f"GekkoFS overtakes the whole Lustre partition at {crossover} nodes")
+    return gekko, lustre, crossover
+
+
+def test_lustre_partition_saturates_by_10_nodes(benchmark):
+    gekko, lustre, crossover = benchmark(_table)
+    assert lustre.data_saturation_nodes() <= 10  # the paper's statement
+    assert lustre.data_throughput(10) == pytest.approx(12 * GiB, rel=0.01)
+    assert lustre.data_throughput(512) == lustre.data_throughput(16)  # flat after
+
+
+def test_gekkofs_overtakes_partition_under_64_nodes(benchmark):
+    gekko, lustre, crossover = benchmark.pedantic(_table, rounds=1, iterations=1)
+    # 12 GiB/s / (283 MiB/s per node) ≈ 44 nodes: the temporary FS of a
+    # mid-sized job outruns the entire shared scratch system.
+    assert crossover is not None
+    assert 16 < crossover <= 64

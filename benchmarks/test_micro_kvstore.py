@@ -1,0 +1,75 @@
+"""MICRO — LSM key-value store hot paths (the daemon's RocksDB role)."""
+
+import pytest
+
+from repro.kvstore import LSMStore
+
+
+@pytest.fixture
+def loaded_store():
+    store = LSMStore(memtable_flush_bytes=1 << 20)
+    for i in range(5000):
+        store.put(f"/dir/file{i:06d}".encode(), b"m" * 64)
+    yield store
+    store.close()
+
+
+def test_micro_kv_put(benchmark):
+    store = LSMStore()
+    counter = iter(range(10_000_000))
+
+    def put():
+        store.put(f"/f{next(counter):08d}".encode(), b"m" * 64)
+
+    benchmark(put)
+    store.close()
+
+
+def test_micro_kv_get_hit(benchmark, loaded_store):
+    benchmark(loaded_store.get, b"/dir/file002500")
+
+
+def test_micro_kv_get_miss_bloom(benchmark, loaded_store):
+    loaded_store.flush()  # push entries into an SSTable with a bloom filter
+    benchmark(loaded_store.get, b"/nope/never-created")
+
+
+def test_micro_kv_merge(benchmark, loaded_store):
+    def bump(old):
+        return (len(old or b"") % 251).to_bytes(1, "little") * 8
+
+    benchmark(loaded_store.merge, b"/dir/file000001", bump)
+
+
+def test_micro_kv_prefix_scan(benchmark, loaded_store):
+    def scan():
+        return sum(1 for _ in loaded_store.prefix_iter(b"/dir/file0001"))
+
+    assert benchmark(scan) == 100  # keys /dir/file000100 .. /dir/file000199
+
+
+def test_micro_kv_write_batch(benchmark):
+    """Atomic 64-op batches vs 64 individual puts (one lock, one WAL record)."""
+    store = LSMStore()
+    counter = iter(range(100_000_000))
+
+    def batch():
+        base = next(counter) * 64
+        store.write_batch(
+            [("put", f"/k{base + i:010d}".encode(), b"v" * 32) for i in range(64)]
+        )
+
+    benchmark(batch)
+    store.close()
+
+
+def test_micro_kv_flush_and_compact(benchmark):
+    def cycle():
+        store = LSMStore(memtable_flush_bytes=1 << 30)
+        for i in range(2000):
+            store.put(f"/k{i:05d}".encode(), b"v" * 32)
+        store.flush()
+        store.compact()
+        store.close()
+
+    benchmark(cycle)

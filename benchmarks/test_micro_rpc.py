@@ -1,0 +1,49 @@
+"""MICRO — RPC and bulk-transfer layer (the Mercury/Margo role)."""
+
+import pytest
+
+from repro.rpc import BulkHandle, RpcNetwork
+
+
+@pytest.fixture
+def network():
+    net = RpcNetwork()
+    engine = net.create_engine(0)
+    engine.register("noop", lambda: None)
+    engine.register("echo", lambda x: x)
+    engine.register("pull", lambda bulk: len(bulk.pull()))
+    sink = bytearray(1 << 20)
+    engine.register("push", lambda n, bulk: bulk.push(b"\x01" * n))
+    return net
+
+
+def test_micro_rpc_noop_roundtrip(benchmark, network):
+    benchmark(network.call, 0, "noop")
+
+
+def test_micro_rpc_small_args(benchmark, network):
+    benchmark(network.call, 0, "echo", "/gkfs/some/path/file000042")
+
+
+def test_micro_rpc_bulk_pull_512k(benchmark, network):
+    payload = b"x" * (512 * 1024)
+
+    def call():
+        network.call(0, "pull", bulk=BulkHandle(payload, readonly=True))
+
+    benchmark(call)
+
+
+def test_micro_rpc_bulk_push_512k(benchmark, network):
+    sink = bytearray(512 * 1024)
+
+    def call():
+        network.call(0, "push", len(sink), bulk=BulkHandle(sink))
+
+    benchmark(call)
+
+
+def test_micro_bulk_expose(benchmark):
+    buffer = bytearray(512 * 1024)
+    view = memoryview(buffer)
+    benchmark(BulkHandle, view)

@@ -1,0 +1,90 @@
+"""MICRO — discrete-event engine and telemetry throughput.
+
+The DES is itself a substrate whose cost matters (paper-scale validation
+runs execute millions of events); these benches pin its event rate and
+the telemetry overhead.
+"""
+
+import pytest
+
+from repro.common.units import KiB
+from repro.models import GekkoFSModel
+from repro.simulator import Resource, SimCluster, Simulator
+from repro.telemetry import LatencyHistogram, OpTracer
+
+
+def test_micro_des_timeout_events(benchmark):
+    """Raw event-loop throughput: schedule + dispatch of 10k timeouts."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.timeout(i * 1e-6)
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) == pytest.approx(9_999e-6)
+
+
+def test_micro_des_resource_contention(benchmark):
+    """Process switching through a contended resource."""
+
+    def run():
+        sim = Simulator()
+        res = Resource(sim, 4)
+
+        def worker():
+            for _ in range(20):
+                yield from res.use(1e-6)
+
+        for _ in range(50):
+            sim.process(worker())
+        sim.run()
+        return res.total_acquisitions
+
+    assert benchmark(run) == 1000
+
+
+def test_micro_des_metadata_protocol(benchmark):
+    """Full protocol events/second: the unit of DES validation cost."""
+    model = GekkoFSModel()
+    ops = benchmark.pedantic(
+        lambda: model.des_metadata_run(2, "stat", ops_per_proc=100),
+        rounds=3,
+        iterations=1,
+    )
+    assert ops > 0
+
+
+def test_micro_des_utilisation_report(benchmark):
+    sim = Simulator()
+    cluster = SimCluster(sim, 4)
+
+    def run():
+        yield from cluster.metadata_rpc(0, 1)
+
+    sim.process(run())
+    sim.run()
+    report = benchmark(cluster.utilisation_report)
+    assert "handlers" in report
+    assert "node" in report
+
+
+def test_micro_telemetry_record(benchmark):
+    hist = LatencyHistogram()
+    benchmark(hist.record, 123e-6)
+    assert hist.count > 0
+
+
+def test_micro_telemetry_percentile(benchmark):
+    hist = LatencyHistogram()
+    for i in range(10_000):
+        hist.record((i % 997 + 1) * 1e-6)
+    p99 = benchmark(hist.percentile, 99)
+    assert p99 > 0
+
+
+def test_micro_tracer_observe(benchmark):
+    tracer = OpTracer()
+    benchmark(tracer.observe, "stat", 5e-6)
+    assert tracer.total_operations() > 0

@@ -1,0 +1,49 @@
+"""MICRO — trace capture/replay overhead."""
+
+import os
+
+import pytest
+
+from repro.core import GekkoFSCluster
+from repro.trace import RecordingClient, TraceRecord, replay
+
+
+@pytest.fixture
+def fs():
+    with GekkoFSCluster(num_nodes=4) as cluster:
+        yield cluster
+
+
+def test_micro_recording_overhead_per_write(benchmark, fs):
+    """One recorded pwrite vs the raw call (the capture tax)."""
+    rec = RecordingClient(fs.client(0))
+    fd = rec.open("/gkfs/traced", os.O_CREAT | os.O_WRONLY)
+    payload = b"t" * 4096
+    benchmark(rec.pwrite, fd, payload, 0)
+    rec.close(fd)
+    assert len(rec.trace) > 1
+
+
+def test_micro_record_serialise(benchmark):
+    record = TraceRecord(op="pwrite", fd=7, offset=65536, size=4096, result_size=4096, duration=2e-4)
+    line = benchmark(record.to_json)
+    assert TraceRecord.from_json(line) == record
+
+
+def test_micro_replay_session(benchmark, fs):
+    """Replay throughput for a 200-op trace."""
+    rec = RecordingClient(fs.client(0))
+    rec.mkdir("/gkfs/r")
+    fd = rec.open("/gkfs/r/f", os.O_CREAT | os.O_RDWR)
+    for i in range(99):
+        rec.pwrite(fd, b"x" * 256, i * 256)
+        rec.pread(fd, 256, i * 256)
+    rec.close(fd)
+    trace = rec.trace
+
+    def run():
+        with GekkoFSCluster(num_nodes=2) as fresh:
+            return replay(trace, fresh.client(0))
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.faithful

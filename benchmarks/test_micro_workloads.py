@@ -1,0 +1,60 @@
+"""MICRO — whole-workload runs on the functional file system.
+
+These benchmark the complete mdtest/IOR code paths (client + RPC +
+daemon + LSM + storage) in process — the functional counterpart of the
+paper's microbenchmarks.
+"""
+
+import pytest
+
+from repro.core import GekkoFSCluster
+from repro.workloads.ior import IorSpec, run_ior
+from repro.workloads.mdtest import MdtestSpec, run_mdtest
+
+
+def test_micro_mdtest_full_cycle(benchmark):
+    def cycle():
+        with GekkoFSCluster(num_nodes=4) as fs:
+            return run_mdtest(fs, MdtestSpec(procs=4, files_per_proc=50))
+
+    result = benchmark.pedantic(cycle, rounds=3, iterations=1)
+    assert result.ops_per_second["create"] > 0
+
+
+def test_micro_ior_file_per_process(benchmark):
+    def cycle():
+        with GekkoFSCluster(num_nodes=4) as fs:
+            return run_ior(
+                fs, IorSpec(procs=4, transfer_size=64 * 1024, block_size=1024 * 1024)
+            )
+
+    result = benchmark.pedantic(cycle, rounds=3, iterations=1)
+    assert result.verify_errors == 0
+
+
+def test_micro_ior_shared_file(benchmark):
+    def cycle():
+        with GekkoFSCluster(num_nodes=4) as fs:
+            return run_ior(
+                fs,
+                IorSpec(
+                    procs=4,
+                    transfer_size=64 * 1024,
+                    block_size=512 * 1024,
+                    file_per_process=False,
+                ),
+            )
+
+    result = benchmark.pedantic(cycle, rounds=3, iterations=1)
+    assert result.verify_errors == 0
+
+
+def test_micro_des_metadata_4_nodes(benchmark):
+    """Cost of one DES validation run (the protocol-level simulator)."""
+    from repro.models import GekkoFSModel
+
+    model = GekkoFSModel()
+    ops = benchmark.pedantic(
+        lambda: model.des_metadata_run(4, "stat", ops_per_proc=60), rounds=3, iterations=1
+    )
+    assert ops > 0

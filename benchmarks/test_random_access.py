@@ -1,0 +1,66 @@
+"""T-RAND — random vs sequential access (§IV-B).
+
+"random accesses for large transfer sizes are conceptually the same as
+sequential accesses.  For smaller transfer sizes, e.g., 8 KiB, random
+write and read throughput decreased by approximately 33% and 60%,
+respectively, for 512 nodes."
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.common.units import KiB, MiB, format_throughput
+from repro.models import GekkoFSModel
+
+SIZES = (("8k", 8 * KiB), ("64k", 64 * KiB), ("512k (chunk)", 512 * KiB), ("64m", 64 * MiB))
+
+
+def _random_table():
+    model = GekkoFSModel()
+    rows = []
+    deltas = {}
+    for label, size in SIZES:
+        for write in (True, False):
+            seq = model.data_throughput(512, size, write=write)
+            rand = model.data_throughput(512, size, write=write, random=True)
+            delta = rand / seq - 1.0
+            deltas[(label, write)] = delta
+            rows.append(
+                [
+                    label,
+                    "write" if write else "read",
+                    format_throughput(seq),
+                    format_throughput(rand),
+                    f"{delta:+.0%}",
+                ]
+            )
+    print()
+    print(
+        render_table(
+            ["transfer", "op", "sequential", "random", "delta"],
+            rows,
+            title="T-RAND: random vs sequential at 512 nodes",
+        )
+    )
+    return deltas
+
+
+def test_random_access_deltas(benchmark):
+    deltas = benchmark(_random_table)
+    # 8 KiB: the paper's -33% write / -60% read.
+    assert deltas[("8k", True)] == pytest.approx(-0.33, abs=0.05)
+    assert deltas[("8k", False)] == pytest.approx(-0.60, abs=0.05)
+    # >= chunk size: conceptually identical.
+    for label in ("512k (chunk)", "64m"):
+        for write in (True, False):
+            assert abs(deltas[(label, write)]) < 0.06
+
+
+def test_random_penalty_shrinks_with_transfer_size(benchmark):
+    model = benchmark.pedantic(GekkoFSModel, rounds=1, iterations=1)
+    penalties = [
+        1.0 - model.data_throughput(512, size, write=False, random=True)
+        / model.data_throughput(512, size, write=False)
+        for _, size in SIZES
+    ]
+    assert penalties == sorted(penalties, reverse=True)

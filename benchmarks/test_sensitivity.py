@@ -1,0 +1,57 @@
+"""SENS — calibration sensitivity of the reproduced anchors.
+
+Prints the elasticity matrix (relative anchor change per relative
+calibration change) and asserts the structural expectations: each anchor
+is driven by *its* path's constants and immune to the others'.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.models.sensitivity import ANCHORS, PERTURBABLE_FIELDS, sensitivity_matrix
+
+
+def _matrix():
+    matrix = sensitivity_matrix(perturbation=0.10)
+    anchor_names = list(ANCHORS)
+    rows = [
+        [field] + [f"{matrix[field][a]:+.2f}" for a in anchor_names]
+        for field in PERTURBABLE_FIELDS
+    ]
+    print()
+    print(
+        render_table(
+            ["calibration field"] + anchor_names,
+            rows,
+            title="SENS: anchor elasticity per calibration field (±10%)",
+        )
+    )
+    return matrix
+
+
+def test_sensitivity_structure(benchmark):
+    matrix = benchmark(_matrix)
+    # Metadata anchors follow the metadata path constants...
+    assert abs(matrix["kv_create_time"]["create_512"]) > 0.1
+    assert abs(matrix["rpc_one_way_latency"]["stat_512"]) > 0.3
+    # ...and ignore the data path entirely.
+    assert matrix["chunk_write_overhead"]["create_512"] == pytest.approx(0.0, abs=1e-9)
+    assert matrix["write_path_efficiency"]["stat_512"] == pytest.approx(0.0, abs=1e-9)
+    # Data anchors track their efficiency ~1:1 (pure calibration)...
+    assert matrix["write_path_efficiency"]["write64m_512"] == pytest.approx(1.0, abs=0.05)
+    assert matrix["read_path_efficiency"]["read64m_512"] == pytest.approx(1.0, abs=0.05)
+    # ...but the 64 MiB bandwidth barely feels the per-op overheads
+    # (amortised over chunk-sized accesses) while 8 KiB IOPS do.
+    assert abs(matrix["chunk_write_overhead"]["write64m_512"]) < 0.05
+    assert abs(matrix["chunk_write_overhead"]["iops8k_512"]) > 0.15
+    # The shared-file ceiling is orthogonal to every file-per-process anchor.
+    for anchor in ANCHORS:
+        assert matrix["shared_file_update_ceiling"][anchor] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_sensitivity_validation(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with pytest.raises(ValueError):
+        sensitivity_matrix(perturbation=0.0)
+    with pytest.raises(ValueError):
+        sensitivity_matrix(fields=("ssd",))  # not a scalar

@@ -1,0 +1,45 @@
+"""T-START — deployment time (§I/§IV).
+
+"The file system ... can be easily deployed in under 20 seconds on a
+512 node cluster by any user" / "requiring less than 20 seconds for 512
+nodes".
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core import GekkoFSCluster
+from repro.models import GekkoFSModel
+
+
+def _startup_table():
+    model = GekkoFSModel()
+    rows = [
+        [str(nodes), f"{model.startup_time(nodes):.1f} s"]
+        for nodes in (1, 8, 64, 512)
+    ]
+    print()
+    print(render_table(["nodes", "modelled start-up"], rows,
+                       title="T-START: daemon bring-up time"))
+    return model
+
+
+def test_startup_under_20s_at_512(benchmark):
+    model = benchmark(_startup_table)
+    assert model.startup_time(512) < 20.0
+    # Monotone and sub-linear: doubling nodes adds a constant, not a factor.
+    t64, t128, t256 = (model.startup_time(n) for n in (64, 128, 256))
+    assert t128 - t64 == pytest.approx(t256 - t128, rel=0.01)
+
+
+def test_startup_functional_cluster_bring_up(benchmark):
+    """Micro-benchmark: wall-clock bring-up of a functional 16-daemon
+    deployment (engines, LSM stores, root format)."""
+
+    def bring_up():
+        fs = GekkoFSCluster(num_nodes=16)
+        fs.shutdown()
+
+    benchmark(bring_up)

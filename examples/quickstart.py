@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: deploy a temporary GekkoFS, do file I/O, tear it down.
+
+Mirrors the paper's usage model: the file system exists only for the
+lifetime of this "job", pools the (simulated) node-local storage of four
+nodes into one namespace under /gkfs, and is wiped on shutdown.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+
+from repro import GekkoFSCluster
+from repro.common.units import format_size
+
+
+def main() -> None:
+    # One daemon per node; clients can run on any node.
+    with GekkoFSCluster(num_nodes=4) as fs:
+        print(f"deployed GekkoFS across {fs.num_nodes} nodes, mounted at {fs.config.mountpoint}")
+
+        # --- POSIX-style calls through the client library ----------------
+        client = fs.client(node_id=0)
+        client.mkdir("/gkfs/results")
+        fd = client.open("/gkfs/results/run1.dat", os.O_CREAT | os.O_WRONLY)
+        client.write(fd, b"simulation output " * 1000)
+        client.close(fd)
+
+        md = client.stat("/gkfs/results/run1.dat")
+        print(f"run1.dat: {format_size(md.size)}, mode {oct(md.mode)}")
+
+        # --- or the pythonic wrapper --------------------------------------
+        with fs.open_file("/gkfs/results/run2.dat", "wb") as f:
+            f.write(b"second artefact")
+        with fs.open_file("/gkfs/results/run2.dat", "rb") as f:
+            print(f"run2.dat contents: {f.read()!r}")
+
+        # --- a client on another node sees everything immediately --------
+        remote = fs.client(node_id=3)
+        listing = remote.listdir("/gkfs/results")
+        print(f"listing from node 3: {[name for name, _ in listing]}")
+
+        # --- GekkoFS relaxations: rename is deliberately unsupported ------
+        try:
+            client.rename("/gkfs/results/run1.dat", "/gkfs/results/final.dat")
+        except Exception as err:
+            print(f"rename rejected as designed: {type(err).__name__}")
+
+        # --- deployment-wide usage ----------------------------------------
+        usage = client.statfs()
+        print(
+            f"{usage['metadata_records']} metadata records, "
+            f"{format_size(usage['used_bytes'])} across {usage['daemons']} daemons"
+        )
+        print("per-daemon RPC load:", fs.daemon_load())
+    print("cluster shut down; all temporary state wiped")
+
+
+if __name__ == "__main__":
+    main()

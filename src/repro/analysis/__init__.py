@@ -1,0 +1,20 @@
+"""Result analysis: statistics, sweep series, and paper-style reports."""
+
+from repro.analysis.ascii_plot import loglog_plot
+from repro.analysis.stats import MeasuredStat, mean, repeat_measure, speedup, stddev_pct
+from repro.analysis.series import SweepSeries, efficiency_series, relative_series
+from repro.analysis.report import render_table, series_table
+
+__all__ = [
+    "loglog_plot",
+    "MeasuredStat",
+    "mean",
+    "repeat_measure",
+    "speedup",
+    "stddev_pct",
+    "SweepSeries",
+    "efficiency_series",
+    "relative_series",
+    "render_table",
+    "series_table",
+]

@@ -1,0 +1,100 @@
+"""ASCII log-log charts — terminal renderings of Figure 2/3.
+
+The paper's figures are log-log line plots; this module draws the same
+curves in a character grid so the benchmark output visually matches the
+publication's shape (linear GekkoFS ramps, flat Lustre plateaus) without
+a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.analysis.series import SweepSeries
+
+__all__ = ["loglog_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _log_ticks(lo: float, hi: float) -> list[float]:
+    """Powers of ten covering [lo, hi]."""
+    start = math.floor(math.log10(lo))
+    end = math.ceil(math.log10(hi))
+    return [10.0**e for e in range(start, end + 1)]
+
+
+def loglog_plot(
+    series_list: Sequence[SweepSeries],
+    *,
+    width: int = 64,
+    height: int = 20,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render series as a log-log scatter/line chart.
+
+    Each series gets a marker from ``oxX*…``; the legend maps markers to
+    names.  All values must be positive (it is a log plot — zero would be
+    a caller bug).
+    """
+    if not series_list:
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 6:
+        raise ValueError(f"grid too small: {width}x{height}")
+    xs_all = [x for s in series_list for x in s.xs]
+    ys_all = [y for s in series_list for y in s.ys]
+    if min(xs_all) <= 0 or min(ys_all) <= 0:
+        raise ValueError("log-log plot requires positive coordinates")
+    x_lo, x_hi = math.log10(min(xs_all)), math.log10(max(xs_all))
+    y_ticks = _log_ticks(min(ys_all), max(ys_all))
+    y_lo, y_hi = math.log10(y_ticks[0]), math.log10(y_ticks[-1])
+    x_span = max(x_hi - x_lo, 1e-9)
+    y_span = max(y_hi - y_lo, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return round((math.log10(x) - x_lo) / x_span * (width - 1))
+
+    def row(y: float) -> int:
+        return (height - 1) - round((math.log10(y) - y_lo) / y_span * (height - 1))
+
+    # Gridlines at decade ticks.
+    for tick in y_ticks:
+        r = row(tick)
+        for c in range(width):
+            grid[r][c] = "."
+
+    for index, series in enumerate(series_list):
+        marker = _MARKERS[index % len(_MARKERS)]
+        points = sorted(zip(series.xs, series.ys))
+        # Interpolate between consecutive points in log space so the
+        # curve reads as a line, then overdraw the data points.
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            c0, c1 = col(x0), col(x1)
+            for c in range(c0, c1 + 1):
+                t = 0.0 if c1 == c0 else (c - c0) / (c1 - c0)
+                ly = math.log10(y0) + t * (math.log10(y1) - math.log10(y0))
+                grid[row(10.0**ly)][c] = marker
+        for x, y in points:
+            grid[row(y)][col(x)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{tick:g}") for tick in y_ticks)
+    tick_rows = {row(tick): tick for tick in y_ticks}
+    for r in range(height):
+        label = f"{tick_rows[r]:g}".rjust(label_width) if r in tick_rows else " " * label_width
+        lines.append(f"{label} |" + "".join(grid[r]))
+    lines.append(" " * label_width + "-" * (width + 2))
+    x_lo_val, x_hi_val = min(xs_all), max(xs_all)
+    axis = f"{x_lo_val:g}".ljust(width // 2) + f"{x_hi_val:g}".rjust(width - width // 2)
+    lines.append(" " * (label_width + 2) + axis)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {s.name}" for i, s in enumerate(series_list)
+    )
+    lines.append((y_label + "   " if y_label else "") + legend)
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Plain-text rendering of experiment results.
+
+The bench harness prints each figure as the table of series the paper
+plots — same rows, same units — so a terminal diff against the paper's
+reported numbers is possible without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.analysis.series import SweepSeries
+
+__all__ = ["render_table", "series_table"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Fixed-width ASCII table; every row must match the header width."""
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def series_table(
+    series_list: Sequence[SweepSeries],
+    value_format: Callable[[float], str],
+    x_header: str = "nodes",
+    title: str = "",
+) -> str:
+    """Render several series over a shared x-axis as one table."""
+    if not series_list:
+        raise ValueError("no series to render")
+    xs = series_list[0].xs
+    for s in series_list:
+        if s.xs != xs:
+            raise ValueError(f"series {s.name!r} has a different x-axis")
+    headers = [x_header] + [s.name for s in series_list]
+    rows = [
+        [str(x)] + [value_format(s.ys[i]) for s in series_list]
+        for i, x in enumerate(xs)
+    ]
+    return render_table(headers, rows, title=title)

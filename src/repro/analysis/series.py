@@ -1,0 +1,74 @@
+"""Sweep series: the (x = nodes, y = metric) curves the figures plot."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["SweepSeries", "relative_series", "efficiency_series", "NODE_SWEEP"]
+
+#: The paper's x-axis: 1–512 nodes in powers of two.
+NODE_SWEEP = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+@dataclass(frozen=True)
+class SweepSeries:
+    """One named curve over a shared x-axis."""
+
+    name: str
+    xs: tuple[int, ...]
+    ys: tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.name!r}: {len(self.xs)} xs vs {len(self.ys)} ys"
+            )
+        if len(self.xs) == 0:
+            raise ValueError(f"series {self.name!r} is empty")
+
+    @classmethod
+    def sweep(
+        cls, name: str, fn: Callable[[int], float], xs: Sequence[int] = NODE_SWEEP
+    ) -> "SweepSeries":
+        """Evaluate ``fn`` over ``xs``."""
+        xs = tuple(xs)
+        return cls(name=name, xs=xs, ys=tuple(fn(x) for x in xs))
+
+    def at(self, x: int) -> float:
+        try:
+            return self.ys[self.xs.index(x)]
+        except ValueError:
+            raise KeyError(f"series {self.name!r} has no point at x={x}") from None
+
+    def scaling_exponent(self) -> float:
+        """Least-squares slope of log(y) vs log(x): 1.0 = linear scaling.
+
+        This is the quantitative form of the paper's "close to linear
+        scaling" claim.
+        """
+        if len(self.xs) < 2:
+            raise ValueError("need >= 2 points for a scaling exponent")
+        lx = [math.log(x) for x in self.xs]
+        ly = [math.log(y) for y in self.ys]
+        mx, my = sum(lx) / len(lx), sum(ly) / len(ly)
+        num = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+        den = sum((a - mx) ** 2 for a in lx)
+        return num / den
+
+
+def relative_series(numerator: SweepSeries, denominator: SweepSeries) -> SweepSeries:
+    """Pointwise ratio (speedup curve); x-axes must match."""
+    if numerator.xs != denominator.xs:
+        raise ValueError("x-axes differ")
+    return SweepSeries(
+        name=f"{numerator.name} / {denominator.name}",
+        xs=numerator.xs,
+        ys=tuple(a / b for a, b in zip(numerator.ys, denominator.ys)),
+    )
+
+
+def efficiency_series(series: SweepSeries, peak: SweepSeries) -> SweepSeries:
+    """Fraction of a peak reference (Figure 3's SSD-efficiency reading)."""
+    return relative_series(series, peak)

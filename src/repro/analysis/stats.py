@@ -1,0 +1,66 @@
+"""Measurement statistics matching the paper's reporting conventions.
+
+Every Figure 2/3 data point is "the mean of at least five iterations"
+with the standard deviation "computed as the percentage of the mean"
+(§IV-A).  :func:`repeat_measure` reproduces exactly that protocol for our
+own measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["mean", "stddev_pct", "speedup", "MeasuredStat", "repeat_measure"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; empty input is a caller bug."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev_pct(values: Sequence[float]) -> float:
+    """Sample standard deviation as a percentage of the mean (§IV-A).
+
+    Single-sample inputs have no spread estimate and return 0.
+    """
+    if not values:
+        raise ValueError("stddev of empty sequence")
+    if len(values) == 1:
+        return 0.0
+    m = mean(values)
+    if m == 0:
+        return 0.0
+    var = sum((v - m) ** 2 for v in values) / (len(values) - 1)
+    return math.sqrt(var) / abs(m) * 100.0
+
+
+def speedup(measured: float, baseline: float) -> float:
+    """The paper's "~1,405x"-style factor of ``measured`` over ``baseline``."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be > 0, got {baseline}")
+    return measured / baseline
+
+
+@dataclass(frozen=True)
+class MeasuredStat:
+    """One repeated measurement: mean, spread, raw samples."""
+
+    mean: float
+    stddev_pct: float
+    samples: tuple[float, ...]
+
+    @property
+    def iterations(self) -> int:
+        return len(self.samples)
+
+
+def repeat_measure(fn: Callable[[], float], iterations: int = 5) -> MeasuredStat:
+    """Run ``fn`` ``iterations`` times (>= 5, like the paper) and aggregate."""
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    samples = tuple(fn() for _ in range(iterations))
+    return MeasuredStat(mean=mean(samples), stddev_pct=stddev_pct(samples), samples=samples)

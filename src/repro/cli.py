@@ -1,0 +1,296 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror how the paper's artefacts are exercised:
+
+* ``info``      — deployment defaults and calibration summary.
+* ``mdtest``    — run the mdtest clone on a functional deployment.
+* ``ior``       — run the IOR clone on a functional deployment.
+* ``figures``   — regenerate the Figure 2/3 tables (and ASCII plots).
+* ``claims``    — print the §IV in-text claims, paper vs measured.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro import __version__
+from repro.analysis.ascii_plot import loglog_plot
+from repro.analysis.report import render_table, series_table
+from repro.common.units import GiB, KiB, MiB, format_ops, format_throughput, parse_size
+from repro.core import FSConfig, GekkoFSCluster
+from repro.models import GekkoFSModel, LustreModel, aggregated_ssd_peak
+from repro.models.calibration import MOGON_II
+from repro.workloads.ior import IorSpec, run_ior
+from repro.workloads.mdtest import MdtestSpec, run_mdtest
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GekkoFS (CLUSTER 2018) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="deployment defaults and calibration summary")
+
+    p = sub.add_parser("mdtest", help="run the mdtest clone on a functional deployment")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--files-per-proc", type=int, default=100)
+    p.add_argument("--unique-dir", action="store_true", help="one directory per rank")
+
+    p = sub.add_parser("ior", help="run the IOR clone on a functional deployment")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--procs", type=int, default=4)
+    p.add_argument("--transfer-size", type=parse_size, default=64 * KiB)
+    p.add_argument("--block-size", type=parse_size, default=MiB)
+    p.add_argument("--shared-file", action="store_true")
+    p.add_argument("--random", action="store_true")
+    p.add_argument("--size-cache", action="store_true")
+
+    p = sub.add_parser("figures", help="regenerate the paper's figure series")
+    p.add_argument(
+        "which",
+        choices=["fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "all"],
+        nargs="?",
+        default="all",
+    )
+    p.add_argument("--plot", action="store_true", help="also draw ASCII log-log charts")
+
+    sub.add_parser("claims", help="paper vs measured for the in-text claims")
+
+    p = sub.add_parser("stress", help="randomised mixed-op run with a shadow-model oracle")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--operations", type=int, default=500)
+    p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("sensitivity", help="calibration-sensitivity matrix of the anchors")
+    p.add_argument("--perturbation", type=float, default=0.10)
+
+    p = sub.add_parser("experiments", help="run the registered paper experiments")
+    p.add_argument("exp_id", nargs="?", default=None, help="one id (default: all)")
+    return parser
+
+
+def _cmd_info() -> int:
+    config = FSConfig()
+    cal = MOGON_II
+    rows = [
+        ["chunk size", f"{config.chunk_size // KiB} KiB"],
+        ["mountpoint", config.mountpoint],
+        ["handler pool / daemon", str(cal.handler_pool)],
+        ["procs per node (eval)", str(cal.procs_per_node)],
+        ["SSD seq write / read", f"{cal.ssd.seq_write_bw / MiB:.0f} / {cal.ssd.seq_read_bw / MiB:.0f} MiB/s"],
+        ["NIC bandwidth", format_throughput(cal.network.nic_bandwidth)],
+        ["RPC one-way latency", f"{cal.rpc_one_way_latency * 1e6:.0f} us"],
+        ["KV create/stat/remove", f"{cal.kv_create_time * 1e6:.0f}/{cal.kv_stat_time * 1e6:.0f}/{cal.kv_remove_time * 1e6:.0f} us"],
+        ["shared-file update ceiling", format_ops(cal.shared_file_update_ceiling)],
+    ]
+    print(render_table(["parameter", "value"], rows, title=f"repro {__version__} — GekkoFS reproduction"))
+    return 0
+
+
+def _cmd_mdtest(args: argparse.Namespace) -> int:
+    spec = MdtestSpec(
+        procs=args.procs,
+        files_per_proc=args.files_per_proc,
+        single_dir=not args.unique_dir,
+    )
+    with GekkoFSCluster(num_nodes=args.nodes) as fs:
+        result = run_mdtest(fs, spec)
+    rows = [
+        [phase, format_ops(result.ops_per_second[phase]), f"{result.elapsed[phase]:.3f} s"]
+        for phase in ("create", "stat", "remove")
+    ]
+    print(
+        render_table(
+            ["phase", "throughput", "elapsed"],
+            rows,
+            title=f"mdtest: {spec.total_files} files, {args.nodes} nodes, "
+            f"{'single' if spec.single_dir else 'unique'} dir",
+        )
+    )
+    return 0
+
+
+def _cmd_ior(args: argparse.Namespace) -> int:
+    config = FSConfig(size_cache_enabled=args.size_cache)
+    spec = IorSpec(
+        procs=args.procs,
+        transfer_size=args.transfer_size,
+        block_size=args.block_size,
+        file_per_process=not args.shared_file,
+        sequential=not args.random,
+    )
+    with GekkoFSCluster(num_nodes=args.nodes, config=config) as fs:
+        result = run_ior(fs, spec)
+    rows = [
+        ["write", format_throughput(result.write_bandwidth), f"{result.write_elapsed:.3f} s"],
+        ["read", format_throughput(result.read_bandwidth), f"{result.read_elapsed:.3f} s"],
+    ]
+    print(
+        render_table(
+            ["phase", "bandwidth", "elapsed"],
+            rows,
+            title=f"IOR: {spec.total_bytes // KiB} KiB total, "
+            f"{'fpp' if spec.file_per_process else 'shared'}, "
+            f"{'seq' if spec.sequential else 'random'}, verified",
+        )
+    )
+    return 0
+
+
+def _fig2(op: str, label: str, plot: bool) -> None:
+    from repro.analysis.series import SweepSeries
+
+    gekko, lustre = GekkoFSModel(), LustreModel()
+    series = [
+        SweepSeries.sweep("Lustre single", lambda n: lustre.metadata_throughput(n, op, single_dir=True)),
+        SweepSeries.sweep("Lustre unique", lambda n: lustre.metadata_throughput(n, op, single_dir=False)),
+        SweepSeries.sweep("GekkoFS", lambda n: gekko.metadata_throughput(n, op)),
+    ]
+    print(series_table(series, format_ops, title=f"Figure {label}: {op} throughput"))
+    if plot:
+        print(loglog_plot(series, title=f"Figure {label} [log-log]", y_label="ops/s"))
+    print()
+
+
+def _fig3(write: bool, label: str, plot: bool) -> None:
+    from repro.analysis.series import SweepSeries
+
+    model = GekkoFSModel()
+    series = [
+        SweepSeries.sweep(name, lambda n, t=t: model.data_throughput(n, t, write=write))
+        for name, t in (("8k", 8 * KiB), ("64k", 64 * KiB), ("1m", MiB), ("64m", 64 * MiB))
+    ]
+    series.append(SweepSeries.sweep("SSD peak", lambda n: aggregated_ssd_peak(n, write=write)))
+    kind = "write" if write else "read"
+    print(series_table(series, format_throughput, title=f"Figure {label}: sequential {kind}"))
+    if plot:
+        print(loglog_plot(series, title=f"Figure {label} [log-log]", y_label="B/s"))
+    print()
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    targets = {
+        "fig2a": lambda: _fig2("create", "2a", args.plot),
+        "fig2b": lambda: _fig2("stat", "2b", args.plot),
+        "fig2c": lambda: _fig2("remove", "2c", args.plot),
+        "fig3a": lambda: _fig3(True, "3a", args.plot),
+        "fig3b": lambda: _fig3(False, "3b", args.plot),
+    }
+    chosen = targets if args.which == "all" else {args.which: targets[args.which]}
+    for render in chosen.values():
+        render()
+    return 0
+
+
+def _cmd_claims() -> int:
+    gekko, lustre = GekkoFSModel(), LustreModel()
+    rows = [
+        ["creates/s @512", "~46 M (~1405x)",
+         f"{gekko.metadata_throughput(512, 'create') / 1e6:.1f} M "
+         f"({gekko.metadata_throughput(512, 'create') / lustre.metadata_throughput(512, 'create', single_dir=False):,.0f}x)"],
+        ["stats/s @512", "~44 M (~359x)",
+         f"{gekko.metadata_throughput(512, 'stat') / 1e6:.1f} M "
+         f"({gekko.metadata_throughput(512, 'stat') / lustre.metadata_throughput(512, 'stat', single_dir=False):,.0f}x)"],
+        ["removes/s @512", "~22 M (~453x)",
+         f"{gekko.metadata_throughput(512, 'remove') / 1e6:.1f} M "
+         f"({gekko.metadata_throughput(512, 'remove') / lustre.metadata_throughput(512, 'remove', single_dir=False):,.0f}x)"],
+        ["write 64 MiB @512", "141 GiB/s (80%)",
+         f"{gekko.data_throughput(512, 64 * MiB, write=True) / GiB:.0f} GiB/s"],
+        ["read 64 MiB @512", "204 GiB/s (70%)",
+         f"{gekko.data_throughput(512, 64 * MiB, write=False) / GiB:.0f} GiB/s"],
+        ["8 KiB latency", "<= 700 us",
+         f"{gekko.data_latency(512, 8 * KiB, write=True) * 1e6:.0f} us"],
+        ["shared file no cache", "~150 K ops/s",
+         f"{gekko.data_iops(512, 8 * KiB, write=True, shared_file=True) / 1e3:.0f} K ops/s"],
+        ["start-up @512", "< 20 s", f"{gekko.startup_time(512):.1f} s"],
+    ]
+    print(render_table(["claim", "paper", "measured"], rows, title="GekkoFS §IV claims"))
+    return 0
+
+
+def _cmd_stress(args: argparse.Namespace) -> int:
+    from repro.workloads.stress import StressSpec, run_stress
+
+    spec = StressSpec(operations=args.operations, seed=args.seed)
+    with GekkoFSCluster(num_nodes=args.nodes) as fs:
+        result = run_stress(fs, spec)
+    rows = [[op, str(count)] for op, count in sorted(result.executed.items())]
+    rows.append(["bytes verified", f"{result.bytes_verified:,}"])
+    rows.append(["files surviving", str(result.live_files_at_end)])
+    print(
+        render_table(
+            ["metric", "value"],
+            rows,
+            title=f"stress: {result.total_operations} ops, seed {args.seed} — all reads verified",
+        )
+    )
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.models.sensitivity import ANCHORS, PERTURBABLE_FIELDS, sensitivity_matrix
+
+    matrix = sensitivity_matrix(perturbation=args.perturbation)
+    anchor_names = list(ANCHORS)
+    rows = [
+        [field] + [f"{matrix[field][a]:+.2f}" for a in anchor_names]
+        for field in PERTURBABLE_FIELDS
+    ]
+    print(
+        render_table(
+            ["calibration field"] + anchor_names,
+            rows,
+            title=f"anchor elasticity per calibration field (±{args.perturbation:.0%})",
+        )
+    )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import REGISTRY, run_all, run_experiment
+
+    if args.exp_id is not None:
+        if args.exp_id not in REGISTRY:
+            print(f"unknown experiment {args.exp_id!r}; known: {', '.join(sorted(REGISTRY))}")
+            return 1
+        results = {args.exp_id: run_experiment(args.exp_id)}
+    else:
+        results = run_all()
+    rows = []
+    failures = 0
+    for exp_id, outcome in results.items():
+        exp = REGISTRY[exp_id]
+        holds = outcome["holds"]
+        failures += 0 if holds else 1
+        rows.append([exp_id, exp.paper_statement, "OK" if holds else "DIVERGED"])
+    print(render_table(["experiment", "paper statement", "shape"], rows,
+                       title="registered experiments, paper vs this run"))
+    return 1 if failures else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "mdtest":
+        return _cmd_mdtest(args)
+    if args.command == "ior":
+        return _cmd_ior(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "claims":
+        return _cmd_claims()
+    if args.command == "stress":
+        return _cmd_stress(args)
+    if args.command == "sensitivity":
+        return _cmd_sensitivity(args)
+    if args.command == "experiments":
+        return _cmd_experiments(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,52 @@
+"""Shared low-level utilities used by every subsystem.
+
+This package deliberately has no dependency on any other ``repro``
+subpackage so that substrates (KV store, RPC, storage, simulator) can use
+it without import cycles.
+"""
+
+from repro.common.errors import (
+    GekkoError,
+    BadFileDescriptorError,
+    ExistsError,
+    InvalidArgumentError,
+    IsADirectoryError_,
+    NotADirectoryError_,
+    NotEmptyError,
+    NotFoundError,
+    UnsupportedError,
+)
+from repro.common.hashing import fnv1a_64, hash_chunk, hash_path
+from repro.common.units import (
+    KiB,
+    MiB,
+    GiB,
+    TiB,
+    format_ops,
+    format_size,
+    format_throughput,
+    parse_size,
+)
+
+__all__ = [
+    "GekkoError",
+    "BadFileDescriptorError",
+    "ExistsError",
+    "InvalidArgumentError",
+    "IsADirectoryError_",
+    "NotADirectoryError_",
+    "NotEmptyError",
+    "NotFoundError",
+    "UnsupportedError",
+    "fnv1a_64",
+    "hash_chunk",
+    "hash_path",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "format_ops",
+    "format_size",
+    "format_throughput",
+    "parse_size",
+]

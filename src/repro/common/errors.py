@@ -1,0 +1,119 @@
+"""Errno-style exception hierarchy for GekkoFS operations.
+
+GekkoFS is a user-space file system: its client library reports failures
+through errno values that the interposition layer hands back to the
+application.  This module mirrors that contract with one exception type per
+errno the paper's operations can produce.  Every exception carries its
+``errno`` so callers (and the RPC layer, which serialises failures across
+the wire) can translate losslessly.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+
+__all__ = [
+    "GekkoError",
+    "NotFoundError",
+    "ExistsError",
+    "IsADirectoryError_",
+    "NotADirectoryError_",
+    "NotEmptyError",
+    "BadFileDescriptorError",
+    "InvalidArgumentError",
+    "UnsupportedError",
+    "error_from_errno",
+]
+
+
+class GekkoError(Exception):
+    """Base class for all GekkoFS file-system errors.
+
+    :ivar errno: the POSIX errno equivalent of this failure.
+    """
+
+    errno: int = _errno.EIO
+
+    def __init__(self, message: str = ""):
+        super().__init__(message or self.__class__.__name__)
+
+
+class NotFoundError(GekkoError):
+    """Path does not exist (ENOENT)."""
+
+    errno = _errno.ENOENT
+
+
+class ExistsError(GekkoError):
+    """Path already exists and O_EXCL (or mkdir) forbids reuse (EEXIST)."""
+
+    errno = _errno.EEXIST
+
+
+class IsADirectoryError_(GekkoError):
+    """A file operation was applied to a directory (EISDIR)."""
+
+    errno = _errno.EISDIR
+
+
+class NotADirectoryError_(GekkoError):
+    """A directory operation was applied to a regular file (ENOTDIR)."""
+
+    errno = _errno.ENOTDIR
+
+
+class NotEmptyError(GekkoError):
+    """rmdir() on a directory that still has entries (ENOTEMPTY)."""
+
+    errno = _errno.ENOTEMPTY
+
+
+class BadFileDescriptorError(GekkoError):
+    """Operation on a closed or never-opened descriptor (EBADF)."""
+
+    errno = _errno.EBADF
+
+
+class InvalidArgumentError(GekkoError):
+    """Malformed argument: negative offset, bad flags, ... (EINVAL)."""
+
+    errno = _errno.EINVAL
+
+
+class UnsupportedError(GekkoError):
+    """Operation GekkoFS deliberately does not support (ENOTSUP).
+
+    The paper removes rename/move and link functionality because HPC
+    application studies show they are rarely used inside a parallel job
+    (§III-A); calling them is an error, not a silent no-op.
+    """
+
+    errno = _errno.ENOTSUP
+
+
+_BY_ERRNO = {
+    cls.errno: cls
+    for cls in (
+        NotFoundError,
+        ExistsError,
+        IsADirectoryError_,
+        NotADirectoryError_,
+        NotEmptyError,
+        BadFileDescriptorError,
+        InvalidArgumentError,
+        UnsupportedError,
+    )
+}
+
+
+def error_from_errno(code: int, message: str = "") -> GekkoError:
+    """Reconstruct the concrete exception for ``code``.
+
+    Used by the RPC layer to rehydrate a failure that crossed the wire as
+    ``(errno, message)``.  Unknown codes degrade to the base
+    :class:`GekkoError`.
+    """
+    cls = _BY_ERRNO.get(code, GekkoError)
+    err = cls(message)
+    err.errno = code
+    return err

@@ -1,0 +1,98 @@
+"""Binary size units, parsing, and human-readable formatting.
+
+The paper reports everything in binary units (512 KiB chunks, MiB/s
+throughput, GiB working sets); keeping one canonical definition here avoids
+the classic KB-vs-KiB calibration bug.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "parse_size",
+    "format_size",
+    "format_throughput",
+    "format_ops",
+]
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+_UNITS = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+    "t": TiB,
+    "tb": TiB,
+    "tib": TiB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(text: str | int) -> int:
+    """Parse ``"512KiB"``/``"64m"``/``"8k"``-style sizes into bytes.
+
+    Integers pass through unchanged so configuration fields accept both
+    forms.  All suffixes are binary (k = 1024) to match the paper.
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"size must be >= 0, got {text}")
+        return text
+    m = _SIZE_RE.match(text)
+    if m is None:
+        raise ValueError(f"unparsable size: {text!r}")
+    value, unit = m.groups()
+    try:
+        factor = _UNITS[unit.lower()]
+    except KeyError:
+        raise ValueError(f"unknown size unit {unit!r} in {text!r}") from None
+    result = float(value) * factor
+    if result != int(result):
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(result)
+
+
+def _format(value: float, scale: int, units: list[str]) -> str:
+    v = float(value)
+    for unit in units:
+        if abs(v) < scale:
+            return f"{v:,.2f} {unit}"
+        v /= scale
+    return f"{v:,.2f} {units[-1]}"
+
+
+def format_size(nbytes: float) -> str:
+    """Render a byte count as B/KiB/MiB/GiB/TiB (e.g. ``"1.50 MiB"``)."""
+    return _format(nbytes, 1024, ["B", "KiB", "MiB", "GiB", "TiB", "PiB"])
+
+
+def format_throughput(bytes_per_s: float) -> str:
+    """Render a bandwidth as the paper's MiB/s-style strings."""
+    return _format(bytes_per_s, 1024, ["B/s", "KiB/s", "MiB/s", "GiB/s", "TiB/s"])
+
+
+def format_ops(ops_per_s: float) -> str:
+    """Render an operation rate as K/M ops/s (decimal, like the paper)."""
+    v = float(ops_per_s)
+    for unit in ["ops/s", "K ops/s", "M ops/s"]:
+        if abs(v) < 1000:
+            return f"{v:,.2f} {unit}"
+        v /= 1000
+    return f"{v:,.2f} B ops/s"

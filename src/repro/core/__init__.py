@@ -1,0 +1,53 @@
+"""GekkoFS core: the paper's contribution.
+
+Client interposition logic, per-node daemons, hash-based wide-striping,
+chunked data path, relaxed-POSIX semantics, and the size-update cache —
+assembled into a deployable temporary file system by
+:class:`~repro.core.cluster.GekkoFSCluster`.
+"""
+
+from repro.core.cache import SizeUpdateCache
+from repro.core.chunking import ChunkSpan, chunk_count, split_range
+from repro.core.client import GekkoFSClient
+from repro.core.cluster import GekkoFSCluster
+from repro.core.config import DEFAULT_CHUNK_SIZE, FSConfig
+from repro.core.daemon import GekkoDaemon, HANDLER_NAMES
+from repro.core.distributor import (
+    Distributor,
+    FilePerNodeDistributor,
+    GuidedDistributor,
+    RendezvousDistributor,
+    SimpleHashDistributor,
+)
+from repro.core.fileobj import GekkoFile, flags_for_mode
+from repro.core.filemap import FD_BASE, OpenFile, OpenFileMap
+from repro.core.metadata import Metadata, new_dir_metadata, new_file_metadata
+from repro.core.posix import PosixShim, StatBuf
+
+__all__ = [
+    "GuidedDistributor",
+    "RendezvousDistributor",
+    "PosixShim",
+    "StatBuf",
+    "SizeUpdateCache",
+    "ChunkSpan",
+    "chunk_count",
+    "split_range",
+    "GekkoFSClient",
+    "GekkoFSCluster",
+    "DEFAULT_CHUNK_SIZE",
+    "FSConfig",
+    "GekkoDaemon",
+    "HANDLER_NAMES",
+    "Distributor",
+    "FilePerNodeDistributor",
+    "SimpleHashDistributor",
+    "GekkoFile",
+    "flags_for_mode",
+    "FD_BASE",
+    "OpenFile",
+    "OpenFileMap",
+    "Metadata",
+    "new_dir_metadata",
+    "new_file_metadata",
+]

@@ -1,0 +1,67 @@
+"""Chunk arithmetic: split byte ranges into per-chunk spans.
+
+To balance large files across nodes, every data request is split into
+equally sized chunks before distribution (§III-B).  These are the pure
+functions both the functional client and the performance models use, so
+the protocol under test is the same arithmetic in both modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["ChunkSpan", "split_range", "chunk_count", "last_chunk"]
+
+
+@dataclass(frozen=True)
+class ChunkSpan:
+    """One chunk-local piece of a file-level byte range.
+
+    :ivar chunk_id: index of the chunk within the file.
+    :ivar offset: byte offset *inside* the chunk where the piece starts.
+    :ivar length: piece length in bytes.
+    :ivar buffer_offset: where the piece sits in the caller's I/O buffer.
+    """
+
+    chunk_id: int
+    offset: int
+    length: int
+    buffer_offset: int
+
+
+def split_range(offset: int, length: int, chunk_size: int) -> Iterator[ChunkSpan]:
+    """Yield the chunk-local spans covering ``[offset, offset + length)``.
+
+    Spans come out in ascending chunk order and tile the range exactly:
+    the sum of span lengths equals ``length`` and consecutive spans are
+    contiguous in the caller's buffer.
+    """
+    if offset < 0 or length < 0:
+        raise ValueError(f"negative offset/length: {offset}/{length}")
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be > 0, got {chunk_size}")
+    buffer_offset = 0
+    position = offset
+    end = offset + length
+    while position < end:
+        chunk_id = position // chunk_size
+        in_chunk = position - chunk_id * chunk_size
+        piece = min(chunk_size - in_chunk, end - position)
+        yield ChunkSpan(chunk_id, in_chunk, piece, buffer_offset)
+        position += piece
+        buffer_offset += piece
+
+
+def chunk_count(size: int, chunk_size: int) -> int:
+    """Number of chunks a file of ``size`` bytes occupies."""
+    if size < 0:
+        raise ValueError(f"size must be >= 0, got {size}")
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be > 0, got {chunk_size}")
+    return (size + chunk_size - 1) // chunk_size
+
+
+def last_chunk(size: int, chunk_size: int) -> int:
+    """Id of the final chunk of a file of ``size`` bytes (-1 if empty)."""
+    return chunk_count(size, chunk_size) - 1

@@ -1,0 +1,795 @@
+"""The GekkoFS client library (the interposition layer's brain).
+
+The preloaded library in the paper intercepts file-system calls, answers
+them from its own file map where possible, forwards GekkoFS paths to the
+responsible daemons, and lets everything else fall through to the
+node-local file system (§III-B).  This class is that library with the ELF
+interposition replaced by an explicit call surface: the routing decision,
+fd management, span splitting, RPC fan-out, and size-update protocol are
+all faithful.
+
+Semantics implemented (and deliberately not implemented) follow §III-A:
+
+* strong consistency for operations on a specific file,
+* eventually-consistent ``readdir`` (merged per-daemon partial listings),
+* no rename/move, no links — :class:`~repro.common.errors.UnsupportedError`,
+* no permission enforcement, no global locks, synchronous cache-less I/O
+  (except the opt-in size-update cache of §IV-B).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import (
+    BadFileDescriptorError,
+    ExistsError,
+    InvalidArgumentError,
+    IsADirectoryError_,
+    NotADirectoryError_,
+    NotEmptyError,
+    NotFoundError,
+    UnsupportedError,
+)
+from repro.core.cache import SizeUpdateCache
+from repro.core.chunking import split_range
+from repro.core.datacache import ChunkCache
+from repro.core.config import FSConfig
+from repro.core.distributor import Distributor
+from repro.core.filemap import FD_BASE, OpenFile, OpenFileMap
+from repro.core.metadata import Metadata, new_dir_metadata, new_file_metadata
+from repro.rpc import BulkHandle, RpcNetwork
+
+__all__ = ["GekkoFSClient", "ClientStats"]
+
+#: Writes at or below this many bytes travel inline in the RPC instead of
+#: through a bulk (RDMA) transfer — mirrors Mercury's eager/bulk threshold.
+INLINE_WRITE_THRESHOLD = 4096
+
+
+@dataclass
+class ClientStats:
+    """Per-client operation counters."""
+
+    opens: int = 0
+    creates: int = 0
+    stats_: int = 0
+    removes: int = 0
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    readdirs: int = 0
+
+
+class GekkoFSClient:
+    """One application process's view of a GekkoFS deployment.
+
+    :param network: the deployment's RPC address book.
+    :param distributor: placement policy (must match every other client).
+    :param config: deployment configuration (must match the daemons).
+    :param node_id: the node this client runs on (diagnostics only — the
+        hash distribution makes placement location-independent).
+    """
+
+    def __init__(
+        self,
+        network: RpcNetwork,
+        distributor: Distributor,
+        config: FSConfig,
+        node_id: int = 0,
+    ):
+        self.network = network
+        self.distributor = distributor
+        self.config = config
+        self.node_id = node_id
+        self.filemap = OpenFileMap()
+        self.size_cache = (
+            SizeUpdateCache(config.size_cache_flush_every)
+            if config.size_cache_enabled
+            else None
+        )
+        self.data_cache = (
+            ChunkCache(config.data_cache_bytes, config.chunk_size)
+            if config.data_cache_enabled
+            else None
+        )
+        self.stats = ClientStats()
+
+    # -- interception routing ---------------------------------------------
+
+    def is_gekkofs_path(self, path: str) -> bool:
+        """The interception test: does ``path`` live under the mountpoint?"""
+        mp = self.config.mountpoint
+        return path == mp or path.startswith(mp + "/")
+
+    def _rel(self, path: str) -> str:
+        """Internal (mount-relative) form of ``path``; root is ``"/"``."""
+        if not self.is_gekkofs_path(path):
+            raise InvalidArgumentError(f"{path!r} is not under {self.config.mountpoint!r}")
+        rel = path[len(self.config.mountpoint) :]
+        rel = rel.rstrip("/") or "/"
+        if "//" in rel:
+            raise InvalidArgumentError(f"{path!r} contains empty components")
+        return rel
+
+    def _passthrough(self, path: str) -> bool:
+        """True when the call must go to the node-local FS instead."""
+        if self.is_gekkofs_path(path):
+            return False
+        if not self.config.passthrough_enabled:
+            raise InvalidArgumentError(
+                f"{path!r} is outside {self.config.mountpoint!r} and passthrough is disabled"
+            )
+        return True
+
+    # -- RPC shorthands ------------------------------------------------------
+
+    #: Transport-level failures a replicated call may tolerate.
+    _TRANSIENT = (LookupError, ConnectionError, TimeoutError)
+    #: Metadata handlers that only read (replica fallback allowed).
+    _META_READS = frozenset({"gkfs_stat"})
+
+    def _metadata_targets(self, rel: str) -> list[int]:
+        """Replica set for a path's metadata: primary plus successors.
+
+        Successor placement keeps the set resolvable by every client from
+        the path alone — the same no-central-service property as the
+        primary placement.  Collapses to one daemon when replication is
+        off (the paper's design) or the deployment is smaller than R.
+        """
+        primary = self.distributor.locate_metadata(rel)
+        count = min(self.config.replication, self.distributor.num_daemons)
+        return [(primary + i) % self.distributor.num_daemons for i in range(count)]
+
+    def _chunk_targets(self, rel: str, chunk_id: int) -> list[int]:
+        """Replica set for one data chunk (primary + successors)."""
+        primary = self.distributor.locate_chunk(rel, chunk_id)
+        count = min(self.config.replication, self.distributor.num_daemons)
+        return [(primary + i) % self.distributor.num_daemons for i in range(count)]
+
+    def _meta_call(self, rel: str, handler: str, *args):
+        """Metadata RPC with optional replication.
+
+        Reads fall back across replicas on transport failure.  Mutations
+        apply to every reachable replica; a file-system error (EEXIST,
+        ENOENT, ...) propagates — it is a *result*, and with crash-stop
+        failures all replicas produce the same one.  At least one replica
+        must be reachable.  This is consensus-free replication: it
+        tolerates crash-stop daemon loss, nothing subtler (documented
+        prototype of the follow-on reliability work).
+        """
+        targets = self._metadata_targets(rel)
+        if len(targets) == 1:
+            return self.network.call(targets[0], handler, rel, *args)
+        last_transient: Optional[Exception] = None
+        if handler in self._META_READS:
+            for target in targets:
+                try:
+                    return self.network.call(target, handler, rel, *args)
+                except self._TRANSIENT as exc:
+                    last_transient = exc
+            raise last_transient  # every replica unreachable
+        result = None
+        applied = False
+        for target in targets:
+            try:
+                outcome = self.network.call(target, handler, rel, *args)
+            except self._TRANSIENT as exc:
+                last_transient = exc
+                continue
+            if not applied:
+                result = outcome
+                applied = True
+        if not applied:
+            raise last_transient if last_transient else LookupError(rel)
+        return result
+
+    def _stat_rel(self, rel: str) -> Metadata:
+        if self.size_cache is not None:
+            pending = self.size_cache.take(rel)
+            if pending is not None:
+                self._meta_call(rel, "gkfs_update_size", pending, False)
+        self.stats.stats_ += 1
+        return Metadata.decode(self._meta_call(rel, "gkfs_stat"))
+
+    def _publish_size(self, rel: str, size: int) -> None:
+        """Cache-aware size-update after a write."""
+        if self.size_cache is None:
+            self._meta_call(rel, "gkfs_update_size", size, False)
+            return
+        due = self.size_cache.record(rel, size)
+        if due is not None:
+            self._meta_call(rel, "gkfs_update_size", due, False)
+
+    def _involved_daemons(self, rel: str, size: int) -> list[int]:
+        """Daemons that may hold chunks of a file of ``size`` bytes.
+
+        For small files this is a handful of targeted addresses; beyond
+        the daemon count a broadcast is cheaper than enumerating chunks.
+        """
+        if size == 0:
+            return []
+        nchunks = (size + self.config.chunk_size - 1) // self.config.chunk_size
+        if nchunks * self.config.replication >= self.distributor.num_daemons:
+            return list(self.distributor.locate_all())
+        return sorted(
+            {
+                target
+                for cid in range(nchunks)
+                for target in self._chunk_targets(rel, cid)
+            }
+        )
+
+    def _broadcast_call(self, target: int, handler: str, *args):
+        """One leg of a broadcast; unreachable daemons are tolerated when
+        replication can cover for them, fatal otherwise (paper semantics)."""
+        try:
+            return self.network.call(target, handler, *args)
+        except self._TRANSIENT:
+            if self.config.replication == 1:
+                raise
+            return None
+
+    # -- open / close -----------------------------------------------------------
+
+    def open(self, path: str, flags: int = os.O_RDONLY, mode: int = 0o644) -> int:
+        """POSIX-style open; returns a GekkoFS descriptor (>= ``FD_BASE``).
+
+        ``O_CREAT``/``O_EXCL``/``O_TRUNC``/``O_APPEND`` and the access
+        modes are honoured; there are no permission checks (§III-A).
+        """
+        if self._passthrough(path):
+            return os.open(path, flags, mode)
+        rel = self._rel(path)
+        self.stats.opens += 1
+        if flags & os.O_CREAT:
+            record = new_file_metadata(mode, maintain_times=self.config.maintain_mtime)
+            stored = self._meta_call(
+                rel, "gkfs_create", record.encode(), bool(flags & os.O_EXCL)
+            )
+            md = Metadata.decode(stored)
+            self.stats.creates += 1
+        else:
+            md = self._stat_rel(rel)
+        accmode = flags & os.O_ACCMODE
+        writable = accmode in (os.O_WRONLY, os.O_RDWR)
+        if md.is_dir and writable:
+            raise IsADirectoryError_(path)
+        if md.is_dir and flags & os.O_CREAT:
+            raise IsADirectoryError_(path)
+        if flags & os.O_TRUNC and writable and md.size > 0:
+            self._truncate_rel(rel, 0, md.size)
+        return self.filemap.add(OpenFile(path=rel, flags=flags, is_dir=md.is_dir))
+
+    def creat(self, path: str, mode: int = 0o644) -> int:
+        """``creat(2)``: open with ``O_WRONLY | O_CREAT | O_TRUNC``."""
+        return self.open(path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, mode)
+
+    def close(self, fd: int) -> None:
+        """Release a descriptor, publishing any buffered size update."""
+        if fd < FD_BASE or not self.filemap.owns(fd):
+            if fd < FD_BASE and self.config.passthrough_enabled:
+                os.close(fd)
+                return
+            raise BadFileDescriptorError(f"fd {fd}")
+        entry = self.filemap.remove(fd)
+        if self.size_cache is not None and not entry.is_dir:
+            pending = self.size_cache.take(entry.path)
+            if pending is not None:
+                self._meta_call(entry.path, "gkfs_update_size", pending, False)
+
+    # -- data path ----------------------------------------------------------------
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        """Positional write: split into chunk spans, fan out, publish size."""
+        if offset < 0:
+            raise InvalidArgumentError(f"negative offset {offset}")
+        if fd < FD_BASE and self.config.passthrough_enabled:
+            return os.pwrite(fd, data, offset)
+        entry = self.filemap.get(fd)
+        written = self._pwrite_data(entry, data, offset)
+        self._publish_size(entry.path, offset + written)
+        return written
+
+    def _pwrite_data(self, entry: OpenFile, data: bytes, offset: int) -> int:
+        """The data half of a write: chunk fan-out, no size publication."""
+        if entry.is_dir:
+            raise IsADirectoryError_(entry.path)
+        if not entry.writable:
+            raise BadFileDescriptorError(f"fd for {entry.path} is not open for writing")
+        view = memoryview(data)
+        for span in split_range(offset, len(data), self.config.chunk_size):
+            piece = view[span.buffer_offset : span.buffer_offset + span.length]
+            written_somewhere = False
+            last_transient: Optional[Exception] = None
+            for target in self._chunk_targets(entry.path, span.chunk_id):
+                try:
+                    if span.length <= INLINE_WRITE_THRESHOLD:
+                        self.network.call(
+                            target,
+                            "gkfs_write_chunk",
+                            entry.path,
+                            span.chunk_id,
+                            span.offset,
+                            bytes(piece),
+                        )
+                    else:
+                        bulk = BulkHandle(piece, readonly=True)
+                        self.network.call(
+                            target,
+                            "gkfs_write_chunk",
+                            entry.path,
+                            span.chunk_id,
+                            span.offset,
+                            None,
+                            bulk=bulk,
+                        )
+                    written_somewhere = True
+                except self._TRANSIENT as exc:
+                    if self.config.replication == 1:
+                        raise  # unreplicated: a lost daemon is loudly fatal
+                    last_transient = exc
+            if not written_somewhere:
+                raise last_transient if last_transient else LookupError(entry.path)
+            if self.data_cache is not None:
+                self.data_cache.update(
+                    entry.path, span.chunk_id, span.offset, bytes(piece)
+                )
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+        return len(data)
+
+    def write(self, fd: int, data: bytes) -> int:
+        """Write at the descriptor position (or EOF under ``O_APPEND``).
+
+        Appends *reserve* their region first: an append-mode size-update
+        RPC atomically advances the recorded size on the metadata owner
+        and returns the old end as this write's offset, so concurrent
+        appenders from any node get disjoint regions.  (The region is
+        reserved before the data lands — a concurrent reader may briefly
+        see zeros in it, the documented relaxed-consistency trade-off.)
+        """
+        if fd < FD_BASE and self.config.passthrough_enabled:
+            return os.write(fd, data)
+        entry = self.filemap.get(fd)
+        if entry.append:
+            offset = self._reserve_append_region(entry.path, len(data))
+            written = self._pwrite_data(entry, data, offset)
+        else:
+            offset = entry.position
+            written = self.pwrite(fd, data, offset)
+        entry.position = offset + written
+        return written
+
+    def _reserve_append_region(self, rel: str, length: int) -> int:
+        """Atomically claim ``[end, end + length)`` of the file.
+
+        Any size buffered in the local cache must be published first, or
+        the owner would hand out a region before this client's own
+        earlier writes.
+        """
+        if self.size_cache is not None:
+            pending = self.size_cache.take(rel)
+            if pending is not None:
+                self._meta_call(rel, "gkfs_update_size", pending, False)
+        new_end = self._meta_call(rel, "gkfs_update_size", length, True)
+        return new_end - length
+
+    def pread(self, fd: int, count: int, offset: int) -> bytes:
+        """Positional read: stat for the authoritative size, fan out, zero-fill holes."""
+        if offset < 0 or count < 0:
+            raise InvalidArgumentError(f"negative offset/count: {offset}/{count}")
+        if fd < FD_BASE and self.config.passthrough_enabled:
+            return os.pread(fd, count, offset)
+        entry = self.filemap.get(fd)
+        if entry.is_dir:
+            raise IsADirectoryError_(entry.path)
+        if not entry.readable:
+            raise BadFileDescriptorError(f"fd {fd} is not open for reading")
+        size = self._stat_rel(entry.path).size
+        self.stats.stats_ -= 1  # internal size probe, not an application stat
+        if offset >= size or count == 0:
+            self.stats.reads += 1
+            return b""
+        count = min(count, size - offset)
+        buffer = bytearray(count)  # zero-filled: holes read as zeros
+        buf_view = memoryview(buffer)
+        for span in split_range(offset, count, self.config.chunk_size):
+            last_transient: Optional[Exception] = None
+            served = False
+            # Replicas are tried in placement order; with replication off
+            # this is exactly the paper's single-target read.
+            for target in self._chunk_targets(entry.path, span.chunk_id):
+                try:
+                    if self.data_cache is not None:
+                        chunk = self.data_cache.get(entry.path, span.chunk_id)
+                        if chunk is None:
+                            # Miss: fetch the whole chunk (intra-chunk
+                            # readahead) inline, then serve future spans
+                            # from cache.
+                            chunk = self.network.call(
+                                target,
+                                "gkfs_read_chunk",
+                                entry.path,
+                                span.chunk_id,
+                                0,
+                                self.config.chunk_size,
+                            )
+                            self.data_cache.put(entry.path, span.chunk_id, chunk)
+                        piece = chunk[span.offset : span.offset + span.length]
+                        buffer[span.buffer_offset : span.buffer_offset + len(piece)] = piece
+                    else:
+                        bulk = BulkHandle(
+                            buf_view[span.buffer_offset : span.buffer_offset + span.length]
+                        )
+                        self.network.call(
+                            target,
+                            "gkfs_read_chunk",
+                            entry.path,
+                            span.chunk_id,
+                            span.offset,
+                            span.length,
+                            bulk=bulk,
+                        )
+                    served = True
+                    break
+                except self._TRANSIENT as exc:
+                    if self.config.replication == 1:
+                        raise
+                    last_transient = exc
+            if not served:
+                raise last_transient if last_transient else LookupError(entry.path)
+        self.stats.reads += 1
+        self.stats.bytes_read += count
+        return bytes(buffer)
+
+    def read(self, fd: int, count: int) -> bytes:
+        """Read at the descriptor position, advancing it."""
+        if fd < FD_BASE and self.config.passthrough_enabled:
+            return os.read(fd, count)
+        entry = self.filemap.get(fd)
+        data = self.pread(fd, count, entry.position)
+        entry.position += len(data)
+        return data
+
+    def lseek(self, fd: int, offset: int, whence: int = os.SEEK_SET) -> int:
+        """Reposition the user-space file offset."""
+        if fd < FD_BASE and self.config.passthrough_enabled:
+            return os.lseek(fd, offset, whence)
+        entry = self.filemap.get(fd)
+        if whence == os.SEEK_SET:
+            new = offset
+        elif whence == os.SEEK_CUR:
+            new = entry.position + offset
+        elif whence == os.SEEK_END:
+            new = self._stat_rel(entry.path).size + offset
+        else:
+            raise InvalidArgumentError(f"bad whence {whence}")
+        if new < 0:
+            raise InvalidArgumentError(f"resulting offset {new} is negative")
+        entry.position = new
+        return new
+
+    def fsync(self, fd: int) -> None:
+        """Publish buffered size updates; data is already synchronous."""
+        if fd < FD_BASE and self.config.passthrough_enabled:
+            os.fsync(fd)
+            return
+        entry = self.filemap.get(fd)
+        if self.size_cache is not None:
+            pending = self.size_cache.take(entry.path)
+            if pending is not None:
+                self._meta_call(entry.path, "gkfs_update_size", pending, False)
+
+    # -- metadata operations ------------------------------------------------------
+
+    def stat(self, path: str) -> Metadata:
+        """Attributes of ``path`` (strongly consistent for the record itself)."""
+        if self._passthrough(path):
+            st = os.stat(path)
+            return Metadata(
+                is_dir=os.path.isdir(path),
+                size=st.st_size,
+                mode=st.st_mode & 0o7777,
+                ctime=st.st_ctime,
+                mtime=st.st_mtime,
+                atime=st.st_atime,
+            )
+        return self._stat_rel(self._rel(path))
+
+    def fstat(self, fd: int) -> Metadata:
+        entry = self.filemap.get(fd)
+        return self._stat_rel(entry.path)
+
+    def exists(self, path: str) -> bool:
+        """Convenience existence probe (one stat RPC)."""
+        try:
+            self.stat(path)
+            return True
+        except NotFoundError:
+            return False
+
+    def unlink(self, path: str) -> None:
+        """Remove a file: metadata first, then the owners of its chunks.
+
+        Metadata removal is the linearisation point; chunk removal is a
+        targeted multicast to the daemons the distributor implicates.
+        """
+        if self._passthrough(path):
+            os.unlink(path)
+            return
+        rel = self._rel(path)
+        md = Metadata.decode(self._meta_call(rel, "gkfs_stat"))
+        if md.is_dir:
+            raise IsADirectoryError_(path)
+        if self.size_cache is not None:
+            self.size_cache.take(rel)  # drop stale buffered size
+        if self.data_cache is not None:
+            self.data_cache.invalidate_path(rel)
+        removed = Metadata.decode(self._meta_call(rel, "gkfs_remove_metadata"))
+        for target in self._involved_daemons(rel, max(removed.size, md.size)):
+            self._broadcast_call(target, "gkfs_remove_chunks", rel)
+        self.stats.removes += 1
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        """Create a directory record (no parent traversal — flat namespace)."""
+        if self._passthrough(path):
+            os.mkdir(path, mode)
+            return
+        rel = self._rel(path)
+        if rel == "/":
+            raise ExistsError(path)
+        record = new_dir_metadata(mode, maintain_times=self.config.maintain_mtime)
+        self._meta_call(rel, "gkfs_create", record.encode(), True)
+        self.stats.creates += 1
+
+    def rmdir(self, path: str) -> None:
+        """Remove an *empty* directory.
+
+        Emptiness is checked with a readdir sweep — eventually consistent
+        like every indirect operation, so a racing create may survive a
+        concurrent rmdir; the paper accepts exactly this relaxation.
+        """
+        if self._passthrough(path):
+            os.rmdir(path)
+            return
+        rel = self._rel(path)
+        md = self._stat_rel(rel)
+        if not md.is_dir:
+            raise NotADirectoryError_(path)
+        if rel == "/":
+            raise InvalidArgumentError("cannot remove the file system root")
+        if self.listdir(path):
+            raise NotEmptyError(path)
+        self._meta_call(rel, "gkfs_remove_metadata")
+        self.stats.removes += 1
+
+    def truncate(self, path: str, new_size: int) -> None:
+        """Set the file size, dropping chunk data beyond it."""
+        if self._passthrough(path):
+            os.truncate(path, new_size)
+            return
+        if new_size < 0:
+            raise InvalidArgumentError(f"negative size {new_size}")
+        rel = self._rel(path)
+        md = self._stat_rel(rel)
+        if md.is_dir:
+            raise IsADirectoryError_(path)
+        self._truncate_rel(rel, new_size, md.size)
+
+    def ftruncate(self, fd: int, new_size: int) -> None:
+        if new_size < 0:
+            raise InvalidArgumentError(f"negative size {new_size}")
+        entry = self.filemap.get(fd)
+        if entry.is_dir:
+            raise IsADirectoryError_(entry.path)
+        if not entry.writable:
+            raise BadFileDescriptorError(f"fd {fd} is not open for writing")
+        old = self._stat_rel(entry.path).size
+        self._truncate_rel(entry.path, new_size, old)
+
+    def _truncate_rel(self, rel: str, new_size: int, old_size: int) -> None:
+        if self.data_cache is not None:
+            self.data_cache.invalidate_path(rel)
+        self._meta_call(rel, "gkfs_truncate_metadata", new_size)
+        if new_size < old_size:
+            for target in self._involved_daemons(rel, old_size):
+                self._broadcast_call(target, "gkfs_truncate_chunks", rel, new_size)
+
+    # -- directory listing -----------------------------------------------------------
+
+    def listdir(self, path: str) -> list[tuple[str, bool]]:
+        """Merged ``(name, is_dir)`` listing of a directory.
+
+        Gathers each daemon's partial listing and merges — the paper's
+        eventually-consistent ``readdir``: concurrent creates/removes may
+        or may not appear (§III-A).
+        """
+        if self._passthrough(path):
+            return sorted(
+                (name, os.path.isdir(os.path.join(path, name)))
+                for name in os.listdir(path)
+            )
+        rel = self._rel(path)
+        md = self._stat_rel(rel)
+        if not md.is_dir:
+            raise NotADirectoryError_(path)
+        entries: set[tuple[str, bool]] = set()
+        for target in self.distributor.locate_all():
+            partial = self._broadcast_call(target, "gkfs_readdir", rel)
+            if partial is not None:
+                entries.update(tuple(item) for item in partial)
+        self.stats.readdirs += 1
+        return sorted(entries)
+
+    def listdir_plus(self, path: str) -> list[tuple[str, Metadata]]:
+        """Listing with attributes — the ``ls -l`` path, batched.
+
+        One ``gkfs_readdir_plus`` RPC per daemon returns each entry's full
+        metadata record alongside its name, instead of a stat RPC per
+        entry.  Eventually consistent like :meth:`listdir` (§III-A).
+        """
+        if self._passthrough(path):
+            return [
+                (name, self.stat(os.path.join(path, name)))
+                for name in os.listdir(path)
+            ]
+        rel = self._rel(path)
+        md = self._stat_rel(rel)
+        if not md.is_dir:
+            raise NotADirectoryError_(path)
+        by_name: dict[str, Metadata] = {}
+        for target in self.distributor.locate_all():
+            partial = self._broadcast_call(target, "gkfs_readdir_plus", rel)
+            if partial is None:
+                continue
+            for name, record in partial:
+                by_name.setdefault(name, Metadata.decode(record))
+        self.stats.readdirs += 1
+        return sorted(by_name.items(), key=lambda item: item[0])
+
+    def opendir(self, path: str) -> int:
+        """Open a directory stream; the listing is snapshotted now."""
+        entries = self.listdir(path)
+        return self.filemap.add(
+            OpenFile(
+                path=self._rel(path),
+                flags=os.O_RDONLY,
+                is_dir=True,
+                dir_entries=entries,
+            )
+        )
+
+    def readdir(self, fd: int) -> Optional[tuple[str, bool]]:
+        """Next entry of an open directory stream, ``None`` at the end."""
+        entry = self.filemap.get(fd)
+        if not entry.is_dir or entry.dir_entries is None:
+            raise NotADirectoryError_(entry.path)
+        if entry.dir_cursor >= len(entry.dir_entries):
+            return None
+        item = entry.dir_entries[entry.dir_cursor]
+        entry.dir_cursor += 1
+        return item
+
+    def walk(self, path: str):
+        """Yield ``(dirpath, dirnames, files)`` like :func:`os.walk`.
+
+        ``files`` pairs each name with its :class:`Metadata` (one batched
+        readdir-plus per directory per daemon, not a stat per file).
+        Eventually consistent like every listing (§III-A).  Top-down;
+        mutate ``dirnames`` in place to prune, as with ``os.walk``.
+        """
+        entries = self.listdir_plus(path)
+        dirnames = [name for name, md in entries if md.is_dir]
+        files = [(name, md) for name, md in entries if not md.is_dir]
+        yield path, dirnames, files
+        for name in dirnames:
+            yield from self.walk(f"{path}/{name}")
+
+    def disk_usage(self, path: str) -> dict:
+        """Recursive ``du``: files, directories, and summed logical bytes."""
+        md = self.stat(path)
+        if not md.is_dir:
+            return {"files": 1, "directories": 0, "bytes": md.size}
+        totals = {"files": 0, "directories": 0, "bytes": 0}
+        for _dirpath, dirnames, files in self.walk(path):
+            totals["directories"] += len(dirnames)
+            totals["files"] += len(files)
+            totals["bytes"] += sum(entry.size for _name, entry in files)
+        return totals
+
+    def read_bytes(self, path: str) -> bytes:
+        """Whole-file read convenience (open/stat/read/close in one call)."""
+        fd = self.open(path, os.O_RDONLY)
+        try:
+            entry = self.filemap.get(fd)
+            if entry.is_dir:
+                raise IsADirectoryError_(path)
+            size = self._stat_rel(entry.path).size
+            return self.pread(fd, size, 0)
+        finally:
+            self.close(fd)
+
+    def write_bytes(self, path: str, data: bytes) -> int:
+        """Whole-file write convenience (create/truncate/write/close)."""
+        fd = self.open(path, os.O_CREAT | os.O_WRONLY | os.O_TRUNC)
+        try:
+            return self.pwrite(fd, data, 0)
+        finally:
+            self.close(fd)
+
+    def copy(self, src: str, dst: str, *, buffer_size: int = 4 * 1024 * 1024) -> int:
+        """Copy a file's contents to a new path; returns bytes copied.
+
+        GekkoFS has no rename (§III-A); the sanctioned substitute for the
+        rare application that needs one is copy-then-unlink, which this
+        utility provides the expensive half of.  The copy streams through
+        the client in ``buffer_size`` pieces — it is a data movement, not
+        a metadata trick, and costs accordingly.
+        """
+        if buffer_size <= 0:
+            raise InvalidArgumentError(f"buffer_size must be > 0, got {buffer_size}")
+        src_fd = self.open(src, os.O_RDONLY)
+        try:
+            entry = self.filemap.get(src_fd)
+            if entry.is_dir:
+                raise IsADirectoryError_(src)
+            size = self._stat_rel(entry.path).size
+            dst_fd = self.open(dst, os.O_CREAT | os.O_WRONLY | os.O_TRUNC)
+            try:
+                offset = 0
+                while offset < size:
+                    piece = self.pread(src_fd, min(buffer_size, size - offset), offset)
+                    if not piece:
+                        break
+                    self.pwrite(dst_fd, piece, offset)
+                    offset += len(piece)
+                if offset < size:
+                    # A concurrent truncate shrank the source mid-copy;
+                    # pad to the size this copy observed at open.
+                    self.ftruncate(dst_fd, size)
+                    offset = size
+            finally:
+                self.close(dst_fd)
+        finally:
+            self.close(src_fd)
+        return offset
+
+    # -- deliberately unsupported (§III-A) ----------------------------------------------
+
+    def rename(self, old: str, new: str) -> None:
+        """GekkoFS does not support rename/move."""
+        raise UnsupportedError(f"rename({old!r}, {new!r}): GekkoFS has no rename support")
+
+    def link(self, target: str, name: str) -> None:
+        """GekkoFS does not support hard links."""
+        raise UnsupportedError(f"link({target!r}, {name!r}): GekkoFS has no link support")
+
+    def symlink(self, target: str, name: str) -> None:
+        """GekkoFS does not support symbolic links."""
+        raise UnsupportedError(
+            f"symlink({target!r}, {name!r}): GekkoFS has no symlink support"
+        )
+
+    def chmod(self, path: str, mode: int) -> None:
+        """Access permissions are not maintained (§III-A)."""
+        raise UnsupportedError(f"chmod({path!r}): GekkoFS does not manage permissions")
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def statfs(self) -> dict:
+        """Aggregated deployment usage across all daemons."""
+        used = 0
+        records = 0
+        for target in self.distributor.locate_all():
+            snapshot = self.network.call(target, "gkfs_statfs")
+            used += snapshot["used_bytes"]
+            records += snapshot["metadata_records"]
+        return {
+            "daemons": self.distributor.num_daemons,
+            "used_bytes": used,
+            "metadata_records": records,
+        }

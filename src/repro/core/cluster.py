@@ -1,0 +1,251 @@
+"""Deployment orchestration: bring up a GekkoFS instance, hand out clients.
+
+``GekkoFSCluster`` plays the role of the job-prologue script in the paper:
+it starts one daemon per node, distributes the address book (our
+:class:`~repro.rpc.RpcNetwork`), formats the root record, and builds
+clients.  Tear-down wipes everything — GekkoFS is a *temporary* file
+system whose lifetime is the job's (§I, §III).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manifest import DeploymentManifest
+    from repro.core.resize import MigrationReport
+
+from repro.core.client import GekkoFSClient
+from repro.core.config import FSConfig
+from repro.core.daemon import GekkoDaemon
+from repro.core.distributor import Distributor, SimpleHashDistributor
+from repro.core.fileobj import GekkoFile
+from repro.core.metadata import new_dir_metadata
+from repro.kvstore import LSMStore
+from repro.rpc import InstrumentedTransport, RpcNetwork, ThreadedTransport
+from repro.storage import LocalFSChunkStorage, MemoryChunkStorage
+
+__all__ = ["GekkoFSCluster"]
+
+
+class GekkoFSCluster:
+    """A complete, running GekkoFS deployment.
+
+    :param num_nodes: daemon count (one per simulated node).
+    :param config: deployment configuration; defaults are the paper's.
+    :param distributor: placement policy; wide-striping hash by default.
+    :param instrument: wrap the transport so tests/benchmarks can inspect
+        RPC counts and per-daemon load.
+    :param threaded: serve RPCs on real per-daemon handler pools
+        (the Argobots execution model) instead of synchronous loopback —
+        enables genuinely concurrent clients.
+    :param handlers_per_daemon: pool width in threaded mode.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        config: Optional[FSConfig] = None,
+        distributor: Optional[Distributor] = None,
+        instrument: bool = False,
+        threaded: bool = False,
+        handlers_per_daemon: int = 4,
+    ):
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be > 0, got {num_nodes}")
+        self.config = config or FSConfig()
+        self.num_nodes = num_nodes
+        self.distributor = distributor or SimpleHashDistributor(num_nodes)
+        if self.distributor.num_daemons != num_nodes:
+            raise ValueError(
+                f"distributor spans {self.distributor.num_daemons} daemons, "
+                f"cluster has {num_nodes}"
+            )
+        self.network = RpcNetwork()
+        self._threaded_transport: Optional[ThreadedTransport] = None
+        if threaded:
+            self._threaded_transport = ThreadedTransport(
+                self.network.engine_table, handlers_per_daemon
+            )
+            self.network.transport = self._threaded_transport
+        self.transport: Optional[InstrumentedTransport] = None
+        if instrument:
+            self.transport = InstrumentedTransport(self.network.transport)
+            self.network.transport = self.transport
+        self.daemons: list[GekkoDaemon] = []
+        for node in range(num_nodes):
+            engine = self.network.create_engine(node)
+            kv = LSMStore(self._node_dir(self.config.kv_dir, node))
+            if self.config.data_dir is not None:
+                storage = LocalFSChunkStorage(
+                    self.config.chunk_size, self._node_dir(self.config.data_dir, node)
+                )
+            else:
+                storage = MemoryChunkStorage(self.config.chunk_size)
+            self.daemons.append(
+                GekkoDaemon(node, engine, self.config.chunk_size, kv=kv, storage=storage)
+            )
+        self._format()
+        self._running = True
+
+    @staticmethod
+    def _node_dir(base: Optional[str], node: int) -> Optional[str]:
+        return None if base is None else os.path.join(base, f"node_{node:04d}")
+
+    def _format(self) -> None:
+        """Create the root directory record on its owner daemon(s).
+
+        With replication enabled the root record goes to every successor
+        replica, like any other path's metadata would.
+        """
+        root_md = new_dir_metadata(maintain_times=self.config.maintain_mtime)
+        owner = self.distributor.locate_metadata("/")
+        replicas = min(self.config.replication, self.num_nodes)
+        for i in range(replicas):
+            self.daemons[(owner + i) % self.num_nodes].create("/", root_md.encode(), False)
+
+    # -- client factory -----------------------------------------------------
+
+    def client(self, node_id: int = 0) -> GekkoFSClient:
+        """A client as it would run on ``node_id`` (any process on any node)."""
+        if not 0 <= node_id < self.num_nodes:
+            raise ValueError(f"node_id {node_id} out of range [0, {self.num_nodes})")
+        return GekkoFSClient(self.network, self.distributor, self.config, node_id)
+
+    def open_file(self, path: str, mode: str = "rb", node_id: int = 0) -> GekkoFile:
+        """One-shot pythonic open through a fresh client."""
+        return GekkoFile(self.client(node_id), path, mode)
+
+    # -- manifest (campaign reuse) ------------------------------------------------
+
+    def manifest(self) -> "DeploymentManifest":
+        """Serialisable description of this deployment (hosts-file role)."""
+        from repro.core.manifest import DeploymentManifest
+
+        return DeploymentManifest.describe(self)
+
+    @classmethod
+    def from_manifest(cls, manifest: "DeploymentManifest", **kwargs) -> "GekkoFSCluster":
+        """Reconstruct a compatible deployment from a manifest.
+
+        With the manifest's ``kv_dir``/``data_dir`` pointing at retained
+        node-local state, this is the campaign-restart path: the same
+        placement policy over the same stores makes every old path
+        resolvable again.
+        """
+        return cls(
+            num_nodes=manifest.num_nodes,
+            config=manifest.config,
+            distributor=manifest.build_distributor(),
+            **kwargs,
+        )
+
+    # -- malleability -----------------------------------------------------------
+
+    def resize(
+        self,
+        new_num_nodes: int,
+        distributor_factory: Optional[Callable[[int], Distributor]] = None,
+    ) -> "MigrationReport":
+        """Grow or shrink the deployment, migrating data to new owners.
+
+        Stop-the-world maintenance between application phases: clients
+        created before the resize hold the old placement function and
+        must be discarded (create fresh ones via :meth:`client`).
+
+        :param new_num_nodes: daemon count afterwards.
+        :param distributor_factory: builds the new placement policy from
+            a daemon count; defaults to the current distributor's class.
+            Use :class:`~repro.core.distributor.RendezvousDistributor`
+            throughout to keep migration volume at ~1/n.
+        :returns: a :class:`~repro.core.resize.MigrationReport`.
+        """
+        from repro.core.resize import migrate
+
+        if not self._running:
+            raise RuntimeError("cannot resize a stopped cluster")
+        if self.config.replication > 1:
+            raise ValueError(
+                "resize does not yet preserve replica sets; "
+                "deploy with replication=1 to use elastic membership"
+            )
+        if new_num_nodes <= 0:
+            raise ValueError(f"new_num_nodes must be > 0, got {new_num_nodes}")
+        factory = distributor_factory or type(self.distributor)
+        new_distributor = factory(new_num_nodes)
+        if new_distributor.num_daemons != new_num_nodes:
+            raise ValueError("distributor_factory produced a mismatched span")
+        old_count = self.num_nodes
+
+        for node in range(old_count, new_num_nodes):  # grow first
+            engine = self.network.create_engine(node)
+            kv = LSMStore(self._node_dir(self.config.kv_dir, node))
+            if self.config.data_dir is not None:
+                storage = LocalFSChunkStorage(
+                    self.config.chunk_size, self._node_dir(self.config.data_dir, node)
+                )
+            else:
+                storage = MemoryChunkStorage(self.config.chunk_size)
+            self.daemons.append(
+                GekkoDaemon(node, engine, self.config.chunk_size, kv=kv, storage=storage)
+            )
+
+        report = migrate(self, new_distributor, old_count)
+
+        for daemon in self.daemons[new_num_nodes:]:  # then shrink
+            if len(daemon.kv) or daemon.storage.used_bytes():
+                raise RuntimeError(
+                    f"daemon {daemon.address} still holds data after migration"
+                )
+            daemon.shutdown()
+            self.network.remove_engine(daemon.address)
+        del self.daemons[new_num_nodes:]
+
+        self.distributor = new_distributor
+        self.num_nodes = new_num_nodes
+        return report
+
+    # -- introspection --------------------------------------------------------
+
+    def daemon_load(self) -> dict[int, int]:
+        """RPCs served per daemon — the load-balance evidence for hashing."""
+        return {d.address: sum(d.engine.calls_served.values()) for d in self.daemons}
+
+    def used_bytes(self) -> int:
+        return sum(d.storage.used_bytes() for d in self.daemons)
+
+    def metadata_records(self) -> int:
+        return sum(len(d.kv) for d in self.daemons)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def shutdown(self, wipe: bool = True) -> None:
+        """Stop all daemons; by default wipe node-local state.
+
+        Wiping mirrors the paper's deployment model: the SSD contents are
+        removed when the job (or campaign) ends.
+        """
+        if not self._running:
+            return
+        if self._threaded_transport is not None:
+            self._threaded_transport.shutdown()  # drain in-flight RPCs first
+        for daemon in self.daemons:
+            daemon.shutdown()
+            self.network.remove_engine(daemon.address)
+        if wipe:
+            for base in (self.config.kv_dir, self.config.data_dir):
+                if base is not None and os.path.isdir(base):
+                    shutil.rmtree(base, ignore_errors=True)
+        self._running = False
+
+    def __enter__(self) -> "GekkoFSCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,89 @@
+"""Deployment configuration for a GekkoFS instance.
+
+One :class:`FSConfig` describes a whole deployment: chunk size, mount
+prefix, which optional metadata fields daemons maintain (GekkoFS lets
+deployments disable fields they do not need, since every one costs a KV
+update), and the §IV-B size-update client cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.common.units import KiB, parse_size
+
+__all__ = ["FSConfig", "DEFAULT_CHUNK_SIZE"]
+
+#: The paper's internal chunk size (§IV): 512 KiB.
+DEFAULT_CHUNK_SIZE = 512 * KiB
+
+
+@dataclass(frozen=True)
+class FSConfig:
+    """Immutable deployment settings shared by clients and daemons.
+
+    :ivar chunk_size: data striping granularity in bytes.
+    :ivar mountpoint: virtual prefix intercepted by the client library;
+        paths outside it fall through to the node-local file system.
+    :ivar maintain_mtime: keep modification time in metadata.
+    :ivar maintain_atime: keep access time (off by default — per-read
+        KV writes are exactly the POSIX cost GekkoFS sheds).
+    :ivar maintain_ctime: keep change time.
+    :ivar maintain_blocks: keep an allocated-blocks count.
+    :ivar size_cache_enabled: buffer shared-file size updates on the
+        client (§IV-B extension) instead of one RPC per write.
+    :ivar size_cache_flush_every: flush the buffered size after this many
+        writes (and always on close/fsync/stat).
+    :ivar data_cache_enabled: client-side LRU chunk cache (§V future-work
+        study) — intra-chunk readahead + zero-RPC repeat reads; own
+        writes stay visible, remote writes may be served stale.
+    :ivar data_cache_bytes: chunk-cache capacity per client.
+    :ivar replication: copies of every metadata record and data chunk
+        (1 = the paper's no-fault-tolerance design).  With R > 1 the
+        deployment survives R-1 crash-stop daemon losses for reads; an
+        extension prototyping the group's follow-on reliability work.
+    :ivar passthrough_enabled: forward non-mountpoint paths to the real
+        OS like the interposition library would.
+    :ivar kv_dir: directory for daemon KV stores (``None`` = in-memory).
+    :ivar data_dir: directory for daemon chunk storage (``None`` = in-memory).
+    """
+
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    mountpoint: str = "/gkfs"
+    maintain_mtime: bool = True
+    maintain_atime: bool = False
+    maintain_ctime: bool = True
+    maintain_blocks: bool = True
+    size_cache_enabled: bool = False
+    size_cache_flush_every: int = 64
+    data_cache_enabled: bool = False
+    data_cache_bytes: int = 64 * 1024 * 1024
+    replication: int = 1
+    passthrough_enabled: bool = True
+    kv_dir: Optional[str] = None
+    data_dir: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "chunk_size", parse_size(self.chunk_size))
+        if self.chunk_size <= 0:
+            raise ValueError(f"chunk_size must be > 0, got {self.chunk_size}")
+        if not self.mountpoint.startswith("/") or self.mountpoint == "/":
+            raise ValueError(
+                f"mountpoint must be an absolute non-root path, got {self.mountpoint!r}"
+            )
+        if self.mountpoint.endswith("/"):
+            raise ValueError("mountpoint must not end with '/'")
+        if self.size_cache_flush_every < 1:
+            raise ValueError("size_cache_flush_every must be >= 1")
+        if self.replication < 1:
+            raise ValueError(f"replication must be >= 1, got {self.replication}")
+        if self.data_cache_enabled and self.data_cache_bytes < self.chunk_size:
+            raise ValueError(
+                f"data_cache_bytes ({self.data_cache_bytes}) must hold at least "
+                f"one chunk ({self.chunk_size})"
+            )
+
+    def with_(self, **changes) -> "FSConfig":
+        """Return a copy with ``changes`` applied (convenience for sweeps)."""
+        return replace(self, **changes)

@@ -1,0 +1,276 @@
+"""The GekkoFS daemon: KV metadata + chunk I/O + RPC handlers.
+
+One daemon runs per file-system node (§III-B).  It owns
+
+1. a key-value store for metadata (one record per path, flat namespace),
+2. an I/O persistence layer storing one file per chunk, and
+3. an RPC server exposing the handlers below.
+
+Daemons are fully independent: they never talk to each other, and each
+request touches exactly one daemon — that independence is what makes the
+paper's linear scaling possible.  Client-side logic (span splitting,
+fan-out, size-update routing) lives in :mod:`repro.core.client`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.common.errors import (
+    ExistsError,
+    IsADirectoryError_,
+    NotFoundError,
+)
+from repro.core.metadata import Metadata
+from repro.kvstore import LSMStore
+from repro.rpc import BulkHandle, RpcEngine
+from repro.storage import ChunkStorage, MemoryChunkStorage
+
+__all__ = ["GekkoDaemon", "HANDLER_NAMES"]
+
+#: Every RPC a daemon serves; clients assert this set at mount time, the
+#: way GekkoFS validates its hosts file.
+HANDLER_NAMES = (
+    "gkfs_create",
+    "gkfs_stat",
+    "gkfs_remove_metadata",
+    "gkfs_update_size",
+    "gkfs_truncate_metadata",
+    "gkfs_readdir",
+    "gkfs_readdir_plus",
+    "gkfs_write_chunk",
+    "gkfs_read_chunk",
+    "gkfs_remove_chunks",
+    "gkfs_truncate_chunks",
+    "gkfs_statfs",
+)
+
+
+class GekkoDaemon:
+    """One file-system node's server process.
+
+    :param address: this daemon's RPC address (its node id).
+    :param engine: the RPC engine to register handlers on.
+    :param chunk_size: deployment chunk size (must match all clients).
+    :param kv: metadata store; a fresh in-memory LSM store by default.
+    :param storage: chunk backend; in-memory by default.
+    """
+
+    def __init__(
+        self,
+        address: int,
+        engine: RpcEngine,
+        chunk_size: int,
+        kv: Optional[LSMStore] = None,
+        storage: Optional[ChunkStorage] = None,
+    ):
+        self.address = address
+        self.engine = engine
+        self.chunk_size = chunk_size
+        self.kv = kv if kv is not None else LSMStore()
+        self.storage = storage if storage is not None else MemoryChunkStorage(chunk_size)
+        if self.storage.chunk_size != chunk_size:
+            raise ValueError(
+                f"storage chunk size {self.storage.chunk_size} != deployment {chunk_size}"
+            )
+        # Serialises metadata check-and-set sequences (create, remove).
+        # Single-record operations this lock protects are exactly the ones
+        # the paper promises strong consistency for.
+        self._meta_lock = threading.Lock()
+        self._register_handlers()
+
+    def _register_handlers(self) -> None:
+        self.engine.register("gkfs_create", self.create)
+        self.engine.register("gkfs_stat", self.stat)
+        self.engine.register("gkfs_remove_metadata", self.remove_metadata)
+        self.engine.register("gkfs_update_size", self.update_size)
+        self.engine.register("gkfs_truncate_metadata", self.truncate_metadata)
+        self.engine.register("gkfs_readdir", self.readdir)
+        self.engine.register("gkfs_readdir_plus", self.readdir_plus)
+        self.engine.register("gkfs_write_chunk", self.write_chunk)
+        self.engine.register("gkfs_read_chunk", self.read_chunk)
+        self.engine.register("gkfs_remove_chunks", self.remove_chunks)
+        self.engine.register("gkfs_truncate_chunks", self.truncate_chunks)
+        self.engine.register("gkfs_statfs", self.statfs)
+
+    # -- metadata handlers ---------------------------------------------------
+
+    def create(self, path: str, metadata: bytes, exclusive: bool) -> bytes:
+        """Create the record for ``path`` if absent.
+
+        Returns the record now stored: the new one, or — when the path
+        already exists and ``exclusive`` is false (plain ``O_CREAT``) —
+        the pre-existing one.  ``exclusive`` mirrors ``O_EXCL``/``mkdir``.
+        """
+        key = path.encode("utf-8")
+        with self._meta_lock:
+            existing = self.kv.get(key)
+            if existing is not None:
+                if exclusive:
+                    raise ExistsError(path)
+                return existing
+            self.kv.put(key, metadata)
+            return metadata
+
+    def stat(self, path: str) -> bytes:
+        """Return the metadata record or raise ENOENT."""
+        value = self.kv.get(path.encode("utf-8"))
+        if value is None:
+            raise NotFoundError(path)
+        return value
+
+    def remove_metadata(self, path: str) -> bytes:
+        """Delete the record, returning it (client needs size/type)."""
+        key = path.encode("utf-8")
+        with self._meta_lock:
+            value = self.kv.get(key)
+            if value is None:
+                raise NotFoundError(path)
+            self.kv.delete(key)
+            return value
+
+    def update_size(self, path: str, new_size: int, append: bool = False) -> int:
+        """Grow the recorded size; the write path calls this after data lands.
+
+        Non-append writes publish ``max(current, new_size)`` — concurrent
+        writers to disjoint regions converge on the true size regardless of
+        RPC arrival order.  Append mode adds instead (reserved for
+        append-offset allocation).  Returns the resulting size.
+        """
+
+        def apply(current: Optional[bytes]) -> bytes:
+            if current is None:
+                raise NotFoundError(path)
+            md = Metadata.decode(current)
+            if md.is_dir:
+                raise IsADirectoryError_(path)
+            size = md.size + new_size if append else max(md.size, new_size)
+            return md.with_size(size, self.chunk_size).encode()
+
+        with self._meta_lock:
+            result = self.kv.merge(path.encode("utf-8"), apply)
+        return Metadata.decode(result).size
+
+    def truncate_metadata(self, path: str, new_size: int) -> int:
+        """Set the size exactly (ftruncate semantics); returns old size."""
+        old_size = 0
+
+        def apply(current: Optional[bytes]) -> bytes:
+            nonlocal old_size
+            if current is None:
+                raise NotFoundError(path)
+            md = Metadata.decode(current)
+            if md.is_dir:
+                raise IsADirectoryError_(path)
+            old_size = md.size
+            return md.with_size(new_size, self.chunk_size).encode()
+
+        with self._meta_lock:
+            self.kv.merge(path.encode("utf-8"), apply)
+        return old_size
+
+    def readdir(self, dir_path: str) -> list[tuple[str, bool]]:
+        """Direct children of ``dir_path`` stored *on this daemon*.
+
+        The namespace is flat, so this is a prefix scan for keys one level
+        below ``dir_path``.  Each daemon only knows its own records; the
+        client merges the per-daemon partial listings — which is exactly
+        why ``readdir`` is eventually consistent (§III-A).
+        """
+        prefix = dir_path if dir_path.endswith("/") else dir_path + "/"
+        prefix_bytes = prefix.encode("utf-8")
+        entries: list[tuple[str, bool]] = []
+        for key, value in self.kv.prefix_iter(prefix_bytes):
+            name = key[len(prefix_bytes) :].decode("utf-8")
+            if not name or "/" in name:
+                continue  # grandchildren live under deeper prefixes
+            entries.append((name, Metadata.decode(value).is_dir))
+        return entries
+
+    def readdir_plus(self, dir_path: str) -> list[tuple[str, bytes]]:
+        """Direct children with their full metadata records (``ls -l``).
+
+        The batched variant GekkoFS provides so a directory listing with
+        attributes costs one RPC per daemon instead of one stat per entry
+        — the ``readdir()``-called-by-``ls -l`` scenario of §III-A.  Same
+        eventual consistency as :meth:`readdir`.
+        """
+        prefix = dir_path if dir_path.endswith("/") else dir_path + "/"
+        prefix_bytes = prefix.encode("utf-8")
+        entries: list[tuple[str, bytes]] = []
+        for key, value in self.kv.prefix_iter(prefix_bytes):
+            name = key[len(prefix_bytes) :].decode("utf-8")
+            if not name or "/" in name:
+                continue
+            entries.append((name, value))
+        return entries
+
+    # -- data handlers ---------------------------------------------------------
+
+    def write_chunk(
+        self,
+        path: str,
+        chunk_id: int,
+        offset: int,
+        data: Optional[bytes] = None,
+        bulk: Optional[BulkHandle] = None,
+    ) -> int:
+        """Persist one chunk-local span; payload arrives inline or via bulk.
+
+        With a bulk handle the daemon pulls the span from the client's
+        exposed buffer (the RDMA path, §III-B); small writes may inline the
+        bytes in the RPC itself, as Mercury does below its bulk threshold.
+        """
+        if bulk is not None:
+            data = bulk.pull()
+        if data is None:
+            raise ValueError("write_chunk needs inline data or a bulk handle")
+        return self.storage.write_chunk(path, chunk_id, offset, data)
+
+    def read_chunk(
+        self,
+        path: str,
+        chunk_id: int,
+        offset: int,
+        length: int,
+        bulk: Optional[BulkHandle] = None,
+    ) -> object:
+        """Read one chunk-local span.
+
+        With a bulk handle the daemon pushes into the client's buffer and
+        returns the byte count; otherwise the bytes return inline.
+        Missing chunks read as empty (sparse files / racing readers).
+        """
+        data = self.storage.read_chunk(path, chunk_id, offset, length)
+        if bulk is None:
+            return data
+        bulk.push(data)
+        return len(data)
+
+    def remove_chunks(self, path: str) -> int:
+        """Drop every local chunk of ``path`` (remove broadcast)."""
+        return self.storage.remove_chunks(path)
+
+    def truncate_chunks(self, path: str, new_size: int) -> None:
+        """Drop/trim local chunks beyond ``new_size`` (truncate broadcast)."""
+        first_dead = (new_size + self.chunk_size - 1) // self.chunk_size
+        self.storage.remove_chunks_from(path, first_dead)
+        boundary = new_size % self.chunk_size
+        if boundary and new_size // self.chunk_size in self.storage.chunk_ids(path):
+            self.storage.truncate_chunk(path, new_size // self.chunk_size, boundary)
+
+    # -- introspection -----------------------------------------------------------
+
+    def statfs(self) -> dict:
+        """Local usage snapshot (aggregated by the client for statfs)."""
+        return {
+            "used_bytes": self.storage.used_bytes(),
+            "metadata_records": len(self.kv),
+            "storage": self.storage.stats.as_dict(),
+            "kv": self.kv.stats.as_dict(),
+        }
+
+    def shutdown(self) -> None:
+        """Flush and close the metadata store."""
+        self.kv.close()

@@ -1,0 +1,113 @@
+"""Pythonic file handle over the POSIX-style client calls.
+
+The raw :class:`~repro.core.client.GekkoFSClient` mirrors the syscall
+surface the interposition library intercepts; downstream Python users want
+``with fs.open_file(path, "wb") as f``.  This wrapper provides that without
+adding any semantics — every method is a thin delegation to the client.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro.common.errors import InvalidArgumentError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.client import GekkoFSClient
+
+__all__ = ["GekkoFile", "flags_for_mode"]
+
+_MODE_FLAGS = {
+    "r": os.O_RDONLY,
+    "r+": os.O_RDWR,
+    "w": os.O_WRONLY | os.O_CREAT | os.O_TRUNC,
+    "w+": os.O_RDWR | os.O_CREAT | os.O_TRUNC,
+    "a": os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+    "a+": os.O_RDWR | os.O_CREAT | os.O_APPEND,
+    "x": os.O_WRONLY | os.O_CREAT | os.O_EXCL,
+    "x+": os.O_RDWR | os.O_CREAT | os.O_EXCL,
+}
+
+
+def flags_for_mode(mode: str) -> int:
+    """Translate an ``open()``-style mode string into ``O_*`` flags.
+
+    Only binary modes make sense on GekkoFS (a ``b`` suffix is accepted
+    and ignored); text translation would be an application-layer concern.
+    """
+    key = mode.replace("b", "")
+    try:
+        return _MODE_FLAGS[key]
+    except KeyError:
+        raise InvalidArgumentError(f"unsupported mode {mode!r}") from None
+
+
+class GekkoFile:
+    """Context-manager file handle bound to one client descriptor."""
+
+    def __init__(self, client: "GekkoFSClient", path: str, mode: str = "rb"):
+        self._client = client
+        self.path = path
+        self.mode = mode
+        self.fd = client.open(path, flags_for_mode(mode))
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"I/O on closed file {self.path!r}")
+
+    def read(self, count: int = -1) -> bytes:
+        """Read ``count`` bytes (or to EOF if negative)."""
+        self._check_open()
+        if count < 0:
+            count = max(0, self._client.fstat(self.fd).size - self.tell())
+        return self._client.read(self.fd, count)
+
+    def write(self, data: bytes) -> int:
+        self._check_open()
+        return self._client.write(self.fd, data)
+
+    def pread(self, count: int, offset: int) -> bytes:
+        self._check_open()
+        return self._client.pread(self.fd, count, offset)
+
+    def pwrite(self, data: bytes, offset: int) -> int:
+        self._check_open()
+        return self._client.pwrite(self.fd, data, offset)
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        self._check_open()
+        return self._client.lseek(self.fd, offset, whence)
+
+    def tell(self) -> int:
+        self._check_open()
+        return self._client.lseek(self.fd, 0, os.SEEK_CUR)
+
+    def truncate(self, size: int) -> None:
+        self._check_open()
+        self._client.ftruncate(self.fd, size)
+
+    def flush(self) -> None:
+        """Publish buffered size updates (data is always synchronous)."""
+        self._check_open()
+        self._client.fsync(self.fd)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._client.close(self.fd)
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "GekkoFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"fd={self.fd}"
+        return f"<GekkoFile {self.path!r} mode={self.mode!r} {state}>"

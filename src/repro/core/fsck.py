@@ -1,0 +1,125 @@
+"""Consistency checker (fsck) for a GekkoFS deployment.
+
+GekkoFS trades crash-consistency machinery for speed: there is no
+journal spanning metadata and data, so a client dying mid-operation can
+leave the deployment in states a later job wants to detect before
+trusting a retained campaign:
+
+* **orphaned chunks** — data written before its metadata record was
+  created/after it was removed (the client fans out writes and publishes
+  the size separately, §III-B);
+* **size overrun** — a metadata size smaller than the highest stored
+  chunk (a size update that never arrived);
+* **phantom directories** — children whose parent path has no record
+  (legal in the flat namespace, reported as informational).
+
+``check()`` scans every daemon; ``repair()`` applies the safe fixes:
+dropping orphaned chunks and raising understated sizes (data wins over
+metadata — the bytes exist).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.metadata import Metadata
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.cluster import GekkoFSCluster
+
+__all__ = ["FsckReport", "check", "repair"]
+
+
+@dataclass
+class FsckReport:
+    """Findings of one consistency scan."""
+
+    files_checked: int = 0
+    chunks_checked: int = 0
+    #: (path, daemon, chunk_id) of chunks with no metadata record.
+    orphaned_chunks: list[tuple[str, int, int]] = field(default_factory=list)
+    #: (path, recorded_size, observed_size) where data extends past the record.
+    size_overruns: list[tuple[str, int, int]] = field(default_factory=list)
+    #: paths whose parent directory has no record (informational).
+    phantom_parents: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """No findings that affect data addressing (phantoms are legal)."""
+        return not self.orphaned_chunks and not self.size_overruns
+
+    def __str__(self) -> str:
+        status = "clean" if self.clean else "INCONSISTENT"
+        return (
+            f"fsck: {status} — {self.files_checked} files, "
+            f"{self.chunks_checked} chunks, "
+            f"{len(self.orphaned_chunks)} orphaned chunks, "
+            f"{len(self.size_overruns)} size overruns, "
+            f"{len(self.phantom_parents)} phantom parents"
+        )
+
+
+def _collect_metadata(cluster: "GekkoFSCluster") -> dict[str, Metadata]:
+    records: dict[str, Metadata] = {}
+    for daemon in cluster.daemons:
+        for key, value in daemon.kv.range_iter():
+            records[key.decode("utf-8")] = Metadata.decode(value)
+    return records
+
+
+def check(cluster: "GekkoFSCluster") -> FsckReport:
+    """Scan every daemon and cross-check data against metadata."""
+    report = FsckReport()
+    records = _collect_metadata(cluster)
+    report.files_checked = len(records)
+    chunk_size = cluster.config.chunk_size
+
+    # Observed data extent per path.
+    observed: dict[str, int] = {}
+    for daemon in cluster.daemons:
+        for path in daemon.storage.paths():
+            for chunk_id in daemon.storage.chunk_ids(path):
+                report.chunks_checked += 1
+                if path not in records:
+                    report.orphaned_chunks.append((path, daemon.address, chunk_id))
+                    continue
+                data = daemon.storage.read_chunk(path, chunk_id, 0, chunk_size)
+                extent = chunk_id * chunk_size + len(data)
+                observed[path] = max(observed.get(path, 0), extent)
+
+    for path, extent in sorted(observed.items()):
+        md = records[path]
+        if not md.is_dir and extent > md.size:
+            report.size_overruns.append((path, md.size, extent))
+
+    for path in sorted(records):
+        if path == "/":
+            continue
+        parent = path.rsplit("/", 1)[0] or "/"
+        if parent not in records:
+            report.phantom_parents.append(path)
+
+    return report
+
+
+def repair(cluster: "GekkoFSCluster", report: FsckReport | None = None) -> FsckReport:
+    """Apply the safe fixes and return a fresh post-repair scan.
+
+    * Orphaned chunks are removed (their path is not addressable).
+    * Understated sizes are raised to the observed extent (the data is
+      there; a lost size update must not hide it).
+
+    Phantom parents are left alone — they are valid flat-namespace state.
+    """
+    findings = report if report is not None else check(cluster)
+    for path, daemon_addr, chunk_id in findings.orphaned_chunks:
+        cluster.daemons[daemon_addr].storage.truncate_chunk(path, chunk_id, 0)
+    for daemon in cluster.daemons:  # drop emptied path containers
+        for path in list(daemon.storage.paths()):
+            if not list(daemon.storage.chunk_ids(path)):
+                daemon.storage.remove_chunks(path)
+    for path, _recorded, observed_extent in findings.size_overruns:
+        owner = cluster.distributor.locate_metadata(path)
+        cluster.daemons[owner].update_size(path, observed_extent)
+    return check(cluster)

@@ -1,0 +1,91 @@
+"""Metadata records: the KV objects that replace inodes and dirents.
+
+GekkoFS stores one value per path in the owner daemon's KV store — there
+are no inodes and no directory blocks; a "directory" is just a record whose
+``is_dir`` flag is set, and ``readdir`` is a prefix scan (§II, §III).  The
+record is a fixed-layout struct so size updates can be applied by the
+daemon with a cheap decode/patch/encode merge.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["Metadata", "new_file_metadata", "new_dir_metadata"]
+
+_LAYOUT = struct.Struct("<BQIddd Q")  # flags, size, mode, ctime, mtime, atime, blocks
+_FLAG_DIR = 1
+
+
+@dataclass(frozen=True)
+class Metadata:
+    """Per-path metadata value.
+
+    Fields a deployment disables (see
+    :class:`~repro.core.config.FSConfig`) are simply left at zero; the
+    layout stays fixed so records from differently-configured clients
+    remain compatible.
+    """
+
+    is_dir: bool
+    size: int = 0
+    mode: int = 0o644
+    ctime: float = 0.0
+    mtime: float = 0.0
+    atime: float = 0.0
+    blocks: int = 0
+
+    def __post_init__(self):
+        if self.size < 0:
+            raise ValueError(f"size must be >= 0, got {self.size}")
+        if self.blocks < 0:
+            raise ValueError(f"blocks must be >= 0, got {self.blocks}")
+
+    def encode(self) -> bytes:
+        """Fixed-width wire/KV form."""
+        flags = _FLAG_DIR if self.is_dir else 0
+        return _LAYOUT.pack(
+            flags, self.size, self.mode, self.ctime, self.mtime, self.atime, self.blocks
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Metadata":
+        flags, size, mode, ctime, mtime, atime, blocks = _LAYOUT.unpack(data)
+        return cls(
+            is_dir=bool(flags & _FLAG_DIR),
+            size=size,
+            mode=mode,
+            ctime=ctime,
+            mtime=mtime,
+            atime=atime,
+            blocks=blocks,
+        )
+
+    def with_size(self, size: int, chunk_size: int, mtime: Optional[float] = None) -> "Metadata":
+        """Copy with a new size (and derived block count / mtime)."""
+        blocks = (size + chunk_size - 1) // chunk_size if self.blocks or size else 0
+        return replace(
+            self,
+            size=size,
+            blocks=blocks,
+            mtime=self.mtime if mtime is None else mtime,
+        )
+
+
+def _now() -> float:
+    return time.time()
+
+
+def new_file_metadata(mode: int = 0o644, *, maintain_times: bool = True) -> Metadata:
+    """Fresh regular-file record (size 0)."""
+    now = _now() if maintain_times else 0.0
+    return Metadata(is_dir=False, size=0, mode=mode, ctime=now, mtime=now)
+
+
+def new_dir_metadata(mode: int = 0o755, *, maintain_times: bool = True) -> Metadata:
+    """Fresh directory record."""
+    now = _now() if maintain_times else 0.0
+    return Metadata(is_dir=True, size=0, mode=mode, ctime=now, mtime=now)

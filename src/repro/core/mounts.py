@@ -1,0 +1,174 @@
+"""Mount registry: several GekkoFS deployments behind one call surface.
+
+Real deployments commonly run more than one ephemeral namespace at once —
+e.g. a job-lifetime scratch under ``/gkfs_job`` next to a campaign store
+under ``/gkfs_campaign`` (§I's two temporal scenarios).  The interposition
+layer then has to route each intercepted path to the right client, or to
+the node-local FS.  :class:`MountRegistry` is that routing table.
+
+Each client allocates descriptors from its own private table, so two
+mounts would hand out colliding numbers; the registry therefore owns the
+application-visible descriptor space and maps each of its descriptors to
+``(client, inner fd)`` — exactly what a shared interposition layer must
+do above per-mount state.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.common.errors import BadFileDescriptorError, InvalidArgumentError
+from repro.core.client import GekkoFSClient
+from repro.core.filemap import FD_BASE
+
+__all__ = ["MountRegistry"]
+
+#: Path-routed calls that do not create descriptors.
+_PATH_METHODS = (
+    "stat",
+    "exists",
+    "unlink",
+    "truncate",
+    "mkdir",
+    "rmdir",
+    "listdir",
+    "listdir_plus",
+)
+
+#: Descriptor-routed calls (translated through the registry fd table).
+_FD_METHODS = (
+    "read",
+    "write",
+    "pread",
+    "pwrite",
+    "lseek",
+    "fsync",
+    "fstat",
+    "ftruncate",
+    "readdir",
+)
+
+
+class MountRegistry:
+    """Routes path- and fd-based calls across mounted clients."""
+
+    def __init__(self):
+        self._mounts: dict[str, GekkoFSClient] = {}
+        self._lock = threading.Lock()
+        self._fds: dict[int, tuple[GekkoFSClient, int]] = {}
+        self._next_fd = FD_BASE
+
+    # -- mount table ---------------------------------------------------------
+
+    def mount(self, client: GekkoFSClient) -> None:
+        """Register ``client`` at its configured mountpoint."""
+        point = client.config.mountpoint
+        with self._lock:
+            if point in self._mounts:
+                raise InvalidArgumentError(f"mountpoint {point!r} already in use")
+            self._mounts[point] = client
+
+    def unmount(self, mountpoint: str) -> GekkoFSClient:
+        """Remove a mount; its still-open registry descriptors go stale."""
+        with self._lock:
+            client = self._mounts.pop(mountpoint, None)
+            if client is None:
+                raise InvalidArgumentError(f"nothing mounted at {mountpoint!r}")
+            self._fds = {
+                fd: (owner, inner)
+                for fd, (owner, inner) in self._fds.items()
+                if owner is not client
+            }
+            return client
+
+    @property
+    def mountpoints(self) -> list[str]:
+        with self._lock:
+            return sorted(self._mounts)
+
+    # -- routing --------------------------------------------------------------
+
+    def client_for_path(self, path: str) -> Optional[GekkoFSClient]:
+        """Longest-prefix-matching client, or ``None`` (node-local FS)."""
+        with self._lock:
+            best: Optional[str] = None
+            for point in self._mounts:
+                if path == point or path.startswith(point + "/"):
+                    if best is None or len(point) > len(best):
+                        best = point
+            return self._mounts[best] if best is not None else None
+
+    def _route_path(self, path: str) -> GekkoFSClient:
+        client = self.client_for_path(path)
+        if client is None:
+            raise InvalidArgumentError(f"{path!r} is under no mounted GekkoFS")
+        return client
+
+    def _route_fd(self, fd: int) -> tuple[GekkoFSClient, int]:
+        with self._lock:
+            entry = self._fds.get(fd)
+        if entry is None:
+            raise BadFileDescriptorError(f"fd {fd} belongs to no mounted GekkoFS")
+        return entry
+
+    def _register_fd(self, client: GekkoFSClient, inner_fd: int) -> int:
+        with self._lock:
+            fd = self._next_fd
+            self._next_fd += 1
+            self._fds[fd] = (client, inner_fd)
+            return fd
+
+    # -- descriptor-creating calls ----------------------------------------------
+
+    def open(self, path: str, flags: int = 0, mode: int = 0o644) -> int:
+        client = self._route_path(path)
+        return self._register_fd(client, client.open(path, flags, mode))
+
+    def creat(self, path: str, mode: int = 0o644) -> int:
+        client = self._route_path(path)
+        return self._register_fd(client, client.creat(path, mode))
+
+    def opendir(self, path: str) -> int:
+        client = self._route_path(path)
+        return self._register_fd(client, client.opendir(path))
+
+    def close(self, fd: int) -> None:
+        client, inner = self._route_fd(fd)
+        client.close(inner)
+        with self._lock:
+            self._fds.pop(fd, None)
+
+    def open_fds(self) -> int:
+        """Currently open registry descriptors (diagnostics)."""
+        with self._lock:
+            return len(self._fds)
+
+
+def _install_routers() -> None:
+    """Generate the delegating call surface once, at import time."""
+
+    def make_path_method(name: str):
+        def method(self: MountRegistry, path: str, *args, **kwargs):
+            return getattr(self._route_path(path), name)(path, *args, **kwargs)
+
+        method.__name__ = name
+        method.__doc__ = f"Route ``{name}(path, ...)`` to the owning mount."
+        return method
+
+    def make_fd_method(name: str):
+        def method(self: MountRegistry, fd: int, *args, **kwargs):
+            client, inner = self._route_fd(fd)
+            return getattr(client, name)(inner, *args, **kwargs)
+
+        method.__name__ = name
+        method.__doc__ = f"Route ``{name}(fd, ...)`` to the owning mount."
+        return method
+
+    for name in _PATH_METHODS:
+        setattr(MountRegistry, name, make_path_method(name))
+    for name in _FD_METHODS:
+        setattr(MountRegistry, name, make_fd_method(name))
+
+
+_install_routers()

@@ -1,0 +1,243 @@
+"""errno-style syscall shim over the client — the preload library's ABI.
+
+The real GekkoFS interposition library cannot raise exceptions into a C
+application: every intercepted call returns ``-1`` (or ``NULL``) and sets
+``errno``.  :class:`PosixShim` reproduces that contract exactly, which is
+what a downstream user porting a C-style application model against this
+library needs: the same call names, the same return conventions, the same
+errno values.
+
+    shim = PosixShim(cluster.client(0))
+    fd = shim.open("/gkfs/f", os.O_CREAT | os.O_WRONLY)
+    if fd < 0:
+        print(os.strerror(shim.errno))
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.common.errors import GekkoError
+from repro.core.client import GekkoFSClient
+from repro.core.metadata import Metadata
+
+__all__ = ["PosixShim", "StatBuf"]
+
+
+@dataclass(frozen=True)
+class StatBuf:
+    """``struct stat`` equivalent filled by :meth:`PosixShim.stat`."""
+
+    st_mode: int
+    st_size: int
+    st_ctime: float
+    st_mtime: float
+    st_atime: float
+    st_blocks: int
+    st_nlink: int = 1
+
+    @classmethod
+    def from_metadata(cls, md: Metadata) -> "StatBuf":
+        kind = 0o040000 if md.is_dir else 0o100000  # S_IFDIR / S_IFREG
+        return cls(
+            st_mode=kind | md.mode,
+            st_size=md.size,
+            st_ctime=md.ctime,
+            st_mtime=md.mtime,
+            st_atime=md.atime,
+            st_blocks=md.blocks,
+        )
+
+    def is_dir(self) -> bool:
+        return bool(self.st_mode & 0o040000)
+
+
+class PosixShim:
+    """C-convention façade: returns ``-1``/``None`` and sets :attr:`errno`.
+
+    Exactly one GekkoFS error class maps to each errno (see
+    :mod:`repro.common.errors`); unexpected exceptions are bugs and
+    propagate — a shim must never silently swallow an assertion.
+    """
+
+    def __init__(self, client: GekkoFSClient):
+        self.client = client
+        self.errno = 0
+
+    def _fail(self, err: GekkoError) -> int:
+        self.errno = err.errno
+        return -1
+
+    def _ok(self, value=0):
+        self.errno = 0
+        return value
+
+    # -- file descriptors ----------------------------------------------------
+
+    def open(self, path: str, flags: int = os.O_RDONLY, mode: int = 0o644) -> int:
+        try:
+            return self._ok(self.client.open(path, flags, mode))
+        except GekkoError as err:
+            return self._fail(err)
+
+    def creat(self, path: str, mode: int = 0o644) -> int:
+        return self.open(path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, mode)
+
+    def close(self, fd: int) -> int:
+        try:
+            self.client.close(fd)
+            return self._ok()
+        except GekkoError as err:
+            return self._fail(err)
+
+    # -- I/O --------------------------------------------------------------------
+
+    def read(self, fd: int, count: int) -> Union[bytes, int]:
+        """Returns the bytes, or ``-1`` with errno set."""
+        try:
+            return self._ok(self.client.read(fd, count))
+        except GekkoError as err:
+            return self._fail(err)
+
+    def write(self, fd: int, data: bytes) -> int:
+        try:
+            return self._ok(self.client.write(fd, data))
+        except GekkoError as err:
+            return self._fail(err)
+
+    def pread(self, fd: int, count: int, offset: int) -> Union[bytes, int]:
+        try:
+            return self._ok(self.client.pread(fd, count, offset))
+        except GekkoError as err:
+            return self._fail(err)
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        try:
+            return self._ok(self.client.pwrite(fd, data, offset))
+        except GekkoError as err:
+            return self._fail(err)
+
+    def lseek(self, fd: int, offset: int, whence: int = os.SEEK_SET) -> int:
+        try:
+            return self._ok(self.client.lseek(fd, offset, whence))
+        except GekkoError as err:
+            return self._fail(err)
+
+    def fsync(self, fd: int) -> int:
+        try:
+            self.client.fsync(fd)
+            return self._ok()
+        except GekkoError as err:
+            return self._fail(err)
+
+    def ftruncate(self, fd: int, length: int) -> int:
+        try:
+            self.client.ftruncate(fd, length)
+            return self._ok()
+        except GekkoError as err:
+            return self._fail(err)
+
+    # -- metadata -------------------------------------------------------------------
+
+    def stat(self, path: str) -> Optional[StatBuf]:
+        """Returns a :class:`StatBuf`, or ``None`` with errno set."""
+        try:
+            md = self.client.stat(path)
+        except GekkoError as err:
+            self._fail(err)
+            return None
+        self.errno = 0
+        return StatBuf.from_metadata(md)
+
+    def fstat(self, fd: int) -> Optional[StatBuf]:
+        try:
+            md = self.client.fstat(fd)
+        except GekkoError as err:
+            self._fail(err)
+            return None
+        self.errno = 0
+        return StatBuf.from_metadata(md)
+
+    def access(self, path: str, _mode: int = os.F_OK) -> int:
+        """Existence probe; GekkoFS has no permissions, so any mode passes
+        when the path exists (§III-A)."""
+        return 0 if self.stat(path) is not None else -1
+
+    def unlink(self, path: str) -> int:
+        try:
+            self.client.unlink(path)
+            return self._ok()
+        except GekkoError as err:
+            return self._fail(err)
+
+    def truncate(self, path: str, length: int) -> int:
+        try:
+            self.client.truncate(path, length)
+            return self._ok()
+        except GekkoError as err:
+            return self._fail(err)
+
+    # -- directories --------------------------------------------------------------------
+
+    def mkdir(self, path: str, mode: int = 0o755) -> int:
+        try:
+            self.client.mkdir(path, mode)
+            return self._ok()
+        except GekkoError as err:
+            return self._fail(err)
+
+    def rmdir(self, path: str) -> int:
+        try:
+            self.client.rmdir(path)
+            return self._ok()
+        except GekkoError as err:
+            return self._fail(err)
+
+    def opendir(self, path: str) -> int:
+        try:
+            return self._ok(self.client.opendir(path))
+        except GekkoError as err:
+            return self._fail(err)
+
+    def readdir(self, fd: int) -> Optional[tuple[str, bool]]:
+        """Next entry or ``None`` at end-of-stream (errno 0) / on error
+        (errno set) — the ``readdir(3)`` convention."""
+        try:
+            entry = self.client.readdir(fd)
+        except GekkoError as err:
+            self._fail(err)
+            return None
+        self.errno = 0
+        return entry
+
+    # -- deliberately unsupported ------------------------------------------------------------
+
+    def rename(self, old: str, new: str) -> int:
+        try:
+            self.client.rename(old, new)
+            return self._ok()  # pragma: no cover - rename always raises
+        except GekkoError as err:
+            return self._fail(err)
+
+    def link(self, target: str, name: str) -> int:
+        try:
+            self.client.link(target, name)
+            return self._ok()  # pragma: no cover - link always raises
+        except GekkoError as err:
+            return self._fail(err)
+
+    def symlink(self, target: str, name: str) -> int:
+        try:
+            self.client.symlink(target, name)
+            return self._ok()  # pragma: no cover - symlink always raises
+        except GekkoError as err:
+            return self._fail(err)
+
+    def chmod(self, path: str, mode: int) -> int:
+        try:
+            self.client.chmod(path, mode)
+            return self._ok()  # pragma: no cover - chmod always raises
+        except GekkoError as err:
+            return self._fail(err)

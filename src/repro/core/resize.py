@@ -1,0 +1,117 @@
+"""Deployment resize: grow or shrink a running GekkoFS with migration.
+
+The paper deploys GekkoFS for a job *or a campaign* (§I); campaigns span
+jobs of different sizes, which makes elastic membership the natural
+extension (and the subject of the authors' follow-on malleability work).
+Resizing re-evaluates every placement under the new daemon count and
+moves only the records/chunks whose owner changed — with
+:class:`~repro.core.distributor.RendezvousDistributor` that is ~1/n of
+the data, with modulo hashing it is nearly everything (the ABL bench
+quantifies exactly this difference).
+
+Resize is a stop-the-world maintenance operation between application
+phases: clients constructed before a resize hold the old distributor and
+MUST be discarded (GekkoFS has no client invalidation protocol — the
+deployment is coordinated by the job script, §III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.distributor import Distributor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.cluster import GekkoFSCluster
+
+__all__ = ["MigrationReport", "migrate"]
+
+
+@dataclass
+class MigrationReport:
+    """What a resize actually moved."""
+
+    old_nodes: int
+    new_nodes: int
+    metadata_total: int = 0
+    metadata_moved: int = 0
+    chunks_total: int = 0
+    chunks_moved: int = 0
+    bytes_moved: int = 0
+
+    @property
+    def metadata_moved_fraction(self) -> float:
+        return self.metadata_moved / self.metadata_total if self.metadata_total else 0.0
+
+    @property
+    def chunks_moved_fraction(self) -> float:
+        return self.chunks_moved / self.chunks_total if self.chunks_total else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"resize {self.old_nodes}->{self.new_nodes} nodes: moved "
+            f"{self.metadata_moved}/{self.metadata_total} records, "
+            f"{self.chunks_moved}/{self.chunks_total} chunks "
+            f"({self.bytes_moved:,} bytes)"
+        )
+
+
+def migrate(
+    cluster: "GekkoFSCluster",
+    new_distributor: Distributor,
+    old_daemon_count: int,
+) -> MigrationReport:
+    """Move every record/chunk to its owner under ``new_distributor``.
+
+    Scans the daemons that existed before the resize (new, empty daemons
+    have nothing to contribute), computes each item's new owner, and
+    relocates only on change.  Chunk moves go through the storage
+    backends directly — this is the job-script maintenance path, not an
+    RPC-visible file-system operation.
+    """
+    report = MigrationReport(old_nodes=old_daemon_count, new_nodes=new_distributor.num_daemons)
+    daemons = cluster.daemons
+    scan_count = min(old_daemon_count, len(daemons))
+
+    # Two phases: snapshot every relocation first, apply afterwards.
+    # Applying during the scan would let items land on a daemon that is
+    # scanned later and be counted (and inspected) twice.
+
+    # -- metadata records ---------------------------------------------------
+    meta_moves: list[tuple[int, bytes, bytes, int]] = []
+    for source in daemons[:scan_count]:
+        for key, value in source.kv.range_iter():
+            report.metadata_total += 1
+            owner = new_distributor.locate_metadata(key.decode("utf-8"))
+            if owner != source.address:
+                meta_moves.append((source.address, key, value, owner))
+    for source_addr, key, value, owner in meta_moves:
+        daemons[owner].kv.put(key, value)
+        daemons[source_addr].kv.delete(key)
+        report.metadata_moved += 1
+
+    # -- data chunks -----------------------------------------------------------
+    chunk_size = cluster.config.chunk_size
+    chunk_moves: list[tuple[int, str, int, int]] = []
+    for source in daemons[:scan_count]:
+        for path in source.storage.paths():
+            for chunk_id in source.storage.chunk_ids(path):
+                report.chunks_total += 1
+                owner = new_distributor.locate_chunk(path, chunk_id)
+                if owner != source.address:
+                    chunk_moves.append((source.address, path, chunk_id, owner))
+    for source_addr, path, chunk_id, owner in chunk_moves:
+        source = daemons[source_addr]
+        data = source.storage.read_chunk(path, chunk_id, 0, chunk_size)
+        daemons[owner].storage.write_chunk(path, chunk_id, 0, data)
+        source.storage.truncate_chunk(path, chunk_id, 0)
+        report.chunks_moved += 1
+        report.bytes_moved += len(data)
+    # Drop now-empty per-path containers left behind on the sources.
+    for source in daemons[:scan_count]:
+        for path in list(source.storage.paths()):
+            if not list(source.storage.chunk_ids(path)):
+                source.storage.remove_chunks(path)
+
+    return report

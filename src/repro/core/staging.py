@@ -1,0 +1,111 @@
+"""Stage-in / stage-out between the PFS and the burst buffer.
+
+The burst-buffer workflow (§I, §II) brackets a job: inputs are *staged
+in* from the parallel file system to GekkoFS before compute starts, and
+results are *staged out* before the temporary file system is wiped.
+These helpers implement that bracket between a real directory tree (the
+PFS stand-in — any path the node-local OS can read) and a GekkoFS
+deployment, preserving the directory structure.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.cluster import GekkoFSCluster
+
+__all__ = ["StagingReport", "stage_in", "stage_out"]
+
+#: Transfer unit for staging copies.
+_BUFFER = 4 * 1024 * 1024
+
+
+@dataclass
+class StagingReport:
+    """What one staging pass moved."""
+
+    files: int = 0
+    directories: int = 0
+    bytes: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"staged {self.files} files, {self.directories} directories, "
+            f"{self.bytes:,} bytes"
+        )
+
+
+def stage_in(cluster: "GekkoFSCluster", source_dir: str, target_dir: str) -> StagingReport:
+    """Copy a real directory tree into GekkoFS (job prologue).
+
+    :param source_dir: existing directory on the node-local/parallel FS.
+    :param target_dir: GekkoFS path (under the mountpoint); created,
+        must not already exist — staging into a live namespace would
+        silently mix job generations.
+    """
+    if not os.path.isdir(source_dir):
+        raise FileNotFoundError(f"stage-in source {source_dir!r} is not a directory")
+    client = cluster.client(0)
+    if client.exists(target_dir):
+        raise FileExistsError(f"stage-in target {target_dir!r} already exists")
+    report = StagingReport()
+    client.mkdir(target_dir)
+    report.directories += 1
+    for dirpath, dirnames, filenames in os.walk(source_dir):
+        dirnames.sort()
+        rel = os.path.relpath(dirpath, source_dir)
+        gkfs_dir = target_dir if rel == "." else f"{target_dir}/{rel}"
+        if rel != ".":
+            client.mkdir(gkfs_dir)
+            report.directories += 1
+        for name in sorted(filenames):
+            source_path = os.path.join(dirpath, name)
+            fd = client.creat(f"{gkfs_dir}/{name}")
+            with open(source_path, "rb") as src:
+                offset = 0
+                while True:
+                    piece = src.read(_BUFFER)
+                    if not piece:
+                        break
+                    client.pwrite(fd, piece, offset)
+                    offset += len(piece)
+            client.close(fd)
+            report.files += 1
+            report.bytes += offset
+    return report
+
+
+def stage_out(cluster: "GekkoFSCluster", source_dir: str, target_dir: str) -> StagingReport:
+    """Copy a GekkoFS tree out to a real directory (job epilogue).
+
+    :param source_dir: GekkoFS directory.
+    :param target_dir: real directory; created (parents included) if
+        missing, merged into if present — epilogues append results.
+    """
+    client = cluster.client(0)
+    report = StagingReport()
+    os.makedirs(target_dir, exist_ok=True)
+    report.directories += 1
+    for dirpath, _dirnames, files in client.walk(source_dir):
+        rel = dirpath[len(source_dir) :].lstrip("/")
+        real_dir = os.path.join(target_dir, rel) if rel else target_dir
+        if rel:
+            os.makedirs(real_dir, exist_ok=True)
+            report.directories += 1
+        for name, md in files:
+            fd = client.open(f"{dirpath}/{name}")
+            with open(os.path.join(real_dir, name), "wb") as dst:
+                offset = 0
+                while offset < md.size:
+                    piece = client.pread(fd, min(_BUFFER, md.size - offset), offset)
+                    if not piece:
+                        break
+                    dst.write(piece)
+                    offset += len(piece)
+            client.close(fd)
+            report.files += 1
+            report.bytes += offset
+    return report

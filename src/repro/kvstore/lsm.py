@@ -1,0 +1,388 @@
+"""LSM-tree store: memtable + WAL + size-tiered SSTable compaction.
+
+This is the embedded store each GekkoFS daemon runs for its metadata
+(the paper uses RocksDB).  The public surface is the subset GekkoFS
+needs — ``put``/``get``/``delete``, atomic ``merge`` (read-modify-write,
+used for file-size updates), and ``prefix_iter`` (``readdir`` over the
+flat namespace) — implemented with the standard LSM machinery so the
+performance characteristics carry over: O(1)-ish writes, reads bounded
+by run count, sorted scans.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.kvstore.memtable import Memtable, TOMBSTONE
+from repro.kvstore.sstable import SSTable, SSTableWriter
+from repro.kvstore.wal import OP_BATCH, OP_DELETE, OP_PUT, WriteAheadLog
+
+__all__ = ["LSMStore", "LSMStats", "prefix_upper_bound"]
+
+
+def prefix_upper_bound(prefix: bytes) -> Optional[bytes]:
+    """Smallest key strictly greater than every key with ``prefix``.
+
+    ``None`` means unbounded (the prefix is empty or all ``0xff``).
+    """
+    for i in range(len(prefix) - 1, -1, -1):
+        if prefix[i] != 0xFF:
+            return prefix[:i] + bytes([prefix[i] + 1])
+    return None
+
+
+@dataclass
+class LSMStats:
+    """Operation counters, exposed for benchmarks and tests."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    merges: int = 0
+    scans: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    bloom_negative: int = 0  # point reads short-circuited by a bloom filter
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _Options:
+    memtable_flush_bytes: int = 4 * 1024 * 1024
+    compaction_fanout: int = 4  # size-tiered: compact when runs exceed this
+    sync_wal: bool = False
+    bloom_fp_rate: float = 0.01
+
+
+class LSMStore:
+    """Thread-safe LSM key-value store over ``bytes`` keys and values.
+
+    :param path: directory for WAL + SSTable files; ``None`` keeps
+        everything in memory (no durability, same semantics).
+    :param memtable_flush_bytes: flush threshold for the write buffer.
+    :param compaction_fanout: maximum number of runs before a full merge.
+    :param sync_wal: fsync the WAL on every write.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        memtable_flush_bytes: int = 4 * 1024 * 1024,
+        compaction_fanout: int = 4,
+        sync_wal: bool = False,
+    ):
+        if memtable_flush_bytes <= 0:
+            raise ValueError("memtable_flush_bytes must be > 0")
+        if compaction_fanout < 2:
+            raise ValueError("compaction_fanout must be >= 2")
+        self._opts = _Options(memtable_flush_bytes, compaction_fanout, sync_wal)
+        self._lock = threading.RLock()
+        self._memtable = Memtable()
+        self._tables: list[SSTable] = []  # oldest first, newest last
+        self._path = path
+        self._wal: Optional[WriteAheadLog] = None
+        self._next_table_seq = 0
+        self.stats = LSMStats()
+        self._closed = False
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+            self._recover()
+            self._wal = WriteAheadLog(self._wal_path(), sync=sync_wal)
+
+    # -- recovery / persistence helpers -----------------------------------
+
+    def _wal_path(self) -> str:
+        assert self._path is not None
+        return os.path.join(self._path, "wal.log")
+
+    def _table_path(self, seq: int) -> str:
+        assert self._path is not None
+        return os.path.join(self._path, f"sst_{seq:08d}.sst")
+
+    def _recover(self) -> None:
+        """Load existing SSTables in sequence order, then replay the WAL."""
+        assert self._path is not None
+        seqs = sorted(
+            int(name[4:12])
+            for name in os.listdir(self._path)
+            if name.startswith("sst_") and name.endswith(".sst")
+        )
+        for seq in seqs:
+            with open(self._table_path(seq), "rb") as fh:
+                self._tables.append(SSTable(fh.read()))
+        self._next_table_seq = (seqs[-1] + 1) if seqs else 0
+        for op, key, value in WriteAheadLog.replay(self._wal_path()):
+            if op == OP_PUT:
+                self._memtable.put(key, value)
+            elif op == OP_DELETE:
+                self._memtable.delete(key)
+
+    # -- core operations ---------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("LSMStore is closed")
+
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        if not isinstance(key, bytes):
+            raise TypeError(f"key must be bytes, got {type(key)}")
+        if not key:
+            raise ValueError("key must be non-empty")
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+        self._check_key(key)
+        if not isinstance(value, bytes):
+            raise TypeError(f"value must be bytes, got {type(value)}")
+        with self._lock:
+            self._check_open()
+            if self._wal is not None:
+                self._wal.append(OP_PUT, key, value)
+            self._memtable.put(key, value)
+            self.stats.puts += 1
+            self._maybe_flush()
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Point lookup; ``None`` if the key is absent or deleted."""
+        self._check_key(key)
+        with self._lock:
+            self._check_open()
+            self.stats.gets += 1
+            value = self._memtable.get(key)
+            if value is not None:
+                return None if value is TOMBSTONE else value  # type: ignore[return-value]
+            for table in reversed(self._tables):  # newest first
+                if key not in table.bloom:
+                    self.stats.bloom_negative += 1
+                    continue
+                value = table.get(key)
+                if value is not None:
+                    return None if value is TOMBSTONE else value  # type: ignore[return-value]
+            return None
+
+    def delete(self, key: bytes) -> None:
+        """Remove ``key`` (tombstone; a no-op delete is not an error)."""
+        self._check_key(key)
+        with self._lock:
+            self._check_open()
+            if self._wal is not None:
+                self._wal.append(OP_DELETE, key)
+            self._memtable.delete(key)
+            self.stats.deletes += 1
+            self._maybe_flush()
+
+    def merge(self, key: bytes, fn: Callable[[Optional[bytes]], bytes]) -> bytes:
+        """Atomic read-modify-write: store and return ``fn(current)``.
+
+        GekkoFS daemons use this for concurrent file-size updates — many
+        writers race to extend one file's size, and the update must be a
+        serialised max/accumulate on the metadata owner (§IV-B).
+        """
+        self._check_key(key)
+        with self._lock:
+            self._check_open()
+            self.stats.merges += 1
+            new = fn(self.get(key))
+            self.stats.gets -= 1  # internal read, not a client get
+            if not isinstance(new, bytes):
+                raise TypeError(f"merge fn must return bytes, got {type(new)}")
+            if self._wal is not None:
+                self._wal.append(OP_PUT, key, new)
+            self._memtable.put(key, new)
+            self._maybe_flush()
+            return new
+
+    def write_batch(self, ops: "list[tuple[str, bytes, Optional[bytes]]]") -> None:
+        """Apply ``[("put", k, v) | ("delete", k, None), ...]`` atomically.
+
+        Atomic on two axes: concurrent readers see all-or-nothing (the
+        store lock covers the whole application), and crash recovery
+        replays all-or-nothing (the batch is one CRC-covered WAL record
+        — RocksDB WriteBatch semantics).
+        """
+        encoded: list[tuple[int, bytes, bytes]] = []
+        for kind, key, value in ops:
+            self._check_key(key)
+            if kind == "put":
+                if not isinstance(value, bytes):
+                    raise TypeError(f"put value must be bytes, got {type(value)}")
+                encoded.append((OP_PUT, key, value))
+            elif kind == "delete":
+                encoded.append((OP_DELETE, key, b""))
+            else:
+                raise ValueError(f"batch op must be 'put' or 'delete', got {kind!r}")
+        with self._lock:
+            self._check_open()
+            if not encoded:
+                return
+            if self._wal is not None:
+                self._wal.append(OP_BATCH, b"\x00", WriteAheadLog.encode_batch(encoded))
+            for op, key, value in encoded:
+                if op == OP_PUT:
+                    self._memtable.put(key, value)
+                    self.stats.puts += 1
+                else:
+                    self._memtable.delete(key)
+                    self.stats.deletes += 1
+            self._maybe_flush()
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    # -- iteration ----------------------------------------------------------
+
+    def range_iter(
+        self, lo: Optional[bytes] = None, hi: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Live entries with ``lo <= key < hi``, ascending, newest version wins.
+
+        Takes a consistent snapshot of the run list under the lock, then
+        iterates outside it (mutations during iteration affect neither
+        correctness nor the snapshot).
+        """
+        with self._lock:
+            self._check_open()
+            self.stats.scans += 1
+            sources: list[Iterator[tuple[bytes, object]]] = [
+                table.range_iter(lo, hi) for table in self._tables
+            ]
+            sources.append(iter(list(self._memtable.range_items(lo, hi))))
+        # Recency = position in `sources`: higher index is newer.  The heap
+        # orders by (key, -recency) so the newest version of a key pops first.
+        heap: list[tuple[bytes, int, object, Iterator]] = []
+        for recency, src in enumerate(sources):
+            for key, value in src:
+                heap.append((key, -recency, value, src))
+                break
+        heapq.heapify(heap)
+        last_key: Optional[bytes] = None
+        while heap:
+            key, neg_recency, value, src = heapq.heappop(heap)
+            for nkey, nvalue in src:
+                heapq.heappush(heap, (nkey, neg_recency, nvalue, src))
+                break
+            if key == last_key:
+                continue  # older version shadowed by a newer run
+            last_key = key
+            if value is not TOMBSTONE:
+                yield key, value  # type: ignore[misc]
+
+    def prefix_iter(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """All live entries whose key starts with ``prefix`` (readdir scan)."""
+        return self.range_iter(prefix or None, prefix_upper_bound(prefix))
+
+    def __len__(self) -> int:
+        """Number of live keys (walks every run; meant for tests/tools)."""
+        return sum(1 for _ in self.range_iter())
+
+    # -- flush & compaction --------------------------------------------------
+
+    def _maybe_flush(self) -> None:
+        if self._memtable.approximate_bytes >= self._opts.memtable_flush_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        """Seal the memtable into a new SSTable run and reset the WAL."""
+        with self._lock:
+            self._check_open()
+            if len(self._memtable) == 0:
+                return
+            table = SSTable.from_memtable(self._memtable)
+            if self._path is not None:
+                with open(self._table_path(self._next_table_seq), "wb") as fh:
+                    fh.write(table.to_bytes())
+            self._next_table_seq += 1
+            self._tables.append(table)
+            self._memtable = Memtable()
+            if self._wal is not None:
+                self._wal.close()
+                WriteAheadLog.truncate(self._wal_path())
+                self._wal = WriteAheadLog(self._wal_path(), sync=self._opts.sync_wal)
+            self.stats.flushes += 1
+            if len(self._tables) > self._opts.compaction_fanout:
+                self.compact()
+
+    def compact(self) -> None:
+        """Merge all runs into one, dropping shadowed versions and tombstones.
+
+        A full (major) compaction may drop tombstones because no older run
+        can still hold a shadowed version afterwards.
+        """
+        with self._lock:
+            self._check_open()
+            if len(self._tables) <= 1:
+                return
+            old_tables = self._tables
+            old_seq_range = range(self._next_table_seq - len(old_tables), self._next_table_seq)
+            writer = SSTableWriter(expected_items=max(1, sum(t.count for t in old_tables)))
+            count = 0
+            for key, value in self._merge_runs(old_tables):
+                writer.add(key, value)
+                count += 1
+            merged = SSTable(writer.finish()) if count else None
+            if self._path is not None:
+                if merged is not None:
+                    with open(self._table_path(self._next_table_seq), "wb") as fh:
+                        fh.write(merged.to_bytes())
+                for seq in old_seq_range:
+                    p = self._table_path(seq)
+                    if os.path.exists(p):
+                        os.remove(p)
+            self._next_table_seq += 1
+            self._tables = [merged] if merged is not None else []
+            self.stats.compactions += 1
+
+    @staticmethod
+    def _merge_runs(tables: list[SSTable]) -> Iterator[tuple[bytes, bytes]]:
+        """K-way merge of runs, newest wins, tombstones dropped."""
+        heap: list[tuple[bytes, int, object, Iterator]] = []
+        for recency, table in enumerate(tables):
+            src = table.range_iter()
+            for key, value in src:
+                heap.append((key, -recency, value, src))
+                break
+        heapq.heapify(heap)
+        last_key: Optional[bytes] = None
+        while heap:
+            key, neg_recency, value, src = heapq.heappop(heap)
+            for nkey, nvalue in src:
+                heapq.heappush(heap, (nkey, neg_recency, nvalue, src))
+                break
+            if key == last_key:
+                continue
+            last_key = key
+            if value is not TOMBSTONE:
+                yield key, value  # type: ignore[misc]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def num_runs(self) -> int:
+        """Current number of SSTable runs (compaction health signal)."""
+        with self._lock:
+            return len(self._tables)
+
+    def close(self) -> None:
+        """Flush buffered state and release the WAL file handle."""
+        with self._lock:
+            if self._closed:
+                return
+            if len(self._memtable) > 0:
+                self.flush()
+            if self._wal is not None:
+                self._wal.close()
+            self._closed = True
+
+    def __enter__(self) -> "LSMStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,30 @@
+"""Performance models that regenerate the paper's evaluation.
+
+Two layers:
+
+* **Protocol-faithful DES runs** (small scale) — mdtest/IOR access
+  patterns executed on :mod:`repro.simulator` with the calibrated node
+  costs.  Slow but assumption-free; tests validate the analytic layer
+  against these.
+* **Analytic closed-network models** (paper scale) — bottleneck/fixed-
+  point throughput for 1–512 nodes × 16 processes, calibrated once
+  against the paper's anchor numbers (see
+  :mod:`repro.models.calibration`).  These drive the Figure 2/3 benches.
+
+The Lustre baseline is a capacity model of a single metadata server with
+directory-lock serialisation — the structural reason the paper's Lustre
+curves are flat while GekkoFS scales linearly.
+"""
+
+from repro.models.calibration import MogonIICalibration, MOGON_II
+from repro.models.gekkofs import GekkoFSModel
+from repro.models.lustre import LustreModel
+from repro.models.ssd_peak import aggregated_ssd_peak
+
+__all__ = [
+    "MogonIICalibration",
+    "MOGON_II",
+    "GekkoFSModel",
+    "LustreModel",
+    "aggregated_ssd_peak",
+]

@@ -1,0 +1,74 @@
+"""Closed-queueing-network helpers for the analytic throughput models.
+
+The evaluation workloads are closed systems: every mdtest/IOR process
+issues one operation, waits for completion, issues the next.  Throughput
+is therefore the classic interactive-system fixed point
+
+    X = N / (Z + R),    R = S + Wq(X)
+
+with N customers (processes), think/client time Z, service demand S, and
+queueing delay Wq at the bottleneck station.  Wq uses the Sakasegawa
+M/M/c approximation, which is accurate for the utilisation ranges these
+models operate in and keeps the solver a few fixed-point iterations.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["mmc_wait_time", "closed_network_throughput"]
+
+
+def mmc_wait_time(arrival_rate: float, service_time: float, servers: int) -> float:
+    """Sakasegawa approximation of the M/M/c mean queueing delay.
+
+    Returns ``inf`` when the station is saturated (ρ >= 1) — callers
+    treat that as "the bottleneck binds".
+    """
+    if arrival_rate < 0 or service_time <= 0 or servers <= 0:
+        raise ValueError("arrival_rate >= 0, service_time > 0, servers > 0 required")
+    rho = arrival_rate * service_time / servers
+    if rho >= 1.0:
+        return math.inf
+    if rho == 0.0:
+        return 0.0
+    return (rho ** (math.sqrt(2.0 * (servers + 1)) - 1.0)) / (servers * (1.0 - rho)) * service_time
+
+
+def closed_network_throughput(
+    customers: int,
+    think_time: float,
+    service_time: float,
+    servers: int,
+    *,
+    tolerance: float = 1e-9,
+    max_iterations: int = 200,
+) -> float:
+    """Fixed-point throughput of N customers against one M/M/c station.
+
+    ``think_time`` bundles every per-cycle delay that is not the queued
+    station (client overhead, network latencies, other unsaturated
+    stages).  The result respects both asymptotic bounds:
+    ``X <= N/(Z+S)`` and ``X <= servers/S``.
+    """
+    if customers <= 0:
+        raise ValueError(f"customers must be > 0, got {customers}")
+    if think_time < 0 or service_time <= 0:
+        raise ValueError("think_time >= 0 and service_time > 0 required")
+    capacity = servers / service_time
+    x = min(customers / (think_time + service_time), capacity)
+    # Schweitzer-style correction: an arriving customer never queues behind
+    # itself, so the station sees (N-1)/N of the closed-loop flow.  Makes
+    # the single-customer case exact and improves small-N accuracy.
+    self_exclusion = (customers - 1) / customers
+    for _ in range(max_iterations):
+        arrival = min(x * self_exclusion, capacity * (1.0 - 1e-12))
+        wait = mmc_wait_time(arrival, service_time, servers)
+        response = service_time + wait
+        x_new = min(customers / (think_time + response), capacity)
+        # Damping keeps the iteration stable near saturation.
+        x_next = 0.5 * (x + x_new)
+        if abs(x_next - x) <= tolerance * max(x, 1.0):
+            return x_next
+        x = x_next
+    return x

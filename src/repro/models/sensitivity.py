@@ -1,0 +1,77 @@
+"""Calibration sensitivity: which constants do the conclusions rest on?
+
+Our figures come from a calibrated model, so the honest question is how
+brittle each reproduced number is to the back-solved constants.  This
+module perturbs one calibration field at a time and reports the relative
+response of the headline anchors — an *elasticity* near 1 means the
+anchor tracks the constant one-for-one (it is calibration, not
+prediction); near 0 means the anchor is insensitive (it is structure).
+The SENS bench prints the full matrix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.common.units import KiB, MiB
+from repro.models.calibration import MOGON_II, MogonIICalibration
+from repro.models.gekkofs import GekkoFSModel
+
+__all__ = ["ANCHORS", "PERTURBABLE_FIELDS", "anchor_values", "sensitivity_matrix"]
+
+#: The headline observables of the reproduction.
+ANCHORS: dict[str, Callable[[GekkoFSModel], float]] = {
+    "create_512": lambda m: m.metadata_throughput(512, "create"),
+    "stat_512": lambda m: m.metadata_throughput(512, "stat"),
+    "write64m_512": lambda m: m.data_throughput(512, 64 * MiB, write=True),
+    "read64m_512": lambda m: m.data_throughput(512, 64 * MiB, write=False),
+    "iops8k_512": lambda m: m.data_iops(512, 8 * KiB, write=True),
+    "latency8k": lambda m: m.data_latency(512, 8 * KiB, write=True),
+}
+
+#: Scalar calibration fields meaningful to perturb.
+PERTURBABLE_FIELDS = (
+    "client_overhead",
+    "rpc_one_way_latency",
+    "kv_create_time",
+    "kv_stat_time",
+    "chunk_write_overhead",
+    "chunk_read_overhead",
+    "write_path_efficiency",
+    "read_path_efficiency",
+    "shared_file_update_ceiling",
+)
+
+
+def anchor_values(calibration: MogonIICalibration = MOGON_II) -> dict[str, float]:
+    """Evaluate every anchor under ``calibration``."""
+    model = GekkoFSModel(calibration)
+    return {name: fn(model) for name, fn in ANCHORS.items()}
+
+
+def sensitivity_matrix(
+    perturbation: float = 0.10,
+    fields: tuple[str, ...] = PERTURBABLE_FIELDS,
+    calibration: MogonIICalibration = MOGON_II,
+) -> dict[str, dict[str, float]]:
+    """Elasticity of each anchor w.r.t. each calibration field.
+
+    Central difference: ``e = (Δanchor/anchor) / (Δfield/field)`` with a
+    ±``perturbation`` relative step.  Returns ``{field: {anchor: e}}``.
+    """
+    if not 0.0 < perturbation < 1.0:
+        raise ValueError(f"perturbation must be in (0, 1), got {perturbation}")
+    base = anchor_values(calibration)
+    matrix: dict[str, dict[str, float]] = {}
+    for field in fields:
+        value = getattr(calibration, field)
+        if not isinstance(value, (int, float)) or value == 0:
+            raise ValueError(f"field {field!r} is not a perturbable scalar")
+        up = anchor_values(dataclasses.replace(calibration, **{field: value * (1 + perturbation)}))
+        down = anchor_values(dataclasses.replace(calibration, **{field: value * (1 - perturbation)}))
+        matrix[field] = {
+            name: (up[name] - down[name]) / base[name] / (2 * perturbation)
+            for name in ANCHORS
+        }
+    return matrix

@@ -1,0 +1,20 @@
+"""Aggregated SSD peak bandwidth — Figure 3's reference series.
+
+Each Figure 3 data point is compared against "the peak performance that
+all aggregated SSDs could deliver for a given node configuration"
+(the white rectangles).  That reference is simply ``nodes × per-device
+sequential peak`` of the calibrated DC S3700 model.
+"""
+
+from __future__ import annotations
+
+from repro.storage.ssd_model import DC_S3700, SSDModel
+
+__all__ = ["aggregated_ssd_peak"]
+
+
+def aggregated_ssd_peak(nodes: int, *, write: bool, ssd: SSDModel = DC_S3700) -> float:
+    """Bytes/s all node-local SSDs deliver together at sequential peak."""
+    if nodes <= 0:
+        raise ValueError(f"nodes must be > 0, got {nodes}")
+    return nodes * ssd.peak_bandwidth(write=write)

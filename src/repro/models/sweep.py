@@ -1,0 +1,110 @@
+"""Vectorised parameter sweeps over the analytic models.
+
+The scalar models are exact but Python-slow per point; parameter studies
+(sensitivity heatmaps, calibration fitting) evaluate tens of thousands of
+(nodes × transfer size) points.  This module re-expresses the data-path
+bottleneck arithmetic as NumPy broadcasting — one vectorised pass over
+the whole grid, bit-for-bit consistent with the scalar model (the test
+suite enforces equality) — following the vectorise-don't-loop idiom of
+numerical Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.calibration import MOGON_II, MogonIICalibration
+
+__all__ = ["data_throughput_grid", "metadata_throughput_curve"]
+
+
+def data_throughput_grid(
+    nodes: np.ndarray | list[int],
+    transfer_sizes: np.ndarray | list[int],
+    *,
+    write: bool,
+    random: bool = False,
+    calibration: MogonIICalibration = MOGON_II,
+) -> np.ndarray:
+    """Aggregate bytes/s over the outer grid ``nodes × transfer_sizes``.
+
+    Returns an array of shape ``(len(nodes), len(transfer_sizes))``.
+    Mirrors :meth:`repro.models.gekkofs.GekkoFSModel.data_throughput`
+    (file-per-process path) exactly, via broadcasting instead of loops.
+    """
+    cal = calibration
+    nodes_arr = np.asarray(nodes, dtype=np.float64).reshape(-1, 1)
+    sizes = np.asarray(transfer_sizes, dtype=np.float64).reshape(1, -1)
+    if np.any(nodes_arr <= 0):
+        raise ValueError("all node counts must be > 0")
+    if np.any(sizes <= 0):
+        raise ValueError("all transfer sizes must be > 0")
+
+    span = np.minimum(sizes, float(cal.chunk_size))
+    if write:
+        overhead = cal.chunk_write_overhead + (cal.random_write_extra if random else 0.0)
+        bandwidth = cal.ssd.seq_write_bw
+        efficiency = cal.write_path_efficiency
+    else:
+        overhead = cal.chunk_read_overhead + (cal.random_read_extra if random else 0.0)
+        bandwidth = cal.ssd.seq_read_bw
+        efficiency = cal.read_path_efficiency
+    span_service = (overhead + span / bandwidth) / efficiency
+
+    ssd_limit = span / span_service
+    nic_limit = cal.network.nic_bandwidth
+    cycle = (
+        cal.client_overhead
+        + 2.0 * cal.rpc_one_way_latency
+        + sizes / cal.network.nic_bandwidth
+        + span_service
+    )
+    client_limit = cal.procs_per_node * sizes / cycle
+    per_node = np.minimum(np.minimum(ssd_limit, nic_limit), client_limit)
+    return nodes_arr * per_node
+
+
+def metadata_throughput_curve(
+    nodes: np.ndarray | list[int],
+    op: str,
+    *,
+    calibration: MogonIICalibration = MOGON_II,
+) -> np.ndarray:
+    """Vectorised Figure 2 curve: ops/s at each node count.
+
+    The closed-network fixed point is iterated on the whole vector at
+    once (damped, like the scalar solver) — identical results, one pass.
+    """
+    from repro.models.gekkofs import METADATA_OPS
+
+    cal = calibration
+    rpcs = METADATA_OPS[op]
+    service = cal.kv_time(op)
+    nodes_arr = np.asarray(nodes, dtype=np.float64)
+    if np.any(nodes_arr <= 0):
+        raise ValueError("all node counts must be > 0")
+
+    customers = nodes_arr * cal.procs_per_node
+    servers = nodes_arr * cal.handler_pool
+    remote_fraction = 1.0 - 1.0 / nodes_arr
+    think = cal.client_overhead + 2.0 * cal.rpc_one_way_latency * remote_fraction
+
+    capacity = servers / service
+    x = np.minimum(customers / (think + service), capacity)
+    self_exclusion = (customers - 1.0) / customers
+    for _ in range(200):
+        arrival = np.minimum(x * self_exclusion, capacity * (1.0 - 1e-12))
+        # Sakasegawa, vectorised (mirrors models.queueing.mmc_wait_time).
+        rho = arrival * service / servers
+        wait = np.where(
+            rho > 0.0,
+            rho ** (np.sqrt(2.0 * (servers + 1.0)) - 1.0) / (servers * (1.0 - rho)) * service,
+            0.0,
+        )
+        x_new = np.minimum(customers / (think + service + wait), capacity)
+        x_next = 0.5 * (x + x_new)
+        if np.all(np.abs(x_next - x) <= 1e-9 * np.maximum(x, 1.0)):
+            x = x_next
+            break
+        x = x_next
+    return x / rpcs

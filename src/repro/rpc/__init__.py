@@ -1,0 +1,44 @@
+"""RPC framework — the Mercury/Margo/Argobots substitute.
+
+GekkoFS forwards every file-system operation as an RPC to the daemon that
+owns the target path/chunk, and moves data through a *bulk* channel
+(RDMA when the fabric supports it) separate from the RPC channel
+(§III-B).  This package reproduces that structure:
+
+* :mod:`repro.rpc.message` — request/response envelopes with wire-size
+  accounting,
+* :mod:`repro.rpc.bulk` — zero-copy bulk handles standing in for RDMA
+  exposure/transfer,
+* :mod:`repro.rpc.engine` — a Margo-like engine: named handler
+  registration, addressing, synchronous calls, per-handler statistics,
+* :mod:`repro.rpc.transport` — pluggable delivery: in-process loopback,
+  instrumentation/fault-injection wrappers.
+"""
+
+from repro.rpc.bulk import BulkHandle
+from repro.rpc.engine import RpcEngine, RpcNetwork
+from repro.rpc.message import RemoteError, RpcRequest, RpcResponse, estimate_wire_size
+from repro.rpc.threaded import ThreadedTransport
+from repro.rpc.transport import (
+    FaultInjectingTransport,
+    InstrumentedTransport,
+    LoopbackTransport,
+    RetryingTransport,
+    Transport,
+)
+
+__all__ = [
+    "BulkHandle",
+    "RpcEngine",
+    "RpcNetwork",
+    "RemoteError",
+    "RpcRequest",
+    "RpcResponse",
+    "estimate_wire_size",
+    "Transport",
+    "LoopbackTransport",
+    "InstrumentedTransport",
+    "FaultInjectingTransport",
+    "RetryingTransport",
+    "ThreadedTransport",
+]

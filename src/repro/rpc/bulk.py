@@ -1,0 +1,76 @@
+"""Bulk-data handles — the RDMA stand-in.
+
+Mercury separates the RPC channel (small, latency-bound) from bulk
+transfers (large, bandwidth-bound): the client *exposes* a memory region
+and the daemon *pulls from* or *pushes to* it with RDMA (§III-B).  In
+process, the equivalent of RDMA is a ``memoryview``: the daemon reads or
+writes the client's buffer directly, with zero copies, and the handle
+records how many bytes moved so transports and models can charge for them.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+__all__ = ["BulkHandle"]
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+class BulkHandle:
+    """A registered memory region that the remote side transfers against.
+
+    :param buffer: the exposed region.  Must be writable (``bytearray`` /
+        writable ``memoryview``) if the remote side will push into it.
+    :param readonly: declare the exposure read-only (daemon may only pull).
+    """
+
+    __slots__ = ("_view", "readonly", "bytes_pulled", "bytes_pushed")
+
+    def __init__(self, buffer: Buffer, readonly: bool = False):
+        view = memoryview(buffer)
+        if not readonly and view.readonly:
+            raise ValueError(
+                "buffer is read-only; pass readonly=True or use a bytearray"
+            )
+        self._view = view
+        self.readonly = readonly or view.readonly
+        self.bytes_pulled = 0
+        self.bytes_pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._view)
+
+    def pull(self, offset: int = 0, length: int = -1) -> bytes:
+        """Remote side reads ``length`` bytes at ``offset`` (RDMA get)."""
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if length < 0:
+            length = len(self._view) - offset
+        end = offset + length
+        if end > len(self._view):
+            raise ValueError(
+                f"pull of [{offset}, {end}) exceeds exposed region of {len(self._view)} bytes"
+            )
+        self.bytes_pulled += length
+        return bytes(self._view[offset:end])
+
+    def push(self, data: Buffer, offset: int = 0) -> int:
+        """Remote side writes ``data`` at ``offset`` (RDMA put)."""
+        if self.readonly:
+            raise ValueError("cannot push into a read-only bulk exposure")
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        end = offset + len(data)
+        if end > len(self._view):
+            raise ValueError(
+                f"push of [{offset}, {end}) exceeds exposed region of {len(self._view)} bytes"
+            )
+        self._view[offset:end] = bytes(data)
+        self.bytes_pushed += len(data)
+        return len(data)
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Total out-of-band traffic through this handle."""
+        return self.bytes_pulled + self.bytes_pushed

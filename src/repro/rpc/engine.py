@@ -1,0 +1,127 @@
+"""Margo-like RPC engine: handler registration, addressing, dispatch.
+
+Each GekkoFS daemon runs one engine (its RPC server); each client holds a
+handle to the network and issues calls by daemon address.  The
+:class:`RpcNetwork` is the address book — the stand-in for the hosts file
+GekkoFS distributes at start-up so every client can reach every daemon.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Any, Callable, Optional
+
+from repro.rpc.message import RpcRequest, RpcResponse
+from repro.rpc.transport import LoopbackTransport, Transport
+
+__all__ = ["RpcEngine", "RpcNetwork"]
+
+
+class RpcEngine:
+    """One daemon's RPC server: a named-handler table plus statistics.
+
+    Handlers are plain callables ``fn(*args) -> value``; GekkoFS errors
+    they raise are converted to wire errors by
+    :meth:`~repro.rpc.message.RpcResponse.from_call`.
+    """
+
+    def __init__(self, address: int):
+        self.address = address
+        self._handlers: dict[str, Callable[..., Any]] = {}
+        self._lock = threading.Lock()
+        self.calls_served: Counter[str] = Counter()
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def register(self, name: str, fn: Callable[..., Any]) -> None:
+        """Register handler ``name``; re-registration is a bug, so it raises."""
+        with self._lock:
+            if name in self._handlers:
+                raise ValueError(f"handler {name!r} already registered on {self.address}")
+            self._handlers[name] = fn
+
+    def deregister(self, name: str) -> None:
+        with self._lock:
+            self._handlers.pop(name, None)
+
+    @property
+    def handler_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._handlers)
+
+    def handle(self, request: RpcRequest) -> RpcResponse:
+        """Serve one request (called by the transport on the server side)."""
+        with self._lock:
+            fn = self._handlers.get(request.handler)
+        if fn is None:
+            raise LookupError(
+                f"daemon {self.address} has no handler {request.handler!r}"
+            )
+        self.calls_served[request.handler] += 1
+        self.bytes_in += request.wire_size
+        if request.bulk is not None:
+            before = request.bulk.bytes_transferred
+            response = RpcResponse.from_call(fn, request.args + (request.bulk,))
+            response.bulk_bytes = request.bulk.bytes_transferred - before
+        else:
+            response = RpcResponse.from_call(fn, request.args)
+        self.bytes_out += response.wire_size
+        return response
+
+
+class RpcNetwork:
+    """Address book plus client-side call interface.
+
+    One instance per GekkoFS deployment: daemons register their engines,
+    clients issue :meth:`call`.  The delivery path is pluggable through a
+    :class:`~repro.rpc.transport.Transport`, defaulting to synchronous
+    in-process loopback.
+    """
+
+    def __init__(self, transport: Optional[Transport] = None):
+        self._engines: dict[int, RpcEngine] = {}
+        self._lock = threading.Lock()
+        self.transport: Transport = transport or LoopbackTransport(self._engines)
+
+    @property
+    def engine_table(self) -> dict[int, "RpcEngine"]:
+        """The live address→engine mapping (shared by reference with
+        transports, so later-registered daemons are visible)."""
+        return self._engines
+
+    def create_engine(self, address: int) -> RpcEngine:
+        """Register a new daemon endpoint at ``address``."""
+        with self._lock:
+            if address in self._engines:
+                raise ValueError(f"address {address} already in use")
+            engine = RpcEngine(address)
+            self._engines[address] = engine
+            return engine
+
+    def remove_engine(self, address: int) -> None:
+        with self._lock:
+            self._engines.pop(address, None)
+
+    def lookup(self, address: int) -> RpcEngine:
+        with self._lock:
+            try:
+                return self._engines[address]
+            except KeyError:
+                raise LookupError(f"no daemon at address {address}") from None
+
+    @property
+    def addresses(self) -> list[int]:
+        with self._lock:
+            return sorted(self._engines)
+
+    def call(
+        self,
+        target: int,
+        handler: str,
+        *args: Any,
+        bulk: Any = None,
+    ) -> Any:
+        """Synchronous RPC: returns the handler value or raises its error."""
+        request = RpcRequest(target=target, handler=handler, args=args, bulk=bulk)
+        return self.transport.send(request).result()

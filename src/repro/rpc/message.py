@@ -1,0 +1,120 @@
+"""RPC request/response envelopes and wire-size accounting.
+
+In-process delivery never serialises payloads (that would be pure
+overhead), but the *accounted* wire size of each message is what the
+instrumented transport and the discrete-event network model charge for —
+so size estimation lives here, next to the envelope definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.common.errors import GekkoError, error_from_errno
+
+__all__ = ["RpcRequest", "RpcResponse", "RemoteError", "estimate_wire_size"]
+
+#: Fixed per-message envelope overhead (headers Mercury puts on the wire).
+ENVELOPE_BYTES = 64
+
+
+def estimate_wire_size(obj: Any) -> int:
+    """Approximate serialised size of an RPC argument/result in bytes.
+
+    Deliberately cheap and deterministic — this feeds performance models,
+    not a real encoder.
+    """
+    if obj is None:
+        return 1
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return 8
+    if isinstance(obj, float):
+        return 8
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj) + 4
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8")) + 4
+    if isinstance(obj, (list, tuple)):
+        return 4 + sum(estimate_wire_size(item) for item in obj)
+    if isinstance(obj, dict):
+        return 4 + sum(
+            estimate_wire_size(k) + estimate_wire_size(v) for k, v in obj.items()
+        )
+    # Dataclass-like objects used in responses.
+    if hasattr(obj, "__dict__"):
+        return estimate_wire_size(vars(obj))
+    return 16
+
+
+class RemoteError(Exception):
+    """A handler failure captured on the server side of an RPC.
+
+    Carries the original errno so :meth:`RpcResponse.result` can rehydrate
+    the concrete :class:`~repro.common.errors.GekkoError` on the client.
+    """
+
+    def __init__(self, errno_: int, message: str):
+        super().__init__(message)
+        self.errno = errno_
+
+
+@dataclass(frozen=True)
+class RpcRequest:
+    """One RPC as put on the (virtual) wire.
+
+    :ivar target: destination daemon address.
+    :ivar handler: registered handler name, e.g. ``"gkfs_create"``.
+    :ivar args: positional arguments for the handler.
+    :ivar bulk: optional bulk-data handle travelling out of band (RDMA).
+    """
+
+    target: int
+    handler: str
+    args: tuple = ()
+    bulk: Optional[Any] = None
+
+    @property
+    def wire_size(self) -> int:
+        """RPC-channel bytes; bulk payloads travel out of band."""
+        return ENVELOPE_BYTES + len(self.handler) + estimate_wire_size(self.args)
+
+
+@dataclass
+class RpcResponse:
+    """Handler outcome: exactly one of ``value`` / ``error`` is meaningful."""
+
+    value: Any = None
+    error: Optional[RemoteError] = None
+    bulk_bytes: int = 0  # out-of-band payload size moved by this RPC
+    _wire_size: int = field(default=0, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def wire_size(self) -> int:
+        if self._wire_size == 0:
+            self._wire_size = ENVELOPE_BYTES + estimate_wire_size(self.value)
+        return self._wire_size
+
+    def result(self) -> Any:
+        """Return the value or raise the rehydrated client-side error."""
+        if self.error is not None:
+            raise error_from_errno(self.error.errno, str(self.error))
+        return self.value
+
+    @classmethod
+    def from_call(cls, fn, args: tuple) -> "RpcResponse":
+        """Run ``fn(*args)``, capturing GekkoFS errors as remote errors.
+
+        Non-:class:`GekkoError` exceptions propagate: they are bugs in the
+        daemon, not file-system failures, and must not be masked.
+        """
+        try:
+            return cls(value=fn(*args))
+        except GekkoError as err:
+            return cls(error=RemoteError(err.errno, str(err)))

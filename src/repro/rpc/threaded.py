@@ -1,0 +1,129 @@
+"""Threaded transport: real handler pools, the Argobots execution model.
+
+Margo gives each GekkoFS daemon a pool of execution streams that serve
+RPCs concurrently (§III-B).  :class:`ThreadedTransport` reproduces that
+with real threads: each daemon address gets a bounded worker pool fed by
+a FIFO queue; callers block on a per-request completion event, exactly
+like a synchronous Mercury call.  Because daemon state (LSM store, chunk
+storage, metadata lock) is already thread-safe, the functional file
+system runs unchanged on top — this transport exists so tests and
+benchmarks can exercise *true* concurrency: racing appenders, contended
+merges, handler-pool saturation.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Mapping, TYPE_CHECKING
+
+from repro.rpc.message import RpcRequest, RpcResponse
+from repro.rpc.transport import Transport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rpc.engine import RpcEngine
+
+__all__ = ["ThreadedTransport"]
+
+
+class _Pending:
+    """One in-flight request: the caller parks on ``done``."""
+
+    __slots__ = ("request", "done", "response", "error")
+
+    def __init__(self, request: RpcRequest):
+        self.request = request
+        self.done = threading.Event()
+        self.response: RpcResponse | None = None
+        self.error: BaseException | None = None
+
+
+class _DaemonPool:
+    """Worker threads draining one daemon's request queue."""
+
+    def __init__(self, engine: "RpcEngine", workers: int):
+        self.engine = engine
+        self.queue: "queue.Queue[_Pending | None]" = queue.Queue()
+        self.threads = [
+            threading.Thread(target=self._worker, daemon=True, name=f"gkfs-d{engine.address}-h{i}")
+            for i in range(workers)
+        ]
+        for thread in self.threads:
+            thread.start()
+
+    def _worker(self) -> None:
+        while True:
+            pending = self.queue.get()
+            if pending is None:
+                return
+            try:
+                pending.response = self.engine.handle(pending.request)
+            except BaseException as exc:  # transported to the caller
+                pending.error = exc
+            finally:
+                pending.done.set()
+
+    def stop(self) -> None:
+        for _ in self.threads:
+            self.queue.put(None)
+        for thread in self.threads:
+            thread.join()
+
+
+class ThreadedTransport(Transport):
+    """Queue-per-daemon delivery with a bounded handler pool each.
+
+    :param engines: live engine table (shared by reference with the
+        :class:`~repro.rpc.engine.RpcNetwork`); pools are created lazily
+        the first time a daemon is addressed.
+    :param handlers_per_daemon: pool width — the Margo xstream count.
+    """
+
+    def __init__(self, engines: Mapping[int, "RpcEngine"], handlers_per_daemon: int = 4):
+        if handlers_per_daemon <= 0:
+            raise ValueError(f"handlers_per_daemon must be > 0, got {handlers_per_daemon}")
+        self._engines = engines
+        self._handlers = handlers_per_daemon
+        self._pools: dict[int, _DaemonPool] = {}
+        self._lock = threading.Lock()
+        self._stopped = False
+
+    def _pool_for(self, target: int) -> _DaemonPool:
+        with self._lock:
+            if self._stopped:
+                raise RuntimeError("transport already shut down")
+            pool = self._pools.get(target)
+            if pool is None:
+                try:
+                    engine = self._engines[target]
+                except KeyError:
+                    raise LookupError(f"no daemon at address {target}") from None
+                pool = _DaemonPool(engine, self._handlers)
+                self._pools[target] = pool
+            return pool
+
+    def send(self, request: RpcRequest) -> RpcResponse:
+        pending = _Pending(request)
+        self._pool_for(request.target).queue.put(pending)
+        pending.done.wait()
+        if pending.error is not None:
+            raise pending.error
+        assert pending.response is not None
+        return pending.response
+
+    def shutdown(self) -> None:
+        """Stop every worker; in-flight requests complete first."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            pool.stop()
+
+    def __enter__(self) -> "ThreadedTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

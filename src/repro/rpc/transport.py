@@ -1,0 +1,160 @@
+"""Pluggable RPC delivery paths.
+
+The functional file system runs on :class:`LoopbackTransport` (direct
+dispatch).  :class:`InstrumentedTransport` wraps any transport with
+traffic accounting — this is how experiments observe the network behaviour
+the paper discusses (e.g. the shared-file size-update hotspot) without a
+real fabric.  :class:`FaultInjectingTransport` lets tests exercise failure
+handling deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Callable, Mapping, Optional, TYPE_CHECKING
+
+from repro.rpc.message import RpcRequest, RpcResponse
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.rpc.engine import RpcEngine
+
+__all__ = [
+    "Transport",
+    "LoopbackTransport",
+    "InstrumentedTransport",
+    "FaultInjectingTransport",
+    "RetryingTransport",
+]
+
+
+class Transport:
+    """Delivery interface: move one request to its target, return the response."""
+
+    def send(self, request: RpcRequest) -> RpcResponse:
+        raise NotImplementedError
+
+
+class LoopbackTransport(Transport):
+    """Synchronous in-process dispatch against a live engine table.
+
+    The engine mapping is shared *by reference* with
+    :class:`~repro.rpc.engine.RpcNetwork`, so daemons added after transport
+    construction are visible immediately.
+    """
+
+    def __init__(self, engines: Mapping[int, "RpcEngine"]):
+        self._engines = engines
+
+    def send(self, request: RpcRequest) -> RpcResponse:
+        try:
+            engine = self._engines[request.target]
+        except KeyError:
+            raise LookupError(f"no daemon at address {request.target}") from None
+        return engine.handle(request)
+
+
+class InstrumentedTransport(Transport):
+    """Wrap another transport with per-target / per-handler accounting.
+
+    Counters answer the questions the paper's evaluation asks of the
+    network: how many RPCs hit each daemon (load balance of the hash
+    distribution), how many bytes moved on the RPC channel vs. out of band
+    (bulk/RDMA), and which handlers dominate.
+    """
+
+    def __init__(self, inner: Transport):
+        self.inner = inner
+        self._lock = threading.Lock()
+        self.rpcs_by_target: Counter[int] = Counter()
+        self.rpcs_by_handler: Counter[str] = Counter()
+        self.wire_bytes = 0
+        self.bulk_bytes = 0
+
+    def send(self, request: RpcRequest) -> RpcResponse:
+        response = self.inner.send(request)
+        with self._lock:
+            self.rpcs_by_target[request.target] += 1
+            self.rpcs_by_handler[request.handler] += 1
+            self.wire_bytes += request.wire_size + response.wire_size
+            self.bulk_bytes += response.bulk_bytes
+        return response
+
+    @property
+    def total_rpcs(self) -> int:
+        with self._lock:
+            return sum(self.rpcs_by_target.values())
+
+    def reset(self) -> None:
+        with self._lock:
+            self.rpcs_by_target.clear()
+            self.rpcs_by_handler.clear()
+            self.wire_bytes = 0
+            self.bulk_bytes = 0
+
+
+class RetryingTransport(Transport):
+    """Retry transient delivery failures a bounded number of times.
+
+    GekkoFS itself has no fault tolerance (§I) — a dead daemon stays
+    dead — but *transient* fabric hiccups (a dropped message, a busy
+    progress loop) are retried by Mercury below the file system.  This
+    wrapper models that: transport-level exceptions are retried up to
+    ``max_attempts``; handler results (including GekkoFS errors, which
+    are semantically final) are never retried.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        max_attempts: int = 3,
+        retry_on: tuple[type[BaseException], ...] = (ConnectionError, TimeoutError),
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.inner = inner
+        self.max_attempts = max_attempts
+        self.retry_on = retry_on
+        self.retries = 0
+
+    def send(self, request: RpcRequest) -> RpcResponse:
+        last: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            try:
+                return self.inner.send(request)
+            except self.retry_on as exc:
+                last = exc
+                if attempt + 1 < self.max_attempts:
+                    self.retries += 1
+        assert last is not None
+        raise last
+
+
+class FaultInjectingTransport(Transport):
+    """Deterministically fail selected requests (for failure-path tests).
+
+    :param inner: transport used for requests that are not failed.
+    :param should_fail: predicate on the request; matching requests raise
+        ``exc_factory(request)`` instead of being delivered.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        should_fail: Callable[[RpcRequest], bool],
+        exc_factory: Optional[Callable[[RpcRequest], Exception]] = None,
+    ):
+        self.inner = inner
+        self.should_fail = should_fail
+        self.exc_factory = exc_factory or (
+            lambda req: ConnectionError(
+                f"injected fault: {req.handler} -> daemon {req.target}"
+            )
+        )
+        self.faults_injected = 0
+
+    def send(self, request: RpcRequest) -> RpcResponse:
+        if self.should_fail(request):
+            self.faults_injected += 1
+            raise self.exc_factory(request)
+        return self.inner.send(request)

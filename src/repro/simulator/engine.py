@@ -1,0 +1,173 @@
+"""Minimal process-based discrete-event engine.
+
+The same model simpy popularised — processes are generators that yield
+events; the simulator advances virtual time through a heap of scheduled
+events — implemented from scratch (no third-party runtime) and trimmed to
+what the cluster models need: timeouts, resource queues, and all-of joins
+for RPC fan-out.  Determinism is guaranteed by a monotonically increasing
+tie-break sequence: equal-time events fire in schedule order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = ["Simulator", "Event", "Timeout", "Process", "AllOf"]
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Events move through: pending → triggered (value attached, sitting in
+    the heap) → processed (callbacks ran).
+    """
+
+    __slots__ = ("sim", "callbacks", "triggered", "processed", "value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self.triggered = False
+        self.processed = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger now (at the current virtual time)."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        self.sim._push(0.0, self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self.processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+
+class Timeout(Event):
+    """Event that triggers ``delay`` virtual seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        super().__init__(sim)
+        self.triggered = True
+        self.value = value
+        sim._push(delay, self)
+
+
+class Process(Event):
+    """A generator coroutine driven by the events it yields.
+
+    The process itself is an event that triggers with the generator's
+    return value, so processes can wait on other processes.
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any]):
+        super().__init__(sim)
+        self._gen = gen
+        # Bootstrap on a zero-delay event so the process starts inside run().
+        Timeout(sim, 0.0).callbacks.append(self._resume)
+
+    def _resume(self, trigger: Event) -> None:
+        try:
+            target = self._gen.send(trigger.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(f"process yielded {type(target)}, expected an Event")
+        if target.processed:
+            # Already happened: resume on the next tick with its value.
+            Timeout(self.sim, 0.0, target.value).callbacks.append(self._resume)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class AllOf(Event):
+    """Join event: triggers when every child event has fired.
+
+    The value is the list of child values in the order given — this is
+    the fan-out primitive (a client waiting for all chunk RPCs of one
+    request, §III-B).
+    """
+
+    __slots__ = ("_remaining", "_values")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._values: list[Any] = [None] * len(events)
+        self._remaining = len(events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for index, event in enumerate(events):
+            if event.processed:
+                self._collect(index, event)
+            else:
+                event.callbacks.append(lambda ev, i=index: self._collect(i, ev))
+
+    def _collect(self, index: int, event: Event) -> None:
+        self._values[index] = event.value
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._values)
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of triggered events."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0  # FIFO tie-break for equal timestamps
+
+    def _push(self, delay: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    # -- factory helpers ----------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any]) -> Process:
+        """Start a generator as a process."""
+        return Process(self, gen)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _, event = heapq.heappop(self._heap)
+        self.now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run to quiescence, or stop once virtual time reaches ``until``."""
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,87 @@
+"""One simulated compute node: NIC, SSD, and the daemon's handler pool.
+
+The paper pins daemon and application to separate sockets (§IV), so the
+daemon's CPU capacity is its Margo handler pool — modelled as a queued
+resource of ``handler_pool`` slots — while client-side overhead is pure
+per-operation latency (clients don't contend with each other for our
+purposes; mdtest/IOR processes are independent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.engine import Simulator
+from repro.simulator.network import NetworkModel
+from repro.simulator.resources import Resource
+from repro.storage.ssd_model import DC_S3700, SSDModel
+
+__all__ = ["NodeParams", "SimNode"]
+
+
+@dataclass(frozen=True)
+class NodeParams:
+    """Per-node calibration knobs (see :mod:`repro.models.calibration`).
+
+    :ivar handler_pool: concurrent Margo handlers per daemon.
+    :ivar kv_op_time: daemon CPU time for one KV metadata operation
+        (RocksDB put/get/delete on a small record).
+    :ivar client_overhead: client-side time per operation (interception,
+        file map, hashing, request marshalling).
+    :ivar ssd_queue_depth: concurrent I/Os the SSD absorbs before queuing.
+    :ivar ssd: the node-local SSD service-time model.
+    """
+
+    handler_pool: int = 16
+    kv_op_time: float = 10e-6
+    client_overhead: float = 5e-6
+    ssd_queue_depth: int = 8
+    ssd: SSDModel = DC_S3700
+
+
+class SimNode:
+    """Resources of one node inside a :class:`~repro.simulator.cluster.SimCluster`."""
+
+    def __init__(self, sim: Simulator, node_id: int, params: NodeParams, network: NetworkModel):
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.network = network
+        self.handlers = Resource(sim, params.handler_pool, name=f"node{node_id}.handlers")
+        self.ssd = Resource(sim, params.ssd_queue_depth, name=f"node{node_id}.ssd")
+        # NIC modelled as a serial pipe: one transfer serialises at a time,
+        # so concurrent flows queue and share bandwidth FIFO.
+        self.nic = Resource(sim, 1, name=f"node{node_id}.nic")
+        self.ops_served = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    # -- composable sub-processes ------------------------------------------
+
+    def send(self, nbytes: int):
+        """Occupy this node's NIC while ``nbytes`` serialise out."""
+        self.bytes_out += nbytes
+        yield from self.nic.use(self.network.wire_time(nbytes))
+
+    def receive(self, nbytes: int):
+        """Occupy this node's NIC while ``nbytes`` serialise in."""
+        self.bytes_in += nbytes
+        yield from self.nic.use(self.network.wire_time(nbytes))
+
+    def serve_metadata_op(self):
+        """A handler slot performing one KV operation."""
+        self.ops_served += 1
+        yield from self.handlers.use(self.params.kv_op_time)
+
+    def serve_data_op(self, nbytes: int, *, write: bool, random: bool = False):
+        """A handler slot driving one chunk-file access on the local SSD.
+
+        The handler is held for the KV-free data path cost (buffer set-up)
+        while the SSD performs the transfer; holding both mirrors the
+        synchronous daemon design (no caching, §III-A).
+        """
+        self.ops_served += 1
+        yield self.handlers.acquire()
+        service = self.params.ssd.service_time(nbytes, write=write, random=random)
+        yield from self.ssd.use(service)
+        self.handlers.release()

@@ -1,0 +1,23 @@
+"""Node-local storage: chunk-file backends and the SSD performance model.
+
+The GekkoFS daemon's I/O persistence layer stores *one file per chunk* on
+the node-local file system (§III-B).  Two functional backends implement
+that contract — an in-memory one for tests/simulation and a real
+directory-backed one — plus :class:`~repro.storage.ssd_model.SSDModel`,
+the calibrated performance model of the Intel DC S3700-class SATA SSDs
+that the MOGON II evaluation nodes provide.
+"""
+
+from repro.storage.backend import ChunkStorage, StorageStats
+from repro.storage.localfs import LocalFSChunkStorage
+from repro.storage.memory import MemoryChunkStorage
+from repro.storage.ssd_model import DC_S3700, SSDModel
+
+__all__ = [
+    "ChunkStorage",
+    "StorageStats",
+    "MemoryChunkStorage",
+    "LocalFSChunkStorage",
+    "SSDModel",
+    "DC_S3700",
+]

@@ -1,0 +1,91 @@
+"""Chunk-storage contract shared by all daemon I/O backends.
+
+A daemon never sees whole files — clients split every request into
+chunk-sized pieces and route each to its owner (§III-B).  The backend
+therefore speaks only ``(path, chunk_id)``: write/read a byte range inside
+one chunk, truncate a chunk, drop all chunks of a path.  Chunks are
+sparse-friendly: writing at a positive in-chunk offset zero-fills the gap,
+exactly like a hole in the chunk file on XFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["ChunkStorage", "StorageStats"]
+
+
+@dataclass
+class StorageStats:
+    """I/O counters every backend maintains."""
+
+    bytes_written: int = 0
+    bytes_read: int = 0
+    write_ops: int = 0
+    read_ops: int = 0
+    chunks_created: int = 0
+    chunks_removed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class ChunkStorage:
+    """Abstract one-file-per-chunk store.
+
+    Implementations must be safe for concurrent calls from multiple RPC
+    handler threads.
+    """
+
+    def __init__(self, chunk_size: int):
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be > 0, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self.stats = StorageStats()
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0:
+            raise ValueError(f"negative offset/length: {offset}/{length}")
+        if offset + length > self.chunk_size:
+            raise ValueError(
+                f"range [{offset}, {offset + length}) exceeds chunk size {self.chunk_size}"
+            )
+
+    # -- interface ---------------------------------------------------------
+
+    def write_chunk(self, path: str, chunk_id: int, offset: int, data: bytes) -> int:
+        """Write ``data`` at ``offset`` inside chunk ``chunk_id`` of ``path``.
+
+        Returns the number of bytes written (always ``len(data)``).
+        """
+        raise NotImplementedError
+
+    def read_chunk(self, path: str, chunk_id: int, offset: int, length: int) -> bytes:
+        """Read up to ``length`` bytes; short result at end of chunk data,
+        empty if the chunk does not exist."""
+        raise NotImplementedError
+
+    def truncate_chunk(self, path: str, chunk_id: int, length: int) -> None:
+        """Shrink chunk ``chunk_id`` to ``length`` bytes (drop it if 0)."""
+        raise NotImplementedError
+
+    def remove_chunks(self, path: str) -> int:
+        """Drop every chunk of ``path``; returns how many were removed."""
+        raise NotImplementedError
+
+    def remove_chunks_from(self, path: str, first_chunk: int) -> int:
+        """Drop chunks with id >= ``first_chunk`` (tail truncation)."""
+        raise NotImplementedError
+
+    def chunk_ids(self, path: str) -> Iterable[int]:
+        """Ids of locally stored chunks of ``path``, ascending."""
+        raise NotImplementedError
+
+    def paths(self) -> Iterable[str]:
+        """All paths with at least one local chunk (migration/resize scans)."""
+        raise NotImplementedError
+
+    def used_bytes(self) -> int:
+        """Total payload bytes currently stored."""
+        raise NotImplementedError

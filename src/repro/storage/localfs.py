@@ -1,0 +1,144 @@
+"""Directory-backed chunk storage: one real file per chunk.
+
+This is the faithful version of the daemon's persistence layer — chunk
+``c`` of ``/foo/bar`` becomes ``<root>/<encoded /foo/bar>/chunk_00000042``
+on the node-local file system, exactly the layout GekkoFS puts on its
+scratch SSD.  Path encoding is percent-style so any GekkoFS path maps to
+one flat directory name, reversibly and collision-free.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Iterable
+
+from repro.storage.backend import ChunkStorage
+
+__all__ = ["LocalFSChunkStorage", "encode_path", "decode_path"]
+
+
+def encode_path(path: str) -> str:
+    """Make a GekkoFS path safe as a single directory name ('%'-escaped)."""
+    return path.replace("%", "%25").replace("/", "%2F")
+
+
+def decode_path(name: str) -> str:
+    """Inverse of :func:`encode_path`."""
+    return name.replace("%2F", "/").replace("%25", "%")
+
+
+class LocalFSChunkStorage(ChunkStorage):
+    """Chunk files under ``root`` on the real (node-local) file system."""
+
+    def __init__(self, chunk_size: int, root: str):
+        super().__init__(chunk_size)
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._lock = threading.RLock()
+
+    def _dir_for(self, path: str) -> str:
+        return os.path.join(self.root, encode_path(path))
+
+    @staticmethod
+    def _chunk_name(chunk_id: int) -> str:
+        return f"chunk_{chunk_id:08d}"
+
+    def _chunk_file(self, path: str, chunk_id: int) -> str:
+        return os.path.join(self._dir_for(path), self._chunk_name(chunk_id))
+
+    def write_chunk(self, path: str, chunk_id: int, offset: int, data: bytes) -> int:
+        self._check_range(offset, len(data))
+        with self._lock:
+            os.makedirs(self._dir_for(path), exist_ok=True)
+            fname = self._chunk_file(path, chunk_id)
+            created = not os.path.exists(fname)
+            # r+b keeps existing bytes; wb would clobber partial chunks.
+            with open(fname, "r+b" if not created else "wb") as fh:
+                fh.seek(offset)  # seek past EOF creates a sparse hole
+                fh.write(data)
+            if created:
+                self.stats.chunks_created += 1
+            self.stats.bytes_written += len(data)
+            self.stats.write_ops += 1
+            return len(data)
+
+    def read_chunk(self, path: str, chunk_id: int, offset: int, length: int) -> bytes:
+        self._check_range(offset, length)
+        with self._lock:
+            self.stats.read_ops += 1
+            fname = self._chunk_file(path, chunk_id)
+            try:
+                with open(fname, "rb") as fh:
+                    fh.seek(offset)
+                    data = fh.read(length)
+            except FileNotFoundError:
+                return b""
+            self.stats.bytes_read += len(data)
+            return data
+
+    def truncate_chunk(self, path: str, chunk_id: int, length: int) -> None:
+        if length < 0 or length > self.chunk_size:
+            raise ValueError(f"bad truncate length {length}")
+        with self._lock:
+            fname = self._chunk_file(path, chunk_id)
+            if not os.path.exists(fname):
+                return
+            if length == 0:
+                os.remove(fname)
+                self.stats.chunks_removed += 1
+            else:
+                with open(fname, "r+b") as fh:
+                    fh.truncate(length)
+
+    def remove_chunks(self, path: str) -> int:
+        with self._lock:
+            directory = self._dir_for(path)
+            if not os.path.isdir(directory):
+                return 0
+            count = 0
+            for name in os.listdir(directory):
+                os.remove(os.path.join(directory, name))
+                count += 1
+            os.rmdir(directory)
+            self.stats.chunks_removed += count
+            return count
+
+    def remove_chunks_from(self, path: str, first_chunk: int) -> int:
+        with self._lock:
+            directory = self._dir_for(path)
+            if not os.path.isdir(directory):
+                return 0
+            count = 0
+            for name in os.listdir(directory):
+                if int(name.split("_", 1)[1]) >= first_chunk:
+                    os.remove(os.path.join(directory, name))
+                    count += 1
+            self.stats.chunks_removed += count
+            return count
+
+    def chunk_ids(self, path: str) -> Iterable[int]:
+        with self._lock:
+            directory = self._dir_for(path)
+            if not os.path.isdir(directory):
+                return []
+            return sorted(int(name.split("_", 1)[1]) for name in os.listdir(directory))
+
+    def paths(self) -> Iterable[str]:
+        with self._lock:
+            found = []
+            for name in os.listdir(self.root):
+                sub = os.path.join(self.root, name)
+                if os.path.isdir(sub) and os.listdir(sub):
+                    found.append(decode_path(name))
+            return sorted(found)
+
+    def used_bytes(self) -> int:
+        with self._lock:
+            total = 0
+            for dirname in os.listdir(self.root):
+                sub = os.path.join(self.root, dirname)
+                if os.path.isdir(sub):
+                    for name in os.listdir(sub):
+                        total += os.path.getsize(os.path.join(sub, name))
+            return total

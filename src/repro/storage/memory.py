@@ -1,0 +1,99 @@
+"""In-memory chunk storage backend.
+
+The default backend for tests, examples and simulation: identical
+semantics to the directory-backed store (sparse zero-fill, short reads,
+per-chunk truncation) with no I/O.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from repro.storage.backend import ChunkStorage
+
+__all__ = ["MemoryChunkStorage"]
+
+
+class MemoryChunkStorage(ChunkStorage):
+    """Chunks held as ``bytearray`` objects keyed by ``(path, chunk_id)``."""
+
+    def __init__(self, chunk_size: int):
+        super().__init__(chunk_size)
+        self._files: dict[str, dict[int, bytearray]] = {}
+        self._lock = threading.RLock()
+
+    def write_chunk(self, path: str, chunk_id: int, offset: int, data: bytes) -> int:
+        self._check_range(offset, len(data))
+        with self._lock:
+            chunks = self._files.setdefault(path, {})
+            chunk = chunks.get(chunk_id)
+            if chunk is None:
+                chunk = bytearray()
+                chunks[chunk_id] = chunk
+                self.stats.chunks_created += 1
+            if offset > len(chunk):
+                chunk.extend(b"\x00" * (offset - len(chunk)))  # sparse hole
+            end = offset + len(data)
+            if end > len(chunk):
+                chunk.extend(b"\x00" * (end - len(chunk)))
+            chunk[offset:end] = data
+            self.stats.bytes_written += len(data)
+            self.stats.write_ops += 1
+            return len(data)
+
+    def read_chunk(self, path: str, chunk_id: int, offset: int, length: int) -> bytes:
+        self._check_range(offset, length)
+        with self._lock:
+            chunk = self._files.get(path, {}).get(chunk_id)
+            self.stats.read_ops += 1
+            if chunk is None:
+                return b""
+            data = bytes(chunk[offset : offset + length])
+            self.stats.bytes_read += len(data)
+            return data
+
+    def truncate_chunk(self, path: str, chunk_id: int, length: int) -> None:
+        if length < 0 or length > self.chunk_size:
+            raise ValueError(f"bad truncate length {length}")
+        with self._lock:
+            chunks = self._files.get(path)
+            if chunks is None or chunk_id not in chunks:
+                return
+            if length == 0:
+                del chunks[chunk_id]
+                self.stats.chunks_removed += 1
+            else:
+                del chunks[chunk_id][length:]
+
+    def remove_chunks(self, path: str) -> int:
+        with self._lock:
+            chunks = self._files.pop(path, None)
+            count = len(chunks) if chunks else 0
+            self.stats.chunks_removed += count
+            return count
+
+    def remove_chunks_from(self, path: str, first_chunk: int) -> int:
+        with self._lock:
+            chunks = self._files.get(path)
+            if not chunks:
+                return 0
+            doomed = [cid for cid in chunks if cid >= first_chunk]
+            for cid in doomed:
+                del chunks[cid]
+            self.stats.chunks_removed += len(doomed)
+            return len(doomed)
+
+    def chunk_ids(self, path: str) -> Iterable[int]:
+        with self._lock:
+            return sorted(self._files.get(path, {}))
+
+    def paths(self) -> Iterable[str]:
+        with self._lock:
+            return sorted(path for path, chunks in self._files.items() if chunks)
+
+    def used_bytes(self) -> int:
+        with self._lock:
+            return sum(
+                len(chunk) for chunks in self._files.values() for chunk in chunks.values()
+            )

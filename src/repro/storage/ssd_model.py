@@ -1,0 +1,85 @@
+"""Performance model of a node-local SATA data-center SSD.
+
+MOGON II nodes provide one Intel SSD DC S3700 (XFS-formatted) as scratch
+space; Figure 3 compares GekkoFS throughput against the *aggregated SSD
+peak* of the participating nodes.  This model supplies (a) the per-device
+service time the discrete-event simulator charges for each chunk-file I/O
+and (b) the aggregated-peak reference series (the white rectangles in
+Figure 3).
+
+Calibration.  The paper reports GekkoFS at 512 nodes reaching ~141 GiB/s
+writes = ~80 % and ~204 GiB/s reads = ~70 % of aggregated SSD peak, which
+implies per-device sequential peaks of ≈352 MiB/s write and ≈582 MiB/s
+read as *measured through XFS on MOGON II* (the S3700 data sheet numbers,
+460/500 MB/s, are close; reads on these nodes benefit from deep queues).
+We calibrate to the implied values because the figure's reference series
+is the measured peak, not the data sheet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import KiB, MiB
+
+__all__ = ["SSDModel", "DC_S3700"]
+
+
+@dataclass(frozen=True)
+class SSDModel:
+    """Service-time model: latency + size/bandwidth with IOPS ceilings.
+
+    :ivar seq_write_bw: sequential write bandwidth (bytes/s).
+    :ivar seq_read_bw: sequential read bandwidth (bytes/s).
+    :ivar rand_write_iops: 4 KiB random write IOPS ceiling.
+    :ivar rand_read_iops: 4 KiB random read IOPS ceiling.
+    :ivar access_latency: fixed per-operation device latency (s).
+    """
+
+    seq_write_bw: float
+    seq_read_bw: float
+    rand_write_iops: float
+    rand_read_iops: float
+    access_latency: float = 50e-6
+
+    def __post_init__(self):
+        for name in ("seq_write_bw", "seq_read_bw", "rand_write_iops", "rand_read_iops"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+        if self.access_latency < 0:
+            raise ValueError("access_latency must be >= 0")
+
+    def _bandwidth(self, write: bool, random: bool, size: int) -> float:
+        """Effective bandwidth for one access of ``size`` bytes."""
+        seq_bw = self.seq_write_bw if write else self.seq_read_bw
+        if not random:
+            return seq_bw
+        # Random accesses are IOPS-bound until transfers are large enough
+        # that per-seek cost amortises; take the binding constraint.
+        iops = self.rand_write_iops if write else self.rand_read_iops
+        rand_bw = iops * max(size, 4 * KiB)
+        return min(seq_bw, rand_bw)
+
+    def service_time(self, size: int, *, write: bool, random: bool = False) -> float:
+        """Seconds one access of ``size`` bytes occupies the device."""
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        if size == 0:
+            return self.access_latency
+        return self.access_latency + size / self._bandwidth(write, random, size)
+
+    def peak_bandwidth(self, *, write: bool) -> float:
+        """Sequential device peak — the Figure 3 reference series uses this."""
+        return self.seq_write_bw if write else self.seq_read_bw
+
+
+#: Intel SSD DC S3700-class device as measured through XFS on MOGON II
+#: (peaks back-solved from the paper's 80 %/70 % efficiency statements;
+#: random IOPS from the S3700 data sheet).
+DC_S3700 = SSDModel(
+    seq_write_bw=352 * MiB,
+    seq_read_bw=582 * MiB,
+    rand_write_iops=36_000,
+    rand_read_iops=75_000,
+    access_latency=50e-6,
+)

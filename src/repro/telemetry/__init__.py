@@ -1,0 +1,14 @@
+"""Operation telemetry: latency histograms and a tracing client wrapper.
+
+The paper evaluates GekkoFS "without any form of caching ... to allow for
+an evaluation of its raw performance capabilities" (§III-A) and reports
+op rates, bandwidths, and latency bounds.  This package provides the
+instrumentation a user needs to produce the same observables from their
+own workloads: log-bucketed latency histograms with percentiles, and a
+transparent client wrapper that times every file-system call.
+"""
+
+from repro.telemetry.histogram import LatencyHistogram
+from repro.telemetry.tracer import OpTracer, TracedClient
+
+__all__ = ["LatencyHistogram", "OpTracer", "TracedClient"]

@@ -1,0 +1,111 @@
+"""Log-bucketed latency histogram (HDR-style, fixed memory).
+
+Buckets are powers of √2 starting at 1 µs: fine enough to resolve the
+paper's microsecond-scale operations, coarse enough that a histogram is a
+few hundred integers regardless of sample count.  Percentiles are
+interpolated within the winning bucket.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["LatencyHistogram"]
+
+_BASE = 1e-6  # 1 µs: bucket 0 is [0, 1 µs)
+_GROWTH = math.sqrt(2.0)
+_NUM_BUCKETS = 96  # covers up to ~1e-6 * sqrt(2)^95 ≈ 5e8 s
+
+
+class LatencyHistogram:
+    """Fixed-size histogram over non-negative durations in seconds."""
+
+    __slots__ = ("_buckets", "count", "total", "min", "max")
+
+    def __init__(self):
+        self._buckets = [0] * _NUM_BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    @staticmethod
+    def _bucket_index(seconds: float) -> int:
+        if seconds < _BASE:
+            return 0
+        index = 1 + int(math.log(seconds / _BASE, _GROWTH))
+        return min(index, _NUM_BUCKETS - 1)
+
+    @staticmethod
+    def _bucket_bounds(index: int) -> tuple[float, float]:
+        if index == 0:
+            return 0.0, _BASE
+        return _BASE * _GROWTH ** (index - 1), _BASE * _GROWTH**index
+
+    def record(self, seconds: float) -> None:
+        """Add one observation."""
+        if seconds < 0:
+            raise ValueError(f"duration must be >= 0, got {seconds}")
+        self._buckets[self._bucket_index(seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    def record_many(self, durations: Iterable[float]) -> None:
+        for value in durations:
+            self.record(value)
+
+    @property
+    def mean(self) -> float:
+        """Exact mean (tracked outside the buckets)."""
+        if self.count == 0:
+            raise ValueError("empty histogram has no mean")
+        return self.total / self.count
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (0 < p <= 100), interpolated.
+
+        The result is exact for min/max extremes and within one bucket's
+        resolution (√2) otherwise.
+        """
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"p must be in (0, 100], got {p}")
+        if self.count == 0:
+            raise ValueError("empty histogram has no percentiles")
+        target = p / 100.0 * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self._buckets):
+            if bucket_count == 0:
+                continue
+            seen += bucket_count
+            if seen >= target:
+                lo, hi = self._bucket_bounds(index)
+                within = (target - (seen - bucket_count)) / bucket_count
+                value = lo + within * (hi - lo)
+                return min(max(value, self.min), self.max)
+        return self.max  # pragma: no cover - rounding guard
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram into this one (per-rank aggregation)."""
+        for index in range(_NUM_BUCKETS):
+            self._buckets[index] += other._buckets[index]
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def summary(self) -> dict[str, float]:
+        """count/mean/p50/p95/p99/max in one dict (seconds)."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "min": self.min,
+            "max": self.max,
+        }

@@ -1,0 +1,100 @@
+"""Trace record format: one JSON object per line, replayable.
+
+Design constraints:
+
+* **Portable** — no Python objects; descriptors are stable small ids
+  assigned at open time, never raw runtime fds.
+* **Content-free** — payloads are recorded as *sizes* plus a seed so the
+  replayer regenerates deterministic bytes; real application data never
+  enters a trace (the same privacy property real storage traces need).
+* **Self-checking** — each record carries the observed result size, so a
+  replay can detect divergence without the original data.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, Optional
+
+__all__ = ["TraceRecord", "save_trace", "load_trace", "REPLAYABLE_OPS"]
+
+#: Operations the recorder captures and the replayer re-executes.
+REPLAYABLE_OPS = (
+    "open",
+    "close",
+    "read",
+    "write",
+    "pread",
+    "pwrite",
+    "lseek",
+    "stat",
+    "unlink",
+    "mkdir",
+    "rmdir",
+    "truncate",
+    "listdir",
+)
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One captured operation.
+
+    :ivar op: operation name (one of :data:`REPLAYABLE_OPS`).
+    :ivar path: target path for path-based ops.
+    :ivar fd: stable descriptor id for fd-based ops.
+    :ivar offset: file offset (pread/pwrite/lseek).
+    :ivar size: request size (reads/writes/truncate).
+    :ivar whence: lseek whence.
+    :ivar flags: open flags.
+    :ivar result_size: observed result (bytes read/written, entry count,
+        returned fd id, resulting offset) — the replay check value.
+    :ivar duration: wall-clock seconds the call took when recorded.
+    :ivar error: errno of a captured failure (failures replay too).
+    """
+
+    op: str
+    path: Optional[str] = None
+    fd: Optional[int] = None
+    offset: Optional[int] = None
+    size: Optional[int] = None
+    whence: Optional[int] = None
+    flags: Optional[int] = None
+    result_size: Optional[int] = None
+    duration: float = 0.0
+    error: Optional[int] = None
+
+    def __post_init__(self):
+        if self.op not in REPLAYABLE_OPS:
+            raise ValueError(f"unknown trace op {self.op!r}")
+
+    def to_json(self) -> str:
+        payload = {k: v for k, v in asdict(self).items() if v is not None}
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceRecord":
+        return cls(**json.loads(line))
+
+
+def save_trace(records: Iterable[TraceRecord], path: str) -> int:
+    """Write records as JSONL with a version header; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"gekko_trace_version": FORMAT_VERSION}) + "\n")
+        for record in records:
+            fh.write(record.to_json() + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str) -> list[TraceRecord]:
+    """Read a JSONL trace; validates the version header."""
+    with open(path, "r", encoding="utf-8") as fh:
+        header = json.loads(fh.readline())
+        if header.get("gekko_trace_version") != FORMAT_VERSION:
+            raise ValueError(f"unsupported trace version in {path!r}: {header}")
+        return [TraceRecord.from_json(line) for line in fh if line.strip()]

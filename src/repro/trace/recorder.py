@@ -1,0 +1,157 @@
+"""Recording client proxy: capture an application's I/O stream.
+
+Wraps a :class:`~repro.core.client.GekkoFSClient`; the application uses
+it unchanged while every replayable call is appended to the trace with a
+stable descriptor id, its observed result size, duration, and — for
+failures — the errno.  Payload bytes are reduced to sizes (traces are
+content-free by design).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from repro.common.errors import GekkoError
+from repro.trace.format import TraceRecord
+
+__all__ = ["RecordingClient"]
+
+
+class RecordingClient:
+    """Client proxy that appends :class:`TraceRecord` entries to ``trace``."""
+
+    def __init__(self, client):
+        self._client = client
+        self.trace: list[TraceRecord] = []
+        self._fd_ids: dict[int, int] = {}  # runtime fd -> stable trace id
+        self._next_id = 0
+
+    # -- capture plumbing ----------------------------------------------------
+
+    def _stable_id(self, runtime_fd: int) -> int:
+        trace_id = self._fd_ids.get(runtime_fd)
+        if trace_id is None:
+            trace_id = self._next_id
+            self._next_id += 1
+            self._fd_ids[runtime_fd] = trace_id
+        return trace_id
+
+    def _capture(self, op: str, call, *, result_size=None, **fields) -> object:
+        start = time.perf_counter()
+        try:
+            result = call()
+        except GekkoError as err:
+            self.trace.append(
+                TraceRecord(
+                    op=op,
+                    duration=time.perf_counter() - start,
+                    error=err.errno,
+                    **fields,
+                )
+            )
+            raise
+        self.trace.append(
+            TraceRecord(
+                op=op,
+                duration=time.perf_counter() - start,
+                result_size=result_size(result) if result_size else None,
+                **fields,
+            )
+        )
+        return result
+
+    # -- recorded surface ------------------------------------------------------
+
+    def open(self, path: str, flags: int = os.O_RDONLY, mode: int = 0o644) -> int:
+        fd = self._client.open(path, flags, mode)
+        self.trace.append(
+            TraceRecord(op="open", path=path, flags=flags, result_size=self._stable_id(fd))
+        )
+        return fd
+
+    def close(self, fd: int) -> None:
+        trace_id = self._fd_ids.pop(fd, None)
+        self._capture("close", lambda: self._client.close(fd), fd=trace_id)
+
+    def read(self, fd: int, count: int):
+        return self._capture(
+            "read",
+            lambda: self._client.read(fd, count),
+            fd=self._stable_id(fd),
+            size=count,
+            result_size=len,
+        )
+
+    def write(self, fd: int, data: bytes):
+        return self._capture(
+            "write",
+            lambda: self._client.write(fd, data),
+            fd=self._stable_id(fd),
+            size=len(data),
+            result_size=lambda n: n,
+        )
+
+    def pread(self, fd: int, count: int, offset: int):
+        return self._capture(
+            "pread",
+            lambda: self._client.pread(fd, count, offset),
+            fd=self._stable_id(fd),
+            size=count,
+            offset=offset,
+            result_size=len,
+        )
+
+    def pwrite(self, fd: int, data: bytes, offset: int):
+        return self._capture(
+            "pwrite",
+            lambda: self._client.pwrite(fd, data, offset),
+            fd=self._stable_id(fd),
+            size=len(data),
+            offset=offset,
+            result_size=lambda n: n,
+        )
+
+    def lseek(self, fd: int, offset: int, whence: int = os.SEEK_SET):
+        return self._capture(
+            "lseek",
+            lambda: self._client.lseek(fd, offset, whence),
+            fd=self._stable_id(fd),
+            offset=offset,
+            whence=whence,
+            result_size=lambda pos: pos,
+        )
+
+    def stat(self, path: str):
+        return self._capture(
+            "stat",
+            lambda: self._client.stat(path),
+            path=path,
+            result_size=lambda md: md.size,
+        )
+
+    def unlink(self, path: str) -> None:
+        self._capture("unlink", lambda: self._client.unlink(path), path=path)
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self._capture("mkdir", lambda: self._client.mkdir(path, mode), path=path)
+
+    def rmdir(self, path: str) -> None:
+        self._capture("rmdir", lambda: self._client.rmdir(path), path=path)
+
+    def truncate(self, path: str, size: int) -> None:
+        self._capture(
+            "truncate", lambda: self._client.truncate(path, size), path=path, size=size
+        )
+
+    def listdir(self, path: str):
+        return self._capture(
+            "listdir",
+            lambda: self._client.listdir(path),
+            path=path,
+            result_size=len,
+        )
+
+    # -- everything else passes through unrecorded ---------------------------------
+
+    def __getattr__(self, name: str):
+        return getattr(self._client, name)

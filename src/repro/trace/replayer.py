@@ -1,0 +1,116 @@
+"""Trace replay against an arbitrary deployment.
+
+Re-executes a recorded stream on a fresh client: stable descriptor ids
+are remapped to live fds at their ``open``, writes regenerate
+deterministic content of the recorded size, and every result size is
+compared with the recording.  Divergences are collected, not raised —
+a replay is a measurement, and "what diverged" is the result.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.common.errors import GekkoError
+from repro.trace.format import TraceRecord
+
+__all__ = ["ReplayReport", "replay"]
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one replay run."""
+
+    replayed: int = 0
+    #: (record index, description) pairs for every mismatch.
+    divergences: list[tuple[int, str]] = field(default_factory=list)
+    elapsed_recorded: float = 0.0
+
+    @property
+    def faithful(self) -> bool:
+        return not self.divergences
+
+    def __str__(self) -> str:
+        status = "faithful" if self.faithful else f"{len(self.divergences)} divergences"
+        return f"replay: {self.replayed} ops, {status}"
+
+
+def _payload(size: int) -> bytes:
+    """Deterministic stand-in content (traces are content-free)."""
+    return (b"\xa5" * size) if size else b""
+
+
+def replay(records: list[TraceRecord], client) -> ReplayReport:
+    """Run ``records`` on ``client`` and compare observable results."""
+    report = ReplayReport()
+    fds: dict[int, int] = {}  # trace id -> live fd
+
+    for index, record in enumerate(records):
+        report.elapsed_recorded += record.duration
+        expected_error = record.error
+        try:
+            observed = _execute(record, client, fds)
+        except GekkoError as err:
+            report.replayed += 1
+            if expected_error is None:
+                report.divergences.append(
+                    (index, f"{record.op} failed with errno {err.errno}, succeeded when recorded")
+                )
+            elif err.errno != expected_error:
+                report.divergences.append(
+                    (index, f"{record.op} errno {err.errno} != recorded {expected_error}")
+                )
+            continue
+        report.replayed += 1
+        if expected_error is not None:
+            report.divergences.append(
+                (index, f"{record.op} succeeded, failed with errno {expected_error} when recorded")
+            )
+        elif record.result_size is not None and observed is not None and observed != record.result_size:
+            report.divergences.append(
+                (index, f"{record.op} result {observed} != recorded {record.result_size}")
+            )
+    return report
+
+
+def _execute(record: TraceRecord, client, fds: dict[int, int]):
+    """Run one record; returns the comparable result size (or ``None``)."""
+    op = record.op
+    if op == "open":
+        fd = client.open(record.path, record.flags or os.O_RDONLY)
+        if record.result_size is not None:
+            fds[record.result_size] = fd
+        return None  # the id itself is not comparable across runs
+    if op == "close":
+        if record.fd is not None and record.fd in fds:
+            client.close(fds.pop(record.fd))
+        return None
+    live = fds.get(record.fd) if record.fd is not None else None
+    if op == "read":
+        return len(client.read(live, record.size))
+    if op == "write":
+        return client.write(live, _payload(record.size))
+    if op == "pread":
+        return len(client.pread(live, record.size, record.offset))
+    if op == "pwrite":
+        return client.pwrite(live, _payload(record.size), record.offset)
+    if op == "lseek":
+        return client.lseek(live, record.offset, record.whence or os.SEEK_SET)
+    if op == "stat":
+        return client.stat(record.path).size
+    if op == "unlink":
+        client.unlink(record.path)
+        return None
+    if op == "mkdir":
+        client.mkdir(record.path)
+        return None
+    if op == "rmdir":
+        client.rmdir(record.path)
+        return None
+    if op == "truncate":
+        client.truncate(record.path, record.size)
+        return None
+    if op == "listdir":
+        return len(client.listdir(record.path))
+    raise AssertionError(f"unhandled trace op {op!r}")  # pragma: no cover

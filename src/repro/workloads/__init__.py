@@ -1,0 +1,21 @@
+"""Workload clones of the paper's microbenchmarks.
+
+The evaluation (§IV) uses unmodified mdtest (metadata: create/stat/remove
+in a single directory) and IOR (data: sequential/random, file-per-process
+/ shared-file, transfer-size sweeps).  These modules reproduce those
+access patterns as drivers against the *functional* file system; the
+analytic/DES models in :mod:`repro.models` reuse the same specs for
+paper-scale projection.
+"""
+
+from repro.workloads.mdtest import MdtestResult, MdtestSpec, run_mdtest
+from repro.workloads.ior import IorResult, IorSpec, run_ior
+
+__all__ = [
+    "MdtestResult",
+    "MdtestSpec",
+    "run_mdtest",
+    "IorResult",
+    "IorSpec",
+    "run_ior",
+]

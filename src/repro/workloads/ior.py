@@ -1,0 +1,215 @@
+"""IOR clone: sequential/random bulk I/O, file-per-process or shared file.
+
+Reproduces the §IV-B workload: every process writes and reads
+``block_size`` bytes in ``transfer_size`` units, either into its own file
+(*file-per-process*) or into rank-interleaved segments of one shared file.
+Random mode permutes the transfer order with a deterministic seed, which
+is how IOR produces random offsets while still touching every block
+exactly once.  Data is verified on read (rank-tagged patterns), so the
+driver doubles as an end-to-end integrity check of the data path.
+"""
+
+from __future__ import annotations
+
+import os
+import random as _random
+import time
+from dataclasses import dataclass
+
+from repro.common.errors import InvalidArgumentError
+from repro.core.cluster import GekkoFSCluster
+
+__all__ = ["IorSpec", "IorResult", "run_ior"]
+
+
+@dataclass(frozen=True)
+class IorSpec:
+    """One IOR invocation.
+
+    :ivar procs: client processes (ranks).
+    :ivar transfer_size: bytes per I/O request.
+    :ivar block_size: bytes each rank moves in total (multiple of
+        ``transfer_size``).
+    :ivar file_per_process: own file per rank vs. one shared file.
+    :ivar sequential: in-order offsets vs. seeded random permutation.
+    :ivar segments: IOR ``-s``: the file repeats ``segments`` rounds of
+        one block per task; each rank's data is split across them.
+    :ivar reorder_tasks: IOR ``-C``: rank r reads the data rank ``r+1``
+        wrote, so reads never hit the writer's own node/cache.
+    :ivar verify: check read-back contents against the written pattern.
+    :ivar workdir: directory under the mountpoint.
+    :ivar seed: permutation seed for random mode.
+    """
+
+    procs: int = 4
+    transfer_size: int = 64 * 1024
+    block_size: int = 512 * 1024
+    file_per_process: bool = True
+    sequential: bool = True
+    segments: int = 1
+    reorder_tasks: bool = False
+    verify: bool = True
+    workdir: str = "/ior"
+    seed: int = 42
+
+    def __post_init__(self):
+        if self.procs <= 0:
+            raise ValueError(f"procs must be > 0, got {self.procs}")
+        if self.transfer_size <= 0:
+            raise ValueError(f"transfer_size must be > 0, got {self.transfer_size}")
+        if self.block_size % self.transfer_size != 0:
+            raise ValueError(
+                f"block_size {self.block_size} is not a multiple of "
+                f"transfer_size {self.transfer_size}"
+            )
+        if self.segments <= 0:
+            raise ValueError(f"segments must be > 0, got {self.segments}")
+        if self.transfers_per_proc % self.segments != 0:
+            raise ValueError(
+                f"{self.transfers_per_proc} transfers/proc not divisible "
+                f"into {self.segments} segments"
+            )
+
+    @property
+    def transfers_per_proc(self) -> int:
+        return self.block_size // self.transfer_size
+
+    @property
+    def transfers_per_segment(self) -> int:
+        return self.transfers_per_proc // self.segments
+
+    @property
+    def segment_bytes(self) -> int:
+        """One rank's bytes within one segment."""
+        return self.block_size // self.segments
+
+    @property
+    def total_bytes(self) -> int:
+        return self.procs * self.block_size
+
+    def file_for(self, mountpoint: str, rank: int) -> str:
+        base = f"{mountpoint}{self.workdir}"
+        if self.file_per_process:
+            return f"{base}/data.{rank:04d}"
+        return f"{base}/shared.dat"
+
+    def offset_for(self, rank: int, index: int) -> int:
+        """File offset of rank ``rank``'s ``index``-th transfer.
+
+        IOR layout: the file is ``segments`` rounds; within each round,
+        shared-file mode interleaves one ``segment_bytes`` slice per
+        rank, file-per-process mode concatenates a rank's own slices.
+        """
+        segment, within = divmod(index, self.transfers_per_segment)
+        in_segment = within * self.transfer_size
+        if self.file_per_process:
+            return segment * self.segment_bytes + in_segment
+        round_bytes = self.procs * self.segment_bytes
+        return segment * round_bytes + rank * self.segment_bytes + in_segment
+
+    def read_source_rank(self, rank: int) -> int:
+        """Whose data ``rank`` reads back (IOR ``-C`` shifts by one)."""
+        return (rank + 1) % self.procs if self.reorder_tasks else rank
+
+    def transfer_order(self, rank: int) -> list[int]:
+        """Indices in issue order (identity, or a seeded permutation)."""
+        order = list(range(self.transfers_per_proc))
+        if not self.sequential:
+            _random.Random(self.seed * 1_000_003 + rank).shuffle(order)
+        return order
+
+
+@dataclass
+class IorResult:
+    """Aggregate bandwidth (bytes/s) and wall time per phase."""
+
+    spec: IorSpec
+    write_bandwidth: float = 0.0
+    read_bandwidth: float = 0.0
+    write_elapsed: float = 0.0
+    read_elapsed: float = 0.0
+    verify_errors: int = 0
+
+    def __str__(self) -> str:
+        mib = 1024.0 * 1024.0
+        return (
+            f"ior({self.spec.total_bytes // 1024} KiB total) "
+            f"write {self.write_bandwidth / mib:,.1f} MiB/s, "
+            f"read {self.read_bandwidth / mib:,.1f} MiB/s"
+        )
+
+
+def _pattern(rank: int, offset: int, length: int) -> bytes:
+    """Rank/offset-tagged verification pattern (cheap, position-sensitive)."""
+    tag = (rank * 2_654_435_761 + offset) & 0xFFFFFFFF
+    unit = tag.to_bytes(4, "little")
+    reps = length // 4 + 1
+    return (unit * reps)[:length]
+
+
+def run_ior(
+    cluster: GekkoFSCluster,
+    spec: IorSpec,
+    phases: tuple[str, ...] = ("write", "read"),
+) -> IorResult:
+    """Execute the IOR pattern against a functional GekkoFS deployment.
+
+    Write phase, then read phase (with optional verification), timed
+    separately like IOR reports them.  ``phases`` mirrors IOR's ``-w``/
+    ``-r`` selection — a read-only run re-reads files laid down earlier.
+    """
+    unknown = set(phases) - {"write", "read"}
+    if unknown:
+        raise ValueError(f"unknown IOR phases: {sorted(unknown)}")
+    mp = cluster.config.mountpoint
+    clients = [cluster.client(rank % cluster.num_nodes) for rank in range(spec.procs)]
+    setup = cluster.client(0)
+    if not setup.exists(f"{mp}{spec.workdir}"):
+        setup.mkdir(f"{mp}{spec.workdir}")
+    result = IorResult(spec=spec)
+    flags = os.O_CREAT | os.O_RDWR
+    fds = [
+        client.open(spec.file_for(mp, rank), flags)
+        for rank, client in enumerate(clients)
+    ]
+    orders = [spec.transfer_order(rank) for rank in range(spec.procs)]
+
+    if "write" in phases:
+        start = time.perf_counter()
+        for step in range(spec.transfers_per_proc):
+            for rank, client in enumerate(clients):
+                offset = spec.offset_for(rank, orders[rank][step])
+                client.pwrite(fds[rank], _pattern(rank, offset, spec.transfer_size), offset)
+        result.write_elapsed = time.perf_counter() - start
+        result.write_bandwidth = spec.total_bytes / result.write_elapsed
+
+    if "read" in phases:
+        # With -C each rank reads the data its neighbour wrote; in
+        # file-per-process mode that means opening the neighbour's file.
+        read_fds = fds
+        if spec.reorder_tasks and spec.file_per_process:
+            read_fds = [
+                client.open(spec.file_for(mp, spec.read_source_rank(rank)), os.O_RDONLY)
+                for rank, client in enumerate(clients)
+            ]
+        start = time.perf_counter()
+        for step in range(spec.transfers_per_proc):
+            for rank, client in enumerate(clients):
+                source = spec.read_source_rank(rank)
+                offset = spec.offset_for(source, orders[source][step])
+                data = client.pread(read_fds[rank], spec.transfer_size, offset)
+                if spec.verify and data != _pattern(source, offset, spec.transfer_size):
+                    result.verify_errors += 1
+        result.read_elapsed = time.perf_counter() - start
+        result.read_bandwidth = spec.total_bytes / result.read_elapsed
+        if read_fds is not fds:
+            for rank, client in enumerate(clients):
+                client.close(read_fds[rank])
+
+    for rank, client in enumerate(clients):
+        client.close(fds[rank])
+    if spec.verify and result.verify_errors:
+        raise InvalidArgumentError(
+            f"IOR verification failed: {result.verify_errors} corrupt transfers"
+        )
+    return result

@@ -1,0 +1,175 @@
+"""Randomised mixed-operation stress driver with a shadow model.
+
+Beyond mdtest/IOR's regular patterns, data-driven applications hit the
+file system with interleaved creates, overwrites, partial reads, stats,
+truncates, and removes (§I).  This driver generates a seeded random
+stream of such operations, mirrors every mutation in an in-memory shadow
+model, and verifies each read byte-for-byte against it — one knob turns
+the whole stack (client, RPC, daemon, LSM, chunking) into its own oracle.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+
+from repro.core.cluster import GekkoFSCluster
+
+__all__ = ["StressSpec", "StressResult", "run_stress"]
+
+#: Operation mix (weights) modelled on a churn-heavy analytics pipeline.
+DEFAULT_MIX = {
+    "create": 4,
+    "write": 6,
+    "read": 6,
+    "stat": 3,
+    "truncate": 1,
+    "unlink": 2,
+    "listdir": 1,
+}
+
+
+@dataclass(frozen=True)
+class StressSpec:
+    """One stress run.
+
+    :ivar operations: total operations to issue.
+    :ivar seed: PRNG seed (identical seed -> identical run).
+    :ivar max_file_bytes: ceiling for any file's size.
+    :ivar max_io_bytes: ceiling for one write/read request.
+    :ivar clients: how many client instances to round-robin over.
+    :ivar mix: op-name -> weight; defaults to :data:`DEFAULT_MIX`.
+    """
+
+    operations: int = 500
+    seed: int = 1
+    max_file_bytes: int = 8192
+    max_io_bytes: int = 2048
+    clients: int = 4
+    workdir: str = "/stress"
+    mix: dict[str, int] = field(default_factory=lambda: dict(DEFAULT_MIX))
+
+    def __post_init__(self):
+        if self.operations <= 0:
+            raise ValueError(f"operations must be > 0, got {self.operations}")
+        if self.max_io_bytes <= 0 or self.max_file_bytes < self.max_io_bytes:
+            raise ValueError("need 0 < max_io_bytes <= max_file_bytes")
+        if self.clients <= 0:
+            raise ValueError(f"clients must be > 0, got {self.clients}")
+        unknown = set(self.mix) - set(DEFAULT_MIX)
+        if unknown:
+            raise ValueError(f"unknown ops in mix: {sorted(unknown)}")
+        if not any(self.mix.values()):
+            raise ValueError("mix has no positive weights")
+        if not self.workdir.startswith("/") or self.workdir.endswith("/"):
+            raise ValueError(f"workdir must be an absolute path, got {self.workdir!r}")
+
+
+@dataclass
+class StressResult:
+    """What a run executed and verified."""
+
+    executed: dict[str, int] = field(default_factory=dict)
+    bytes_verified: int = 0
+    live_files_at_end: int = 0
+
+    @property
+    def total_operations(self) -> int:
+        return sum(self.executed.values())
+
+
+def run_stress(cluster: GekkoFSCluster, spec: StressSpec) -> StressResult:
+    """Execute the stream; raises ``AssertionError`` on any divergence."""
+    rng = random.Random(spec.seed)
+    mp = cluster.config.mountpoint
+    clients = [cluster.client(i % cluster.num_nodes) for i in range(spec.clients)]
+    setup = clients[0]
+    if not setup.exists(f"{mp}{spec.workdir}"):
+        setup.mkdir(f"{mp}{spec.workdir}")
+    shadow: dict[str, bytearray] = {}  # rel name -> contents
+    result = StressResult(executed={op: 0 for op in DEFAULT_MIX})
+    ops, weights = zip(*((op, w) for op, w in spec.mix.items() if w > 0))
+    next_id = 0
+
+    def full_path(name: str) -> str:
+        return f"{mp}{spec.workdir}/{name}"
+
+    def pick_existing() -> str | None:
+        if not shadow:
+            return None
+        return rng.choice(sorted(shadow))
+
+    for _ in range(spec.operations):
+        op = rng.choices(ops, weights)[0]
+        client = rng.choice(clients)
+        result.executed[op] += 1
+
+        if op == "create":
+            name = f"f{next_id:06d}"
+            next_id += 1
+            fd = client.open(full_path(name), os.O_CREAT | os.O_WRONLY | os.O_EXCL)
+            client.close(fd)
+            shadow[name] = bytearray()
+            continue
+
+        name = pick_existing()
+        if name is None:
+            result.executed[op] -= 1  # nothing to act on; not executed
+            continue
+        model = shadow[name]
+
+        if op == "write":
+            offset = rng.randrange(0, spec.max_file_bytes - spec.max_io_bytes + 1)
+            length = rng.randrange(1, spec.max_io_bytes + 1)
+            payload = rng.randbytes(length)
+            fd = client.open(full_path(name), os.O_WRONLY)
+            client.pwrite(fd, payload, offset)
+            client.close(fd)
+            end = offset + length
+            if end > len(model):
+                model.extend(b"\x00" * (end - len(model)))
+            model[offset:end] = payload
+        elif op == "read":
+            offset = rng.randrange(0, spec.max_file_bytes)
+            length = rng.randrange(1, spec.max_io_bytes + 1)
+            fd = client.open(full_path(name), os.O_RDONLY)
+            data = client.pread(fd, length, offset)
+            client.close(fd)
+            expected = bytes(model[offset : offset + length])
+            assert data == expected, (
+                f"read divergence on {name} at [{offset}, {offset + length})"
+            )
+            result.bytes_verified += len(data)
+        elif op == "stat":
+            md = client.stat(full_path(name))
+            assert md.size == len(model), (
+                f"size divergence on {name}: fs={md.size} model={len(model)}"
+            )
+        elif op == "truncate":
+            new_size = rng.randrange(0, spec.max_file_bytes + 1)
+            client.truncate(full_path(name), new_size)
+            if new_size <= len(model):
+                del model[new_size:]
+            else:
+                model.extend(b"\x00" * (new_size - len(model)))
+        elif op == "unlink":
+            client.unlink(full_path(name))
+            del shadow[name]
+        elif op == "listdir":
+            listed = {entry for entry, _ in client.listdir(f"{mp}{spec.workdir}")}
+            assert listed == set(shadow), (
+                f"listing divergence: extra={listed - set(shadow)} "
+                f"missing={set(shadow) - listed}"
+            )
+
+    # Final full verification of every surviving file.
+    verifier = clients[0]
+    for name, model in sorted(shadow.items()):
+        fd = verifier.open(full_path(name), os.O_RDONLY)
+        data = verifier.pread(fd, len(model) + 1, 0)
+        verifier.close(fd)
+        assert data == bytes(model), f"final divergence on {name}"
+        result.bytes_verified += len(data)
+    result.live_files_at_end = len(shadow)
+    return result

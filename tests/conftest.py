@@ -1,0 +1,45 @@
+"""Shared fixtures: functional clusters in memory and on disk."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FSConfig, GekkoFSCluster
+
+
+@pytest.fixture
+def cluster():
+    """Four-node in-memory deployment with default (paper) configuration."""
+    with GekkoFSCluster(num_nodes=4) as fs:
+        yield fs
+
+
+@pytest.fixture
+def client(cluster):
+    return cluster.client(0)
+
+
+@pytest.fixture
+def instrumented_cluster():
+    """Deployment whose transport records RPC traffic."""
+    with GekkoFSCluster(num_nodes=4, instrument=True) as fs:
+        yield fs
+
+
+@pytest.fixture
+def small_chunk_cluster():
+    """Tiny 64-byte chunks so multi-chunk paths trigger with small data."""
+    with GekkoFSCluster(num_nodes=3, config=FSConfig(chunk_size=64)) as fs:
+        yield fs
+
+
+@pytest.fixture
+def disk_cluster(tmp_path):
+    """Deployment persisting KV stores and chunk files to real directories."""
+    config = FSConfig(
+        chunk_size=4096,
+        kv_dir=str(tmp_path / "kv"),
+        data_dir=str(tmp_path / "data"),
+    )
+    with GekkoFSCluster(num_nodes=2, config=config) as fs:
+        yield fs

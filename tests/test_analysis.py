@@ -1,0 +1,116 @@
+"""Statistics, sweep series, and report rendering."""
+
+import pytest
+
+from repro.analysis.report import render_table, series_table
+from repro.analysis.series import NODE_SWEEP, SweepSeries, efficiency_series, relative_series
+from repro.analysis.stats import MeasuredStat, mean, repeat_measure, speedup, stddev_pct
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stddev_pct_matches_paper_convention(self):
+        # mean 100, sample stddev 10 -> 10 %
+        assert stddev_pct([90.0, 100.0, 110.0]) == pytest.approx(10.0)
+
+    def test_stddev_single_sample_is_zero(self):
+        assert stddev_pct([42.0]) == 0.0
+
+    def test_speedup(self):
+        assert speedup(46e6, 32.7e3) == pytest.approx(1406.7, rel=0.001)
+
+    def test_speedup_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_repeat_measure_protocol(self):
+        values = iter([10.0, 11.0, 9.0, 10.0, 10.0])
+        stat = repeat_measure(lambda: next(values), iterations=5)
+        assert isinstance(stat, MeasuredStat)
+        assert stat.mean == 10.0
+        assert stat.iterations == 5
+        assert stat.stddev_pct < 10.0
+
+
+class TestSeries:
+    def test_sweep_evaluates_function(self):
+        s = SweepSeries.sweep("double", lambda x: 2.0 * x, (1, 2, 4))
+        assert s.ys == (2.0, 4.0, 8.0)
+
+    def test_default_axis_is_paper_axis(self):
+        s = SweepSeries.sweep("id", float)
+        assert s.xs == NODE_SWEEP
+
+    def test_at(self):
+        s = SweepSeries("s", (1, 2), (10.0, 20.0))
+        assert s.at(2) == 20.0
+        with pytest.raises(KeyError):
+            s.at(3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSeries("bad", (1, 2), (1.0,))
+
+    def test_linear_scaling_exponent(self):
+        s = SweepSeries.sweep("linear", lambda x: 7.0 * x, (1, 2, 4, 8))
+        assert s.scaling_exponent() == pytest.approx(1.0)
+
+    def test_flat_scaling_exponent(self):
+        s = SweepSeries.sweep("flat", lambda x: 5.0, (1, 2, 4, 8))
+        assert s.scaling_exponent() == pytest.approx(0.0, abs=1e-9)
+
+    def test_relative_series(self):
+        a = SweepSeries("a", (1, 2), (10.0, 100.0))
+        b = SweepSeries("b", (1, 2), (5.0, 10.0))
+        assert relative_series(a, b).ys == (2.0, 10.0)
+
+    def test_relative_series_axis_mismatch(self):
+        a = SweepSeries("a", (1, 2), (1.0, 1.0))
+        b = SweepSeries("b", (1, 4), (1.0, 1.0))
+        with pytest.raises(ValueError):
+            relative_series(a, b)
+
+    def test_efficiency_series(self):
+        measured = SweepSeries("m", (1,), (80.0,))
+        peak = SweepSeries("p", (1,), (100.0,))
+        assert efficiency_series(measured, peak).ys == (0.8,)
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        out = render_table(["n", "value"], [["1", "10"], ["512", "46000000"]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert lines[0].endswith("value")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_table_title(self):
+        out = render_table(["a"], [["1"]], title="Figure 2a")
+        assert out.splitlines()[0] == "Figure 2a"
+
+    def test_render_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_series_table(self):
+        a = SweepSeries("gekko", (1, 2), (10.0, 20.0))
+        b = SweepSeries("lustre", (1, 2), (1.0, 1.0))
+        out = series_table([a, b], lambda v: f"{v:.1f}")
+        assert "gekko" in out and "lustre" in out
+        assert "20.0" in out
+
+    def test_series_table_axis_mismatch(self):
+        a = SweepSeries("a", (1,), (1.0,))
+        b = SweepSeries("b", (2,), (1.0,))
+        with pytest.raises(ValueError):
+            series_table([a, b], str)
+
+    def test_series_table_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_table([], str)

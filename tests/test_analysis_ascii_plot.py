@@ -1,0 +1,90 @@
+"""ASCII log-log renderer."""
+
+import pytest
+
+from repro.analysis.ascii_plot import loglog_plot
+from repro.analysis.series import SweepSeries
+
+
+def linear():
+    return SweepSeries.sweep("lin", lambda n: 1000.0 * n, (1, 2, 4, 8, 16))
+
+
+def flat():
+    return SweepSeries.sweep("flat", lambda n: 500.0, (1, 2, 4, 8, 16))
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            loglog_plot([])
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ValueError):
+            loglog_plot([linear()], width=4, height=2)
+
+    def test_nonpositive_values_rejected(self):
+        zero = SweepSeries("z", (1, 2), (0.0, 1.0))
+        with pytest.raises(ValueError):
+            loglog_plot([zero])
+
+
+class TestRendering:
+    def test_title_and_legend(self):
+        out = loglog_plot([linear(), flat()], title="T", y_label="ops/s")
+        assert out.splitlines()[0] == "T"
+        assert "o = lin" in out
+        assert "x = flat" in out
+        assert "ops/s" in out
+
+    def test_markers_present(self):
+        out = loglog_plot([linear(), flat()])
+        assert "o" in out
+        assert "x" in out
+
+    def test_flat_series_occupies_one_row(self):
+        out = loglog_plot([flat()], height=12)
+        rows_with_marker = [line for line in out.splitlines() if "o" in line and "|" in line]
+        assert len(rows_with_marker) == 1
+
+    def test_linear_series_spans_rows_monotonically(self):
+        out = loglog_plot([linear()], height=16, width=40)
+        body = [line for line in out.splitlines() if "|" in line]
+        first_marker_col = []
+        for line in body:
+            pos = line.find("o")
+            if pos >= 0:
+                first_marker_col.append(pos)
+        # Higher rows (earlier lines) contain later (larger-x) points.
+        assert first_marker_col == sorted(first_marker_col, reverse=True) or len(
+            set(first_marker_col)
+        ) > 1
+
+    def test_decade_ticks_labelled(self):
+        out = loglog_plot([linear()])
+        assert "1000" in out
+        assert "10000" in out
+
+    def test_x_axis_endpoints(self):
+        out = loglog_plot([linear()])
+        assert "1" in out.splitlines()[-2]
+        assert "16" in out.splitlines()[-2]
+
+    def test_paper_shape_gekko_above_lustre(self):
+        """Smoke-test the actual Figure 2 rendering path."""
+        from repro.models import GekkoFSModel, LustreModel
+
+        g, l = GekkoFSModel(), LustreModel()
+        series = [
+            SweepSeries.sweep("GekkoFS", lambda n: g.metadata_throughput(n, "create")),
+            SweepSeries.sweep(
+                "Lustre", lambda n: l.metadata_throughput(n, "create", single_dir=False)
+            ),
+        ]
+        out = loglog_plot(series)
+        lines = out.splitlines()
+        top_half = "\n".join(lines[: len(lines) // 2])
+        bottom_half = "\n".join(lines[len(lines) // 2 :])
+        assert "o" in top_half  # GekkoFS reaches the top decades
+        assert "x" not in top_half  # Lustre never does
+        assert "x" in bottom_half

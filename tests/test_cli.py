@@ -1,0 +1,109 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_size_parsing_in_ior_args(self):
+        args = build_parser().parse_args(
+            ["ior", "--transfer-size", "8k", "--block-size", "1m"]
+        )
+        assert args.transfer_size == 8192
+        assert args.block_size == 1024 * 1024
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "512 KiB" in out
+        assert "mountpoint" in out
+
+    def test_mdtest(self, capsys):
+        assert main(["mdtest", "--nodes", "2", "--procs", "2", "--files-per-proc", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "create" in out and "stat" in out and "remove" in out
+        assert "20 files" in out
+
+    def test_mdtest_unique_dir(self, capsys):
+        assert main(["mdtest", "--procs", "2", "--files-per-proc", "5", "--unique-dir"]) == 0
+        assert "unique dir" in capsys.readouterr().out
+
+    def test_ior(self, capsys):
+        assert main(
+            ["ior", "--nodes", "2", "--procs", "2",
+             "--transfer-size", "4k", "--block-size", "64k"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "write" in out and "read" in out
+
+    def test_ior_shared_random_cached(self, capsys):
+        assert main(
+            ["ior", "--procs", "2", "--transfer-size", "4k", "--block-size", "32k",
+             "--shared-file", "--random", "--size-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shared" in out and "random" in out
+
+    def test_figures_single_panel(self, capsys):
+        assert main(["figures", "fig2a"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2a" in out
+        assert "GekkoFS" in out and "Lustre" in out
+
+    def test_figures_all_with_plot(self, capsys):
+        assert main(["figures", "--plot"]) == 0
+        out = capsys.readouterr().out
+        for label in ("Figure 2a", "Figure 2b", "Figure 2c", "Figure 3a", "Figure 3b"):
+            assert label in out
+        assert "[log-log]" in out
+
+    def test_claims(self, capsys):
+        assert main(["claims"]) == 0
+        out = capsys.readouterr().out
+        assert "46.1 M" in out
+        assert "150 K ops/s" in out
+        assert "< 20 s" in out
+
+
+class TestStressAndSensitivity:
+    def test_stress(self, capsys):
+        assert main(["stress", "--nodes", "2", "--operations", "100", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "all reads verified" in out
+        assert "bytes verified" in out
+
+    def test_sensitivity(self, capsys):
+        assert main(["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "elasticity" in out
+        assert "write_path_efficiency" in out
+        assert "+1.00" in out  # the efficiency-anchor 1:1 elasticity
+
+
+class TestModuleEntrypoint:
+    def test_python_dash_m(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "info"], capture_output=True, text=True
+        )
+        assert proc.returncode == 0
+        assert "GekkoFS" in proc.stdout

@@ -1,0 +1,58 @@
+"""Errno-mapped exception hierarchy."""
+
+import errno
+
+import pytest
+
+from repro.common.errors import (
+    BadFileDescriptorError,
+    ExistsError,
+    GekkoError,
+    InvalidArgumentError,
+    IsADirectoryError_,
+    NotADirectoryError_,
+    NotEmptyError,
+    NotFoundError,
+    UnsupportedError,
+    error_from_errno,
+)
+
+ALL_ERRORS = [
+    (NotFoundError, errno.ENOENT),
+    (ExistsError, errno.EEXIST),
+    (IsADirectoryError_, errno.EISDIR),
+    (NotADirectoryError_, errno.ENOTDIR),
+    (NotEmptyError, errno.ENOTEMPTY),
+    (BadFileDescriptorError, errno.EBADF),
+    (InvalidArgumentError, errno.EINVAL),
+    (UnsupportedError, errno.ENOTSUP),
+]
+
+
+@pytest.mark.parametrize("cls,code", ALL_ERRORS)
+def test_errno_values(cls, code):
+    assert cls.errno == code
+    assert issubclass(cls, GekkoError)
+
+
+@pytest.mark.parametrize("cls,code", ALL_ERRORS)
+def test_errno_roundtrip(cls, code):
+    rehydrated = error_from_errno(code, "ctx")
+    assert type(rehydrated) is cls
+    assert rehydrated.errno == code
+    assert "ctx" in str(rehydrated)
+
+
+def test_unknown_errno_degrades_to_base(self=None):
+    err = error_from_errno(errno.EXDEV, "cross-device")
+    assert type(err) is GekkoError
+    assert err.errno == errno.EXDEV
+
+
+def test_default_message_is_class_name():
+    assert "NotFoundError" in str(NotFoundError())
+
+
+def test_errors_are_catchable_as_base():
+    with pytest.raises(GekkoError):
+        raise ExistsError("/x")

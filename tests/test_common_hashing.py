@@ -1,0 +1,69 @@
+"""Placement hashing: determinism and distribution quality.
+
+Every client must resolve identical owners from the path alone (§III-B);
+these tests pin the digests and check the uniformity that wide-striping
+relies on.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.hashing import fnv1a_64, hash_chunk, hash_path
+
+
+class TestFnv1a:
+    def test_known_vectors(self):
+        # Canonical FNV-1a 64-bit test vectors.
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+        assert fnv1a_64(b"foobar") == 0x85944171F73967E8
+
+    def test_stable_across_calls(self):
+        assert fnv1a_64(b"/some/path") == fnv1a_64(b"/some/path")
+
+    @given(st.binary(max_size=64))
+    def test_fits_in_64_bits(self, data):
+        assert 0 <= fnv1a_64(data) < 2**64
+
+    def test_seed_chaining_equals_concatenation(self):
+        whole = fnv1a_64(b"abcdef")
+        chained = fnv1a_64(b"def", seed=fnv1a_64(b"abc"))
+        assert whole == chained
+
+
+class TestPathHashing:
+    def test_distinct_paths_differ(self):
+        assert hash_path("/a") != hash_path("/b")
+
+    def test_chunk_ids_spread(self):
+        digests = {hash_chunk("/file", cid) for cid in range(64)}
+        assert len(digests) == 64
+
+    def test_chunk_hash_depends_on_path(self):
+        assert hash_chunk("/a", 0) != hash_chunk("/b", 0)
+
+    def test_negative_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            hash_chunk("/a", -1)
+
+    def test_metadata_balance_over_daemons(self):
+        """10k flat-namespace paths modulo 16 daemons stay within ±20 %."""
+        counts = [0] * 16
+        for i in range(10_000):
+            counts[hash_path(f"/dir/file{i:06d}") % 16] += 1
+        expected = 10_000 / 16
+        assert min(counts) > expected * 0.8
+        assert max(counts) < expected * 1.2
+
+    def test_chunk_balance_for_one_large_file(self):
+        """Wide-striping: one file's chunks spread evenly (§III-B)."""
+        counts = [0] * 8
+        for cid in range(8_000):
+            counts[hash_chunk("/big.dat", cid) % 8] += 1
+        expected = 8_000 / 8
+        assert min(counts) > expected * 0.8
+        assert max(counts) < expected * 1.2
+
+    @given(st.text(min_size=1, max_size=64))
+    def test_unicode_paths_hash(self, path):
+        assert 0 <= hash_path(path) < 2**64

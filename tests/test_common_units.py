@@ -1,0 +1,78 @@
+"""Units: parsing and formatting of the paper's binary sizes."""
+
+import pytest
+
+from repro.common.units import (
+    GiB,
+    KiB,
+    MiB,
+    TiB,
+    format_ops,
+    format_size,
+    format_throughput,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_integer_passthrough(self):
+        assert parse_size(512) == 512
+
+    def test_zero(self):
+        assert parse_size(0) == 0
+        assert parse_size("0") == 0
+
+    def test_negative_integer_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("512KiB", 512 * KiB),
+            ("512k", 512 * KiB),
+            ("512KB", 512 * KiB),
+            ("64m", 64 * MiB),
+            ("64MiB", 64 * MiB),
+            ("8K", 8 * KiB),
+            ("1g", GiB),
+            ("2TiB", 2 * TiB),
+            ("100", 100),
+            ("100b", 100),
+            ("1.5k", 1536),
+        ],
+    )
+    def test_suffixes_are_binary(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_whitespace_tolerated(self):
+        assert parse_size("  512 KiB ") == 512 * KiB
+
+    @pytest.mark.parametrize("bad", ["", "KiB", "12 miles", "1..5k", "-5k"])
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("1.0000001k")
+
+
+class TestFormatting:
+    def test_format_size_units(self):
+        assert format_size(512) == "512.00 B"
+        assert format_size(1536) == "1.50 KiB"
+        assert format_size(64 * MiB) == "64.00 MiB"
+        assert format_size(3 * GiB) == "3.00 GiB"
+
+    def test_format_throughput(self):
+        assert format_throughput(141 * GiB) == "141.00 GiB/s"
+        assert format_throughput(500) == "500.00 B/s"
+
+    def test_format_ops_decimal_scaling(self):
+        assert format_ops(999) == "999.00 ops/s"
+        assert format_ops(46_000_000) == "46.00 M ops/s"
+        assert format_ops(150_000) == "150.00 K ops/s"
+
+    def test_roundtrip_constants(self):
+        assert parse_size(format_size(64 * MiB).replace(" ", "")) == 64 * MiB

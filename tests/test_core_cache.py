@@ -1,0 +1,72 @@
+"""Size-update client cache: the §IV-B shared-file fix."""
+
+import pytest
+
+from repro.core.cache import SizeUpdateCache
+
+
+class TestFlushPolicy:
+    def test_invalid_flush_every(self):
+        with pytest.raises(ValueError):
+            SizeUpdateCache(0)
+
+    def test_buffered_until_threshold(self):
+        cache = SizeUpdateCache(flush_every=3)
+        assert cache.record("/f", 100) is None
+        assert cache.record("/f", 50) is None
+        assert cache.record("/f", 200) == 200  # third update flushes the max
+
+    def test_flush_resets_counter(self):
+        cache = SizeUpdateCache(flush_every=2)
+        cache.record("/f", 1)
+        assert cache.record("/f", 2) == 2
+        assert cache.record("/f", 3) is None  # counting restarts
+
+    def test_flush_every_one_is_writethrough(self):
+        cache = SizeUpdateCache(flush_every=1)
+        assert cache.record("/f", 10) == 10
+
+    def test_max_not_last(self):
+        cache = SizeUpdateCache(flush_every=2)
+        cache.record("/f", 500)
+        assert cache.record("/f", 10) == 500
+
+    def test_paths_independent(self):
+        cache = SizeUpdateCache(flush_every=2)
+        cache.record("/a", 1)
+        assert cache.record("/b", 2) is None  # /b has its own counter
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SizeUpdateCache().record("/f", -1)
+
+
+class TestTake:
+    def test_take_drains_pending(self):
+        cache = SizeUpdateCache(flush_every=10)
+        cache.record("/f", 42)
+        assert cache.take("/f") == 42
+        assert cache.take("/f") is None
+
+    def test_take_all(self):
+        cache = SizeUpdateCache(flush_every=10)
+        cache.record("/a", 1)
+        cache.record("/b", 2)
+        assert cache.take_all() == {"/a": 1, "/b": 2}
+        assert cache.pending_paths() == []
+
+    def test_pending_paths_sorted(self):
+        cache = SizeUpdateCache(flush_every=10)
+        cache.record("/z", 1)
+        cache.record("/a", 1)
+        assert cache.pending_paths() == ["/a", "/z"]
+
+
+class TestStats:
+    def test_rpcs_saved(self):
+        cache = SizeUpdateCache(flush_every=4)
+        for i in range(8):
+            cache.record("/f", i)
+        assert cache.stats.updates_buffered == 8
+        assert cache.stats.flushes == 2
+        assert cache.stats.rpcs_saved == 6

@@ -1,0 +1,76 @@
+"""Chunk arithmetic: spans must tile any byte range exactly."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.chunking import ChunkSpan, chunk_count, last_chunk, split_range
+
+
+class TestSplitRange:
+    def test_empty_range(self):
+        assert list(split_range(0, 0, 512)) == []
+
+    def test_within_one_chunk(self):
+        spans = list(split_range(10, 20, 512))
+        assert spans == [ChunkSpan(chunk_id=0, offset=10, length=20, buffer_offset=0)]
+
+    def test_exact_chunk(self):
+        spans = list(split_range(512, 512, 512))
+        assert spans == [ChunkSpan(1, 0, 512, 0)]
+
+    def test_straddles_boundary(self):
+        spans = list(split_range(500, 100, 512))
+        assert spans == [ChunkSpan(0, 500, 12, 0), ChunkSpan(1, 0, 88, 12)]
+
+    def test_spans_many_chunks(self):
+        spans = list(split_range(0, 512 * 3 + 1, 512))
+        assert [s.chunk_id for s in spans] == [0, 1, 2, 3]
+        assert [s.length for s in spans] == [512, 512, 512, 1]
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            list(split_range(-1, 10, 512))
+        with pytest.raises(ValueError):
+            list(split_range(0, -1, 512))
+        with pytest.raises(ValueError):
+            list(split_range(0, 1, 0))
+
+    @given(
+        offset=st.integers(0, 10_000),
+        length=st.integers(0, 10_000),
+        chunk_size=st.integers(1, 700),
+    )
+    def test_spans_tile_the_range(self, offset, length, chunk_size):
+        """The defining invariant: spans are contiguous in the file AND in
+        the caller's buffer, cover exactly [offset, offset+length), and
+        never cross a chunk boundary."""
+        spans = list(split_range(offset, length, chunk_size))
+        assert sum(s.length for s in spans) == length
+        file_pos, buf_pos = offset, 0
+        for span in spans:
+            assert span.chunk_id * chunk_size + span.offset == file_pos
+            assert span.buffer_offset == buf_pos
+            assert span.offset + span.length <= chunk_size
+            assert span.length > 0
+            file_pos += span.length
+            buf_pos += span.length
+
+
+class TestCounts:
+    @pytest.mark.parametrize(
+        "size,chunk,expected",
+        [(0, 512, 0), (1, 512, 1), (512, 512, 1), (513, 512, 2), (1024, 512, 2)],
+    )
+    def test_chunk_count(self, size, chunk, expected):
+        assert chunk_count(size, chunk) == expected
+
+    def test_last_chunk(self):
+        assert last_chunk(0, 512) == -1
+        assert last_chunk(512, 512) == 0
+        assert last_chunk(513, 512) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            chunk_count(-1, 512)
+        with pytest.raises(ValueError):
+            chunk_count(1, 0)

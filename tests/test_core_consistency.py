@@ -1,0 +1,88 @@
+"""Consistency semantics: strong per-file, eventual for readdir (§III-A)."""
+
+import os
+
+import pytest
+
+from repro.common.errors import NotFoundError
+
+
+class TestStrongPerFile:
+    def test_write_visible_to_other_client_immediately(self, cluster):
+        """Operations on a specific file are synchronous and cache-less:
+        a second client on another node sees the bytes and the size."""
+        writer = cluster.client(0)
+        reader = cluster.client(3)
+        fd = writer.open("/gkfs/shared", os.O_CREAT | os.O_WRONLY)
+        writer.write(fd, b"published")
+        md = reader.stat("/gkfs/shared")
+        assert md.size == 9
+        rfd = reader.open("/gkfs/shared")
+        assert reader.read(rfd, 9) == b"published"
+        reader.close(rfd)
+        writer.close(fd)
+
+    def test_unlink_visible_immediately(self, cluster):
+        a, b = cluster.client(0), cluster.client(1)
+        a.close(a.creat("/gkfs/f"))
+        b.unlink("/gkfs/f")
+        with pytest.raises(NotFoundError):
+            a.stat("/gkfs/f")
+
+    def test_concurrent_writers_disjoint_regions(self, small_chunk_cluster):
+        """No locking, but disjoint-region writers (the supported pattern)
+        must both land; the size converges to the max end offset."""
+        a = small_chunk_cluster.client(0)
+        b = small_chunk_cluster.client(1)
+        a.close(a.creat("/gkfs/shared"))
+        fda = a.open("/gkfs/shared", os.O_WRONLY)
+        fdb = b.open("/gkfs/shared", os.O_WRONLY)
+        a.pwrite(fda, b"A" * 100, 0)
+        b.pwrite(fdb, b"B" * 100, 100)
+        a.close(fda)
+        b.close(fdb)
+        c = small_chunk_cluster.client(2)
+        fd = c.open("/gkfs/shared")
+        assert c.read(fd, 200) == b"A" * 100 + b"B" * 100
+        c.close(fd)
+
+    def test_size_update_order_independent(self, cluster):
+        """max()-merge: a late size update for a smaller offset never
+        shrinks the file."""
+        c = cluster.client(0)
+        fd = c.open("/gkfs/f", os.O_CREAT | os.O_WRONLY)
+        c.pwrite(fd, b"x", 999)  # size -> 1000
+        c.pwrite(fd, b"y", 0)  # late small write; size must stay 1000
+        assert c.stat("/gkfs/f").size == 1000
+        c.close(fd)
+
+
+class TestEventualReaddir:
+    def test_listing_merges_all_daemons(self, cluster):
+        """Entries land on different daemons by hash; listdir must merge
+        every partial listing."""
+        c = cluster.client(0)
+        c.mkdir("/gkfs/d")
+        names = [f"entry{i:03d}" for i in range(40)]
+        for name in names:
+            c.close(c.creat(f"/gkfs/d/{name}"))
+        listed = [name for name, _ in c.listdir("/gkfs/d")]
+        assert listed == names
+
+    def test_cross_client_listing(self, cluster):
+        a, b = cluster.client(0), cluster.client(2)
+        a.mkdir("/gkfs/d")
+        a.close(a.creat("/gkfs/d/from_a"))
+        b.close(b.creat("/gkfs/d/from_b"))
+        assert [n for n, _ in b.listdir("/gkfs/d")] == ["from_a", "from_b"]
+
+    def test_dir_stream_snapshot_is_eventually_consistent(self, cluster):
+        """An open directory stream does not see concurrent removes —
+        GekkoFS explicitly does not guarantee the current state (§III-A)."""
+        c = cluster.client(0)
+        c.mkdir("/gkfs/d")
+        c.close(c.creat("/gkfs/d/doomed"))
+        fd = c.opendir("/gkfs/d")
+        c.unlink("/gkfs/d/doomed")
+        assert c.readdir(fd) == ("doomed", False)  # stale snapshot, by design
+        c.close(fd)

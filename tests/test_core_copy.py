@@ -1,0 +1,85 @@
+"""copy(): the sanctioned rename substitute."""
+
+import os
+
+import pytest
+
+from repro.common.errors import (
+    ExistsError,
+    InvalidArgumentError,
+    IsADirectoryError_,
+    NotFoundError,
+)
+
+
+class TestCopy:
+    def test_roundtrip(self, client):
+        fd = client.creat("/gkfs/src")
+        client.write(fd, b"payload bytes")
+        client.close(fd)
+        copied = client.copy("/gkfs/src", "/gkfs/dst")
+        assert copied == 13
+        fd = client.open("/gkfs/dst")
+        assert client.read(fd, 100) == b"payload bytes"
+        client.close(fd)
+        assert client.exists("/gkfs/src")  # copy, not move
+
+    def test_multichunk_and_small_buffer(self, small_chunk_cluster):
+        client = small_chunk_cluster.client(0)
+        data = bytes(range(256)) * 4  # 1024 bytes over 64-byte chunks
+        fd = client.open("/gkfs/src", os.O_CREAT | os.O_WRONLY)
+        client.write(fd, data)
+        client.close(fd)
+        assert client.copy("/gkfs/src", "/gkfs/dst", buffer_size=100) == len(data)
+        fd = client.open("/gkfs/dst")
+        assert client.read(fd, len(data) + 1) == data
+        client.close(fd)
+
+    def test_sparse_source_copies_zeros(self, small_chunk_cluster):
+        client = small_chunk_cluster.client(0)
+        fd = client.open("/gkfs/sparse", os.O_CREAT | os.O_WRONLY)
+        client.pwrite(fd, b"end", 500)
+        client.close(fd)
+        assert client.copy("/gkfs/sparse", "/gkfs/densed") == 503
+        assert client.stat("/gkfs/densed").size == 503
+        fd = client.open("/gkfs/densed")
+        assert client.read(fd, 503) == b"\x00" * 500 + b"end"
+        client.close(fd)
+
+    def test_overwrites_existing_destination(self, client):
+        for path, payload in (("/gkfs/a", b"short"), ("/gkfs/b", b"much longer content")):
+            fd = client.open(path, os.O_CREAT | os.O_WRONLY)
+            client.write(fd, payload)
+            client.close(fd)
+        client.copy("/gkfs/a", "/gkfs/b")
+        assert client.stat("/gkfs/b").size == 5  # O_TRUNC semantics
+
+    def test_empty_file(self, client):
+        client.close(client.creat("/gkfs/empty"))
+        assert client.copy("/gkfs/empty", "/gkfs/empty2") == 0
+        assert client.stat("/gkfs/empty2").size == 0
+
+    def test_missing_source(self, client):
+        with pytest.raises(NotFoundError):
+            client.copy("/gkfs/ghost", "/gkfs/dst")
+
+    def test_directory_source_rejected(self, client):
+        client.mkdir("/gkfs/d")
+        with pytest.raises(IsADirectoryError_):
+            client.copy("/gkfs/d", "/gkfs/dst")
+
+    def test_bad_buffer_size(self, client):
+        client.close(client.creat("/gkfs/s"))
+        with pytest.raises(InvalidArgumentError):
+            client.copy("/gkfs/s", "/gkfs/d", buffer_size=0)
+
+    def test_copy_then_unlink_is_the_rename_substitute(self, client):
+        fd = client.creat("/gkfs/old_name")
+        client.write(fd, b"migrate me")
+        client.close(fd)
+        client.copy("/gkfs/old_name", "/gkfs/new_name")
+        client.unlink("/gkfs/old_name")
+        assert not client.exists("/gkfs/old_name")
+        fd = client.open("/gkfs/new_name")
+        assert client.read(fd, 10) == b"migrate me"
+        client.close(fd)

@@ -1,0 +1,53 @@
+"""Placement policies: independence, determinism, balance."""
+
+import pytest
+
+from repro.core.distributor import FilePerNodeDistributor, SimpleHashDistributor
+
+
+class TestSimpleHash:
+    def test_invalid_daemon_count(self):
+        with pytest.raises(ValueError):
+            SimpleHashDistributor(0)
+
+    def test_results_in_range(self):
+        dist = SimpleHashDistributor(7)
+        for i in range(200):
+            assert 0 <= dist.locate_metadata(f"/f{i}") < 7
+            assert 0 <= dist.locate_chunk(f"/f{i}", i) < 7
+
+    def test_deterministic_across_instances(self):
+        """Two clients with separate distributor objects must agree —
+        this is what lets GekkoFS run without a placement service."""
+        a, b = SimpleHashDistributor(16), SimpleHashDistributor(16)
+        for i in range(100):
+            path = f"/data/file{i}"
+            assert a.locate_metadata(path) == b.locate_metadata(path)
+            assert a.locate_chunk(path, i) == b.locate_chunk(path, i)
+
+    def test_chunks_of_one_file_spread(self):
+        dist = SimpleHashDistributor(8)
+        owners = {dist.locate_chunk("/big", cid) for cid in range(64)}
+        assert len(owners) == 8  # wide-striping hits every daemon
+
+    def test_locate_all_is_every_daemon(self):
+        assert list(SimpleHashDistributor(3).locate_all()) == [0, 1, 2]
+
+    def test_single_daemon_trivial(self):
+        dist = SimpleHashDistributor(1)
+        assert dist.locate_metadata("/x") == 0
+        assert dist.locate_chunk("/x", 99) == 0
+
+
+class TestFilePerNode:
+    def test_all_chunks_colocated_with_metadata(self):
+        dist = FilePerNodeDistributor(8)
+        for i in range(50):
+            path = f"/f{i}"
+            owner = dist.locate_metadata(path)
+            assert all(dist.locate_chunk(path, cid) == owner for cid in range(16))
+
+    def test_different_files_still_spread(self):
+        dist = FilePerNodeDistributor(8)
+        owners = {dist.locate_metadata(f"/f{i}") for i in range(200)}
+        assert len(owners) == 8

@@ -1,0 +1,102 @@
+"""Guided and rendezvous distributors (placement-policy extensions)."""
+
+import os
+
+import pytest
+
+from repro.core import FSConfig, GekkoFSCluster
+from repro.core.distributor import (
+    GuidedDistributor,
+    RendezvousDistributor,
+    SimpleHashDistributor,
+)
+
+
+class TestGuided:
+    def test_falls_back_to_hash(self):
+        guided = GuidedDistributor(8)
+        simple = SimpleHashDistributor(8)
+        for i in range(50):
+            path = f"/f{i}"
+            assert guided.locate_metadata(path) == simple.locate_metadata(path)
+            assert guided.locate_chunk(path, i) == simple.locate_chunk(path, i)
+
+    def test_path_override_pins_metadata_and_chunks(self):
+        guided = GuidedDistributor(8, overrides={"/hot.dat": 3})
+        assert guided.locate_metadata("/hot.dat") == 3
+        assert all(guided.locate_chunk("/hot.dat", cid) == 3 for cid in range(20))
+
+    def test_chunk_override_beats_path_override(self):
+        guided = GuidedDistributor(
+            8, overrides={"/f": 1}, chunk_overrides={("/f", 5): 6}
+        )
+        assert guided.locate_chunk("/f", 4) == 1
+        assert guided.locate_chunk("/f", 5) == 6
+        assert guided.locate_metadata("/f") == 1
+
+    def test_out_of_range_target_rejected(self):
+        with pytest.raises(ValueError):
+            GuidedDistributor(4, overrides={"/x": 4})
+        with pytest.raises(ValueError):
+            GuidedDistributor(4, chunk_overrides={("/x", 0): -1})
+
+    def test_functional_pinning(self):
+        """A pinned file's data really lands on the chosen daemon."""
+        guided = GuidedDistributor(4, overrides={"/pinned.dat": 2})
+        config = FSConfig(chunk_size=64)
+        with GekkoFSCluster(num_nodes=4, config=config, distributor=guided) as fs:
+            client = fs.client(0)
+            fd = client.open("/gkfs/pinned.dat", os.O_CREAT | os.O_WRONLY)
+            client.write(fd, b"p" * 640)  # 10 chunks
+            client.close(fd)
+            used = [d.storage.used_bytes() for d in fs.daemons]
+            assert used[2] == 640
+            assert sum(used) == 640
+
+
+class TestRendezvous:
+    def test_deterministic_and_in_range(self):
+        a, b = RendezvousDistributor(7), RendezvousDistributor(7)
+        for i in range(100):
+            path = f"/p{i}"
+            assert a.locate_metadata(path) == b.locate_metadata(path)
+            assert 0 <= a.locate_metadata(path) < 7
+            assert 0 <= a.locate_chunk(path, i) < 7
+
+    def test_balance(self):
+        dist = RendezvousDistributor(8)
+        counts = [0] * 8
+        for i in range(8000):
+            counts[dist.locate_metadata(f"/f{i:05d}")] += 1
+        expected = 8000 / 8
+        assert min(counts) > expected * 0.8
+        assert max(counts) < expected * 1.2
+
+    def test_minimal_remapping_on_shrink(self):
+        """Removing the last daemon moves only its keys — the property
+        modulo hashing lacks (it reshuffles nearly everything)."""
+        big, small = RendezvousDistributor(8), RendezvousDistributor(7)
+        paths = [f"/f{i:05d}" for i in range(4000)]
+        moved = sum(
+            1 for p in paths if big.locate_metadata(p) != small.locate_metadata(p)
+        )
+        # Only keys owned by daemon 7 (≈1/8 of them) may move.
+        owned_by_last = sum(1 for p in paths if big.locate_metadata(p) == 7)
+        assert moved == owned_by_last
+        assert moved < len(paths) * 0.2
+
+    def test_modulo_hashing_reshuffles_for_contrast(self):
+        big, small = SimpleHashDistributor(8), SimpleHashDistributor(7)
+        paths = [f"/f{i:05d}" for i in range(4000)]
+        moved = sum(
+            1 for p in paths if big.locate_metadata(p) != small.locate_metadata(p)
+        )
+        assert moved > len(paths) * 0.5  # most placements move
+
+    def test_functional_deployment(self):
+        with GekkoFSCluster(num_nodes=4, distributor=RendezvousDistributor(4)) as fs:
+            client = fs.client(0)
+            fd = client.open("/gkfs/r.dat", os.O_CREAT | os.O_RDWR)
+            client.write(fd, b"rendezvous" * 1000)
+            assert client.pread(fd, 10, 0) == b"rendezvous"
+            client.close(fd)

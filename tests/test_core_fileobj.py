@@ -1,0 +1,105 @@
+"""Pythonic file handles over the client call surface."""
+
+import os
+
+import pytest
+
+from repro.common.errors import ExistsError, InvalidArgumentError, NotFoundError
+from repro.core.fileobj import GekkoFile, flags_for_mode
+
+
+class TestModeMapping:
+    @pytest.mark.parametrize(
+        "mode,flags",
+        [
+            ("r", os.O_RDONLY),
+            ("rb", os.O_RDONLY),
+            ("r+", os.O_RDWR),
+            ("w", os.O_WRONLY | os.O_CREAT | os.O_TRUNC),
+            ("wb", os.O_WRONLY | os.O_CREAT | os.O_TRUNC),
+            ("a", os.O_WRONLY | os.O_CREAT | os.O_APPEND),
+            ("x", os.O_WRONLY | os.O_CREAT | os.O_EXCL),
+            ("w+b", os.O_RDWR | os.O_CREAT | os.O_TRUNC),
+        ],
+    )
+    def test_known_modes(self, mode, flags):
+        assert flags_for_mode(mode) == flags
+
+    @pytest.mark.parametrize("bad", ["", "rw", "z", "r++"])
+    def test_unknown_modes(self, bad):
+        with pytest.raises(InvalidArgumentError):
+            flags_for_mode(bad)
+
+
+class TestFileObject:
+    def test_write_read_roundtrip(self, client):
+        with GekkoFile(client, "/gkfs/f", "wb") as f:
+            f.write(b"line one")
+        with GekkoFile(client, "/gkfs/f", "rb") as f:
+            assert f.read() == b"line one"
+
+    def test_read_missing_raises(self, client):
+        with pytest.raises(NotFoundError):
+            GekkoFile(client, "/gkfs/ghost", "rb")
+
+    def test_exclusive_mode(self, client):
+        GekkoFile(client, "/gkfs/f", "xb").close()
+        with pytest.raises(ExistsError):
+            GekkoFile(client, "/gkfs/f", "xb")
+
+    def test_append_mode(self, client):
+        with GekkoFile(client, "/gkfs/log", "ab") as f:
+            f.write(b"one|")
+        with GekkoFile(client, "/gkfs/log", "ab") as f:
+            f.write(b"two")
+        with GekkoFile(client, "/gkfs/log", "rb") as f:
+            assert f.read() == b"one|two"
+
+    def test_seek_tell(self, client):
+        with GekkoFile(client, "/gkfs/f", "w+b") as f:
+            f.write(b"0123456789")
+            assert f.tell() == 10
+            f.seek(4)
+            assert f.read(3) == b"456"
+            f.seek(-2, os.SEEK_END)
+            assert f.read() == b"89"
+
+    def test_partial_read_counts(self, client):
+        with GekkoFile(client, "/gkfs/f", "w+b") as f:
+            f.write(b"abcdef")
+            f.seek(0)
+            assert f.read(2) == b"ab"
+            assert f.read() == b"cdef"
+
+    def test_pread_pwrite(self, client):
+        with GekkoFile(client, "/gkfs/f", "w+b") as f:
+            f.pwrite(b"XYZ", 100)
+            assert f.pread(3, 100) == b"XYZ"
+            assert f.tell() == 0  # positional ops leave the cursor alone
+
+    def test_truncate(self, client):
+        with GekkoFile(client, "/gkfs/f", "w+b") as f:
+            f.write(b"abcdef")
+            f.truncate(2)
+            assert f.pread(10, 0) == b"ab"
+
+    def test_double_close_is_safe(self, client):
+        f = GekkoFile(client, "/gkfs/f", "wb")
+        f.close()
+        f.close()
+        assert f.closed
+
+    def test_io_after_close_rejected(self, client):
+        f = GekkoFile(client, "/gkfs/f", "wb")
+        f.close()
+        with pytest.raises(ValueError):
+            f.write(b"x")
+        with pytest.raises(ValueError):
+            f.read()
+
+    def test_w_mode_truncates(self, client):
+        with GekkoFile(client, "/gkfs/f", "wb") as f:
+            f.write(b"long original content")
+        with GekkoFile(client, "/gkfs/f", "wb") as f:
+            f.write(b"short")
+        assert client.stat("/gkfs/f").size == 5

@@ -1,0 +1,118 @@
+"""Consistency checker: detection and safe repair."""
+
+import os
+
+import pytest
+
+from repro.core import FSConfig, GekkoFSCluster
+from repro.core.fsck import check, repair
+
+
+@pytest.fixture
+def fs():
+    with GekkoFSCluster(num_nodes=3, config=FSConfig(chunk_size=128)) as cluster:
+        yield cluster
+
+
+def write_file(fs, path, payload):
+    client = fs.client(0)
+    fd = client.open(path, os.O_CREAT | os.O_WRONLY)
+    client.write(fd, payload)
+    client.close(fd)
+    return client
+
+
+class TestCleanDeployments:
+    def test_empty_cluster_is_clean(self, fs):
+        report = check(fs)
+        assert report.clean
+        assert report.files_checked == 1  # the root record
+
+    def test_healthy_files_are_clean(self, fs):
+        write_file(fs, "/gkfs/a", b"x" * 500)
+        write_file(fs, "/gkfs/b", b"y" * 10)
+        report = check(fs)
+        assert report.clean
+        assert report.files_checked == 3
+        assert report.chunks_checked == 5  # 4 + 1
+
+    def test_sparse_files_are_clean(self, fs):
+        """Holes mean size > stored bytes — never a finding."""
+        client = fs.client(0)
+        fd = client.open("/gkfs/sparse", os.O_CREAT | os.O_WRONLY)
+        client.pwrite(fd, b"end", 1000)
+        client.close(fd)
+        assert check(fs).clean
+
+    def test_phantom_parents_reported_but_clean(self, fs):
+        write_file(fs, "/gkfs/nodir/f", b"z")
+        report = check(fs)
+        assert report.clean  # informational only
+        assert report.phantom_parents == ["/nodir/f"]
+
+    def test_str_summary(self, fs):
+        assert "clean" in str(check(fs))
+
+
+class TestOrphanedChunks:
+    def _orphan(self, fs):
+        """Simulate a client that died between chunk write and create."""
+        for daemon in fs.daemons:
+            daemon.storage.write_chunk("/never_created", 0, 0, b"lost write")
+        return fs
+
+    def test_detected(self, fs):
+        self._orphan(fs)
+        report = check(fs)
+        assert not report.clean
+        assert len(report.orphaned_chunks) == 3  # one per daemon
+        assert report.orphaned_chunks[0][0] == "/never_created"
+
+    def test_repair_drops_them(self, fs):
+        self._orphan(fs)
+        after = repair(fs)
+        assert after.clean
+        assert all(
+            "/never_created" not in d.storage.paths() for d in fs.daemons
+        )
+
+    def test_repair_leaves_healthy_files(self, fs):
+        write_file(fs, "/gkfs/keep", b"k" * 300)
+        self._orphan(fs)
+        repair(fs)
+        client = fs.client(0)
+        fd = client.open("/gkfs/keep")
+        assert client.read(fd, 300) == b"k" * 300
+        client.close(fd)
+
+
+class TestSizeOverruns:
+    def _lose_size_update(self, fs):
+        """Write data, then knock the metadata size back (the state left
+        by a crash between chunk write and size publication)."""
+        write_file(fs, "/gkfs/f", b"d" * 500)
+        owner = fs.distributor.locate_metadata("/f")
+        fs.daemons[owner].truncate_metadata("/f", 100)
+
+    def test_detected(self, fs):
+        self._lose_size_update(fs)
+        report = check(fs)
+        assert not report.clean
+        assert report.size_overruns == [("/f", 100, 500)]
+
+    def test_repair_restores_size(self, fs):
+        self._lose_size_update(fs)
+        after = repair(fs)
+        assert after.clean
+        client = fs.client(0)
+        md = client.stat("/gkfs/f")
+        assert md.size == 500
+        fd = client.open("/gkfs/f")
+        assert client.read(fd, 500) == b"d" * 500
+        client.close(fd)
+
+    def test_repair_accepts_precomputed_report(self, fs):
+        self._lose_size_update(fs)
+        findings = check(fs)
+        after = repair(fs, findings)
+        assert after.clean

@@ -1,0 +1,72 @@
+"""Metadata records: the KV values that replace inodes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metadata import Metadata, new_dir_metadata, new_file_metadata
+
+
+class TestEncodeDecode:
+    def test_roundtrip_file(self):
+        md = Metadata(is_dir=False, size=4096, mode=0o600, ctime=1.5, mtime=2.5, atime=3.5, blocks=8)
+        assert Metadata.decode(md.encode()) == md
+
+    def test_roundtrip_dir(self):
+        md = Metadata(is_dir=True, mode=0o755)
+        assert Metadata.decode(md.encode()).is_dir
+
+    def test_fixed_width(self):
+        a = Metadata(is_dir=False).encode()
+        b = Metadata(is_dir=True, size=2**40, blocks=2**20).encode()
+        assert len(a) == len(b)
+
+    @given(
+        is_dir=st.booleans(),
+        size=st.integers(0, 2**60),
+        mode=st.integers(0, 0o7777),
+        blocks=st.integers(0, 2**40),
+    )
+    def test_roundtrip_property(self, is_dir, size, mode, blocks):
+        md = Metadata(is_dir=is_dir, size=size, mode=mode, blocks=blocks)
+        assert Metadata.decode(md.encode()) == md
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Metadata(is_dir=False, size=-1)
+
+
+class TestWithSize:
+    def test_updates_size_and_blocks(self):
+        md = Metadata(is_dir=False, size=0, blocks=0)
+        grown = md.with_size(1025, chunk_size=512)
+        assert grown.size == 1025
+        assert grown.blocks == 3
+
+    def test_mtime_optional(self):
+        md = Metadata(is_dir=False, mtime=1.0)
+        assert md.with_size(10, 512).mtime == 1.0
+        assert md.with_size(10, 512, mtime=9.0).mtime == 9.0
+
+    def test_immutability(self):
+        md = Metadata(is_dir=False, size=5)
+        md.with_size(100, 512)
+        assert md.size == 5
+
+
+class TestConstructors:
+    def test_new_file_defaults(self):
+        md = new_file_metadata()
+        assert not md.is_dir
+        assert md.size == 0
+        assert md.mode == 0o644
+        assert md.ctime > 0
+
+    def test_new_dir(self):
+        md = new_dir_metadata(0o700)
+        assert md.is_dir
+        assert md.mode == 0o700
+
+    def test_times_disabled(self):
+        md = new_file_metadata(maintain_times=False)
+        assert md.ctime == 0.0
+        assert md.mtime == 0.0

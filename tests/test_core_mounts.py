@@ -1,0 +1,115 @@
+"""Mount registry: multi-deployment routing."""
+
+import os
+
+import pytest
+
+from repro.common.errors import InvalidArgumentError
+from repro.core import FSConfig, GekkoFSCluster
+from repro.core.mounts import MountRegistry
+
+
+@pytest.fixture
+def two_mounts():
+    scratch = GekkoFSCluster(num_nodes=2, config=FSConfig(mountpoint="/gkfs_job"))
+    campaign = GekkoFSCluster(num_nodes=3, config=FSConfig(mountpoint="/gkfs_campaign"))
+    registry = MountRegistry()
+    registry.mount(scratch.client(0))
+    registry.mount(campaign.client(0))
+    yield registry, scratch, campaign
+    scratch.shutdown()
+    campaign.shutdown()
+
+
+class TestMountTable:
+    def test_mountpoints_listed(self, two_mounts):
+        registry, _, _ = two_mounts
+        assert registry.mountpoints == ["/gkfs_campaign", "/gkfs_job"]
+
+    def test_duplicate_mount_rejected(self, two_mounts):
+        registry, scratch, _ = two_mounts
+        with pytest.raises(InvalidArgumentError):
+            registry.mount(scratch.client(1))
+
+    def test_unmount(self, two_mounts):
+        registry, _, _ = two_mounts
+        registry.unmount("/gkfs_job")
+        assert registry.mountpoints == ["/gkfs_campaign"]
+        with pytest.raises(InvalidArgumentError):
+            registry.unmount("/gkfs_job")
+
+    def test_unmounted_path_has_no_client(self, two_mounts):
+        registry, _, _ = two_mounts
+        assert registry.client_for_path("/tmp/elsewhere") is None
+
+    def test_prefix_must_be_component_aligned(self, two_mounts):
+        registry, _, _ = two_mounts
+        assert registry.client_for_path("/gkfs_jobx/file") is None
+
+    def test_longest_prefix_wins(self):
+        outer = GekkoFSCluster(num_nodes=2, config=FSConfig(mountpoint="/mnt"))
+        inner = GekkoFSCluster(num_nodes=2, config=FSConfig(mountpoint="/mnt/inner"))
+        registry = MountRegistry()
+        registry.mount(outer.client(0))
+        registry.mount(inner.client(0))
+        try:
+            assert registry.client_for_path("/mnt/inner/f").config.mountpoint == "/mnt/inner"
+            assert registry.client_for_path("/mnt/f").config.mountpoint == "/mnt"
+        finally:
+            outer.shutdown()
+            inner.shutdown()
+
+
+class TestRoutedCalls:
+    def test_io_routes_to_correct_deployment(self, two_mounts):
+        registry, scratch, campaign = two_mounts
+        fd_job = registry.open("/gkfs_job/a.dat", os.O_CREAT | os.O_RDWR)
+        fd_camp = registry.open("/gkfs_campaign/b.dat", os.O_CREAT | os.O_RDWR)
+        registry.write(fd_job, b"job bytes")
+        registry.write(fd_camp, b"campaign bytes")
+        assert registry.pread(fd_job, 9, 0) == b"job bytes"
+        assert registry.pread(fd_camp, 14, 0) == b"campaign bytes"
+        registry.close(fd_job)
+        registry.close(fd_camp)
+        # Data landed in distinct deployments.
+        assert scratch.used_bytes() == 9
+        assert campaign.used_bytes() == 14
+
+    def test_stat_and_listdir_route(self, two_mounts):
+        registry, _, _ = two_mounts
+        registry.mkdir("/gkfs_job/d")
+        fd = registry.open("/gkfs_job/d/x", os.O_CREAT | os.O_WRONLY)
+        registry.close(fd)
+        assert registry.stat("/gkfs_job/d/x").size == 0
+        assert registry.listdir("/gkfs_job/d") == [("x", False)]
+        assert registry.listdir("/gkfs_campaign") == []
+
+    def test_unmounted_path_raises(self, two_mounts):
+        registry, _, _ = two_mounts
+        with pytest.raises(InvalidArgumentError):
+            registry.open("/elsewhere/f", os.O_CREAT)
+
+    def test_foreign_fd_raises(self, two_mounts):
+        from repro.common.errors import BadFileDescriptorError
+
+        registry, _, _ = two_mounts
+        with pytest.raises(BadFileDescriptorError):
+            registry.read(3, 10)  # a kernel fd
+
+    def test_fd_routing_after_unmount(self, two_mounts):
+        from repro.common.errors import BadFileDescriptorError
+
+        registry, _, _ = two_mounts
+        fd = registry.open("/gkfs_job/f", os.O_CREAT | os.O_WRONLY)
+        registry.unmount("/gkfs_job")
+        with pytest.raises(BadFileDescriptorError):
+            registry.write(fd, b"x")
+
+    def test_registry_fds_are_unique_across_mounts(self, two_mounts):
+        registry, _, _ = two_mounts
+        fd_a = registry.open("/gkfs_job/u1", os.O_CREAT | os.O_WRONLY)
+        fd_b = registry.open("/gkfs_campaign/u2", os.O_CREAT | os.O_WRONLY)
+        assert fd_a != fd_b
+        registry.close(fd_a)
+        registry.close(fd_b)
+        assert registry.open_fds() == 0

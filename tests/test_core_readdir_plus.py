@@ -1,0 +1,60 @@
+"""listdir_plus: the batched ls -l path."""
+
+import os
+
+import pytest
+
+from repro.common.errors import NotADirectoryError_
+
+
+class TestListdirPlus:
+    def test_names_and_metadata(self, client):
+        client.mkdir("/gkfs/d")
+        fd = client.open("/gkfs/d/file", os.O_CREAT | os.O_WRONLY, 0o600)
+        client.write(fd, b"12345")
+        client.close(fd)
+        client.mkdir("/gkfs/d/sub", 0o700)
+        entries = client.listdir_plus("/gkfs/d")
+        assert [name for name, _ in entries] == ["file", "sub"]
+        by_name = dict(entries)
+        assert by_name["file"].size == 5
+        assert by_name["file"].mode == 0o600
+        assert not by_name["file"].is_dir
+        assert by_name["sub"].is_dir
+        assert by_name["sub"].mode == 0o700
+
+    def test_matches_plain_listdir(self, client):
+        client.mkdir("/gkfs/d2")
+        for i in range(20):
+            client.close(client.creat(f"/gkfs/d2/e{i:02d}"))
+        plain = client.listdir("/gkfs/d2")
+        plus = client.listdir_plus("/gkfs/d2")
+        assert [(n, md.is_dir) for n, md in plus] == plain
+
+    def test_empty_directory(self, client):
+        client.mkdir("/gkfs/empty")
+        assert client.listdir_plus("/gkfs/empty") == []
+
+    def test_on_file_is_enotdir(self, client):
+        client.close(client.creat("/gkfs/f"))
+        with pytest.raises(NotADirectoryError_):
+            client.listdir_plus("/gkfs/f")
+
+    def test_one_rpc_per_daemon_not_per_entry(self, instrumented_cluster):
+        """The point of the batched variant: listing N entries costs one
+        readdir_plus RPC per daemon, not N stat RPCs."""
+        client = instrumented_cluster.client(0)
+        client.mkdir("/gkfs/big")
+        for i in range(100):
+            client.close(client.creat(f"/gkfs/big/e{i:03d}"))
+        instrumented_cluster.transport.reset()
+        entries = client.listdir_plus("/gkfs/big")
+        assert len(entries) == 100
+        counts = instrumented_cluster.transport.rpcs_by_handler
+        assert counts["gkfs_readdir_plus"] == 4  # one per daemon
+        assert counts.get("gkfs_stat", 0) <= 1  # only the dir itself
+
+    def test_passthrough(self, client, tmp_path):
+        (tmp_path / "native").write_bytes(b"abc")
+        entries = client.listdir_plus(str(tmp_path))
+        assert [(n, md.size) for n, md in entries] == [("native", 3)]

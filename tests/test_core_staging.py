@@ -1,0 +1,93 @@
+"""Stage-in / stage-out between real directories and GekkoFS."""
+
+import os
+
+import pytest
+
+from repro.core.staging import stage_in, stage_out
+
+
+@pytest.fixture
+def source_tree(tmp_path):
+    """A PFS-side input tree with nesting and varied sizes."""
+    root = tmp_path / "inputs"
+    (root / "sub" / "deep").mkdir(parents=True)
+    layout = {
+        "config.txt": b"alpha=1\n",
+        "mesh.bin": os.urandom(700_000),  # spans multiple 512 KiB chunks
+        "sub/table.csv": b"a,b\n1,2\n",
+        "sub/deep/state.dat": os.urandom(1234),
+        "empty.dat": b"",
+    }
+    for rel, payload in layout.items():
+        (root / rel).write_bytes(payload)
+    return str(root), layout
+
+
+class TestStageIn:
+    def test_tree_and_bytes_preserved(self, cluster, source_tree):
+        source, layout = source_tree
+        report = stage_in(cluster, source, "/gkfs/job_in")
+        assert report.files == len(layout)
+        assert report.bytes == sum(len(v) for v in layout.values())
+        assert report.directories == 3  # job_in, sub, sub/deep
+        client = cluster.client(0)
+        for rel, payload in layout.items():
+            path = f"/gkfs/job_in/{rel}"
+            assert client.stat(path).size == len(payload)
+            fd = client.open(path)
+            assert client.read(fd, len(payload) + 1) == payload
+            client.close(fd)
+
+    def test_missing_source_rejected(self, cluster, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            stage_in(cluster, str(tmp_path / "nowhere"), "/gkfs/x")
+
+    def test_existing_target_rejected(self, cluster, source_tree):
+        source, _ = source_tree
+        cluster.client(0).mkdir("/gkfs/taken")
+        with pytest.raises(FileExistsError):
+            stage_in(cluster, source, "/gkfs/taken")
+
+
+class TestStageOut:
+    def test_roundtrip_through_burst_buffer(self, cluster, source_tree, tmp_path):
+        """stage-in -> compute (mutate) -> stage-out: outputs land on the
+        'PFS' byte-identical."""
+        source, layout = source_tree
+        stage_in(cluster, source, "/gkfs/work")
+        client = cluster.client(0)
+        fd = client.creat("/gkfs/work/result.out")  # the job's product
+        client.write(fd, b"computed " * 1000)
+        client.close(fd)
+        out_dir = str(tmp_path / "outputs")
+        report = stage_out(cluster, "/gkfs/work", out_dir)
+        assert report.files == len(layout) + 1
+        for rel, payload in layout.items():
+            assert (tmp_path / "outputs" / rel).read_bytes() == payload
+        assert (tmp_path / "outputs" / "result.out").read_bytes() == b"computed " * 1000
+
+    def test_merges_into_existing_directory(self, cluster, tmp_path):
+        client = cluster.client(0)
+        client.mkdir("/gkfs/res")
+        fd = client.creat("/gkfs/res/new.txt")
+        client.write(fd, b"fresh")
+        client.close(fd)
+        out = tmp_path / "existing"
+        out.mkdir()
+        (out / "old.txt").write_bytes(b"retained")
+        stage_out(cluster, "/gkfs/res", str(out))
+        assert (out / "old.txt").read_bytes() == b"retained"
+        assert (out / "new.txt").read_bytes() == b"fresh"
+
+    def test_sparse_files_densify_on_stage_out(self, cluster, tmp_path):
+        client = cluster.client(0)
+        client.mkdir("/gkfs/sp")
+        fd = client.creat("/gkfs/sp/holey.dat")
+        client.pwrite(fd, b"tail", 1_000_000)
+        client.close(fd)
+        stage_out(cluster, "/gkfs/sp", str(tmp_path / "out"))
+        data = (tmp_path / "out" / "holey.dat").read_bytes()
+        assert len(data) == 1_000_004
+        assert data[-4:] == b"tail"
+        assert data[:4] == b"\x00\x00\x00\x00"

@@ -1,0 +1,93 @@
+"""Recursive traversal utilities (walk / disk_usage)."""
+
+import os
+
+import pytest
+
+from repro.common.errors import NotFoundError
+
+
+@pytest.fixture
+def tree(client):
+    """/gkfs/root: two files + two subdirs, one nested."""
+    client.mkdir("/gkfs/root")
+    client.mkdir("/gkfs/root/sub_a")
+    client.mkdir("/gkfs/root/sub_b")
+    client.mkdir("/gkfs/root/sub_a/deep")
+    layout = {
+        "/gkfs/root/top1": 100,
+        "/gkfs/root/top2": 50,
+        "/gkfs/root/sub_a/a1": 10,
+        "/gkfs/root/sub_a/deep/d1": 7,
+        "/gkfs/root/sub_b/b1": 3,
+    }
+    for path, size in layout.items():
+        fd = client.open(path, os.O_CREAT | os.O_WRONLY)
+        client.write(fd, b"x" * size)
+        client.close(fd)
+    return client, layout
+
+
+class TestWalk:
+    def test_visits_every_directory_top_down(self, tree):
+        client, _ = tree
+        visited = [dirpath for dirpath, _, _ in client.walk("/gkfs/root")]
+        assert visited == [
+            "/gkfs/root",
+            "/gkfs/root/sub_a",
+            "/gkfs/root/sub_a/deep",
+            "/gkfs/root/sub_b",
+        ]
+
+    def test_files_carry_metadata(self, tree):
+        client, layout = tree
+        seen = {}
+        for dirpath, _dirs, files in client.walk("/gkfs/root"):
+            for name, md in files:
+                seen[f"{dirpath}/{name}"] = md.size
+        assert seen == layout
+
+    def test_prune_via_dirnames(self, tree):
+        client, _ = tree
+        visited = []
+        for dirpath, dirnames, _files in client.walk("/gkfs/root"):
+            visited.append(dirpath)
+            if dirpath == "/gkfs/root":
+                dirnames.remove("sub_a")  # prune the sub_a branch
+        assert visited == ["/gkfs/root", "/gkfs/root/sub_b"]
+
+    def test_missing_path(self, client):
+        with pytest.raises(NotFoundError):
+            list(client.walk("/gkfs/ghost"))
+
+
+class TestDiskUsage:
+    def test_recursive_totals(self, tree):
+        client, layout = tree
+        usage = client.disk_usage("/gkfs/root")
+        assert usage == {
+            "files": len(layout),
+            "directories": 3,
+            "bytes": sum(layout.values()),
+        }
+
+    def test_single_file(self, tree):
+        client, _ = tree
+        assert client.disk_usage("/gkfs/root/top1") == {
+            "files": 1,
+            "directories": 0,
+            "bytes": 100,
+        }
+
+    def test_empty_directory(self, client):
+        client.mkdir("/gkfs/empty")
+        assert client.disk_usage("/gkfs/empty") == {
+            "files": 0,
+            "directories": 0,
+            "bytes": 0,
+        }
+
+    def test_matches_statfs_for_whole_tree(self, tree):
+        client, layout = tree
+        usage = client.disk_usage("/gkfs")
+        assert usage["bytes"] == client.statfs()["used_bytes"]

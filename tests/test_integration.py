@@ -1,0 +1,141 @@
+"""End-to-end scenarios across subsystems (client ↔ RPC ↔ daemon ↔ LSM ↔ storage)."""
+
+import os
+
+import pytest
+
+from repro.core import FSConfig, GekkoFSCluster
+
+
+class TestCheckpointRestart:
+    """The burst-buffer bread-and-butter: N ranks dump state, all ranks
+    read every checkpoint back (restart after rebalance)."""
+
+    def test_checkpoint_cycle(self):
+        with GekkoFSCluster(num_nodes=4, config=FSConfig(chunk_size=4096)) as fs:
+            ranks = [fs.client(i % 4) for i in range(8)]
+            payloads = {}
+            setup = fs.client(0)
+            setup.mkdir("/gkfs/ckpt")
+            for step in range(2):
+                for rank, client in enumerate(ranks):
+                    data = bytes([step * 16 + rank]) * 10_000  # ~2.5 chunks
+                    path = f"/gkfs/ckpt/step{step}_rank{rank}.dat"
+                    fd = client.open(path, os.O_CREAT | os.O_WRONLY)
+                    client.write(fd, data)
+                    client.close(fd)
+                    payloads[path] = data
+            # restart: every rank reads a checkpoint written by another rank
+            for path, expected in payloads.items():
+                reader = ranks[(hash(path) % 7 + 1) % 8]
+                fd = reader.open(path)
+                assert reader.read(fd, len(expected) + 1) == expected
+                reader.close(fd)
+            names = [n for n, _ in setup.listdir("/gkfs/ckpt")]
+            assert len(names) == 16
+
+
+class TestProducerConsumer:
+    """Data-driven pipeline: producer on node A streams records, consumer
+    on node B reads them back and removes processed inputs."""
+
+    def test_pipeline(self, cluster):
+        producer = cluster.client(0)
+        consumer = cluster.client(3)
+        producer.mkdir("/gkfs/queue")
+        for batch in range(5):
+            fd = producer.open(f"/gkfs/queue/batch{batch:03d}", os.O_CREAT | os.O_WRONLY)
+            producer.write(fd, f"payload-{batch}".encode() * 100)
+            producer.close(fd)
+        processed = []
+        while True:
+            pending = [n for n, _ in consumer.listdir("/gkfs/queue")]
+            if not pending:
+                break
+            name = pending[0]
+            fd = consumer.open(f"/gkfs/queue/{name}")
+            data = consumer.read(fd, 1 << 20)
+            consumer.close(fd)
+            assert data  # never an empty batch
+            consumer.unlink(f"/gkfs/queue/{name}")
+            processed.append(name)
+        assert processed == [f"batch{b:03d}" for b in range(5)]
+
+
+class TestCampaignPersistence:
+    """Longer-term use case (§I): state survives daemon restart when the
+    node-local stores are kept (a 'campaign' spanning several jobs)."""
+
+    def test_metadata_survives_kv_restart(self, tmp_path):
+        config = FSConfig(
+            chunk_size=2048,
+            kv_dir=str(tmp_path / "kv"),
+            data_dir=str(tmp_path / "data"),
+        )
+        fs = GekkoFSCluster(num_nodes=2, config=config)
+        c = fs.client(0)
+        fd = c.creat("/gkfs/campaign.dat")
+        c.write(fd, b"job-1 output " * 500)
+        c.close(fd)
+        expected_size = c.stat("/gkfs/campaign.dat").size
+        fs.shutdown(wipe=False)  # end of job 1; SSD contents retained
+
+        fs2 = GekkoFSCluster(num_nodes=2, config=config)
+        try:
+            c2 = fs2.client(0)
+            md = c2.stat("/gkfs/campaign.dat")
+            assert md.size == expected_size
+            fd = c2.open("/gkfs/campaign.dat")
+            assert c2.read(fd, 13) == b"job-1 output "
+            c2.close(fd)
+        finally:
+            fs2.shutdown()
+
+
+class TestManySmallFiles:
+    """The data-science pattern that motivates GekkoFS (§I): huge numbers
+    of small files in one directory, created from many clients."""
+
+    def test_thousand_files_single_directory(self):
+        with GekkoFSCluster(num_nodes=8) as fs:
+            clients = [fs.client(i) for i in range(8)]
+            fs.client(0).mkdir("/gkfs/flood")
+            for i in range(1000):
+                client = clients[i % 8]
+                fd = client.open(f"/gkfs/flood/obj{i:06d}", os.O_CREAT | os.O_WRONLY)
+                client.write(fd, b"v")
+                client.close(fd)
+            listing = fs.client(5).listdir("/gkfs/flood")
+            assert len(listing) == 1000
+            # every daemon carries a fair share of the records
+            records = [len(d.kv) for d in fs.daemons]
+            assert min(records) > 1000 / 8 * 0.6
+
+    def test_interleaved_create_remove(self, cluster):
+        c = cluster.client(0)
+        cluster.client(1).mkdir("/gkfs/churn")
+        alive = set()
+        for i in range(200):
+            name = f"/gkfs/churn/t{i % 50:03d}"
+            if name in alive:
+                c.unlink(name)
+                alive.discard(name)
+            else:
+                c.close(c.creat(name))
+                alive.add(name)
+        listed = {f"/gkfs/churn/{n}" for n, _ in c.listdir("/gkfs/churn")}
+        assert listed == alive
+
+
+class TestFaultReporting:
+    def test_daemon_loss_surfaces_as_transport_error(self, cluster):
+        """GekkoFS has no fault tolerance (§I): losing a daemon makes the
+        paths it owns unreachable, loudly."""
+        c = cluster.client(0)
+        for i in range(16):
+            c.close(c.creat(f"/gkfs/f{i:02d}"))
+        victim = cluster.daemons[2]
+        cluster.network.remove_engine(2)
+        with pytest.raises(LookupError):
+            for i in range(16):
+                c.stat(f"/gkfs/f{i:02d}")  # some path hashes to daemon 2

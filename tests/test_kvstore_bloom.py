@@ -1,0 +1,67 @@
+"""Bloom filter: no false negatives, bounded false positives, wire format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kvstore.bloom import BloomFilter
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_items(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+
+    @pytest.mark.parametrize("fp", [0.0, 1.0, -0.1, 2.0])
+    def test_rejects_bad_fp_rate(self, fp):
+        with pytest.raises(ValueError):
+            BloomFilter(100, fp)
+
+    def test_sizing_grows_with_items(self):
+        assert BloomFilter(10_000).nbits > BloomFilter(100).nbits
+
+    def test_sizing_grows_with_precision(self):
+        assert BloomFilter(1000, 0.001).nbits > BloomFilter(1000, 0.1).nbits
+
+
+class TestMembership:
+    def test_empty_filter_contains_nothing(self):
+        bf = BloomFilter(100)
+        assert b"anything" not in bf
+
+    @given(st.sets(st.binary(min_size=1, max_size=32), min_size=1, max_size=200))
+    def test_no_false_negatives(self, keys):
+        bf = BloomFilter(max(len(keys), 1))
+        for key in keys:
+            bf.add(key)
+        assert all(key in bf for key in keys)
+
+    def test_false_positive_rate_near_target(self):
+        bf = BloomFilter(5000, fp_rate=0.01)
+        for i in range(5000):
+            bf.add(f"member-{i}".encode())
+        hits = sum(1 for i in range(20_000) if f"absent-{i}".encode() in bf)
+        assert hits / 20_000 < 0.03  # 3x headroom over the 1% target
+
+    def test_count_tracks_adds(self):
+        bf = BloomFilter(10)
+        bf.add(b"a")
+        bf.add(b"b")
+        assert bf.count == 2
+
+
+class TestSerialisation:
+    def test_roundtrip_preserves_membership(self):
+        bf = BloomFilter(500, 0.02)
+        keys = [f"key-{i}".encode() for i in range(500)]
+        for key in keys:
+            bf.add(key)
+        restored = BloomFilter.from_bytes(bf.to_bytes())
+        assert restored.nbits == bf.nbits
+        assert restored.nhashes == bf.nhashes
+        assert restored.count == bf.count
+        assert all(key in restored for key in keys)
+
+    def test_corrupt_length_detected(self):
+        blob = BloomFilter(100).to_bytes()
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(blob + b"\x00\x00")

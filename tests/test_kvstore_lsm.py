@@ -1,0 +1,217 @@
+"""LSM store: CRUD across runs, merge atomicity, compaction, recovery."""
+
+import threading
+
+import pytest
+
+from repro.kvstore.lsm import LSMStore, prefix_upper_bound
+
+
+class TestPrefixUpperBound:
+    def test_simple(self):
+        assert prefix_upper_bound(b"/dir/") == b"/dir0"
+
+    def test_trailing_ff_carries(self):
+        assert prefix_upper_bound(b"a\xff") == b"b"
+
+    def test_all_ff_unbounded(self):
+        assert prefix_upper_bound(b"\xff\xff") is None
+
+    def test_empty_unbounded(self):
+        assert prefix_upper_bound(b"") is None
+
+
+class TestCrud:
+    def test_get_absent(self):
+        with LSMStore() as store:
+            assert store.get(b"nope") is None
+            assert b"nope" not in store
+
+    def test_put_get_delete(self):
+        with LSMStore() as store:
+            store.put(b"k", b"v")
+            assert store.get(b"k") == b"v"
+            store.delete(b"k")
+            assert store.get(b"k") is None
+
+    def test_overwrite(self):
+        with LSMStore() as store:
+            store.put(b"k", b"1")
+            store.put(b"k", b"2")
+            assert store.get(b"k") == b"2"
+
+    def test_empty_key_rejected(self):
+        with LSMStore() as store:
+            with pytest.raises(ValueError):
+                store.put(b"", b"v")
+
+    def test_non_bytes_rejected(self):
+        with LSMStore() as store:
+            with pytest.raises(TypeError):
+                store.put("str", b"v")
+            with pytest.raises(TypeError):
+                store.put(b"k", "str")
+
+    def test_use_after_close_rejected(self):
+        store = LSMStore()
+        store.close()
+        with pytest.raises(RuntimeError):
+            store.put(b"k", b"v")
+
+    def test_len_counts_live_keys(self):
+        with LSMStore() as store:
+            for i in range(10):
+                store.put(f"k{i}".encode(), b"v")
+            store.delete(b"k3")
+            assert len(store) == 9
+
+
+class TestRunsAndCompaction:
+    def make_store(self):
+        return LSMStore(memtable_flush_bytes=256, compaction_fanout=3)
+
+    def test_reads_span_memtable_and_runs(self):
+        with self.make_store() as store:
+            for i in range(100):
+                store.put(f"key{i:04d}".encode(), f"v{i}".encode())
+            assert store.num_runs >= 1
+            for i in range(100):
+                assert store.get(f"key{i:04d}".encode()) == f"v{i}".encode()
+
+    def test_newest_run_wins(self):
+        with self.make_store() as store:
+            store.put(b"k", b"old")
+            store.flush()
+            store.put(b"k", b"new")
+            store.flush()
+            assert store.get(b"k") == b"new"
+
+    def test_tombstone_shadows_older_run(self):
+        with self.make_store() as store:
+            store.put(b"k", b"v")
+            store.flush()
+            store.delete(b"k")
+            store.flush()
+            assert store.get(b"k") is None
+
+    def test_compaction_collapses_runs_and_drops_tombstones(self):
+        with self.make_store() as store:
+            for i in range(20):
+                store.put(f"k{i:02d}".encode(), b"v")
+            store.delete(b"k05")
+            store.flush()
+            store.compact()
+            assert store.num_runs == 1
+            assert store.get(b"k05") is None
+            assert store.get(b"k06") == b"v"
+
+    def test_automatic_compaction_bounds_runs(self):
+        with self.make_store() as store:
+            for i in range(2000):
+                store.put(f"key{i:06d}".encode(), b"x" * 32)
+            assert store.num_runs <= 4  # fanout 3 + the one being built
+            assert len(store) == 2000
+
+    def test_range_iter_merges_runs_in_order(self):
+        with self.make_store() as store:
+            for i in range(0, 50, 2):
+                store.put(f"k{i:02d}".encode(), b"even")
+            store.flush()
+            for i in range(1, 50, 2):
+                store.put(f"k{i:02d}".encode(), b"odd")
+            keys = [k for k, _ in store.range_iter()]
+            assert keys == sorted(keys)
+            assert len(keys) == 50
+
+    def test_prefix_iter(self):
+        with LSMStore() as store:
+            store.put(b"/a/1", b"x")
+            store.put(b"/a/2", b"y")
+            store.put(b"/b/1", b"z")
+            assert [k for k, _ in store.prefix_iter(b"/a/")] == [b"/a/1", b"/a/2"]
+
+
+class TestMerge:
+    def test_merge_creates_and_updates(self):
+        with LSMStore() as store:
+            result = store.merge(b"size", lambda old: b"1" if old is None else old + b"1")
+            assert result == b"1"
+            result = store.merge(b"size", lambda old: old + b"1")
+            assert result == b"11"
+
+    def test_merge_exception_leaves_store_unchanged(self):
+        with LSMStore() as store:
+            store.put(b"k", b"v")
+
+            def boom(old):
+                raise RuntimeError("merge fn failed")
+
+            with pytest.raises(RuntimeError):
+                store.merge(b"k", boom)
+            assert store.get(b"k") == b"v"
+
+    def test_merge_non_bytes_result_rejected(self):
+        with LSMStore() as store:
+            with pytest.raises(TypeError):
+                store.merge(b"k", lambda old: 42)
+
+    def test_concurrent_merges_all_apply(self):
+        """The size-update path: racing merges must serialise, not lose."""
+        with LSMStore() as store:
+            store.put(b"ctr", (0).to_bytes(8, "little"))
+
+            def bump():
+                for _ in range(200):
+                    store.merge(
+                        b"ctr",
+                        lambda old: (int.from_bytes(old, "little") + 1).to_bytes(8, "little"),
+                    )
+
+            threads = [threading.Thread(target=bump) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert int.from_bytes(store.get(b"ctr"), "little") == 800
+
+
+class TestPersistence:
+    def test_recovery_from_wal(self, tmp_path):
+        path = str(tmp_path / "db")
+        store = LSMStore(path)
+        store.put(b"a", b"1")
+        store.delete(b"a")
+        store.put(b"b", b"2")
+        store._wal.flush()  # simulate crash: no clean close
+        reopened = LSMStore(path)
+        assert reopened.get(b"a") is None
+        assert reopened.get(b"b") == b"2"
+        reopened.close()
+        store._closed = True  # silence the original handle
+
+    def test_recovery_from_sstables_and_wal(self, tmp_path):
+        path = str(tmp_path / "db")
+        with LSMStore(path, memtable_flush_bytes=64) as store:
+            for i in range(50):
+                store.put(f"key{i:03d}".encode(), f"v{i}".encode())
+        with LSMStore(path) as reopened:
+            assert len(reopened) == 50
+            assert reopened.get(b"key025") == b"v25"
+
+    def test_compaction_removes_old_files(self, tmp_path):
+        path = str(tmp_path / "db")
+        with LSMStore(path, memtable_flush_bytes=64, compaction_fanout=2) as store:
+            for i in range(500):
+                store.put(f"key{i:05d}".encode(), b"x" * 16)
+            sst_files = [p for p in (tmp_path / "db").iterdir() if p.suffix == ".sst"]
+            assert len(sst_files) == store.num_runs
+
+    def test_stats_counters(self):
+        with LSMStore() as store:
+            store.put(b"a", b"1")
+            store.get(b"a")
+            store.get(b"missing")
+            store.delete(b"a")
+            assert store.stats.puts == 1
+            assert store.stats.gets == 2
+            assert store.stats.deletes == 1

@@ -1,0 +1,122 @@
+"""SSTable: immutable run format, point reads, range scans, tombstones."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kvstore.memtable import Memtable, TOMBSTONE
+from repro.kvstore.sstable import INDEX_INTERVAL, SSTable, SSTableWriter
+
+
+def build(entries):
+    writer = SSTableWriter(expected_items=max(len(entries), 1))
+    for key, value in entries:
+        writer.add(key, value)
+    return SSTable(writer.finish())
+
+
+class TestWriter:
+    def test_keys_must_ascend(self):
+        writer = SSTableWriter()
+        writer.add(b"b", b"1")
+        with pytest.raises(ValueError):
+            writer.add(b"a", b"2")
+
+    def test_duplicate_keys_rejected(self):
+        writer = SSTableWriter()
+        writer.add(b"a", b"1")
+        with pytest.raises(ValueError):
+            writer.add(b"a", b"2")
+
+    def test_finish_twice_rejected(self):
+        writer = SSTableWriter()
+        writer.add(b"a", b"1")
+        writer.finish()
+        with pytest.raises(RuntimeError):
+            writer.finish()
+
+    def test_add_after_finish_rejected(self):
+        writer = SSTableWriter()
+        writer.finish()
+        with pytest.raises(RuntimeError):
+            writer.add(b"a", b"1")
+
+    def test_non_bytes_value_rejected(self):
+        writer = SSTableWriter()
+        with pytest.raises(TypeError):
+            writer.add(b"a", "not-bytes")
+
+
+class TestReads:
+    def test_empty_table(self):
+        table = build([])
+        assert len(table) == 0
+        assert table.get(b"a") is None
+        assert list(table) == []
+
+    def test_point_lookup(self):
+        table = build([(b"a", b"1"), (b"b", b"2"), (b"c", b"3")])
+        assert table.get(b"b") == b"2"
+        assert table.get(b"z") is None
+        assert table.get(b"0") is None
+
+    def test_tombstone_visible_to_reader(self):
+        table = build([(b"a", b"1"), (b"dead", TOMBSTONE)])
+        assert table.get(b"dead") is TOMBSTONE
+
+    def test_lookup_across_index_intervals(self):
+        entries = [(f"k{i:05d}".encode(), str(i).encode()) for i in range(INDEX_INTERVAL * 5)]
+        table = build(entries)
+        for key, value in entries:
+            assert table.get(key) == value
+
+    def test_range_iter_half_open(self):
+        table = build([(b"a", b"1"), (b"b", b"2"), (b"c", b"3"), (b"d", b"4")])
+        assert [k for k, _ in table.range_iter(b"b", b"d")] == [b"b", b"c"]
+
+    def test_range_iter_unbounded(self):
+        table = build([(b"a", b"1"), (b"b", b"2")])
+        assert [k for k, _ in table.range_iter()] == [b"a", b"b"]
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            SSTable(b"JUNK" + b"\x00" * 100)
+
+    def test_corrupt_footer_rejected(self):
+        blob = bytearray(build([(b"a", b"1")]).to_bytes())
+        blob[-1] ^= 0xFF
+        with pytest.raises(ValueError):
+            SSTable(bytes(blob))
+
+
+class TestMemtableFlush:
+    def test_from_memtable_preserves_everything(self):
+        mt = Memtable()
+        mt.put(b"live", b"v")
+        mt.delete(b"dead")
+        table = SSTable.from_memtable(mt)
+        assert table.get(b"live") == b"v"
+        assert table.get(b"dead") is TOMBSTONE
+
+    @given(
+        st.dictionaries(
+            st.binary(min_size=1, max_size=16), st.binary(max_size=64), max_size=100
+        )
+    )
+    def test_roundtrip_matches_model(self, model):
+        mt = Memtable()
+        for key, value in model.items():
+            mt.put(key, value)
+        table = SSTable.from_memtable(mt)
+        assert len(table) == len(model)
+        for key, value in model.items():
+            assert table.get(key) == value
+        assert [k for k, _ in table.range_iter()] == sorted(model)
+
+    def test_serialised_roundtrip(self):
+        mt = Memtable()
+        for i in range(100):
+            mt.put(f"key{i:04d}".encode(), f"value{i}".encode())
+        table = SSTable.from_memtable(mt)
+        restored = SSTable(table.to_bytes())
+        assert restored.count == table.count
+        assert restored.get(b"key0042") == b"value42"

@@ -1,0 +1,166 @@
+"""GekkoFS model: paper anchors, scaling shape, DES cross-validation."""
+
+import pytest
+
+from repro.analysis.series import SweepSeries
+from repro.common.units import GiB, KiB, MiB
+from repro.models import GekkoFSModel, aggregated_ssd_peak
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GekkoFSModel()
+
+
+class TestMetadataAnchors:
+    """§IV-A: the 512-node throughput statements."""
+
+    def test_create_46M(self, model):
+        assert model.metadata_throughput(512, "create") == pytest.approx(46e6, rel=0.05)
+
+    def test_stat_44M(self, model):
+        assert model.metadata_throughput(512, "stat") == pytest.approx(44e6, rel=0.05)
+
+    def test_remove_22M(self, model):
+        assert model.metadata_throughput(512, "remove") == pytest.approx(22e6, rel=0.05)
+
+    def test_remove_is_two_rpcs(self, model):
+        """The structural reason removes run at half the stat rate."""
+        ratio = model.metadata_throughput(512, "stat") / model.metadata_throughput(512, "remove")
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_millions_at_small_node_counts(self, model):
+        """'reaches millions of metadata operations already for a small
+        number of nodes' (§I)."""
+        assert model.metadata_throughput(16, "create") > 1e6
+
+    def test_close_to_linear_scaling(self, model):
+        series = SweepSeries.sweep("create", lambda n: model.metadata_throughput(n, "create"))
+        assert series.scaling_exponent() > 0.85
+
+    def test_unknown_op_rejected(self, model):
+        with pytest.raises((KeyError, ValueError)):
+            model.metadata_throughput(4, "chmod")
+
+    def test_invalid_nodes_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.metadata_throughput(0, "create")
+
+
+class TestDataAnchors:
+    """§IV-B: bandwidth, IOPS, latency, random and shared-file behaviour."""
+
+    def test_write_141_gib_at_80pct(self, model):
+        bw = model.data_throughput(512, 64 * MiB, write=True)
+        assert bw == pytest.approx(141 * GiB, rel=0.05)
+        eff = bw / aggregated_ssd_peak(512, write=True)
+        assert eff == pytest.approx(0.80, abs=0.03)
+
+    def test_read_204_gib_at_70pct(self, model):
+        bw = model.data_throughput(512, 64 * MiB, write=False)
+        assert bw == pytest.approx(204 * GiB, rel=0.05)
+        eff = bw / aggregated_ssd_peak(512, write=False)
+        assert eff == pytest.approx(0.70, abs=0.03)
+
+    def test_8k_iops_claims(self, model):
+        assert model.data_iops(512, 8 * KiB, write=True) > 13e6
+        assert model.data_iops(512, 8 * KiB, write=False) > 22e6
+
+    def test_8k_latency_bounded_by_700us(self, model):
+        assert model.data_latency(512, 8 * KiB, write=True) <= 700e-6
+
+    def test_random_8k_penalties(self, model):
+        """Random 8 KiB: write −33 %, read −60 % (§IV-B)."""
+        w_seq = model.data_throughput(512, 8 * KiB, write=True)
+        w_rand = model.data_throughput(512, 8 * KiB, write=True, random=True)
+        assert 1 - w_rand / w_seq == pytest.approx(0.33, abs=0.05)
+        r_seq = model.data_throughput(512, 8 * KiB, write=False)
+        r_rand = model.data_throughput(512, 8 * KiB, write=False, random=True)
+        assert 1 - r_rand / r_seq == pytest.approx(0.60, abs=0.05)
+
+    def test_random_equals_sequential_at_chunk_size(self, model):
+        """Transfers >= chunk size access whole chunk files: random and
+        sequential are conceptually the same (§IV-B)."""
+        for transfer in (512 * KiB, 1 * MiB, 64 * MiB):
+            seq = model.data_throughput(512, transfer, write=True)
+            rand = model.data_throughput(512, transfer, write=True, random=True)
+            assert rand / seq > 0.95
+
+    def test_larger_transfers_are_faster(self, model):
+        bws = [
+            model.data_throughput(512, t, write=True)
+            for t in (8 * KiB, 64 * KiB, 1 * MiB, 64 * MiB)
+        ]
+        assert bws == sorted(bws)
+
+    def test_linear_scaling_of_data(self, model):
+        series = SweepSeries.sweep(
+            "write 64m", lambda n: model.data_throughput(n, 64 * MiB, write=True)
+        )
+        assert series.scaling_exponent() == pytest.approx(1.0, abs=0.02)
+
+
+class TestSharedFile:
+    def test_ceiling_without_cache(self, model):
+        ops = model.data_iops(512, 8 * KiB, write=True, shared_file=True)
+        assert ops == pytest.approx(150e3, rel=0.05)
+
+    def test_cache_restores_file_per_process(self, model):
+        """With the size-update cache, shared-file ≈ file-per-process (§IV-B)."""
+        cached = model.data_throughput(
+            512, 8 * KiB, write=True, shared_file=True, size_cache=True
+        )
+        fpp = model.data_throughput(512, 8 * KiB, write=True)
+        assert cached / fpp > 0.99
+
+    def test_reads_unaffected(self, model):
+        shared = model.data_throughput(512, 8 * KiB, write=False, shared_file=True)
+        fpp = model.data_throughput(512, 8 * KiB, write=False)
+        assert shared == fpp
+
+    def test_ceiling_scales_with_flush_interval(self, model):
+        a = model.data_throughput(
+            64, 8 * KiB, write=True, shared_file=True, size_cache=True,
+            size_cache_flush_every=2,
+        )
+        b = model.data_throughput(
+            64, 8 * KiB, write=True, shared_file=True, size_cache=True,
+            size_cache_flush_every=64,
+        )
+        assert b >= a
+
+
+class TestStartup:
+    def test_under_20s_at_512(self, model):
+        assert model.startup_time(512) < 20.0
+
+    def test_grows_logarithmically(self, model):
+        t1, t512 = model.startup_time(1), model.startup_time(512)
+        assert t512 - t1 == pytest.approx(9.0, rel=0.01)  # 9 doublings x 1 s
+
+
+class TestDESValidation:
+    """The analytic reductions must match the event-level protocol runs."""
+
+    @pytest.mark.parametrize("nodes", [2, 4, 8])
+    def test_metadata_stat(self, model, nodes):
+        des = model.des_metadata_run(nodes, "stat", ops_per_proc=120)
+        ana = model.metadata_throughput(nodes, "stat")
+        assert des == pytest.approx(ana, rel=0.10)
+
+    @pytest.mark.parametrize("op", ["create", "remove"])
+    def test_metadata_other_ops(self, model, op):
+        des = model.des_metadata_run(4, op, ops_per_proc=120)
+        ana = model.metadata_throughput(4, op)
+        assert des == pytest.approx(ana, rel=0.10)
+
+    @pytest.mark.parametrize("transfer", [64 * KiB, 1 * MiB])
+    def test_data_write(self, model, transfer):
+        des = model.des_data_run(2, transfer, transfers_per_proc=10, write=True)
+        ana = model.data_throughput(2, transfer, write=True)
+        assert des == pytest.approx(ana, rel=0.10)
+
+    def test_data_read(self, model):
+        des = model.des_data_run(2, 1 * MiB, transfers_per_proc=10, write=False)
+        ana = model.data_throughput(2, 1 * MiB, write=False)
+        assert des == pytest.approx(ana, rel=0.10)

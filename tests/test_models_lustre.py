@@ -1,0 +1,75 @@
+"""Lustre baseline: MDS ceilings and the flat scaling shape."""
+
+import pytest
+
+from repro.analysis.series import SweepSeries
+from repro.models import GekkoFSModel, LustreModel
+
+
+@pytest.fixture(scope="module")
+def lustre():
+    return LustreModel()
+
+
+class TestCeilings:
+    def test_unique_dir_anchors(self, lustre):
+        """Back-solved from the paper's speedup factors at 512 nodes."""
+        assert lustre.metadata_throughput(512, "create", single_dir=False) == pytest.approx(
+            46e6 / 1405, rel=0.05
+        )
+        assert lustre.metadata_throughput(512, "stat", single_dir=False) == pytest.approx(
+            44e6 / 359, rel=0.05
+        )
+        assert lustre.metadata_throughput(512, "remove", single_dir=False) == pytest.approx(
+            22e6 / 453, rel=0.05
+        )
+
+    def test_single_dir_below_unique_dir(self, lustre):
+        for op in ("create", "stat", "remove"):
+            for nodes in (4, 64, 512):
+                single = lustre.metadata_throughput(nodes, op, single_dir=True)
+                unique = lustre.metadata_throughput(nodes, op, single_dir=False)
+                assert single < unique
+
+    def test_unknown_op(self, lustre):
+        with pytest.raises(ValueError):
+            lustre.metadata_throughput(4, "link", single_dir=True)
+
+    def test_invalid_nodes(self, lustre):
+        with pytest.raises(ValueError):
+            lustre.metadata_throughput(0, "stat", single_dir=True)
+
+
+class TestShape:
+    def test_flat_beyond_saturation(self, lustre):
+        """Adding client nodes cannot add MDS capacity: the curve is flat
+        (within the convoy slope) from a handful of nodes on."""
+        series = SweepSeries.sweep(
+            "lustre create", lambda n: lustre.metadata_throughput(n, "create", single_dir=False)
+        )
+        assert series.scaling_exponent() < 0.2
+
+    def test_single_dir_convoy_declines(self, lustre):
+        at_8 = lustre.metadata_throughput(8, "create", single_dir=True)
+        at_512 = lustre.metadata_throughput(512, "create", single_dir=True)
+        assert at_512 < at_8
+
+    def test_gekkofs_wins_everywhere(self, lustre):
+        """Figure 2's headline: GekkoFS above Lustre at every node count,
+        in every mode, for every operation."""
+        gekko = GekkoFSModel()
+        for op in ("create", "stat", "remove"):
+            for nodes in (1, 8, 64, 512):
+                gk = gekko.metadata_throughput(nodes, op)
+                for single in (True, False):
+                    assert gk > lustre.metadata_throughput(nodes, op, single_dir=single)
+
+    def test_crossover_factor_grows_with_scale(self, lustre):
+        """The speedup factor widens as GekkoFS scales and Lustre cannot."""
+        gekko = GekkoFSModel()
+        factors = [
+            gekko.metadata_throughput(n, "create")
+            / lustre.metadata_throughput(n, "create", single_dir=False)
+            for n in (4, 32, 256, 512)
+        ]
+        assert factors == sorted(factors)

@@ -1,0 +1,71 @@
+"""Closed-network solver: bounds, limits, monotonicity."""
+
+import math
+
+import pytest
+
+from repro.models.queueing import closed_network_throughput, mmc_wait_time
+
+
+class TestMmcWait:
+    def test_zero_arrival_no_wait(self):
+        assert mmc_wait_time(0.0, 1.0, 1) == 0.0
+
+    def test_saturation_is_infinite(self):
+        assert mmc_wait_time(2.0, 1.0, 1) == math.inf
+        assert mmc_wait_time(1.0, 1.0, 1) == math.inf
+
+    def test_wait_grows_with_load(self):
+        waits = [mmc_wait_time(rho, 1.0, 1) for rho in (0.2, 0.5, 0.8, 0.95)]
+        assert waits == sorted(waits)
+
+    def test_mm1_matches_exact_formula(self):
+        # For c=1 Sakasegawa is exact: Wq = rho/(1-rho) * S
+        for rho in (0.1, 0.5, 0.9):
+            assert mmc_wait_time(rho, 1.0, 1) == pytest.approx(rho / (1 - rho))
+
+    def test_more_servers_less_wait(self):
+        assert mmc_wait_time(1.5, 1.0, 2) > mmc_wait_time(1.5, 1.0, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mmc_wait_time(-1, 1.0, 1)
+        with pytest.raises(ValueError):
+            mmc_wait_time(1.0, 0.0, 1)
+        with pytest.raises(ValueError):
+            mmc_wait_time(1.0, 1.0, 0)
+
+
+class TestClosedNetwork:
+    def test_light_load_is_n_over_cycle(self):
+        # 4 customers, huge capacity: X = N / (Z + S)
+        x = closed_network_throughput(4, think_time=9.0, service_time=1.0, servers=1000)
+        assert x == pytest.approx(0.4, rel=1e-3)
+
+    def test_saturation_is_capacity(self):
+        # Customers galore, capacity 2/1.0 = 2 ops/s
+        x = closed_network_throughput(10_000, think_time=0.0, service_time=1.0, servers=2)
+        assert x == pytest.approx(2.0, rel=1e-3)
+
+    def test_never_exceeds_either_bound(self):
+        for n in (1, 10, 100, 1000):
+            x = closed_network_throughput(n, 0.005, 0.001, 8)
+            assert x <= n / 0.006 + 1e-9
+            assert x <= 8 / 0.001 + 1e-9
+
+    def test_monotone_in_customers(self):
+        xs = [
+            closed_network_throughput(n, 0.01, 0.001, 4)
+            for n in (1, 4, 16, 64, 256)
+        ]
+        assert xs == sorted(xs)
+
+    def test_single_customer_exact(self):
+        x = closed_network_throughput(1, think_time=1.0, service_time=1.0, servers=1)
+        assert x == pytest.approx(0.5, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            closed_network_throughput(0, 1.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            closed_network_throughput(1, -1.0, 1.0, 1)

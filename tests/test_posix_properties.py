@@ -1,0 +1,104 @@
+"""Property test: the errno shim is behaviourally identical to the client.
+
+The shim translates exceptions to return conventions — nothing else.  A
+stateful machine drives the same random operation stream through both a
+:class:`PosixShim` (on one deployment) and a raw client (on another) and
+requires identical observable outcomes at every step: same bytes, same
+sizes, same errno-vs-exception classification.
+"""
+
+import errno as errno_mod
+import os
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.common.errors import GekkoError
+from repro.core import GekkoFSCluster
+from repro.core.posix import PosixShim
+
+NAMES = st.sampled_from([f"/gkfs/f{i}" for i in range(6)])
+
+
+class ShimVsClient(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.shim_fs = GekkoFSCluster(num_nodes=2)
+        self.raw_fs = GekkoFSCluster(num_nodes=3)  # different layout on purpose
+        self.shim = PosixShim(self.shim_fs.client(0))
+        self.raw = self.raw_fs.client(0)
+
+    def _raw_errno(self, fn):
+        try:
+            return fn(), None
+        except GekkoError as err:
+            return None, err.errno
+
+    @rule(path=NAMES, data=st.binary(min_size=0, max_size=200))
+    def write_whole_file(self, path, data):
+        rc = self.shim.creat(path)
+        raw_result, raw_err = self._raw_errno(lambda: self.raw.creat(path))
+        assert (rc >= 0) == (raw_err is None)
+        if rc >= 0:
+            assert self.shim.write(rc, data) == len(data)
+            assert self.shim.close(rc) == 0
+            self.raw.write(raw_result, data)
+            self.raw.close(raw_result)
+
+    @rule(path=NAMES, count=st.integers(0, 300), offset=st.integers(0, 300))
+    def read_matches(self, path, count, offset):
+        fd = self.shim.open(path, os.O_RDONLY)
+        raw_fd, raw_err = self._raw_errno(lambda: self.raw.open(path, os.O_RDONLY))
+        if fd < 0:
+            assert self.shim.errno == raw_err
+            return
+        assert raw_err is None
+        shim_data = self.shim.pread(fd, count, offset)
+        raw_data = self.raw.pread(raw_fd, count, offset)
+        assert shim_data == raw_data
+        self.shim.close(fd)
+        self.raw.close(raw_fd)
+
+    @rule(path=NAMES)
+    def stat_matches(self, path):
+        st_buf = self.shim.stat(path)
+        raw_md, raw_err = self._raw_errno(lambda: self.raw.stat(path))
+        if st_buf is None:
+            assert self.shim.errno == raw_err == errno_mod.ENOENT
+        else:
+            assert raw_err is None
+            assert st_buf.st_size == raw_md.size
+
+    @rule(path=NAMES)
+    def unlink_matches(self, path):
+        rc = self.shim.unlink(path)
+        _, raw_err = self._raw_errno(lambda: self.raw.unlink(path))
+        assert (rc == 0) == (raw_err is None)
+        if rc != 0:
+            assert self.shim.errno == raw_err
+
+    @rule(path=NAMES, size=st.integers(0, 400))
+    def truncate_matches(self, path, size):
+        rc = self.shim.truncate(path, size)
+        _, raw_err = self._raw_errno(lambda: self.raw.truncate(path, size))
+        assert (rc == 0) == (raw_err is None)
+
+    @invariant()
+    def listings_match(self):
+        shim_fd = self.shim.opendir("/gkfs")
+        shim_names = []
+        while True:
+            entry = self.shim.readdir(shim_fd)
+            if entry is None:
+                break
+            shim_names.append(entry)
+        self.shim.close(shim_fd)
+        assert shim_names == self.raw.listdir("/gkfs")
+
+    def teardown(self):
+        self.shim_fs.shutdown()
+        self.raw_fs.shutdown()
+
+
+TestShimVsClient = ShimVsClient.TestCase
+TestShimVsClient.settings = settings(max_examples=15, stateful_step_count=20)

@@ -1,0 +1,75 @@
+"""Bulk handles: the zero-copy RDMA stand-in."""
+
+import pytest
+
+from repro.rpc.bulk import BulkHandle
+
+
+class TestExposure:
+    def test_readonly_bytes_need_flag(self):
+        with pytest.raises(ValueError):
+            BulkHandle(b"immutable")
+
+    def test_readonly_flag_allows_bytes(self):
+        handle = BulkHandle(b"immutable", readonly=True)
+        assert handle.readonly
+        assert len(handle) == 9
+
+    def test_bytearray_is_writable(self):
+        assert not BulkHandle(bytearray(4)).readonly
+
+    def test_readonly_view_forces_readonly(self):
+        handle = BulkHandle(memoryview(b"abc"), readonly=True)
+        assert handle.readonly
+
+
+class TestPull:
+    def test_full_pull(self):
+        handle = BulkHandle(b"hello", readonly=True)
+        assert handle.pull() == b"hello"
+        assert handle.bytes_pulled == 5
+
+    def test_partial_pull(self):
+        handle = BulkHandle(b"hello world", readonly=True)
+        assert handle.pull(6, 5) == b"world"
+
+    def test_pull_past_end_rejected(self):
+        handle = BulkHandle(b"abc", readonly=True)
+        with pytest.raises(ValueError):
+            handle.pull(1, 3)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            BulkHandle(b"abc", readonly=True).pull(-1, 1)
+
+
+class TestPush:
+    def test_push_writes_through(self):
+        buffer = bytearray(8)
+        handle = BulkHandle(buffer)
+        assert handle.push(b"data", 2) == 4
+        assert bytes(buffer) == b"\x00\x00data\x00\x00"
+        assert handle.bytes_pushed == 4
+
+    def test_push_into_readonly_rejected(self):
+        with pytest.raises(ValueError):
+            BulkHandle(b"abc", readonly=True).push(b"x")
+
+    def test_push_past_end_rejected(self):
+        with pytest.raises(ValueError):
+            BulkHandle(bytearray(2)).push(b"abc")
+
+    def test_push_into_sliced_view_hits_parent(self):
+        """The client exposes a slice of its I/O buffer; the daemon's push
+        must land in the right place of the parent buffer (zero copy)."""
+        buffer = bytearray(10)
+        handle = BulkHandle(memoryview(buffer)[4:8])
+        handle.push(b"WXYZ")
+        assert bytes(buffer) == b"\x00\x00\x00\x00WXYZ\x00\x00"
+
+    def test_transfer_counter_sums_directions(self):
+        buffer = bytearray(4)
+        handle = BulkHandle(buffer)
+        handle.push(b"ab")
+        handle.pull(0, 2)
+        assert handle.bytes_transferred == 4

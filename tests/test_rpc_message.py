@@ -1,0 +1,76 @@
+"""RPC envelopes: wire-size accounting and error capture."""
+
+import errno
+
+import pytest
+
+from repro.common.errors import NotFoundError, UnsupportedError
+from repro.rpc.message import (
+    RemoteError,
+    RpcRequest,
+    RpcResponse,
+    estimate_wire_size,
+)
+
+
+class TestWireSize:
+    @pytest.mark.parametrize(
+        "obj,expected",
+        [
+            (None, 1),
+            (True, 1),
+            (7, 8),
+            (3.14, 8),
+            (b"abcd", 8),
+            ("abcd", 8),
+        ],
+    )
+    def test_scalars(self, obj, expected):
+        assert estimate_wire_size(obj) == expected
+
+    def test_containers_sum_members(self):
+        assert estimate_wire_size([1, 2]) == 4 + 16
+        assert estimate_wire_size({"k": 1}) == 4 + (1 + 4) + 8
+
+    def test_bytes_dominate(self):
+        assert estimate_wire_size(b"x" * 10_000) == 10_004
+
+    def test_request_wire_size_excludes_bulk(self):
+        small = RpcRequest(target=0, handler="h", args=(1,))
+        with_bulk = RpcRequest(target=0, handler="h", args=(1,), bulk=object())
+        assert small.wire_size == with_bulk.wire_size
+
+
+class TestResponse:
+    def test_ok_result(self):
+        resp = RpcResponse.from_call(lambda a, b: a + b, (2, 3))
+        assert resp.ok
+        assert resp.result() == 5
+
+    def test_gekko_error_captured_and_rehydrated(self):
+        def handler():
+            raise NotFoundError("/missing")
+
+        resp = RpcResponse.from_call(handler, ())
+        assert not resp.ok
+        assert resp.error.errno == errno.ENOENT
+        with pytest.raises(NotFoundError, match="missing"):
+            resp.result()
+
+    def test_error_type_preserved_across_wire(self):
+        def handler():
+            raise UnsupportedError("rename")
+
+        with pytest.raises(UnsupportedError):
+            RpcResponse.from_call(handler, ()).result()
+
+    def test_daemon_bugs_propagate_uncaught(self):
+        def handler():
+            raise ZeroDivisionError("bug")
+
+        with pytest.raises(ZeroDivisionError):
+            RpcResponse.from_call(handler, ())
+
+    def test_remote_error_message(self):
+        err = RemoteError(errno.ENOENT, "gone")
+        assert str(err) == "gone"

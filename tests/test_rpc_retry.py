@@ -1,0 +1,123 @@
+"""Retrying transport: transient fault recovery, final errors untouched."""
+
+import pytest
+
+from repro.common.errors import NotFoundError
+from repro.rpc import FaultInjectingTransport, RetryingTransport, RpcNetwork
+from repro.rpc.message import RpcRequest
+
+
+class FlakyTransport:
+    """Fails the first ``fail_times`` sends with ConnectionError."""
+
+    def __init__(self, inner, fail_times):
+        self.inner = inner
+        self.remaining_failures = fail_times
+        self.attempts = 0
+
+    def send(self, request):
+        self.attempts += 1
+        if self.remaining_failures > 0:
+            self.remaining_failures -= 1
+            raise ConnectionError("transient fabric hiccup")
+        return self.inner.send(request)
+
+
+@pytest.fixture
+def network():
+    net = RpcNetwork()
+    engine = net.create_engine(0)
+    engine.register("echo", lambda x: x)
+
+    def fail(path):
+        raise NotFoundError(path)
+
+    engine.register("fail", fail)
+    return net
+
+
+class TestRetry:
+    def test_recovers_from_transient_faults(self, network):
+        flaky = FlakyTransport(network.transport, fail_times=2)
+        network.transport = RetryingTransport(flaky, max_attempts=3)
+        assert network.call(0, "echo", "ok") == "ok"
+        assert flaky.attempts == 3
+        assert network.transport.retries == 2
+
+    def test_gives_up_after_max_attempts(self, network):
+        flaky = FlakyTransport(network.transport, fail_times=10)
+        network.transport = RetryingTransport(flaky, max_attempts=3)
+        with pytest.raises(ConnectionError):
+            network.call(0, "echo", "x")
+        assert flaky.attempts == 3
+
+    def test_gekko_errors_never_retried(self, network):
+        """A NotFoundError is a *result*, not a delivery failure."""
+        inner = network.transport
+        counting = FlakyTransport(inner, fail_times=0)
+        network.transport = RetryingTransport(counting, max_attempts=5)
+        with pytest.raises(NotFoundError):
+            network.call(0, "fail", "/missing")
+        assert counting.attempts == 1
+
+    def test_non_retryable_exceptions_propagate_immediately(self, network):
+        flaky = FaultInjectingTransport(
+            network.transport,
+            should_fail=lambda req: True,
+            exc_factory=lambda req: LookupError("dead daemon"),
+        )
+        network.transport = RetryingTransport(flaky, max_attempts=5)
+        with pytest.raises(LookupError):
+            network.call(0, "echo", 1)
+        assert flaky.faults_injected == 1  # no retry of a permanent fault
+
+    def test_max_attempts_one_is_passthrough(self, network):
+        flaky = FlakyTransport(network.transport, fail_times=1)
+        network.transport = RetryingTransport(flaky, max_attempts=1)
+        with pytest.raises(ConnectionError):
+            network.call(0, "echo", 1)
+        assert network.transport.retries == 0
+
+    def test_validation(self, network):
+        with pytest.raises(ValueError):
+            RetryingTransport(network.transport, max_attempts=0)
+
+
+class TestBottleneckExplainer:
+    def test_ssd_bound_at_large_transfers(self):
+        from repro.common.units import MiB
+        from repro.models import GekkoFSModel
+
+        info = GekkoFSModel().explain_data_bottleneck(512, 64 * MiB, write=True)
+        assert info["bottleneck"] == "ssd"
+        assert info["ssd_headroom"] == 1.0
+        assert info["nic_headroom"] > 1.0
+
+    def test_size_updates_bind_shared_file(self):
+        from repro.common.units import KiB
+        from repro.models import GekkoFSModel
+
+        info = GekkoFSModel().explain_data_bottleneck(
+            512, 8 * KiB, write=True, shared_file=True
+        )
+        assert info["bottleneck"] == "size_updates"
+
+    def test_cache_shifts_bottleneck_back_to_ssd(self):
+        from repro.common.units import KiB
+        from repro.models import GekkoFSModel
+
+        info = GekkoFSModel().explain_data_bottleneck(
+            512, 8 * KiB, write=True, shared_file=True, size_cache=True
+        )
+        assert info["bottleneck"] == "ssd"
+
+    def test_limits_consistent_with_throughput(self):
+        from repro.common.units import KiB
+        from repro.models import GekkoFSModel
+
+        model = GekkoFSModel()
+        info = model.explain_data_bottleneck(512, 8 * KiB, write=True)
+        binding = info[f"{info['bottleneck']}_limit"]
+        assert 512 * binding == pytest.approx(
+            model.data_throughput(512, 8 * KiB, write=True)
+        )

@@ -1,0 +1,122 @@
+"""Network model and simulated-cluster RPC cost composition."""
+
+import pytest
+
+from repro.common.units import GiB, MiB
+from repro.simulator import NetworkModel, OMNIPATH_100G, SimCluster, Simulator
+from repro.simulator.node import NodeParams
+
+
+class TestNetworkModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(nic_bandwidth=0, base_latency=1e-6)
+        with pytest.raises(ValueError):
+            NetworkModel(nic_bandwidth=1, base_latency=-1)
+
+    def test_wire_time_scales_with_bytes(self):
+        net = NetworkModel(nic_bandwidth=1 * GiB, base_latency=1e-6)
+        assert net.wire_time(GiB) == pytest.approx(1.0)
+        assert net.wire_time(0) == 0.0
+
+    def test_message_time_adds_latency(self):
+        net = NetworkModel(nic_bandwidth=1 * GiB, base_latency=5e-6)
+        assert net.message_time(0) == pytest.approx(5e-6)
+
+    def test_bisection_cap(self):
+        net = NetworkModel(nic_bandwidth=10 * GiB, base_latency=0, bisection_per_node=1 * GiB)
+        assert net.wire_time(GiB) == pytest.approx(1.0)
+
+    def test_omnipath_preset(self):
+        assert OMNIPATH_100G.nic_bandwidth > 11 * GiB
+        assert OMNIPATH_100G.base_latency < 1e-4
+
+
+class TestSimCluster:
+    def make(self, nodes=2, **params):
+        sim = Simulator()
+        defaults = dict(
+            handler_pool=2, kv_op_time=10e-6, client_overhead=5e-6, ssd_queue_depth=1
+        )
+        defaults.update(params)
+        network = NetworkModel(nic_bandwidth=1 * GiB, base_latency=2e-6)
+        return sim, SimCluster(sim, nodes, NodeParams(**defaults), network)
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            SimCluster(Simulator(), 0)
+
+    def test_remote_metadata_rpc_cost(self):
+        """client 5us + 2 latencies (4us) + kv 10us + NIC serialisation of
+        request and response at both endpoints (4 x 128 B at 1 GiB/s)."""
+        sim, cluster = self.make()
+
+        def run():
+            yield from cluster.rpc(0, 1, 128, 128, lambda n: n.serve_metadata_op())
+
+        sim.process(run())
+        sim.run()
+        wire = 4 * 128 / (1 * GiB)
+        assert sim.now == pytest.approx(5e-6 + 4e-6 + wire + 10e-6, rel=1e-6)
+
+    def test_local_rpc_skips_network(self):
+        sim, cluster = self.make()
+
+        def run():
+            yield from cluster.rpc(0, 0, 128, 128, lambda n: n.serve_metadata_op())
+
+        sim.process(run())
+        sim.run()
+        assert sim.now == pytest.approx(5e-6 + 10e-6, rel=1e-6)
+
+    def test_handler_pool_limits_concurrency(self):
+        sim, cluster = self.make(handler_pool=1, kv_op_time=100e-6, client_overhead=0)
+        network_free = NetworkModel(nic_bandwidth=1000 * GiB, base_latency=0)
+        cluster.network = network_free
+        for node in cluster.nodes:
+            node.network = network_free
+
+        def run():
+            yield from cluster.rpc(0, 1, 1, 1, lambda n: n.serve_metadata_op())
+
+        for _ in range(4):
+            sim.process(run())
+        sim.run()
+        # One handler, four 100us ops: pure serialisation.
+        assert sim.now == pytest.approx(400e-6, rel=1e-3)
+
+    def test_ops_served_counted(self):
+        sim, cluster = self.make()
+
+        def run():
+            yield from cluster.metadata_rpc(0, 1)
+            yield from cluster.metadata_rpc(0, 1)
+
+        sim.process(run())
+        sim.run()
+        assert cluster.nodes[1].ops_served == 2
+        assert cluster.total_ops_served() == 2
+
+    def test_data_rpc_charges_ssd(self):
+        sim, cluster = self.make(client_overhead=0)
+
+        def run():
+            yield from cluster.data_rpc(0, 1, 1 * MiB, write=True)
+
+        sim.process(run())
+        sim.run()
+        ssd_time = cluster.params.ssd.service_time(1 * MiB, write=True)
+        assert sim.now > ssd_time  # SSD plus network, never less
+
+    def test_nic_serialises_concurrent_sends(self):
+        sim, cluster = self.make(client_overhead=0)
+        done = []
+
+        def run():
+            yield from cluster.data_rpc(0, 1, 64 * MiB, write=True)
+            done.append(sim.now)
+
+        sim.process(run())
+        sim.process(run())
+        sim.run()
+        assert done[1] > done[0]  # the shared NIC pipe forces ordering

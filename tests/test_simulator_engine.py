@@ -1,0 +1,197 @@
+"""Discrete-event engine: time ordering, processes, joins."""
+
+import pytest
+
+from repro.simulator.engine import Simulator
+
+
+class TestTimeouts:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        sim.timeout(5.0)
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().timeout(-1.0)
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            sim.timeout(delay).callbacks.append(lambda ev, d=delay: order.append(d))
+        sim.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_equal_times_fire_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            sim.timeout(1.0).callbacks.append(lambda ev, t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.timeout(10.0).callbacks.append(lambda ev: fired.append(True))
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        assert not fired
+        assert sim.pending_events == 1
+
+
+class TestProcesses:
+    def test_sequential_timeouts(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            trace.append(sim.now)
+            yield sim.timeout(2.0)
+            trace.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert trace == [1.0, 3.0]
+
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(1.0)
+            return "done"
+
+        results = []
+
+        def parent():
+            value = yield sim.process(child())
+            results.append(value)
+
+        sim.process(parent())
+        sim.run()
+        assert results == ["done"]
+
+    def test_timeout_value_passed_through(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            value = yield sim.timeout(1.0, value="payload")
+            got.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_yielding_non_event_is_an_error(self):
+        sim = Simulator()
+
+        def proc():
+            yield 42
+
+        sim.process(proc())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_concurrent_processes_interleave(self):
+        sim = Simulator()
+        trace = []
+
+        def worker(tag, delay):
+            yield sim.timeout(delay)
+            trace.append((sim.now, tag))
+
+        sim.process(worker("slow", 3.0))
+        sim.process(worker("fast", 1.0))
+        sim.run()
+        assert trace == [(1.0, "fast"), (3.0, "slow")]
+
+
+class TestAllOf:
+    def test_waits_for_every_child(self):
+        sim = Simulator()
+        done_at = []
+
+        def parent():
+            yield sim.all_of([sim.timeout(1.0), sim.timeout(5.0), sim.timeout(3.0)])
+            done_at.append(sim.now)
+
+        sim.process(parent())
+        sim.run()
+        assert done_at == [5.0]
+
+    def test_collects_values_in_order(self):
+        sim = Simulator()
+        got = []
+
+        def parent():
+            values = yield sim.all_of(
+                [sim.timeout(2.0, "late"), sim.timeout(1.0, "early")]
+            )
+            got.append(values)
+
+        sim.process(parent())
+        sim.run()
+        assert got == [["late", "early"]]
+
+    def test_empty_join_fires_immediately(self):
+        sim = Simulator()
+        fired = []
+
+        def parent():
+            yield sim.all_of([])
+            fired.append(sim.now)
+
+        sim.process(parent())
+        sim.run()
+        assert fired == [0.0]
+
+    def test_fan_out_of_processes(self):
+        sim = Simulator()
+
+        def child(delay):
+            yield sim.timeout(delay)
+            return delay
+
+        results = []
+
+        def parent():
+            values = yield sim.all_of([sim.process(child(d)) for d in (3.0, 1.0, 2.0)])
+            results.append(values)
+
+        sim.process(parent())
+        sim.run()
+        assert results == [[3.0, 1.0, 2.0]]
+
+
+class TestEvents:
+    def test_manual_succeed(self):
+        sim = Simulator()
+        gate = sim.event()
+        trace = []
+
+        def waiter():
+            value = yield gate
+            trace.append((sim.now, value))
+
+        def opener():
+            yield sim.timeout(4.0)
+            gate.succeed("open")
+
+        sim.process(waiter())
+        sim.process(opener())
+        sim.run()
+        assert trace == [(4.0, "open")]
+
+    def test_double_succeed_rejected(self):
+        sim = Simulator()
+        gate = sim.event()
+        gate.succeed()
+        with pytest.raises(RuntimeError):
+            gate.succeed()

@@ -1,0 +1,120 @@
+"""Queued resources: capacity enforcement, FIFO order, statistics."""
+
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.simulator.resources import Resource
+
+
+class TestCapacity:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), 0)
+
+    def test_single_slot_serialises(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+        trace = []
+
+        def worker(tag):
+            yield res.acquire()
+            yield sim.timeout(2.0)
+            res.release()
+            trace.append((sim.now, tag))
+
+        for tag in "ab":
+            sim.process(worker(tag))
+        sim.run()
+        assert trace == [(2.0, "a"), (4.0, "b")]
+
+    def test_multi_slot_runs_parallel(self):
+        sim = Simulator()
+        res = Resource(sim, 2)
+        trace = []
+
+        def worker(tag):
+            yield from res.use(2.0)
+            trace.append((sim.now, tag))
+
+        for tag in "abc":
+            sim.process(worker(tag))
+        sim.run()
+        assert trace == [(2.0, "a"), (2.0, "b"), (4.0, "c")]
+
+    def test_fifo_queue_order(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+        order = []
+
+        def worker(tag, start):
+            yield sim.timeout(start)
+            yield res.acquire()
+            order.append(tag)
+            yield sim.timeout(5.0)
+            res.release()
+
+        sim.process(worker("first", 0.0))
+        sim.process(worker("second", 1.0))
+        sim.process(worker("third", 2.0))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_release_idle_is_a_bug(self):
+        res = Resource(Simulator(), 1)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+
+class TestStatistics:
+    def test_utilisation_full(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+
+        def worker():
+            yield from res.use(10.0)
+
+        sim.process(worker())
+        sim.run()
+        assert res.utilisation() == pytest.approx(1.0)
+
+    def test_utilisation_half(self):
+        sim = Simulator()
+        res = Resource(sim, 2)
+
+        def worker():
+            yield from res.use(10.0)
+
+        sim.process(worker())
+        sim.run()
+        assert res.utilisation() == pytest.approx(0.5)
+
+    def test_wait_time_accounted(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+
+        def worker():
+            yield from res.use(3.0)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert res.wait_time == pytest.approx(3.0)  # second worker queued 3s
+
+    def test_acquisition_count(self):
+        sim = Simulator()
+        res = Resource(sim, 4)
+
+        def worker():
+            yield from res.use(1.0)
+
+        for _ in range(7):
+            sim.process(worker())
+        sim.run()
+        assert res.total_acquisitions == 7
+
+    def test_utilisation_of_unused_resource(self):
+        sim = Simulator()
+        res = Resource(sim, 3)
+        sim.timeout(5.0)
+        sim.run()
+        assert res.utilisation() == 0.0

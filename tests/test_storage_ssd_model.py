@@ -1,0 +1,76 @@
+"""SSD performance model: service times and calibration invariants."""
+
+import pytest
+
+from repro.common.units import KiB, MiB
+from repro.storage.ssd_model import DC_S3700, SSDModel
+
+
+@pytest.fixture
+def ssd():
+    return SSDModel(
+        seq_write_bw=100 * MiB,
+        seq_read_bw=200 * MiB,
+        rand_write_iops=10_000,
+        rand_read_iops=20_000,
+        access_latency=100e-6,
+    )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field", ["seq_write_bw", "seq_read_bw", "rand_write_iops", "rand_read_iops"]
+    )
+    def test_nonpositive_bandwidth_rejected(self, field):
+        kwargs = dict(
+            seq_write_bw=1.0, seq_read_bw=1.0, rand_write_iops=1.0, rand_read_iops=1.0
+        )
+        kwargs[field] = 0.0
+        with pytest.raises(ValueError):
+            SSDModel(**kwargs)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            SSDModel(1.0, 1.0, 1.0, 1.0, access_latency=-1e-6)
+
+    def test_negative_size_rejected(self, ssd):
+        with pytest.raises(ValueError):
+            ssd.service_time(-1, write=True)
+
+
+class TestServiceTime:
+    def test_zero_size_costs_latency_only(self, ssd):
+        assert ssd.service_time(0, write=True) == pytest.approx(100e-6)
+
+    def test_sequential_write(self, ssd):
+        t = ssd.service_time(1 * MiB, write=True)
+        assert t == pytest.approx(100e-6 + 1 / 100)
+
+    def test_reads_faster_than_writes_sequentially(self, ssd):
+        assert ssd.service_time(MiB, write=False) < ssd.service_time(MiB, write=True)
+
+    def test_random_small_io_is_iops_bound(self, ssd):
+        seq = ssd.service_time(4 * KiB, write=True, random=False)
+        rand = ssd.service_time(4 * KiB, write=True, random=True)
+        assert rand > seq
+        # 10k IOPS at 4 KiB -> 40.96 MB/s effective
+        assert rand == pytest.approx(100e-6 + 4 * KiB / (10_000 * 4 * KiB))
+
+    def test_random_large_io_converges_to_sequential(self, ssd):
+        seq = ssd.service_time(64 * MiB, write=True, random=False)
+        rand = ssd.service_time(64 * MiB, write=True, random=True)
+        assert rand == pytest.approx(seq)
+
+    def test_monotone_in_size(self, ssd):
+        times = [ssd.service_time(s, write=False) for s in (KiB, 8 * KiB, MiB)]
+        assert times == sorted(times)
+
+
+class TestCalibration:
+    def test_dc_s3700_peaks_match_paper_back_solve(self):
+        """141 GiB/s = 80% of 512 SSDs' write peak; 204 = 70% of read peak."""
+        write_agg = 512 * DC_S3700.peak_bandwidth(write=True)
+        read_agg = 512 * DC_S3700.peak_bandwidth(write=False)
+        GiB = 1024**3
+        assert 141 * GiB / write_agg == pytest.approx(0.80, rel=0.02)
+        assert 204 * GiB / read_agg == pytest.approx(0.70, rel=0.02)

@@ -1,0 +1,159 @@
+"""Telemetry: histograms and the traced client."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import NotFoundError
+from repro.telemetry import LatencyHistogram, OpTracer, TracedClient
+
+
+class TestHistogram:
+    def test_empty_has_no_stats(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.mean
+        with pytest.raises(ValueError):
+            hist.percentile(50)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-1e-6)
+
+    def test_mean_is_exact(self):
+        hist = LatencyHistogram()
+        hist.record_many([1e-6, 3e-6, 5e-6])
+        assert hist.mean == pytest.approx(3e-6)
+
+    def test_min_max_exact(self):
+        hist = LatencyHistogram()
+        hist.record_many([5e-6, 1e-3, 2e-6])
+        assert hist.min == 2e-6
+        assert hist.max == 1e-3
+
+    def test_percentile_bounds(self):
+        hist = LatencyHistogram()
+        hist.record_many([10e-6] * 99 + [10e-3])
+        assert hist.percentile(50) == pytest.approx(10e-6, rel=0.5)
+        assert hist.percentile(100) == 10e-3
+
+    def test_percentile_validation(self):
+        hist = LatencyHistogram()
+        hist.record(1e-6)
+        with pytest.raises(ValueError):
+            hist.percentile(0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    @given(st.lists(st.floats(1e-7, 1.0), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_percentile_within_bucket_resolution(self, samples):
+        """Any percentile is within one √2-bucket of an exact quantile."""
+        import math
+
+        hist = LatencyHistogram()
+        hist.record_many(samples)
+        ordered = sorted(samples)
+        for p in (50, 95, 99):
+            # Nearest-rank quantile — the convention the histogram's
+            # cumulative-count scan implements.
+            rank = max(1, math.ceil(p / 100 * len(ordered)))
+            exact = ordered[rank - 1]
+            approx = hist.percentile(p)
+            assert approx <= exact * 2.0 + 1e-6
+            assert approx >= exact / 2.0 - 1e-6
+
+    def test_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record_many([1e-6] * 10)
+        b.record_many([1e-3] * 10)
+        a.merge(b)
+        assert a.count == 20
+        assert a.max == 1e-3
+        assert a.mean == pytest.approx((10e-6 + 10e-3) / 20)
+
+    def test_summary_fields(self):
+        hist = LatencyHistogram()
+        hist.record_many([1e-5] * 5)
+        s = hist.summary()
+        assert s["count"] == 5
+        assert set(s) == {"count", "mean", "p50", "p95", "p99", "min", "max"}
+
+    def test_empty_summary(self):
+        assert LatencyHistogram().summary() == {"count": 0}
+
+
+class TestOpTracer:
+    def test_observe_and_histogram(self):
+        tracer = OpTracer()
+        tracer.observe("stat", 5e-6)
+        tracer.observe("stat", 7e-6)
+        assert tracer.histogram("stat").count == 2
+        assert tracer.operations == ["stat"]
+        assert tracer.total_operations() == 2
+
+    def test_merge_tracers(self):
+        a, b = OpTracer(), OpTracer()
+        a.observe("open", 1e-6)
+        b.observe("open", 2e-6)
+        b.observe("close", 3e-6)
+        a.merge(b)
+        assert a.histogram("open").count == 2
+        assert a.histogram("close").count == 1
+
+    def test_report_renders(self):
+        tracer = OpTracer()
+        tracer.observe("write", 123e-6)
+        out = tracer.report(title="T")
+        assert "T" in out
+        assert "write" in out
+        assert "p99 us" in out
+
+
+class TestTracedClient:
+    def test_operations_timed(self, cluster):
+        client = TracedClient(cluster.client(0))
+        fd = client.open("/gkfs/traced", os.O_CREAT | os.O_RDWR)
+        client.write(fd, b"payload")
+        client.lseek(fd, 0)
+        client.read(fd, 7)
+        client.stat("/gkfs/traced")
+        client.close(fd)
+        tracer = client.tracer
+        assert tracer.histogram("open").count == 1
+        assert tracer.histogram("write").count == 1
+        assert tracer.histogram("read").count == 1
+        # write() delegates to pwrite() internally but only the public
+        # call is timed — exactly one observation per application call.
+        assert "pwrite" not in tracer.operations
+
+    def test_failures_are_timed_and_reraised(self, cluster):
+        client = TracedClient(cluster.client(0))
+        with pytest.raises(NotFoundError):
+            client.stat("/gkfs/nope")
+        assert client.tracer.histogram("stat").count == 1
+
+    def test_untraced_attributes_pass_through(self, cluster):
+        raw = cluster.client(0)
+        client = TracedClient(raw)
+        assert client.config is raw.config
+        assert client.is_gekkofs_path("/gkfs/x")
+
+    def test_results_identical_to_raw_client(self, cluster):
+        client = TracedClient(cluster.client(0))
+        client.mkdir("/gkfs/td")
+        fd = client.open("/gkfs/td/f", os.O_CREAT | os.O_RDWR)
+        client.write(fd, b"same bytes")
+        client.close(fd)
+        raw = cluster.client(1)
+        rfd = raw.open("/gkfs/td/f")
+        assert raw.read(rfd, 100) == b"same bytes"
+        raw.close(rfd)
+
+    def test_shared_tracer_across_ranks(self, cluster):
+        tracer = OpTracer()
+        for node in range(2):
+            client = TracedClient(cluster.client(node), tracer)
+            client.close(client.creat(f"/gkfs/rank{node}"))
+        assert tracer.histogram("creat").count == 2

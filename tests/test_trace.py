@@ -1,0 +1,170 @@
+"""Trace capture and replay."""
+
+import os
+
+import pytest
+
+from repro.common.errors import NotFoundError
+from repro.core import FSConfig, GekkoFSCluster, RendezvousDistributor
+from repro.trace import RecordingClient, TraceRecord, load_trace, replay, save_trace
+
+
+class TestFormat:
+    def test_record_json_roundtrip(self):
+        record = TraceRecord(op="pwrite", fd=3, offset=1024, size=512, result_size=512, duration=1e-4)
+        assert TraceRecord.from_json(record.to_json()) == record
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(op="rename")
+
+    def test_save_load_file(self, tmp_path):
+        records = [
+            TraceRecord(op="mkdir", path="/d"),
+            TraceRecord(op="open", path="/d/f", flags=os.O_CREAT, result_size=0),
+            TraceRecord(op="close", fd=0),
+        ]
+        path = str(tmp_path / "app.trace")
+        assert save_trace(records, path) == 3
+        assert load_trace(path) == records
+
+    def test_version_checked(self, tmp_path):
+        path = str(tmp_path / "bad.trace")
+        with open(path, "w") as fh:
+            fh.write('{"gekko_trace_version": 99}\n')
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestRecorder:
+    def test_captures_full_session(self, cluster):
+        rec = RecordingClient(cluster.client(0))
+        rec.mkdir("/gkfs/app")
+        fd = rec.open("/gkfs/app/data", os.O_CREAT | os.O_RDWR)
+        rec.write(fd, b"0123456789")
+        rec.lseek(fd, 0)
+        rec.read(fd, 4)
+        rec.pwrite(fd, b"xx", 8)
+        rec.pread(fd, 2, 8)
+        rec.stat("/gkfs/app/data")
+        rec.listdir("/gkfs/app")
+        rec.close(fd)
+        rec.unlink("/gkfs/app/data")
+        rec.rmdir("/gkfs/app")
+        ops = [r.op for r in rec.trace]
+        assert ops == [
+            "mkdir", "open", "write", "lseek", "read", "pwrite",
+            "pread", "stat", "listdir", "close", "unlink", "rmdir",
+        ]
+        by_op = {r.op: r for r in rec.trace}
+        assert by_op["write"].size == 10
+        assert by_op["write"].result_size == 10
+        assert by_op["stat"].result_size == 10
+        assert by_op["listdir"].result_size == 1
+        assert all(r.duration >= 0 for r in rec.trace)
+
+    def test_payload_bytes_never_stored(self, cluster):
+        rec = RecordingClient(cluster.client(0))
+        fd = rec.open("/gkfs/secret", os.O_CREAT | os.O_WRONLY)
+        rec.write(fd, b"TOP SECRET CONTENT")
+        rec.close(fd)
+        serialised = "".join(r.to_json() for r in rec.trace)
+        assert "SECRET" not in serialised
+
+    def test_failures_recorded_and_reraised(self, cluster):
+        import errno
+
+        rec = RecordingClient(cluster.client(0))
+        with pytest.raises(NotFoundError):
+            rec.stat("/gkfs/ghost")
+        assert rec.trace[-1].error == errno.ENOENT
+
+    def test_stable_fd_ids_start_at_zero(self, cluster):
+        rec = RecordingClient(cluster.client(0))
+        fd_a = rec.open("/gkfs/a", os.O_CREAT | os.O_WRONLY)
+        fd_b = rec.open("/gkfs/b", os.O_CREAT | os.O_WRONLY)
+        assert [r.result_size for r in rec.trace if r.op == "open"] == [0, 1]
+        rec.close(fd_a)
+        rec.close(fd_b)
+
+    def test_unrecorded_calls_pass_through(self, cluster):
+        rec = RecordingClient(cluster.client(0))
+        assert rec.exists("/gkfs") is True
+        assert rec.trace == []
+
+
+def _record_session(cluster) -> list[TraceRecord]:
+    rec = RecordingClient(cluster.client(0))
+    rec.mkdir("/gkfs/app")
+    fd = rec.open("/gkfs/app/out", os.O_CREAT | os.O_RDWR)
+    rec.write(fd, b"w" * 5000)
+    rec.pwrite(fd, b"p" * 100, 8000)
+    rec.pread(fd, 200, 4900)
+    rec.stat("/gkfs/app/out")
+    rec.listdir("/gkfs/app")
+    rec.close(fd)
+    try:
+        rec.stat("/gkfs/app/never")
+    except NotFoundError:
+        pass
+    return rec.trace
+
+
+class TestReplay:
+    def test_faithful_on_identical_deployment(self, cluster):
+        trace = _record_session(cluster)
+        with GekkoFSCluster(num_nodes=4) as fresh:
+            report = replay(trace, fresh.client(0))
+        assert report.faithful, report.divergences
+        assert report.replayed == len(trace)
+        assert report.elapsed_recorded > 0
+
+    def test_faithful_across_configurations(self, cluster):
+        """The point of replay: a different node count, chunk size, and
+        placement policy must produce identical observable results."""
+        trace = _record_session(cluster)
+        config = FSConfig(chunk_size=512)
+        with GekkoFSCluster(
+            num_nodes=7, config=config, distributor=RendezvousDistributor(7)
+        ) as other:
+            report = replay(trace, other.client(3))
+        assert report.faithful, report.divergences
+
+    def test_divergence_detected(self, cluster):
+        trace = _record_session(cluster)
+        # Tamper: claim the recorded stat saw a different size.
+        doctored = [
+            TraceRecord(**{**r.__dict__, "result_size": 999})
+            if r.op == "stat" and r.error is None
+            else r
+            for r in trace
+        ]
+        with GekkoFSCluster(num_nodes=2) as fresh:
+            report = replay(doctored, fresh.client(0))
+        assert not report.faithful
+        assert any("999" in msg for _, msg in report.divergences)
+
+    def test_recorded_failure_must_still_fail(self, cluster):
+        trace = _record_session(cluster)
+        with GekkoFSCluster(num_nodes=2) as fresh:
+            # Pre-create the path whose stat failed when recorded.
+            fresh.client(0).mkdir("/gkfs/app")
+            fresh.client(0).write_bytes("/gkfs/app/never", b"now exists")
+            # Drop the earlier mkdir so the replayed one doesn't collide.
+            pruned = [r for r in trace if not (r.op == "mkdir")]
+            report = replay(pruned, fresh.client(0))
+        assert any("succeeded" in msg for _, msg in report.divergences)
+
+    def test_str_summary(self, cluster):
+        trace = _record_session(cluster)
+        with GekkoFSCluster(num_nodes=2) as fresh:
+            report = replay(trace, fresh.client(0))
+        assert "faithful" in str(report)
+
+    def test_trace_file_roundtrip_then_replay(self, cluster, tmp_path):
+        trace = _record_session(cluster)
+        path = str(tmp_path / "session.trace")
+        save_trace(trace, path)
+        with GekkoFSCluster(num_nodes=3) as fresh:
+            report = replay(load_trace(path), fresh.client(0))
+        assert report.faithful

@@ -1,0 +1,178 @@
+"""IOR clone: data-path patterns with verification."""
+
+import pytest
+
+from repro.common.errors import InvalidArgumentError
+from repro.core import FSConfig, GekkoFSCluster
+from repro.workloads.ior import IorSpec, run_ior
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IorSpec(procs=0)
+        with pytest.raises(ValueError):
+            IorSpec(transfer_size=0)
+        with pytest.raises(ValueError):
+            IorSpec(transfer_size=100, block_size=250)
+
+    def test_derived_quantities(self):
+        spec = IorSpec(procs=3, transfer_size=1024, block_size=8192)
+        assert spec.transfers_per_proc == 8
+        assert spec.total_bytes == 3 * 8192
+
+    def test_file_per_process_paths(self):
+        spec = IorSpec(file_per_process=True)
+        assert spec.file_for("/gkfs", 0) != spec.file_for("/gkfs", 1)
+
+    def test_shared_file_path(self):
+        spec = IorSpec(file_per_process=False)
+        assert spec.file_for("/gkfs", 0) == spec.file_for("/gkfs", 1)
+
+    def test_shared_offsets_are_segmented(self):
+        spec = IorSpec(file_per_process=False, transfer_size=100, block_size=400)
+        assert spec.offset_for(0, 0) == 0
+        assert spec.offset_for(1, 0) == 400
+        assert spec.offset_for(1, 2) == 600
+
+    def test_random_order_is_permutation(self):
+        spec = IorSpec(sequential=False, transfer_size=64, block_size=64 * 32)
+        order = spec.transfer_order(3)
+        assert sorted(order) == list(range(32))
+        assert order != list(range(32))  # actually shuffled
+
+    def test_random_order_deterministic_per_seed(self):
+        spec = IorSpec(sequential=False, transfer_size=64, block_size=64 * 16)
+        assert spec.transfer_order(1) == spec.transfer_order(1)
+        assert spec.transfer_order(1) != spec.transfer_order(2)
+
+
+class TestRun:
+    @pytest.mark.parametrize("fpp", [True, False])
+    @pytest.mark.parametrize("sequential", [True, False])
+    def test_all_modes_verify(self, cluster, fpp, sequential):
+        spec = IorSpec(
+            procs=3,
+            transfer_size=4096,
+            block_size=64 * 1024,
+            file_per_process=fpp,
+            sequential=sequential,
+            workdir=f"/ior_{fpp}_{sequential}",
+        )
+        result = run_ior(cluster, spec)
+        assert result.verify_errors == 0
+        assert result.write_bandwidth > 0
+        assert result.read_bandwidth > 0
+
+    def test_multichunk_transfers(self, small_chunk_cluster):
+        spec = IorSpec(procs=2, transfer_size=256, block_size=1024)  # 4 chunks per transfer
+        result = run_ior(small_chunk_cluster, spec)
+        assert result.verify_errors == 0
+
+    def test_shared_file_size_is_union(self, cluster):
+        spec = IorSpec(procs=4, transfer_size=1024, block_size=4096, file_per_process=False)
+        run_ior(cluster, spec)
+        md = cluster.client(0).stat("/gkfs/ior/shared.dat")
+        assert md.size == 4 * 4096
+
+    def test_verification_catches_corruption(self, cluster):
+        """Tamper with a chunk behind IOR's back: a read-only re-run fails."""
+        spec = IorSpec(procs=1, transfer_size=1024, block_size=4096, workdir="/ior_corrupt")
+        run_ior(cluster, spec)  # lay the file down
+        rel = "/ior_corrupt/data.0000"
+        tampered = 0
+        for daemon in cluster.daemons:
+            if 0 in set(daemon.storage.chunk_ids(rel)):
+                daemon.storage.write_chunk(rel, 0, 0, b"\xde\xad")
+                tampered += 1
+        assert tampered == 1
+        with pytest.raises(InvalidArgumentError, match="verification failed"):
+            run_ior(cluster, spec, phases=("read",))
+
+    def test_read_only_phase(self, cluster):
+        spec = IorSpec(procs=2, transfer_size=1024, block_size=8192, workdir="/ior_ro")
+        run_ior(cluster, spec, phases=("write",))
+        result = run_ior(cluster, spec, phases=("read",))
+        assert result.write_bandwidth == 0.0
+        assert result.read_bandwidth > 0
+        assert result.verify_errors == 0
+
+    def test_unknown_phase_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            run_ior(cluster, IorSpec(), phases=("append",))
+
+
+class TestSegments:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IorSpec(segments=0)
+        with pytest.raises(ValueError):
+            IorSpec(transfer_size=1024, block_size=3 * 1024, segments=2)
+
+    def test_shared_layout_interleaves_rounds(self):
+        spec = IorSpec(
+            procs=2, transfer_size=100, block_size=400, segments=2,
+            file_per_process=False,
+        )
+        # Round 0: rank0 [0,200), rank1 [200,400); round 1: rank0 [400,600)...
+        assert spec.offset_for(0, 0) == 0
+        assert spec.offset_for(0, 1) == 100
+        assert spec.offset_for(1, 0) == 200
+        assert spec.offset_for(0, 2) == 400  # second segment
+        assert spec.offset_for(1, 2) == 600
+
+    def test_fpp_layout_is_contiguous(self):
+        spec = IorSpec(procs=2, transfer_size=100, block_size=400, segments=2)
+        assert [spec.offset_for(0, i) for i in range(4)] == [0, 100, 200, 300]
+
+    @pytest.mark.parametrize("fpp", [True, False])
+    def test_segmented_run_verifies(self, cluster, fpp):
+        spec = IorSpec(
+            procs=3, transfer_size=2048, block_size=16 * 2048, segments=4,
+            file_per_process=fpp, workdir=f"/ior_seg_{fpp}",
+        )
+        result = run_ior(cluster, spec)
+        assert result.verify_errors == 0
+        if not fpp:
+            md = cluster.client(0).stat(f"/gkfs/ior_seg_{fpp}/shared.dat")
+            assert md.size == spec.total_bytes
+
+
+class TestReorderTasks:
+    def test_read_source_shifts_by_one(self):
+        spec = IorSpec(procs=4, reorder_tasks=True)
+        assert [spec.read_source_rank(r) for r in range(4)] == [1, 2, 3, 0]
+
+    def test_without_reorder_reads_own_data(self):
+        spec = IorSpec(procs=4)
+        assert [spec.read_source_rank(r) for r in range(4)] == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("fpp", [True, False])
+    def test_reordered_run_verifies(self, cluster, fpp):
+        """Rank r reads rank r+1's data and the patterns must still match
+        — only possible if cross-rank data really landed correctly."""
+        spec = IorSpec(
+            procs=3, transfer_size=1024, block_size=8 * 1024,
+            reorder_tasks=True, file_per_process=fpp,
+            workdir=f"/ior_reorder_{fpp}",
+        )
+        result = run_ior(cluster, spec)
+        assert result.verify_errors == 0
+
+    def test_reorder_with_segments_and_random(self, cluster):
+        spec = IorSpec(
+            procs=4, transfer_size=512, block_size=16 * 512, segments=2,
+            reorder_tasks=True, sequential=False, file_per_process=False,
+            workdir="/ior_full_matrix",
+        )
+        assert run_ior(cluster, spec).verify_errors == 0
+
+    def test_with_size_cache_enabled(self):
+        config = FSConfig(size_cache_enabled=True, size_cache_flush_every=16)
+        with GekkoFSCluster(num_nodes=4, config=config) as fs:
+            result = run_ior(fs, IorSpec(procs=2, transfer_size=2048, block_size=32 * 1024))
+            assert result.verify_errors == 0
+
+    def test_str_summary(self, cluster):
+        spec = IorSpec(procs=1, transfer_size=1024, block_size=2048, workdir="/ior_str")
+        assert "write" in str(run_ior(cluster, spec))

@@ -1,0 +1,150 @@
+"""mdtest clone against the functional file system."""
+
+import pytest
+
+from repro.workloads.mdtest import MdtestResult, MdtestSpec, run_mdtest
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MdtestSpec(procs=0)
+        with pytest.raises(ValueError):
+            MdtestSpec(files_per_proc=0)
+        with pytest.raises(ValueError):
+            MdtestSpec(workdir="relative/path")
+
+    def test_total_files(self):
+        assert MdtestSpec(procs=4, files_per_proc=25).total_files == 100
+
+    def test_single_dir_paths_share_directory(self):
+        spec = MdtestSpec(single_dir=True)
+        a = spec.path_for("/gkfs", 0, 0)
+        b = spec.path_for("/gkfs", 1, 0)
+        assert a.rsplit("/", 1)[0] == b.rsplit("/", 1)[0]
+
+    def test_unique_dir_paths_differ_by_rank(self):
+        spec = MdtestSpec(single_dir=False)
+        a = spec.path_for("/gkfs", 0, 0)
+        b = spec.path_for("/gkfs", 1, 0)
+        assert a.rsplit("/", 1)[0] != b.rsplit("/", 1)[0]
+
+
+class TestRun:
+    def test_all_phases_reported(self, cluster):
+        result = run_mdtest(cluster, MdtestSpec(procs=3, files_per_proc=10))
+        assert set(result.ops_per_second) == {"create", "stat", "remove"}
+        assert all(v > 0 for v in result.ops_per_second.values())
+        assert all(v > 0 for v in result.elapsed.values())
+
+    def test_remove_phase_leaves_namespace_empty(self, cluster):
+        spec = MdtestSpec(procs=2, files_per_proc=8)
+        run_mdtest(cluster, spec)
+        assert cluster.client(0).listdir("/gkfs/mdtest") == []
+
+    def test_partial_phases(self, cluster):
+        result = run_mdtest(cluster, MdtestSpec(procs=2, files_per_proc=5), phases=("create", "stat"))
+        assert "remove" not in result.ops_per_second
+        # files still exist because remove never ran
+        assert len(cluster.client(0).listdir("/gkfs/mdtest")) == 10
+
+    def test_unknown_phase_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            run_mdtest(cluster, MdtestSpec(), phases=("create", "chmod"))
+
+    def test_unique_dir_mode(self, cluster):
+        spec = MdtestSpec(procs=3, files_per_proc=4, single_dir=False, workdir="/md_u")
+        result = run_mdtest(cluster, spec, phases=("create",))
+        assert result.ops_per_second["create"] > 0
+        listing = cluster.client(0).listdir("/gkfs/md_u")
+        assert [n for n, is_dir in listing if is_dir] == ["rank0000", "rank0001", "rank0002"]
+
+    def test_single_vs_unique_equivalent_on_gekkofs(self, cluster):
+        """The flat namespace makes directory layout irrelevant (§IV-A:
+        'conceptually no difference in which directory files are
+        created').  RPC counts per phase must be identical."""
+        # measured structurally rather than by timing: same op sequence
+        spec_s = MdtestSpec(procs=2, files_per_proc=6, single_dir=True, workdir="/md_s")
+        spec_u = MdtestSpec(procs=2, files_per_proc=6, single_dir=False, workdir="/md_u2")
+        r_s = run_mdtest(cluster, spec_s)
+        r_u = run_mdtest(cluster, spec_u)
+        assert set(r_s.ops_per_second) == set(r_u.ops_per_second)
+
+    def test_str_summary(self, cluster):
+        result = run_mdtest(cluster, MdtestSpec(procs=2, files_per_proc=5))
+        assert "mdtest(10 files)" in str(result)
+
+
+class TestParallelMode:
+    def test_parallel_ranks_on_loopback(self, cluster):
+        spec = MdtestSpec(procs=4, files_per_proc=20, workdir="/md_par")
+        result = run_mdtest(cluster, spec, parallel=True)
+        assert set(result.ops_per_second) == {"create", "stat", "remove"}
+        assert cluster.client(0).listdir("/gkfs/md_par") == []
+
+    def test_parallel_ranks_on_threaded_cluster(self):
+        from repro.core import GekkoFSCluster
+
+        with GekkoFSCluster(num_nodes=4, threaded=True) as fs:
+            spec = MdtestSpec(procs=6, files_per_proc=25)
+            result = run_mdtest(fs, spec, parallel=True)
+            assert all(v > 0 for v in result.ops_per_second.values())
+            assert fs.metadata_records() == 2  # root + the workdir remain
+
+    def test_parallel_and_serial_same_namespace_effect(self, cluster):
+        serial = run_mdtest(
+            cluster, MdtestSpec(procs=2, files_per_proc=10, workdir="/md_s2"),
+            phases=("create",),
+        )
+        parallel = run_mdtest(
+            cluster, MdtestSpec(procs=2, files_per_proc=10, workdir="/md_p2"),
+            phases=("create",), parallel=True,
+        )
+        client = cluster.client(0)
+        assert len(client.listdir("/gkfs/md_s2")) == len(client.listdir("/gkfs/md_p2")) == 20
+
+
+class TestTreeMode:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MdtestSpec(tree_depth=-1)
+        with pytest.raises(ValueError):
+            MdtestSpec(tree_depth=2, branch_factor=0)
+
+    def test_flat_mode_has_no_tree(self):
+        spec = MdtestSpec(tree_depth=0)
+        assert spec.tree_dirs() == []
+        assert spec.leaf_dirs() == [""]
+
+    def test_tree_enumeration(self):
+        spec = MdtestSpec(tree_depth=2, branch_factor=2)
+        dirs = spec.tree_dirs()
+        assert len(dirs) == 2 + 4  # level 1 + level 2
+        assert "/t0" in dirs and "/t1/t1" in dirs
+        assert spec.leaf_dirs() == ["/t0/t0", "/t0/t1", "/t1/t0", "/t1/t1"]
+
+    def test_parents_precede_children(self):
+        dirs = MdtestSpec(tree_depth=3, branch_factor=2).tree_dirs()
+        seen = set()
+        for d in dirs:
+            parent = d.rsplit("/", 1)[0]
+            assert parent == "" or parent in seen
+            seen.add(d)
+
+    def test_files_spread_over_leaves(self):
+        spec = MdtestSpec(procs=2, files_per_proc=8, tree_depth=2, branch_factor=2)
+        leaves = {"/".join(spec.path_for("/gkfs", r, i).split("/")[-3:-1])
+                  for r in range(2) for i in range(8)}
+        assert leaves == {"t0/t0", "t0/t1", "t1/t0", "t1/t1"}  # every leaf used
+
+    def test_tree_run_all_phases(self, cluster):
+        spec = MdtestSpec(
+            procs=2, files_per_proc=6, tree_depth=2, branch_factor=2,
+            workdir="/md_tree",
+        )
+        result = run_mdtest(cluster, spec)
+        assert all(result.ops_per_second[p] > 0 for p in ("create", "stat", "remove"))
+        client = cluster.client(0)
+        # Tree dirs remain, files are gone.
+        assert [n for n, is_dir in client.listdir("/gkfs/md_tree") if is_dir] == ["t0", "t1"]
+        assert client.listdir("/gkfs/md_tree/t0/t1") == []
