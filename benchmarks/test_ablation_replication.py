@@ -18,7 +18,10 @@ FILES = 8
 
 
 def _measure(replication: int):
-    config = FSConfig(chunk_size=CHUNK, replication=replication)
+    # Serialized per-chunk RPCs: this ablation counts gkfs_write_chunk /
+    # gkfs_read_chunk calls one-per-chunk, which the pipelined client
+    # deliberately coalesces into vectored RPCs.
+    config = FSConfig(chunk_size=CHUNK, replication=replication, rpc_pipelining=False)
     with GekkoFSCluster(num_nodes=4, config=config, instrument=True) as fs:
         client = fs.client(0)
         for i in range(FILES):

@@ -40,7 +40,7 @@ from repro.core.config import FSConfig
 from repro.core.distributor import Distributor
 from repro.core.filemap import FD_BASE, OpenFile, OpenFileMap
 from repro.core.metadata import Metadata, new_dir_metadata, new_file_metadata
-from repro.rpc import BulkHandle, RpcNetwork
+from repro.rpc import BulkHandle, RpcFuture, RpcNetwork, wait_all
 
 __all__ = ["GekkoFSClient", "ClientStats"]
 
@@ -62,6 +62,8 @@ class ClientStats:
     bytes_read: int = 0
     bytes_written: int = 0
     readdirs: int = 0
+    #: Widest single RPC fan-out this client has had in flight at once.
+    max_fanout: int = 0
 
 
 class GekkoFSClient:
@@ -150,16 +152,38 @@ class GekkoFSClient:
         count = min(self.config.replication, self.distributor.num_daemons)
         return [(primary + i) % self.distributor.num_daemons for i in range(count)]
 
+    def _note_fanout(self, depth: int) -> None:
+        """Record the widest concurrent RPC fan-out (telemetry)."""
+        if depth > self.stats.max_fanout:
+            self.stats.max_fanout = depth
+
+    @staticmethod
+    def _gather(futures: list[RpcFuture]) -> list[tuple[object, Optional[Exception]]]:
+        """Collect every leg's outcome as ``(value, None)`` / ``(None, exc)``.
+
+        Every future is awaited before any semantic decision — an
+        abandoned leg could still be transferring against an exposed bulk
+        buffer that the caller is about to reuse.
+        """
+        outcomes: list[tuple[object, Optional[Exception]]] = []
+        for future in futures:
+            try:
+                outcomes.append((future.result(), None))
+            except Exception as exc:
+                outcomes.append((None, exc))
+        return outcomes
+
     def _meta_call(self, rel: str, handler: str, *args):
         """Metadata RPC with optional replication.
 
         Reads fall back across replicas on transport failure.  Mutations
-        apply to every reachable replica; a file-system error (EEXIST,
-        ENOENT, ...) propagates — it is a *result*, and with crash-stop
-        failures all replicas produce the same one.  At least one replica
-        must be reachable.  This is consensus-free replication: it
-        tolerates crash-stop daemon loss, nothing subtler (documented
-        prototype of the follow-on reliability work).
+        apply to every reachable replica — concurrently when RPC
+        pipelining is on, sequentially otherwise; a file-system error
+        (EEXIST, ENOENT, ...) propagates — it is a *result*, and with
+        crash-stop failures all replicas produce the same one.  At least
+        one replica must be reachable.  This is consensus-free
+        replication: it tolerates crash-stop daemon loss, nothing subtler
+        (documented prototype of the follow-on reliability work).
         """
         targets = self._metadata_targets(rel)
         if len(targets) == 1:
@@ -172,27 +196,44 @@ class GekkoFSClient:
                 except self._TRANSIENT as exc:
                     last_transient = exc
             raise last_transient  # every replica unreachable
+        if self.config.rpc_pipelining:
+            futures = [
+                self.network.call_async(target, handler, rel, *args)
+                for target in targets
+            ]
+            self._note_fanout(len(futures))
+            outcomes = self._gather(futures)
+        else:
+            outcomes = []
+            for target in targets:
+                try:
+                    outcomes.append((self.network.call(target, handler, rel, *args), None))
+                except Exception as exc:
+                    outcomes.append((None, exc))
         result = None
         applied = False
-        for target in targets:
-            try:
-                outcome = self.network.call(target, handler, rel, *args)
-            except self._TRANSIENT as exc:
+        for value, exc in outcomes:
+            if exc is None:
+                if not applied:
+                    result = value
+                    applied = True
+            elif isinstance(exc, self._TRANSIENT):
                 last_transient = exc
-                continue
-            if not applied:
-                result = outcome
-                applied = True
+            else:
+                raise exc  # file-system error: a result, same on all replicas
         if not applied:
             raise last_transient if last_transient else LookupError(rel)
         return result
 
-    def _stat_rel(self, rel: str) -> Metadata:
+    def _stat_rel(self, rel: str, *, count: bool = True) -> Metadata:
+        """Authoritative stat; ``count=False`` marks an internal size probe
+        (data-path bookkeeping) that application stat counters skip."""
         if self.size_cache is not None:
             pending = self.size_cache.take(rel)
             if pending is not None:
                 self._meta_call(rel, "gkfs_update_size", pending, False)
-        self.stats.stats_ += 1
+        if count:
+            self.stats.stats_ += 1
         return Metadata.decode(self._meta_call(rel, "gkfs_stat"))
 
     def _publish_size(self, rel: str, size: int) -> None:
@@ -233,6 +274,35 @@ class GekkoFSClient:
                 raise
             return None
 
+    def _broadcast_fanout(self, targets, handler: str, *args) -> list:
+        """Broadcast ``handler`` to ``targets``; one result slot per leg.
+
+        With RPC pipelining every leg is in flight at once and gathered
+        afterwards; otherwise legs run sequentially.  Tolerated transient
+        failures (replication can cover the daemon) yield ``None`` in
+        that slot; with replication off the first failure is fatal —
+        after every leg has been drained.
+        """
+        targets = list(targets)
+        if not self.config.rpc_pipelining:
+            return [self._broadcast_call(target, handler, *args) for target in targets]
+        futures = [
+            self.network.call_async(target, handler, *args) for target in targets
+        ]
+        self._note_fanout(len(futures))
+        results: list = []
+        fatal: Optional[Exception] = None
+        for value, exc in self._gather(futures):
+            if exc is None:
+                results.append(value)
+            elif isinstance(exc, self._TRANSIENT) and self.config.replication > 1:
+                results.append(None)
+            elif fatal is None:
+                fatal = exc
+        if fatal is not None:
+            raise fatal
+        return results
+
     # -- open / close -----------------------------------------------------------
 
     def open(self, path: str, flags: int = os.O_RDONLY, mode: int = 0o644) -> int:
@@ -243,6 +313,12 @@ class GekkoFSClient:
         """
         if self._passthrough(path):
             return os.open(path, flags, mode)
+        return self._open_gkfs(path, flags, mode)[0]
+
+    def _open_gkfs(self, path: str, flags: int, mode: int) -> tuple[int, Metadata]:
+        """Open a GekkoFS path, returning the fd *and* the metadata the
+        open observed — callers like :meth:`read_bytes` reuse the size
+        instead of paying a second stat RPC."""
         rel = self._rel(path)
         self.stats.opens += 1
         if flags & os.O_CREAT:
@@ -262,7 +338,9 @@ class GekkoFSClient:
             raise IsADirectoryError_(path)
         if flags & os.O_TRUNC and writable and md.size > 0:
             self._truncate_rel(rel, 0, md.size)
-        return self.filemap.add(OpenFile(path=rel, flags=flags, is_dir=md.is_dir))
+            md = md.with_size(0, self.config.chunk_size)
+        fd = self.filemap.add(OpenFile(path=rel, flags=flags, is_dir=md.is_dir))
+        return fd, md
 
     def creat(self, path: str, mode: int = 0o644) -> int:
         """``creat(2)``: open with ``O_WRONLY | O_CREAT | O_TRUNC``."""
@@ -301,7 +379,24 @@ class GekkoFSClient:
         if not entry.writable:
             raise BadFileDescriptorError(f"fd for {entry.path} is not open for writing")
         view = memoryview(data)
-        for span in split_range(offset, len(data), self.config.chunk_size):
+        spans = list(split_range(offset, len(data), self.config.chunk_size))
+        if self.config.rpc_pipelining:
+            self._write_spans_pipelined(entry, view, spans)
+        else:
+            self._write_spans_serial(entry, view, spans)
+        if self.data_cache is not None:
+            for span in spans:
+                piece = view[span.buffer_offset : span.buffer_offset + span.length]
+                self.data_cache.update(
+                    entry.path, span.chunk_id, span.offset, bytes(piece)
+                )
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+        return len(data)
+
+    def _write_spans_serial(self, entry: OpenFile, view: memoryview, spans: list) -> None:
+        """Legacy serialized write path: one blocking RPC per span per replica."""
+        for span in spans:
             piece = view[span.buffer_offset : span.buffer_offset + span.length]
             written_somewhere = False
             last_transient: Optional[Exception] = None
@@ -334,13 +429,88 @@ class GekkoFSClient:
                     last_transient = exc
             if not written_somewhere:
                 raise last_transient if last_transient else LookupError(entry.path)
-            if self.data_cache is not None:
-                self.data_cache.update(
-                    entry.path, span.chunk_id, span.offset, bytes(piece)
+
+    def _write_spans_pipelined(
+        self, entry: OpenFile, view: memoryview, spans: list
+    ) -> None:
+        """Pipelined write fan-out: coalesce per daemon, one RPC each.
+
+        Every span is routed to each daemon in its replica set; the spans
+        a daemon owns are coalesced into one vectored ``gkfs_write_chunks``
+        forward (single-span groups keep the plain per-chunk handler).
+        All group RPCs are in flight at once — replicas included — and
+        gathered afterwards.  A span is durable if at least one of its
+        replicas took it; with replication off any loss is fatal.
+        """
+        groups: dict[int, list] = {}
+        for span in spans:
+            for target in self._chunk_targets(entry.path, span.chunk_id):
+                groups.setdefault(target, []).append(span)
+        order = list(groups)
+        futures = [
+            self._issue_write_group(target, entry.path, view, groups[target])
+            for target in order
+        ]
+        self._note_fanout(len(futures))
+        failed: dict[int, Exception] = {}
+        for target, (_value, exc) in zip(order, self._gather(futures)):
+            if exc is None:
+                continue
+            if not isinstance(exc, self._TRANSIENT):
+                raise exc
+            failed[target] = exc
+        if not failed:
+            return
+        if self.config.replication == 1:
+            raise next(iter(failed.values()))
+        for span in spans:
+            targets = self._chunk_targets(entry.path, span.chunk_id)
+            if all(target in failed for target in targets):
+                raise failed[targets[0]]  # no replica took this span
+
+    def _issue_write_group(
+        self, target: int, rel: str, view: memoryview, group: list
+    ) -> RpcFuture:
+        """One non-blocking write RPC carrying every span ``target`` owns."""
+        if len(group) == 1:
+            span = group[0]
+            piece = view[span.buffer_offset : span.buffer_offset + span.length]
+            if span.length <= INLINE_WRITE_THRESHOLD:
+                return self.network.call_async(
+                    target,
+                    "gkfs_write_chunk",
+                    rel,
+                    span.chunk_id,
+                    span.offset,
+                    bytes(piece),
                 )
-        self.stats.writes += 1
-        self.stats.bytes_written += len(data)
-        return len(data)
+            return self.network.call_async(
+                target,
+                "gkfs_write_chunk",
+                rel,
+                span.chunk_id,
+                span.offset,
+                None,
+                bulk=BulkHandle(piece, readonly=True),
+            )
+        wire_spans = [
+            (span.chunk_id, span.offset, span.length, span.buffer_offset)
+            for span in group
+        ]
+        if len(view) <= INLINE_WRITE_THRESHOLD:
+            return self.network.call_async(
+                target, "gkfs_write_chunks", rel, wire_spans, bytes(view)
+            )
+        # One exposure per group: handles are not shared across concurrent
+        # pullers, so transfer accounting stays race-free.
+        return self.network.call_async(
+            target,
+            "gkfs_write_chunks",
+            rel,
+            wire_spans,
+            None,
+            bulk=BulkHandle(view, readonly=True),
+        )
 
     def write(self, fd: int, data: bytes) -> int:
         """Write at the descriptor position (or EOF under ``O_APPEND``).
@@ -384,56 +554,64 @@ class GekkoFSClient:
             raise InvalidArgumentError(f"negative offset/count: {offset}/{count}")
         if fd < FD_BASE and self.config.passthrough_enabled:
             return os.pread(fd, count, offset)
-        entry = self.filemap.get(fd)
+        return self._pread_entry(self.filemap.get(fd), count, offset)
+
+    def _pread_entry(
+        self,
+        entry: OpenFile,
+        count: int,
+        offset: int,
+        size: Optional[int] = None,
+    ) -> bytes:
+        """Read against an open entry; ``size`` short-circuits the internal
+        size probe when the caller already holds an authoritative size
+        (``read_bytes``/``copy`` reuse the stat they made at open)."""
         if entry.is_dir:
             raise IsADirectoryError_(entry.path)
         if not entry.readable:
-            raise BadFileDescriptorError(f"fd {fd} is not open for reading")
-        size = self._stat_rel(entry.path).size
-        self.stats.stats_ -= 1  # internal size probe, not an application stat
+            raise BadFileDescriptorError(f"fd for {entry.path} is not open for reading")
+        if size is None:
+            # Internal size probe for span planning, not an application stat.
+            size = self._stat_rel(entry.path, count=False).size
         if offset >= size or count == 0:
             self.stats.reads += 1
             return b""
         count = min(count, size - offset)
         buffer = bytearray(count)  # zero-filled: holes read as zeros
-        buf_view = memoryview(buffer)
-        for span in split_range(offset, count, self.config.chunk_size):
+        spans = list(split_range(offset, count, self.config.chunk_size))
+        if self.data_cache is not None:
+            self._read_spans_cached(entry, buffer, spans)
+        elif self.config.rpc_pipelining:
+            self._read_spans_pipelined(entry, memoryview(buffer), spans)
+        else:
+            self._read_spans_serial(entry, memoryview(buffer), spans)
+        self.stats.reads += 1
+        self.stats.bytes_read += count
+        return bytes(buffer)
+
+    def _read_spans_serial(
+        self, entry: OpenFile, buf_view: memoryview, spans: list
+    ) -> None:
+        """Legacy serialized read path: one blocking RPC per span."""
+        for span in spans:
             last_transient: Optional[Exception] = None
             served = False
             # Replicas are tried in placement order; with replication off
             # this is exactly the paper's single-target read.
             for target in self._chunk_targets(entry.path, span.chunk_id):
                 try:
-                    if self.data_cache is not None:
-                        chunk = self.data_cache.get(entry.path, span.chunk_id)
-                        if chunk is None:
-                            # Miss: fetch the whole chunk (intra-chunk
-                            # readahead) inline, then serve future spans
-                            # from cache.
-                            chunk = self.network.call(
-                                target,
-                                "gkfs_read_chunk",
-                                entry.path,
-                                span.chunk_id,
-                                0,
-                                self.config.chunk_size,
-                            )
-                            self.data_cache.put(entry.path, span.chunk_id, chunk)
-                        piece = chunk[span.offset : span.offset + span.length]
-                        buffer[span.buffer_offset : span.buffer_offset + len(piece)] = piece
-                    else:
-                        bulk = BulkHandle(
-                            buf_view[span.buffer_offset : span.buffer_offset + span.length]
-                        )
-                        self.network.call(
-                            target,
-                            "gkfs_read_chunk",
-                            entry.path,
-                            span.chunk_id,
-                            span.offset,
-                            span.length,
-                            bulk=bulk,
-                        )
+                    bulk = BulkHandle(
+                        buf_view[span.buffer_offset : span.buffer_offset + span.length]
+                    )
+                    self.network.call(
+                        target,
+                        "gkfs_read_chunk",
+                        entry.path,
+                        span.chunk_id,
+                        span.offset,
+                        span.length,
+                        bulk=bulk,
+                    )
                     served = True
                     break
                 except self._TRANSIENT as exc:
@@ -442,9 +620,169 @@ class GekkoFSClient:
                     last_transient = exc
             if not served:
                 raise last_transient if last_transient else LookupError(entry.path)
-        self.stats.reads += 1
-        self.stats.bytes_read += count
-        return bytes(buffer)
+
+    def _read_spans_pipelined(
+        self, entry: OpenFile, buf_view: memoryview, spans: list
+    ) -> None:
+        """Pipelined read fan-out with replica fail-over rounds.
+
+        Round r groups the not-yet-served spans by their r-th replica and
+        issues one coalesced RPC per daemon, all in flight at once.  Legs
+        that fail transiently put their spans back for the next round
+        (the next replica in placement order); with replication off the
+        first round is the only round and any loss is fatal.
+        """
+        replica_count = min(self.config.replication, self.distributor.num_daemons)
+        pending = spans
+        last_transient: Optional[Exception] = None
+        for round_ in range(replica_count):
+            if not pending:
+                return
+            groups: dict[int, list] = {}
+            for span in pending:
+                target = self._chunk_targets(entry.path, span.chunk_id)[round_]
+                groups.setdefault(target, []).append(span)
+            order = list(groups)
+            futures = [
+                self._issue_read_group(target, entry.path, buf_view, groups[target])
+                for target in order
+            ]
+            self._note_fanout(len(futures))
+            retry: list = []
+            for target, (value, exc) in zip(order, self._gather(futures)):
+                group = groups[target]
+                if exc is None:
+                    self._apply_read_group(buf_view, group, value)
+                    continue
+                if not isinstance(exc, self._TRANSIENT):
+                    raise exc
+                if self.config.replication == 1:
+                    raise exc
+                last_transient = exc
+                retry.extend(group)
+            pending = retry
+        if pending:
+            raise last_transient if last_transient else LookupError(entry.path)
+
+    def _issue_read_group(
+        self, target: int, rel: str, buf_view: memoryview, group: list
+    ) -> RpcFuture:
+        """One non-blocking read RPC covering every span ``target`` owns."""
+        if len(group) == 1:
+            span = group[0]
+            bulk = BulkHandle(
+                buf_view[span.buffer_offset : span.buffer_offset + span.length]
+            )
+            return self.network.call_async(
+                target,
+                "gkfs_read_chunk",
+                rel,
+                span.chunk_id,
+                span.offset,
+                span.length,
+                bulk=bulk,
+            )
+        wire_spans = [
+            (span.chunk_id, span.offset, span.length, span.buffer_offset)
+            for span in group
+        ]
+        # One writable exposure of the whole buffer per group: the daemon
+        # pushes each span at its buffer offset (scattered RDMA puts).
+        return self.network.call_async(
+            target, "gkfs_read_chunks", rel, wire_spans, bulk=BulkHandle(buf_view)
+        )
+
+    @staticmethod
+    def _apply_read_group(buf_view: memoryview, group: list, value) -> None:
+        """Land inline payloads; bulk payloads were pushed in place."""
+        if isinstance(value, int) or value is None:
+            return  # bulk path: byte count only, data already in the buffer
+        if len(group) == 1:
+            # Plain gkfs_read_chunk without bulk returns the bytes inline.
+            span = group[0]
+            piece = value
+            buf_view[span.buffer_offset : span.buffer_offset + len(piece)] = piece
+            return
+        for span, piece in zip(group, value):
+            buf_view[span.buffer_offset : span.buffer_offset + len(piece)] = piece
+
+    def _read_spans_cached(
+        self, entry: OpenFile, buffer: bytearray, spans: list
+    ) -> None:
+        """Read spans through the client chunk cache.
+
+        Hits are served locally; each missing chunk is fetched *whole*
+        (intra-chunk readahead) — concurrently across chunks when RPC
+        pipelining is on — then cached and copied out.  Fail-over walks
+        the replica set in placement order, round by round.
+        """
+        missing: dict[int, list] = {}
+        for span in spans:
+            chunk = self.data_cache.get(entry.path, span.chunk_id)
+            if chunk is None:
+                missing.setdefault(span.chunk_id, []).append(span)
+            else:
+                piece = chunk[span.offset : span.offset + span.length]
+                buffer[span.buffer_offset : span.buffer_offset + len(piece)] = piece
+        if not missing:
+            return
+        replica_count = min(self.config.replication, self.distributor.num_daemons)
+        pending = sorted(missing)
+        last_transient: Optional[Exception] = None
+        for round_ in range(replica_count):
+            if not pending:
+                return
+            if self.config.rpc_pipelining:
+                futures = [
+                    self.network.call_async(
+                        self._chunk_targets(entry.path, chunk_id)[round_],
+                        "gkfs_read_chunk",
+                        entry.path,
+                        chunk_id,
+                        0,
+                        self.config.chunk_size,
+                    )
+                    for chunk_id in pending
+                ]
+                self._note_fanout(len(futures))
+                outcomes = self._gather(futures)
+            else:
+                outcomes = []
+                for chunk_id in pending:
+                    target = self._chunk_targets(entry.path, chunk_id)[round_]
+                    try:
+                        outcomes.append(
+                            (
+                                self.network.call(
+                                    target,
+                                    "gkfs_read_chunk",
+                                    entry.path,
+                                    chunk_id,
+                                    0,
+                                    self.config.chunk_size,
+                                ),
+                                None,
+                            )
+                        )
+                    except Exception as exc:
+                        outcomes.append((None, exc))
+            retry: list[int] = []
+            for chunk_id, (chunk, exc) in zip(pending, outcomes):
+                if exc is not None:
+                    if not isinstance(exc, self._TRANSIENT):
+                        raise exc
+                    if self.config.replication == 1:
+                        raise exc
+                    last_transient = exc
+                    retry.append(chunk_id)
+                    continue
+                self.data_cache.put(entry.path, chunk_id, chunk)
+                for span in missing[chunk_id]:
+                    piece = chunk[span.offset : span.offset + span.length]
+                    buffer[span.buffer_offset : span.buffer_offset + len(piece)] = piece
+            pending = retry
+        if pending:
+            raise last_transient if last_transient else LookupError(entry.path)
 
     def read(self, fd: int, count: int) -> bytes:
         """Read at the descriptor position, advancing it."""
@@ -530,8 +868,11 @@ class GekkoFSClient:
         if self.data_cache is not None:
             self.data_cache.invalidate_path(rel)
         removed = Metadata.decode(self._meta_call(rel, "gkfs_remove_metadata"))
-        for target in self._involved_daemons(rel, max(removed.size, md.size)):
-            self._broadcast_call(target, "gkfs_remove_chunks", rel)
+        self._broadcast_fanout(
+            self._involved_daemons(rel, max(removed.size, md.size)),
+            "gkfs_remove_chunks",
+            rel,
+        )
         self.stats.removes += 1
 
     def mkdir(self, path: str, mode: int = 0o755) -> None:
@@ -596,8 +937,12 @@ class GekkoFSClient:
             self.data_cache.invalidate_path(rel)
         self._meta_call(rel, "gkfs_truncate_metadata", new_size)
         if new_size < old_size:
-            for target in self._involved_daemons(rel, old_size):
-                self._broadcast_call(target, "gkfs_truncate_chunks", rel, new_size)
+            self._broadcast_fanout(
+                self._involved_daemons(rel, old_size),
+                "gkfs_truncate_chunks",
+                rel,
+                new_size,
+            )
 
     # -- directory listing -----------------------------------------------------------
 
@@ -618,8 +963,9 @@ class GekkoFSClient:
         if not md.is_dir:
             raise NotADirectoryError_(path)
         entries: set[tuple[str, bool]] = set()
-        for target in self.distributor.locate_all():
-            partial = self._broadcast_call(target, "gkfs_readdir", rel)
+        for partial in self._broadcast_fanout(
+            self.distributor.locate_all(), "gkfs_readdir", rel
+        ):
             if partial is not None:
                 entries.update(tuple(item) for item in partial)
         self.stats.readdirs += 1
@@ -642,8 +988,9 @@ class GekkoFSClient:
         if not md.is_dir:
             raise NotADirectoryError_(path)
         by_name: dict[str, Metadata] = {}
-        for target in self.distributor.locate_all():
-            partial = self._broadcast_call(target, "gkfs_readdir_plus", rel)
+        for partial in self._broadcast_fanout(
+            self.distributor.locate_all(), "gkfs_readdir_plus", rel
+        ):
             if partial is None:
                 continue
             for name, record in partial:
@@ -702,14 +1049,17 @@ class GekkoFSClient:
         return totals
 
     def read_bytes(self, path: str) -> bytes:
-        """Whole-file read convenience (open/stat/read/close in one call)."""
-        fd = self.open(path, os.O_RDONLY)
+        """Whole-file read convenience (open/read/close in one call).
+
+        The stat made at open supplies the size — one metadata
+        round-trip before the data fan-out, not three.
+        """
+        fd, md = self._open_gkfs(path, os.O_RDONLY, 0o644)
         try:
             entry = self.filemap.get(fd)
             if entry.is_dir:
                 raise IsADirectoryError_(path)
-            size = self._stat_rel(entry.path).size
-            return self.pread(fd, size, 0)
+            return self._pread_entry(entry, md.size, 0, size=md.size)
         finally:
             self.close(fd)
 
@@ -732,17 +1082,19 @@ class GekkoFSClient:
         """
         if buffer_size <= 0:
             raise InvalidArgumentError(f"buffer_size must be > 0, got {buffer_size}")
-        src_fd = self.open(src, os.O_RDONLY)
+        src_fd, src_md = self._open_gkfs(src, os.O_RDONLY, 0o644)
         try:
             entry = self.filemap.get(src_fd)
             if entry.is_dir:
                 raise IsADirectoryError_(src)
-            size = self._stat_rel(entry.path).size
+            size = src_md.size  # snapshot from the open stat, reused per piece
             dst_fd = self.open(dst, os.O_CREAT | os.O_WRONLY | os.O_TRUNC)
             try:
                 offset = 0
                 while offset < size:
-                    piece = self.pread(src_fd, min(buffer_size, size - offset), offset)
+                    piece = self._pread_entry(
+                        entry, min(buffer_size, size - offset), offset, size=size
+                    )
                     if not piece:
                         break
                     self.pwrite(dst_fd, piece, offset)
@@ -781,11 +1133,24 @@ class GekkoFSClient:
     # -- introspection ---------------------------------------------------------------------
 
     def statfs(self) -> dict:
-        """Aggregated deployment usage across all daemons."""
+        """Aggregated deployment usage across all daemons.
+
+        Strict broadcast (an unreachable daemon is an error): legs are
+        pipelined and gathered with :func:`repro.rpc.wait_all`, which
+        still waits every leg before raising.
+        """
+        targets = list(self.distributor.locate_all())
+        if self.config.rpc_pipelining:
+            futures = [
+                self.network.call_async(target, "gkfs_statfs") for target in targets
+            ]
+            self._note_fanout(len(futures))
+            snapshots = wait_all(futures)
+        else:
+            snapshots = [self.network.call(target, "gkfs_statfs") for target in targets]
         used = 0
         records = 0
-        for target in self.distributor.locate_all():
-            snapshot = self.network.call(target, "gkfs_statfs")
+        for snapshot in snapshots:
             used += snapshot["used_bytes"]
             records += snapshot["metadata_records"]
         return {

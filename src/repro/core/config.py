@@ -43,6 +43,10 @@ class FSConfig:
         (1 = the paper's no-fault-tolerance design).  With R > 1 the
         deployment survives R-1 crash-stop daemon losses for reads; an
         extension prototyping the group's follow-on reliability work.
+    :ivar rpc_pipelining: issue chunk fan-outs and broadcasts as
+        concurrent non-blocking RPCs with per-daemon span coalescing —
+        the paper's ``margo_iforward`` client (§III-B).  Off = legacy
+        serialized per-chunk calls (kept for ablation/baseline runs).
     :ivar passthrough_enabled: forward non-mountpoint paths to the real
         OS like the interposition library would.
     :ivar kv_dir: directory for daemon KV stores (``None`` = in-memory).
@@ -60,6 +64,7 @@ class FSConfig:
     data_cache_enabled: bool = False
     data_cache_bytes: int = 64 * 1024 * 1024
     replication: int = 1
+    rpc_pipelining: bool = True
     passthrough_enabled: bool = True
     kv_dir: Optional[str] = None
     data_dir: Optional[str] = None

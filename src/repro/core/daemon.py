@@ -41,6 +41,8 @@ HANDLER_NAMES = (
     "gkfs_readdir_plus",
     "gkfs_write_chunk",
     "gkfs_read_chunk",
+    "gkfs_write_chunks",
+    "gkfs_read_chunks",
     "gkfs_remove_chunks",
     "gkfs_truncate_chunks",
     "gkfs_statfs",
@@ -90,6 +92,8 @@ class GekkoDaemon:
         self.engine.register("gkfs_readdir_plus", self.readdir_plus)
         self.engine.register("gkfs_write_chunk", self.write_chunk)
         self.engine.register("gkfs_read_chunk", self.read_chunk)
+        self.engine.register("gkfs_write_chunks", self.write_chunks)
+        self.engine.register("gkfs_read_chunks", self.read_chunks)
         self.engine.register("gkfs_remove_chunks", self.remove_chunks)
         self.engine.register("gkfs_truncate_chunks", self.truncate_chunks)
         self.engine.register("gkfs_statfs", self.statfs)
@@ -247,6 +251,61 @@ class GekkoDaemon:
             return data
         bulk.push(data)
         return len(data)
+
+    def write_chunks(
+        self,
+        path: str,
+        spans: list,
+        data: Optional[bytes] = None,
+        bulk: Optional[BulkHandle] = None,
+    ) -> int:
+        """Persist several chunk-local spans of one file in a single RPC.
+
+        ``spans`` is a list of ``(chunk_id, chunk_offset, length,
+        payload_offset)`` tuples; the payload is one contiguous region —
+        inline ``data`` for small groups or a bulk exposure the daemon
+        pulls span-by-span (one registered region, N RDMA gets — how the
+        pipelined client coalesces every span it owns on this daemon into
+        one forward).  Returns total bytes written.
+        """
+        total = 0
+        for chunk_id, chunk_offset, length, payload_offset in spans:
+            if bulk is not None:
+                piece = bulk.pull(payload_offset, length)
+            elif data is not None:
+                piece = data[payload_offset : payload_offset + length]
+            else:
+                raise ValueError("write_chunks needs inline data or a bulk handle")
+            total += self.storage.write_chunk(path, chunk_id, chunk_offset, piece)
+        return total
+
+    def read_chunks(
+        self,
+        path: str,
+        spans: list,
+        bulk: Optional[BulkHandle] = None,
+    ) -> object:
+        """Read several chunk-local spans of one file in a single RPC.
+
+        ``spans`` is a list of ``(chunk_id, chunk_offset, length,
+        buffer_offset)`` tuples.  With a bulk exposure the daemon pushes
+        each span at its ``buffer_offset`` in the client's buffer and
+        returns the byte count; otherwise the per-span payloads return
+        inline as a list.  Missing chunks read short/empty — the client's
+        zero-filled buffer supplies the holes.
+        """
+        if bulk is not None:
+            total = 0
+            for chunk_id, chunk_offset, length, buffer_offset in spans:
+                piece = self.storage.read_chunk(path, chunk_id, chunk_offset, length)
+                if piece:
+                    bulk.push(piece, buffer_offset)
+                total += len(piece)
+            return total
+        return [
+            self.storage.read_chunk(path, chunk_id, chunk_offset, length)
+            for chunk_id, chunk_offset, length, _buffer_offset in spans
+        ]
 
     def remove_chunks(self, path: str) -> int:
         """Drop every local chunk of ``path`` (remove broadcast)."""

@@ -102,16 +102,36 @@ class GekkoFSModel:
             efficiency = cal.read_path_efficiency
         return (overhead + span / bandwidth) / efficiency
 
-    def _client_cycle_floor(self, transfer_size: int, *, write: bool, random: bool) -> float:
-        """Zero-queueing per-transfer cycle time at one client process."""
+    def data_fanout_time(self, transfer_size: int, *, write: bool, random: bool) -> float:
+        """Completion time of one transfer's pipelined chunk fan-out.
+
+        The client issues every chunk span concurrently (non-blocking
+        forwards) and gathers, so a transfer completes at the **max of
+        its legs**, not their sum:
+
+        * one request latency and one response latency are paid once —
+          propagation of concurrent legs overlaps,
+        * the payload serialises through the issuing NIC regardless of
+          pipelining (injection is the shared resource): ``transfer_size
+          / nic_bandwidth`` in total across the legs,
+        * the hash distribution sends each span to a different daemon, so
+          device service overlaps too and the slowest leg is a *single*
+          span's service time.
+
+        A serialized client would instead pay latency and service
+        per-chunk — sum-of-legs — which is what the DES transport charges
+        when calls are collected one by one.
+        """
         cal = self.cal
         span = self.span_size(transfer_size)
-        wire = transfer_size / cal.network.nic_bandwidth
-        return (
-            cal.client_overhead
-            + 2.0 * cal.rpc_one_way_latency
-            + wire
-            + self.span_service_time(span, write=write, random=random)
+        injection = transfer_size / cal.network.nic_bandwidth
+        slowest_leg = self.span_service_time(span, write=write, random=random)
+        return 2.0 * cal.rpc_one_way_latency + injection + slowest_leg
+
+    def _client_cycle_floor(self, transfer_size: int, *, write: bool, random: bool) -> float:
+        """Zero-queueing per-transfer cycle time at one client process."""
+        return self.cal.client_overhead + self.data_fanout_time(
+            transfer_size, write=write, random=random
         )
 
     def data_throughput(

@@ -9,15 +9,24 @@ owns the target path/chunk, and moves data through a *bulk* channel
   accounting,
 * :mod:`repro.rpc.bulk` — zero-copy bulk handles standing in for RDMA
   exposure/transfer,
+* :mod:`repro.rpc.future` — completion handles for non-blocking forwards
+  (``margo_iforward``) plus the :func:`wait_all` gather combinator,
 * :mod:`repro.rpc.engine` — a Margo-like engine: named handler
-  registration, addressing, synchronous calls, per-handler statistics,
+  registration, addressing, synchronous ``call`` and pipelined
+  ``call_async``, per-handler statistics, in-flight depth telemetry,
 * :mod:`repro.rpc.transport` — pluggable delivery: in-process loopback,
-  instrumentation/fault-injection wrappers.
+  instrumentation/fault-injection wrappers (all async-capable),
+* :mod:`repro.rpc.threaded` — per-daemon handler pools (Argobots
+  execution model) with native non-parking enqueue,
+* :mod:`repro.rpc.sim` — virtual-time (DES) delivery: functional
+  execution with fabric-accurate completion accounting.
 """
 
 from repro.rpc.bulk import BulkHandle
 from repro.rpc.engine import RpcEngine, RpcNetwork
+from repro.rpc.future import RpcFuture, wait_all
 from repro.rpc.message import RemoteError, RpcRequest, RpcResponse, estimate_wire_size
+from repro.rpc.sim import SimulatedTransport
 from repro.rpc.threaded import ThreadedTransport
 from repro.rpc.transport import (
     FaultInjectingTransport,
@@ -31,6 +40,8 @@ __all__ = [
     "BulkHandle",
     "RpcEngine",
     "RpcNetwork",
+    "RpcFuture",
+    "wait_all",
     "RemoteError",
     "RpcRequest",
     "RpcResponse",
@@ -41,4 +52,5 @@ __all__ = [
     "FaultInjectingTransport",
     "RetryingTransport",
     "ThreadedTransport",
+    "SimulatedTransport",
 ]

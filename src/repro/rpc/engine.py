@@ -12,8 +12,10 @@ import threading
 from collections import Counter
 from typing import Any, Callable, Optional
 
+from repro.rpc.future import RpcFuture, wait_all
 from repro.rpc.message import RpcRequest, RpcResponse
-from repro.rpc.transport import LoopbackTransport, Transport
+from repro.rpc.transport import LoopbackTransport, Transport, deliver_async
+from repro.telemetry.inflight import InflightGauge
 
 __all__ = ["RpcEngine", "RpcNetwork"]
 
@@ -83,6 +85,8 @@ class RpcNetwork:
         self._engines: dict[int, RpcEngine] = {}
         self._lock = threading.Lock()
         self.transport: Transport = transport or LoopbackTransport(self._engines)
+        #: In-flight RPC depth telemetry (how deep the pipelining runs).
+        self.inflight = InflightGauge()
 
     @property
     def engine_table(self) -> dict[int, "RpcEngine"]:
@@ -123,5 +127,31 @@ class RpcNetwork:
         bulk: Any = None,
     ) -> Any:
         """Synchronous RPC: returns the handler value or raises its error."""
+        return self.call_async(target, handler, *args, bulk=bulk).result()
+
+    def call_async(
+        self,
+        target: int,
+        handler: str,
+        *args: Any,
+        bulk: Any = None,
+    ) -> RpcFuture:
+        """Non-blocking RPC — the ``margo_iforward`` path (§III-B).
+
+        Returns immediately with an :class:`~repro.rpc.future.RpcFuture`
+        whose ``result()`` yields the handler value or raises the
+        rehydrated GekkoFS error.  Never raises at issue time: delivery
+        failures (dead daemon, injected fault) surface through the
+        future, so fan-outs are never interrupted mid-batch.  Gather a
+        batch with :func:`repro.rpc.wait_all`.
+        """
         request = RpcRequest(target=target, handler=handler, args=args, bulk=bulk)
-        return self.transport.send(request).result()
+        self.inflight.launch()
+        future = deliver_async(self.transport, request)
+        future.add_done_callback(lambda _fut: self.inflight.land())
+        return future.with_transform(lambda response: response.result())
+
+    @staticmethod
+    def wait_all(futures, timeout: Optional[float] = None) -> list:
+        """Gather a fan-out (re-export of :func:`repro.rpc.wait_all`)."""
+        return wait_all(futures, timeout)

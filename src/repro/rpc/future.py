@@ -1,0 +1,166 @@
+"""Futures for non-blocking RPC — the ``margo_iforward`` path.
+
+GekkoFS reaches ~80 % of the aggregated SSD peak because its client
+*never* serialises the chunk RPCs of one I/O request: every span is
+forwarded with Mercury's non-blocking ``HG_Forward`` and the client waits
+once for all completions (§III-B).  :class:`RpcFuture` is that completion
+handle, and :func:`wait_all` is the gather.
+
+Transports resolve futures from whatever context completes the delivery
+(a handler-pool worker for :class:`~repro.rpc.threaded.ThreadedTransport`,
+the issuing thread for loopback).  Result-time *transforms* let layers
+above attach work that must run in the **waiting** caller's context —
+unwrapping :class:`~repro.rpc.message.RpcResponse` into a value/raised
+error, or advancing a virtual clock to the completion time in the DES
+transport.  Transforms run on every ``result()`` call and must therefore
+be idempotent.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, List, Optional
+
+__all__ = ["RpcFuture", "wait_all"]
+
+
+class RpcFuture:
+    """Completion handle for one in-flight RPC.
+
+    States: pending → done (value or exception).  Thread-safe; any number
+    of threads may wait on the same future.
+    """
+
+    __slots__ = ("_done", "_lock", "_value", "_exception", "_callbacks", "_transforms")
+
+    def __init__(self):
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: list[Callable[["RpcFuture"], None]] = []
+        self._transforms: list[Callable[[Any], Any]] = []
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def completed(cls, value: Any) -> "RpcFuture":
+        """An already-resolved future (synchronous transports)."""
+        future = cls()
+        future.set_result(value)
+        return future
+
+    @classmethod
+    def failed(cls, exc: BaseException) -> "RpcFuture":
+        """An already-failed future (issue-time delivery errors)."""
+        future = cls()
+        future.set_exception(exc)
+        return future
+
+    # -- producer side -------------------------------------------------------
+
+    def set_result(self, value: Any) -> None:
+        """Resolve with ``value``; runs done-callbacks in this thread."""
+        with self._lock:
+            if self._done.is_set():
+                raise RuntimeError("future already resolved")
+            self._value = value
+            self._done.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Fail with ``exc``; runs done-callbacks in this thread."""
+        with self._lock:
+            if self._done.is_set():
+                raise RuntimeError("future already resolved")
+            self._exception = exc
+            self._done.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # -- consumer side -------------------------------------------------------
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until resolved; returns False on timeout."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The RPC outcome: transformed value, or the raised failure."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("RPC future not resolved within timeout")
+        if self._exception is not None:
+            raise self._exception
+        value = self._value
+        for transform in self._transforms:
+            value = transform(value)
+        return value
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The failure, or ``None`` if the RPC succeeded."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("RPC future not resolved within timeout")
+        return self._exception
+
+    def add_done_callback(self, callback: Callable[["RpcFuture"], None]) -> None:
+        """Run ``callback(self)`` on resolution (immediately if already done).
+
+        Callbacks fire in the resolving thread, before any waiter wakes.
+        """
+        with self._lock:
+            if not self._done.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    # -- composition ---------------------------------------------------------
+
+    def with_transform(self, transform: Callable[[Any], Any]) -> "RpcFuture":
+        """Append a result-time transform (applied in ``result()``, in the
+        waiting caller's thread).  Must be idempotent — ``result()`` may be
+        called more than once.  Returns ``self`` for chaining."""
+        self._transforms.append(transform)
+        return self
+
+    def _adopt(self, other: "RpcFuture") -> None:
+        """Resolve like ``other`` did, inheriting its transforms (used by
+        retrying wrappers to preserve inner-transport semantics)."""
+        self._transforms.extend(other._transforms)
+        exc = other.exception(0)
+        if exc is not None:
+            self.set_exception(exc)
+        else:
+            self.set_result(other._value)
+
+
+def wait_all(
+    futures: Iterable[RpcFuture], timeout: Optional[float] = None
+) -> List[Any]:
+    """Gather a fan-out: results in issue order, or the first failure.
+
+    Every future is waited on before any exception is raised — no leg is
+    abandoned mid-flight (the client's buffers may be exposed to bulk
+    transfers until every daemon has answered).  On failure the *first*
+    failed future's exception (in issue order) is raised, which keeps
+    error reporting deterministic regardless of completion order.
+    """
+    futures = list(futures)
+    for future in futures:
+        if not future.wait(timeout):
+            raise TimeoutError("RPC fan-out not complete within timeout")
+    results: List[Any] = []
+    first_exc: Optional[BaseException] = None
+    for future in futures:
+        try:
+            results.append(future.result(0))
+        except BaseException as exc:  # re-raised below, in issue order
+            if first_exc is None:
+                first_exc = exc
+    if first_exc is not None:
+        raise first_exc
+    return results

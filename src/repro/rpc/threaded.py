@@ -3,12 +3,15 @@
 Margo gives each GekkoFS daemon a pool of execution streams that serve
 RPCs concurrently (§III-B).  :class:`ThreadedTransport` reproduces that
 with real threads: each daemon address gets a bounded worker pool fed by
-a FIFO queue; callers block on a per-request completion event, exactly
-like a synchronous Mercury call.  Because daemon state (LSM store, chunk
-storage, metadata lock) is already thread-safe, the functional file
-system runs unchanged on top — this transport exists so tests and
-benchmarks can exercise *true* concurrency: racing appenders, contended
-merges, handler-pool saturation.
+a FIFO queue.  ``send`` parks the caller on the request's completion,
+exactly like a synchronous Mercury call; ``send_async`` is the
+``margo_iforward`` path — it enqueues *without parking*, so one client
+thread can keep a whole fan-out in flight across many daemon pools at
+once.  Because daemon state (LSM store, chunk storage, metadata lock) is
+already thread-safe, the functional file system runs unchanged on top —
+this transport exists so tests and benchmarks can exercise *true*
+concurrency: racing appenders, contended merges, handler-pool
+saturation, pipelined chunk fan-out.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ import queue
 import threading
 from typing import Mapping, TYPE_CHECKING
 
+from repro.rpc.future import RpcFuture
 from repro.rpc.message import RpcRequest, RpcResponse
 from repro.rpc.transport import Transport
 
@@ -26,24 +30,12 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["ThreadedTransport"]
 
 
-class _Pending:
-    """One in-flight request: the caller parks on ``done``."""
-
-    __slots__ = ("request", "done", "response", "error")
-
-    def __init__(self, request: RpcRequest):
-        self.request = request
-        self.done = threading.Event()
-        self.response: RpcResponse | None = None
-        self.error: BaseException | None = None
-
-
 class _DaemonPool:
     """Worker threads draining one daemon's request queue."""
 
     def __init__(self, engine: "RpcEngine", workers: int):
         self.engine = engine
-        self.queue: "queue.Queue[_Pending | None]" = queue.Queue()
+        self.queue: "queue.Queue[tuple[RpcRequest, RpcFuture] | None]" = queue.Queue()
         self.threads = [
             threading.Thread(target=self._worker, daemon=True, name=f"gkfs-d{engine.address}-h{i}")
             for i in range(workers)
@@ -53,15 +45,14 @@ class _DaemonPool:
 
     def _worker(self) -> None:
         while True:
-            pending = self.queue.get()
-            if pending is None:
+            item = self.queue.get()
+            if item is None:
                 return
+            request, future = item
             try:
-                pending.response = self.engine.handle(pending.request)
+                future.set_result(self.engine.handle(request))
             except BaseException as exc:  # transported to the caller
-                pending.error = exc
-            finally:
-                pending.done.set()
+                future.set_exception(exc)
 
     def stop(self) -> None:
         for _ in self.threads:
@@ -89,27 +80,42 @@ class ThreadedTransport(Transport):
         self._stopped = False
 
     def _pool_for(self, target: int) -> _DaemonPool:
-        with self._lock:
-            if self._stopped:
-                raise RuntimeError("transport already shut down")
-            pool = self._pools.get(target)
-            if pool is None:
+        stale: _DaemonPool | None = None
+        try:
+            with self._lock:
+                if self._stopped:
+                    raise RuntimeError("transport already shut down")
                 try:
                     engine = self._engines[target]
                 except KeyError:
+                    # Daemon gone from the live address book (crash-stop or
+                    # shrink): retire any pool built while it was alive, so
+                    # a later re-registration starts fresh.
+                    stale = self._pools.pop(target, None)
                     raise LookupError(f"no daemon at address {target}") from None
-                pool = _DaemonPool(engine, self._handlers)
-                self._pools[target] = pool
-            return pool
+                pool = self._pools.get(target)
+                if pool is None or pool.engine is not engine:
+                    stale = pool
+                    pool = _DaemonPool(engine, self._handlers)
+                    self._pools[target] = pool
+                return pool
+        finally:
+            if stale is not None:
+                stale.stop()
 
     def send(self, request: RpcRequest) -> RpcResponse:
-        pending = _Pending(request)
-        self._pool_for(request.target).queue.put(pending)
-        pending.done.wait()
-        if pending.error is not None:
-            raise pending.error
-        assert pending.response is not None
-        return pending.response
+        return self.send_async(request).result()
+
+    def send_async(self, request: RpcRequest) -> RpcFuture:
+        """Enqueue on the target's pool and return without parking."""
+        future = RpcFuture()
+        try:
+            pool = self._pool_for(request.target)
+        except Exception as exc:  # dead/unknown daemon: fail the future
+            future.set_exception(exc)
+            return future
+        pool.queue.put((request, future))
+        return future
 
     def shutdown(self) -> None:
         """Stop every worker; in-flight requests complete first."""

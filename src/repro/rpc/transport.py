@@ -14,6 +14,7 @@ import threading
 from collections import Counter
 from typing import Callable, Mapping, Optional, TYPE_CHECKING
 
+from repro.rpc.future import RpcFuture
 from repro.rpc.message import RpcRequest, RpcResponse
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -25,7 +26,25 @@ __all__ = [
     "InstrumentedTransport",
     "FaultInjectingTransport",
     "RetryingTransport",
+    "deliver_async",
 ]
+
+
+def deliver_async(transport, request: RpcRequest) -> RpcFuture:
+    """Issue ``request`` on any transport, including duck-typed ones.
+
+    Wrapper transports and the engine accept anything with a ``send``
+    method (tests substitute minimal fakes); this routes through
+    ``send_async`` when available and otherwise wraps the synchronous
+    path with the same never-raises contract.
+    """
+    method = getattr(transport, "send_async", None)
+    if method is not None:
+        return method(request)
+    try:
+        return RpcFuture.completed(transport.send(request))
+    except Exception as exc:
+        return RpcFuture.failed(exc)
 
 
 class Transport:
@@ -33,6 +52,20 @@ class Transport:
 
     def send(self, request: RpcRequest) -> RpcResponse:
         raise NotImplementedError
+
+    def send_async(self, request: RpcRequest) -> RpcFuture:
+        """Non-blocking delivery: a future resolving to the response.
+
+        Never raises at issue time — delivery failures surface through the
+        future, so a caller issuing a fan-out cannot be interrupted
+        mid-batch.  The default completes synchronously (correct for any
+        direct-dispatch transport); transports with real concurrency
+        override it to enqueue without parking the caller.
+        """
+        try:
+            return RpcFuture.completed(self.send(request))
+        except Exception as exc:
+            return RpcFuture.failed(exc)
 
 
 class LoopbackTransport(Transport):
@@ -73,12 +106,25 @@ class InstrumentedTransport(Transport):
 
     def send(self, request: RpcRequest) -> RpcResponse:
         response = self.inner.send(request)
+        self._account(request, response)
+        return response
+
+    def send_async(self, request: RpcRequest) -> RpcFuture:
+        future = deliver_async(self.inner, request)
+
+        def account(fut: RpcFuture) -> None:
+            if fut.exception(0) is None:
+                self._account(request, fut._value)
+
+        future.add_done_callback(account)
+        return future
+
+    def _account(self, request: RpcRequest, response: RpcResponse) -> None:
         with self._lock:
             self.rpcs_by_target[request.target] += 1
             self.rpcs_by_handler[request.handler] += 1
             self.wire_bytes += request.wire_size + response.wire_size
             self.bulk_bytes += response.bulk_bytes
-        return response
 
     @property
     def total_rpcs(self) -> int:
@@ -129,6 +175,35 @@ class RetryingTransport(Transport):
         assert last is not None
         raise last
 
+    def send_async(self, request: RpcRequest) -> RpcFuture:
+        """Asynchronous retry: re-issue from the completion context.
+
+        Each failed attempt chains the next one from its done-callback (a
+        handler-pool worker under the threaded transport), so the caller
+        never blocks on retries either.
+        """
+        outer = RpcFuture()
+
+        def attempt(n: int) -> None:
+            inner = deliver_async(self.inner, request)
+
+            def on_done(fut: RpcFuture) -> None:
+                exc = fut.exception(0)
+                if (
+                    exc is not None
+                    and isinstance(exc, self.retry_on)
+                    and n + 1 < self.max_attempts
+                ):
+                    self.retries += 1
+                    attempt(n + 1)
+                else:
+                    outer._adopt(fut)
+
+            inner.add_done_callback(on_done)
+
+        attempt(0)
+        return outer
+
 
 class FaultInjectingTransport(Transport):
     """Deterministically fail selected requests (for failure-path tests).
@@ -158,3 +233,9 @@ class FaultInjectingTransport(Transport):
             self.faults_injected += 1
             raise self.exc_factory(request)
         return self.inner.send(request)
+
+    def send_async(self, request: RpcRequest) -> RpcFuture:
+        if self.should_fail(request):
+            self.faults_injected += 1
+            return RpcFuture.failed(self.exc_factory(request))
+        return deliver_async(self.inner, request)

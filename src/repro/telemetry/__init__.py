@@ -4,11 +4,13 @@ The paper evaluates GekkoFS "without any form of caching ... to allow for
 an evaluation of its raw performance capabilities" (§III-A) and reports
 op rates, bandwidths, and latency bounds.  This package provides the
 instrumentation a user needs to produce the same observables from their
-own workloads: log-bucketed latency histograms with percentiles, and a
-transparent client wrapper that times every file-system call.
+own workloads: log-bucketed latency histograms with percentiles, a
+transparent client wrapper that times every file-system call, and an
+in-flight RPC depth gauge for the pipelined fan-out path.
 """
 
 from repro.telemetry.histogram import LatencyHistogram
+from repro.telemetry.inflight import InflightGauge
 from repro.telemetry.tracer import OpTracer, TracedClient
 
-__all__ = ["LatencyHistogram", "OpTracer", "TracedClient"]
+__all__ = ["LatencyHistogram", "InflightGauge", "OpTracer", "TracedClient"]

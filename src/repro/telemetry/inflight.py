@@ -1,0 +1,63 @@
+"""In-flight depth gauge for the asynchronous RPC layer.
+
+The pipelined client keeps many RPCs in flight per operation (one per
+involved daemon after coalescing); this gauge is how experiments observe
+that depth — the evidence that fan-out is actually concurrent, and the
+saturation signal when handler pools are the bottleneck.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["InflightGauge"]
+
+
+class InflightGauge:
+    """Thread-safe issued/completed/current/peak counters.
+
+    ``launch()`` when an RPC is put in flight, ``land()`` when its future
+    resolves (success or failure).  ``peak`` is the high-water mark of
+    concurrent in-flight RPCs — the pipelining depth actually achieved.
+    """
+
+    __slots__ = ("_lock", "launched", "landed", "current", "peak")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.launched = 0
+        self.landed = 0
+        self.current = 0
+        self.peak = 0
+
+    def launch(self) -> None:
+        with self._lock:
+            self.launched += 1
+            self.current += 1
+            if self.current > self.peak:
+                self.peak = self.current
+
+    def land(self) -> None:
+        with self._lock:
+            self.landed += 1
+            self.current -= 1
+
+    def reset(self) -> None:
+        """Zero every counter (in-flight RPCs at reset will under-count)."""
+        with self._lock:
+            self.launched = 0
+            self.landed = 0
+            self.current = 0
+            self.peak = 0
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "launched": self.launched,
+                "landed": self.landed,
+                "current": self.current,
+                "peak": self.peak,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"InflightGauge({self.as_dict()})"
