@@ -1,0 +1,112 @@
+"""MICRO-FAULTS — steady-state cost of the fault-tolerance machinery.
+
+The chaos harness earns its keep only if the no-fault path stays cheap:
+health tracking, the circuit breaker gate, and the retry wrapper all sit
+on the wire path of *every* RPC, fault or not.  This bench runs the same
+metadata-heavy and data workload twice — baseline transport chain vs.
+retries + breaker enabled (no faults injected) — and bounds the
+slowdown.  The budget is 5 %: a tracker `allow()` check and an exception
+-free retry loop are O(1) dictionary work per RPC and must stay in the
+noise.
+"""
+
+import gc
+import os
+import time
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core import FSConfig, GekkoFSCluster
+
+CHUNK = 4096
+FILES = 60
+CHUNKS_PER_FILE = 8
+DATA = b"f" * (CHUNK * CHUNKS_PER_FILE)
+NODES = 4
+BLOCKS = 3  # fresh cluster pairs, against per-instance placement bias
+REPS = 5  # alternating workload runs per block
+BUDGET = 1.05  # no-fault overhead must stay below 5 %
+
+
+def _workload(cluster) -> None:
+    client = cluster.client(0)
+    for i in range(FILES):
+        fd = client.open(f"/gkfs/w{i}", os.O_CREAT | os.O_RDWR)
+        client.pwrite(fd, DATA, 0)
+        client.pread(fd, len(DATA), 0)
+        client.stat(f"/gkfs/w{i}")
+        client.close(fd)
+    for i in range(FILES):
+        client.unlink(f"/gkfs/w{i}")
+
+
+def _timed(cluster) -> float:
+    # A GC pause landing in one config's timed region but not the
+    # other's would dominate the few-percent signal being measured.
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        _workload(cluster)
+        return time.perf_counter() - t0
+    finally:
+        gc.enable()
+
+
+def _sweep():
+    base_config = FSConfig(chunk_size=CHUNK)
+    hard_config = FSConfig(
+        chunk_size=CHUNK,
+        rpc_retries=3,
+        rpc_deadline=1.0,
+        breaker_enabled=True,
+        degraded_mode=True,
+    )
+    # Single workload runs alternate between a live cluster pair, so
+    # adjacent samples share whatever load regime the machine is in; the
+    # pair itself is rebuilt BLOCKS times because a cluster instance
+    # carries a small persistent timing bias (allocator/cache placement)
+    # that no amount of repetition on the same instance averages away.
+    # The verdict compares the pooled *minima*: timing noise is
+    # one-sided (preemption and frequency dips only ever slow a run
+    # down), so the best across all interleaved reps is the stable
+    # estimator of each configuration's true cost.
+    pairs = []
+    for _ in range(BLOCKS):
+        with GekkoFSCluster(num_nodes=NODES, config=base_config) as base_fs:
+            with GekkoFSCluster(num_nodes=NODES, config=hard_config) as hard_fs:
+                _workload(base_fs)  # warm-up, both code paths compiled
+                _workload(hard_fs)
+                pairs += [(_timed(base_fs), _timed(hard_fs)) for _ in range(REPS)]
+    baseline = min(b for b, _ in pairs)
+    hardened = min(h for _, h in pairs)
+    ratio = hardened / baseline
+    print()
+    print(
+        render_table(
+            ["configuration", "best wall-clock", "vs baseline"],
+            [
+                ["baseline", f"{baseline * 1e3:.1f} ms", "1.00x"],
+                [
+                    "retries+breaker",
+                    f"{hardened * 1e3:.1f} ms",
+                    f"{ratio:.2f}x (best of {BLOCKS}x{REPS} interleaved reps)",
+                ],
+            ],
+            title=(
+                f"MICRO-FAULTS: {FILES} files x {CHUNKS_PER_FILE} chunks, "
+                f"{NODES} daemons, zero faults injected"
+            ),
+        )
+    )
+    return ratio
+
+
+def test_micro_faults_steady_state_overhead(benchmark):
+    ratio = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    if ratio >= BUDGET:
+        # One repeat damps sustained scheduler-load bursts (the whole
+        # sweep lands in a slow regime); a real regression fails both.
+        ratio = min(ratio, _sweep())
+    assert ratio < BUDGET, f"no-fault overhead {ratio:.3f}x exceeds {BUDGET}x"

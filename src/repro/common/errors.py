@@ -22,6 +22,7 @@ __all__ = [
     "BadFileDescriptorError",
     "InvalidArgumentError",
     "UnsupportedError",
+    "DaemonUnavailableError",
     "error_from_errno",
 ]
 
@@ -89,6 +90,21 @@ class UnsupportedError(GekkoError):
     """
 
     errno = _errno.ENOTSUP
+
+
+class DaemonUnavailableError(GekkoError):
+    """A daemon holding the addressed shard is unreachable (EIO).
+
+    The paper's GekkoFS has no answer here (§I): a dead daemon hangs its
+    callers.  This repo's fault-tolerance extension converts exhausted
+    retries and tripped circuit breakers into this error so applications
+    see a bounded-time ``EIO`` — the same contract a kernel file system
+    offers for a dead disk — instead of an unbounded stall.  Raised
+    client-side; it never crosses the wire (its subject is precisely the
+    daemon that cannot answer).
+    """
+
+    errno = _errno.EIO
 
 
 _BY_ERRNO = {

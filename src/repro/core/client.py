@@ -25,6 +25,7 @@ from typing import Optional
 
 from repro.common.errors import (
     BadFileDescriptorError,
+    DaemonUnavailableError,
     ExistsError,
     InvalidArgumentError,
     IsADirectoryError_,
@@ -40,7 +41,7 @@ from repro.core.config import FSConfig
 from repro.core.distributor import Distributor
 from repro.core.filemap import FD_BASE, OpenFile, OpenFileMap
 from repro.core.metadata import Metadata, new_dir_metadata, new_file_metadata
-from repro.rpc import BulkHandle, RpcFuture, RpcNetwork, wait_all
+from repro.rpc import BulkHandle, RpcFuture, RpcNetwork
 
 __all__ = ["GekkoFSClient", "ClientStats"]
 
@@ -64,6 +65,10 @@ class ClientStats:
     readdirs: int = 0
     #: Widest single RPC fan-out this client has had in flight at once.
     max_fanout: int = 0
+    #: Broadcasts that completed with at least one unreachable daemon.
+    degraded_ops: int = 0
+    #: Individual broadcast legs lost to unreachable daemons (tolerated).
+    leg_failures: int = 0
 
 
 class GekkoFSClient:
@@ -99,6 +104,9 @@ class GekkoFSClient:
             else None
         )
         self.stats = ClientStats()
+        #: Per-op records of tolerated broadcast leg failures (telemetry):
+        #: ``{"handler": ..., "failed": {address: exception class name}}``.
+        self.degraded_events: list[dict] = []
 
     # -- interception routing ---------------------------------------------
 
@@ -129,10 +137,47 @@ class GekkoFSClient:
 
     # -- RPC shorthands ------------------------------------------------------
 
-    #: Transport-level failures a replicated call may tolerate.
-    _TRANSIENT = (LookupError, ConnectionError, TimeoutError)
+    #: Transport-level failures a replicated call may tolerate.  A tripped
+    #: circuit breaker (:class:`DaemonUnavailableError`) counts: the next
+    #: replica may still serve, and the breaker's whole point is to make
+    #: this leg fail instantly instead of after a timeout.
+    _TRANSIENT = (LookupError, ConnectionError, TimeoutError, DaemonUnavailableError)
     #: Metadata handlers that only read (replica fallback allowed).
     _META_READS = frozenset({"gkfs_stat"})
+
+    def _fatal_transient(self, exc: Exception) -> Exception:
+        """The exception a *fatal* transient delivery failure surfaces as.
+
+        In degraded mode raw transport failures become ``EIO``
+        (:class:`DaemonUnavailableError`) — applications get the bounded
+        dead-disk contract, not a transport stack trace.  Otherwise the
+        exception propagates unchanged (the paper's loud behaviour).
+        """
+        if self.config.degraded_mode and not isinstance(exc, DaemonUnavailableError):
+            return DaemonUnavailableError(f"{type(exc).__name__}: {exc}")
+        return exc
+
+    @property
+    def _tolerate_broadcast_loss(self) -> bool:
+        """May a broadcast survive an unreachable daemon?
+
+        Yes when replication can cover the gap, or when the deployment
+        opted into degraded mode (partial results flagged in telemetry).
+        """
+        return self.config.replication > 1 or self.config.degraded_mode
+
+    def _note_degraded(self, handler: str, failed: dict) -> None:
+        """Account one broadcast that lost legs to unreachable daemons."""
+        self.stats.leg_failures += len(failed)
+        self.stats.degraded_ops += 1
+        self.degraded_events.append(
+            {
+                "handler": handler,
+                "failed": {
+                    target: type(exc).__name__ for target, exc in failed.items()
+                },
+            }
+        )
 
     def _metadata_targets(self, rel: str) -> list[int]:
         """Replica set for a path's metadata: primary plus successors.
@@ -187,7 +232,10 @@ class GekkoFSClient:
         """
         targets = self._metadata_targets(rel)
         if len(targets) == 1:
-            return self.network.call(targets[0], handler, rel, *args)
+            try:
+                return self.network.call(targets[0], handler, rel, *args)
+            except self._TRANSIENT as exc:
+                raise self._fatal_transient(exc) from exc
         last_transient: Optional[Exception] = None
         if handler in self._META_READS:
             for target in targets:
@@ -195,7 +243,8 @@ class GekkoFSClient:
                     return self.network.call(target, handler, rel, *args)
                 except self._TRANSIENT as exc:
                     last_transient = exc
-            raise last_transient  # every replica unreachable
+            # Every replica unreachable.
+            raise self._fatal_transient(last_transient) from last_transient
         if self.config.rpc_pipelining:
             futures = [
                 self.network.call_async(target, handler, rel, *args)
@@ -222,7 +271,9 @@ class GekkoFSClient:
             else:
                 raise exc  # file-system error: a result, same on all replicas
         if not applied:
-            raise last_transient if last_transient else LookupError(rel)
+            if last_transient is not None:
+                raise self._fatal_transient(last_transient) from last_transient
+            raise LookupError(rel)
         return result
 
     def _stat_rel(self, rel: str, *, count: bool = True) -> Metadata:
@@ -264,43 +315,48 @@ class GekkoFSClient:
             }
         )
 
-    def _broadcast_call(self, target: int, handler: str, *args):
-        """One leg of a broadcast; unreachable daemons are tolerated when
-        replication can cover for them, fatal otherwise (paper semantics)."""
-        try:
-            return self.network.call(target, handler, *args)
-        except self._TRANSIENT:
-            if self.config.replication == 1:
-                raise
-            return None
-
     def _broadcast_fanout(self, targets, handler: str, *args) -> list:
         """Broadcast ``handler`` to ``targets``; one result slot per leg.
 
         With RPC pipelining every leg is in flight at once and gathered
         afterwards; otherwise legs run sequentially.  Tolerated transient
-        failures (replication can cover the daemon) yield ``None`` in
-        that slot; with replication off the first failure is fatal —
-        after every leg has been drained.
+        failures — replication can cover the daemon, or the deployment
+        runs in degraded mode — yield ``None`` in that slot and are
+        accounted in telemetry (``degraded_ops``/``leg_failures``,
+        :attr:`degraded_events`).  Otherwise the first failure is fatal —
+        raised only after every leg has been drained (paper semantics).
         """
         targets = list(targets)
-        if not self.config.rpc_pipelining:
-            return [self._broadcast_call(target, handler, *args) for target in targets]
-        futures = [
-            self.network.call_async(target, handler, *args) for target in targets
-        ]
-        self._note_fanout(len(futures))
+        if self.config.rpc_pipelining:
+            futures = [
+                self.network.call_async(target, handler, *args) for target in targets
+            ]
+            self._note_fanout(len(futures))
+            outcomes = self._gather(futures)
+        else:
+            outcomes = []
+            for target in targets:
+                try:
+                    outcomes.append((self.network.call(target, handler, *args), None))
+                except Exception as exc:
+                    outcomes.append((None, exc))
         results: list = []
+        failed: dict[int, Exception] = {}
         fatal: Optional[Exception] = None
-        for value, exc in self._gather(futures):
+        for target, (value, exc) in zip(targets, outcomes):
             if exc is None:
                 results.append(value)
-            elif isinstance(exc, self._TRANSIENT) and self.config.replication > 1:
+            elif isinstance(exc, self._TRANSIENT) and self._tolerate_broadcast_loss:
                 results.append(None)
+                failed[target] = exc
             elif fatal is None:
                 fatal = exc
         if fatal is not None:
+            if isinstance(fatal, self._TRANSIENT):
+                raise self._fatal_transient(fatal) from fatal
             raise fatal
+        if failed:
+            self._note_degraded(handler, failed)
         return results
 
     # -- open / close -----------------------------------------------------------
@@ -425,10 +481,14 @@ class GekkoFSClient:
                     written_somewhere = True
                 except self._TRANSIENT as exc:
                     if self.config.replication == 1:
-                        raise  # unreplicated: a lost daemon is loudly fatal
+                        # Unreplicated: a lost daemon is fatal (EIO when
+                        # degraded mode bounds the failure, raw otherwise).
+                        raise self._fatal_transient(exc) from exc
                     last_transient = exc
             if not written_somewhere:
-                raise last_transient if last_transient else LookupError(entry.path)
+                if last_transient is not None:
+                    raise self._fatal_transient(last_transient) from last_transient
+                raise LookupError(entry.path)
 
     def _write_spans_pipelined(
         self, entry: OpenFile, view: memoryview, spans: list
@@ -462,11 +522,13 @@ class GekkoFSClient:
         if not failed:
             return
         if self.config.replication == 1:
-            raise next(iter(failed.values()))
+            first = next(iter(failed.values()))
+            raise self._fatal_transient(first) from first
         for span in spans:
             targets = self._chunk_targets(entry.path, span.chunk_id)
             if all(target in failed for target in targets):
-                raise failed[targets[0]]  # no replica took this span
+                # No replica took this span.
+                raise self._fatal_transient(failed[targets[0]]) from failed[targets[0]]
 
     def _issue_write_group(
         self, target: int, rel: str, view: memoryview, group: list
@@ -616,10 +678,12 @@ class GekkoFSClient:
                     break
                 except self._TRANSIENT as exc:
                     if self.config.replication == 1:
-                        raise
+                        raise self._fatal_transient(exc) from exc
                     last_transient = exc
             if not served:
-                raise last_transient if last_transient else LookupError(entry.path)
+                if last_transient is not None:
+                    raise self._fatal_transient(last_transient) from last_transient
+                raise LookupError(entry.path)
 
     def _read_spans_pipelined(
         self, entry: OpenFile, buf_view: memoryview, spans: list
@@ -657,12 +721,14 @@ class GekkoFSClient:
                 if not isinstance(exc, self._TRANSIENT):
                     raise exc
                 if self.config.replication == 1:
-                    raise exc
+                    raise self._fatal_transient(exc) from exc
                 last_transient = exc
                 retry.extend(group)
             pending = retry
         if pending:
-            raise last_transient if last_transient else LookupError(entry.path)
+            if last_transient is not None:
+                raise self._fatal_transient(last_transient) from last_transient
+            raise LookupError(entry.path)
 
     def _issue_read_group(
         self, target: int, rel: str, buf_view: memoryview, group: list
@@ -772,7 +838,7 @@ class GekkoFSClient:
                     if not isinstance(exc, self._TRANSIENT):
                         raise exc
                     if self.config.replication == 1:
-                        raise exc
+                        raise self._fatal_transient(exc) from exc
                     last_transient = exc
                     retry.append(chunk_id)
                     continue
@@ -782,7 +848,9 @@ class GekkoFSClient:
                     buffer[span.buffer_offset : span.buffer_offset + len(piece)] = piece
             pending = retry
         if pending:
-            raise last_transient if last_transient else LookupError(entry.path)
+            if last_transient is not None:
+                raise self._fatal_transient(last_transient) from last_transient
+            raise LookupError(entry.path)
 
     def read(self, fd: int, count: int) -> bytes:
         """Read at the descriptor position, advancing it."""
@@ -1135,9 +1203,11 @@ class GekkoFSClient:
     def statfs(self) -> dict:
         """Aggregated deployment usage across all daemons.
 
-        Strict broadcast (an unreachable daemon is an error): legs are
-        pipelined and gathered with :func:`repro.rpc.wait_all`, which
-        still waits every leg before raising.
+        A strict broadcast by default (an unreachable daemon is an
+        error, every leg drained before raising).  In degraded mode the
+        aggregate covers the reachable daemons only and the result is
+        flagged: ``"degraded": True`` with the unreachable addresses in
+        ``"missing_daemons"`` — partial truth, labelled as such.
         """
         targets = list(self.distributor.locate_all())
         if self.config.rpc_pipelining:
@@ -1145,16 +1215,35 @@ class GekkoFSClient:
                 self.network.call_async(target, "gkfs_statfs") for target in targets
             ]
             self._note_fanout(len(futures))
-            snapshots = wait_all(futures)
+            outcomes = self._gather(futures)
         else:
-            snapshots = [self.network.call(target, "gkfs_statfs") for target in targets]
+            outcomes = []
+            for target in targets:
+                try:
+                    outcomes.append((self.network.call(target, "gkfs_statfs"), None))
+                except Exception as exc:
+                    outcomes.append((None, exc))
         used = 0
         records = 0
-        for snapshot in snapshots:
-            used += snapshot["used_bytes"]
-            records += snapshot["metadata_records"]
-        return {
+        failed: dict[int, Exception] = {}
+        for target, (snapshot, exc) in zip(targets, outcomes):
+            if exc is None:
+                used += snapshot["used_bytes"]
+                records += snapshot["metadata_records"]
+            elif isinstance(exc, self._TRANSIENT) and self.config.degraded_mode:
+                failed[target] = exc
+            else:
+                if isinstance(exc, self._TRANSIENT):
+                    raise self._fatal_transient(exc) from exc
+                raise exc
+        result = {
             "daemons": self.distributor.num_daemons,
             "used_bytes": used,
             "metadata_records": records,
         }
+        if self.config.degraded_mode:
+            result["degraded"] = bool(failed)
+            result["missing_daemons"] = sorted(failed)
+            if failed:
+                self._note_degraded("gkfs_statfs", failed)
+        return result

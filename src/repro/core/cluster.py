@@ -24,7 +24,13 @@ from repro.core.distributor import Distributor, SimpleHashDistributor
 from repro.core.fileobj import GekkoFile
 from repro.core.metadata import new_dir_metadata
 from repro.kvstore import LSMStore
-from repro.rpc import InstrumentedTransport, RpcNetwork, ThreadedTransport
+from repro.rpc import (
+    DaemonHealthTracker,
+    InstrumentedTransport,
+    RetryingTransport,
+    RpcNetwork,
+    ThreadedTransport,
+)
 from repro.storage import LocalFSChunkStorage, MemoryChunkStorage
 
 __all__ = ["GekkoFSCluster"]
@@ -70,29 +76,63 @@ class GekkoFSCluster:
                 self.network.engine_table, handlers_per_daemon
             )
             self.network.transport = self._threaded_transport
+        # Fault-tolerance wiring: one fused RetryingTransport carries both
+        # the retry/deadline loop and (when enabled) the circuit-breaker
+        # gate — one logical request, retries included, is one health
+        # observation.  Instrumentation wraps outermost so its counters
+        # see what the application issued, not each retry.
+        self.health: Optional[DaemonHealthTracker] = None
+        if self.config.breaker_enabled:
+            self.health = DaemonHealthTracker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown=self.config.breaker_cooldown,
+            )
+        self.retrying: Optional[RetryingTransport] = None
+        if (
+            self.config.rpc_retries > 0
+            or self.config.rpc_deadline is not None
+            or self.health is not None
+        ):
+            self.retrying = RetryingTransport(
+                self.network.transport,
+                max_attempts=self.config.rpc_retries + 1,
+                backoff_base=self.config.rpc_backoff_base,
+                backoff_max=self.config.rpc_backoff_max,
+                deadline=self.config.rpc_deadline,
+                tracker=self.health,
+            )
+            self.network.transport = self.retrying
         self.transport: Optional[InstrumentedTransport] = None
         if instrument:
             self.transport = InstrumentedTransport(self.network.transport)
             self.network.transport = self.transport
         self.daemons: list[GekkoDaemon] = []
+        self._crashed: set[int] = set()
         for node in range(num_nodes):
-            engine = self.network.create_engine(node)
-            kv = LSMStore(self._node_dir(self.config.kv_dir, node))
-            if self.config.data_dir is not None:
-                storage = LocalFSChunkStorage(
-                    self.config.chunk_size, self._node_dir(self.config.data_dir, node)
-                )
-            else:
-                storage = MemoryChunkStorage(self.config.chunk_size)
-            self.daemons.append(
-                GekkoDaemon(node, engine, self.config.chunk_size, kv=kv, storage=storage)
-            )
+            self.daemons.append(self._build_daemon(node))
         self._format()
         self._running = True
 
     @staticmethod
     def _node_dir(base: Optional[str], node: int) -> Optional[str]:
         return None if base is None else os.path.join(base, f"node_{node:04d}")
+
+    def _build_daemon(self, node: int) -> GekkoDaemon:
+        """Bring up the daemon process for ``node``: engine, KV, storage.
+
+        Reopening the same ``kv_dir``/``data_dir`` paths is what makes
+        this double as the restart path — the LSM store replays its WAL
+        and disk-backed chunk storage rescans its directory.
+        """
+        engine = self.network.create_engine(node)
+        kv = LSMStore(self._node_dir(self.config.kv_dir, node))
+        if self.config.data_dir is not None:
+            storage = LocalFSChunkStorage(
+                self.config.chunk_size, self._node_dir(self.config.data_dir, node)
+            )
+        else:
+            storage = MemoryChunkStorage(self.config.chunk_size)
+        return GekkoDaemon(node, engine, self.config.chunk_size, kv=kv, storage=storage)
 
     def _format(self) -> None:
         """Create the root directory record on its owner daemon(s).
@@ -166,6 +206,11 @@ class GekkoFSCluster:
 
         if not self._running:
             raise RuntimeError("cannot resize a stopped cluster")
+        if self._crashed:
+            raise RuntimeError(
+                f"cannot resize with crashed daemons {sorted(self._crashed)}; "
+                f"restart them first"
+            )
         if self.config.replication > 1:
             raise ValueError(
                 "resize does not yet preserve replica sets; "
@@ -180,17 +225,7 @@ class GekkoFSCluster:
         old_count = self.num_nodes
 
         for node in range(old_count, new_num_nodes):  # grow first
-            engine = self.network.create_engine(node)
-            kv = LSMStore(self._node_dir(self.config.kv_dir, node))
-            if self.config.data_dir is not None:
-                storage = LocalFSChunkStorage(
-                    self.config.chunk_size, self._node_dir(self.config.data_dir, node)
-                )
-            else:
-                storage = MemoryChunkStorage(self.config.chunk_size)
-            self.daemons.append(
-                GekkoDaemon(node, engine, self.config.chunk_size, kv=kv, storage=storage)
-            )
+            self.daemons.append(self._build_daemon(node))
 
         report = migrate(self, new_distributor, old_count)
 
@@ -207,17 +242,72 @@ class GekkoFSCluster:
         self.num_nodes = new_num_nodes
         return report
 
+    # -- fault injection / recovery ------------------------------------------
+
+    def daemon_alive(self, address: int) -> bool:
+        """False while ``address`` is crash-stopped."""
+        return 0 <= address < self.num_nodes and address not in self._crashed
+
+    def live_daemons(self) -> list[GekkoDaemon]:
+        """Daemons currently serving (crash-stopped ones excluded)."""
+        return [d for d in self.daemons if d.address not in self._crashed]
+
+    @property
+    def crashed_daemons(self) -> set[int]:
+        return set(self._crashed)
+
+    def crash_daemon(self, address: int) -> None:
+        """Crash-stop one daemon: drop it from the address book and lose
+        its volatile state, with no clean shutdown.
+
+        Clients see transport failures (``LookupError``) on its shards
+        from the next RPC on; nothing is flushed, so an in-memory KV loses
+        its records and a disk-backed one keeps exactly what had reached
+        its WAL.  The daemon object stays in :attr:`daemons` (crashed) so
+        addresses remain stable.
+        """
+        if not 0 <= address < self.num_nodes:
+            raise ValueError(f"address {address} out of range [0, {self.num_nodes})")
+        if address in self._crashed:
+            raise RuntimeError(f"daemon {address} is already crashed")
+        self.network.remove_engine(address)
+        self.daemons[address].crash()
+        self._crashed.add(address)
+
+    def restart_daemon(self, address: int, recover: bool = True):
+        """Bring a crashed daemon back, optionally running recovery.
+
+        The replacement daemon reopens the node's ``kv_dir``/``data_dir``
+        (WAL replay + chunk rescan); with ``recover=True`` it is then
+        reconciled against the rest of the deployment — replica
+        anti-entropy resync, root-record recreation, and a cluster-wide
+        fsck repair — and the :class:`~repro.faults.recovery
+        .RecoveryReport` is returned.  Any client-side breaker state for
+        the address is reset so traffic resumes immediately.
+        """
+        if address not in self._crashed:
+            raise RuntimeError(f"daemon {address} is not crashed")
+        self._crashed.discard(address)
+        self.daemons[address] = self._build_daemon(address)
+        if self.health is not None:
+            self.health.reset(address)
+        if recover:
+            from repro.faults.recovery import recover_daemon
+
+            return recover_daemon(self, address)
+        return None
+
     # -- introspection --------------------------------------------------------
 
     def daemon_load(self) -> dict[int, int]:
         """RPCs served per daemon — the load-balance evidence for hashing."""
-        return {d.address: sum(d.engine.calls_served.values()) for d in self.daemons}
+        return {d.address: sum(d.engine.calls_served.values()) for d in self.live_daemons()}
 
     def used_bytes(self) -> int:
-        return sum(d.storage.used_bytes() for d in self.daemons)
+        return sum(d.storage.used_bytes() for d in self.live_daemons())
 
     def metadata_records(self) -> int:
-        return sum(len(d.kv) for d in self.daemons)
+        return sum(len(d.kv) for d in self.live_daemons())
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -47,6 +47,30 @@ class FSConfig:
         concurrent non-blocking RPCs with per-daemon span coalescing —
         the paper's ``margo_iforward`` client (§III-B).  Off = legacy
         serialized per-chunk calls (kept for ablation/baseline runs).
+    :ivar rpc_retries: transient delivery failures retried per RPC with
+        exponential backoff (0 = the paper's no-retry behaviour; the
+        fabric either delivers or the call fails).
+    :ivar rpc_deadline: overall seconds one RPC may consume across all
+        attempts and backoff sleeps; ``None`` leaves latency bounded by
+        the attempt count alone.  Setting it (even with 0 retries)
+        routes calls through the deadline-aware retrying transport.
+    :ivar rpc_backoff_base: first retry delay in seconds.
+    :ivar rpc_backoff_max: cap on any single backoff delay.
+    :ivar breaker_enabled: per-daemon circuit breaker — after
+        ``breaker_failure_threshold`` consecutive delivery failures a
+        daemon is declared unhealthy and further requests to it fail
+        fast with ``EIO`` until a ``breaker_cooldown`` probe succeeds.
+    :ivar breaker_failure_threshold: consecutive failures that trip the
+        breaker.
+    :ivar breaker_cooldown: seconds an open breaker blocks traffic
+        before allowing one half-open probe.
+    :ivar degraded_mode: broadcasts (listdir, statfs, chunk removal)
+        tolerate unreachable daemons even without replication covering
+        them, returning partial results flagged degraded; fatal
+        transient failures surface as ``EIO``
+        (:class:`~repro.common.errors.DaemonUnavailableError`) instead
+        of raw transport exceptions.  Off = the paper's behaviour: any
+        dead daemon is loudly fatal to every operation touching it.
     :ivar passthrough_enabled: forward non-mountpoint paths to the real
         OS like the interposition library would.
     :ivar kv_dir: directory for daemon KV stores (``None`` = in-memory).
@@ -65,6 +89,14 @@ class FSConfig:
     data_cache_bytes: int = 64 * 1024 * 1024
     replication: int = 1
     rpc_pipelining: bool = True
+    rpc_retries: int = 0
+    rpc_deadline: Optional[float] = None
+    rpc_backoff_base: float = 0.001
+    rpc_backoff_max: float = 0.1
+    breaker_enabled: bool = False
+    breaker_failure_threshold: int = 3
+    breaker_cooldown: float = 0.25
+    degraded_mode: bool = False
     passthrough_enabled: bool = True
     kv_dir: Optional[str] = None
     data_dir: Optional[str] = None
@@ -83,6 +115,19 @@ class FSConfig:
             raise ValueError("size_cache_flush_every must be >= 1")
         if self.replication < 1:
             raise ValueError(f"replication must be >= 1, got {self.replication}")
+        if self.rpc_retries < 0:
+            raise ValueError(f"rpc_retries must be >= 0, got {self.rpc_retries}")
+        if self.rpc_deadline is not None and self.rpc_deadline <= 0:
+            raise ValueError(f"rpc_deadline must be > 0, got {self.rpc_deadline}")
+        if self.rpc_backoff_base < 0 or self.rpc_backoff_max < 0:
+            raise ValueError("rpc backoff delays must be >= 0")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError(
+                f"breaker_failure_threshold must be >= 1, "
+                f"got {self.breaker_failure_threshold}"
+            )
+        if self.breaker_cooldown < 0:
+            raise ValueError(f"breaker_cooldown must be >= 0, got {self.breaker_cooldown}")
         if self.data_cache_enabled and self.data_cache_bytes < self.chunk_size:
             raise ValueError(
                 f"data_cache_bytes ({self.data_cache_bytes}) must hold at least "

@@ -333,3 +333,13 @@ class GekkoDaemon:
     def shutdown(self) -> None:
         """Flush and close the metadata store."""
         self.kv.close()
+
+    def crash(self) -> None:
+        """Crash-stop: lose volatile state without a clean shutdown.
+
+        The KV store drops its memtable and keeps its un-truncated WAL
+        (durable state stays on the node-local SSD); in-memory chunk
+        storage dies with the process, disk-backed chunk files survive
+        and are rediscovered by the restarted daemon's directory rescan.
+        """
+        self.kv.crash()

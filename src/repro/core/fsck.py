@@ -60,16 +60,36 @@ class FsckReport:
         )
 
 
+def _live_daemons(cluster: "GekkoFSCluster"):
+    """Daemons fsck may touch — crash-stopped ones are skipped entirely
+    (their stores are closed; their durable state is examined after
+    restart, which is exactly when recovery runs fsck)."""
+    live = getattr(cluster, "live_daemons", None)
+    return list(live()) if callable(live) else list(cluster.daemons)
+
+
+def _daemon_alive(cluster: "GekkoFSCluster", address: int) -> bool:
+    alive = getattr(cluster, "daemon_alive", None)
+    return bool(alive(address)) if callable(alive) else True
+
+
 def _collect_metadata(cluster: "GekkoFSCluster") -> dict[str, Metadata]:
+    """Merged view of every live daemon's records; where replicas
+    disagree (one missed a size update before a crash) the largest size
+    wins — data extent is the ground truth repair restores anyway."""
     records: dict[str, Metadata] = {}
-    for daemon in cluster.daemons:
+    for daemon in _live_daemons(cluster):
         for key, value in daemon.kv.range_iter():
-            records[key.decode("utf-8")] = Metadata.decode(value)
+            path = key.decode("utf-8")
+            md = Metadata.decode(value)
+            seen = records.get(path)
+            if seen is None or (not md.is_dir and md.size > seen.size):
+                records[path] = md
     return records
 
 
 def check(cluster: "GekkoFSCluster") -> FsckReport:
-    """Scan every daemon and cross-check data against metadata."""
+    """Scan every live daemon and cross-check data against metadata."""
     report = FsckReport()
     records = _collect_metadata(cluster)
     report.files_checked = len(records)
@@ -77,7 +97,7 @@ def check(cluster: "GekkoFSCluster") -> FsckReport:
 
     # Observed data extent per path.
     observed: dict[str, int] = {}
-    for daemon in cluster.daemons:
+    for daemon in _live_daemons(cluster):
         for path in daemon.storage.paths():
             for chunk_id in daemon.storage.chunk_ids(path):
                 report.chunks_checked += 1
@@ -114,12 +134,25 @@ def repair(cluster: "GekkoFSCluster", report: FsckReport | None = None) -> FsckR
     """
     findings = report if report is not None else check(cluster)
     for path, daemon_addr, chunk_id in findings.orphaned_chunks:
+        if not _daemon_alive(cluster, daemon_addr):
+            continue  # crashed since the scan; its restart re-runs fsck
         cluster.daemons[daemon_addr].storage.truncate_chunk(path, chunk_id, 0)
-    for daemon in cluster.daemons:  # drop emptied path containers
+    for daemon in _live_daemons(cluster):  # drop emptied path containers
         for path in list(daemon.storage.paths()):
             if not list(daemon.storage.chunk_ids(path)):
                 daemon.storage.remove_chunks(path)
     for path, _recorded, observed_extent in findings.size_overruns:
-        owner = cluster.distributor.locate_metadata(path)
-        cluster.daemons[owner].update_size(path, observed_extent)
+        # Raise the size on every live replica that holds the record —
+        # repairing only the primary would leave stale replicas to win a
+        # later fail-over read.
+        primary = cluster.distributor.locate_metadata(path)
+        span = cluster.distributor.num_daemons
+        count = min(cluster.config.replication, span)
+        key = path.encode("utf-8")
+        for i in range(count):
+            daemon = cluster.daemons[(primary + i) % span]
+            if not _daemon_alive(cluster, daemon.address):
+                continue
+            if daemon.kv.get(key) is not None:
+                daemon.update_size(path, observed_extent)
     return check(cluster)

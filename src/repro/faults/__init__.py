@@ -1,0 +1,40 @@
+"""Fault injection, chaos plans, and crash recovery.
+
+The paper's GekkoFS explicitly has no fault-tolerance story (§I): a
+daemon failure takes its shard of the temporary file system with it.
+This package is the repository's robustness extension — the machinery to
+*produce* failures deterministically and to *survive* them:
+
+* :mod:`repro.faults.transports` — composable fault-injecting transport
+  wrappers (latency, message drop, partition, one-shot triggers);
+* :mod:`repro.faults.chaos` — the :class:`ChaosController`, driving
+  scripted or seeded-random fault plans against a live cluster;
+* :mod:`repro.faults.recovery` — daemon restart recovery: WAL-replay
+  accounting, replica anti-entropy, root recreation, fsck reconcile;
+* :mod:`repro.faults.sim` — virtual-time fault timelines and the
+  closed-form availability model for the discrete-event simulator.
+"""
+
+from repro.faults.chaos import ChaosController, FaultEvent
+from repro.faults.recovery import RecoveryReport, recover_daemon
+from repro.faults.sim import FaultTimeline, Outage, op_availability
+from repro.faults.transports import (
+    DropTransport,
+    LatencyTransport,
+    PartitionTransport,
+    TriggerTransport,
+)
+
+__all__ = [
+    "ChaosController",
+    "DropTransport",
+    "FaultEvent",
+    "FaultTimeline",
+    "LatencyTransport",
+    "Outage",
+    "PartitionTransport",
+    "RecoveryReport",
+    "TriggerTransport",
+    "op_availability",
+    "recover_daemon",
+]

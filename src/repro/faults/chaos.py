@@ -1,0 +1,277 @@
+"""The chaos controller: scripted and seeded-random fault plans.
+
+A :class:`ChaosController` attaches to a live
+:class:`~repro.core.cluster.GekkoFSCluster` and drives faults against
+it: daemon crash/restart (through the cluster's crash-stop APIs) and
+network faults (latency, message drop, partition, one-shot triggers)
+through a stack of :mod:`repro.faults.transports` wrappers spliced in
+directly above the base transport — *below* the client's retry, breaker
+and instrumentation layers, where a real fabric fault would occur.
+
+Two driving styles:
+
+* **Scripted** (:meth:`run_scripted`): an explicit list of
+  :class:`FaultEvent`\\ s applied in order — the deterministic
+  reproduction of one failure scenario.
+* **Seeded random** (:meth:`step`): call between workload operations;
+  each call makes one RNG-driven decision (crash a daemon, restart a
+  crashed one, slow a link, heal it, or do nothing).  The RNG is seeded,
+  so the same seed over the same workload replays the same fault
+  sequence — chaos tests are deterministic and CI can pin seeds.
+
+Every action is appended to :attr:`ChaosController.log` so a failing
+test can print exactly what the plan did.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, TYPE_CHECKING
+
+from repro.faults.transports import (
+    DropTransport,
+    LatencyTransport,
+    PartitionTransport,
+    TriggerTransport,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.cluster import GekkoFSCluster
+    from repro.faults.recovery import RecoveryReport
+
+__all__ = ["FaultEvent", "ChaosController"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One step of a scripted fault plan.
+
+    :ivar action: ``crash`` | ``restart`` | ``slow`` | ``clear_slow`` |
+        ``drop`` | ``clear_drop`` | ``partition`` | ``heal``.
+    :ivar target: daemon address the action applies to (``heal`` may
+        omit it to lift the whole partition).
+    :ivar value: action parameter — seconds for ``slow``, probability
+        for ``drop``.
+    :ivar recover: for ``restart``: run the recovery pipeline.
+    """
+
+    action: str
+    target: Optional[int] = None
+    value: float = 0.0
+    recover: bool = True
+
+
+class ChaosController:
+    """Drive faults against a live cluster, deterministically.
+
+    Splices ``Trigger(Partition(Drop(Latency(base))))`` into the
+    cluster's transport chain at construction.  All immediate methods
+    (:meth:`crash`, :meth:`slow`, ...) are also usable directly from
+    tests that want precise control.
+
+    :param cluster: the deployment under test.
+    :param seed: seeds both the random fault policy and message drops.
+    :param sleep: injectable sleep used between scripted events.
+    :param crash_prob: per-:meth:`step` probability of crashing a live
+        daemon (while fewer than ``max_down`` are down).
+    :param restart_prob: per-step probability of restarting a crashed
+        daemon.
+    :param slow_prob: per-step probability of slowing a live daemon.
+    :param heal_prob: per-step probability of clearing one slowdown.
+    :param max_down: bound on simultaneously crashed daemons (keep it
+        below the replication factor to preserve availability).
+    :param slow_delay: delay injected by random slowdowns, seconds.
+    """
+
+    def __init__(
+        self,
+        cluster: "GekkoFSCluster",
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+        crash_prob: float = 0.05,
+        restart_prob: float = 0.3,
+        slow_prob: float = 0.05,
+        heal_prob: float = 0.3,
+        max_down: int = 1,
+        slow_delay: float = 0.0005,
+    ):
+        self.cluster = cluster
+        self.rng = random.Random(seed)
+        self._sleep = sleep
+        self.crash_prob = crash_prob
+        self.restart_prob = restart_prob
+        self.slow_prob = slow_prob
+        self.heal_prob = heal_prob
+        self.max_down = max_down
+        self.slow_delay = slow_delay
+        #: Every action taken, in order: ``(action, target, value)``.
+        self.log: list[tuple] = []
+        self.latency, self.drop, self.partition_layer, self.trigger = self._splice(
+            cluster, seed
+        )
+
+    @staticmethod
+    def _splice(cluster: "GekkoFSCluster", seed: int):
+        """Insert the fault stack directly above the base transport."""
+        network = cluster.network
+        parent = None
+        node = network.transport
+        while True:
+            inner = getattr(node, "inner", None)
+            if inner is None:
+                break
+            parent, node = node, inner
+        latency = LatencyTransport(node)
+        drop = DropTransport(latency, seed=seed)
+        partition = PartitionTransport(drop)
+        trigger = TriggerTransport(partition)
+        if parent is None:
+            network.transport = trigger
+        else:
+            parent.inner = trigger
+        return latency, drop, partition, trigger
+
+    def _note(self, action: str, target: Optional[int] = None, value: float = 0.0):
+        self.log.append((action, target, value))
+
+    # -- immediate fault actions -------------------------------------------
+
+    def crash(self, address: int) -> None:
+        """Crash-stop a daemon (volatile state lost, no clean close)."""
+        self.cluster.crash_daemon(address)
+        self._note("crash", address)
+
+    def restart(self, address: int, recover: bool = True) -> "Optional[RecoveryReport]":
+        """Restart a crashed daemon; returns its recovery report."""
+        report = self.cluster.restart_daemon(address, recover=recover)
+        self._note("restart", address)
+        return report
+
+    def slow(self, address: int, delay: float) -> None:
+        """Inject per-request latency on one daemon."""
+        self.latency.set_delay(address, delay)
+        self._note("slow", address, delay)
+
+    def clear_slow(self, address: int) -> None:
+        self.latency.clear_delay(address)
+        self._note("clear_slow", address)
+
+    def drop_messages(self, address: int, rate: float) -> None:
+        """Drop a seeded-random fraction of requests to one daemon."""
+        self.drop.set_drop_rate(address, rate)
+        self._note("drop", address, rate)
+
+    def clear_drop(self, address: int) -> None:
+        self.drop.clear_drop_rate(address)
+        self._note("clear_drop", address)
+
+    def partition(self, addresses: Iterable[int]) -> None:
+        """Cut a set of daemons off the network (state preserved)."""
+        addresses = list(addresses)
+        self.partition_layer.partition(addresses)
+        for address in addresses:
+            self._note("partition", address)
+
+    def heal(self, addresses: Optional[Iterable[int]] = None) -> None:
+        """Lift the partition (entirely, or for specific addresses)."""
+        self.partition_layer.heal(addresses)
+        self._note("heal", None)
+
+    def crash_on(self, handler: str, target: Optional[int] = None) -> None:
+        """Arm a one-shot trigger: crash the addressed daemon the moment
+        a matching request arrives (before it is served).
+
+        The canonical crash-consistency probe: ``crash_on
+        ("gkfs_update_size")`` kills the metadata owner mid-``pwrite``,
+        after the data fan-out but before the size publishes.
+        """
+
+        def predicate(request) -> bool:
+            if request.handler != handler:
+                return False
+            return target is None or request.target == target
+
+        def callback(request) -> None:
+            self.cluster.crash_daemon(request.target)
+            self._note("crash", request.target)
+
+        self.trigger.arm(predicate, callback)
+
+    def crashed(self) -> set[int]:
+        return self.cluster.crashed_daemons
+
+    # -- scripted plans -----------------------------------------------------
+
+    def apply(self, event: FaultEvent) -> None:
+        """Apply one scripted fault event."""
+        if event.action == "crash":
+            self.crash(event.target)
+        elif event.action == "restart":
+            self.restart(event.target, recover=event.recover)
+        elif event.action == "slow":
+            self.slow(event.target, event.value)
+        elif event.action == "clear_slow":
+            self.clear_slow(event.target)
+        elif event.action == "drop":
+            self.drop_messages(event.target, event.value)
+        elif event.action == "clear_drop":
+            self.clear_drop(event.target)
+        elif event.action == "partition":
+            self.partition([event.target])
+        elif event.action == "heal":
+            self.heal(None if event.target is None else [event.target])
+        else:
+            raise ValueError(f"unknown fault action {event.action!r}")
+
+    def run_scripted(self, events: Iterable[FaultEvent], interval: float = 0.0) -> None:
+        """Apply ``events`` in order, sleeping ``interval`` between them."""
+        for i, event in enumerate(events):
+            if i and interval > 0:
+                self._sleep(interval)
+            self.apply(event)
+
+    # -- seeded random plans -------------------------------------------------
+
+    def step(self) -> Optional[tuple]:
+        """One random fault decision; call between workload operations.
+
+        Returns the action taken (a ``log`` entry) or ``None``.  The
+        decision order is fixed — restart, crash, heal, slow — so a seed
+        fully determines the fault sequence for a given workload.
+        """
+        roll = self.rng.random()
+        threshold = 0.0
+
+        crashed = sorted(self.cluster.crashed_daemons)
+        threshold += self.restart_prob
+        if roll < threshold:
+            if crashed:
+                self.restart(crashed[self.rng.randrange(len(crashed))])
+                return self.log[-1]
+            return None
+
+        threshold += self.crash_prob
+        if roll < threshold:
+            live = [d.address for d in self.cluster.live_daemons()]
+            if len(crashed) < self.max_down and live:
+                self.crash(live[self.rng.randrange(len(live))])
+                return self.log[-1]
+            return None
+
+        threshold += self.heal_prob
+        if roll < threshold:
+            slowed = sorted(self.latency.delays)
+            if slowed:
+                self.clear_slow(slowed[self.rng.randrange(len(slowed))])
+                return self.log[-1]
+            return None
+
+        threshold += self.slow_prob
+        if roll < threshold:
+            live = [d.address for d in self.cluster.live_daemons()]
+            if live:
+                self.slow(live[self.rng.randrange(len(live))], self.slow_delay)
+                return self.log[-1]
+        return None

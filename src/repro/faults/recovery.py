@@ -1,0 +1,169 @@
+"""Daemon restart recovery: what brings a replacement daemon up to date.
+
+The paper's GekkoFS has no recovery story — a daemon that dies takes its
+shard with it (§I).  This module is the extension's answer, run by
+``cluster.restart_daemon`` after the replacement daemon has reopened the
+node's local state:
+
+1. **Local replay** happens implicitly at construction: the LSM store
+   replays its un-truncated WAL over the sealed SSTables, and
+   disk-backed chunk storage rediscovers every chunk file by directory
+   rescan.  :func:`recover_daemon` accounts what that recovered.
+2. **Replica anti-entropy**: with replication > 1, every record and
+   chunk whose replica set includes the restarted address is copied back
+   from the surviving replicas (largest size wins for metadata — a
+   replica that missed a size update must not reintroduce a stale one).
+3. **Root recreation**: if the restarted daemon is in the root
+   directory's replica set and lost the record (in-memory KV), "/" is
+   recreated so the namespace stays mountable.
+4. **Cluster-wide fsck repair** reconciles whatever the crash left
+   behind — orphaned chunks of records that died with an unreplicated
+   daemon, understated sizes from lost size updates — using the same
+   :mod:`repro.core.fsck` logic that audits retained campaigns.
+
+Anti-entropy runs on the management plane (direct daemon access, like
+``GekkoFSCluster._format``), not over client RPC: recovery is a cluster
+operation, not a file-system operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core import fsck
+from repro.core.metadata import Metadata, new_dir_metadata
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.cluster import GekkoFSCluster
+
+__all__ = ["RecoveryReport", "recover_daemon"]
+
+
+@dataclass
+class RecoveryReport:
+    """What one daemon restart recovered, and how."""
+
+    address: int
+    #: Metadata records present after reopening local state (WAL replay).
+    records_recovered: int = 0
+    #: Chunk files rediscovered by the storage rescan.
+    chunks_rescanned: int = 0
+    #: Records copied back from surviving replicas (anti-entropy).
+    records_resynced: int = 0
+    #: Chunks copied back from surviving replicas (anti-entropy).
+    chunks_resynced: int = 0
+    #: Whether the root directory record had to be recreated.
+    root_recreated: bool = False
+    #: Post-recovery cluster-wide consistency scan (after repair).
+    fsck: "fsck.FsckReport" = field(default_factory=fsck.FsckReport)
+
+    def __str__(self) -> str:
+        return (
+            f"recovery(daemon {self.address}): "
+            f"{self.records_recovered} records + {self.chunks_rescanned} chunks "
+            f"from local state, {self.records_resynced} records + "
+            f"{self.chunks_resynced} chunks resynced from replicas, "
+            f"root_recreated={self.root_recreated}, fsck={self.fsck}"
+        )
+
+
+def _replica_set(cluster: "GekkoFSCluster", primary: int) -> list[int]:
+    """Successor replica placement — must mirror the client's."""
+    count = min(cluster.config.replication, cluster.num_nodes)
+    return [(primary + i) % cluster.num_nodes for i in range(count)]
+
+
+def _resync_metadata(cluster: "GekkoFSCluster", address: int) -> int:
+    """Copy back every record whose replica set includes ``address``."""
+    daemon = cluster.daemons[address]
+    # Best surviving version per path (largest size wins for files).
+    best: dict[bytes, bytes] = {}
+    for peer in cluster.live_daemons():
+        if peer.address == address:
+            continue
+        for key, value in peer.kv.range_iter():
+            path = key.decode("utf-8")
+            if address not in _replica_set(
+                cluster, cluster.distributor.locate_metadata(path)
+            ):
+                continue
+            seen = best.get(key)
+            if seen is None:
+                best[key] = value
+                continue
+            new_md, seen_md = Metadata.decode(value), Metadata.decode(seen)
+            if not new_md.is_dir and new_md.size > seen_md.size:
+                best[key] = value
+    resynced = 0
+    for key, value in best.items():
+        local = daemon.kv.get(key)
+        if local is not None:
+            local_md, remote_md = Metadata.decode(local), Metadata.decode(value)
+            if local_md.is_dir or local_md.size >= remote_md.size:
+                continue
+        daemon.kv.put(key, value)
+        resynced += 1
+    return resynced
+
+
+def _resync_chunks(cluster: "GekkoFSCluster", address: int) -> int:
+    """Copy back every chunk whose replica set includes ``address``."""
+    daemon = cluster.daemons[address]
+    chunk_size = cluster.config.chunk_size
+    resynced = 0
+    copied: set[tuple[str, int]] = set()
+    for peer in cluster.live_daemons():
+        if peer.address == address:
+            continue
+        for path in peer.storage.paths():
+            for chunk_id in peer.storage.chunk_ids(path):
+                if (path, chunk_id) in copied:
+                    continue
+                if address not in _replica_set(
+                    cluster, cluster.distributor.locate_chunk(path, chunk_id)
+                ):
+                    continue
+                data = peer.storage.read_chunk(path, chunk_id, 0, chunk_size)
+                if not data:
+                    continue
+                local = daemon.storage.read_chunk(path, chunk_id, 0, chunk_size)
+                if len(local) >= len(data):
+                    continue
+                daemon.storage.write_chunk(path, chunk_id, 0, data)
+                copied.add((path, chunk_id))
+                resynced += 1
+    return resynced
+
+
+def recover_daemon(cluster: "GekkoFSCluster", address: int) -> RecoveryReport:
+    """Reconcile a freshly restarted daemon with the deployment.
+
+    Assumes ``cluster.daemons[address]`` has already been replaced by a
+    live daemon that reopened the node's ``kv_dir``/``data_dir`` (the
+    local WAL replay and chunk rescan have happened).  Returns a
+    :class:`RecoveryReport`; the embedded fsck report reflects the state
+    *after* repair — a non-clean report means data was genuinely
+    unrecoverable (e.g. an unreplicated in-memory daemon lost its shard).
+    """
+    daemon = cluster.daemons[address]
+    report = RecoveryReport(address=address)
+    report.records_recovered = len(daemon.kv)
+    report.chunks_rescanned = sum(
+        len(list(daemon.storage.chunk_ids(path))) for path in daemon.storage.paths()
+    )
+
+    if cluster.config.replication > 1:
+        report.records_resynced = _resync_metadata(cluster, address)
+        report.chunks_resynced = _resync_chunks(cluster, address)
+
+    root_targets = _replica_set(
+        cluster, cluster.distributor.locate_metadata("/")
+    )
+    if address in root_targets and daemon.kv.get(b"/") is None:
+        root_md = new_dir_metadata(maintain_times=cluster.config.maintain_mtime)
+        daemon.create("/", root_md.encode(), False)
+        report.root_recreated = True
+
+    report.fsck = fsck.repair(cluster)
+    return report

@@ -1,0 +1,143 @@
+"""Virtual-time fault timelines for the discrete-event simulator.
+
+The chaos controller injects faults into a *live* cluster in wall-clock
+time; this module is its analytic twin: a :class:`FaultTimeline`
+describes daemon outages as ``(node, at, restore_at)`` intervals in
+simulator virtual time, drives crash/restore callbacks from a
+:class:`~repro.simulator.engine.Simulator`, and computes the
+closed-form availability a replicated deployment retains over the
+window — the number an experiment's measured degraded throughput is
+checked against.
+
+Availability model (random placement, successor replication ``r``,
+``k`` of ``n`` daemons down): an operation is unavailable only when
+*all* ``r`` replicas land on down daemons,
+
+    P(unavailable) = C(k, r) / C(n, r) = Π_{i<r} (k - i) / (n - i)
+
+so per-op availability is ``1 - Π (k-i)/(n-i)``.  Integrated over a
+piecewise-constant outage timeline this yields the time-weighted
+availability :meth:`FaultTimeline.availability` returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.simulator.engine import Simulator
+
+__all__ = ["Outage", "FaultTimeline", "op_availability"]
+
+
+def op_availability(nodes: int, failed: int, replication: int = 1) -> float:
+    """Fraction of operations that can still reach a live replica.
+
+    With ``failed`` of ``nodes`` daemons down and ``replication``
+    successor replicas per item, an operation fails only if every
+    replica is down: ``1 - Π_{i<r} (failed - i) / (nodes - i)``.
+    """
+    if nodes <= 0:
+        raise ValueError(f"nodes must be positive, got {nodes}")
+    if not 0 <= failed <= nodes:
+        raise ValueError(f"failed must be in [0, {nodes}], got {failed}")
+    if replication < 1:
+        raise ValueError(f"replication must be >= 1, got {replication}")
+    r = min(replication, nodes)
+    p_all_down = 1.0
+    for i in range(r):
+        p_all_down *= max(0, failed - i) / (nodes - i)
+    return 1.0 - p_all_down
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One daemon outage interval in virtual time."""
+
+    node: int
+    at: float
+    #: ``None`` means the daemon never comes back within the horizon.
+    restore_at: Optional[float] = None
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError(f"outage start must be >= 0, got {self.at}")
+        if self.restore_at is not None and self.restore_at <= self.at:
+            raise ValueError(
+                f"restore_at ({self.restore_at}) must follow at ({self.at})"
+            )
+
+
+class FaultTimeline:
+    """A scripted set of outages over a simulated deployment.
+
+    Use :meth:`fail` to build the timeline, :meth:`schedule` to attach
+    it to a running :class:`Simulator` (callbacks fire at the right
+    virtual instants), and :meth:`availability` for the closed-form
+    time-weighted expectation.
+    """
+
+    def __init__(self, nodes: int):
+        if nodes <= 0:
+            raise ValueError(f"nodes must be positive, got {nodes}")
+        self.nodes = nodes
+        self.outages: list[Outage] = []
+
+    def fail(self, node: int, at: float, restore_at: Optional[float] = None) -> None:
+        """Record that ``node`` is down from ``at`` until ``restore_at``."""
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"node must be in [0, {self.nodes}), got {node}")
+        self.outages.append(Outage(node, at, restore_at))
+
+    def down_at(self, t: float) -> set[int]:
+        """The set of daemons down at virtual time ``t``."""
+        down = set()
+        for o in self.outages:
+            if o.at <= t and (o.restore_at is None or t < o.restore_at):
+                down.add(o.node)
+        return down
+
+    def schedule(
+        self,
+        sim: Simulator,
+        on_crash: Callable[[int], None],
+        on_restore: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Register crash/restore callbacks on the simulator clock."""
+
+        def fire(delay: float, callback: Callable[[int], None], node: int):
+            def proc():
+                yield sim.timeout(delay)
+                callback(node)
+
+            sim.process(proc())
+
+        for o in self.outages:
+            fire(o.at, on_crash, o.node)
+            if o.restore_at is not None and on_restore is not None:
+                fire(o.restore_at, on_restore, o.node)
+
+    def _edges(self, horizon: float) -> list[float]:
+        edges = {0.0, horizon}
+        for o in self.outages:
+            if o.at < horizon:
+                edges.add(o.at)
+            if o.restore_at is not None and o.restore_at < horizon:
+                edges.add(o.restore_at)
+        return sorted(edges)
+
+    def availability(self, horizon: float, replication: int = 1) -> float:
+        """Time-weighted per-op availability over ``[0, horizon)``.
+
+        The outage timeline is piecewise constant, so the integral is a
+        sum over the intervals between fault edges, each weighted by
+        :func:`op_availability` for the number of daemons down there.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        edges = self._edges(horizon)
+        total = 0.0
+        for start, end in zip(edges, edges[1:]):
+            failed = len(self.down_at(start))
+            total += (end - start) * op_availability(self.nodes, failed, replication)
+        return total / horizon

@@ -381,6 +381,31 @@ class LSMStore:
                 self._wal.close()
             self._closed = True
 
+    def crash(self) -> None:
+        """Crash-stop the store: drop volatile state, *no* clean shutdown.
+
+        Unlike :meth:`close`, the memtable is **not** flushed into an
+        SSTable and the WAL is **not** truncated — the directory is left
+        exactly as a killed daemon process leaves its node-local SSD:
+        sealed runs plus a WAL tail.  Constructing a new store over the
+        same path replays that tail (:meth:`_recover`), which is the
+        daemon-restart recovery path.  An in-memory store simply loses
+        everything.
+
+        Releasing the WAL handle flushes its user-space buffer to the
+        OS, which is faithful to a process crash (the kernel still holds
+        those bytes); only fsync/power-loss durability is out of scope.
+        The store is unusable afterwards, like any closed store.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            if self._wal is not None:
+                self._wal.close()
+            self._memtable = Memtable()
+            self._tables = []
+            self._closed = True
+
     def __enter__(self) -> "LSMStore":
         return self
 

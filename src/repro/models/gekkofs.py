@@ -15,6 +15,7 @@ import math
 from typing import Optional
 
 from repro.common.hashing import fnv1a_64
+from repro.faults.sim import op_availability
 from repro.models.calibration import MOGON_II, MogonIICalibration
 from repro.models.queueing import closed_network_throughput
 from repro.simulator.engine import Simulator
@@ -220,6 +221,48 @@ class GekkoFSModel:
         throughput = self.data_throughput(nodes, transfer_size, write=write, random=random)
         per_proc = throughput / (nodes * self.cal.procs_per_node)
         return transfer_size / per_proc
+
+    # ------------------------------------------------------------------
+    # Availability under daemon failures (robustness extension —
+    # the paper has no fault-tolerance story, §I)
+    # ------------------------------------------------------------------
+
+    def availability(self, nodes: int, failed: int, replication: int = 1) -> float:
+        """Fraction of operations still serviceable with ``failed`` daemons down.
+
+        Successor replication: an operation fails only when all of its
+        ``replication`` replicas land on down daemons, so availability is
+        ``1 - Π_{i<r} (failed - i) / (nodes - i)``.  With ``replication
+        >= failed + 1`` this is exactly 1.0 — the regime the chaos
+        acceptance test runs in.
+        """
+        return op_availability(nodes, failed, replication)
+
+    def degraded_data_throughput(
+        self,
+        nodes: int,
+        failed: int,
+        transfer_size: int,
+        *,
+        write: bool,
+        replication: int = 1,
+        **kwargs,
+    ) -> float:
+        """Expected aggregate bytes/s while ``failed`` of ``nodes`` daemons are down.
+
+        Two multiplicative effects on the healthy-cluster throughput:
+        the surviving daemons contribute ``(nodes - failed) / nodes`` of
+        the device/NIC capacity, and only the :meth:`availability`
+        fraction of operations completes at all (the rest burn their
+        deadline and fail with EIO).  First-order model — it ignores
+        retry amplification against down daemons, which the measured
+        experiment quantifies.
+        """
+        if not 0 <= failed <= nodes:
+            raise ValueError(f"failed must be in [0, {nodes}], got {failed}")
+        base = self.data_throughput(nodes, transfer_size, write=write, **kwargs)
+        capacity = (nodes - failed) / nodes
+        return base * capacity * self.availability(nodes, failed, replication)
 
     # ------------------------------------------------------------------
     # Start-up (< 20 s at 512 nodes)

@@ -25,6 +25,7 @@ owns the target path/chunk, and moves data through a *bulk* channel
 from repro.rpc.bulk import BulkHandle
 from repro.rpc.engine import RpcEngine, RpcNetwork
 from repro.rpc.future import RpcFuture, wait_all
+from repro.rpc.health import CircuitBreakerTransport, DaemonHealthTracker
 from repro.rpc.message import RemoteError, RpcRequest, RpcResponse, estimate_wire_size
 from repro.rpc.sim import SimulatedTransport
 from repro.rpc.threaded import ThreadedTransport
@@ -51,6 +52,8 @@ __all__ = [
     "InstrumentedTransport",
     "FaultInjectingTransport",
     "RetryingTransport",
+    "CircuitBreakerTransport",
+    "DaemonHealthTracker",
     "ThreadedTransport",
     "SimulatedTransport",
 ]

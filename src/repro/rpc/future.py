@@ -19,6 +19,7 @@ be idempotent.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Iterable, List, Optional
 
 __all__ = ["RpcFuture", "wait_all"]
@@ -148,11 +149,21 @@ def wait_all(
     transfers until every daemon has answered).  On failure the *first*
     failed future's exception (in issue order) is raised, which keeps
     error reporting deterministic regardless of completion order.
+
+    ``timeout`` is one overall deadline for the whole gather, not a
+    per-leg allowance: an N-leg fan-out blocks at most ``timeout``
+    seconds total, however its legs resolve.
     """
     futures = list(futures)
-    for future in futures:
-        if not future.wait(timeout):
-            raise TimeoutError("RPC fan-out not complete within timeout")
+    if timeout is None:
+        for future in futures:
+            future.wait(None)
+    else:
+        deadline = time.monotonic() + timeout
+        for future in futures:
+            remaining = deadline - time.monotonic()
+            if not future.wait(max(0.0, remaining)):
+                raise TimeoutError("RPC fan-out not complete within timeout")
     results: List[Any] = []
     first_exc: Optional[BaseException] = None
     for future in futures:

@@ -1,0 +1,277 @@
+"""Per-daemon health tracking and circuit breaking (client side).
+
+The paper's GekkoFS keeps no liveness state about daemons: a crashed
+daemon (§I punts on fault tolerance) makes every client that addresses
+it pay the full RPC timeout, again and again.  This module is the
+production-hardening answer: :class:`DaemonHealthTracker` watches
+delivery outcomes per daemon address and drives a classic three-state
+circuit breaker, and :class:`CircuitBreakerTransport` enforces it on the
+wire path — requests to a daemon whose breaker is *open* fail
+immediately with :class:`~repro.common.errors.DaemonUnavailableError`
+(``EIO``) instead of burning the retry budget.
+
+Breaker states per daemon::
+
+    CLOSED ──(failure_threshold consecutive delivery failures)──▶ OPEN
+    OPEN ──(cooldown elapsed; one probe request allowed)──▶ HALF_OPEN
+    HALF_OPEN ──probe succeeds──▶ CLOSED      (recovery)
+    HALF_OPEN ──probe fails──▶ OPEN           (cooldown restarts)
+
+Only *transport-level* failures (connection loss, timeout, unknown
+address) count against health.  GekkoFS semantic errors — ``ENOENT``
+from a stat, ``EEXIST`` from a create — are successful deliveries: the
+daemon answered, so they *reset* the failure streak.
+
+The tracker is also the telemetry surface: breaker trips, fast-fails,
+probes and recoveries are counted, and :meth:`DaemonHealthTracker
+.snapshot` exports a per-daemon health gauge for experiment reports.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.common.errors import DaemonUnavailableError
+from repro.rpc.future import RpcFuture
+from repro.rpc.message import RpcRequest, RpcResponse
+from repro.rpc.transport import DELIVERY_FAILURES, Transport, deliver_async
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "DaemonHealthTracker",
+    "CircuitBreakerTransport",
+]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class _DaemonHealth:
+    """Mutable breaker state for one daemon address."""
+
+    __slots__ = ("state", "failures", "successes", "total_failures", "opened_at")
+
+    def __init__(self):
+        self.state = CLOSED
+        self.failures = 0  # consecutive failure streak
+        self.successes = 0
+        self.total_failures = 0
+        self.opened_at = 0.0
+
+
+class DaemonHealthTracker:
+    """Track per-daemon delivery outcomes and gate requests.
+
+    :param failure_threshold: consecutive delivery failures that trip the
+        breaker for a daemon.
+    :param cooldown: seconds an open breaker blocks traffic before one
+        half-open probe is allowed through.
+    :param clock: injectable monotonic clock (tests drive it manually).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._daemons: Dict[int, _DaemonHealth] = {}
+        self._probing: set[int] = set()
+        #: True while every known daemon is CLOSED with no failure streak.
+        #: Hot-path callers (the fused retry transport) read this one
+        #: attribute to skip both the gate and the streak-reset work on a
+        #: healthy cluster; it flips False on the first recorded failure.
+        self.all_clear = True
+        self.trips = 0
+        self.fast_fails = 0
+        self.probes = 0
+        self.recoveries = 0
+
+    def _health(self, address: int) -> _DaemonHealth:
+        health = self._daemons.get(address)
+        if health is None:
+            health = self._daemons[address] = _DaemonHealth()
+        return health
+
+    # -- gate ----------------------------------------------------------------
+
+    def allow(self, address: int) -> bool:
+        """May a request to ``address`` go on the wire right now?
+
+        Open breakers admit exactly one probe once the cooldown has
+        elapsed (moving to half-open); every other request is refused
+        until the probe's outcome is recorded.
+        """
+        # Lock-free happy path: a closed breaker admits everything.  The
+        # benign race (state flips open under our feet) lets at most one
+        # extra request onto the wire — indistinguishable from it having
+        # been issued a moment earlier.
+        health = self._daemons.get(address)
+        if health is not None and health.state == CLOSED:
+            return True
+        with self._lock:
+            health = self._health(address)
+            if health.state == CLOSED:
+                return True
+            if health.state == OPEN:
+                if (
+                    self._clock() - health.opened_at >= self.cooldown
+                    and address not in self._probing
+                ):
+                    health.state = HALF_OPEN
+                    self._probing.add(address)
+                    self.probes += 1
+                    return True
+                self.fast_fails += 1
+                return False
+            # HALF_OPEN: the single probe is already in flight.
+            self.fast_fails += 1
+            return False
+
+    # -- outcome reporting ---------------------------------------------------
+
+    def record_success(self, address: int) -> None:
+        """A delivery to ``address`` completed (any handler result)."""
+        # Lock-free happy path: healthy daemon, no streak to reset.  A
+        # racing unlocked increment can at worst under-count the
+        # telemetry gauge by one; breaker state transitions stay locked.
+        health = self._daemons.get(address)
+        if health is not None and health.state == CLOSED and health.failures == 0:
+            health.successes += 1
+            return
+        with self._lock:
+            health = self._health(address)
+            health.successes += 1
+            health.failures = 0
+            if health.state != CLOSED:
+                self.recoveries += 1
+            health.state = CLOSED
+            self._probing.discard(address)
+            self._recompute_all_clear()
+
+    def _recompute_all_clear(self) -> None:
+        """Caller holds the lock.  O(daemons), only on rare transitions."""
+        self.all_clear = all(
+            health.state == CLOSED and health.failures == 0
+            for health in self._daemons.values()
+        )
+
+    def record_failure(self, address: int) -> None:
+        """A delivery to ``address`` failed at the transport level."""
+        with self._lock:
+            self.all_clear = False
+            health = self._health(address)
+            health.failures += 1
+            health.total_failures += 1
+            if health.state == HALF_OPEN:
+                # Probe failed: reopen and restart the cooldown.
+                health.state = OPEN
+                health.opened_at = self._clock()
+                self._probing.discard(address)
+            elif health.state == CLOSED and health.failures >= self.failure_threshold:
+                health.state = OPEN
+                health.opened_at = self._clock()
+                self.trips += 1
+
+    def reset(self, address: int) -> None:
+        """Forget everything about ``address`` (daemon restarted clean)."""
+        with self._lock:
+            self._daemons.pop(address, None)
+            self._probing.discard(address)
+            self._recompute_all_clear()
+
+    # -- introspection -------------------------------------------------------
+
+    def state(self, address: int) -> str:
+        with self._lock:
+            health = self._daemons.get(address)
+            return health.state if health is not None else CLOSED
+
+    def healthy(self, address: int) -> bool:
+        """False once the breaker for ``address`` has tripped open."""
+        return self.state(address) == CLOSED
+
+    def snapshot(self) -> Dict[int, Dict[str, object]]:
+        """Per-daemon health gauge for telemetry/experiment reports."""
+        with self._lock:
+            return {
+                address: {
+                    "state": health.state,
+                    "consecutive_failures": health.failures,
+                    "total_failures": health.total_failures,
+                    "successes": health.successes,
+                }
+                for address, health in self._daemons.items()
+            }
+
+
+class CircuitBreakerTransport(Transport):
+    """Fail fast on daemons the health tracker has declared dead.
+
+    Wraps any transport (typically *outside* the retrying layer, so one
+    logical request — retries included — is one health observation).
+    Requests to an open breaker never reach the wire: they raise
+    :class:`DaemonUnavailableError` (``EIO``) immediately, which bounds
+    client latency against a crashed daemon at one deadline instead of
+    ``every future request × deadline``.
+
+    Delivery failures (:data:`FAILURE_EXCEPTIONS`) mark the daemon
+    unhealthy; anything the daemon actually answered — including GekkoFS
+    semantic errors carried in the response — marks it healthy.
+    """
+
+    FAILURE_EXCEPTIONS: tuple[type[BaseException], ...] = DELIVERY_FAILURES
+
+    def __init__(self, inner: Transport, tracker: Optional[DaemonHealthTracker] = None):
+        self.inner = inner
+        self.tracker = tracker if tracker is not None else DaemonHealthTracker()
+
+    def _refuse(self, request: RpcRequest) -> DaemonUnavailableError:
+        return DaemonUnavailableError(
+            f"daemon {request.target} unavailable (circuit open), "
+            f"dropping {request.handler}"
+        )
+
+    def _record(self, request: RpcRequest, exc: Optional[BaseException]) -> None:
+        if exc is not None and isinstance(exc, self.FAILURE_EXCEPTIONS):
+            self.tracker.record_failure(request.target)
+        else:
+            self.tracker.record_success(request.target)
+
+    def send(self, request: RpcRequest) -> RpcResponse:
+        if not self.tracker.allow(request.target):
+            raise self._refuse(request)
+        try:
+            response = self.inner.send(request)
+        except BaseException as exc:
+            self._record(request, exc)
+            raise
+        self._record(request, None)
+        return response
+
+    def send_async(self, request: RpcRequest) -> RpcFuture:
+        if not self.tracker.allow(request.target):
+            return RpcFuture.failed(self._refuse(request))
+        future = deliver_async(self.inner, request)
+        if future._done.is_set():  # synchronous transports: record inline
+            self._record(request, future._exception)
+            return future
+
+        def observe(fut: RpcFuture) -> None:
+            self._record(request, fut.exception(0))
+
+        future.add_done_callback(observe)
+        return future

@@ -10,15 +10,19 @@ handling deterministically.
 
 from __future__ import annotations
 
+import random
 import threading
+import time
 from collections import Counter
 from typing import Callable, Mapping, Optional, TYPE_CHECKING
 
+from repro.common.errors import DaemonUnavailableError
 from repro.rpc.future import RpcFuture
 from repro.rpc.message import RpcRequest, RpcResponse
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.rpc.engine import RpcEngine
+    from repro.rpc.health import DaemonHealthTracker
 
 __all__ = [
     "Transport",
@@ -26,8 +30,18 @@ __all__ = [
     "InstrumentedTransport",
     "FaultInjectingTransport",
     "RetryingTransport",
+    "DELIVERY_FAILURES",
     "deliver_async",
 ]
+
+#: Exception types that mean "the daemon did not answer" — the failures
+#: that count against a daemon's health (vs. handler results, which are
+#: successful deliveries whatever their errno).
+DELIVERY_FAILURES: tuple[type[BaseException], ...] = (
+    ConnectionError,
+    TimeoutError,
+    LookupError,
+)
 
 
 def deliver_async(transport, request: RpcRequest) -> RpcFuture:
@@ -140,7 +154,7 @@ class InstrumentedTransport(Transport):
 
 
 class RetryingTransport(Transport):
-    """Retry transient delivery failures a bounded number of times.
+    """Retry transient delivery failures with backoff, under a deadline.
 
     GekkoFS itself has no fault tolerance (§I) — a dead daemon stays
     dead — but *transient* fabric hiccups (a dropped message, a busy
@@ -148,6 +162,32 @@ class RetryingTransport(Transport):
     wrapper models that: transport-level exceptions are retried up to
     ``max_attempts``; handler results (including GekkoFS errors, which
     are semantically final) are never retried.
+
+    Between attempts the wrapper sleeps an exponentially growing,
+    jittered delay — retries never spin, and concurrent clients hammering
+    a struggling daemon decorrelate.  An optional per-send ``deadline``
+    bounds the *total* time one request may consume across all attempts
+    and sleeps: when the next backoff would overrun it, the wrapper gives
+    up immediately and raises the last delivery failure, so a caller's
+    worst-case latency is ``deadline``, not ``max_attempts × timeout``.
+
+    :param backoff_base: first retry delay in seconds.
+    :param backoff_factor: multiplier per subsequent retry.
+    :param backoff_max: cap on any single delay.
+    :param jitter: fraction of the delay added as seeded random noise
+        (0 disables; 0.5 means up to +50 %).
+    :param deadline: overall seconds allowed per ``send``/``send_async``
+        call, sleeps included; ``None`` means attempts alone bound it.
+    :param sleep: injectable sleep (tests pass a recorder; the DES layer
+        a virtual clock advance).
+    :param clock: injectable monotonic clock for the deadline.
+    :param seed: seeds the jitter RNG so retry schedules are replayable.
+    :param tracker: optional :class:`~repro.rpc.health.DaemonHealthTracker`
+        fused onto this layer: the breaker gate is checked once before
+        the first attempt and one *logical* request (all attempts
+        included) is one health observation.  Functionally equivalent to
+        wrapping in a :class:`~repro.rpc.health.CircuitBreakerTransport`,
+        without paying a second wrapper on every no-fault RPC.
     """
 
     def __init__(
@@ -155,37 +195,230 @@ class RetryingTransport(Transport):
         inner: Transport,
         max_attempts: int = 3,
         retry_on: tuple[type[BaseException], ...] = (ConnectionError, TimeoutError),
+        backoff_base: float = 0.001,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 0.1,
+        jitter: float = 0.5,
+        deadline: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        seed: int = 0,
+        tracker: "Optional[DaemonHealthTracker]" = None,
     ):
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if backoff_base < 0 or backoff_max < 0 or jitter < 0:
+            raise ValueError("backoff parameters must be >= 0")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {deadline}")
         self.inner = inner
+        self.tracker = tracker
         self.max_attempts = max_attempts
         self.retry_on = retry_on
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self.jitter = jitter
+        self.deadline = deadline
+        self._sleep = sleep
+        self._clock = clock
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
         self.retries = 0
+        self.giveups = 0
+        self.deadline_giveups = 0
+
+    @property
+    def inner(self) -> Transport:
+        return self._inner
+
+    @inner.setter
+    def inner(self, value: Transport) -> None:
+        # The chaos controller splices fault transports in by assigning
+        # ``.inner`` — the cached async delivery method must follow.
+        self._inner = value
+        method = getattr(type(value), "send_async", None)
+        if method is None or method is Transport.send_async:
+            # Synchronous inner (loopback & friends): ``send_async`` would
+            # only wrap ``send`` in a completed future.  Dispatching
+            # ``send`` directly saves that frame on every RPC and lets
+            # retries run inline.
+            self._inner_send_async = None
+        else:
+            self._inner_send_async = value.send_async
+
+    def _refuse(self, request: RpcRequest) -> DaemonUnavailableError:
+        return DaemonUnavailableError(
+            f"daemon {request.target} unavailable (circuit open), "
+            f"dropping {request.handler}"
+        )
+
+    def _observe(self, target: int, exc: Optional[BaseException]) -> None:
+        """One logical request's outcome, reported to the health tracker."""
+        if exc is not None and isinstance(exc, DELIVERY_FAILURES):
+            self.tracker.record_failure(target)
+        else:
+            self.tracker.record_success(target)
+
+    def _delay(self, retry_index: int) -> float:
+        """Backoff before retry ``retry_index`` (0-based), jittered."""
+        delay = min(
+            self.backoff_max, self.backoff_base * (self.backoff_factor**retry_index)
+        )
+        if self.jitter:
+            with self._lock:
+                delay *= 1.0 + self.jitter * self._rng.random()
+        return delay
+
+    def _count(self, counter: str) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
 
     def send(self, request: RpcRequest) -> RpcResponse:
-        last: BaseException | None = None
-        for attempt in range(self.max_attempts):
+        # Happy path fully inlined: gate, one delivery, one success
+        # observation.  The retry loop (and its deadline clock read) is
+        # only entered after the first attempt has already failed.  While
+        # the tracker reports ``all_clear`` the gate is a single attribute
+        # read and the success observation a bare counter bump — the fused
+        # breaker costs nothing on a healthy cluster.
+        tracker = self.tracker
+        if (
+            tracker is not None
+            and not tracker.all_clear
+            and not tracker.allow(request.target)
+        ):
+            raise self._refuse(request)
+        try:
+            response = self._inner.send(request)
+        except BaseException as exc:
+            return self._send_failed(request, exc)
+        if tracker is not None:
+            # Inlined fast path of ``tracker.record_success``: with
+            # ``all_clear`` there is no streak to reset and no breaker to
+            # close, only the per-daemon gauge to bump (same benign races
+            # as the tracker's own lock-free paths).
+            if (
+                tracker.all_clear
+                and (health := tracker._daemons.get(request.target)) is not None
+            ):
+                health.successes += 1
+            else:
+                tracker.record_success(request.target)
+        return response
+
+    def _send_failed(self, request: RpcRequest, exc: BaseException) -> RpcResponse:
+        """First attempt failed: retry if retryable, observe the outcome."""
+        tracker = self.tracker
+        if not isinstance(exc, self.retry_on) or self.max_attempts == 1:
+            if isinstance(exc, self.retry_on):
+                self._count("giveups")
+            if tracker is not None:
+                self._observe(request.target, exc)
+            raise exc
+        try:
+            response = self._retry_loop(request, exc)
+        except BaseException as final:
+            if tracker is not None:
+                self._observe(request.target, final)
+            raise
+        if tracker is not None:
+            tracker.record_success(request.target)
+        return response
+
+    def _retry_loop(self, request: RpcRequest, last: BaseException) -> RpcResponse:
+        """Attempts 1..max_attempts-1, with backoff under the deadline."""
+        expiry = None if self.deadline is None else self._clock() + self.deadline
+        attempt = 0
+        while True:
+            delay = self._delay(attempt)
+            if expiry is not None and self._clock() + delay >= expiry:
+                self._count("deadline_giveups")
+                raise last
+            self._count("retries")
+            if delay > 0:
+                self._sleep(delay)
+            attempt += 1
             try:
-                return self.inner.send(request)
-            except self.retry_on as exc:
-                last = exc
-                if attempt + 1 < self.max_attempts:
-                    self.retries += 1
-        assert last is not None
-        raise last
+                return self._inner.send(request)
+            except self.retry_on as retry_exc:
+                last = retry_exc
+                if attempt + 1 >= self.max_attempts:
+                    self._count("giveups")
+                    raise last
 
     def send_async(self, request: RpcRequest) -> RpcFuture:
         """Asynchronous retry: re-issue from the completion context.
 
         Each failed attempt chains the next one from its done-callback (a
         handler-pool worker under the threaded transport), so the caller
-        never blocks on retries either.
+        never blocks on retries either.  The backoff sleep runs in that
+        completion context too — the deadline still bounds the chain
+        because the expiry is fixed at issue time.
         """
-        outer = RpcFuture()
+        tracker = self.tracker
+        if (
+            tracker is not None
+            and not tracker.all_clear
+            and not tracker.allow(request.target)
+        ):
+            return RpcFuture.failed(self._refuse(request))
 
-        def attempt(n: int) -> None:
-            inner = deliver_async(self.inner, request)
+        issue = self._inner_send_async
+        if issue is None:
+            # Synchronous inner: the whole request — retries included —
+            # resolves before returning, so run the sync machinery and
+            # wrap the outcome.  One future allocation, zero callbacks.
+            try:
+                response = self._inner.send(request)
+            except Exception as exc:
+                try:
+                    response = self._send_failed(request, exc)
+                except Exception as final:
+                    return RpcFuture.failed(final)
+                return RpcFuture.completed(response)
+            if tracker is not None:
+                # Inlined ``record_success`` fast path (see ``send``).
+                if (
+                    tracker.all_clear
+                    and (health := tracker._daemons.get(request.target)) is not None
+                ):
+                    health.successes += 1
+                else:
+                    tracker.record_success(request.target)
+            return RpcFuture.completed(response)
+
+        # Fast path: the first attempt resolved synchronously and needs no
+        # retry — hand its future straight back without building the
+        # outer future and callback chain.  This keeps the no-fault cost
+        # of the resilience layer near zero.
+        first = issue(request)
+        if first._done.is_set():
+            exc = first._exception  # done: slot reads, skip the Event wait
+            if exc is None:
+                if tracker is not None:
+                    tracker.record_success(request.target)
+                return first
+            if not isinstance(exc, self.retry_on):
+                if tracker is not None:
+                    self._observe(request.target, exc)
+                return first
+            if self.max_attempts == 1:
+                self._count("giveups")
+                if tracker is not None:
+                    self._observe(request.target, exc)
+                return first
+
+        outer = RpcFuture()
+        expiry = None if self.deadline is None else self._clock() + self.deadline
+
+        def finish(fut: RpcFuture) -> None:
+            if tracker is not None:
+                self._observe(request.target, fut.exception(0))
+            outer._adopt(fut)
+
+        def attempt(n: int, inner: Optional[RpcFuture] = None) -> None:
+            if inner is None:
+                inner = deliver_async(self._inner, request)
 
             def on_done(fut: RpcFuture) -> None:
                 exc = fut.exception(0)
@@ -194,14 +427,23 @@ class RetryingTransport(Transport):
                     and isinstance(exc, self.retry_on)
                     and n + 1 < self.max_attempts
                 ):
-                    self.retries += 1
+                    delay = self._delay(n)
+                    if expiry is not None and self._clock() + delay >= expiry:
+                        self._count("deadline_giveups")
+                        finish(fut)
+                        return
+                    self._count("retries")
+                    if delay > 0:
+                        self._sleep(delay)
                     attempt(n + 1)
                 else:
-                    outer._adopt(fut)
+                    if exc is not None and isinstance(exc, self.retry_on):
+                        self._count("giveups")
+                    finish(fut)
 
             inner.add_done_callback(on_done)
 
-        attempt(0)
+        attempt(0, first)
         return outer
 
 

@@ -1,0 +1,117 @@
+"""Virtual-time fault timelines and the closed-form availability model."""
+
+import pytest
+
+from repro.faults import FaultTimeline, Outage, op_availability
+from repro.models import GekkoFSModel
+from repro.simulator.engine import Simulator
+
+
+class TestOpAvailability:
+    def test_no_failures_is_full_availability(self):
+        assert op_availability(4, 0, 1) == 1.0
+        assert op_availability(4, 0, 3) == 1.0
+
+    def test_unreplicated_loses_proportionally(self):
+        assert op_availability(4, 1, 1) == pytest.approx(0.75)
+        assert op_availability(8, 2, 1) == pytest.approx(0.75)
+
+    def test_replication_covers_single_failure_completely(self):
+        # One daemon down, two replicas: both would have to be down.
+        assert op_availability(4, 1, 2) == 1.0
+        assert op_availability(512, 1, 2) == 1.0
+
+    def test_double_failure_with_two_replicas(self):
+        # P(both replicas down) = C(2,2)/C(4,2) = 1/6.
+        assert op_availability(4, 2, 2) == pytest.approx(1.0 - 1.0 / 6.0)
+
+    def test_all_down_is_zero(self):
+        assert op_availability(4, 4, 2) == 0.0
+
+    def test_replication_capped_at_cluster_size(self):
+        assert op_availability(2, 1, 8) == 1.0  # r clamps to 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            op_availability(0, 0, 1)
+        with pytest.raises(ValueError):
+            op_availability(4, 5, 1)
+        with pytest.raises(ValueError):
+            op_availability(4, 1, 0)
+
+    def test_model_exposes_availability(self):
+        model = GekkoFSModel()
+        assert model.availability(4, 1, 2) == 1.0
+        degraded = model.degraded_data_throughput(4, 1, 65536, write=True)
+        healthy = model.data_throughput(4, 65536, write=True)
+        # Unreplicated: 3/4 capacity × 3/4 availability.
+        assert degraded == pytest.approx(healthy * 0.75 * 0.75)
+        full = model.degraded_data_throughput(
+            4, 1, 65536, write=True, replication=2
+        )
+        assert full == pytest.approx(healthy * 0.75)  # capacity loss only
+
+
+class TestFaultTimeline:
+    def test_down_at_tracks_outage_windows(self):
+        timeline = FaultTimeline(4)
+        timeline.fail(1, at=1.0, restore_at=3.0)
+        timeline.fail(2, at=2.5)  # never restored
+        assert timeline.down_at(0.5) == set()
+        assert timeline.down_at(1.0) == {1}
+        assert timeline.down_at(2.7) == {1, 2}
+        assert timeline.down_at(3.5) == {2}
+
+    def test_availability_is_time_weighted(self):
+        timeline = FaultTimeline(4)
+        timeline.fail(1, at=1.0, restore_at=3.0)
+        # Down 2 s of 4 s at availability 0.75: (2·1 + 2·0.75)/4.
+        assert timeline.availability(4.0, replication=1) == pytest.approx(0.875)
+        assert timeline.availability(4.0, replication=2) == 1.0
+
+    def test_overlapping_outages_compound(self):
+        timeline = FaultTimeline(4)
+        timeline.fail(0, at=0.0, restore_at=2.0)
+        timeline.fail(1, at=1.0, restore_at=2.0)
+        # [0,1): 1 down → 0.75; [1,2): 2 down → 0.5; [2,4): 1.0.
+        expected = (1 * 0.75 + 1 * 0.5 + 2 * 1.0) / 4.0
+        assert timeline.availability(4.0) == pytest.approx(expected)
+
+    def test_schedule_fires_callbacks_in_virtual_time(self):
+        timeline = FaultTimeline(3)
+        timeline.fail(2, at=1.0, restore_at=4.0)
+        timeline.fail(0, at=2.0)
+        sim = Simulator()
+        events = []
+        timeline.schedule(
+            sim,
+            on_crash=lambda n: events.append(("crash", n, sim.now)),
+            on_restore=lambda n: events.append(("restore", n, sim.now)),
+        )
+        sim.run()
+        assert events == [
+            ("crash", 2, 1.0),
+            ("crash", 0, 2.0),
+            ("restore", 2, 4.0),
+        ]
+
+    def test_validation(self):
+        timeline = FaultTimeline(2)
+        with pytest.raises(ValueError):
+            timeline.fail(5, at=0.0)
+        with pytest.raises(ValueError):
+            timeline.fail(0, at=2.0, restore_at=1.0)
+        with pytest.raises(ValueError):
+            Outage(0, at=-1.0)
+        with pytest.raises(ValueError):
+            FaultTimeline(0)
+        with pytest.raises(ValueError):
+            timeline.availability(0.0)
+
+    def test_degraded_window_matches_live_chaos_semantics(self):
+        """The analytic story the measured experiment is checked against:
+        replication 2 rides out any single-daemon outage."""
+        timeline = FaultTimeline(4)
+        timeline.fail(1, at=0.0, restore_at=10.0)
+        assert timeline.availability(10.0, replication=2) == 1.0
+        assert timeline.availability(10.0, replication=1) == pytest.approx(0.75)

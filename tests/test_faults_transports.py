@@ -1,0 +1,188 @@
+"""Fault-injecting transport wrappers: latency, drop, partition, trigger."""
+
+import pytest
+
+from repro.faults import (
+    DropTransport,
+    LatencyTransport,
+    PartitionTransport,
+    TriggerTransport,
+)
+from repro.rpc import RpcNetwork
+from repro.rpc.message import RpcRequest
+
+
+@pytest.fixture
+def network():
+    net = RpcNetwork()
+    for address in range(3):
+        engine = net.create_engine(address)
+        engine.register("echo", lambda x, a=address: (a, x))
+    return net
+
+
+class TestLatencyTransport:
+    def test_delay_applies_only_to_configured_daemon(self, network):
+        sleeps = []
+        transport = LatencyTransport(network.transport, sleep=sleeps.append)
+        network.transport = transport
+        transport.set_delay(1, 0.05)
+        assert network.call(0, "echo", "a") == (0, "a")
+        assert sleeps == []
+        assert network.call(1, "echo", "b") == (1, "b")
+        assert sleeps == [0.05]
+        assert transport.delayed_sends == 1
+
+    def test_async_delays_completion_not_issue(self, network):
+        sleeps = []
+        transport = LatencyTransport(network.transport, sleep=sleeps.append)
+        network.transport = transport
+        transport.set_delay(2, 0.01)
+        future = network.call_async(2, "echo", "x")
+        assert future.result(1.0) == (2, "x")
+        assert sleeps == [0.01]
+
+    def test_clear_delay(self, network):
+        sleeps = []
+        transport = LatencyTransport(network.transport, sleep=sleeps.append)
+        transport.set_delay(0, 0.5)
+        transport.clear_delay(0)
+        transport.send(RpcRequest(target=0, handler="echo", args=("x",)))
+        assert sleeps == []
+
+    def test_negative_delay_rejected(self, network):
+        transport = LatencyTransport(network.transport)
+        with pytest.raises(ValueError):
+            transport.set_delay(0, -0.1)
+
+
+class TestDropTransport:
+    def test_rate_zero_drops_nothing(self, network):
+        transport = DropTransport(network.transport, seed=1)
+        network.transport = transport
+        for i in range(50):
+            assert network.call(i % 3, "echo", i) == (i % 3, i)
+        assert transport.drops == 0
+
+    def test_rate_one_drops_everything(self, network):
+        transport = DropTransport(network.transport, seed=1)
+        network.transport = transport
+        transport.set_drop_rate(1, 1.0)
+        with pytest.raises(ConnectionError):
+            network.call(1, "echo", "x")
+        assert network.call(0, "echo", "y") == (0, "y")  # other daemons fine
+        assert transport.drops == 1
+
+    def test_seeded_drops_are_replayable(self, network):
+        def pattern(seed):
+            transport = DropTransport(network.transport, seed=seed)
+            transport.set_drop_rate(0, 0.5)
+            outcomes = []
+            for i in range(40):
+                try:
+                    transport.send(RpcRequest(target=0, handler="echo", args=(i,)))
+                    outcomes.append(True)
+                except ConnectionError:
+                    outcomes.append(False)
+            return outcomes
+
+        first = pattern(7)
+        assert pattern(7) == first
+        assert 0 < first.count(False) < 40  # actually probabilistic
+
+    def test_async_drop_fails_the_future(self, network):
+        transport = DropTransport(network.transport, seed=0)
+        network.transport = transport
+        transport.set_drop_rate(2, 1.0)
+        future = network.call_async(2, "echo", "x")  # must not raise here
+        with pytest.raises(ConnectionError):
+            future.result(1.0)
+
+    def test_rate_validation(self, network):
+        transport = DropTransport(network.transport)
+        with pytest.raises(ValueError):
+            transport.set_drop_rate(0, 1.5)
+
+
+class TestPartitionTransport:
+    def test_blocked_addresses_unreachable(self, network):
+        transport = PartitionTransport(network.transport)
+        network.transport = transport
+        transport.partition([1, 2])
+        assert network.call(0, "echo", "a") == (0, "a")
+        for target in (1, 2):
+            with pytest.raises(ConnectionError):
+                network.call(target, "echo", "x")
+        assert transport.blocked_sends == 2
+
+    def test_heal_restores_service_without_recovery(self, network):
+        transport = PartitionTransport(network.transport)
+        network.transport = transport
+        transport.partition([1])
+        with pytest.raises(ConnectionError):
+            network.call(1, "echo", "x")
+        transport.heal([1])
+        assert network.call(1, "echo", "x") == (1, "x")  # state was never lost
+
+    def test_heal_all(self, network):
+        transport = PartitionTransport(network.transport)
+        transport.partition([0, 1, 2])
+        transport.heal()
+        assert transport.blocked == set()
+
+    def test_async_partition_fails_the_future(self, network):
+        transport = PartitionTransport(network.transport)
+        network.transport = transport
+        transport.partition([0])
+        with pytest.raises(ConnectionError):
+            network.call_async(0, "echo", "x").result(1.0)
+
+
+class TestTriggerTransport:
+    def test_fires_once_on_matching_request(self, network):
+        transport = TriggerTransport(network.transport)
+        network.transport = transport
+        seen = []
+        transport.arm(lambda req: req.handler == "echo", seen.append)
+        with pytest.raises(ConnectionError):
+            network.call(1, "echo", "boom")
+        assert [req.target for req in seen] == [1]
+        assert transport.fired == 1
+        assert network.call(1, "echo", "again") == (1, "again")  # one-shot
+
+    def test_predicate_filters_targets(self, network):
+        transport = TriggerTransport(network.transport)
+        network.transport = transport
+        transport.arm(lambda req: req.target == 2)
+        assert network.call(0, "echo", "ok") == (0, "ok")
+        with pytest.raises(ConnectionError):
+            network.call(2, "echo", "boom")
+
+    def test_custom_exception_factory(self, network):
+        transport = TriggerTransport(network.transport)
+        network.transport = transport
+        transport.arm(
+            lambda req: True, exc_factory=lambda req: TimeoutError(req.handler)
+        )
+        with pytest.raises(TimeoutError):
+            network.call(0, "echo", "x")
+
+    def test_async_trigger_fails_the_future(self, network):
+        transport = TriggerTransport(network.transport)
+        network.transport = transport
+        transport.arm(lambda req: True)
+        future = network.call_async(0, "echo", "x")
+        with pytest.raises(ConnectionError):
+            future.result(1.0)
+
+    def test_multiple_triggers_fire_in_arm_order(self, network):
+        transport = TriggerTransport(network.transport)
+        network.transport = transport
+        fired = []
+        transport.arm(lambda req: True, lambda req: fired.append("first"))
+        transport.arm(lambda req: True, lambda req: fired.append("second"))
+        for _ in range(2):
+            with pytest.raises(ConnectionError):
+                network.call(0, "echo", "x")
+        assert fired == ["first", "second"]
+        assert network.call(0, "echo", "x") == (0, "x")

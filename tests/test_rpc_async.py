@@ -109,6 +109,19 @@ class TestWaitAll:
             wait_all([slow, fast_fail])
         assert slow.result() == "done"  # it was collected, not orphaned
 
+    def test_timeout_is_one_overall_deadline(self):
+        """N stuck futures share one budget — not timeout each."""
+        stuck = [RpcFuture() for _ in range(4)]
+        started = time.monotonic()
+        with pytest.raises(TimeoutError):
+            wait_all(stuck, timeout=0.15)
+        elapsed = time.monotonic() - started
+        assert elapsed < 0.45  # 4 × 0.15 would mean a per-future budget
+
+    def test_timeout_not_charged_against_resolved_futures(self):
+        futures = [RpcFuture.completed(i) for i in range(100)]
+        assert wait_all(futures, timeout=0.05) == list(range(100))
+
 
 class TestEngineCallAsync:
     def test_loopback_fanout_gathers_in_order(self, network):

@@ -83,6 +83,101 @@ class TestRetry:
             RetryingTransport(network.transport, max_attempts=0)
 
 
+class TestBackoffAndDeadline:
+    def test_backoff_series_with_jitter_disabled(self, network):
+        sleeps = []
+        flaky = FlakyTransport(network.transport, fail_times=3)
+        network.transport = RetryingTransport(
+            flaky,
+            max_attempts=4,
+            backoff_base=0.01,
+            backoff_factor=2.0,
+            backoff_max=0.03,
+            jitter=0.0,
+            sleep=sleeps.append,
+        )
+        assert network.call(0, "echo", "ok") == "ok"
+        assert sleeps == [0.01, 0.02, 0.03]  # exponential, capped at backoff_max
+
+    def test_jitter_is_seeded_and_replayable(self, network):
+        def schedule(seed):
+            sleeps = []
+            flaky = FlakyTransport(network.transport, fail_times=3)
+            transport = RetryingTransport(
+                flaky,
+                max_attempts=4,
+                backoff_base=0.01,
+                jitter=0.5,
+                sleep=sleeps.append,
+                seed=seed,
+            )
+            transport.send(RpcRequest(target=0, handler="echo", args=("x",)))
+            return sleeps
+
+        first = schedule(7)
+        assert schedule(7) == first  # same seed, same backoff schedule
+        assert schedule(8) != first
+        assert all(0.01 <= s <= 0.015 for s in first[:1])  # +0..50 % jitter
+
+    def test_deadline_bounds_total_retry_time(self, network):
+        """When the next backoff would overrun the deadline, give up now."""
+        now = [0.0]
+
+        def clock():
+            return now[0]
+
+        def sleep(seconds):
+            now[0] += seconds
+
+        flaky = FlakyTransport(network.transport, fail_times=10)
+        transport = RetryingTransport(
+            flaky,
+            max_attempts=10,
+            backoff_base=0.04,
+            backoff_factor=2.0,
+            backoff_max=10.0,
+            jitter=0.0,
+            deadline=0.1,
+            sleep=sleep,
+            clock=clock,
+        )
+        with pytest.raises(ConnectionError):
+            transport.send(RpcRequest(target=0, handler="echo", args=("x",)))
+        # 0.04 slept, then 0.08 would land at 0.12 >= 0.1: stop early.
+        assert transport.deadline_giveups == 1
+        assert transport.retries == 1
+        assert now[0] < 0.1
+
+    def test_async_retries_count_attempts(self, network):
+        flaky = FlakyTransport(network.transport, fail_times=2)
+        network.transport = RetryingTransport(
+            flaky, max_attempts=3, backoff_base=0.0, jitter=0.0
+        )
+        future = network.call_async(0, "echo", "ok")
+        assert future.result(1.0) == "ok"
+        assert flaky.attempts == 3
+        assert network.transport.retries == 2
+
+    def test_async_deadline_giveup(self, network):
+        now = [0.0]
+        flaky = FlakyTransport(network.transport, fail_times=10)
+        transport = RetryingTransport(
+            flaky,
+            max_attempts=10,
+            backoff_base=1.0,
+            backoff_max=1.0,
+            jitter=0.0,
+            deadline=0.5,
+            sleep=lambda s: now.__setitem__(0, now[0] + s),
+            clock=lambda: now[0],
+        )
+        future = transport.send_async(RpcRequest(target=0, handler="echo", args=("x",)))
+        with pytest.raises(ConnectionError):
+            future.result(1.0)
+        assert transport.deadline_giveups == 1
+        assert transport.retries == 0
+
+
 class TestBottleneckExplainer:
     def test_ssd_bound_at_large_transfers(self):
         from repro.common.units import MiB
