@@ -1,12 +1,18 @@
 """Result analysis: statistics, sweep series, and paper-style reports."""
 
 from repro.analysis.ascii_plot import loglog_plot
+from repro.analysis.loadmap import LoadStat, balance_report, gini, load_stat, render_balance
 from repro.analysis.stats import MeasuredStat, mean, repeat_measure, speedup, stddev_pct
 from repro.analysis.series import SweepSeries, efficiency_series, relative_series
 from repro.analysis.report import render_table, series_table
 
 __all__ = [
     "loglog_plot",
+    "LoadStat",
+    "balance_report",
+    "gini",
+    "load_stat",
+    "render_balance",
     "MeasuredStat",
     "mean",
     "repeat_measure",

@@ -1,0 +1,163 @@
+"""Hotspot analysis: per-daemon load imbalance from aggregated metrics.
+
+The paper's §III claim — hash-based wide striping spreads metadata and
+data load evenly across daemons — is exactly the kind of claim MIDAS
+(arXiv:2511.18124) shows must be *measured*: a single hot server caps
+the whole deployment.  This module turns the per-daemon snapshots that
+:meth:`repro.core.client.GekkoFSClient.metrics` aggregates into an
+imbalance report:
+
+* **max/mean skew** per metric — 1.0 is perfect balance; the factor by
+  which the hottest daemon exceeds the average (and so the factor the
+  deployment loses if that daemon saturates first);
+* a **Gini-style coefficient** — 0.0 when every daemon carries the same
+  load, approaching 1.0 as load concentrates on one daemon; summarises
+  the whole distribution rather than just its extreme.
+
+``balance_report`` evaluates the standard catalogue (ops served, chunk
+writes/reads, bytes, metadata records) and ``render_balance`` prints the
+table the EXT-BALANCE experiment and ``repro metrics`` CLI show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import render_table
+
+__all__ = [
+    "LoadStat",
+    "gini",
+    "load_stat",
+    "balance_report",
+    "render_balance",
+    "BALANCE_METRICS",
+]
+
+#: The metric catalogue a balance report evaluates: (label, gauge name).
+BALANCE_METRICS = (
+    ("rpc ops served", "__total_rpcs__"),  # synthesised: sum of rpc.calls.*
+    ("chunk writes", "storage.write_ops"),
+    ("chunk reads", "storage.read_ops"),
+    ("bytes written", "storage.bytes_written"),
+    ("bytes read", "storage.bytes_read"),
+    ("metadata records", "kv.records"),
+    ("kv puts", "kv.puts"),
+)
+
+
+@dataclass(frozen=True)
+class LoadStat:
+    """Distribution of one metric across daemons."""
+
+    metric: str
+    per_daemon: dict  # address -> value
+    total: float
+    mean: float
+    max: float
+    max_daemon: int
+    skew: float  # max / mean; 1.0 = perfectly even
+    gini: float  # 0.0 even .. ->1.0 concentrated
+
+    @property
+    def balanced(self) -> bool:
+        """The even-striping verdict at the conventional 2x threshold."""
+        return self.skew <= 2.0
+
+
+def gini(values: list[float]) -> float:
+    """Gini coefficient of a non-negative load distribution.
+
+    0.0 when all daemons carry equal load; (n-1)/n when one daemon
+    carries everything.  Zero total load is defined as perfectly even.
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("gini of an empty distribution")
+    if any(v < 0 for v in values):
+        raise ValueError("loads must be non-negative")
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    ordered = sorted(values)
+    # Standard rank formulation: sum((2i - n - 1) * x_i) / (n * total).
+    acc = sum((2 * (i + 1) - n - 1) * v for i, v in enumerate(ordered))
+    return acc / (n * total)
+
+
+def load_stat(metric: str, per_daemon: dict) -> LoadStat:
+    """Summarise one metric's distribution across daemons."""
+    if not per_daemon:
+        raise ValueError(f"no daemons reported metric {metric!r}")
+    values = list(per_daemon.values())
+    total = float(sum(values))
+    mean = total / len(values)
+    max_daemon = max(per_daemon, key=lambda a: per_daemon[a])
+    peak = float(per_daemon[max_daemon])
+    return LoadStat(
+        metric=metric,
+        per_daemon=dict(per_daemon),
+        total=total,
+        mean=mean,
+        max=peak,
+        max_daemon=max_daemon,
+        skew=peak / mean if mean > 0 else 1.0,
+        gini=gini(values),
+    )
+
+
+def _gauge_by_daemon(per_daemon_snapshots: dict, gauge: str) -> dict:
+    """Extract one gauge across daemons from ``metrics()['per_daemon']``."""
+    if gauge == "__total_rpcs__":
+        return {
+            address: sum(
+                value
+                for name, value in snap.get("gauges", {}).items()
+                if name.startswith("rpc.calls.")
+            )
+            for address, snap in per_daemon_snapshots.items()
+        }
+    return {
+        address: snap.get("gauges", {}).get(gauge, 0)
+        for address, snap in per_daemon_snapshots.items()
+    }
+
+
+def balance_report(metrics_result: dict) -> list[LoadStat]:
+    """Evaluate :data:`BALANCE_METRICS` over a ``metrics()`` result.
+
+    Accepts the dict :meth:`GekkoFSClient.metrics`/``cluster.metrics()``
+    returns; metrics nobody has touched (total 0) are skipped.
+    """
+    per_daemon = metrics_result["per_daemon"]
+    if not per_daemon:
+        raise ValueError("metrics result contains no reachable daemons")
+    stats = []
+    for label, gauge in BALANCE_METRICS:
+        distribution = _gauge_by_daemon(per_daemon, gauge)
+        stat = load_stat(label, distribution)
+        if stat.total > 0:
+            stats.append(stat)
+    return stats
+
+
+def render_balance(stats: list[LoadStat], title: str = "per-daemon load balance") -> str:
+    """The imbalance table: one row per metric, verdict column included."""
+    rows = []
+    for s in stats:
+        rows.append(
+            [
+                s.metric,
+                f"{s.total:,.0f}",
+                f"{s.mean:,.1f}",
+                f"{s.max:,.0f} (d{s.max_daemon})",
+                f"{s.skew:.2f}x",
+                f"{s.gini:.3f}",
+                "even" if s.balanced else "HOT",
+            ]
+        )
+    return render_table(
+        ["metric", "total", "mean/daemon", "max (where)", "max/mean", "gini", "verdict"],
+        rows,
+        title=title,
+    )

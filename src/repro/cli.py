@@ -7,6 +7,8 @@ Commands mirror how the paper's artefacts are exercised:
 * ``ior``       — run the IOR clone on a functional deployment.
 * ``figures``   — regenerate the Figure 2/3 tables (and ASCII plots).
 * ``claims``    — print the §IV in-text claims, paper vs measured.
+* ``trace``     — traced IOR run, exported as Chrome trace-event JSON.
+* ``metrics``   — telemetry IOR run, cluster metrics + load-balance report.
 """
 
 from __future__ import annotations
@@ -73,7 +75,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiments", help="run the registered paper experiments")
     p.add_argument("exp_id", nargs="?", default=None, help="one id (default: all)")
+
+    p = sub.add_parser(
+        "trace",
+        help="run an IOR-clone workload with tracing on; export Chrome trace JSON",
+    )
+    _add_smoke_workload_args(p)
+    p.add_argument("--out", default=None, help="write Chrome trace JSON here")
+    p.add_argument("--timeline", action="store_true", help="print the ASCII timeline")
+    p.add_argument("--timeline-rows", type=int, default=40)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run an IOR-clone workload with telemetry on; print the cluster "
+        "metrics + load-balance report",
+    )
+    _add_smoke_workload_args(p)
+    p.add_argument("--out", default=None, help="write the metrics report JSON here")
     return parser
+
+
+def _add_smoke_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--procs", type=int, default=4)
+    p.add_argument("--transfer-size", type=parse_size, default=64 * KiB)
+    p.add_argument("--block-size", type=parse_size, default=MiB)
+    p.add_argument("--shared-file", action="store_true")
 
 
 def _cmd_info() -> int:
@@ -275,6 +302,86 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _traced_ior_run(args: argparse.Namespace):
+    """Shared by ``trace``/``metrics``: IOR clone with the plane enabled."""
+    config = FSConfig(telemetry_enabled=True)
+    spec = IorSpec(
+        procs=args.procs,
+        transfer_size=args.transfer_size,
+        block_size=args.block_size,
+        file_per_process=not args.shared_file,
+    )
+    with GekkoFSCluster(num_nodes=args.nodes, config=config) as fs:
+        result = run_ior(fs, spec)
+        metrics = fs.metrics()
+        collector = fs.trace_collector
+    return spec, result, metrics, collector
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry.spans import ascii_timeline, parse_chrome_trace
+
+    spec, _result, _metrics, collector = _traced_ior_run(args)
+    payload = collector.to_chrome_json()
+    # Self-validation: the export must round-trip through our own parser
+    # and actually contain spans — an empty or malformed trace is a
+    # failure, not a quiet success (the CI smoke job relies on this).
+    spans, events = parse_chrome_trace(payload)
+    if not spans:
+        print("ERROR: trace contains no spans")
+        return 1
+    client_spans = [s for s in spans if s.cat == "client"]
+    daemon_spans = [s for s in spans if s.cat == "daemon"]
+    if not client_spans or not daemon_spans:
+        print("ERROR: trace is missing client or daemon spans")
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["client spans", str(len(client_spans))],
+                ["daemon spans", str(len(daemon_spans))],
+                ["instant events", str(len(events))],
+                ["requests", str(len({s.request_id for s in spans if s.request_id}))],
+                ["exported to", args.out or "(not written; use --out)"],
+            ],
+            title=f"trace: IOR {spec.total_bytes // KiB} KiB, "
+            f"{'shared' if not spec.file_per_process else 'fpp'}, {args.nodes} nodes",
+        )
+    )
+    if args.timeline:
+        print(ascii_timeline(collector, limit=args.timeline_rows))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.loadmap import balance_report, render_balance
+
+    spec, _result, metrics, _collector = _traced_ior_run(args)
+    stats = balance_report(metrics)
+    print(
+        render_balance(
+            stats,
+            title=f"load balance: IOR {spec.total_bytes // KiB} KiB, "
+            f"{'shared' if not spec.file_per_process else 'fpp'}, {args.nodes} nodes",
+        )
+    )
+    cluster = metrics["cluster"]
+    rows = [[name, f"{value:,.0f}"] for name, value in sorted(cluster["gauges"].items())]
+    print()
+    print(render_table(["metric", "cluster total"], rows, title="aggregated gauges"))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(metrics, fh, indent=1, sort_keys=True, default=str)
+        print(f"\nfull report written to {args.out}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
@@ -293,4 +400,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sensitivity(args)
     if args.command == "experiments":
         return _cmd_experiments(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

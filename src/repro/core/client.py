@@ -42,6 +42,8 @@ from repro.core.distributor import Distributor
 from repro.core.filemap import FD_BASE, OpenFile, OpenFileMap
 from repro.core.metadata import Metadata, new_dir_metadata, new_file_metadata
 from repro.rpc import BulkHandle, RpcFuture, RpcNetwork
+from repro.telemetry.metrics import MetricsRegistry, merge_snapshots
+from repro.telemetry.spans import install_op_spans
 
 __all__ = ["GekkoFSClient", "ClientStats"]
 
@@ -107,6 +109,15 @@ class GekkoFSClient:
         #: Per-op records of tolerated broadcast leg failures (telemetry):
         #: ``{"handler": ..., "failed": {address: exception class name}}``.
         self.degraded_events: list[dict] = []
+        #: Registry mirroring :class:`ClientStats` (``client.*`` gauges) —
+        #: the same enumeration path as the daemon-side registries, so
+        #: ``degraded_ops``/``leg_failures`` appear in metrics reports.
+        self.metrics_registry = self._build_metrics_registry()
+        # With telemetry enabled the cluster sets network.tracer; every
+        # traced operation on this client then opens a span.
+        tracer = getattr(network, "tracer", None)
+        if tracer is not None:
+            install_op_spans(self, tracer)
 
     # -- interception routing ---------------------------------------------
 
@@ -178,6 +189,23 @@ class GekkoFSClient:
                 },
             }
         )
+        tracer = getattr(self.network, "tracer", None)
+        if tracer is not None:
+            tracer.instant(
+                "broadcast.degraded",
+                "degraded",
+                handler=handler,
+                failed={
+                    target: type(exc).__name__ for target, exc in failed.items()
+                },
+            )
+
+    def _build_metrics_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        for field in ClientStats.__dataclass_fields__:
+            registry.gauge(f"client.{field}", lambda f=field: getattr(self.stats, f))
+        registry.gauge("client.degraded_events", lambda: len(self.degraded_events))
+        return registry
 
     def _metadata_targets(self, rel: str) -> list[int]:
         """Replica set for a path's metadata: primary plus successors.
@@ -1246,4 +1274,58 @@ class GekkoFSClient:
             result["missing_daemons"] = sorted(failed)
             if failed:
                 self._note_degraded("gkfs_statfs", failed)
+        return result
+
+    def metrics(self) -> dict:
+        """Cluster-wide metrics: every daemon's registry plus this client's.
+
+        Same broadcast machinery and semantics as :meth:`statfs` — a
+        strict fan-out by default, partial-with-flags in degraded mode
+        (``"degraded"``/``"missing_daemons"``; an unreachable daemon's
+        metrics are simply absent from the aggregate).  Returns::
+
+            {
+              "daemons":    total daemon count,
+              "per_daemon": {address: registry snapshot},
+              "cluster":    merged snapshot (counters/gauges summed,
+                            latency histograms merged, as summaries),
+              "client":     this client's mirror registry snapshot,
+            }
+        """
+        targets = list(self.distributor.locate_all())
+        if self.config.rpc_pipelining:
+            futures = [
+                self.network.call_async(target, "gkfs_metrics") for target in targets
+            ]
+            self._note_fanout(len(futures))
+            outcomes = self._gather(futures)
+        else:
+            outcomes = []
+            for target in targets:
+                try:
+                    outcomes.append((self.network.call(target, "gkfs_metrics"), None))
+                except Exception as exc:
+                    outcomes.append((None, exc))
+        per_daemon: dict[int, dict] = {}
+        failed: dict[int, Exception] = {}
+        for target, (snapshot, exc) in zip(targets, outcomes):
+            if exc is None:
+                per_daemon[target] = snapshot
+            elif isinstance(exc, self._TRANSIENT) and self.config.degraded_mode:
+                failed[target] = exc
+            else:
+                if isinstance(exc, self._TRANSIENT):
+                    raise self._fatal_transient(exc) from exc
+                raise exc
+        result = {
+            "daemons": self.distributor.num_daemons,
+            "per_daemon": per_daemon,
+            "cluster": merge_snapshots(per_daemon.values()),
+            "client": self.metrics_registry.snapshot(),
+        }
+        if self.config.degraded_mode:
+            result["degraded"] = bool(failed)
+            result["missing_daemons"] = sorted(failed)
+            if failed:
+                self._note_degraded("gkfs_metrics", failed)
         return result

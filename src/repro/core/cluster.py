@@ -32,6 +32,7 @@ from repro.rpc import (
     ThreadedTransport,
 )
 from repro.storage import LocalFSChunkStorage, MemoryChunkStorage
+from repro.telemetry.spans import TraceCollector
 
 __all__ = ["GekkoFSCluster"]
 
@@ -70,6 +71,13 @@ class GekkoFSCluster:
                 f"cluster has {num_nodes}"
             )
         self.network = RpcNetwork()
+        # Observability plane: one collector per deployment when enabled.
+        # network.tracer makes call_async stamp request ids and clients
+        # install op spans; engines get it attached in _build_daemon.
+        self.trace_collector: Optional[TraceCollector] = None
+        if self.config.telemetry_enabled:
+            self.trace_collector = TraceCollector()
+            self.network.tracer = self.trace_collector
         self._threaded_transport: Optional[ThreadedTransport] = None
         if threaded:
             self._threaded_transport = ThreadedTransport(
@@ -87,6 +95,18 @@ class GekkoFSCluster:
                 failure_threshold=self.config.breaker_failure_threshold,
                 cooldown=self.config.breaker_cooldown,
             )
+            if self.trace_collector is not None:
+                collector = self.trace_collector
+                self.health.listener = (
+                    lambda address, old, new, reason: collector.instant(
+                        "health.transition",
+                        "health",
+                        address=address,
+                        from_state=old,
+                        to_state=new,
+                        reason=reason,
+                    )
+                )
         self.retrying: Optional[RetryingTransport] = None
         if (
             self.config.rpc_retries > 0
@@ -132,7 +152,16 @@ class GekkoFSCluster:
             )
         else:
             storage = MemoryChunkStorage(self.config.chunk_size)
-        return GekkoDaemon(node, engine, self.config.chunk_size, kv=kv, storage=storage)
+        daemon = GekkoDaemon(node, engine, self.config.chunk_size, kv=kv, storage=storage)
+        if self._threaded_transport is not None:
+            transport = self._threaded_transport
+            daemon.queue_depth_fn = lambda t=transport, n=node: t.queue_depth(n)
+        if self.trace_collector is not None:
+            # Instrumented serving: handler spans + per-handler latency
+            # histograms (recorded into the daemon's registry).
+            engine.collector = self.trace_collector
+            engine.metrics = daemon.metrics
+        return daemon
 
     def _format(self) -> None:
         """Create the root directory record on its owner daemon(s).
@@ -302,6 +331,11 @@ class GekkoFSCluster:
     def daemon_load(self) -> dict[int, int]:
         """RPCs served per daemon — the load-balance evidence for hashing."""
         return {d.address: sum(d.engine.calls_served.values()) for d in self.live_daemons()}
+
+    def metrics(self, node_id: int = 0) -> dict:
+        """Cluster-wide metrics via a fresh client's ``gkfs_metrics``
+        broadcast (see :meth:`repro.core.client.GekkoFSClient.metrics`)."""
+        return self.client(node_id).metrics()
 
     def used_bytes(self) -> int:
         return sum(d.storage.used_bytes() for d in self.live_daemons())

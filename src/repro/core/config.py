@@ -71,6 +71,12 @@ class FSConfig:
         (:class:`~repro.common.errors.DaemonUnavailableError`) instead
         of raw transport exceptions.  Off = the paper's behaviour: any
         dead daemon is loudly fatal to every operation touching it.
+    :ivar telemetry_enabled: the observability plane — distributed
+        request tracing (client-op spans, RPC-carried request ids,
+        daemon handler spans) plus per-handler latency histograms in
+        every daemon's :class:`~repro.telemetry.metrics.MetricsRegistry`.
+        Off by default: the hot path then never allocates a span or
+        stamps an id (the zero-cost path the micro-benchmark asserts).
     :ivar passthrough_enabled: forward non-mountpoint paths to the real
         OS like the interposition library would.
     :ivar kv_dir: directory for daemon KV stores (``None`` = in-memory).
@@ -97,6 +103,7 @@ class FSConfig:
     breaker_failure_threshold: int = 3
     breaker_cooldown: float = 0.25
     degraded_mode: bool = False
+    telemetry_enabled: bool = False
     passthrough_enabled: bool = True
     kv_dir: Optional[str] = None
     data_dir: Optional[str] = None

@@ -26,6 +26,7 @@ from repro.core.metadata import Metadata
 from repro.kvstore import LSMStore
 from repro.rpc import BulkHandle, RpcEngine
 from repro.storage import ChunkStorage, MemoryChunkStorage
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["GekkoDaemon", "HANDLER_NAMES"]
 
@@ -46,6 +47,7 @@ HANDLER_NAMES = (
     "gkfs_remove_chunks",
     "gkfs_truncate_chunks",
     "gkfs_statfs",
+    "gkfs_metrics",
 )
 
 
@@ -80,7 +82,46 @@ class GekkoDaemon:
         # Single-record operations this lock protects are exactly the ones
         # the paper promises strong consistency for.
         self._meta_lock = threading.Lock()
+        #: Queue-depth probe, wired by the cluster when the transport has
+        #: per-daemon queues (ThreadedTransport); 0 otherwise.
+        self.queue_depth_fn = lambda: 0
+        self.metrics = self._build_metrics()
         self._register_handlers()
+
+    def _build_metrics(self) -> MetricsRegistry:
+        """One registry enumerating every layer's counters for this daemon.
+
+        The existing stats objects (``LSMStats``, ``StorageStats``, the
+        engine's counters) stay where they are and keep their public
+        spellings — the registry mirrors them through snapshot-time
+        gauges, so the hot paths pay nothing for the unified view.
+        """
+        registry = MetricsRegistry()
+        # kvstore internals.
+        for field in ("puts", "gets", "deletes", "merges", "scans",
+                      "flushes", "compactions", "bloom_negative", "wal_appends"):
+            registry.gauge(
+                f"kv.{field}", lambda f=field: getattr(self.kv.stats, f)
+            )
+        registry.gauge("kv.records", lambda: len(self.kv))
+        # chunk storage.
+        for field in ("bytes_written", "bytes_read", "write_ops", "read_ops",
+                      "chunks_created", "chunks_removed"):
+            registry.gauge(
+                f"storage.{field}", lambda f=field: getattr(self.storage.stats, f)
+            )
+        registry.gauge("storage.used_bytes", lambda: self.storage.used_bytes())
+        # RPC server.
+        for name in HANDLER_NAMES:
+            registry.gauge(
+                f"rpc.calls.{name}", lambda n=name: self.engine.calls_served[n]
+            )
+        registry.gauge("rpc.bytes_in", lambda: self.engine.bytes_in)
+        registry.gauge("rpc.bytes_out", lambda: self.engine.bytes_out)
+        registry.gauge("server.queue_depth", lambda: self.queue_depth_fn())
+        # Per-handler latency histograms land in this registry when the
+        # engine runs instrumented (cluster sets engine.metrics to it).
+        return registry
 
     def _register_handlers(self) -> None:
         self.engine.register("gkfs_create", self.create)
@@ -97,6 +138,7 @@ class GekkoDaemon:
         self.engine.register("gkfs_remove_chunks", self.remove_chunks)
         self.engine.register("gkfs_truncate_chunks", self.truncate_chunks)
         self.engine.register("gkfs_statfs", self.statfs)
+        self.engine.register("gkfs_metrics", self.metrics_snapshot)
 
     # -- metadata handlers ---------------------------------------------------
 
@@ -322,13 +364,26 @@ class GekkoDaemon:
     # -- introspection -----------------------------------------------------------
 
     def statfs(self) -> dict:
-        """Local usage snapshot (aggregated by the client for statfs)."""
+        """Local usage snapshot (aggregated by the client for statfs).
+
+        The ``storage``/``kv`` dicts predate the metrics registry and
+        are kept as compatibility aliases; the registry's
+        ``storage.*``/``kv.*`` gauges read the same stats objects.
+        """
         return {
             "used_bytes": self.storage.used_bytes(),
             "metadata_records": len(self.kv),
             "storage": self.storage.stats.as_dict(),
             "kv": self.kv.stats.as_dict(),
         }
+
+    def metrics_snapshot(self) -> dict:
+        """The ``gkfs_metrics`` handler: this daemon's registry snapshot.
+
+        Plain JSON types (histograms in wire-state form), aggregated
+        cluster-wide by :meth:`repro.core.client.GekkoFSClient.metrics`.
+        """
+        return self.metrics.snapshot()
 
     def shutdown(self) -> None:
         """Flush and close the metadata store."""

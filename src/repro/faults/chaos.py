@@ -135,6 +135,12 @@ class ChaosController:
 
     def _note(self, action: str, target: Optional[int] = None, value: float = 0.0):
         self.log.append((action, target, value))
+        # With the observability plane up, faults land in the same event
+        # stream as spans, health transitions, and degraded broadcasts —
+        # one causally ordered timeline per chaos run.
+        collector = getattr(self.cluster, "trace_collector", None)
+        if collector is not None:
+            collector.instant(f"fault.{action}", "fault", target=target, value=value)
 
     # -- immediate fault actions -------------------------------------------
 

@@ -47,6 +47,7 @@ class LSMStats:
     flushes: int = 0
     compactions: int = 0
     bloom_negative: int = 0  # point reads short-circuited by a bloom filter
+    wal_appends: int = 0  # durable log records written (0 for in-memory stores)
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -146,6 +147,7 @@ class LSMStore:
             self._check_open()
             if self._wal is not None:
                 self._wal.append(OP_PUT, key, value)
+                self.stats.wal_appends += 1
             self._memtable.put(key, value)
             self.stats.puts += 1
             self._maybe_flush()
@@ -175,6 +177,7 @@ class LSMStore:
             self._check_open()
             if self._wal is not None:
                 self._wal.append(OP_DELETE, key)
+                self.stats.wal_appends += 1
             self._memtable.delete(key)
             self.stats.deletes += 1
             self._maybe_flush()
@@ -196,6 +199,7 @@ class LSMStore:
                 raise TypeError(f"merge fn must return bytes, got {type(new)}")
             if self._wal is not None:
                 self._wal.append(OP_PUT, key, new)
+                self.stats.wal_appends += 1
             self._memtable.put(key, new)
             self._maybe_flush()
             return new
@@ -225,6 +229,7 @@ class LSMStore:
                 return
             if self._wal is not None:
                 self._wal.append(OP_BATCH, b"\x00", WriteAheadLog.encode_batch(encoded))
+                self.stats.wal_appends += 1
             for op, key, value in encoded:
                 if op == OP_PUT:
                     self._memtable.put(key, value)

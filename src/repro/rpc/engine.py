@@ -9,6 +9,7 @@ GekkoFS distributes at start-up so every client can reach every daemon.
 from __future__ import annotations
 
 import threading
+import time
 from collections import Counter
 from typing import Any, Callable, Optional
 
@@ -16,6 +17,7 @@ from repro.rpc.future import RpcFuture, wait_all
 from repro.rpc.message import RpcRequest, RpcResponse
 from repro.rpc.transport import LoopbackTransport, Transport, deliver_async
 from repro.telemetry.inflight import InflightGauge
+from repro.telemetry.spans import DAEMON_PID_BASE
 
 __all__ = ["RpcEngine", "RpcNetwork"]
 
@@ -35,6 +37,12 @@ class RpcEngine:
         self.calls_served: Counter[str] = Counter()
         self.bytes_in = 0
         self.bytes_out = 0
+        #: Telemetry plane, attached by the cluster/daemon when enabled.
+        #: Both default to None so :meth:`handle` keeps a branch-only
+        #: fast path when the plane is off.
+        self.collector = None  # TraceCollector: per-handler daemon spans
+        self.metrics = None  # MetricsRegistry: per-handler latency histograms
+        self._latency_hists: dict[str, Any] = {}  # handler -> live histogram
 
     def register(self, name: str, fn: Callable[..., Any]) -> None:
         """Register handler ``name``; re-registration is a bug, so it raises."""
@@ -60,6 +68,11 @@ class RpcEngine:
             raise LookupError(
                 f"daemon {self.address} has no handler {request.handler!r}"
             )
+        if self.collector is None and self.metrics is None:
+            return self._serve(fn, request)
+        return self._serve_instrumented(fn, request)
+
+    def _serve(self, fn: Callable[..., Any], request: RpcRequest) -> RpcResponse:
         self.calls_served[request.handler] += 1
         self.bytes_in += request.wire_size
         if request.bulk is not None:
@@ -69,6 +82,46 @@ class RpcEngine:
         else:
             response = RpcResponse.from_call(fn, request.args)
         self.bytes_out += response.wire_size
+        return response
+
+    def _serve_instrumented(
+        self, fn: Callable[..., Any], request: RpcRequest
+    ) -> RpcResponse:
+        """Serve with handler span + latency histogram around the hot path.
+
+        Runs on whichever thread the transport dispatched to; the trace
+        context comes from the request envelope, never a thread-local.
+        """
+        collector, metrics = self.collector, self.metrics
+        handler = request.handler
+        t0 = time.perf_counter()
+        response = self._serve(fn, request)
+        elapsed = time.perf_counter() - t0
+        if metrics is not None:
+            hist = self._latency_hists.get(handler)
+            if hist is None:
+                hist = self._latency_hists[handler] = metrics.histogram_for(
+                    f"rpc.latency.{handler}"
+                )
+            hist.record(elapsed)
+        if collector is not None:
+            epoch = collector.perf_epoch
+            start = t0 - epoch if epoch is not None else collector.now() - elapsed
+            # Inline of collector.record_span (same tuple layout): this
+            # runs once per RPC, so the method call and keyword binding
+            # are worth skipping.  span_id None is materialised to a
+            # unique "d<seq>" id by the collector's reader.
+            collector._span_buf.append(
+                (handler, "daemon", start, elapsed,
+                 DAEMON_PID_BASE + self.address,
+                 threading.get_ident() & 0xFFFF,
+                 None,
+                 request.request_id,
+                 request.parent_span,
+                 next(collector._seq),
+                 None if response.ok else str(response.error),
+                 {"bulk_bytes": response.bulk_bytes} if response.bulk_bytes else {})
+            )
         return response
 
 
@@ -87,6 +140,9 @@ class RpcNetwork:
         self.transport: Transport = transport or LoopbackTransport(self._engines)
         #: In-flight RPC depth telemetry (how deep the pipelining runs).
         self.inflight = InflightGauge()
+        #: TraceCollector when telemetry is enabled; None keeps
+        #: :meth:`call_async` on its unstamped fast path.
+        self.tracer = None
 
     @property
     def engine_table(self) -> dict[int, "RpcEngine"]:
@@ -145,7 +201,19 @@ class RpcNetwork:
         future, so fan-outs are never interrupted mid-batch.  Gather a
         batch with :func:`repro.rpc.wait_all`.
         """
-        request = RpcRequest(target=target, handler=handler, args=args, bulk=bulk)
+        tracer = self.tracer
+        if tracer is None:
+            request = RpcRequest(target=target, handler=handler, args=args, bulk=bulk)
+        else:
+            context = tracer.current()
+            request = RpcRequest(
+                target=target,
+                handler=handler,
+                args=args,
+                bulk=bulk,
+                request_id=context.request_id if context else None,
+                parent_span=context.span_id if context else None,
+            )
         self.inflight.launch()
         future = deliver_async(self.transport, request)
         future.add_done_callback(lambda _fut: self.inflight.land())

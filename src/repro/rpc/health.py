@@ -99,6 +99,19 @@ class DaemonHealthTracker:
         self.fast_fails = 0
         self.probes = 0
         self.recoveries = 0
+        #: Optional ``fn(address, old_state, new_state, reason)`` invoked
+        #: after every breaker state transition (outside the tracker
+        #: lock).  The observability plane hooks this to emit health
+        #: events into the shared trace timeline.
+        self.listener: Optional[Callable[[int, str, str, str], None]] = None
+
+    def _notify(self, transitions: list) -> None:
+        """Deliver queued transitions to the listener, outside the lock."""
+        listener = self.listener
+        if listener is None or not transitions:
+            return
+        for address, old_state, new_state, reason in transitions:
+            listener(address, old_state, new_state, reason)
 
     def _health(self, address: int) -> _DaemonHealth:
         health = self._daemons.get(address)
@@ -122,24 +135,29 @@ class DaemonHealthTracker:
         health = self._daemons.get(address)
         if health is not None and health.state == CLOSED:
             return True
-        with self._lock:
-            health = self._health(address)
-            if health.state == CLOSED:
-                return True
-            if health.state == OPEN:
-                if (
-                    self._clock() - health.opened_at >= self.cooldown
-                    and address not in self._probing
-                ):
-                    health.state = HALF_OPEN
-                    self._probing.add(address)
-                    self.probes += 1
+        transitions: list = []
+        try:
+            with self._lock:
+                health = self._health(address)
+                if health.state == CLOSED:
                     return True
+                if health.state == OPEN:
+                    if (
+                        self._clock() - health.opened_at >= self.cooldown
+                        and address not in self._probing
+                    ):
+                        health.state = HALF_OPEN
+                        self._probing.add(address)
+                        self.probes += 1
+                        transitions.append((address, OPEN, HALF_OPEN, "probe"))
+                        return True
+                    self.fast_fails += 1
+                    return False
+                # HALF_OPEN: the single probe is already in flight.
                 self.fast_fails += 1
                 return False
-            # HALF_OPEN: the single probe is already in flight.
-            self.fast_fails += 1
-            return False
+        finally:
+            self._notify(transitions)
 
     # -- outcome reporting ---------------------------------------------------
 
@@ -152,15 +170,18 @@ class DaemonHealthTracker:
         if health is not None and health.state == CLOSED and health.failures == 0:
             health.successes += 1
             return
+        transitions: list = []
         with self._lock:
             health = self._health(address)
             health.successes += 1
             health.failures = 0
             if health.state != CLOSED:
                 self.recoveries += 1
+                transitions.append((address, health.state, CLOSED, "recovered"))
             health.state = CLOSED
             self._probing.discard(address)
             self._recompute_all_clear()
+        self._notify(transitions)
 
     def _recompute_all_clear(self) -> None:
         """Caller holds the lock.  O(daemons), only on rare transitions."""
@@ -171,6 +192,7 @@ class DaemonHealthTracker:
 
     def record_failure(self, address: int) -> None:
         """A delivery to ``address`` failed at the transport level."""
+        transitions: list = []
         with self._lock:
             self.all_clear = False
             health = self._health(address)
@@ -181,17 +203,24 @@ class DaemonHealthTracker:
                 health.state = OPEN
                 health.opened_at = self._clock()
                 self._probing.discard(address)
+                transitions.append((address, HALF_OPEN, OPEN, "probe_failed"))
             elif health.state == CLOSED and health.failures >= self.failure_threshold:
                 health.state = OPEN
                 health.opened_at = self._clock()
                 self.trips += 1
+                transitions.append((address, CLOSED, OPEN, "tripped"))
+        self._notify(transitions)
 
     def reset(self, address: int) -> None:
         """Forget everything about ``address`` (daemon restarted clean)."""
+        transitions: list = []
         with self._lock:
-            self._daemons.pop(address, None)
+            health = self._daemons.pop(address, None)
+            if health is not None and health.state != CLOSED:
+                transitions.append((address, health.state, CLOSED, "reset"))
             self._probing.discard(address)
             self._recompute_all_clear()
+        self._notify(transitions)
 
     # -- introspection -------------------------------------------------------
 

@@ -69,16 +69,29 @@ class RpcRequest:
     :ivar handler: registered handler name, e.g. ``"gkfs_create"``.
     :ivar args: positional arguments for the handler.
     :ivar bulk: optional bulk-data handle travelling out of band (RDMA).
+    :ivar request_id: trace context — the originating client operation's
+        request id.  Carried in the envelope (not a thread-local) so the
+        daemon side sees it regardless of which handler-pool thread
+        serves the request.  ``None`` whenever telemetry is off.
+    :ivar parent_span: trace context — the client span that issued this
+        RPC; the daemon's handler span becomes its child.
     """
 
     target: int
     handler: str
     args: tuple = ()
     bulk: Optional[Any] = None
+    request_id: Optional[str] = None
+    parent_span: Optional[str] = None
 
     @property
     def wire_size(self) -> int:
-        """RPC-channel bytes; bulk payloads travel out of band."""
+        """RPC-channel bytes; bulk payloads travel out of band.
+
+        Trace ids ride inside the fixed :data:`ENVELOPE_BYTES` header
+        budget (Mercury headers carry user metadata the same way), so
+        they do not change accounted sizes between telemetry on/off.
+        """
         return ENVELOPE_BYTES + len(self.handler) + estimate_wire_size(self.args)
 
 

@@ -103,6 +103,17 @@ class ThreadedTransport(Transport):
             if stale is not None:
                 stale.stop()
 
+    def queue_depth(self, target: int) -> int:
+        """Requests parked in ``target``'s queue right now (0 if no pool).
+
+        Approximate by nature (``Queue.qsize``), which is exactly what a
+        saturation gauge needs — the observability plane samples it as
+        ``server.queue_depth``.
+        """
+        with self._lock:
+            pool = self._pools.get(target)
+        return pool.queue.qsize() if pool is not None else 0
+
     def send(self, request: RpcRequest) -> RpcResponse:
         return self.send_async(request).result()
 

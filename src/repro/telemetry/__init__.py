@@ -11,6 +11,28 @@ in-flight RPC depth gauge for the pipelined fan-out path.
 
 from repro.telemetry.histogram import LatencyHistogram
 from repro.telemetry.inflight import InflightGauge
+from repro.telemetry.metrics import MetricsRegistry, merge_snapshots
+from repro.telemetry.spans import (
+    InstantEvent,
+    SpanContext,
+    SpanRecord,
+    TraceCollector,
+    ascii_timeline,
+    parse_chrome_trace,
+)
 from repro.telemetry.tracer import OpTracer, TracedClient
 
-__all__ = ["LatencyHistogram", "InflightGauge", "OpTracer", "TracedClient"]
+__all__ = [
+    "LatencyHistogram",
+    "InflightGauge",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "SpanContext",
+    "SpanRecord",
+    "InstantEvent",
+    "TraceCollector",
+    "ascii_timeline",
+    "parse_chrome_trace",
+    "OpTracer",
+    "TracedClient",
+]

@@ -16,6 +16,7 @@ __all__ = ["LatencyHistogram"]
 _BASE = 1e-6  # 1 µs: bucket 0 is [0, 1 µs)
 _GROWTH = math.sqrt(2.0)
 _NUM_BUCKETS = 96  # covers up to ~1e-6 * sqrt(2)^95 ≈ 5e8 s
+_INV_BASE = 1.0 / _BASE  # log_√2(x) == 2·log2(x); log2 is one libm call
 
 
 class LatencyHistogram:
@@ -34,7 +35,7 @@ class LatencyHistogram:
     def _bucket_index(seconds: float) -> int:
         if seconds < _BASE:
             return 0
-        index = 1 + int(math.log(seconds / _BASE, _GROWTH))
+        index = 1 + int(2.0 * math.log2(seconds * _INV_BASE))
         return min(index, _NUM_BUCKETS - 1)
 
     @staticmethod
@@ -47,11 +48,20 @@ class LatencyHistogram:
         """Add one observation."""
         if seconds < 0:
             raise ValueError(f"duration must be >= 0, got {seconds}")
-        self._buckets[self._bucket_index(seconds)] += 1
+        # _bucket_index inlined: this is called once per instrumented RPC.
+        if seconds < _BASE:
+            index = 0
+        else:
+            index = 1 + int(2.0 * math.log2(seconds * _INV_BASE))
+            if index >= _NUM_BUCKETS:
+                index = _NUM_BUCKETS - 1
+        self._buckets[index] += 1
         self.count += 1
         self.total += seconds
-        self.min = min(self.min, seconds)
-        self.max = max(self.max, seconds)
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
 
     def record_many(self, durations: Iterable[float]) -> None:
         for value in durations:
@@ -88,13 +98,48 @@ class LatencyHistogram:
         return self.max  # pragma: no cover - rounding guard
 
     def merge(self, other: "LatencyHistogram") -> None:
-        """Fold another histogram into this one (per-rank aggregation)."""
+        """Fold another histogram into this one (per-rank aggregation).
+
+        Merging an empty histogram is a no-op, so min/max never absorb
+        the empty-side sentinels (inf/0).
+        """
+        if other.count == 0:
+            return
         for index in range(_NUM_BUCKETS):
             self._buckets[index] += other._buckets[index]
         self.count += other.count
         self.total += other.total
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
+
+    def to_state(self) -> dict:
+        """Wire-transportable snapshot (plain JSON types only).
+
+        Buckets are sent sparse — index/count pairs — because a live
+        histogram concentrates its mass in a handful of the 96 buckets.
+        """
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": [[i, c] for i, c in enumerate(self._buckets) if c],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`to_state` output."""
+        hist = cls()
+        hist.count = state["count"]
+        hist.total = state["total"]
+        if hist.count:
+            hist.min = state["min"]
+            hist.max = state["max"]
+        for index, bucket_count in state["buckets"]:
+            if not 0 <= index < _NUM_BUCKETS:
+                raise ValueError(f"bucket index {index} out of range")
+            hist._buckets[index] = bucket_count
+        return hist
 
     def summary(self) -> dict[str, float]:
         """count/mean/p50/p95/p99/max in one dict (seconds)."""

@@ -17,7 +17,7 @@ from typing import Any, Callable
 from repro.analysis.report import render_table
 from repro.telemetry.histogram import LatencyHistogram
 
-__all__ = ["OpTracer", "TracedClient"]
+__all__ = ["OpTracer", "TracedClient", "TRACED_METHODS", "TRACE_EXEMPT"]
 
 #: Client methods the wrapper times (the intercepted call surface).
 TRACED_METHODS = (
@@ -46,6 +46,31 @@ TRACED_METHODS = (
     "read_bytes",
     "write_bytes",
     "copy",
+)
+
+#: Public client methods deliberately *not* traced, with the reason.
+#: The guard test (tests/test_telemetry_surface.py) insists every public
+#: method is in exactly one of TRACED_METHODS / TRACE_EXEMPT, so a new
+#: client method forces an explicit tracing decision.
+TRACE_EXEMPT = frozenset(
+    {
+        # Composites of already-traced calls: tracing both layers would
+        # double-count every inner operation in per-op histograms.
+        "exists",  # stat in a try/except
+        "walk",  # generator over listdir_plus
+        "disk_usage",  # stat + walk
+        # Unsupported surface (§III-A): raises immediately, no RPC.
+        "rename",
+        "link",
+        "symlink",
+        "chmod",
+        # Pure local predicate, no RPC.
+        "is_gekkofs_path",
+        # Introspection broadcasts: observability reading its own plane
+        # would perturb the numbers it reports.
+        "statfs",
+        "metrics",
+    }
 )
 
 

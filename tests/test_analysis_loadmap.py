@@ -1,0 +1,108 @@
+"""Loadmap: Gini coefficient, per-metric skew, balance report rendering."""
+
+import pytest
+
+from repro.analysis.loadmap import (
+    balance_report,
+    gini,
+    load_stat,
+    render_balance,
+)
+
+
+class TestGini:
+    def test_even_distribution_is_zero(self):
+        assert gini([5, 5, 5, 5]) == 0.0
+
+    def test_total_concentration_approaches_one(self):
+        # One daemon carries everything: (n-1)/n.
+        assert gini([0, 0, 0, 100]) == pytest.approx(0.75)
+
+    def test_zero_load_counts_as_even(self):
+        assert gini([0, 0, 0]) == 0.0
+
+    def test_scale_invariant(self):
+        assert gini([1, 2, 3]) == pytest.approx(gini([10, 20, 30]))
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            gini([])
+        with pytest.raises(ValueError):
+            gini([1, -1])
+
+
+class TestLoadStat:
+    def test_even_load(self):
+        stat = load_stat("ops", {0: 10, 1: 10, 2: 10, 3: 10})
+        assert stat.skew == 1.0
+        assert stat.gini == 0.0
+        assert stat.balanced
+        assert stat.total == 40
+
+    def test_hotspot_detected(self):
+        stat = load_stat("ops", {0: 1, 1: 1, 2: 1, 3: 97})
+        assert stat.max_daemon == 3
+        assert stat.skew == pytest.approx(97 / 25)
+        assert not stat.balanced
+
+    def test_zero_load_mean_guard(self):
+        stat = load_stat("ops", {0: 0, 1: 0})
+        assert stat.skew == 1.0
+        assert stat.balanced
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            load_stat("ops", {})
+
+
+def _fake_metrics(per_daemon_gauges):
+    return {
+        "daemons": len(per_daemon_gauges),
+        "per_daemon": {
+            address: {"counters": {}, "gauges": gauges, "histograms": {}}
+            for address, gauges in per_daemon_gauges.items()
+        },
+        "cluster": {},
+        "client": {},
+    }
+
+
+class TestBalanceReport:
+    def test_synthesised_rpc_total_and_catalogue(self):
+        metrics = _fake_metrics(
+            {
+                0: {"rpc.calls.gkfs_stat": 5, "rpc.calls.gkfs_create": 5,
+                    "storage.write_ops": 4, "kv.records": 2},
+                1: {"rpc.calls.gkfs_stat": 10, "rpc.calls.gkfs_create": 0,
+                    "storage.write_ops": 4, "kv.records": 2},
+            }
+        )
+        stats = {s.metric: s for s in balance_report(metrics)}
+        assert stats["rpc ops served"].total == 20  # 10 + 10, both handlers
+        assert stats["chunk writes"].skew == 1.0
+        # Untouched metrics (read_ops etc.) are skipped, not reported as 0.
+        assert "chunk reads" not in stats
+
+    def test_rejects_empty_result(self):
+        with pytest.raises(ValueError):
+            balance_report(_fake_metrics({}))
+
+    def test_render_flags_hotspots(self):
+        metrics = _fake_metrics(
+            {
+                0: {"storage.write_ops": 97},
+                1: {"storage.write_ops": 1},
+                2: {"storage.write_ops": 1},
+            }
+        )
+        out = render_balance(balance_report(metrics))
+        assert "HOT" in out
+        assert "chunk writes" in out
+
+    def test_render_even(self):
+        metrics = _fake_metrics(
+            {0: {"storage.write_ops": 5}, 1: {"storage.write_ops": 5}}
+        )
+        out = render_balance(balance_report(metrics))
+        assert "even" in out
+        assert "1.00x" in out

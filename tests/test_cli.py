@@ -107,3 +107,60 @@ class TestModuleEntrypoint:
         )
         assert proc.returncode == 0
         assert "GekkoFS" in proc.stdout
+
+
+class TestObservabilityCommands:
+    def test_trace_prints_summary_and_validates(self, capsys):
+        assert main(
+            ["trace", "--nodes", "2", "--procs", "2",
+             "--transfer-size", "16k", "--block-size", "64k"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "client spans" in out
+        assert "daemon spans" in out
+        assert "ERROR" not in out
+
+    def test_trace_writes_round_trippable_json(self, capsys, tmp_path):
+        from repro.telemetry.spans import parse_chrome_trace
+
+        out_file = tmp_path / "trace.json"
+        assert main(
+            ["trace", "--nodes", "2", "--procs", "2", "--shared-file",
+             "--transfer-size", "16k", "--block-size", "64k",
+             "--out", str(out_file)]
+        ) == 0
+        spans, _events = parse_chrome_trace(out_file.read_text())
+        assert any(s.cat == "client" for s in spans)
+        assert any(s.cat == "daemon" for s in spans)
+
+    def test_trace_timeline(self, capsys):
+        assert main(
+            ["trace", "--nodes", "2", "--procs", "1", "--timeline",
+             "--timeline-rows", "10",
+             "--transfer-size", "16k", "--block-size", "32k"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pwrite" in out
+
+    def test_metrics_balance_report(self, capsys):
+        assert main(
+            ["metrics", "--nodes", "4", "--procs", "4",
+             "--transfer-size", "16k", "--block-size", "128k"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chunk writes" in out
+        assert "gini" in out
+        assert "storage.write_ops" in out
+
+    def test_metrics_json_dump(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "metrics.json"
+        assert main(
+            ["metrics", "--nodes", "2", "--procs", "2",
+             "--transfer-size", "16k", "--block-size", "64k",
+             "--out", str(out_file)]
+        ) == 0
+        payload = json.loads(out_file.read_text())
+        assert "per_daemon" in payload and "cluster" in payload
+        assert payload["daemons"] == 2

@@ -1,0 +1,178 @@
+"""MetricsRegistry, snapshot merging, and histogram wire-state transport."""
+
+import math
+import threading
+
+import pytest
+
+from repro.telemetry.histogram import LatencyHistogram
+from repro.telemetry.metrics import MetricsRegistry, merge_snapshots
+
+
+class TestCounters:
+    def test_inc_creates_and_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 4)
+        assert registry.counter("a") == 5
+        assert registry.counter("missing") == 0
+
+    def test_thread_safety(self):
+        registry = MetricsRegistry()
+
+        def spin():
+            for _ in range(1000):
+                registry.inc("n")
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("n") == 4000
+
+
+class TestGauges:
+    def test_gauge_evaluated_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        state = {"v": 1}
+        registry.gauge("g", lambda: state["v"])
+        assert registry.snapshot()["gauges"]["g"] == 1
+        state["v"] = 7
+        assert registry.snapshot()["gauges"]["g"] == 7
+        assert registry.gauge_value("g") == 7
+
+    def test_unknown_gauge_raises(self):
+        with pytest.raises(KeyError):
+            MetricsRegistry().gauge_value("nope")
+
+
+class TestHistograms:
+    def test_observe_creates_lazily(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.001)
+        registry.observe("lat", 0.003)
+        hist = registry.histogram("lat")
+        assert hist.count == 2
+        assert registry.histogram("other") is None
+
+    def test_snapshot_carries_wire_state(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.002)
+        state = registry.snapshot()["histograms"]["lat"]
+        rebuilt = LatencyHistogram.from_state(state)
+        assert rebuilt.count == 1
+        assert rebuilt.min == rebuilt.max == 0.002
+
+
+class TestNamesAndSnapshot:
+    def test_names_enumerates_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.inc("c.x")
+        registry.gauge("g.y", lambda: 0)
+        registry.observe("h.z", 0.001)
+        assert registry.names() == ["c.x", "g.y", "h.z"]
+
+    def test_snapshot_is_plain_json_types(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.gauge("g", lambda: 3)
+        registry.observe("h", 0.001)
+        json.dumps(registry.snapshot())  # must not raise
+
+
+class TestMergeSnapshots:
+    def test_counters_and_gauges_sum(self):
+        a = {"counters": {"x": 1}, "gauges": {"y": 2.0}, "histograms": {}}
+        b = {"counters": {"x": 3, "z": 1}, "gauges": {"y": 5.0}, "histograms": {}}
+        merged = merge_snapshots([a, b])
+        assert merged["counters"] == {"x": 4, "z": 1}
+        assert merged["gauges"] == {"y": 7.0}
+
+    def test_histograms_merge_via_wire_state(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.observe("lat", 0.001)
+        r2.observe("lat", 0.004)
+        merged = merge_snapshots([r1.snapshot(), r2.snapshot()])
+        summary = merged["histograms"]["lat"]
+        assert summary["count"] == 2
+        assert summary["min"] == 0.001
+        assert summary["max"] == 0.004
+
+    def test_empty_input(self):
+        merged = merge_snapshots([])
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestHistogramEdgeCases:
+    """Satellite: empty percentiles, merge, single-sample exactness."""
+
+    def test_empty_percentile_raises_clear_error(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError, match="empty histogram"):
+            hist.percentile(50)
+        with pytest.raises(ValueError, match="empty histogram"):
+            _ = hist.mean
+
+    def test_single_sample_exact_min_max_percentiles(self):
+        hist = LatencyHistogram()
+        hist.record(0.00123)
+        # Any percentile of one sample is that sample, exactly — no
+        # bucket-interpolation fuzz.
+        for p in (1, 50, 99, 100):
+            assert hist.percentile(p) == 0.00123
+        assert hist.min == hist.max == 0.00123
+
+    def test_merge_aggregates_cluster_histograms(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record_many([0.001, 0.002])
+        b.record_many([0.004, 0.008])
+        a.merge(b)
+        assert a.count == 4
+        assert a.min == 0.001
+        assert a.max == 0.008
+        assert a.mean == pytest.approx(0.00375)
+
+    def test_merge_empty_is_noop(self):
+        a = LatencyHistogram()
+        a.record(0.002)
+        a.merge(LatencyHistogram())
+        assert a.count == 1
+        assert a.min == 0.002 and a.max == 0.002
+        # And merging INTO an empty histogram adopts the other side's
+        # extrema instead of keeping the inf/0 sentinels.
+        c = LatencyHistogram()
+        c.merge(a)
+        assert c.min == 0.002 and c.max == 0.002
+
+    def test_wire_state_round_trip(self):
+        hist = LatencyHistogram()
+        hist.record_many([0.0001, 0.001, 0.05])
+        rebuilt = LatencyHistogram.from_state(hist.to_state())
+        assert rebuilt.count == hist.count
+        assert rebuilt.min == hist.min
+        assert rebuilt.max == hist.max
+        assert rebuilt.percentile(50) == hist.percentile(50)
+        assert rebuilt.summary() == hist.summary()
+
+    def test_wire_state_empty_round_trip(self):
+        rebuilt = LatencyHistogram.from_state(LatencyHistogram().to_state())
+        assert rebuilt.count == 0
+        assert rebuilt.min == math.inf
+
+    def test_wire_state_is_sparse_and_json(self):
+        import json
+
+        hist = LatencyHistogram()
+        hist.record(0.001)
+        state = hist.to_state()
+        assert len(state["buckets"]) == 1
+        json.dumps(state)
+
+    def test_from_state_rejects_bad_bucket_index(self):
+        with pytest.raises(ValueError, match="out of range"):
+            LatencyHistogram.from_state(
+                {"count": 1, "total": 1.0, "min": 1.0, "max": 1.0, "buckets": [[999, 1]]}
+            )
