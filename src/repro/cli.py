@@ -92,6 +92,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_smoke_workload_args(p)
     p.add_argument("--out", default=None, help="write the metrics report JSON here")
+
+    p = sub.add_parser(
+        "overload",
+        help="QoS demo: one victim client vs greedy neighbours on a QoS "
+        "deployment; print the per-client share table",
+    )
+    p.add_argument("--greedy", type=int, default=8, help="greedy client count")
+    p.add_argument("--greedy-depth", type=int, default=32, help="RPCs each greedy client keeps in flight")
+    p.add_argument("--victim-depth", type=int, default=4, help="RPCs the victim keeps in flight")
+    p.add_argument("--duration", type=float, default=0.5, help="measurement seconds")
+    p.add_argument(
+        "--victim-weight",
+        type=float,
+        default=None,
+        help="WFQ weight for the victim (default: equal weights)",
+    )
     return parser
 
 
@@ -382,6 +398,91 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    """Live fairness demo on a single-daemon QoS deployment.
+
+    Self-refilling RPC pumps keep every client continuously backlogged
+    (the victim shallow, the greedy deep), so the share table directly
+    shows the scheduling discipline: with WFQ each client's ops land
+    near 1.0x fair share regardless of queue depth — and a
+    ``--victim-weight`` of 2 gives the victim twice the others' service.
+    """
+    import threading
+    import time
+
+    weights = {0: args.victim_weight} if args.victim_weight is not None else None
+    config = FSConfig(
+        qos_enabled=True,
+        qos_meta_workers=1,
+        qos_queue_limit=4096,
+        qos_window_enabled=False,
+        qos_client_weights=weights,
+    )
+    depths = [args.victim_depth] + [args.greedy_depth] * args.greedy
+    with GekkoFSCluster(1, config) as cluster:
+        ports = [cluster.client().network for _ in depths]  # victim is client 0
+        outstanding = list(depths)
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def pump(index: int, port):
+            def on_done(_fut) -> None:
+                with lock:
+                    if stop.is_set():
+                        outstanding[index] -= 1
+                        return
+                issue()
+
+            def issue() -> None:
+                port.call_async(0, "gkfs_statfs").add_done_callback(on_done)
+
+            return issue
+
+        for i, port in enumerate(ports):
+            issue = pump(i, port)
+            for _ in range(depths[i]):
+                issue()
+        time.sleep(args.duration)
+        stop.set()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            with lock:
+                if not any(outstanding):
+                    break
+            time.sleep(0.005)
+        shares = cluster.client_shares()
+
+    if not shares:
+        print("ERROR: no shares recorded (QoS accounting missing)")
+        return 1
+    total_ops = sum(share["ops"] for share in shares.values())
+    fair = total_ops / len(shares)
+    rows = []
+    for client in sorted(shares):
+        share = shares[client]
+        rows.append(
+            [
+                "victim" if client == 0 else f"greedy-{client}",
+                str(depths[client]),
+                f"{share['ops']:,}",
+                f"{share['bytes']:,}",
+                f"{share['ops'] / fair:.2f}x",
+            ]
+        )
+    weight_note = (
+        f", victim weight {args.victim_weight}" if args.victim_weight is not None else ""
+    )
+    print(
+        render_table(
+            ["client", "in-flight", "ops served", "bytes moved", "share vs fair"],
+            rows,
+            title=f"QoS shares: {args.greedy} greedy vs 1 victim, "
+            f"{args.duration:.1f}s{weight_note}",
+        )
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
@@ -404,4 +505,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "overload":
+        return _cmd_overload(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -23,6 +23,7 @@ __all__ = [
     "InvalidArgumentError",
     "UnsupportedError",
     "DaemonUnavailableError",
+    "AgainError",
     "error_from_errno",
 ]
 
@@ -107,6 +108,30 @@ class DaemonUnavailableError(GekkoError):
     errno = _errno.EIO
 
 
+class AgainError(GekkoError):
+    """Resource temporarily unavailable — retry later (EAGAIN).
+
+    Raised by a daemon's admission controller when a queue is over its
+    configured depth limit or a tenant has exhausted its rate budget.
+    Unlike every other error in this module it is *retryable by
+    contract*: the request was never executed, so reissuing it is always
+    safe.  ``retry_after`` is the server's hint (seconds) for when
+    capacity is expected; ``None`` means "immediately, at the client's
+    discretion".
+
+    Crossing the wire, ``retry_after`` rides alongside the errno in the
+    response envelope — a throttle is a *successful delivery* of an
+    unsuccessful admission, so it must never be confused with the
+    delivery failures the circuit breaker counts.
+    """
+
+    errno = _errno.EAGAIN
+
+    def __init__(self, message: str = "", retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 _BY_ERRNO = {
     cls.errno: cls
     for cls in (
@@ -118,18 +143,23 @@ _BY_ERRNO = {
         BadFileDescriptorError,
         InvalidArgumentError,
         UnsupportedError,
+        AgainError,
     )
 }
 
 
-def error_from_errno(code: int, message: str = "") -> GekkoError:
+def error_from_errno(
+    code: int, message: str = "", retry_after: float | None = None
+) -> GekkoError:
     """Reconstruct the concrete exception for ``code``.
 
     Used by the RPC layer to rehydrate a failure that crossed the wire as
-    ``(errno, message)``.  Unknown codes degrade to the base
-    :class:`GekkoError`.
+    ``(errno, message)`` — plus ``retry_after`` for EAGAIN throttles.
+    Unknown codes degrade to the base :class:`GekkoError`.
     """
     cls = _BY_ERRNO.get(code, GekkoError)
+    if cls is AgainError:
+        return AgainError(message, retry_after=retry_after)
     err = cls(message)
     err.errno = code
     return err

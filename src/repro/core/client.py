@@ -205,6 +205,17 @@ class GekkoFSClient:
         for field in ClientStats.__dataclass_fields__:
             registry.gauge(f"client.{field}", lambda f=field: getattr(self.stats, f))
         registry.gauge("client.degraded_events", lambda: len(self.degraded_events))
+        # Under QoS the network is a ClientPort carrying congestion-control
+        # counters; mirror them the same way so throttle behaviour shows up
+        # in every metrics report.  (getattr on the instance dict — the
+        # port's __getattr__ forwarding never fabricates this attribute.)
+        qos_stats = getattr(self.network, "qos_stats", None)
+        if qos_stats is not None:
+            registry.gauge("client.qos_throttles", lambda s=qos_stats: s.throttles)
+            registry.gauge("client.qos_giveups", lambda s=qos_stats: s.giveups)
+            registry.gauge(
+                "client.qos_throttle_wait", lambda s=qos_stats: s.throttle_wait
+            )
         return registry
 
     def _metadata_targets(self, rel: str) -> list[int]:

@@ -9,6 +9,7 @@ system whose lifetime is the job's (§I, §III).
 
 from __future__ import annotations
 
+import itertools
 import os
 import shutil
 from typing import TYPE_CHECKING, Callable, Optional
@@ -24,6 +25,7 @@ from repro.core.distributor import Distributor, SimpleHashDistributor
 from repro.core.fileobj import GekkoFile
 from repro.core.metadata import new_dir_metadata
 from repro.kvstore import LSMStore
+from repro.qos import ClientPort, ScheduledTransport
 from repro.rpc import (
     DaemonHealthTracker,
     InstrumentedTransport,
@@ -78,8 +80,25 @@ class GekkoFSCluster:
         if self.config.telemetry_enabled:
             self.trace_collector = TraceCollector()
             self.network.tracer = self.trace_collector
+        # Scheduling/QoS plane: when enabled, every daemon serves through
+        # an execution pool (meta/data lanes, WFQ, admission control) —
+        # itself a threaded transport, so it supersedes the plain
+        # ThreadedTransport rather than stacking on it.
+        self._scheduled_transport: Optional[ScheduledTransport] = None
         self._threaded_transport: Optional[ThreadedTransport] = None
-        if threaded:
+        self._client_ids = itertools.count()
+        if self.config.qos_enabled:
+            self._scheduled_transport = ScheduledTransport(
+                self.network.engine_table,
+                meta_workers=self.config.qos_meta_workers,
+                data_workers=self.config.qos_data_workers,
+                queue_limit=self.config.qos_queue_limit,
+                default_weight=self.config.qos_default_weight,
+                weights=self.config.qos_client_weights,
+                rate_limits=self.config.qos_rate_limits,
+            )
+            self.network.transport = self._scheduled_transport
+        elif threaded:
             self._threaded_transport = ThreadedTransport(
                 self.network.engine_table, handlers_per_daemon
             )
@@ -153,7 +172,14 @@ class GekkoFSCluster:
         else:
             storage = MemoryChunkStorage(self.config.chunk_size)
         daemon = GekkoDaemon(node, engine, self.config.chunk_size, kv=kv, storage=storage)
-        if self._threaded_transport is not None:
+        if self._scheduled_transport is not None:
+            scheduled = self._scheduled_transport
+            daemon.queue_depth_fn = lambda t=scheduled, n=node: t.queue_depth(n)
+            # Eagerly build + wire the pool so qos gauges/histograms are
+            # present in this daemon's registry from the first snapshot
+            # (and re-wired after a crash/restart rebuilds the daemon).
+            scheduled.attach(node, daemon.metrics, self.trace_collector)
+        elif self._threaded_transport is not None:
             transport = self._threaded_transport
             daemon.queue_depth_fn = lambda t=transport, n=node: t.queue_depth(n)
         if self.trace_collector is not None:
@@ -178,10 +204,27 @@ class GekkoFSCluster:
     # -- client factory -----------------------------------------------------
 
     def client(self, node_id: int = 0) -> GekkoFSClient:
-        """A client as it would run on ``node_id`` (any process on any node)."""
+        """A client as it would run on ``node_id`` (any process on any node).
+
+        With QoS enabled each client gets its own
+        :class:`~repro.qos.window.ClientPort` — a unique identity for
+        daemon-side fair-share accounting plus the per-daemon AIMD
+        window and throttle retry; otherwise the client holds the
+        shared network directly (the legacy zero-overhead path).
+        """
         if not 0 <= node_id < self.num_nodes:
             raise ValueError(f"node_id {node_id} out of range [0, {self.num_nodes})")
-        return GekkoFSClient(self.network, self.distributor, self.config, node_id)
+        network = self.network
+        if self._scheduled_transport is not None:
+            network = ClientPort(
+                self.network,
+                next(self._client_ids),
+                window_enabled=self.config.qos_window_enabled,
+                window_initial=self.config.qos_window_initial,
+                window_max=self.config.qos_window_max,
+                throttle_retries=self.config.qos_throttle_retries,
+            )
+        return GekkoFSClient(network, self.distributor, self.config, node_id)
 
     def open_file(self, path: str, mode: str = "rb", node_id: int = 0) -> GekkoFile:
         """One-shot pythonic open through a fresh client."""
@@ -337,6 +380,24 @@ class GekkoFSCluster:
         broadcast (see :meth:`repro.core.client.GekkoFSClient.metrics`)."""
         return self.client(node_id).metrics()
 
+    def client_shares(self) -> dict:
+        """Per-client service totals across every daemon's QoS pool.
+
+        ``{client: {"ops": n, "bytes": n}}`` folded over the deployment;
+        empty when QoS is off (no pools, no accounting).
+        """
+        totals: dict = {}
+        if self._scheduled_transport is None:
+            return totals
+        for daemon in self.live_daemons():
+            for client, share in self._scheduled_transport.client_shares(
+                daemon.address
+            ).items():
+                entry = totals.setdefault(client, {"ops": 0, "bytes": 0})
+                entry["ops"] += share["ops"]
+                entry["bytes"] += share["bytes"]
+        return totals
+
     def used_bytes(self) -> int:
         return sum(d.storage.used_bytes() for d in self.live_daemons())
 
@@ -357,6 +418,8 @@ class GekkoFSCluster:
         """
         if not self._running:
             return
+        if self._scheduled_transport is not None:
+            self._scheduled_transport.shutdown()  # drain in-flight RPCs first
         if self._threaded_transport is not None:
             self._threaded_transport.shutdown()  # drain in-flight RPCs first
         for daemon in self.daemons:

@@ -71,6 +71,33 @@ class FSConfig:
         (:class:`~repro.common.errors.DaemonUnavailableError`) instead
         of raw transport exceptions.  Off = the paper's behaviour: any
         dead daemon is loudly fatal to every operation touching it.
+    :ivar qos_enabled: the request-scheduling/QoS plane.  Daemon side:
+        every daemon serves RPCs through an execution pool with separate
+        metadata and data lanes (the paper's dedicated Argobots streams,
+        §III-C), weighted-fair queueing between clients, queue-depth
+        admission control (over-limit arrivals answered with retryable
+        ``EAGAIN`` + ``retry_after``), and optional per-tenant rate
+        caps.  Client side: per-daemon AIMD in-flight windows plus
+        transparent throttle retry.  Off by default ⇒ the legacy
+        dispatch-immediately behaviour, with zero code on the hot path.
+    :ivar qos_meta_workers: metadata-lane workers per daemon.
+    :ivar qos_data_workers: data-lane workers per daemon.
+    :ivar qos_queue_limit: per-lane backlog bound; arrivals beyond it
+        are throttled instead of queued.
+    :ivar qos_default_weight: WFQ weight for clients without an explicit
+        entry in ``qos_client_weights``.
+    :ivar qos_client_weights: optional ``{client_id: weight}`` map — a
+        weight-2 client gets twice the service of a weight-1 client
+        while both are backlogged.
+    :ivar qos_rate_limits: optional ``{client_id: ops_per_second}`` hard
+        caps enforced per daemon by token bucket (the "cap a noisy
+        tenant" knob).
+    :ivar qos_window_enabled: enforce the client-side AIMD window
+        (identity stamping and throttle retries stay on regardless).
+    :ivar qos_window_initial: starting in-flight window per daemon.
+    :ivar qos_window_max: window growth ceiling per daemon.
+    :ivar qos_throttle_retries: throttles absorbed per logical request
+        before ``EAGAIN`` surfaces to the application.
     :ivar telemetry_enabled: the observability plane — distributed
         request tracing (client-op spans, RPC-carried request ids,
         daemon handler spans) plus per-handler latency histograms in
@@ -103,6 +130,17 @@ class FSConfig:
     breaker_failure_threshold: int = 3
     breaker_cooldown: float = 0.25
     degraded_mode: bool = False
+    qos_enabled: bool = False
+    qos_meta_workers: int = 2
+    qos_data_workers: int = 2
+    qos_queue_limit: int = 256
+    qos_default_weight: float = 1.0
+    qos_client_weights: Optional[dict] = None
+    qos_rate_limits: Optional[dict] = None
+    qos_window_enabled: bool = True
+    qos_window_initial: int = 8
+    qos_window_max: int = 64
+    qos_throttle_retries: int = 16
     telemetry_enabled: bool = False
     passthrough_enabled: bool = True
     kv_dir: Optional[str] = None
@@ -135,6 +173,29 @@ class FSConfig:
             )
         if self.breaker_cooldown < 0:
             raise ValueError(f"breaker_cooldown must be >= 0, got {self.breaker_cooldown}")
+        if self.qos_meta_workers < 1 or self.qos_data_workers < 1:
+            raise ValueError("qos lane worker counts must be >= 1")
+        if self.qos_queue_limit < 1:
+            raise ValueError(f"qos_queue_limit must be >= 1, got {self.qos_queue_limit}")
+        if self.qos_default_weight <= 0:
+            raise ValueError(
+                f"qos_default_weight must be > 0, got {self.qos_default_weight}"
+            )
+        for client, weight in (self.qos_client_weights or {}).items():
+            if weight <= 0:
+                raise ValueError(f"qos weight for client {client!r} must be > 0")
+        for client, rate in (self.qos_rate_limits or {}).items():
+            if rate <= 0:
+                raise ValueError(f"qos rate limit for client {client!r} must be > 0")
+        if not 1 <= self.qos_window_initial <= self.qos_window_max:
+            raise ValueError(
+                f"need 1 <= qos_window_initial <= qos_window_max, "
+                f"got {self.qos_window_initial}/{self.qos_window_max}"
+            )
+        if self.qos_throttle_retries < 1:
+            raise ValueError(
+                f"qos_throttle_retries must be >= 1, got {self.qos_throttle_retries}"
+            )
         if self.data_cache_enabled and self.data_cache_bytes < self.chunk_size:
             raise ValueError(
                 f"data_cache_bytes ({self.data_cache_bytes}) must hold at least "

@@ -28,7 +28,7 @@ from repro.rpc import BulkHandle, RpcEngine
 from repro.storage import ChunkStorage, MemoryChunkStorage
 from repro.telemetry.metrics import MetricsRegistry
 
-__all__ = ["GekkoDaemon", "HANDLER_NAMES"]
+__all__ = ["GekkoDaemon", "HANDLER_NAMES", "DATA_HANDLER_NAMES"]
 
 #: Every RPC a daemon serves; clients assert this set at mount time, the
 #: way GekkoFS validates its hosts file.
@@ -48,6 +48,15 @@ HANDLER_NAMES = (
     "gkfs_truncate_chunks",
     "gkfs_statfs",
     "gkfs_metrics",
+)
+
+#: Handlers that move chunk payloads.  The QoS plane routes these onto a
+#: daemon's dedicated *data* execution lane (the paper's separate
+#: Argobots streams for bulk I/O); everything else — metadata, listings,
+#: introspection — shares the *meta* lane, so a data flood cannot starve
+#: a stat.
+DATA_HANDLER_NAMES = frozenset(
+    {"gkfs_write_chunk", "gkfs_write_chunks", "gkfs_read_chunk", "gkfs_read_chunks"}
 )
 
 

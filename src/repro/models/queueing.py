@@ -16,7 +16,13 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["mmc_wait_time", "closed_network_throughput"]
+__all__ = [
+    "mmc_wait_time",
+    "closed_network_throughput",
+    "mmck_metrics",
+    "weighted_fair_shares",
+    "saturation_curve",
+]
 
 
 def mmc_wait_time(arrival_rate: float, service_time: float, servers: int) -> float:
@@ -72,3 +78,128 @@ def closed_network_throughput(
             return x_next
         x = x_next
     return x
+
+
+def mmck_metrics(
+    arrival_rate: float, service_time: float, servers: int, queue_limit: int
+) -> dict:
+    """Exact M/M/c/K metrics — the analytic twin of one QoS lane.
+
+    A lane with ``servers`` workers and a ``queue_limit``-deep backlog is
+    an M/M/c/K station with K = servers + queue_limit total places:
+    arrivals finding the backlog full are *blocked* (answered EAGAIN),
+    everything admitted eventually gets served.  Unlike the open M/M/c,
+    the finite buffer keeps every quantity defined at any offered load —
+    the model's core prediction is the saturation *plateau*: as offered
+    load passes capacity, accepted throughput flattens at
+    ``servers/service_time`` instead of collapsing, with the excess
+    surfacing as blocking probability.
+
+    Returns ``{"blocking_probability", "accepted_rate", "mean_wait",
+    "mean_queue_depth", "utilization"}`` (wait = queueing delay of an
+    *accepted* request, excluding service).
+    """
+    if arrival_rate < 0 or service_time <= 0 or servers <= 0 or queue_limit < 0:
+        raise ValueError(
+            "arrival_rate >= 0, service_time > 0, servers > 0, queue_limit >= 0 required"
+        )
+    if arrival_rate == 0.0:
+        return {
+            "blocking_probability": 0.0,
+            "accepted_rate": 0.0,
+            "mean_wait": 0.0,
+            "mean_queue_depth": 0.0,
+            "utilization": 0.0,
+        }
+    a = arrival_rate * service_time  # offered load in Erlangs
+    places = servers + queue_limit  # K: in service + queued
+    # State probabilities p_n ∝ a^n/n! (n <= c), a^c/c! * (a/c)^(n-c) (n > c),
+    # built as unnormalised terms relative to p_0 in log-safe recurrences.
+    terms = [1.0]
+    for n in range(1, places + 1):
+        prev = terms[-1]
+        divisor = n if n <= servers else servers
+        terms.append(prev * a / divisor)
+    norm = sum(terms)
+    p = [t / norm for t in terms]
+    blocking = p[places]
+    accepted = arrival_rate * (1.0 - blocking)
+    queue_depth = sum((n - servers) * p[n] for n in range(servers + 1, places + 1))
+    busy = sum(min(n, servers) * p[n] for n in range(places + 1))
+    mean_wait = queue_depth / accepted if accepted > 0 else 0.0  # Little's law
+    return {
+        "blocking_probability": blocking,
+        "accepted_rate": accepted,
+        "mean_wait": mean_wait,
+        "mean_queue_depth": queue_depth,
+        "utilization": busy / servers,
+    }
+
+
+def weighted_fair_shares(
+    capacity: float, demands: dict, weights: dict | None = None
+) -> dict:
+    """Water-filling allocation of ``capacity`` across weighted clients.
+
+    The fluid model of the WFQ dispatcher: every backlogged client gets
+    service proportional to its weight, but a client demanding less than
+    its proportional share only takes what it asks for, and the surplus
+    is re-divided among the still-constrained clients (again by weight).
+    This is the max-min fair / water-filling fixed point — the reference
+    the EXT-OVERLOAD victim-share check compares measured shares against.
+
+    :param capacity: total service rate to divide (ops/s, bytes/s, ...).
+    :param demands: ``{client: offered_rate}``.
+    :param weights: optional ``{client: weight}`` (default 1.0 each).
+    :returns: ``{client: allocated_rate}``.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    for client, demand in demands.items():
+        if demand < 0:
+            raise ValueError(f"demand for {client!r} must be >= 0")
+    weights = weights or {}
+    shares = {client: 0.0 for client in demands}
+    remaining = capacity
+    active = {c for c, d in demands.items() if d > 0}
+    while active and remaining > 1e-15:
+        total_weight = sum(weights.get(c, 1.0) for c in active)
+        # Fill every active client up to its weighted slice; clients whose
+        # demand sits below the water line are satisfied and drop out,
+        # freeing their surplus for the next round.
+        satisfied = set()
+        for client in active:
+            slice_ = remaining * weights.get(client, 1.0) / total_weight
+            if demands[client] - shares[client] <= slice_ + 1e-15:
+                satisfied.add(client)
+        if not satisfied:
+            for client in active:
+                shares[client] += remaining * weights.get(client, 1.0) / total_weight
+            return shares
+        for client in satisfied:
+            grant = demands[client] - shares[client]
+            shares[client] = demands[client]
+            remaining -= grant
+            active.discard(client)
+    return shares
+
+
+def saturation_curve(
+    offered_rates: list,
+    service_time: float,
+    servers: int,
+    queue_limit: int,
+) -> list:
+    """Accepted-throughput curve over a sweep of offered loads.
+
+    One :func:`mmck_metrics` evaluation per offered rate — the analytic
+    shape EXT-OVERLOAD's measured curve is compared against: linear
+    while unsaturated, then a plateau at ``servers/service_time`` with
+    blocking absorbing the excess (no congestion collapse).
+
+    :returns: ``[{"offered": r, **mmck_metrics(...)}, ...]``.
+    """
+    return [
+        {"offered": rate, **mmck_metrics(rate, service_time, servers, queue_limit)}
+        for rate in offered_rates
+    ]

@@ -1,0 +1,79 @@
+"""Admission control primitives: token buckets for tenant rate caps.
+
+Queue-depth admission (the "is this lane already over its limit?"
+check) lives in the execution pool, where the depth is known under the
+lane lock.  What this module provides is the *policy* half: a classic
+token bucket per capped tenant, so a deployment can say "client 7 gets
+at most 200 ops/s" and have the daemon side enforce it regardless of
+which daemon the requests land on.
+
+A bucket never sleeps and never rejects by itself — ``try_acquire``
+either debits a token and returns 0.0, or leaves state untouched and
+returns the seconds until enough tokens will have accrued.  The caller
+(the pool's admission step) turns a positive return into an EAGAIN
+throttle whose ``retry_after`` is exactly that figure, so a
+well-behaved client sleeps just long enough instead of guessing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Tokens accrue at ``rate`` per second up to ``burst``; ops debit one.
+
+    :param rate: sustained operations per second this bucket allows.
+    :param burst: bucket capacity — how many ops may pass back-to-back
+        after an idle period.  Defaults to one second's worth of rate
+        (at least 1), the conventional choice.
+    :param clock: injectable monotonic clock (tests drive it manually).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def try_acquire(self, amount: float = 1.0) -> float:
+        """Debit ``amount`` tokens if available.
+
+        Returns 0.0 on success, otherwise the seconds until the bucket
+        will hold ``amount`` tokens (the throttle's ``retry_after``
+        hint).  Nothing is debited on refusal.
+        """
+        if amount <= 0:
+            raise ValueError(f"amount must be > 0, got {amount}")
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+            self._stamp = now
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return 0.0
+            return (amount - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current token level (accrual applied), for introspection."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+            self._stamp = now
+            return self._tokens

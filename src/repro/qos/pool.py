@@ -1,0 +1,454 @@
+"""Daemon-side request scheduling: execution pools behind every engine.
+
+The paper's daemons serve RPCs on dedicated Argobots execution streams
+(§III-C) — a fixed set of workers per daemon, with Mercury queueing
+arrivals in front of them.  The reproduction's
+:class:`~repro.rpc.threaded.ThreadedTransport` has the workers but only
+a FIFO in front: no fairness between clients, no admission control, no
+lane separation.  This module puts an explicit scheduler in that gap.
+
+Each daemon gets one :class:`ExecutionPool` holding two **lanes** —
+``meta`` and ``data`` — mirroring GekkoFS's practice of keeping
+metadata service responsive while bulk I/O saturates the data streams.
+Every lane is a bounded worker set fed by a
+:class:`~repro.qos.wfq.WeightedFairQueue`, with admission control at
+the enqueue edge:
+
+* **queue-depth limit** — a lane whose backlog is at its limit rejects
+  the arrival with an EAGAIN throttle (``retry_after`` estimated from
+  the lane's service-time EWMA), so overload surfaces as bounded,
+  retryable pushback instead of unbounded queue growth;
+* **token-bucket rate caps** — optional per-tenant ops/s ceilings
+  enforced before the queue, so a capped tenant cannot displace others
+  even while the lane has room.
+
+A throttle is a *successful delivery* of an unsuccessful admission: it
+is completed onto the request's future as a normal
+:class:`~repro.rpc.message.RpcResponse` carrying EAGAIN, never as a
+transport exception — which is what keeps the client-side circuit
+breaker blind to backpressure by construction.
+
+:class:`ScheduledTransport` is the drop-in transport hosting one pool
+per daemon; it mirrors :class:`~repro.rpc.threaded.ThreadedTransport`'s
+lifecycle exactly (lazy pool creation, stale-pool retirement on daemon
+crash/restart, drain-then-stop shutdown).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Hashable, Mapping, Optional, TYPE_CHECKING
+
+from repro.core.daemon import DATA_HANDLER_NAMES
+from repro.qos.admission import TokenBucket
+from repro.qos.wfq import WeightedFairQueue
+from repro.rpc.future import RpcFuture
+from repro.rpc.message import RpcRequest, RpcResponse
+from repro.rpc.transport import Transport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rpc.engine import RpcEngine
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.spans import TraceCollector
+
+__all__ = ["META_LANE", "DATA_LANE", "ExecutionPool", "ScheduledTransport"]
+
+META_LANE = "meta"
+DATA_LANE = "data"
+
+#: retry_after hints are clamped to this window: long enough that a
+#: retry is not an immediate re-collision, short enough that a waiting
+#: client never parks for a humanly-noticeable pause on a hiccup.
+_MIN_RETRY_AFTER = 1e-4
+_MAX_RETRY_AFTER = 0.05
+#: Initial per-lane service-time estimate (seconds) before any request
+#: has been measured; a few hundred microseconds matches an in-memory
+#: handler.
+_EWMA_SEED = 2e-4
+#: EWMA smoothing: new = (1-a)*old + a*sample.
+_EWMA_ALPHA = 0.2
+
+#: Accounting key for requests that carry no client id (a raw network
+#: user, or a deployment mixing ported and un-ported clients).
+ANON = "anon"
+
+
+class _Lane:
+    """One execution lane: workers draining a weighted-fair queue.
+
+    All queue state (the WFQ, depth, tag state, counters) is guarded by
+    ``_lock``; handler execution runs outside it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pool: "ExecutionPool",
+        workers: int,
+        queue_limit: int,
+        wfq: WeightedFairQueue,
+    ):
+        self.name = name
+        self.pool = pool
+        self.queue_limit = queue_limit
+        self.wfq = wfq
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._stopped = False
+        self.throttled_queue = 0
+        self.throttled_rate = 0
+        self.served = 0
+        self.service_ewma = _EWMA_SEED
+        # Live histograms from the daemon's registry once attached.
+        self.wait_hist = None
+        self.depth_hist = None
+        self.threads = [
+            threading.Thread(
+                target=self._worker,
+                daemon=True,
+                name=f"gkfs-qos-d{pool.engine.address}-{name}{i}",
+            )
+            for i in range(workers)
+        ]
+        self.workers = workers
+        for thread in self.threads:
+            thread.start()
+
+    @property
+    def depth(self) -> int:
+        return len(self.wfq)
+
+    def submit(self, client: Hashable, request: RpcRequest, future: RpcFuture) -> None:
+        """Admit or throttle one arrival; never blocks on the queue."""
+        pool = self.pool
+        with self._lock:
+            if self._stopped:
+                raise RuntimeError("execution pool already stopped")
+            depth = len(self.wfq)
+            if depth >= self.queue_limit:
+                self.throttled_queue += 1
+                hint = self._retry_hint(depth)
+                throttle = RpcResponse.throttled(
+                    f"daemon {pool.engine.address} {self.name} lane at "
+                    f"queue limit {self.queue_limit}",
+                    retry_after=hint,
+                )
+            else:
+                wait = pool.rate_check(client)
+                if wait > 0.0:
+                    self.throttled_rate += 1
+                    throttle = RpcResponse.throttled(
+                        f"client {client} over its rate cap on daemon "
+                        f"{pool.engine.address}",
+                        retry_after=wait,
+                    )
+                else:
+                    cost = float(request.wire_size)
+                    self.wfq.push(client, cost, (request, future, pool.clock()))
+                    if self.depth_hist is not None:
+                        self.depth_hist.record(depth + 1)
+                    self._cond.notify()
+                    return
+        # Rejection path, outside the lane lock: complete the future with
+        # the throttle response (a delivered EAGAIN, not a failure) and
+        # let telemetry see the event.
+        pool.note_throttle(self.name, client, throttle.error)
+        future.set_result(throttle)
+
+    def _retry_hint(self, depth: int) -> float:
+        """Expected time for the backlog to drain past the limit."""
+        hint = self.service_ewma * depth / max(1, self.workers)
+        return min(_MAX_RETRY_AFTER, max(_MIN_RETRY_AFTER, hint))
+
+    def _worker(self) -> None:
+        pool = self.pool
+        engine = pool.engine
+        clock = pool.clock
+        while True:
+            with self._lock:
+                while not self.wfq and not self._stopped:
+                    self._cond.wait()
+                if not self.wfq:
+                    return  # stopped and drained
+                client, (request, future, enqueued) = self.wfq.pop()
+            started = clock()
+            if self.wait_hist is not None:
+                self.wait_hist.record(started - enqueued)
+            try:
+                response = engine.handle(request)
+            except BaseException as exc:  # transported to the caller
+                future.set_exception(exc)
+                continue
+            elapsed = clock() - started
+            # Unlocked EWMA/counter updates: same GIL-level tolerance as
+            # the engine's own calls_served accounting.
+            self.service_ewma += _EWMA_ALPHA * (elapsed - self.service_ewma)
+            self.served += 1
+            pool.account(client, request, response)
+            future.set_result(response)
+
+    def stop(self) -> None:
+        """Stop workers after the queued backlog is fully served."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            self._cond.notify_all()
+        for thread in self.threads:
+            thread.join()
+
+
+class ExecutionPool:
+    """Both lanes of one daemon, plus per-client share accounting.
+
+    :param engine: the daemon's RPC engine (requests are served by
+        calling ``engine.handle`` from lane workers).
+    :param meta_workers: metadata-lane worker count.
+    :param data_workers: data-lane worker count.
+    :param queue_limit: per-lane backlog bound; arrivals beyond it are
+        throttled with EAGAIN.
+    :param default_weight: WFQ weight for clients without an entry in
+        ``weights``.
+    :param weights: optional per-client WFQ weight map.
+    :param rate_limits: optional per-client ops/s caps (token buckets).
+    :param clock: injectable monotonic clock for wait accounting.
+    """
+
+    def __init__(
+        self,
+        engine: "RpcEngine",
+        *,
+        meta_workers: int = 2,
+        data_workers: int = 2,
+        queue_limit: int = 256,
+        default_weight: float = 1.0,
+        weights: Optional[Mapping[Hashable, float]] = None,
+        rate_limits: Optional[Mapping[Hashable, float]] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if meta_workers <= 0 or data_workers <= 0:
+            raise ValueError("lane worker counts must be > 0")
+        if queue_limit <= 0:
+            raise ValueError(f"queue_limit must be > 0, got {queue_limit}")
+        self.engine = engine
+        self.clock = clock
+        self._buckets = {
+            client: TokenBucket(rate) for client, rate in (rate_limits or {}).items()
+        }
+        self.lanes = {
+            META_LANE: _Lane(
+                META_LANE, self, meta_workers, queue_limit,
+                WeightedFairQueue(default_weight, weights),
+            ),
+            DATA_LANE: _Lane(
+                DATA_LANE, self, data_workers, queue_limit,
+                WeightedFairQueue(default_weight, weights),
+            ),
+        }
+        self._share_lock = threading.Lock()
+        self._shares: dict[Hashable, list] = {}  # client -> [ops, bytes]
+        self._metrics: "Optional[MetricsRegistry]" = None
+        self._collector: "Optional[TraceCollector]" = None
+
+    # -- dispatch ------------------------------------------------------------
+
+    def lane_for(self, handler: str) -> _Lane:
+        return self.lanes[DATA_LANE if handler in DATA_HANDLER_NAMES else META_LANE]
+
+    def submit(self, request: RpcRequest, future: RpcFuture) -> None:
+        client = request.client_id if request.client_id is not None else ANON
+        self.lane_for(request.handler).submit(client, request, future)
+
+    def queue_depth(self) -> int:
+        return sum(lane.depth for lane in self.lanes.values())
+
+    # -- admission helpers ---------------------------------------------------
+
+    def rate_check(self, client: Hashable) -> float:
+        """0.0 if ``client`` may proceed, else seconds until its bucket refills."""
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            return 0.0
+        return bucket.try_acquire()
+
+    def note_throttle(self, lane: str, client: Hashable, error) -> None:
+        if self._collector is not None:
+            self._collector.instant(
+                "qos.throttle",
+                "qos",
+                daemon=self.engine.address,
+                lane=lane,
+                client=client,
+                retry_after=error.retry_after,
+            )
+
+    # -- accounting ----------------------------------------------------------
+
+    def account(self, client: Hashable, request: RpcRequest, response: RpcResponse) -> None:
+        """Fold one served request into the per-client share ledger."""
+        moved = request.wire_size + response.bulk_bytes
+        with self._share_lock:
+            share = self._shares.get(client)
+            if share is None:
+                share = self._shares[client] = [0, 0]
+                if self._metrics is not None:
+                    self._register_share_gauges(client, share)
+            share[0] += 1
+            share[1] += moved
+
+    def _register_share_gauges(self, client: Hashable, share: list) -> None:
+        """Caller holds the share lock; gauge registration is idempotent."""
+        self._metrics.gauge(f"qos.client_ops.{client}", lambda s=share: s[0])
+        self._metrics.gauge(f"qos.client_bytes.{client}", lambda s=share: s[1])
+
+    def client_shares(self) -> dict:
+        """``{client: {"ops": n, "bytes": n}}`` served by this daemon."""
+        with self._share_lock:
+            return {
+                client: {"ops": share[0], "bytes": share[1]}
+                for client, share in self._shares.items()
+            }
+
+    # -- telemetry wiring ----------------------------------------------------
+
+    def attach(
+        self,
+        metrics: "MetricsRegistry",
+        collector: "Optional[TraceCollector]" = None,
+    ) -> None:
+        """Register this pool's gauges/histograms into the daemon registry.
+
+        Gauges mirror the pool's own counters (the registry's standard
+        pattern); wait/depth histograms are created in the registry so
+        they ride the ``gkfs_metrics`` broadcast and merge cluster-wide.
+        """
+        self._collector = collector
+        with self._share_lock:
+            self._metrics = metrics
+            for client, share in self._shares.items():
+                self._register_share_gauges(client, share)
+        for name, lane in self.lanes.items():
+            lane.wait_hist = metrics.histogram_for(f"qos.wait.{name}")
+            lane.depth_hist = metrics.histogram_for(f"qos.depth.{name}")
+            metrics.gauge(f"qos.queue_depth.{name}", lambda l=lane: l.depth)
+            metrics.gauge(f"qos.served.{name}", lambda l=lane: l.served)
+            metrics.gauge(
+                f"qos.throttles.{name}",
+                lambda l=lane: l.throttled_queue + l.throttled_rate,
+            )
+            metrics.gauge(f"qos.service_ewma.{name}", lambda l=lane: l.service_ewma)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop(self) -> None:
+        for lane in self.lanes.values():
+            lane.stop()
+
+
+class ScheduledTransport(Transport):
+    """Queue-per-daemon delivery through scheduled execution pools.
+
+    The QoS-enabled sibling of
+    :class:`~repro.rpc.threaded.ThreadedTransport`: same live engine
+    table, same lazy pool creation and stale-pool retirement across
+    daemon crash/restart, same drain-then-stop shutdown — but each
+    daemon's arrivals pass through WFQ dispatch and admission control
+    instead of a bare FIFO.
+
+    :param engines: live engine table, shared by reference with the
+        :class:`~repro.rpc.engine.RpcNetwork`.
+    :param pool_options: keyword arguments forwarded to every
+        :class:`ExecutionPool` (worker counts, queue limit, weights,
+        rate limits).
+    """
+
+    def __init__(self, engines: Mapping[int, "RpcEngine"], **pool_options):
+        self._engines = engines
+        self._pool_options = pool_options
+        self._pools: dict[int, ExecutionPool] = {}
+        self._attachments: dict[int, tuple] = {}
+        self._lock = threading.Lock()
+        self._stopped = False
+
+    def _pool_for(self, target: int) -> ExecutionPool:
+        stale: Optional[ExecutionPool] = None
+        try:
+            with self._lock:
+                if self._stopped:
+                    raise RuntimeError("transport already shut down")
+                try:
+                    engine = self._engines[target]
+                except KeyError:
+                    # Daemon gone from the live address book (crash-stop
+                    # or shrink): retire any pool built while it was
+                    # alive, so a later re-registration starts fresh.
+                    stale = self._pools.pop(target, None)
+                    raise LookupError(f"no daemon at address {target}") from None
+                pool = self._pools.get(target)
+                if pool is None or pool.engine is not engine:
+                    stale = pool
+                    pool = ExecutionPool(engine, **self._pool_options)
+                    attachment = self._attachments.get(target)
+                    if attachment is not None:
+                        pool.attach(*attachment)
+                    self._pools[target] = pool
+                return pool
+        finally:
+            if stale is not None:
+                stale.stop()
+
+    def attach(self, target: int, metrics, collector=None) -> None:
+        """Wire ``target``'s pool into its daemon's metrics registry.
+
+        Called by the cluster at daemon build time (and again on
+        restart, when the daemon gets a fresh registry); the attachment
+        is remembered so a pool recreated after a crash re-registers
+        itself without another call.
+        """
+        with self._lock:
+            self._attachments[target] = (metrics, collector)
+        if target in self._engines:
+            self._pool_for(target)
+
+    def queue_depth(self, target: int) -> int:
+        """Backlogged requests across ``target``'s lanes (0 if no pool)."""
+        with self._lock:
+            pool = self._pools.get(target)
+        return pool.queue_depth() if pool is not None else 0
+
+    def client_shares(self, target: int) -> dict:
+        """Per-client service ledger of ``target``'s pool ({} if none)."""
+        with self._lock:
+            pool = self._pools.get(target)
+        return pool.client_shares() if pool is not None else {}
+
+    def send(self, request: RpcRequest) -> RpcResponse:
+        return self.send_async(request).result()
+
+    def send_async(self, request: RpcRequest) -> RpcFuture:
+        """Schedule on the target's pool and return without parking."""
+        future = RpcFuture()
+        try:
+            pool = self._pool_for(request.target)
+            pool.submit(request, future)
+        except Exception as exc:  # dead/unknown daemon: fail the future
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self) -> None:
+        """Stop every pool; queued requests are served first."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            pool.stop()
+
+    def __enter__(self) -> "ScheduledTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

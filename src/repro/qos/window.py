@@ -1,0 +1,321 @@
+"""Client-side congestion control: AIMD in-flight windows per daemon.
+
+The pipelined client (PR 1) will happily put every chunk of a large
+write in flight at once; against a saturated daemon that just moves the
+queue from the client into the daemon and — with admission control on —
+turns into a throttle storm.  :class:`ClientPort` is the per-client
+gateway that closes the loop:
+
+* it stamps the client's identity into every request envelope (the
+  daemon-side WFQ accounts shares by it);
+* it bounds the requests this client keeps in flight *per daemon* with
+  an AIMD window — additive increase on every served request,
+  multiplicative decrease on every throttle — the TCP-congestion-style
+  probe that converges near each daemon's fair capacity;
+* it absorbs EAGAIN throttles transparently: sleep the server's
+  ``retry_after`` hint, reissue, and only surface the error after a
+  bounded number of rejections.
+
+A throttle is never a health signal: the daemon answered.  The retry
+loop here is therefore deliberately *above* the RetryingTransport /
+circuit-breaker layer, which continues to see throttles as successful
+deliveries.
+
+The port wraps the deployment's :class:`~repro.rpc.engine.RpcNetwork`
+and forwards everything it does not override, so
+:class:`~repro.core.client.GekkoFSClient` uses it unchanged.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.common.errors import AgainError
+from repro.rpc.future import RpcFuture
+
+__all__ = ["AimdWindow", "ClientPort", "ClientQosStats"]
+
+#: Upper bound on one throttle-retry sleep: retry_after hints are trusted
+#: but capped, so a confused server cannot park a client for seconds.
+_MAX_THROTTLE_SLEEP = 0.05
+#: Sleep used when a throttle carries no hint.
+_DEFAULT_THROTTLE_SLEEP = 1e-3
+
+
+class AimdWindow:
+    """Additive-increase / multiplicative-decrease in-flight window.
+
+    ``acquire`` blocks while the window is full; ``release`` frees the
+    slot.  ``grow`` (one served request) adds ``increase / window`` —
+    roughly +1 per window's worth of successes, TCP's congestion-
+    avoidance slope; ``shrink`` (one throttle) multiplies by
+    ``backoff``.  The window never drops below ``minimum`` so progress
+    is always possible, and never exceeds ``maximum`` so a long quiet
+    daemon cannot bank unbounded credit.
+    """
+
+    def __init__(
+        self,
+        initial: int = 8,
+        maximum: int = 64,
+        minimum: int = 1,
+        increase: float = 1.0,
+        backoff: float = 0.5,
+    ):
+        if not 1 <= minimum <= initial <= maximum:
+            raise ValueError(
+                f"need 1 <= minimum <= initial <= maximum, "
+                f"got {minimum}/{initial}/{maximum}"
+            )
+        if not 0 < backoff < 1:
+            raise ValueError(f"backoff must be in (0, 1), got {backoff}")
+        if increase <= 0:
+            raise ValueError(f"increase must be > 0, got {increase}")
+        self.minimum = minimum
+        self.maximum = maximum
+        self.increase = increase
+        self.backoff = backoff
+        self._window = float(initial)
+        self._inflight = 0
+        self._cond = threading.Condition()
+
+    @property
+    def window(self) -> int:
+        return int(self._window)
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def acquire(self, timeout: Optional[float] = None) -> bool:
+        """Claim one in-flight slot, blocking while the window is full."""
+        with self._cond:
+            if timeout is None:
+                while self._inflight >= int(self._window):
+                    self._cond.wait()
+            else:
+                deadline = time.monotonic() + timeout
+                while self._inflight >= int(self._window):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        """Free one slot (request left flight, whatever its outcome)."""
+        with self._cond:
+            self._inflight -= 1
+            self._cond.notify()
+
+    def grow(self) -> None:
+        """One request was served: additive increase."""
+        with self._cond:
+            if self._window < self.maximum:
+                self._window = min(
+                    float(self.maximum), self._window + self.increase / self._window
+                )
+                self._cond.notify()
+
+    def shrink(self) -> None:
+        """One request was throttled: multiplicative decrease."""
+        with self._cond:
+            self._window = max(float(self.minimum), self._window * self.backoff)
+
+
+@dataclass
+class ClientQosStats:
+    """Per-port congestion-control counters (mirrored into client metrics)."""
+
+    throttles: int = 0  # EAGAIN rejections absorbed by the retry loop
+    throttle_wait: float = 0.0  # seconds slept honouring retry_after hints
+    giveups: int = 0  # requests that surfaced EAGAIN after all retries
+
+
+class ClientPort:
+    """Per-client gateway onto the shared RPC network.
+
+    Overrides ``call``/``call_async`` to stamp ``client_id``, enforce
+    the per-daemon AIMD window, and absorb throttles; every other
+    attribute (``tracer``, ``inflight``, ``wait_all``, ...) forwards to
+    the wrapped network, so the port is a drop-in for
+    :class:`~repro.rpc.engine.RpcNetwork` wherever a client holds one.
+
+    :param network: the deployment's RPC network.
+    :param client_id: this client's identity, stamped into every request.
+    :param window_enabled: enforce the AIMD window (identity stamping
+        and throttle retries stay on regardless).
+    :param window_initial: starting window per daemon.
+    :param window_max: window growth ceiling per daemon.
+    :param throttle_retries: EAGAIN rejections absorbed per logical
+        request before the error surfaces to the application.
+    :param sleep: injectable sleep for retry_after honouring.
+    """
+
+    def __init__(
+        self,
+        network,
+        client_id: int,
+        *,
+        window_enabled: bool = True,
+        window_initial: int = 8,
+        window_max: int = 64,
+        throttle_retries: int = 16,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if throttle_retries < 1:
+            raise ValueError(f"throttle_retries must be >= 1, got {throttle_retries}")
+        self._network = network
+        self.client_id = client_id
+        self.window_enabled = window_enabled
+        self._window_initial = window_initial
+        self._window_max = window_max
+        self._throttle_retries = throttle_retries
+        self._sleep = sleep
+        self._windows: dict[int, AimdWindow] = {}
+        self._windows_lock = threading.Lock()
+        self.qos_stats = ClientQosStats()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._network, name)
+
+    def window_for(self, target: int) -> AimdWindow:
+        window = self._windows.get(target)
+        if window is None:
+            with self._windows_lock:
+                window = self._windows.setdefault(
+                    target,
+                    AimdWindow(
+                        initial=min(self._window_initial, self._window_max),
+                        maximum=self._window_max,
+                    ),
+                )
+        return window
+
+    def windows(self) -> dict[int, int]:
+        """Current window size per daemon (telemetry)."""
+        with self._windows_lock:
+            return {target: w.window for target, w in self._windows.items()}
+
+    def _throttle_delay(self, err: AgainError, attempt: int) -> float:
+        """Sleep before throttle retry ``attempt`` (1-based).
+
+        The server's ``retry_after`` hint seeds the delay; consecutive
+        rejections double it (capped).  Without the exponential ramp an
+        overloaded daemon faces a retry herd — excess clients colliding
+        with the queue every hint-interval — and the rejection traffic
+        itself steals the service capacity the admission control was
+        protecting (congestion collapse by another name).  Backed-off
+        clients instead park in ever-longer sleeps until a slot is
+        actually likely to be free.
+        """
+        delay = err.retry_after if err.retry_after else _DEFAULT_THROTTLE_SLEEP
+        delay *= 2 ** min(attempt - 1, 16)
+        return min(_MAX_THROTTLE_SLEEP, max(0.0, delay))
+
+    # -- synchronous path ----------------------------------------------------
+
+    def call(self, target: int, handler: str, *args: Any, bulk: Any = None) -> Any:
+        window = self.window_for(target) if self.window_enabled else None
+        if window is not None:
+            window.acquire()
+        try:
+            attempts = 0
+            while True:
+                try:
+                    value = self._network.call(
+                        target, handler, *args, bulk=bulk, client_id=self.client_id
+                    )
+                except AgainError as err:
+                    self.qos_stats.throttles += 1
+                    if window is not None:
+                        window.shrink()
+                    attempts += 1
+                    if attempts >= self._throttle_retries:
+                        self.qos_stats.giveups += 1
+                        raise
+                    delay = self._throttle_delay(err, attempts)
+                    self.qos_stats.throttle_wait += delay
+                    if delay > 0:
+                        self._sleep(delay)
+                    continue
+                if window is not None:
+                    window.grow()
+                return value
+        finally:
+            if window is not None:
+                window.release()
+
+    # -- pipelined path ------------------------------------------------------
+
+    def call_async(
+        self, target: int, handler: str, *args: Any, bulk: Any = None
+    ) -> RpcFuture:
+        """Window-bounded non-blocking call with transparent throttle retry.
+
+        ``acquire`` blocks the *issuing* thread when the window is full —
+        that is the backpressure bounding the PR-1 fan-out.  Throttle
+        retries chain from the completion context (a daemon worker under
+        the scheduled transport), sleeping the server's hint there, the
+        same re-issue-from-callback pattern the retrying transport uses.
+        """
+        window = self.window_for(target) if self.window_enabled else None
+        if window is not None:
+            window.acquire()
+        outer = RpcFuture()
+        attempts = [0]
+
+        def finish(fut: RpcFuture, throttled_exc: Optional[AgainError]) -> None:
+            if window is not None:
+                if throttled_exc is None and fut.exception(0) is None:
+                    window.grow()
+                window.release()
+            outer._adopt(fut)
+
+        def on_done(fut: RpcFuture) -> None:
+            err = self._throttle_of(fut)
+            if err is None:
+                finish(fut, None)
+                return
+            self.qos_stats.throttles += 1
+            if window is not None:
+                window.shrink()
+            attempts[0] += 1
+            if attempts[0] >= self._throttle_retries:
+                self.qos_stats.giveups += 1
+                finish(fut, err)
+                return
+            delay = self._throttle_delay(err, attempts[0])
+            self.qos_stats.throttle_wait += delay
+            if delay > 0:
+                self._sleep(delay)
+            issue()
+
+        def issue() -> None:
+            inner = self._network.call_async(
+                target, handler, *args, bulk=bulk, client_id=self.client_id
+            )
+            inner.add_done_callback(on_done)
+
+        issue()
+        return outer
+
+    @staticmethod
+    def _throttle_of(fut: RpcFuture) -> Optional[AgainError]:
+        """The throttle an inner future resolved with, if any.
+
+        Throttles arrive as delivered responses carrying EAGAIN (the
+        future's *value*); a raised :class:`AgainError` is also honoured
+        for duck-typed transports that throw it directly.
+        """
+        exc = fut.exception(0)
+        if exc is not None:
+            return exc if isinstance(exc, AgainError) else None
+        error = getattr(fut._value, "error", None)
+        if error is not None and error.errno == _errno.EAGAIN:
+            return AgainError(str(error), retry_after=error.retry_after)
+        return None

@@ -181,9 +181,12 @@ class RpcNetwork:
         handler: str,
         *args: Any,
         bulk: Any = None,
+        client_id: Optional[int] = None,
     ) -> Any:
         """Synchronous RPC: returns the handler value or raises its error."""
-        return self.call_async(target, handler, *args, bulk=bulk).result()
+        return self.call_async(
+            target, handler, *args, bulk=bulk, client_id=client_id
+        ).result()
 
     def call_async(
         self,
@@ -191,6 +194,7 @@ class RpcNetwork:
         handler: str,
         *args: Any,
         bulk: Any = None,
+        client_id: Optional[int] = None,
     ) -> RpcFuture:
         """Non-blocking RPC — the ``margo_iforward`` path (§III-B).
 
@@ -203,7 +207,13 @@ class RpcNetwork:
         """
         tracer = self.tracer
         if tracer is None:
-            request = RpcRequest(target=target, handler=handler, args=args, bulk=bulk)
+            request = RpcRequest(
+                target=target,
+                handler=handler,
+                args=args,
+                bulk=bulk,
+                client_id=client_id,
+            )
         else:
             context = tracer.current()
             request = RpcRequest(
@@ -213,6 +223,7 @@ class RpcNetwork:
                 bulk=bulk,
                 request_id=context.request_id if context else None,
                 parent_span=context.span_id if context else None,
+                client_id=client_id,
             )
         self.inflight.launch()
         future = deliver_async(self.transport, request)

@@ -33,7 +33,7 @@ import threading
 import time
 from typing import Callable, Dict, Optional
 
-from repro.common.errors import DaemonUnavailableError
+from repro.common.errors import AgainError, DaemonUnavailableError
 from repro.rpc.future import RpcFuture
 from repro.rpc.message import RpcRequest, RpcResponse
 from repro.rpc.transport import DELIVERY_FAILURES, Transport, deliver_async
@@ -275,7 +275,15 @@ class CircuitBreakerTransport(Transport):
         )
 
     def _record(self, request: RpcRequest, exc: Optional[BaseException]) -> None:
-        if exc is not None and isinstance(exc, self.FAILURE_EXCEPTIONS):
+        # A QoS throttle is the daemon *answering* — it must never trip
+        # the breaker.  Throttles normally travel as delivered EAGAIN
+        # responses (already a success here); the guard covers duck-typed
+        # transports that raise AgainError directly.
+        if (
+            exc is not None
+            and not isinstance(exc, AgainError)
+            and isinstance(exc, self.FAILURE_EXCEPTIONS)
+        ):
             self.tracker.record_failure(request.target)
         else:
             self.tracker.record_success(request.target)

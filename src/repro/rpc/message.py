@@ -8,7 +8,9 @@ so size estimation lives here, next to the envelope definitions.
 
 from __future__ import annotations
 
+import errno as _errno
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Optional
 
 from repro.common.errors import GekkoError, error_from_errno
@@ -54,11 +56,16 @@ class RemoteError(Exception):
 
     Carries the original errno so :meth:`RpcResponse.result` can rehydrate
     the concrete :class:`~repro.common.errors.GekkoError` on the client.
+    ``retry_after`` travels only for EAGAIN throttles (the admission
+    controller's capacity hint); it is ``None`` for every other errno.
     """
 
-    def __init__(self, errno_: int, message: str):
+    def __init__(
+        self, errno_: int, message: str, retry_after: Optional[float] = None
+    ):
         super().__init__(message)
         self.errno = errno_
+        self.retry_after = retry_after
 
 
 @dataclass(frozen=True)
@@ -75,6 +82,10 @@ class RpcRequest:
         serves the request.  ``None`` whenever telemetry is off.
     :ivar parent_span: trace context — the client span that issued this
         RPC; the daemon's handler span becomes its child.
+    :ivar client_id: QoS identity — which client (tenant) issued this
+        RPC, stamped by the per-client port so the daemon scheduler can
+        account fair shares.  ``None`` whenever QoS is off; anonymous
+        requests are accounted to a shared bucket.
     """
 
     target: int
@@ -83,14 +94,17 @@ class RpcRequest:
     bulk: Optional[Any] = None
     request_id: Optional[str] = None
     parent_span: Optional[str] = None
+    client_id: Optional[int] = None
 
-    @property
+    @cached_property
     def wire_size(self) -> int:
         """RPC-channel bytes; bulk payloads travel out of band.
 
         Trace ids ride inside the fixed :data:`ENVELOPE_BYTES` header
         budget (Mercury headers carry user metadata the same way), so
         they do not change accounted sizes between telemetry on/off.
+        Cached: the engine, the QoS cost model, and the share ledger all
+        read it for the same immutable request.
         """
         return ENVELOPE_BYTES + len(self.handler) + estimate_wire_size(self.args)
 
@@ -117,7 +131,11 @@ class RpcResponse:
     def result(self) -> Any:
         """Return the value or raise the rehydrated client-side error."""
         if self.error is not None:
-            raise error_from_errno(self.error.errno, str(self.error))
+            raise error_from_errno(
+                self.error.errno,
+                str(self.error),
+                retry_after=getattr(self.error, "retry_after", None),
+            )
         return self.value
 
     @classmethod
@@ -130,4 +148,18 @@ class RpcResponse:
         try:
             return cls(value=fn(*args))
         except GekkoError as err:
-            return cls(error=RemoteError(err.errno, str(err)))
+            return cls(
+                error=RemoteError(
+                    err.errno, str(err), getattr(err, "retry_after", None)
+                )
+            )
+
+    @classmethod
+    def throttled(cls, message: str, retry_after: Optional[float] = None) -> "RpcResponse":
+        """An admission-control rejection, as put on the wire.
+
+        Built by the daemon-side scheduler *without* invoking any
+        handler; the client's ``result()`` rehydrates it as
+        :class:`~repro.common.errors.AgainError`.
+        """
+        return cls(error=RemoteError(_errno.EAGAIN, message, retry_after))

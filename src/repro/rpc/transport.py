@@ -16,7 +16,7 @@ import time
 from collections import Counter
 from typing import Callable, Mapping, Optional, TYPE_CHECKING
 
-from repro.common.errors import DaemonUnavailableError
+from repro.common.errors import AgainError, DaemonUnavailableError
 from repro.rpc.future import RpcFuture
 from repro.rpc.message import RpcRequest, RpcResponse
 
@@ -254,8 +254,18 @@ class RetryingTransport(Transport):
         )
 
     def _observe(self, target: int, exc: Optional[BaseException]) -> None:
-        """One logical request's outcome, reported to the health tracker."""
-        if exc is not None and isinstance(exc, DELIVERY_FAILURES):
+        """One logical request's outcome, reported to the health tracker.
+
+        QoS throttles are successful deliveries (the daemon answered
+        EAGAIN); they normally arrive as response values, but a raised
+        :class:`AgainError` from a duck-typed transport must not count
+        against health either.
+        """
+        if (
+            exc is not None
+            and not isinstance(exc, AgainError)
+            and isinstance(exc, DELIVERY_FAILURES)
+        ):
             self.tracker.record_failure(target)
         else:
             self.tracker.record_success(target)

@@ -164,3 +164,27 @@ class TestObservabilityCommands:
         payload = json.loads(out_file.read_text())
         assert "per_daemon" in payload and "cluster" in payload
         assert payload["daemons"] == 2
+
+
+class TestOverloadCommand:
+    def test_share_table(self, capsys):
+        assert main(
+            ["overload", "--greedy", "2", "--greedy-depth", "8",
+             "--victim-depth", "2", "--duration", "0.15"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "victim" in out
+        assert "greedy-" in out
+        assert "share vs fair" in out
+
+    def test_victim_weight_doubles_service(self, capsys):
+        assert main(
+            ["overload", "--greedy", "2", "--greedy-depth", "8",
+             "--victim-depth", "8", "--duration", "0.3",
+             "--victim-weight", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        victim_row = next(l for l in out.splitlines() if "victim" in l)
+        # Weighted 2x against unit-weight rivals: share ratio well above 1.
+        share = float(victim_row.split()[-1].rstrip("x"))
+        assert share > 1.2

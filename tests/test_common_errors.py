@@ -5,6 +5,7 @@ import errno
 import pytest
 
 from repro.common.errors import (
+    AgainError,
     BadFileDescriptorError,
     ExistsError,
     GekkoError,
@@ -26,6 +27,7 @@ ALL_ERRORS = [
     (BadFileDescriptorError, errno.EBADF),
     (InvalidArgumentError, errno.EINVAL),
     (UnsupportedError, errno.ENOTSUP),
+    (AgainError, errno.EAGAIN),
 ]
 
 
@@ -56,3 +58,28 @@ def test_default_message_is_class_name():
 def test_errors_are_catchable_as_base():
     with pytest.raises(GekkoError):
         raise ExistsError("/x")
+
+
+class TestAgainError:
+    def test_retry_after_defaults_to_none(self):
+        assert AgainError("busy").retry_after is None
+
+    def test_retry_after_carried(self):
+        assert AgainError("busy", retry_after=0.02).retry_after == 0.02
+
+    def test_roundtrip_preserves_retry_after(self):
+        err = error_from_errno(errno.EAGAIN, "throttled", retry_after=0.005)
+        assert type(err) is AgainError
+        assert err.retry_after == 0.005
+        assert "throttled" in str(err)
+
+    def test_roundtrip_without_hint(self):
+        err = error_from_errno(errno.EAGAIN, "throttled")
+        assert type(err) is AgainError
+        assert err.retry_after is None
+
+    def test_hint_ignored_for_other_errnos(self):
+        # retry_after is an EAGAIN-only concept; rehydrating any other
+        # errno must not grow a stray attribute or blow up.
+        err = error_from_errno(errno.ENOENT, "gone", retry_after=0.5)
+        assert type(err) is NotFoundError

@@ -4,7 +4,13 @@ import math
 
 import pytest
 
-from repro.models.queueing import closed_network_throughput, mmc_wait_time
+from repro.models.queueing import (
+    closed_network_throughput,
+    mmc_wait_time,
+    mmck_metrics,
+    saturation_curve,
+    weighted_fair_shares,
+)
 
 
 class TestMmcWait:
@@ -69,3 +75,110 @@ class TestClosedNetwork:
             closed_network_throughput(0, 1.0, 1.0, 1)
         with pytest.raises(ValueError):
             closed_network_throughput(1, -1.0, 1.0, 1)
+
+
+class TestMmck:
+    def test_zero_arrival(self):
+        m = mmck_metrics(0.0, 1.0, 1, 4)
+        assert m["blocking_probability"] == 0.0
+        assert m["accepted_rate"] == 0.0
+        assert m["mean_wait"] == 0.0
+
+    def test_probabilities_normalised(self):
+        # Accepted + blocked must account for every arrival.
+        m = mmck_metrics(3.0, 1.0, 2, 5)
+        assert 0.0 <= m["blocking_probability"] <= 1.0
+        assert m["accepted_rate"] == pytest.approx(
+            3.0 * (1.0 - m["blocking_probability"])
+        )
+
+    def test_mm11_closed_form(self):
+        # c=1, K=1 (no waiting room) is the Erlang-B loss system:
+        # blocking = a / (1 + a).
+        for a in (0.5, 1.0, 2.0):
+            m = mmck_metrics(a, 1.0, 1, 0)
+            assert m["blocking_probability"] == pytest.approx(a / (1 + a))
+            assert m["mean_wait"] == 0.0  # nobody ever queues
+
+    def test_accepted_rate_plateaus_at_capacity(self):
+        # The QoS claim: accepted throughput saturates, never collapses.
+        rates = [mmck_metrics(r, 0.001, 1, 8)["accepted_rate"]
+                 for r in (100, 500, 1000, 2000, 8000)]
+        assert rates == sorted(rates)  # monotone in offered load
+        assert all(r <= 1000.0 + 1e-9 for r in rates)
+        assert rates[-1] == pytest.approx(1000.0, rel=1e-3)
+
+    def test_light_load_matches_open_mmc(self):
+        # With a deep buffer and low utilisation, blocking vanishes and
+        # the wait approaches the open M/M/1 value.
+        m = mmck_metrics(0.5, 1.0, 1, 200)
+        assert m["blocking_probability"] < 1e-9
+        assert m["mean_wait"] == pytest.approx(mmc_wait_time(0.5, 1.0, 1), rel=1e-6)
+
+    def test_blocking_grows_with_load(self):
+        blocks = [mmck_metrics(r, 1.0, 2, 4)["blocking_probability"]
+                  for r in (0.5, 2.0, 4.0, 8.0)]
+        assert blocks == sorted(blocks)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mmck_metrics(-1.0, 1.0, 1, 1)
+        with pytest.raises(ValueError):
+            mmck_metrics(1.0, 0.0, 1, 1)
+        with pytest.raises(ValueError):
+            mmck_metrics(1.0, 1.0, 0, 1)
+        with pytest.raises(ValueError):
+            mmck_metrics(1.0, 1.0, 1, -1)
+
+
+class TestWeightedFairShares:
+    def test_equal_weights_equal_split(self):
+        shares = weighted_fair_shares(9.0, {c: 100.0 for c in "abc"})
+        assert all(s == pytest.approx(3.0) for s in shares.values())
+
+    def test_small_demand_fully_served(self):
+        # Water-filling: the 2-op client takes 2, the rest split the surplus.
+        shares = weighted_fair_shares(10.0, {"a": 100.0, "b": 2.0, "c": 100.0})
+        assert shares["b"] == pytest.approx(2.0)
+        assert shares["a"] == pytest.approx(4.0)
+        assert shares["c"] == pytest.approx(4.0)
+
+    def test_weights_scale_backlogged_shares(self):
+        shares = weighted_fair_shares(
+            10.0, {"a": 100.0, "b": 100.0}, {"a": 3.0, "b": 1.0}
+        )
+        assert shares["a"] == pytest.approx(7.5)
+        assert shares["b"] == pytest.approx(2.5)
+
+    def test_underloaded_everyone_satisfied(self):
+        demands = {"a": 1.0, "b": 2.0}
+        shares = weighted_fair_shares(100.0, demands)
+        assert shares == pytest.approx(demands)
+
+    def test_work_conserving(self):
+        # Overloaded: the full capacity is handed out, no more, no less.
+        shares = weighted_fair_shares(7.0, {"a": 5.0, "b": 50.0, "c": 50.0})
+        assert sum(shares.values()) == pytest.approx(7.0)
+
+    def test_zero_demand_gets_nothing(self):
+        shares = weighted_fair_shares(10.0, {"a": 0.0, "b": 5.0})
+        assert shares["a"] == 0.0
+        assert shares["b"] == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_fair_shares(-1.0, {"a": 1.0})
+        with pytest.raises(ValueError):
+            weighted_fair_shares(1.0, {"a": -1.0})
+
+
+class TestSaturationCurve:
+    def test_shape(self):
+        curve = saturation_curve([100, 1000, 4000], 0.001, 1, 8)
+        assert [p["offered"] for p in curve] == [100, 1000, 4000]
+        accepted = [p["accepted_rate"] for p in curve]
+        assert accepted == sorted(accepted)
+        assert accepted[-1] <= 1000.0 + 1e-9
+
+    def test_empty_sweep(self):
+        assert saturation_curve([], 0.001, 1, 8) == []

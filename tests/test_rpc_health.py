@@ -171,3 +171,66 @@ class TestCircuitBreakerTransport:
         import errno
 
         assert DaemonUnavailableError("x").errno == errno.EIO
+
+
+class TestThrottlesAreNotFailures:
+    """QoS backpressure must never look like daemon death (satellite #2)."""
+
+    def _breaker(self, network, clock):
+        tracker = DaemonHealthTracker(failure_threshold=2, cooldown=1.0, clock=clock)
+        network.transport = CircuitBreakerTransport(network.transport, tracker)
+        return tracker
+
+    def test_throttle_responses_count_as_success(self, network, clock):
+        from repro.common.errors import AgainError
+
+        tracker = self._breaker(network, clock)
+
+        def throttling(x):
+            raise AgainError("lane at queue limit", retry_after=0.001)
+
+        network.engine_table[0].register("throttling", throttling)
+        for _ in range(5):
+            with pytest.raises(AgainError):
+                network.call(0, "throttling", 1)
+        assert tracker.state(0) == CLOSED
+        assert tracker.snapshot()[0]["total_failures"] == 0
+
+    def test_throttle_resets_a_failure_streak(self, network, clock):
+        # One delivery failure, then a throttle: the streak must be back
+        # at zero, so a later single failure still cannot trip a
+        # threshold-2 breaker.
+        from repro.common.errors import AgainError
+
+        tracker = self._breaker(network, clock)
+        engine = network.engine_table[0]
+        engine.register("throttling", lambda: (_ for _ in ()).throw(
+            AgainError("busy", retry_after=0.001)))
+        network.remove_engine(0)
+        with pytest.raises(LookupError):
+            network.call(0, "echo", 1)
+        restarted = network.create_engine(0)
+        restarted.register("throttling", lambda: (_ for _ in ()).throw(
+            AgainError("busy", retry_after=0.001)))
+        restarted.register("echo", lambda x: x)
+        with pytest.raises(AgainError):
+            network.call(0, "throttling")
+        network.remove_engine(0)
+        with pytest.raises(LookupError):
+            network.call(0, "echo", 1)
+        assert tracker.state(0) == CLOSED  # 1 failure, throttle, 1 failure
+
+    def test_raised_again_error_guard_in_record(self, network, clock):
+        # Direct transport-layer guard: even if AgainError ever became a
+        # member of FAILURE_EXCEPTIONS by subclassing accident, _record
+        # must treat it as success.
+        from repro.common.errors import AgainError
+        from repro.rpc.message import RpcRequest
+
+        tracker = self._breaker(network, clock)
+        breaker = network.transport
+        request = RpcRequest(target=0, handler="echo", args=(1,))
+        for _ in range(5):
+            breaker._record(request, AgainError("busy"))
+        assert tracker.state(0) == CLOSED
+        assert tracker.snapshot()[0]["total_failures"] == 0

@@ -4,7 +4,7 @@ import errno
 
 import pytest
 
-from repro.common.errors import NotFoundError, UnsupportedError
+from repro.common.errors import AgainError, NotFoundError, UnsupportedError
 from repro.rpc.message import (
     RemoteError,
     RpcRequest,
@@ -74,3 +74,37 @@ class TestResponse:
     def test_remote_error_message(self):
         err = RemoteError(errno.ENOENT, "gone")
         assert str(err) == "gone"
+
+
+class TestThrottle:
+    def test_throttled_response_is_delivered_eagain(self):
+        resp = RpcResponse.throttled("queue full", retry_after=0.01)
+        assert not resp.ok
+        assert resp.error.errno == errno.EAGAIN
+        assert resp.error.retry_after == 0.01
+
+    def test_result_rehydrates_again_error_with_hint(self):
+        resp = RpcResponse.throttled("queue full", retry_after=0.02)
+        with pytest.raises(AgainError, match="queue full") as exc_info:
+            resp.result()
+        assert exc_info.value.retry_after == 0.02
+
+    def test_throttle_without_hint(self):
+        resp = RpcResponse.throttled("busy")
+        with pytest.raises(AgainError) as exc_info:
+            resp.result()
+        assert exc_info.value.retry_after is None
+
+    def test_handler_raised_again_error_keeps_hint_across_wire(self):
+        def handler():
+            raise AgainError("slow down", retry_after=0.003)
+
+        resp = RpcResponse.from_call(handler, ())
+        assert resp.error.retry_after == 0.003
+        with pytest.raises(AgainError) as exc_info:
+            resp.result()
+        assert exc_info.value.retry_after == 0.003
+
+    def test_client_id_defaults_to_none(self):
+        request = RpcRequest(target=0, handler="h", args=())
+        assert request.client_id is None
