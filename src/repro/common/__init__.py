@@ -9,6 +9,7 @@ from repro.common.errors import (
     GekkoError,
     BadFileDescriptorError,
     ExistsError,
+    IntegrityError,
     InvalidArgumentError,
     IsADirectoryError_,
     NotADirectoryError_,
@@ -32,6 +33,7 @@ __all__ = [
     "GekkoError",
     "BadFileDescriptorError",
     "ExistsError",
+    "IntegrityError",
     "InvalidArgumentError",
     "IsADirectoryError_",
     "NotADirectoryError_",

@@ -23,6 +23,7 @@ __all__ = [
     "InvalidArgumentError",
     "UnsupportedError",
     "DaemonUnavailableError",
+    "IntegrityError",
     "AgainError",
     "error_from_errno",
 ]
@@ -108,6 +109,25 @@ class DaemonUnavailableError(GekkoError):
     errno = _errno.EIO
 
 
+class IntegrityError(GekkoError):
+    """Stored or transferred chunk data failed checksum verification (EIO).
+
+    Raised instead of returning garbage: by a daemon whose chunk store
+    detects bit-rot or a torn write (payload shorter than the checksummed
+    length the sidecar recorded), and by a client whose end-to-end proof
+    check over the received bulk buffer fails.  With replication >= 2 the
+    client treats it as a *failover* signal — retry the span on another
+    replica and read-repair the bad copy — so applications never see it;
+    with replication 1 there is no good copy to serve and it surfaces as
+    ``EIO``, the same contract a kernel file system offers for an
+    uncorrectable disk error.  Crossing the wire it rehydrates to this
+    class (the EIO slot is free: :class:`DaemonUnavailableError` is
+    deliberately client-side only).
+    """
+
+    errno = _errno.EIO
+
+
 class AgainError(GekkoError):
     """Resource temporarily unavailable — retry later (EAGAIN).
 
@@ -143,6 +163,7 @@ _BY_ERRNO = {
         BadFileDescriptorError,
         InvalidArgumentError,
         UnsupportedError,
+        IntegrityError,
         AgainError,
     )
 }

@@ -27,6 +27,7 @@ from repro.common.errors import (
     BadFileDescriptorError,
     DaemonUnavailableError,
     ExistsError,
+    IntegrityError,
     InvalidArgumentError,
     IsADirectoryError_,
     NotADirectoryError_,
@@ -34,6 +35,7 @@ from repro.common.errors import (
     NotFoundError,
     UnsupportedError,
 )
+from repro.storage.integrity import chunk_checksum
 from repro.core.cache import SizeUpdateCache
 from repro.core.chunking import split_range
 from repro.core.datacache import ChunkCache
@@ -71,6 +73,12 @@ class ClientStats:
     degraded_ops: int = 0
     #: Individual broadcast legs lost to unreachable daemons (tolerated).
     leg_failures: int = 0
+    #: Read legs that failed checksum verification and fell over to
+    #: another replica (integrity plane).
+    integrity_failovers: int = 0
+    #: Corrupt replica chunks rewritten in place from a verified copy
+    #: after a successful fail-over (read-repair).
+    read_repairs: int = 0
 
 
 class GekkoFSClient:
@@ -106,6 +114,10 @@ class GekkoFSClient:
             else None
         )
         self.stats = ClientStats()
+        # Integrity plane: verify read proofs end-to-end; optionally ship
+        # span digests with writes.  Cached — the config is frozen.
+        self._integrity = config.integrity_enabled
+        self._verify_writes = config.integrity_verify_writes
         #: Per-op records of tolerated broadcast leg failures (telemetry):
         #: ``{"handler": ..., "failed": {address: exception class name}}``.
         self.degraded_events: list[dict] = []
@@ -256,6 +268,174 @@ class GekkoFSClient:
             except Exception as exc:
                 outcomes.append((None, exc))
         return outcomes
+
+    # -- integrity plane -----------------------------------------------------
+
+    def _span_digest(self, piece) -> int:
+        """Wire digest of one outgoing span (``integrity_verify_writes``)."""
+        return chunk_checksum(piece, 0, self.config.integrity_algorithm)
+
+    def _verify_span(self, rel: str, span, buf_view: memoryview, proofs) -> None:
+        """Re-check a verified read's stored block digests over *our* buffer.
+
+        The daemon sends the digests it holds for every block the span
+        fully covers; recomputing them over the received bytes closes the
+        loop end to end — storage rot *and* transit corruption both
+        surface here.  On mismatch the span's buffer region is zeroed
+        (poisoned bytes must not leak into the application) and
+        :class:`IntegrityError` is raised for the fail-over machinery.
+        """
+        algorithm = self.config.integrity_algorithm
+        base = span.buffer_offset - span.offset
+        for block_offset, block_len, digest in proofs:
+            piece = buf_view[base + block_offset : base + block_offset + block_len]
+            if chunk_checksum(piece, block_offset, algorithm) != digest:
+                buf_view[span.buffer_offset : span.buffer_offset + span.length] = bytes(
+                    span.length
+                )
+                raise IntegrityError(
+                    f"chunk {span.chunk_id} of {rel!r}: digest mismatch in "
+                    f"received block at offset {block_offset}"
+                )
+
+    def _verify_chunk_payload(
+        self, rel: str, chunk_id: int, data: bytes, proofs
+    ) -> Optional[IntegrityError]:
+        """Proof check for a whole-chunk (offset-0) fetch; returns the error."""
+        algorithm = self.config.integrity_algorithm
+        view = memoryview(data)
+        for block_offset, block_len, digest in proofs:
+            piece = view[block_offset : block_offset + block_len]
+            if chunk_checksum(piece, block_offset, algorithm) != digest:
+                return IntegrityError(
+                    f"chunk {chunk_id} of {rel!r}: digest mismatch in received "
+                    f"block at offset {block_offset}"
+                )
+        return None
+
+    def _note_integrity_failover(self, rel: str, chunk_id: int, target: int) -> None:
+        """Account one read leg lost to a checksum failure (telemetry)."""
+        self.stats.integrity_failovers += 1
+        tracer = getattr(self.network, "tracer", None)
+        if tracer is not None:
+            tracer.instant(
+                "integrity.failover",
+                "integrity",
+                path=rel,
+                chunk_id=chunk_id,
+                daemon=target,
+            )
+
+    def _read_repair(
+        self,
+        rel: str,
+        chunk_id: int,
+        bad_targets: list[int],
+        good_target: Optional[int] = None,
+        data: Optional[bytes] = None,
+    ) -> None:
+        """Best-effort read-repair: rewrite corrupt replicas in place.
+
+        Fetches the whole chunk from ``good_target`` (unless the caller
+        already holds a verified copy in ``data``), re-verifies it, and
+        pushes it to every failed replica via ``gkfs_replace_chunk`` —
+        which drops the old payload, re-checksums, and lifts quarantine.
+        Strictly opportunistic: any failure here is swallowed, the read
+        itself already succeeded and the scrubber provides the guaranteed
+        repair path.
+        """
+        if data is None:
+            try:
+                value = self.network.call(
+                    good_target,
+                    "gkfs_read_chunk",
+                    rel,
+                    chunk_id,
+                    0,
+                    self.config.chunk_size,
+                )
+                data = bytes(value["data"])
+            except Exception:
+                return
+            if self._verify_chunk_payload(rel, chunk_id, data, value["proofs"]):
+                return  # the "good" copy does not verify either — leave it
+        tracer = getattr(self.network, "tracer", None)
+        for target in bad_targets:
+            try:
+                if len(data) <= INLINE_WRITE_THRESHOLD:
+                    self.network.call(target, "gkfs_replace_chunk", rel, chunk_id, data)
+                else:
+                    self.network.call(
+                        target,
+                        "gkfs_replace_chunk",
+                        rel,
+                        chunk_id,
+                        None,
+                        bulk=BulkHandle(memoryview(data), readonly=True),
+                    )
+            except Exception:
+                continue
+            self.stats.read_repairs += 1
+            if tracer is not None:
+                tracer.instant(
+                    "integrity.read_repair",
+                    "integrity",
+                    path=rel,
+                    chunk_id=chunk_id,
+                    daemon=target,
+                )
+
+    def _apply_verified_group(
+        self, rel: str, buf_view: memoryview, group: list, value: dict
+    ) -> list:
+        """Land a verified-read group reply and re-check every span's proofs.
+
+        Returns ``[(span, error_or_None), ...]``; failed spans have their
+        buffer regions zeroed by :meth:`_verify_span`.
+        """
+        if len(group) == 1:
+            data = value.get("data")
+            if data is not None:
+                span = group[0]
+                buf_view[span.buffer_offset : span.buffer_offset + len(data)] = data
+            proof_lists = [value["proofs"]]
+        else:
+            payloads = value.get("data")
+            if payloads is not None:
+                for span, piece in zip(group, payloads):
+                    buf_view[span.buffer_offset : span.buffer_offset + len(piece)] = piece
+            proof_lists = value["spans"]
+        outcomes = []
+        for span, proofs in zip(group, proof_lists):
+            try:
+                self._verify_span(rel, span, buf_view, proofs)
+                outcomes.append((span, None))
+            except IntegrityError as exc:
+                outcomes.append((span, exc))
+        return outcomes
+
+    def _read_span_at(
+        self, target: int, rel: str, span, buf_view: memoryview
+    ) -> None:
+        """One blocking verified span read against one specific replica.
+
+        Used to isolate the corrupt span(s) after a coalesced group RPC
+        fails server-side — the group error does not say which chunk
+        tripped the checksum.
+        """
+        bulk = BulkHandle(
+            buf_view[span.buffer_offset : span.buffer_offset + span.length]
+        )
+        value = self.network.call(
+            target,
+            "gkfs_read_chunk",
+            rel,
+            span.chunk_id,
+            span.offset,
+            span.length,
+            bulk=bulk,
+        )
+        self._verify_span(rel, span, buf_view, value["proofs"])
 
     def _meta_call(self, rel: str, handler: str, *args):
         """Metadata RPC with optional replication.
@@ -493,6 +673,9 @@ class GekkoFSClient:
         """Legacy serialized write path: one blocking RPC per span per replica."""
         for span in spans:
             piece = view[span.buffer_offset : span.buffer_offset + span.length]
+            # Optional wire digest: the daemon re-checks the payload it
+            # received before storing it (integrity_verify_writes).
+            crc = (self._span_digest(piece),) if self._verify_writes else ()
             written_somewhere = False
             last_transient: Optional[Exception] = None
             for target in self._chunk_targets(entry.path, span.chunk_id):
@@ -505,9 +688,12 @@ class GekkoFSClient:
                             span.chunk_id,
                             span.offset,
                             bytes(piece),
+                            *crc,
                         )
                     else:
                         bulk = BulkHandle(piece, readonly=True)
+                        # The engine appends the bulk handle positionally,
+                        # so the crc slot must be filled even when unused.
                         self.network.call(
                             target,
                             "gkfs_write_chunk",
@@ -515,6 +701,7 @@ class GekkoFSClient:
                             span.chunk_id,
                             span.offset,
                             None,
+                            crc[0] if crc else None,
                             bulk=bulk,
                         )
                     written_somewhere = True
@@ -572,10 +759,16 @@ class GekkoFSClient:
     def _issue_write_group(
         self, target: int, rel: str, view: memoryview, group: list
     ) -> RpcFuture:
-        """One non-blocking write RPC carrying every span ``target`` owns."""
+        """One non-blocking write RPC carrying every span ``target`` owns.
+
+        With ``integrity_verify_writes`` each span travels with its wire
+        digest, which the daemon checks against the payload it received
+        before anything is stored.
+        """
         if len(group) == 1:
             span = group[0]
             piece = view[span.buffer_offset : span.buffer_offset + span.length]
+            crc = (self._span_digest(piece),) if self._verify_writes else ()
             if span.length <= INLINE_WRITE_THRESHOLD:
                 return self.network.call_async(
                     target,
@@ -584,7 +777,10 @@ class GekkoFSClient:
                     span.chunk_id,
                     span.offset,
                     bytes(piece),
+                    *crc,
                 )
+            # Bulk mode: the engine appends the handle positionally, so
+            # the crc slot must be filled even when unused.
             return self.network.call_async(
                 target,
                 "gkfs_write_chunk",
@@ -592,15 +788,26 @@ class GekkoFSClient:
                 span.chunk_id,
                 span.offset,
                 None,
+                crc[0] if crc else None,
                 bulk=BulkHandle(piece, readonly=True),
             )
         wire_spans = [
             (span.chunk_id, span.offset, span.length, span.buffer_offset)
             for span in group
         ]
+        crcs = ()
+        if self._verify_writes:
+            crcs = (
+                [
+                    self._span_digest(
+                        view[span.buffer_offset : span.buffer_offset + span.length]
+                    )
+                    for span in group
+                ],
+            )
         if len(view) <= INLINE_WRITE_THRESHOLD:
             return self.network.call_async(
-                target, "gkfs_write_chunks", rel, wire_spans, bytes(view)
+                target, "gkfs_write_chunks", rel, wire_spans, bytes(view), *crcs
             )
         # One exposure per group: handles are not shared across concurrent
         # pullers, so transfer accounting stays race-free.
@@ -610,6 +817,7 @@ class GekkoFSClient:
             rel,
             wire_spans,
             None,
+            crcs[0] if crcs else None,
             bulk=BulkHandle(view, readonly=True),
         )
 
@@ -693,10 +901,19 @@ class GekkoFSClient:
     def _read_spans_serial(
         self, entry: OpenFile, buf_view: memoryview, spans: list
     ) -> None:
-        """Legacy serialized read path: one blocking RPC per span."""
+        """Legacy serialized read path: one blocking RPC per span.
+
+        With integrity enabled each reply carries the stored block
+        digests, re-checked here over the received buffer; a checksum
+        failure (server- or client-detected) fails over to the next
+        replica exactly like a transport loss, and a successful fail-over
+        triggers best-effort read-repair of the corrupt replica.
+        """
         for span in spans:
             last_transient: Optional[Exception] = None
-            served = False
+            last_integrity: Optional[IntegrityError] = None
+            bad_targets: list[int] = []
+            served_from: Optional[int] = None
             # Replicas are tried in placement order; with replication off
             # this is exactly the paper's single-target read.
             for target in self._chunk_targets(entry.path, span.chunk_id):
@@ -704,7 +921,7 @@ class GekkoFSClient:
                     bulk = BulkHandle(
                         buf_view[span.buffer_offset : span.buffer_offset + span.length]
                     )
-                    self.network.call(
+                    value = self.network.call(
                         target,
                         "gkfs_read_chunk",
                         entry.path,
@@ -713,16 +930,28 @@ class GekkoFSClient:
                         span.length,
                         bulk=bulk,
                     )
-                    served = True
+                    if self._integrity:
+                        self._verify_span(entry.path, span, buf_view, value["proofs"])
+                    served_from = target
                     break
+                except IntegrityError as exc:
+                    self._note_integrity_failover(entry.path, span.chunk_id, target)
+                    last_integrity = exc
+                    bad_targets.append(target)
                 except self._TRANSIENT as exc:
                     if self.config.replication == 1:
                         raise self._fatal_transient(exc) from exc
                     last_transient = exc
-            if not served:
+            if served_from is None:
+                if last_integrity is not None:
+                    raise last_integrity
                 if last_transient is not None:
                     raise self._fatal_transient(last_transient) from last_transient
                 raise LookupError(entry.path)
+            if bad_targets:
+                self._read_repair(
+                    entry.path, span.chunk_id, bad_targets, good_target=served_from
+                )
 
     def _read_spans_pipelined(
         self, entry: OpenFile, buf_view: memoryview, spans: list
@@ -734,13 +963,21 @@ class GekkoFSClient:
         that fail transiently put their spans back for the next round
         (the next replica in placement order); with replication off the
         first round is the only round and any loss is fatal.
+
+        Checksum failures ride the same machinery: a span whose proofs do
+        not verify (or whose group the daemon failed server-side) goes
+        back for the next replica round, and every chunk that healed by
+        fail-over is read-repaired afterwards.
         """
         replica_count = min(self.config.replication, self.distributor.num_daemons)
         pending = spans
         last_transient: Optional[Exception] = None
+        integrity_errors: dict[int, IntegrityError] = {}  # chunk_id -> last error
+        bad_targets: dict[int, list[int]] = {}  # chunk_id -> replicas that failed verify
+        served_from: dict[int, int] = {}  # chunk_id -> replica that finally served it
         for round_ in range(replica_count):
             if not pending:
-                return
+                break
             groups: dict[int, list] = {}
             for span in pending:
                 target = self._chunk_targets(entry.path, span.chunk_id)[round_]
@@ -755,7 +992,42 @@ class GekkoFSClient:
             for target, (value, exc) in zip(order, self._gather(futures)):
                 group = groups[target]
                 if exc is None:
-                    self._apply_read_group(buf_view, group, value)
+                    if not self._integrity:
+                        self._apply_read_group(buf_view, group, value)
+                        continue
+                    for span, err in self._apply_verified_group(
+                        entry.path, buf_view, group, value
+                    ):
+                        if err is None:
+                            if span.chunk_id in bad_targets:
+                                served_from[span.chunk_id] = target
+                            continue
+                        self._note_integrity_failover(
+                            entry.path, span.chunk_id, target
+                        )
+                        integrity_errors[span.chunk_id] = err
+                        bad_targets.setdefault(span.chunk_id, []).append(target)
+                        retry.append(span)
+                    continue
+                if isinstance(exc, IntegrityError):
+                    # A coalesced group fails as a unit server-side; re-read
+                    # span by span against the same daemon to isolate the
+                    # corrupt chunk(s) — clean spans land, bad ones fail over.
+                    for span in group:
+                        try:
+                            self._read_span_at(target, entry.path, span, buf_view)
+                            if span.chunk_id in bad_targets:
+                                served_from[span.chunk_id] = target
+                        except IntegrityError as span_exc:
+                            self._note_integrity_failover(
+                                entry.path, span.chunk_id, target
+                            )
+                            integrity_errors[span.chunk_id] = span_exc
+                            bad_targets.setdefault(span.chunk_id, []).append(target)
+                            retry.append(span)
+                        except self._TRANSIENT as span_exc:
+                            last_transient = span_exc
+                            retry.append(span)
                     continue
                 if not isinstance(exc, self._TRANSIENT):
                     raise exc
@@ -764,7 +1036,15 @@ class GekkoFSClient:
                 last_transient = exc
                 retry.extend(group)
             pending = retry
+        for chunk_id, bads in bad_targets.items():
+            good = served_from.get(chunk_id)
+            if good is not None:
+                self._read_repair(entry.path, chunk_id, bads, good_target=good)
         if pending:
+            for span in pending:
+                err = integrity_errors.get(span.chunk_id)
+                if err is not None:
+                    raise err
             if last_transient is not None:
                 raise self._fatal_transient(last_transient) from last_transient
             raise LookupError(entry.path)
@@ -834,9 +1114,12 @@ class GekkoFSClient:
         replica_count = min(self.config.replication, self.distributor.num_daemons)
         pending = sorted(missing)
         last_transient: Optional[Exception] = None
+        integrity_errors: dict[int, IntegrityError] = {}
+        bad_targets: dict[int, list[int]] = {}
+        good_copies: dict[int, bytes] = {}  # verified whole chunks for repair
         for round_ in range(replica_count):
             if not pending:
-                return
+                break
             if self.config.rpc_pipelining:
                 futures = [
                     self.network.call_async(
@@ -873,7 +1156,14 @@ class GekkoFSClient:
                         outcomes.append((None, exc))
             retry: list[int] = []
             for chunk_id, (chunk, exc) in zip(pending, outcomes):
+                target = self._chunk_targets(entry.path, chunk_id)[round_]
                 if exc is not None:
+                    if isinstance(exc, IntegrityError):
+                        self._note_integrity_failover(entry.path, chunk_id, target)
+                        integrity_errors[chunk_id] = exc
+                        bad_targets.setdefault(chunk_id, []).append(target)
+                        retry.append(chunk_id)
+                        continue
                     if not isinstance(exc, self._TRANSIENT):
                         raise exc
                     if self.config.replication == 1:
@@ -881,12 +1171,35 @@ class GekkoFSClient:
                     last_transient = exc
                     retry.append(chunk_id)
                     continue
+                if self._integrity:
+                    # Verified whole-chunk fetch: unwrap and re-check proofs.
+                    proofs = chunk["proofs"]
+                    chunk = chunk["data"]
+                    err = self._verify_chunk_payload(
+                        entry.path, chunk_id, chunk, proofs
+                    )
+                    if err is not None:
+                        self._note_integrity_failover(entry.path, chunk_id, target)
+                        integrity_errors[chunk_id] = err
+                        bad_targets.setdefault(chunk_id, []).append(target)
+                        retry.append(chunk_id)
+                        continue
+                    if chunk_id in bad_targets:
+                        good_copies[chunk_id] = chunk
                 self.data_cache.put(entry.path, chunk_id, chunk)
                 for span in missing[chunk_id]:
                     piece = chunk[span.offset : span.offset + span.length]
                     buffer[span.buffer_offset : span.buffer_offset + len(piece)] = piece
             pending = retry
+        for chunk_id, bads in bad_targets.items():
+            data = good_copies.get(chunk_id)
+            if data is not None:
+                self._read_repair(entry.path, chunk_id, bads, data=data)
         if pending:
+            for chunk_id in pending:
+                err = integrity_errors.get(chunk_id)
+                if err is not None:
+                    raise err
             if last_transient is not None:
                 raise self._fatal_transient(last_transient) from last_transient
             raise LookupError(entry.path)

@@ -165,12 +165,21 @@ class GekkoFSCluster:
         """
         engine = self.network.create_engine(node)
         kv = LSMStore(self._node_dir(self.config.kv_dir, node))
+        integrity_opts = {}
+        if self.config.integrity_enabled:
+            integrity_opts = {
+                "integrity": True,
+                "integrity_block_size": self.config.integrity_block_size,
+                "integrity_algorithm": self.config.integrity_algorithm,
+            }
         if self.config.data_dir is not None:
             storage = LocalFSChunkStorage(
-                self.config.chunk_size, self._node_dir(self.config.data_dir, node)
+                self.config.chunk_size,
+                self._node_dir(self.config.data_dir, node),
+                **integrity_opts,
             )
         else:
-            storage = MemoryChunkStorage(self.config.chunk_size)
+            storage = MemoryChunkStorage(self.config.chunk_size, **integrity_opts)
         daemon = GekkoDaemon(node, engine, self.config.chunk_size, kv=kv, storage=storage)
         if self._scheduled_transport is not None:
             scheduled = self._scheduled_transport

@@ -12,6 +12,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.common.units import KiB, parse_size
+from repro.storage.integrity import DEFAULT_BLOCK_SIZE as DEFAULT_INTEGRITY_BLOCK_SIZE
 
 __all__ = ["FSConfig", "DEFAULT_CHUNK_SIZE"]
 
@@ -98,6 +99,30 @@ class FSConfig:
     :ivar qos_window_max: window growth ceiling per daemon.
     :ivar qos_throttle_retries: throttles absorbed per logical request
         before ``EAGAIN`` surfaces to the application.
+    :ivar integrity_enabled: the data-integrity plane.  Storage side:
+        every chunk carries per-block digests persisted alongside its
+        payload (in-memory table / on-disk sidecar), maintained on every
+        write and truncate.  Read side: daemons verify blocks the request
+        only partially covers and return the stored digests of fully
+        covered blocks as *proofs*; the client re-verifies those proofs
+        over the received bulk buffer, so rot in storage *and* corruption
+        in transit both surface as
+        :class:`~repro.common.errors.IntegrityError` (EIO) instead of
+        garbage — or, with ``replication >= 2``, trigger transparent
+        replica failover plus in-place read-repair.  Off by default: the
+        paper's trust-the-local-FS behaviour, with zero work on the hot
+        path (no sidecars, no digest calls, no extra RPC payload).
+    :ivar integrity_block_size: digest granularity in bytes; one digest
+        per this many bytes of chunk payload.  Clamped to the chunk size
+        by the backends (a 64 B test chunk keeps one digest per chunk).
+    :ivar integrity_algorithm: ``"gxh64"`` (default, vectorised 64-bit
+        weighted-product digest built for the hot path) or ``"crc32c"``
+        (table-driven Castagnoli reference; far slower in pure Python).
+    :ivar integrity_verify_writes: additionally checksum written spans on
+        the client and have daemons verify the pulled payload *before*
+        it reaches storage (HDFS-style write-path verification).  Costs
+        one extra digest pass per side; off by default — the end-to-end
+        read check already catches wire corruption after the fact.
     :ivar telemetry_enabled: the observability plane — distributed
         request tracing (client-op spans, RPC-carried request ids,
         daemon handler spans) plus per-handler latency histograms in
@@ -141,6 +166,10 @@ class FSConfig:
     qos_window_initial: int = 8
     qos_window_max: int = 64
     qos_throttle_retries: int = 16
+    integrity_enabled: bool = False
+    integrity_block_size: int = DEFAULT_INTEGRITY_BLOCK_SIZE
+    integrity_algorithm: str = "gxh64"
+    integrity_verify_writes: bool = False
     telemetry_enabled: bool = False
     passthrough_enabled: bool = True
     kv_dir: Optional[str] = None
@@ -196,6 +225,20 @@ class FSConfig:
             raise ValueError(
                 f"qos_throttle_retries must be >= 1, got {self.qos_throttle_retries}"
             )
+        object.__setattr__(
+            self, "integrity_block_size", parse_size(self.integrity_block_size)
+        )
+        if self.integrity_block_size <= 0:
+            raise ValueError(
+                f"integrity_block_size must be > 0, got {self.integrity_block_size}"
+            )
+        if self.integrity_algorithm not in ("gxh64", "crc32c"):
+            raise ValueError(
+                f"integrity_algorithm must be 'gxh64' or 'crc32c', "
+                f"got {self.integrity_algorithm!r}"
+            )
+        if self.integrity_verify_writes and not self.integrity_enabled:
+            raise ValueError("integrity_verify_writes requires integrity_enabled")
         if self.data_cache_enabled and self.data_cache_bytes < self.chunk_size:
             raise ValueError(
                 f"data_cache_bytes ({self.data_cache_bytes}) must hold at least "

@@ -19,9 +19,11 @@ from typing import Optional
 
 from repro.common.errors import (
     ExistsError,
+    IntegrityError,
     IsADirectoryError_,
     NotFoundError,
 )
+from repro.storage.integrity import chunk_checksum
 from repro.core.metadata import Metadata
 from repro.kvstore import LSMStore
 from repro.rpc import BulkHandle, RpcEngine
@@ -44,6 +46,7 @@ HANDLER_NAMES = (
     "gkfs_read_chunk",
     "gkfs_write_chunks",
     "gkfs_read_chunks",
+    "gkfs_replace_chunk",
     "gkfs_remove_chunks",
     "gkfs_truncate_chunks",
     "gkfs_statfs",
@@ -56,7 +59,13 @@ HANDLER_NAMES = (
 #: introspection — shares the *meta* lane, so a data flood cannot starve
 #: a stat.
 DATA_HANDLER_NAMES = frozenset(
-    {"gkfs_write_chunk", "gkfs_write_chunks", "gkfs_read_chunk", "gkfs_read_chunks"}
+    {
+        "gkfs_write_chunk",
+        "gkfs_write_chunks",
+        "gkfs_read_chunk",
+        "gkfs_read_chunks",
+        "gkfs_replace_chunk",
+    }
 )
 
 
@@ -120,6 +129,17 @@ class GekkoDaemon:
                 f"storage.{field}", lambda f=field: getattr(self.storage.stats, f)
             )
         registry.gauge("storage.used_bytes", lambda: self.storage.used_bytes())
+        # integrity plane (only when the backend checksums).
+        if self.storage.integrity:
+            for field in ("verified_reads", "checksum_failures", "torn_chunks",
+                          "chunks_replaced", "chunks_quarantined"):
+                registry.gauge(
+                    f"integrity.{field}",
+                    lambda f=field: getattr(self.storage.integrity_stats, f),
+                )
+            registry.gauge(
+                "integrity.quarantined_now", lambda: len(self.storage.quarantined)
+            )
         # RPC server.
         for name in HANDLER_NAMES:
             registry.gauge(
@@ -144,6 +164,7 @@ class GekkoDaemon:
         self.engine.register("gkfs_read_chunk", self.read_chunk)
         self.engine.register("gkfs_write_chunks", self.write_chunks)
         self.engine.register("gkfs_read_chunks", self.read_chunks)
+        self.engine.register("gkfs_replace_chunk", self.replace_chunk)
         self.engine.register("gkfs_remove_chunks", self.remove_chunks)
         self.engine.register("gkfs_truncate_chunks", self.truncate_chunks)
         self.engine.register("gkfs_statfs", self.statfs)
@@ -263,12 +284,21 @@ class GekkoDaemon:
 
     # -- data handlers ---------------------------------------------------------
 
+    def _check_wire_digest(self, path: str, chunk_id: int, piece: bytes, crc) -> None:
+        """Verify a client-sent span digest before the payload hits storage."""
+        if crc is not None and chunk_checksum(piece, 0, self.storage.algorithm) != crc:
+            raise IntegrityError(
+                f"chunk {chunk_id} of {path!r}: payload corrupted in transit "
+                f"(write digest mismatch)"
+            )
+
     def write_chunk(
         self,
         path: str,
         chunk_id: int,
         offset: int,
         data: Optional[bytes] = None,
+        crc: Optional[int] = None,
         bulk: Optional[BulkHandle] = None,
     ) -> int:
         """Persist one chunk-local span; payload arrives inline or via bulk.
@@ -276,11 +306,15 @@ class GekkoDaemon:
         With a bulk handle the daemon pulls the span from the client's
         exposed buffer (the RDMA path, §III-B); small writes may inline the
         bytes in the RPC itself, as Mercury does below its bulk threshold.
+        A client running with ``integrity_verify_writes`` sends ``crc``,
+        the span's digest, which is checked against the received payload
+        before anything is stored.
         """
         if bulk is not None:
             data = bulk.pull()
         if data is None:
             raise ValueError("write_chunk needs inline data or a bulk handle")
+        self._check_wire_digest(path, chunk_id, data, crc)
         return self.storage.write_chunk(path, chunk_id, offset, data)
 
     def read_chunk(
@@ -296,7 +330,21 @@ class GekkoDaemon:
         With a bulk handle the daemon pushes into the client's buffer and
         returns the byte count; otherwise the bytes return inline.
         Missing chunks read as empty (sparse files / racing readers).
+
+        With integrity enabled the payload is served from a verified read
+        and the reply becomes ``{"n"|"data": ..., "proofs": [...]}`` —
+        the stored digests of every block the span fully covers, which
+        the client re-checks over its own receive buffer (end to end);
+        partially covered edge blocks were already verified here.
         """
+        if self.storage.integrity:
+            data, proofs = self.storage.read_chunk_verified(
+                path, chunk_id, offset, length
+            )
+            if bulk is None:
+                return {"data": data, "proofs": proofs}
+            bulk.push(data)
+            return {"n": len(data), "proofs": proofs}
         data = self.storage.read_chunk(path, chunk_id, offset, length)
         if bulk is None:
             return data
@@ -308,6 +356,7 @@ class GekkoDaemon:
         path: str,
         spans: list,
         data: Optional[bytes] = None,
+        crcs: Optional[list] = None,
         bulk: Optional[BulkHandle] = None,
     ) -> int:
         """Persist several chunk-local spans of one file in a single RPC.
@@ -317,16 +366,20 @@ class GekkoDaemon:
         inline ``data`` for small groups or a bulk exposure the daemon
         pulls span-by-span (one registered region, N RDMA gets — how the
         pipelined client coalesces every span it owns on this daemon into
-        one forward).  Returns total bytes written.
+        one forward).  ``crcs`` optionally carries one client-side span
+        digest per span (``integrity_verify_writes``).  Returns total
+        bytes written.
         """
         total = 0
-        for chunk_id, chunk_offset, length, payload_offset in spans:
+        for index, (chunk_id, chunk_offset, length, payload_offset) in enumerate(spans):
             if bulk is not None:
                 piece = bulk.pull(payload_offset, length)
             elif data is not None:
                 piece = data[payload_offset : payload_offset + length]
             else:
                 raise ValueError("write_chunks needs inline data or a bulk handle")
+            if crcs is not None:
+                self._check_wire_digest(path, chunk_id, piece, crcs[index])
             total += self.storage.write_chunk(path, chunk_id, chunk_offset, piece)
         return total
 
@@ -344,7 +397,32 @@ class GekkoDaemon:
         returns the byte count; otherwise the per-span payloads return
         inline as a list.  Missing chunks read short/empty — the client's
         zero-filled buffer supplies the holes.
+
+        With integrity enabled each span is served from a verified read
+        and the reply becomes ``{"n"|"data": ..., "spans": [...]}`` with
+        one proof list per span (see :meth:`read_chunk`).
         """
+        if self.storage.integrity:
+            span_proofs = []
+            if bulk is not None:
+                total = 0
+                for chunk_id, chunk_offset, length, buffer_offset in spans:
+                    piece, proofs = self.storage.read_chunk_verified(
+                        path, chunk_id, chunk_offset, length
+                    )
+                    if piece:
+                        bulk.push(piece, buffer_offset)
+                    total += len(piece)
+                    span_proofs.append(proofs)
+                return {"n": total, "spans": span_proofs}
+            payloads = []
+            for chunk_id, chunk_offset, length, _buffer_offset in spans:
+                piece, proofs = self.storage.read_chunk_verified(
+                    path, chunk_id, chunk_offset, length
+                )
+                payloads.append(piece)
+                span_proofs.append(proofs)
+            return {"data": payloads, "spans": span_proofs}
         if bulk is not None:
             total = 0
             for chunk_id, chunk_offset, length, buffer_offset in spans:
@@ -357,6 +435,25 @@ class GekkoDaemon:
             self.storage.read_chunk(path, chunk_id, chunk_offset, length)
             for chunk_id, chunk_offset, length, _buffer_offset in spans
         ]
+
+    def replace_chunk(
+        self,
+        path: str,
+        chunk_id: int,
+        data: Optional[bytes] = None,
+        bulk: Optional[BulkHandle] = None,
+    ) -> int:
+        """Authoritatively rewrite one whole chunk from a verified copy.
+
+        The repair RPC: clients performing read-repair and the scrubber
+        push the full replacement payload; the storage drops the old
+        payload and digests, re-checksums, and lifts any quarantine.
+        """
+        if bulk is not None:
+            data = bulk.pull()
+        if data is None:
+            raise ValueError("replace_chunk needs inline data or a bulk handle")
+        return self.storage.replace_chunk(path, chunk_id, data)
 
     def remove_chunks(self, path: str) -> int:
         """Drop every local chunk of ``path`` (remove broadcast)."""

@@ -11,11 +11,16 @@ trusting a retained campaign:
 * **size overrun** — a metadata size smaller than the highest stored
   chunk (a size update that never arrived);
 * **phantom directories** — children whose parent path has no record
-  (legal in the flat namespace, reported as informational).
+  (legal in the flat namespace, reported as informational);
+* **corrupt chunks** — payloads failing digest verification (integrity
+  plane only), including chunks the scrubber quarantined as
+  unrepairable.
 
 ``check()`` scans every daemon; ``repair()`` applies the safe fixes:
 dropping orphaned chunks and raising understated sizes (data wins over
-metadata — the bytes exist).
+metadata — the bytes exist).  Corruption is *reported* here but
+*repaired* by the scrubber (:mod:`repro.faults.scrub`), which holds the
+replica anti-entropy machinery.
 """
 
 from __future__ import annotations
@@ -43,11 +48,23 @@ class FsckReport:
     size_overruns: list[tuple[str, int, int]] = field(default_factory=list)
     #: paths whose parent directory has no record (informational).
     phantom_parents: list[str] = field(default_factory=list)
+    #: (path, daemon, chunk_id) failing digest verification (integrity
+    #: plane only) — includes any quarantined chunks, whose payloads are
+    #: still corrupt in place.
+    corrupt_chunks: list[tuple[str, int, int]] = field(default_factory=list)
+    #: (path, daemon, chunk_id) quarantined by the scrubber as
+    #: unrepairable — verified reads of these fail with ``EIO``.
+    quarantined_chunks: list[tuple[str, int, int]] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
-        """No findings that affect data addressing (phantoms are legal)."""
-        return not self.orphaned_chunks and not self.size_overruns
+        """No findings that affect data addressing or data trustworthiness
+        (phantoms are legal)."""
+        return (
+            not self.orphaned_chunks
+            and not self.size_overruns
+            and not self.corrupt_chunks
+        )
 
     def __str__(self) -> str:
         status = "clean" if self.clean else "INCONSISTENT"
@@ -56,7 +73,9 @@ class FsckReport:
             f"{self.chunks_checked} chunks, "
             f"{len(self.orphaned_chunks)} orphaned chunks, "
             f"{len(self.size_overruns)} size overruns, "
-            f"{len(self.phantom_parents)} phantom parents"
+            f"{len(self.phantom_parents)} phantom parents, "
+            f"{len(self.corrupt_chunks)} corrupt chunks "
+            f"({len(self.quarantined_chunks)} quarantined)"
         )
 
 
@@ -98,15 +117,23 @@ def check(cluster: "GekkoFSCluster") -> FsckReport:
     # Observed data extent per path.
     observed: dict[str, int] = {}
     for daemon in _live_daemons(cluster):
+        integrity = daemon.storage.integrity
         for path in daemon.storage.paths():
             for chunk_id in daemon.storage.chunk_ids(path):
                 report.chunks_checked += 1
+                if integrity and not daemon.storage.verify_chunk(path, chunk_id):
+                    report.corrupt_chunks.append((path, daemon.address, chunk_id))
                 if path not in records:
                     report.orphaned_chunks.append((path, daemon.address, chunk_id))
                     continue
                 data = daemon.storage.read_chunk(path, chunk_id, 0, chunk_size)
                 extent = chunk_id * chunk_size + len(data)
                 observed[path] = max(observed.get(path, 0), extent)
+        if integrity:
+            report.quarantined_chunks.extend(
+                (path, daemon.address, chunk_id)
+                for path, chunk_id in daemon.storage.quarantined
+            )
 
     for path, extent in sorted(observed.items()):
         md = records[path]

@@ -11,12 +11,15 @@ This package is the repository's robustness extension — the machinery to
   scripted or seeded-random fault plans against a live cluster;
 * :mod:`repro.faults.recovery` — daemon restart recovery: WAL-replay
   accounting, replica anti-entropy, root recreation, fsck reconcile;
+* :mod:`repro.faults.scrub` — the background :class:`Scrubber`, walking
+  chunk stores to verify digests and self-heal corruption from replicas;
 * :mod:`repro.faults.sim` — virtual-time fault timelines and the
   closed-form availability model for the discrete-event simulator.
 """
 
 from repro.faults.chaos import ChaosController, FaultEvent
 from repro.faults.recovery import RecoveryReport, recover_daemon
+from repro.faults.scrub import Scrubber, ScrubReport
 from repro.faults.sim import FaultTimeline, Outage, op_availability
 from repro.faults.transports import (
     DropTransport,
@@ -34,6 +37,8 @@ __all__ = [
     "Outage",
     "PartitionTransport",
     "RecoveryReport",
+    "ScrubReport",
+    "Scrubber",
     "TriggerTransport",
     "op_availability",
     "recover_daemon",

@@ -2,11 +2,14 @@
 
 A :class:`ChaosController` attaches to a live
 :class:`~repro.core.cluster.GekkoFSCluster` and drives faults against
-it: daemon crash/restart (through the cluster's crash-stop APIs) and
+it: daemon crash/restart (through the cluster's crash-stop APIs),
 network faults (latency, message drop, partition, one-shot triggers)
 through a stack of :mod:`repro.faults.transports` wrappers spliced in
 directly above the base transport — *below* the client's retry, breaker
-and instrumentation layers, where a real fabric fault would occur.
+and instrumentation layers, where a real fabric fault would occur — and
+silent data corruption (:meth:`ChaosController.bitrot`,
+:meth:`ChaosController.torn_write`) injected straight into daemon chunk
+stores for the integrity plane to catch.
 
 Two driving styles:
 
@@ -49,11 +52,12 @@ class FaultEvent:
     """One step of a scripted fault plan.
 
     :ivar action: ``crash`` | ``restart`` | ``slow`` | ``clear_slow`` |
-        ``drop`` | ``clear_drop`` | ``partition`` | ``heal``.
+        ``drop`` | ``clear_drop`` | ``partition`` | ``heal`` |
+        ``bitrot`` | ``torn_write``.
     :ivar target: daemon address the action applies to (``heal`` may
         omit it to lift the whole partition).
     :ivar value: action parameter — seconds for ``slow``, probability
-        for ``drop``.
+        for ``drop``, chunk fraction for ``bitrot``/``torn_write``.
     :ivar recover: for ``restart``: run the recovery pipeline.
     """
 
@@ -208,6 +212,66 @@ class ChaosController:
     def crashed(self) -> set[int]:
         return self.cluster.crashed_daemons
 
+    # -- data corruption (integrity plane) ----------------------------------
+
+    def _storage_chunks(self, address: int) -> list[tuple[str, int]]:
+        """Every ``(path, chunk_id)`` one daemon's store currently holds."""
+        storage = self.cluster.daemons[address].storage
+        return [
+            (path, chunk_id)
+            for path in storage.paths()
+            for chunk_id in storage.chunk_ids(path)
+        ]
+
+    def bitrot(self, address: int, fraction: float = 0.25) -> list[tuple[str, int]]:
+        """Flip one byte in a seeded-random ``fraction`` of a daemon's chunks.
+
+        Silent corruption below the file system — the payload changes,
+        the stored digests do not, so the damage is invisible until a
+        verified read or a scrub pass recomputes them.  Returns the
+        ``(path, chunk_id)`` list actually damaged, so a test can assert
+        the scrubber found every one.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        storage = self.cluster.daemons[address].storage
+        chunks = self._storage_chunks(address)
+        count = max(1, int(len(chunks) * fraction)) if chunks else 0
+        damaged = []
+        for path, chunk_id in sorted(self.rng.sample(chunks, count)):
+            size = len(storage.read_chunk(path, chunk_id, 0, storage.chunk_size))
+            if size == 0:
+                continue
+            if storage.corrupt_chunk(path, chunk_id, self.rng.randrange(size)):
+                damaged.append((path, chunk_id))
+                self._note("bitrot", address, chunk_id)
+        return damaged
+
+    def torn_write(
+        self, address: int, fraction: float = 0.25
+    ) -> list[tuple[str, int]]:
+        """Truncate a seeded-random ``fraction`` of a daemon's chunks.
+
+        The crash artifact a power loss leaves behind: a chunk file whose
+        payload stops short of its checksummed length (possibly at zero
+        bytes).  Verified reads detect the short payload as *torn* rather
+        than serving silently truncated data.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        storage = self.cluster.daemons[address].storage
+        chunks = self._storage_chunks(address)
+        count = max(1, int(len(chunks) * fraction)) if chunks else 0
+        damaged = []
+        for path, chunk_id in sorted(self.rng.sample(chunks, count)):
+            size = len(storage.read_chunk(path, chunk_id, 0, storage.chunk_size))
+            if size == 0:
+                continue
+            if storage.tear_chunk(path, chunk_id, self.rng.randrange(size)):
+                damaged.append((path, chunk_id))
+                self._note("torn_write", address, chunk_id)
+        return damaged
+
     # -- scripted plans -----------------------------------------------------
 
     def apply(self, event: FaultEvent) -> None:
@@ -228,6 +292,10 @@ class ChaosController:
             self.partition([event.target])
         elif event.action == "heal":
             self.heal(None if event.target is None else [event.target])
+        elif event.action == "bitrot":
+            self.bitrot(event.target, event.value or 0.25)
+        elif event.action == "torn_write":
+            self.torn_write(event.target, event.value or 0.25)
         else:
             raise ValueError(f"unknown fault action {event.action!r}")
 

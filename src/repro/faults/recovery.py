@@ -108,9 +108,17 @@ def _resync_metadata(cluster: "GekkoFSCluster", address: int) -> int:
 
 
 def _resync_chunks(cluster: "GekkoFSCluster", address: int) -> int:
-    """Copy back every chunk whose replica set includes ``address``."""
+    """Copy back every chunk whose replica set includes ``address``.
+
+    With the integrity plane on, digests decide instead of length alone:
+    a peer copy that fails its own verification is never used as a
+    source, and a local copy that fails verification is force-replaced
+    even when it is as long as the peer's — a torn or rotted chunk must
+    not win the resync on size.
+    """
     daemon = cluster.daemons[address]
     chunk_size = cluster.config.chunk_size
+    integrity = daemon.storage.integrity
     resynced = 0
     copied: set[tuple[str, int]] = set()
     for peer in cluster.live_daemons():
@@ -124,13 +132,25 @@ def _resync_chunks(cluster: "GekkoFSCluster", address: int) -> int:
                     cluster, cluster.distributor.locate_chunk(path, chunk_id)
                 ):
                     continue
+                if (
+                    integrity
+                    and peer.storage.integrity
+                    and not peer.storage.verify_chunk(path, chunk_id)
+                ):
+                    continue  # corrupt source: let another replica serve
                 data = peer.storage.read_chunk(path, chunk_id, 0, chunk_size)
                 if not data:
                     continue
                 local = daemon.storage.read_chunk(path, chunk_id, 0, chunk_size)
-                if len(local) >= len(data):
+                local_bad = integrity and not daemon.storage.verify_chunk(
+                    path, chunk_id
+                )
+                if len(local) >= len(data) and not local_bad:
                     continue
-                daemon.storage.write_chunk(path, chunk_id, 0, data)
+                if integrity:
+                    daemon.storage.replace_chunk(path, chunk_id, data)
+                else:
+                    daemon.storage.write_chunk(path, chunk_id, 0, data)
                 copied.add((path, chunk_id))
                 resynced += 1
     return resynced

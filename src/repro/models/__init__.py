@@ -18,6 +18,12 @@ curves are flat while GekkoFS scales linearly.
 
 from repro.models.calibration import MogonIICalibration, MOGON_II
 from repro.models.gekkofs import GekkoFSModel
+from repro.models.integrity import (
+    chunk_loss_probability,
+    interval_corruption_probability,
+    mission_survival_probability,
+    survival_curve,
+)
 from repro.models.lustre import LustreModel
 from repro.models.ssd_peak import aggregated_ssd_peak
 
@@ -27,4 +33,8 @@ __all__ = [
     "GekkoFSModel",
     "LustreModel",
     "aggregated_ssd_peak",
+    "chunk_loss_probability",
+    "interval_corruption_probability",
+    "mission_survival_probability",
+    "survival_curve",
 ]

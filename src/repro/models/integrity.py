@@ -1,0 +1,118 @@
+"""Analytic twin of the integrity plane: corruption survival odds.
+
+The scrubber and replicas turn silent corruption from an eventual
+certainty into a race the defender usually wins: a chunk is only lost
+if *every* replica rots inside the same scrub interval, before the
+anti-entropy pass can repair any of them.  This module closes that
+argument in closed form so the EXT-INTEGRITY experiment's empirical
+result (inject, read through, converge to zero) sits next to the
+design-space answer it generalises — how survival probability moves
+with the scrub interval ``T`` and replication factor ``r``.
+
+Model (standard scrubbed-redundancy analysis, e.g. disk-array patrol
+reads):
+
+* each replica of a chunk suffers corruption as a Poisson process with
+  rate ``corruption_rate`` (per replica-second), so the probability a
+  given replica rots during one scrub interval is ``p = 1 - exp(-λT)``;
+* a chunk is *lost* in an interval only if all ``r`` replicas rot in
+  that same interval (the scrub at the boundary repairs anything less):
+  ``p_loss = p^r``;
+* a mission of length ``M`` over ``C`` chunks survives with
+  ``(1 - p^r)^(C · M/T)`` — independent intervals, independent chunks.
+
+The twin deliberately ignores repair duration (scrub passes are fast
+relative to ``T``) and correlated failures (a dying SSD corrupting all
+its chunks at once) — both conservative directions are discussed in
+``docs/architecture.md`` §11.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "interval_corruption_probability",
+    "chunk_loss_probability",
+    "mission_survival_probability",
+    "survival_curve",
+]
+
+
+def interval_corruption_probability(corruption_rate: float, interval: float) -> float:
+    """P(one replica rots within one scrub interval).
+
+    :param corruption_rate: Poisson corruption rate λ per replica-second.
+    :param interval: scrub interval ``T`` in seconds.
+    """
+    if corruption_rate < 0 or interval < 0:
+        raise ValueError("corruption_rate and interval must be >= 0")
+    return 1.0 - math.exp(-corruption_rate * interval)
+
+
+def chunk_loss_probability(
+    corruption_rate: float, interval: float, replication: int
+) -> float:
+    """P(a chunk is unrecoverable after one scrub interval): ``p^r``.
+
+    Losing a chunk takes all ``r`` replicas rotting inside the same
+    interval — one surviving verified copy repairs the rest.
+    """
+    if replication < 1:
+        raise ValueError(f"replication must be >= 1, got {replication}")
+    return interval_corruption_probability(corruption_rate, interval) ** replication
+
+
+def mission_survival_probability(
+    corruption_rate: float,
+    interval: float,
+    replication: int,
+    chunks: int,
+    mission: float,
+) -> float:
+    """P(no chunk is lost over a whole mission): ``(1 - p^r)^(C·M/T)``.
+
+    :param chunks: chunk count ``C`` held by the deployment.
+    :param mission: mission (campaign) length ``M`` in seconds.
+    """
+    if chunks < 0:
+        raise ValueError(f"chunks must be >= 0, got {chunks}")
+    if mission < 0:
+        raise ValueError(f"mission must be >= 0, got {mission}")
+    if chunks == 0 or mission == 0.0:
+        return 1.0
+    if interval <= 0:
+        return 1.0  # continuous scrubbing: nothing survives unrepaired
+    p_loss = chunk_loss_probability(corruption_rate, interval, replication)
+    if p_loss >= 1.0:
+        return 0.0
+    exponent = chunks * (mission / interval)
+    # log-space: (1-p)^n underflows long before float loses the answer.
+    return math.exp(exponent * math.log1p(-p_loss))
+
+
+def survival_curve(
+    corruption_rate: float,
+    intervals: list[float],
+    replications: list[int],
+    chunks: int,
+    mission: float,
+) -> dict[int, list[tuple[float, float]]]:
+    """Survival probability over a (scrub interval × replication) grid.
+
+    ``{r: [(T, survival), ...]}`` — the EXT-INTEGRITY design-space sweep:
+    longer intervals and lower replication both erode survival, and the
+    curve quantifies how much scrub bandwidth buys how many nines.
+    """
+    return {
+        r: [
+            (
+                T,
+                mission_survival_probability(
+                    corruption_rate, T, r, chunks, mission
+                ),
+            )
+            for T in intervals
+        ]
+        for r in replications
+    }

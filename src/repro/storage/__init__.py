@@ -6,9 +6,20 @@ that contract — an in-memory one for tests/simulation and a real
 directory-backed one — plus :class:`~repro.storage.ssd_model.SSDModel`,
 the calibrated performance model of the Intel DC S3700-class SATA SSDs
 that the MOGON II evaluation nodes provide.
+
+The integrity plane (:mod:`repro.storage.integrity`) adds per-block chunk
+digests, checksum-verified reads with end-to-end proofs, and the
+corrupt/tear fault hooks the chaos harness drives.
 """
 
 from repro.storage.backend import ChunkStorage, StorageStats
+from repro.storage.integrity import (
+    DEFAULT_BLOCK_SIZE,
+    IntegrityStats,
+    block_checksums,
+    chunk_checksum,
+    crc32c,
+)
 from repro.storage.localfs import LocalFSChunkStorage
 from repro.storage.memory import MemoryChunkStorage
 from repro.storage.ssd_model import DC_S3700, SSDModel
@@ -20,4 +31,9 @@ __all__ = [
     "LocalFSChunkStorage",
     "SSDModel",
     "DC_S3700",
+    "DEFAULT_BLOCK_SIZE",
+    "IntegrityStats",
+    "block_checksums",
+    "chunk_checksum",
+    "crc32c",
 ]

@@ -6,12 +6,33 @@ therefore speaks only ``(path, chunk_id)``: write/read a byte range inside
 one chunk, truncate a chunk, drop all chunks of a path.  Chunks are
 sparse-friendly: writing at a positive in-chunk offset zero-fills the gap,
 exactly like a hole in the chunk file on XFS.
+
+With ``integrity=True`` every backend additionally maintains per-block
+digests for each chunk (see :mod:`repro.storage.integrity`): writes and
+truncates keep the digests current, :meth:`ChunkStorage.read_chunk_verified`
+serves checksum-verified reads (returning stored digests as *proofs* for
+blocks the client can re-verify end-to-end), :meth:`ChunkStorage.verify_chunk`
+gives scrubbers a full-chunk check, and unrepairable chunks can be
+*quarantined* so they fail loudly instead of serving garbage.  The raw
+:meth:`ChunkStorage.read_chunk` stays unverified on purpose — fsck,
+anti-entropy resync, and the fault injectors need to see the bytes as
+they are.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Optional
+
+from repro.common.errors import IntegrityError
+from repro.storage.integrity import (
+    DEFAULT_BLOCK_SIZE,
+    IntegrityStats,
+    block_checksums,
+    block_span,
+    chunk_checksum,
+)
 
 __all__ = ["ChunkStorage", "StorageStats"]
 
@@ -36,13 +57,32 @@ class ChunkStorage:
 
     Implementations must be safe for concurrent calls from multiple RPC
     handler threads.
+
+    :param chunk_size: striping granularity in bytes.
+    :param integrity: maintain and verify per-block chunk digests.
+    :param integrity_block_size: digest granularity (clamped to
+        ``chunk_size``).
+    :param integrity_algorithm: digest algorithm name
+        (:func:`repro.storage.integrity.chunk_checksum`).
     """
 
-    def __init__(self, chunk_size: int):
+    def __init__(
+        self,
+        chunk_size: int,
+        integrity: bool = False,
+        integrity_block_size: int = DEFAULT_BLOCK_SIZE,
+        integrity_algorithm: str = "gxh64",
+    ):
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be > 0, got {chunk_size}")
         self.chunk_size = chunk_size
         self.stats = StorageStats()
+        self.integrity = bool(integrity)
+        self.block_size = max(1, min(integrity_block_size, chunk_size))
+        self.algorithm = integrity_algorithm
+        self.integrity_stats = IntegrityStats()
+        self._quarantined: set[tuple[str, int]] = set()
+        self._lock = threading.RLock()
 
     def _check_range(self, offset: int, length: int) -> None:
         if offset < 0 or length < 0:
@@ -63,7 +103,7 @@ class ChunkStorage:
 
     def read_chunk(self, path: str, chunk_id: int, offset: int, length: int) -> bytes:
         """Read up to ``length`` bytes; short result at end of chunk data,
-        empty if the chunk does not exist."""
+        empty if the chunk does not exist.  Never checksum-verified."""
         raise NotImplementedError
 
     def truncate_chunk(self, path: str, chunk_id: int, length: int) -> None:
@@ -87,5 +127,208 @@ class ChunkStorage:
         raise NotImplementedError
 
     def used_bytes(self) -> int:
-        """Total payload bytes currently stored."""
+        """Total payload bytes currently stored (checksum sidecars excluded)."""
         raise NotImplementedError
+
+    # -- integrity interface (implemented per backend) ---------------------
+
+    def _read_payload(self, path: str, chunk_id: int, offset: int, length: int) -> bytes:
+        """Raw payload read for internal verification — no stats accounting."""
+        raise NotImplementedError
+
+    def _get_sums(self, path: str, chunk_id: int) -> Optional[tuple[int, list[int]]]:
+        """``(checksummed_length, per-block digests)`` or ``None`` if the
+        chunk has no (readable) checksum record."""
+        raise NotImplementedError
+
+    def _set_sums(self, path: str, chunk_id: int, length: int, sums: list[int]) -> None:
+        raise NotImplementedError
+
+    def _del_sums(self, path: str, chunk_id: int) -> None:
+        raise NotImplementedError
+
+    def corrupt_chunk(
+        self, path: str, chunk_id: int, byte_offset: int, xor: int = 0xA5
+    ) -> bool:
+        """Fault injector: flip payload bits *without* touching the digest
+        record (simulated bit-rot).  Returns False if the byte does not
+        exist."""
+        raise NotImplementedError
+
+    def tear_chunk(self, path: str, chunk_id: int, keep_bytes: int) -> bool:
+        """Fault injector: shear the payload down to ``keep_bytes`` without
+        touching the digest record (simulated torn write / crashed flush).
+        ``keep_bytes=0`` leaves a zero-length payload behind."""
+        raise NotImplementedError
+
+    # -- integrity plane (shared logic) ------------------------------------
+
+    @property
+    def quarantined(self) -> list[tuple[str, int]]:
+        """Chunks fenced off as unrepairable, as sorted ``(path, chunk_id)``."""
+        with self._lock:
+            return sorted(self._quarantined)
+
+    def is_quarantined(self, path: str, chunk_id: int) -> bool:
+        with self._lock:
+            return (path, chunk_id) in self._quarantined
+
+    def quarantine_chunk(self, path: str, chunk_id: int) -> None:
+        """Fence a chunk: verified reads fail with ``IntegrityError`` until
+        it is rewritten from scratch (``replace_chunk`` or full overwrite)."""
+        with self._lock:
+            if (path, chunk_id) not in self._quarantined:
+                self._quarantined.add((path, chunk_id))
+                self.integrity_stats.chunks_quarantined += 1
+
+    def replace_chunk(self, path: str, chunk_id: int, data: bytes) -> int:
+        """Authoritative whole-chunk rewrite (read-repair / scrub repair).
+
+        Drops the existing payload and digest record, writes ``data`` as
+        the chunk's full new content, and lifts any quarantine.
+        """
+        with self._lock:
+            self._quarantined.discard((path, chunk_id))
+            self.truncate_chunk(path, chunk_id, 0)
+            if data:
+                self.write_chunk(path, chunk_id, 0, data)
+            if self.integrity:
+                self.integrity_stats.chunks_replaced += 1
+            return len(data)
+
+    def read_chunk_verified(
+        self, path: str, chunk_id: int, offset: int, length: int
+    ) -> tuple[bytes, list[tuple[int, int, int]]]:
+        """Checksum-verified read.
+
+        Returns ``(data, proofs)`` where ``proofs`` is a list of
+        ``(block_offset, block_len, digest)`` for every digest block that
+        lies *fully inside* the returned data — the caller re-computes
+        those digests over its own receive buffer, closing the loop end
+        to end.  Blocks the request only partially covers are verified
+        here (the caller cannot: it lacks the rest of the block).
+
+        Raises :class:`IntegrityError` on quarantined chunks, missing or
+        unreadable digest records, torn payloads (shorter than the
+        checksummed length), and digest mismatches.
+        """
+        self._check_range(offset, length)
+        if not self.integrity:
+            return self.read_chunk(path, chunk_id, offset, length), []
+        with self._lock:
+            if (path, chunk_id) in self._quarantined:
+                raise IntegrityError(
+                    f"chunk {chunk_id} of {path!r} is quarantined (unrepairable)"
+                )
+            data = self.read_chunk(path, chunk_id, offset, length)
+            entry = self._get_sums(path, chunk_id)
+            if entry is None:
+                if not data:
+                    return b"", []  # chunk simply does not exist
+                self.integrity_stats.checksum_failures += 1
+                raise IntegrityError(
+                    f"chunk {chunk_id} of {path!r} has no readable checksum record"
+                )
+            stored_len, sums = entry
+            expected = max(0, min(stored_len - offset, length))
+            if len(data) != expected:
+                self.integrity_stats.torn_chunks += 1
+                self.integrity_stats.checksum_failures += 1
+                raise IntegrityError(
+                    f"chunk {chunk_id} of {path!r} torn: {len(data)} payload bytes "
+                    f"where the checksum record promises {expected}"
+                )
+            if not data:
+                return b"", []
+            proofs: list[tuple[int, int, int]] = []
+            end = offset + len(data)
+            for k in block_span(offset, len(data), self.block_size):
+                boff = k * self.block_size
+                blen = min(self.block_size, stored_len - boff)
+                if boff >= offset and boff + blen <= end:
+                    proofs.append((boff, blen, sums[k]))
+                    continue
+                block = self._read_payload(path, chunk_id, boff, blen)
+                if len(block) != blen or chunk_checksum(
+                    block, boff, self.algorithm
+                ) != sums[k]:
+                    self.integrity_stats.checksum_failures += 1
+                    raise IntegrityError(
+                        f"chunk {chunk_id} of {path!r}: digest mismatch in "
+                        f"block at offset {boff}"
+                    )
+            self.integrity_stats.verified_reads += 1
+            return data, proofs
+
+    def verify_chunk(self, path: str, chunk_id: int) -> bool:
+        """Full-chunk verification for scrubbers and fsck.
+
+        True iff the payload exactly matches its digest record (length
+        and every block).  A chunk with payload but no readable record
+        counts as corrupt; a chunk with neither is vacuously fine.
+        """
+        with self._lock:
+            data = self._read_payload(path, chunk_id, 0, self.chunk_size)
+            entry = self._get_sums(path, chunk_id)
+            if entry is None:
+                return not data
+            stored_len, sums = entry
+            if len(data) != stored_len:
+                return False
+            return block_checksums(data, self.block_size, self.algorithm) == sums
+
+    # -- integrity maintenance (called by backends under their lock) -------
+
+    def _integrity_after_write(
+        self, path: str, chunk_id: int, offset: int, data: bytes
+    ) -> None:
+        entry = self._get_sums(path, chunk_id)
+        old_len, sums = entry if entry is not None else (0, [])
+        end = offset + len(data)
+        new_len = max(old_len, end)
+        # A full overwrite of the stored extent supersedes any quarantine.
+        if offset == 0 and end >= old_len:
+            self._quarantined.discard((path, chunk_id))
+        if not data and end <= old_len:
+            return  # empty write inside the extent changes nothing
+        lo = min(offset, old_len)  # zero-filled hole starts at old_len
+        if new_len <= lo:
+            return
+        b = self.block_size
+        first = lo // b
+        last = (max(end, lo + 1) - 1) // b
+        if offset % b == 0 and lo == offset and (end % b == 0 or end == new_len):
+            # the write covers blocks first..last exactly — digest in place
+            digs = block_checksums(data, b, self.algorithm, base_offset=offset)
+        else:
+            hi = min((last + 1) * b, new_len)
+            region = self._read_payload(path, chunk_id, first * b, hi - first * b)
+            digs = block_checksums(region, b, self.algorithm, base_offset=first * b)
+        sums[first : last + 1] = digs
+        self._set_sums(path, chunk_id, new_len, sums)
+
+    def _integrity_after_truncate(self, path: str, chunk_id: int, length: int) -> None:
+        if length == 0:
+            self._del_sums(path, chunk_id)
+            self._quarantined.discard((path, chunk_id))
+            return
+        entry = self._get_sums(path, chunk_id)
+        if entry is None:
+            return
+        old_len, sums = entry
+        if length >= old_len:
+            return
+        b = self.block_size
+        nblocks = (length + b - 1) // b
+        del sums[nblocks:]
+        if length % b:
+            boff = (nblocks - 1) * b
+            block = self._read_payload(path, chunk_id, boff, length - boff)
+            sums[nblocks - 1] = chunk_checksum(block, boff, self.algorithm)
+        self._set_sums(path, chunk_id, length, sums)
+
+    def _integrity_drop_path(self, path: str) -> None:
+        """Forget digest/quarantine state for every chunk of ``path``."""
+        with self._lock:
+            doomed = [key for key in self._quarantined if key[0] == path]
+            self._quarantined.difference_update(doomed)

@@ -1,0 +1,265 @@
+"""Chunk checksum algorithms and block-grid helpers for the integrity plane.
+
+GekkoFS trusts the node-local file system to return the bytes it wrote;
+at burst-buffer scale that trust is misplaced — bit-rot and torn writes
+are real failure modes the paper's relaxed-POSIX model never addresses.
+This module supplies the digests the storage backends persist alongside
+every chunk (sidecar per chunk, one digest per 128 KiB *block*) and that
+clients re-verify end-to-end on read.
+
+Two algorithms are offered:
+
+* ``"gxh64"`` (default) — a 64-bit multilinear digest built for the hot
+  path: each little-endian 64-bit word is multiplied by a fixed odd
+  per-position weight and the products are summed mod 2^64, then
+  finalised with a splitmix64 mix of the length and a caller salt.  Odd
+  multipliers are invertible mod 2^64, so *any* corruption confined to
+  one word is detected deterministically; multi-word corruption escapes
+  with probability ~2^-64.  The whole word loop is one integer dot
+  product, which numpy fuses into a single pass (~8 µs per 128 KiB); a
+  bit-exact pure-Python fallback keeps digests stable across machines
+  and across the presence/absence of numpy.
+* ``"crc32c"`` — the Castagnoli CRC used by iSCSI/ext4/Btrfs, as a
+  table-driven reference implementation.  Byte-at-a-time Python is far
+  too slow for the data path but the polynomial is the industry
+  fixture; it is selectable via ``FSConfig(integrity_algorithm=...)``
+  for correctness-focused runs and is cross-checked against the
+  standard test vector.
+
+Digests are salted with the block's byte offset inside its chunk, so a
+block's bytes landing at the wrong offset (misdirected write) also fail
+verification, not only in-place rot.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+import threading
+from dataclasses import dataclass
+
+try:  # numpy is an optional accelerator; the pure path is bit-identical
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the force flag
+    _np = None
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "IntegrityStats",
+    "block_checksums",
+    "block_span",
+    "chunk_checksum",
+    "crc32c",
+]
+
+DEFAULT_BLOCK_SIZE = 128 * 1024
+"""Default checksum granularity: one digest per 128 KiB of chunk payload."""
+
+_M32 = 0xFFFFFFFF
+_M64 = 0xFFFFFFFFFFFFFFFF
+_LEN_MULT = 0x9E3779B97F4A7C15  # golden-ratio odd constant for length mixing
+
+# ---------------------------------------------------------------------------
+# CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — reference algorithm
+# ---------------------------------------------------------------------------
+
+
+def _build_crc32c_table() -> list[int]:
+    table = []
+    for i in range(256):
+        crc = i
+        for _ in range(8):
+            crc = (crc >> 1) ^ 0x82F63B78 if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+_CRC32C_TABLE = _build_crc32c_table()
+
+
+def crc32c(data: bytes, crc: int = 0) -> int:
+    """CRC-32C of ``data``; chainable via ``crc`` like :func:`zlib.crc32`.
+
+    Standard check value: ``crc32c(b"123456789") == 0xE3069283``.
+    """
+    crc = ~crc & _M32
+    table = _CRC32C_TABLE
+    for byte in data:
+        crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
+    return ~crc & _M32
+
+
+# ---------------------------------------------------------------------------
+# GXH64 — the vectorisable hot-path digest
+# ---------------------------------------------------------------------------
+
+
+class _WeightTable:
+    """Deterministic per-word 64-bit odd weights, grown lazily.
+
+    The stream comes from a fixed 64-bit LCG so that persisted digests
+    remain valid across processes, machines, and numpy versions (numpy's
+    own RNG streams are *not* version-stable, so it is never used here).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._state = 0x9E3779B97F4A7C15
+        self._weights: list[int] = []
+        self._np_weights = None
+
+    def _grow(self, n: int) -> None:
+        state = self._state
+        while len(self._weights) < n:
+            state = (state * 6364136223846793005 + 1442695040888963407) & _M64
+            self._weights.append(state | 1)
+        self._state = state
+
+    def py(self, n: int) -> list[int]:
+        with self._lock:
+            if len(self._weights) < n:
+                self._grow(n)
+                self._np_weights = None
+            return self._weights
+
+    def np(self, n: int):
+        with self._lock:
+            if len(self._weights) < n:
+                self._grow(n)
+                self._np_weights = None
+            if self._np_weights is None or len(self._np_weights) < n:
+                self._np_weights = _np.array(self._weights, dtype=_np.uint64)
+            return self._np_weights
+
+
+_WEIGHTS = _WeightTable()
+
+_FORCE_PURE = False  # test hook: exercise the pure-Python path with numpy present
+
+
+def _mix64(x: int) -> int:
+    x &= _M64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _M64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _M64
+    x ^= x >> 31
+    return x
+
+
+def _finalize(acc: int, length: int, salt: int) -> int:
+    # _mix64(0) == 0, so the zero salt (block at chunk offset 0 — every
+    # digest when block size == chunk size) skips one mix round.
+    if salt:
+        acc ^= _mix64(salt)
+    return _mix64(acc ^ ((length * _LEN_MULT) & _M64))
+
+
+def _gxh64_py(data, salt: int) -> int:
+    n = len(data)
+    full = n // 8
+    weights = _WEIGHTS.py(full + 1)
+    acc = 0
+    if full:
+        words = struct.unpack_from(f"<{full}Q", data, 0)
+        for i in range(full):
+            acc += words[i] * weights[i]
+    if n != full * 8:
+        tail = int.from_bytes(bytes(data[full * 8 :]), "little")
+        acc += tail * weights[full]
+    return _finalize(acc & _M64, n, salt)
+
+
+def _gxh64_np(data, salt: int) -> int:
+    n = len(data)
+    full = n // 8
+    acc = 0
+    if full:
+        words = _np.frombuffer(data, dtype="<u8", count=full)
+        # Lock-free weight lookup on the hot path: the cached array only
+        # ever grows, so a long-enough snapshot is always valid.
+        weights = _WEIGHTS._np_weights
+        if weights is None or len(weights) < full:
+            weights = _WEIGHTS.np(full)
+        # One fused pass: integer dot product with C unsigned wraparound.
+        acc = int(_np.dot(words, weights[:full]))
+    if n != full * 8:
+        tail = int.from_bytes(bytes(data[full * 8 :]), "little")
+        acc = (acc + tail * _WEIGHTS.py(full + 1)[full]) & _M64
+    return _finalize(acc, n, salt)
+
+
+def chunk_checksum(data, salt: int = 0, algorithm: str = "gxh64") -> int:
+    """Digest ``data`` (bytes-like) under ``algorithm``, salted with ``salt``.
+
+    ``salt`` is by convention the byte offset of the data inside its
+    chunk, making digests position-sensitive across blocks.  Accepts any
+    buffer (``bytes``/``bytearray``/``memoryview``) without copying on
+    the accelerated path.
+    """
+    if algorithm == "gxh64":
+        if _np is not None and not _FORCE_PURE and sys.byteorder == "little":
+            return _gxh64_np(data, salt)
+        return _gxh64_py(data, salt)
+    if algorithm == "crc32c":
+        # fold the salt in as a prefix so misplaced blocks still fail
+        return crc32c(bytes(data), crc=salt & _M32)
+    raise ValueError(f"unknown integrity algorithm {algorithm!r}")
+
+
+# ---------------------------------------------------------------------------
+# block grid
+# ---------------------------------------------------------------------------
+
+
+def block_span(offset: int, length: int, block_size: int) -> range:
+    """Indices of the checksum blocks overlapping ``[offset, offset+length)``."""
+    if length <= 0:
+        return range(0)
+    return range(offset // block_size, (offset + length - 1) // block_size + 1)
+
+
+def block_checksums(
+    data, block_size: int, algorithm: str = "gxh64", base_offset: int = 0
+) -> list[int]:
+    """Per-block digests of ``data``, one per ``block_size`` slice.
+
+    ``base_offset`` is the chunk-absolute byte offset of ``data[0]`` and
+    must be block-aligned; each block is salted with its own absolute
+    offset so the sidecar entries are independent of how the write that
+    produced them was split.
+    """
+    if base_offset % block_size:
+        raise ValueError(f"base_offset {base_offset} not aligned to {block_size}")
+    if 0 < len(data) <= block_size:  # hot path: one block, no slicing
+        return [chunk_checksum(data, base_offset, algorithm)]
+    view = memoryview(data)
+    return [
+        chunk_checksum(
+            view[boff : boff + block_size], base_offset + boff, algorithm
+        )
+        for boff in range(0, len(view), block_size)
+    ]
+
+
+@dataclass
+class IntegrityStats:
+    """Counters a checksumming backend maintains (all zero when disabled).
+
+    :ivar verified_reads: reads served after successful digest checks.
+    :ivar checksum_failures: digest mismatches detected (read or scrub).
+    :ivar torn_chunks: chunks whose payload was shorter than the sidecar
+        recorded — the torn-write / zero-length crash signature.
+    :ivar chunks_replaced: chunks authoritatively rewritten from a replica
+        (read-repair or scrub repair).
+    :ivar chunks_quarantined: chunks fenced off as unrepairable.
+    """
+
+    verified_reads: int = 0
+    checksum_failures: int = 0
+    torn_chunks: int = 0
+    chunks_replaced: int = 0
+    chunks_quarantined: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)

@@ -5,17 +5,33 @@ This is the faithful version of the daemon's persistence layer — chunk
 on the node-local file system, exactly the layout GekkoFS puts on its
 scratch SSD.  Path encoding is percent-style so any GekkoFS path maps to
 one flat directory name, reversibly and collision-free.
+
+With integrity enabled every chunk file gains a ``.sum`` sidecar holding
+the checksummed payload length and the per-block digests, self-framed
+with a CRC so a sidecar torn by a crash reads as *unverifiable* rather
+than as plausible garbage.  Sidecars are write-through (updated inside
+the same locked section as the payload) and cached in memory; a restart
+reloads them lazily from disk.  They are invisible to the payload
+namespace: ``chunk_ids``/``used_bytes``/``remove_chunks`` account only
+real chunk files.
 """
 
 from __future__ import annotations
 
 import os
-import threading
-from typing import Iterable
+import struct
+import zlib
+from typing import Iterable, Optional
 
 from repro.storage.backend import ChunkStorage
 
 __all__ = ["LocalFSChunkStorage", "encode_path", "decode_path"]
+
+_SIDECAR_SUFFIX = ".sum"
+_SIDECAR_MAGIC = b"GKCS"
+_SIDECAR_VERSION = 1
+_SIDECAR_HEADER = struct.Struct("<4sBBQI")  # magic, version, algo, length, count
+_ALGO_CODES = {"gxh64": 0, "crc32c": 1}
 
 
 def encode_path(path: str) -> str:
@@ -31,11 +47,11 @@ def decode_path(name: str) -> str:
 class LocalFSChunkStorage(ChunkStorage):
     """Chunk files under ``root`` on the real (node-local) file system."""
 
-    def __init__(self, chunk_size: int, root: str):
-        super().__init__(chunk_size)
+    def __init__(self, chunk_size: int, root: str, **integrity_opts):
+        super().__init__(chunk_size, **integrity_opts)
         self.root = root
         os.makedirs(root, exist_ok=True)
-        self._lock = threading.RLock()
+        self._sum_cache: dict[tuple[str, int], Optional[tuple[int, list[int]]]] = {}
 
     def _dir_for(self, path: str) -> str:
         return os.path.join(self.root, encode_path(path))
@@ -46,6 +62,17 @@ class LocalFSChunkStorage(ChunkStorage):
 
     def _chunk_file(self, path: str, chunk_id: int) -> str:
         return os.path.join(self._dir_for(path), self._chunk_name(chunk_id))
+
+    def _sidecar_file(self, path: str, chunk_id: int) -> str:
+        return self._chunk_file(path, chunk_id) + _SIDECAR_SUFFIX
+
+    @staticmethod
+    def _is_chunk(name: str) -> bool:
+        return not name.endswith(_SIDECAR_SUFFIX)
+
+    @staticmethod
+    def _chunk_id_of(name: str) -> int:
+        return int(name.split("_", 1)[1])
 
     def write_chunk(self, path: str, chunk_id: int, offset: int, data: bytes) -> int:
         self._check_range(offset, len(data))
@@ -61,6 +88,8 @@ class LocalFSChunkStorage(ChunkStorage):
                 self.stats.chunks_created += 1
             self.stats.bytes_written += len(data)
             self.stats.write_ops += 1
+            if self.integrity:
+                self._integrity_after_write(path, chunk_id, offset, data)
             return len(data)
 
     def read_chunk(self, path: str, chunk_id: int, offset: int, length: int) -> bytes:
@@ -90,6 +119,8 @@ class LocalFSChunkStorage(ChunkStorage):
             else:
                 with open(fname, "r+b") as fh:
                     fh.truncate(length)
+            if self.integrity:
+                self._integrity_after_truncate(path, chunk_id, length)
 
     def remove_chunks(self, path: str) -> int:
         with self._lock:
@@ -99,9 +130,15 @@ class LocalFSChunkStorage(ChunkStorage):
             count = 0
             for name in os.listdir(directory):
                 os.remove(os.path.join(directory, name))
-                count += 1
+                if self._is_chunk(name):
+                    count += 1
             os.rmdir(directory)
             self.stats.chunks_removed += count
+            if self.integrity:
+                doomed = [key for key in self._sum_cache if key[0] == path]
+                for key in doomed:
+                    del self._sum_cache[key]
+                self._integrity_drop_path(path)
             return count
 
     def remove_chunks_from(self, path: str, first_chunk: int) -> int:
@@ -111,9 +148,15 @@ class LocalFSChunkStorage(ChunkStorage):
                 return 0
             count = 0
             for name in os.listdir(directory):
-                if int(name.split("_", 1)[1]) >= first_chunk:
+                if not self._is_chunk(name):
+                    continue
+                cid = self._chunk_id_of(name)
+                if cid >= first_chunk:
                     os.remove(os.path.join(directory, name))
                     count += 1
+                    if self.integrity:
+                        self._del_sums(path, cid)
+                        self._quarantined.discard((path, cid))
             self.stats.chunks_removed += count
             return count
 
@@ -122,14 +165,18 @@ class LocalFSChunkStorage(ChunkStorage):
             directory = self._dir_for(path)
             if not os.path.isdir(directory):
                 return []
-            return sorted(int(name.split("_", 1)[1]) for name in os.listdir(directory))
+            return sorted(
+                self._chunk_id_of(name)
+                for name in os.listdir(directory)
+                if self._is_chunk(name)
+            )
 
     def paths(self) -> Iterable[str]:
         with self._lock:
             found = []
             for name in os.listdir(self.root):
                 sub = os.path.join(self.root, name)
-                if os.path.isdir(sub) and os.listdir(sub):
+                if os.path.isdir(sub) and any(map(self._is_chunk, os.listdir(sub))):
                     found.append(decode_path(name))
             return sorted(found)
 
@@ -140,5 +187,94 @@ class LocalFSChunkStorage(ChunkStorage):
                 sub = os.path.join(self.root, dirname)
                 if os.path.isdir(sub):
                     for name in os.listdir(sub):
-                        total += os.path.getsize(os.path.join(sub, name))
+                        if self._is_chunk(name):
+                            total += os.path.getsize(os.path.join(sub, name))
             return total
+
+    # -- integrity hooks ---------------------------------------------------
+
+    def _read_payload(self, path: str, chunk_id: int, offset: int, length: int) -> bytes:
+        try:
+            with open(self._chunk_file(path, chunk_id), "rb") as fh:
+                fh.seek(offset)
+                return fh.read(length)
+        except FileNotFoundError:
+            return b""
+
+    def _get_sums(self, path: str, chunk_id: int) -> Optional[tuple[int, list[int]]]:
+        key = (path, chunk_id)
+        if key in self._sum_cache:
+            return self._sum_cache[key]
+        entry = self._load_sidecar(path, chunk_id)
+        self._sum_cache[key] = entry
+        return entry
+
+    def _set_sums(self, path: str, chunk_id: int, length: int, sums: list[int]) -> None:
+        self._sum_cache[(path, chunk_id)] = (length, sums)
+        body = _SIDECAR_HEADER.pack(
+            _SIDECAR_MAGIC,
+            _SIDECAR_VERSION,
+            _ALGO_CODES[self.algorithm],
+            length,
+            len(sums),
+        ) + struct.pack(f"<{len(sums)}Q", *sums)
+        with open(self._sidecar_file(path, chunk_id), "wb") as fh:
+            fh.write(body + struct.pack("<I", zlib.crc32(body)))
+
+    def _del_sums(self, path: str, chunk_id: int) -> None:
+        self._sum_cache.pop((path, chunk_id), None)
+        try:
+            os.remove(self._sidecar_file(path, chunk_id))
+        except FileNotFoundError:
+            pass
+
+    def _load_sidecar(self, path: str, chunk_id: int) -> Optional[tuple[int, list[int]]]:
+        try:
+            with open(self._sidecar_file(path, chunk_id), "rb") as fh:
+                blob = fh.read()
+        except FileNotFoundError:
+            return None
+        if len(blob) < _SIDECAR_HEADER.size + 4:
+            return None  # torn sidecar
+        body, (crc,) = blob[:-4], struct.unpack("<I", blob[-4:])
+        if zlib.crc32(body) != crc:
+            return None
+        magic, version, algo, length, count = _SIDECAR_HEADER.unpack_from(body)
+        if (
+            magic != _SIDECAR_MAGIC
+            or version != _SIDECAR_VERSION
+            or algo != _ALGO_CODES.get(self.algorithm)
+            or len(body) != _SIDECAR_HEADER.size + 8 * count
+        ):
+            return None
+        sums = list(struct.unpack_from(f"<{count}Q", body, _SIDECAR_HEADER.size))
+        return (length, sums)
+
+    def corrupt_chunk(
+        self, path: str, chunk_id: int, byte_offset: int, xor: int = 0xA5
+    ) -> bool:
+        with self._lock:
+            fname = self._chunk_file(path, chunk_id)
+            try:
+                with open(fname, "r+b") as fh:
+                    fh.seek(0, os.SEEK_END)
+                    if not 0 <= byte_offset < fh.tell():
+                        return False
+                    fh.seek(byte_offset)
+                    byte = fh.read(1)[0]
+                    fh.seek(byte_offset)
+                    fh.write(bytes([byte ^ (xor & 0xFF or 0xA5)]))
+            except FileNotFoundError:
+                return False
+            return True
+
+    def tear_chunk(self, path: str, chunk_id: int, keep_bytes: int) -> bool:
+        with self._lock:
+            fname = self._chunk_file(path, chunk_id)
+            try:
+                if keep_bytes >= os.path.getsize(fname):
+                    return False
+                os.truncate(fname, keep_bytes)
+            except FileNotFoundError:
+                return False
+            return True

@@ -2,13 +2,14 @@
 
 The default backend for tests, examples and simulation: identical
 semantics to the directory-backed store (sparse zero-fill, short reads,
-per-chunk truncation) with no I/O.
+per-chunk truncation) with no I/O.  With integrity enabled, per-block
+digests live in a parallel table keyed like the payload — the in-memory
+equivalent of the on-disk sidecar files.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.storage.backend import ChunkStorage
 
@@ -18,10 +19,10 @@ __all__ = ["MemoryChunkStorage"]
 class MemoryChunkStorage(ChunkStorage):
     """Chunks held as ``bytearray`` objects keyed by ``(path, chunk_id)``."""
 
-    def __init__(self, chunk_size: int):
-        super().__init__(chunk_size)
+    def __init__(self, chunk_size: int, **integrity_opts):
+        super().__init__(chunk_size, **integrity_opts)
         self._files: dict[str, dict[int, bytearray]] = {}
-        self._lock = threading.RLock()
+        self._sums: dict[str, dict[int, tuple[int, list[int]]]] = {}
 
     def write_chunk(self, path: str, chunk_id: int, offset: int, data: bytes) -> int:
         self._check_range(offset, len(data))
@@ -40,6 +41,8 @@ class MemoryChunkStorage(ChunkStorage):
             chunk[offset:end] = data
             self.stats.bytes_written += len(data)
             self.stats.write_ops += 1
+            if self.integrity:
+                self._integrity_after_write(path, chunk_id, offset, data)
             return len(data)
 
     def read_chunk(self, path: str, chunk_id: int, offset: int, length: int) -> bytes:
@@ -65,12 +68,17 @@ class MemoryChunkStorage(ChunkStorage):
                 self.stats.chunks_removed += 1
             else:
                 del chunks[chunk_id][length:]
+            if self.integrity:
+                self._integrity_after_truncate(path, chunk_id, length)
 
     def remove_chunks(self, path: str) -> int:
         with self._lock:
             chunks = self._files.pop(path, None)
             count = len(chunks) if chunks else 0
             self.stats.chunks_removed += count
+            if self.integrity:
+                self._sums.pop(path, None)
+                self._integrity_drop_path(path)
             return count
 
     def remove_chunks_from(self, path: str, first_chunk: int) -> int:
@@ -81,6 +89,9 @@ class MemoryChunkStorage(ChunkStorage):
             doomed = [cid for cid in chunks if cid >= first_chunk]
             for cid in doomed:
                 del chunks[cid]
+                if self.integrity:
+                    self._del_sums(path, cid)
+                    self._quarantined.discard((path, cid))
             self.stats.chunks_removed += len(doomed)
             return len(doomed)
 
@@ -97,3 +108,43 @@ class MemoryChunkStorage(ChunkStorage):
             return sum(
                 len(chunk) for chunks in self._files.values() for chunk in chunks.values()
             )
+
+    # -- integrity hooks ---------------------------------------------------
+
+    def _read_payload(self, path: str, chunk_id: int, offset: int, length: int) -> bytes:
+        with self._lock:
+            chunk = self._files.get(path, {}).get(chunk_id)
+            if chunk is None:
+                return b""
+            return bytes(chunk[offset : offset + length])
+
+    def _get_sums(self, path: str, chunk_id: int) -> Optional[tuple[int, list[int]]]:
+        return self._sums.get(path, {}).get(chunk_id)
+
+    def _set_sums(self, path: str, chunk_id: int, length: int, sums: list[int]) -> None:
+        self._sums.setdefault(path, {})[chunk_id] = (length, sums)
+
+    def _del_sums(self, path: str, chunk_id: int) -> None:
+        table = self._sums.get(path)
+        if table is not None:
+            table.pop(chunk_id, None)
+            if not table:
+                del self._sums[path]
+
+    def corrupt_chunk(
+        self, path: str, chunk_id: int, byte_offset: int, xor: int = 0xA5
+    ) -> bool:
+        with self._lock:
+            chunk = self._files.get(path, {}).get(chunk_id)
+            if chunk is None or not 0 <= byte_offset < len(chunk):
+                return False
+            chunk[byte_offset] ^= xor & 0xFF or 0xA5
+            return True
+
+    def tear_chunk(self, path: str, chunk_id: int, keep_bytes: int) -> bool:
+        with self._lock:
+            chunk = self._files.get(path, {}).get(chunk_id)
+            if chunk is None or keep_bytes >= len(chunk):
+                return False
+            del chunk[keep_bytes:]
+            return True

@@ -14,7 +14,7 @@ from __future__ import annotations
 import os
 import random as _random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.errors import InvalidArgumentError
 from repro.core.cluster import GekkoFSCluster
@@ -129,6 +129,10 @@ class IorResult:
     write_elapsed: float = 0.0
     read_elapsed: float = 0.0
     verify_errors: int = 0
+    #: One ``(file_path, offset, chunk_index)`` per corrupt transfer, so a
+    #: failed verification pinpoints which chunk of which file rotted
+    #: instead of just counting mismatches.
+    verify_failures: list = field(default_factory=list)
 
     def __str__(self) -> str:
         mib = 1024.0 * 1024.0
@@ -200,6 +204,13 @@ def run_ior(
                 data = client.pread(read_fds[rank], spec.transfer_size, offset)
                 if spec.verify and data != _pattern(source, offset, spec.transfer_size):
                     result.verify_errors += 1
+                    result.verify_failures.append(
+                        (
+                            spec.file_for(mp, source),
+                            offset,
+                            offset // cluster.config.chunk_size,
+                        )
+                    )
         result.read_elapsed = time.perf_counter() - start
         result.read_bandwidth = spec.total_bytes / result.read_elapsed
         if read_fds is not fds:
@@ -209,7 +220,13 @@ def run_ior(
     for rank, client in enumerate(clients):
         client.close(fds[rank])
     if spec.verify and result.verify_errors:
+        detail = "; ".join(
+            f"{path} offset {offset} (chunk {chunk})"
+            for path, offset, chunk in result.verify_failures[:5]
+        )
+        more = result.verify_errors - min(5, len(result.verify_failures))
         raise InvalidArgumentError(
-            f"IOR verification failed: {result.verify_errors} corrupt transfers"
+            f"IOR verification failed: {result.verify_errors} corrupt "
+            f"transfers: {detail}" + (f"; and {more} more" if more else "")
         )
     return result

@@ -11,7 +11,7 @@ class TestRegistry:
         expected = {
             "FIG2a", "FIG2b", "FIG2c", "FIG3a", "FIG3b",
             "T-DATA", "T-RAND", "T-SHARED", "T-START", "T-LDATA",
-            "EXT-AVAIL", "EXT-BALANCE", "EXT-OVERLOAD",
+            "EXT-AVAIL", "EXT-BALANCE", "EXT-OVERLOAD", "EXT-INTEGRITY",
         }
         assert set(REGISTRY) == expected
 

@@ -1,0 +1,197 @@
+"""Self-healing: read-repair, background scrubbing, quarantine, fsck.
+
+End-to-end contract of EXT-INTEGRITY: with ``replication >= 2`` every
+client read is verified-correct under injected bit-rot (transparent
+failover plus read-repair), and one scrub pass converges the deployment
+back to zero corrupt replicas.  With ``replication == 1`` corruption is
+loud — ``EIO`` to the reader, quarantine by the scrubber, and a damage
+report from fsck.
+"""
+
+import time
+
+import pytest
+
+from repro.common.errors import IntegrityError
+from repro.core import FSConfig, GekkoFSCluster
+from repro.core import fsck
+from repro.faults.chaos import ChaosController
+from repro.faults.scrub import Scrubber
+
+CHUNK = 4096
+NODES = 4
+DATA = bytes(range(256)) * (CHUNK * 6 // 256)  # 6 chunks
+
+
+def make_cluster(replication=2, **kw):
+    return GekkoFSCluster(
+        num_nodes=NODES,
+        config=FSConfig(chunk_size=CHUNK, integrity_enabled=True,
+                        replication=replication, **kw),
+    )
+
+
+def corrupt_on(cluster, rel_path, chunk_id, daemon=None):
+    """Rot one replica of a chunk in place; returns the daemon address."""
+    address = (
+        cluster.distributor.locate_chunk(rel_path, chunk_id)
+        if daemon is None
+        else daemon
+    )
+    assert cluster.daemons[address].storage.corrupt_chunk(rel_path, chunk_id, 17)
+    return address
+
+
+class TestReadRepair:
+    def test_failover_returns_correct_data_and_repairs(self):
+        with make_cluster() as fs:
+            client = fs.client(0)
+            client.write_bytes("/gkfs/f", DATA)
+            address = corrupt_on(fs, "/f", 2)
+            assert not fs.daemons[address].storage.verify_chunk("/f", 2)
+            assert client.read_bytes("/gkfs/f") == DATA
+            assert client.stats.integrity_failovers >= 1
+            assert client.stats.read_repairs >= 1
+            # read-repair rewrote the rotten replica in place
+            assert fs.daemons[address].storage.verify_chunk("/f", 2)
+
+    def test_single_chunk_read_path_fails_over(self):
+        with make_cluster() as fs:
+            client = fs.client(0)
+            client.write_bytes("/gkfs/f", DATA)
+            corrupt_on(fs, "/f", 0)
+            import os
+            fd = client.open("/gkfs/f", os.O_RDONLY)
+            assert client.pread(fd, 100, 10) == DATA[10:110]
+            client.close(fd)
+            assert client.stats.integrity_failovers >= 1
+
+    def test_every_read_verified_under_quarter_bitrot(self):
+        # The EXT-INTEGRITY acceptance shape, in miniature.
+        with make_cluster() as fs:
+            client = fs.client(0)
+            client.write_bytes("/gkfs/f", DATA)
+            ChaosController(fs, seed=101).bitrot(1, fraction=0.25)
+            assert client.read_bytes("/gkfs/f") == DATA
+
+    def test_replication_one_read_raises_eio(self):
+        with make_cluster(replication=1) as fs:
+            client = fs.client(0)
+            client.write_bytes("/gkfs/f", DATA)
+            corrupt_on(fs, "/f", 1)
+            with pytest.raises(IntegrityError):
+                client.read_bytes("/gkfs/f")
+
+    def test_verify_writes_roundtrip(self):
+        with make_cluster(integrity_verify_writes=True) as fs:
+            client = fs.client(0)
+            assert client._verify_writes is True
+            client.write_bytes("/gkfs/f", DATA)
+            assert client.read_bytes("/gkfs/f") == DATA
+
+
+class TestScrubber:
+    def test_pass_repairs_all_with_replicas(self):
+        with make_cluster() as fs:
+            client = fs.client(0)
+            client.write_bytes("/gkfs/f", DATA)
+            rotted = ChaosController(fs, seed=202).bitrot(2, fraction=0.25)
+            scrubber = Scrubber(fs)
+            report = scrubber.run()
+            assert report.chunks_scanned > 0
+            assert report.corrupt_found >= len(rotted) > 0
+            assert report.repaired == report.corrupt_found
+            assert report.unrepairable == 0
+            assert report.converged
+            # second pass: nothing left to find
+            assert scrubber.run().corrupt_found == 0
+            assert client.read_bytes("/gkfs/f") == DATA
+
+    def test_unrepairable_is_quarantined_and_fsck_reports_it(self):
+        with make_cluster(replication=1) as fs:
+            client = fs.client(0)
+            client.write_bytes("/gkfs/f", DATA)
+            address = corrupt_on(fs, "/f", 3)
+            report = Scrubber(fs).run()
+            assert report.corrupt_found == 1
+            assert report.repaired == 0
+            assert report.unrepairable == 1
+            assert not report.converged
+            assert report.quarantined == [(address, "/f", 3)]
+            assert fs.daemons[address].storage.is_quarantined("/f", 3)
+            damage = fsck.check(fs)
+            assert not damage.clean
+            assert ("/f", address, 3) in damage.quarantined_chunks
+            assert ("/f", address, 3) in damage.corrupt_chunks
+            with pytest.raises(IntegrityError):
+                client.read_bytes("/gkfs/f")
+
+    def test_report_as_dict_is_json_shaped(self):
+        with make_cluster(replication=1) as fs:
+            fs.client(0).write_bytes("/gkfs/f", DATA)
+            corrupt_on(fs, "/f", 0)
+            d = Scrubber(fs).run().as_dict()
+            assert d["corrupt_found"] == 1 and d["unrepairable"] == 1
+            assert d["quarantined"] and isinstance(d["quarantined"][0], list)
+            assert all(isinstance(k, str) for k in d["per_daemon"])
+
+    def test_rate_limit_paces_each_chunk(self):
+        with make_cluster() as fs:
+            fs.client(0).write_bytes("/gkfs/f", DATA)
+            naps = []
+            scrubber = Scrubber(fs, rate_limit=100.0, sleep=naps.append)
+            report = scrubber.run()
+            assert len(naps) == report.chunks_scanned
+            assert all(nap == pytest.approx(0.01) for nap in naps)
+
+    def test_rate_limit_validation(self):
+        with make_cluster() as fs:
+            with pytest.raises(ValueError):
+                Scrubber(fs, rate_limit=0)
+
+    def test_background_loop_runs_passes(self):
+        with make_cluster() as fs:
+            fs.client(0).write_bytes("/gkfs/f", DATA)
+            scrubber = Scrubber(fs)
+            scrubber.start(interval=0.005)
+            with pytest.raises(RuntimeError):
+                scrubber.start(interval=0.005)
+            deadline = time.time() + 5.0
+            while scrubber.passes < 2 and time.time() < deadline:
+                time.sleep(0.005)
+            scrubber.stop()
+            assert scrubber.passes >= 2
+            assert scrubber.last_report is not None
+            scrubber.stop()  # idempotent
+
+    def test_metrics_count_scrub_activity(self):
+        with make_cluster() as fs:
+            fs.client(0).write_bytes("/gkfs/f", DATA)
+            address = corrupt_on(fs, "/f", 1)
+            Scrubber(fs).run()
+            counters = fs.daemons[address].metrics.snapshot()["counters"]
+            assert counters["integrity.scrub.chunks_scanned"] > 0
+            assert counters["integrity.scrub.corrupt_found"] == 1
+            assert counters["integrity.scrub.repaired"] == 1
+
+
+class TestChaosInjectors:
+    def test_bitrot_is_seed_deterministic(self):
+        picks = []
+        for _ in range(2):
+            with make_cluster() as fs:
+                fs.client(0).write_bytes("/gkfs/f", DATA)
+                picks.append(ChaosController(fs, seed=303).bitrot(0, fraction=0.5))
+        assert picks[0] == picks[1]
+
+    def test_torn_write_leaves_short_payload(self):
+        with make_cluster() as fs:
+            fs.client(0).write_bytes("/gkfs/f", DATA)
+            torn = ChaosController(fs, seed=9).torn_write(1, fraction=0.5)
+            storage = fs.daemons[1].storage
+            assert torn
+            for path, chunk_id in torn:
+                assert not storage.verify_chunk(path, chunk_id)
+                with pytest.raises(IntegrityError, match="torn"):
+                    storage.read_chunk_verified(path, chunk_id, 0, CHUNK)
+            assert storage.integrity_stats.torn_chunks == len(torn)

@@ -120,3 +120,75 @@ class TestMemtableFlush:
         restored = SSTable(table.to_bytes())
         assert restored.count == table.count
         assert restored.get(b"key0042") == b"value42"
+
+
+class TestChecksums:
+    """Per-block CRCs (v2 format): rot is detected at block granularity."""
+
+    def entries(self, n=3 * INDEX_INTERVAL + 5):
+        return [(f"key{i:04d}".encode(), f"value{i}".encode()) for i in range(n)]
+
+    def corrupt(self, blob, offset, xor=0xFF):
+        out = bytearray(blob)
+        out[offset] ^= xor
+        return bytes(out)
+
+    def test_clean_table_verifies_lazily(self):
+        table = build(self.entries())
+        assert table._block_crcs is not None
+        assert len(table._block_crcs) == len(table._index_offsets)
+        assert not table._verified  # nothing touched yet
+        assert table.get(b"key0000") == b"value0"
+        assert 0 in table._verified  # the scanned block, and only it
+        assert len(table._verified) == 1
+
+    def test_rotted_block_fails_reads_into_it(self):
+        clean = build(self.entries())
+        # flip one payload byte inside the second data block
+        blob = self.corrupt(clean.to_bytes(), clean._index_offsets[1] + 10)
+        table = SSTable(blob)
+        with pytest.raises(ValueError, match="data block 1"):
+            table.get(b"key%04d" % INDEX_INTERVAL)
+
+    def test_other_blocks_still_readable(self):
+        clean = build(self.entries())
+        blob = self.corrupt(clean.to_bytes(), clean._index_offsets[1] + 10)
+        table = SSTable(blob)
+        assert table.get(b"key0003") == b"value3"
+        assert table.get(b"key%04d" % (2 * INDEX_INTERVAL + 1)) is not None
+
+    def test_range_scan_hits_the_bad_block(self):
+        clean = build(self.entries())
+        blob = self.corrupt(clean.to_bytes(), clean._index_offsets[1] + 10)
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            list(SSTable(blob))
+
+    def test_rotted_bloom_fails_at_open(self):
+        import struct as _struct
+        from repro.kvstore.sstable import _FOOTER
+        clean = build(self.entries())
+        blob = clean.to_bytes()
+        footer = _FOOTER.unpack_from(blob, len(blob) - _FOOTER.size)
+        bloom_off = footer[2]
+        with pytest.raises(ValueError, match="bloom filter"):
+            SSTable(self.corrupt(blob, bloom_off + 8))
+
+    def test_v1_blob_loads_without_verification(self):
+        # Downgrade a v2 blob by stripping the crc section: pre-checksum
+        # tables keep working, they just cannot detect rot.
+        import struct as _struct
+        from repro.kvstore.sstable import _FOOTER, _FOOTER_V1, _MAGIC
+        clean = build(self.entries())
+        blob = clean.to_bytes()
+        index_off, index_len, bloom_off, bloom_len, crc_off, count, _ = (
+            _FOOTER.unpack_from(blob, len(blob) - _FOOTER.size)
+        )
+        v1 = (
+            blob[:4] + _struct.pack("<H", 1) + blob[6:crc_off]
+            + _FOOTER_V1.pack(index_off, index_len, bloom_off, bloom_len, count, _MAGIC)
+        )
+        table = SSTable(v1)
+        assert table._block_crcs is None
+        assert table.get(b"key0042") == b"value42"
+        rotted = SSTable(self.corrupt(v1, table._index_offsets[1] + 10))
+        list(rotted)  # undetected by design: v1 has nothing to check against

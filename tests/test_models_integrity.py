@@ -1,0 +1,105 @@
+"""Analytic twin of the integrity plane: scrubbed-redundancy math."""
+
+import math
+
+import pytest
+
+from repro.models.integrity import (
+    chunk_loss_probability,
+    interval_corruption_probability,
+    mission_survival_probability,
+    survival_curve,
+)
+
+DAY = 86400.0
+RATE = 1e-9  # per replica-second — roughly an unhealthy SSD
+
+
+class TestIntervalCorruption:
+    def test_poisson_form(self):
+        assert interval_corruption_probability(RATE, DAY) == pytest.approx(
+            1.0 - math.exp(-RATE * DAY)
+        )
+
+    def test_zero_edges(self):
+        assert interval_corruption_probability(0.0, DAY) == 0.0
+        assert interval_corruption_probability(RATE, 0.0) == 0.0
+
+    def test_monotone_in_interval(self):
+        probes = [interval_corruption_probability(RATE, t) for t in (1, 60, 3600, DAY)]
+        assert probes == sorted(probes)
+        assert all(0.0 <= p < 1.0 for p in probes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interval_corruption_probability(-1.0, DAY)
+        with pytest.raises(ValueError):
+            interval_corruption_probability(RATE, -1.0)
+
+
+class TestChunkLoss:
+    def test_power_law_in_replication(self):
+        p = interval_corruption_probability(RATE, DAY)
+        for r in (1, 2, 3):
+            assert chunk_loss_probability(RATE, DAY, r) == pytest.approx(p**r)
+
+    def test_replication_buys_orders_of_magnitude(self):
+        single = chunk_loss_probability(RATE, DAY, 1)
+        double = chunk_loss_probability(RATE, DAY, 2)
+        assert double < single * 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_loss_probability(RATE, DAY, 0)
+
+
+class TestMissionSurvival:
+    def test_closed_form(self):
+        p_loss = chunk_loss_probability(RATE, DAY, 2)
+        expected = (1.0 - p_loss) ** (1000 * (30 * DAY / DAY))
+        got = mission_survival_probability(RATE, DAY, 2, chunks=1000, mission=30 * DAY)
+        assert got == pytest.approx(expected)
+
+    def test_trivial_missions_survive(self):
+        assert mission_survival_probability(RATE, DAY, 1, 0, DAY) == 1.0
+        assert mission_survival_probability(RATE, DAY, 1, 1000, 0.0) == 1.0
+        # continuous scrubbing repairs everything before it can pair up
+        assert mission_survival_probability(RATE, 0.0, 1, 1000, DAY) == 1.0
+
+    def test_certain_corruption_loses(self):
+        assert mission_survival_probability(1e9, DAY, 1, 10, DAY) == 0.0
+
+    def test_log_space_stability(self):
+        # Huge chunk counts would underflow (1-p)^n computed naively.
+        got = mission_survival_probability(RATE, DAY, 2, 10**9, 30 * DAY)
+        assert 0.0 < got < 1.0
+
+    def test_shorter_interval_and_more_replicas_help(self):
+        # Scrubbing only buys survival with a replica to repair from
+        # (r=1 survival is interval-independent: detect, can't heal).
+        base = mission_survival_probability(RATE, DAY, 2, 10**6, 30 * DAY)
+        faster = mission_survival_probability(RATE, DAY / 24, 2, 10**6, 30 * DAY)
+        deeper = mission_survival_probability(RATE, DAY, 3, 10**6, 30 * DAY)
+        assert 0.0 < base < 1.0
+        assert faster > base
+        assert deeper > base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mission_survival_probability(RATE, DAY, 1, -1, DAY)
+        with pytest.raises(ValueError):
+            mission_survival_probability(RATE, DAY, 1, 10, -1.0)
+
+
+class TestSurvivalCurve:
+    def test_grid_shape_and_monotonicity(self):
+        curve = survival_curve(
+            1e-6, intervals=[3600.0, DAY], replications=[1, 2],
+            chunks=10**6, mission=30 * DAY,
+        )
+        assert set(curve) == {1, 2}
+        for r, points in curve.items():
+            assert [t for t, _ in points] == [3600.0, DAY]
+        # deeper replication dominates at every interval
+        for (_, s1), (_, s2) in zip(curve[1], curve[2]):
+            assert s2 >= s1

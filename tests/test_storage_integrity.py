@@ -1,0 +1,331 @@
+"""Integrity plane at the storage layer: digests, sidecars, quarantine.
+
+Covers the GXH64/CRC32C algorithms themselves (pure/numpy parity, golden
+values — these digests are a *persisted* format, so an accidental
+algorithm change must fail loudly), the shared verified-read/quarantine
+logic on both backends, and the localfs crash edges the sidecar design
+exists for: torn payloads, zero-length chunk files, torn sidecars, and
+restart reloads.
+"""
+
+import os
+import random
+import struct
+
+import pytest
+
+from repro.common.errors import IntegrityError
+from repro.storage import LocalFSChunkStorage, MemoryChunkStorage
+from repro.storage import integrity as integ
+from repro.storage.integrity import (
+    block_checksums,
+    block_span,
+    chunk_checksum,
+    crc32c,
+)
+
+CHUNK = 4096
+BLOCK = 1024
+
+
+def make_storage(kind, tmp_path, **opts):
+    opts.setdefault("integrity", True)
+    opts.setdefault("integrity_block_size", BLOCK)
+    if kind == "memory":
+        return MemoryChunkStorage(CHUNK, **opts)
+    return LocalFSChunkStorage(CHUNK, str(tmp_path / "store"), **opts)
+
+
+def payload(n, seed=7):
+    return bytes(random.Random(seed).randbytes(n))
+
+
+class TestGxh64:
+    @pytest.mark.parametrize("n", [0, 1, 7, 8, 9, 63, 64, 65, 1000, 4101])
+    def test_pure_numpy_parity(self, n, monkeypatch):
+        data = payload(n)
+        fast = chunk_checksum(data, 12345)
+        monkeypatch.setattr(integ, "_FORCE_PURE", True)
+        assert chunk_checksum(data, 12345) == fast
+
+    def test_golden_values_pinned(self):
+        # Digests are persisted in sidecars — a silent algorithm change
+        # would invalidate every deployed checksum record.
+        assert chunk_checksum(b"GekkoFS stores one file per chunk", 0) == 0xDC0B65638FDBB5A8
+        assert chunk_checksum(b"", 0) == 0
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_single_byte_flips_detected(self):
+        data = bytearray(payload(512))
+        base = chunk_checksum(bytes(data), 0)
+        for pos in (0, 1, 7, 8, 255, 504, 511):
+            data[pos] ^= 0x01
+            assert chunk_checksum(bytes(data), 0) != base
+            data[pos] ^= 0x01
+
+    def test_salt_and_length_sensitivity(self):
+        assert chunk_checksum(b"x" * 64, 0) != chunk_checksum(b"x" * 64, BLOCK)
+        assert chunk_checksum(b"x" * 64, 0) != chunk_checksum(b"x" * 65, 0)
+        # zero salt is the hot-path default and must equal the explicit form
+        assert chunk_checksum(b"abc") == chunk_checksum(b"abc", 0)
+
+    def test_accepts_buffer_views(self):
+        data = payload(200)
+        assert chunk_checksum(memoryview(data), 3) == chunk_checksum(data, 3)
+        assert chunk_checksum(bytearray(data), 3) == chunk_checksum(data, 3)
+
+    def test_crc32c_selectable_and_chainable(self):
+        assert chunk_checksum(b"123456789", 0, "crc32c") == 0xE3069283
+        assert crc32c(b"6789", crc32c(b"12345")) == 0xE3069283
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            chunk_checksum(b"x", 0, "md5")
+
+
+class TestBlockGrid:
+    def test_block_span(self):
+        assert list(block_span(0, 0, BLOCK)) == []
+        assert list(block_span(0, 1, BLOCK)) == [0]
+        assert list(block_span(BLOCK - 1, 2, BLOCK)) == [0, 1]
+        assert list(block_span(2 * BLOCK, BLOCK, BLOCK)) == [2]
+
+    def test_empty_data_has_no_blocks(self):
+        assert block_checksums(b"", BLOCK) == []
+
+    def test_misaligned_base_offset_rejected(self):
+        with pytest.raises(ValueError):
+            block_checksums(b"x" * 10, BLOCK, base_offset=100)
+
+    def test_single_block_fast_path_matches_slicing(self):
+        data = payload(BLOCK)
+        assert block_checksums(data, BLOCK, base_offset=BLOCK) == [
+            chunk_checksum(data, BLOCK)
+        ]
+
+    def test_multi_block_salted_by_absolute_offset(self):
+        data = payload(2 * BLOCK + 100)
+        sums = block_checksums(data, BLOCK)
+        assert sums == [
+            chunk_checksum(data[:BLOCK], 0),
+            chunk_checksum(data[BLOCK : 2 * BLOCK], BLOCK),
+            chunk_checksum(data[2 * BLOCK :], 2 * BLOCK),
+        ]
+
+
+@pytest.mark.parametrize("kind", ["memory", "localfs"])
+class TestVerifiedStorage:
+    def test_roundtrip_with_proofs(self, kind, tmp_path):
+        st = make_storage(kind, tmp_path)
+        data = payload(CHUNK)
+        st.write_chunk("/f", 0, 0, data)
+        got, proofs = st.read_chunk_verified("/f", 0, 0, CHUNK)
+        assert got == data
+        assert [(b, l) for b, l, _ in proofs] == [
+            (i * BLOCK, BLOCK) for i in range(CHUNK // BLOCK)
+        ]
+        for boff, blen, digest in proofs:
+            assert chunk_checksum(data[boff : boff + blen], boff) == digest
+        assert st.integrity_stats.verified_reads == 1
+
+    def test_partial_read_returns_only_covered_proofs(self, kind, tmp_path):
+        st = make_storage(kind, tmp_path)
+        st.write_chunk("/f", 0, 0, payload(CHUNK))
+        got, proofs = st.read_chunk_verified("/f", 0, BLOCK - 100, BLOCK + 200)
+        assert len(got) == BLOCK + 200
+        # only block 1 lies fully inside; edge blocks verified server-side
+        assert [(b, l) for b, l, _ in proofs] == [(BLOCK, BLOCK)]
+
+    def test_unaligned_overwrite_keeps_digests_fresh(self, kind, tmp_path):
+        st = make_storage(kind, tmp_path)
+        data = bytearray(payload(CHUNK))
+        st.write_chunk("/f", 0, 0, bytes(data))
+        data[700:900] = b"Z" * 200
+        st.write_chunk("/f", 0, 700, b"Z" * 200)
+        got, _ = st.read_chunk_verified("/f", 0, 0, CHUNK)
+        assert got == bytes(data)
+
+    def test_short_chunk_proof_covers_stored_length(self, kind, tmp_path):
+        st = make_storage(kind, tmp_path)
+        data = payload(600)
+        st.write_chunk("/f", 3, 0, data)
+        got, proofs = st.read_chunk_verified("/f", 3, 0, CHUNK)
+        assert got == data
+        assert proofs == [(0, 600, chunk_checksum(data, 0))]
+
+    def test_truncate_recomputes_tail_digest(self, kind, tmp_path):
+        st = make_storage(kind, tmp_path)
+        st.write_chunk("/f", 0, 0, payload(CHUNK))
+        st.truncate_chunk("/f", 0, 1500)
+        got, _ = st.read_chunk_verified("/f", 0, 0, CHUNK)
+        assert len(got) == 1500
+
+    def test_missing_chunk_reads_empty(self, kind, tmp_path):
+        st = make_storage(kind, tmp_path)
+        assert st.read_chunk_verified("/f", 0, 0, CHUNK) == (b"", [])
+
+    def test_bitrot_fails_proofs_and_partial_reads(self, kind, tmp_path):
+        st = make_storage(kind, tmp_path)
+        data = payload(CHUNK)
+        st.write_chunk("/f", 0, 0, data)
+        assert st.corrupt_chunk("/f", 0, 2000)
+        # Full-block reads hand the stored digest to the caller as a
+        # proof — the *client* recomputes it, and here it cannot match.
+        got, proofs = st.read_chunk_verified("/f", 0, 0, CHUNK)
+        boff, blen, digest = proofs[2000 // BLOCK]
+        assert chunk_checksum(got[boff : boff + blen], boff) != digest
+        # Blocks a read only partially covers are verified server-side.
+        with pytest.raises(IntegrityError, match="mismatch"):
+            st.read_chunk_verified("/f", 0, 1500, 700)
+        assert st.integrity_stats.checksum_failures == 1
+        assert not st.verify_chunk("/f", 0)
+
+    def test_torn_chunk_detected_as_torn(self, kind, tmp_path):
+        st = make_storage(kind, tmp_path)
+        st.write_chunk("/f", 0, 0, payload(CHUNK))
+        assert st.tear_chunk("/f", 0, 100)
+        with pytest.raises(IntegrityError, match="torn"):
+            st.read_chunk_verified("/f", 0, 0, CHUNK)
+        assert st.integrity_stats.torn_chunks == 1
+
+    def test_zero_length_tear(self, kind, tmp_path):
+        st = make_storage(kind, tmp_path)
+        st.write_chunk("/f", 0, 0, payload(CHUNK))
+        assert st.tear_chunk("/f", 0, 0)
+        with pytest.raises(IntegrityError, match="torn"):
+            st.read_chunk_verified("/f", 0, 0, CHUNK)
+
+    def test_quarantine_blocks_reads_and_replace_lifts(self, kind, tmp_path):
+        st = make_storage(kind, tmp_path)
+        st.write_chunk("/f", 0, 0, payload(CHUNK))
+        st.corrupt_chunk("/f", 0, 1)
+        st.quarantine_chunk("/f", 0)
+        assert st.is_quarantined("/f", 0)
+        assert st.quarantined == [("/f", 0)]
+        with pytest.raises(IntegrityError, match="quarantined"):
+            st.read_chunk_verified("/f", 0, 0, CHUNK)
+        fresh = payload(CHUNK, seed=8)
+        st.replace_chunk("/f", 0, fresh)
+        assert not st.is_quarantined("/f", 0)
+        got, _ = st.read_chunk_verified("/f", 0, 0, CHUNK)
+        assert got == fresh
+        assert st.integrity_stats.chunks_replaced == 1
+
+    def test_remove_chunks_drops_digests(self, kind, tmp_path):
+        st = make_storage(kind, tmp_path)
+        st.write_chunk("/f", 0, 0, payload(CHUNK))
+        st.remove_chunks("/f")
+        assert st.read_chunk_verified("/f", 0, 0, CHUNK) == (b"", [])
+
+    def test_crc32c_backend_roundtrip(self, kind, tmp_path):
+        st = make_storage(kind, tmp_path, integrity_algorithm="crc32c")
+        data = payload(2 * BLOCK)
+        st.write_chunk("/f", 0, 0, data)
+        got, proofs = st.read_chunk_verified("/f", 0, 0, 2 * BLOCK)
+        assert got == data
+        assert proofs[0][2] == chunk_checksum(data[:BLOCK], 0, "crc32c")
+        st.corrupt_chunk("/f", 0, 10)
+        assert not st.verify_chunk("/f", 0)
+        with pytest.raises(IntegrityError):
+            st.read_chunk_verified("/f", 0, 5, 100)  # partial: server-verified
+
+    def test_disabled_is_passthrough(self, kind, tmp_path):
+        st = make_storage(kind, tmp_path, integrity=False)
+        data = payload(CHUNK)
+        st.write_chunk("/f", 0, 0, data)
+        assert st.read_chunk_verified("/f", 0, 0, CHUNK) == (data, [])
+        assert st.integrity_stats.verified_reads == 0
+
+
+class TestLocalFSCrashEdges:
+    """The failure modes a node crash leaves on the scratch SSD."""
+
+    def make(self, tmp_path, **opts):
+        return make_storage("localfs", tmp_path, **opts)
+
+    def test_sidecars_survive_restart(self, tmp_path):
+        st = self.make(tmp_path)
+        data = payload(CHUNK)
+        st.write_chunk("/f", 0, 0, data)
+        reopened = self.make(tmp_path)  # same root: the restart path
+        got, proofs = reopened.read_chunk_verified("/f", 0, 0, CHUNK)
+        assert got == data
+        assert len(proofs) == CHUNK // BLOCK
+
+    def test_restart_still_detects_pre_crash_rot(self, tmp_path):
+        st = self.make(tmp_path)
+        st.write_chunk("/f", 0, 0, payload(CHUNK))
+        chunk_file = st._chunk_file("/f", 0)
+        reopened = self.make(tmp_path)
+        with open(chunk_file, "r+b") as fh:
+            fh.seek(50)
+            byte = fh.read(1)
+            fh.seek(50)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        assert not reopened.verify_chunk("/f", 0)
+        with pytest.raises(IntegrityError):
+            reopened.read_chunk_verified("/f", 0, 40, 20)
+
+    def test_torn_partial_chunk_file(self, tmp_path):
+        st = self.make(tmp_path)
+        st.write_chunk("/f", 0, 0, payload(CHUNK))
+        os.truncate(st._chunk_file("/f", 0), 333)
+        reopened = self.make(tmp_path)
+        with pytest.raises(IntegrityError, match="torn"):
+            reopened.read_chunk_verified("/f", 0, 0, CHUNK)
+        assert not reopened.verify_chunk("/f", 0)
+
+    def test_zero_length_chunk_file(self, tmp_path):
+        st = self.make(tmp_path)
+        st.write_chunk("/f", 0, 0, payload(CHUNK))
+        os.truncate(st._chunk_file("/f", 0), 0)
+        reopened = self.make(tmp_path)
+        with pytest.raises(IntegrityError, match="torn"):
+            reopened.read_chunk_verified("/f", 0, 0, CHUNK)
+
+    def test_torn_sidecar_reads_as_unverifiable(self, tmp_path):
+        st = self.make(tmp_path)
+        st.write_chunk("/f", 0, 0, payload(CHUNK))
+        sidecar = st._sidecar_file("/f", 0)
+        os.truncate(sidecar, os.path.getsize(sidecar) - 3)
+        reopened = self.make(tmp_path)
+        with pytest.raises(IntegrityError, match="checksum record"):
+            reopened.read_chunk_verified("/f", 0, 0, CHUNK)
+
+    def test_garbage_sidecar_reads_as_unverifiable(self, tmp_path):
+        st = self.make(tmp_path)
+        st.write_chunk("/f", 0, 0, payload(CHUNK))
+        with open(st._sidecar_file("/f", 0), "wb") as fh:
+            fh.write(b"not a sidecar at all" * 3)
+        reopened = self.make(tmp_path)
+        with pytest.raises(IntegrityError, match="checksum record"):
+            reopened.read_chunk_verified("/f", 0, 0, CHUNK)
+
+    def test_sidecars_invisible_to_payload_namespace(self, tmp_path):
+        st = self.make(tmp_path)
+        st.write_chunk("/f", 0, 0, payload(CHUNK))
+        st.write_chunk("/f", 5, 0, payload(100))
+        assert sorted(st.chunk_ids("/f")) == [0, 5]
+        assert list(st.paths()) == ["/f"]
+        assert st.used_bytes() == CHUNK + 100
+
+    def test_remove_chunks_removes_sidecars(self, tmp_path):
+        st = self.make(tmp_path)
+        st.write_chunk("/f", 0, 0, payload(CHUNK))
+        sidecar = st._sidecar_file("/f", 0)
+        assert os.path.exists(sidecar)
+        st.remove_chunks("/f")
+        assert not os.path.exists(sidecar)
+
+    def test_sidecar_header_format_stable(self, tmp_path):
+        # The sidecar is a persisted format: magic + version pin it.
+        st = self.make(tmp_path)
+        st.write_chunk("/f", 0, 0, payload(CHUNK))
+        with open(st._sidecar_file("/f", 0), "rb") as fh:
+            header = fh.read(struct.calcsize("<4sBBQI"))
+        magic, version, algo, length, count = struct.unpack("<4sBBQI", header)
+        assert magic == b"GKCS"
+        assert version == 1
+        assert algo == 0  # gxh64
+        assert length == CHUNK
+        assert count == CHUNK // BLOCK

@@ -176,3 +176,38 @@ class TestReorderTasks:
     def test_str_summary(self, cluster):
         spec = IorSpec(procs=1, transfer_size=1024, block_size=2048, workdir="/ior_str")
         assert "write" in str(run_ior(cluster, spec))
+
+
+class TestVerificationDiagnostics:
+    def test_failed_verify_pinpoints_file_offset_and_chunk(self):
+        # Rot a byte underneath IOR (integrity plane off, so nothing
+        # catches it in flight) — the verifier must name the exact file,
+        # offset, and chunk index, not just count mismatches.
+        config = FSConfig(chunk_size=4096)
+        spec = IorSpec(procs=2, transfer_size=4096, block_size=16384)
+        with GekkoFSCluster(num_nodes=2, config=config) as fs:
+            run_ior(fs, spec, phases=("write",))
+            victim = f"{spec.workdir}/data.0000"
+            chunk_id = 2
+            address = fs.distributor.locate_chunk(victim, chunk_id)
+            assert fs.daemons[address].storage.corrupt_chunk(victim, chunk_id, 100)
+            offset = chunk_id * config.chunk_size
+            with pytest.raises(InvalidArgumentError) as exc:
+                run_ior(fs, spec, phases=("read",))
+            message = str(exc.value)
+            assert "1 corrupt" in message
+            assert f"{fs.config.mountpoint}{victim}" in message
+            assert f"offset {offset}" in message
+            assert f"chunk {chunk_id}" in message
+
+    def test_many_failures_are_summarised(self):
+        config = FSConfig(chunk_size=4096)
+        spec = IorSpec(procs=1, transfer_size=4096, block_size=8 * 4096)
+        with GekkoFSCluster(num_nodes=2, config=config) as fs:
+            run_ior(fs, spec, phases=("write",))
+            victim = f"{spec.workdir}/data.0000"
+            for chunk_id in range(8):
+                address = fs.distributor.locate_chunk(victim, chunk_id)
+                fs.daemons[address].storage.corrupt_chunk(victim, chunk_id, 1)
+            with pytest.raises(InvalidArgumentError, match="and 3 more"):
+                run_ior(fs, spec, phases=("read",))
