@@ -10,6 +10,11 @@ Commands mirror how the paper's artefacts are exercised:
 * ``trace``     — traced IOR run, exported as Chrome trace-event JSON.
 * ``metrics``   — telemetry IOR run, cluster metrics + load-balance report.
 * ``scrub``     — inject bit-rot, read through it, scrub it away.
+* ``serve``     — run ONE daemon behind a TCP/Unix socket (real deployment).
+
+``mdtest``/``ior`` accept ``--connect host:port,host:port,...`` to run
+against already-running ``serve`` daemons instead of an in-process
+cluster.
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--procs", type=int, default=8)
     p.add_argument("--files-per-proc", type=int, default=100)
     p.add_argument("--unique-dir", action="store_true", help="one directory per rank")
+    _add_connect_args(p)
 
     p = sub.add_parser("ior", help="run the IOR clone on a functional deployment")
     p.add_argument("--nodes", type=int, default=4)
@@ -54,6 +60,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shared-file", action="store_true")
     p.add_argument("--random", action="store_true")
     p.add_argument("--size-cache", action="store_true")
+    _add_connect_args(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="run ONE GekkoFS daemon behind a TCP or Unix socket; prints "
+        "'GKFS-SERVE READY daemon=<id> addr=<endpoint>' once accepting and "
+        "drains gracefully on SIGTERM",
+    )
+    p.add_argument("--daemon-id", type=int, required=True, help="this daemon's address (0..n-1)")
+    p.add_argument(
+        "--addr",
+        default="127.0.0.1:0",
+        help="endpoint to bind: host:port (port 0 = OS-assigned) or unix:/path",
+    )
+    p.add_argument("--handlers", type=int, default=4, help="handler pool width (QoS off)")
+    p.add_argument("--config", default=None, help="path to an FSConfig JSON file")
+    p.add_argument("--config-json", default=None, help="inline FSConfig JSON (overrides --config)")
 
     p = sub.add_parser("figures", help="regenerate the paper's figure series")
     p.add_argument(
@@ -126,6 +149,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_connect_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--connect",
+        default=None,
+        metavar="ADDR,ADDR,...",
+        help="run against already-running `repro serve` daemons at these "
+        "endpoints (daemon 0 first) instead of an in-process cluster",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=parse_size,
+        default=None,
+        help="chunk size the connected daemons were started with "
+        "(--connect only; must match their config)",
+    )
+
+
 def _add_smoke_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--nodes", type=int, default=4)
     p.add_argument("--procs", type=int, default=4)
@@ -152,14 +192,32 @@ def _cmd_info() -> int:
     return 0
 
 
+def _connected_deployment(args: argparse.Namespace, config: FSConfig):
+    """A SocketDeployment over the ``--connect`` address list."""
+    from repro.net import SocketDeployment
+
+    specs = [spec for spec in args.connect.split(",") if spec]
+    if getattr(args, "chunk_size", None):
+        config = config.with_(chunk_size=args.chunk_size)
+    deployment = SocketDeployment(dict(enumerate(specs)), config=config)
+    deployment.format()  # idempotent: safe if another rank formatted first
+    return deployment
+
+
 def _cmd_mdtest(args: argparse.Namespace) -> int:
     spec = MdtestSpec(
         procs=args.procs,
         files_per_proc=args.files_per_proc,
         single_dir=not args.unique_dir,
     )
-    with GekkoFSCluster(num_nodes=args.nodes) as fs:
-        result = run_mdtest(fs, spec)
+    if args.connect:
+        with _connected_deployment(args, FSConfig()) as fs:
+            result = run_mdtest(fs, spec)
+        nodes = fs.num_nodes
+    else:
+        with GekkoFSCluster(num_nodes=args.nodes) as fs:
+            result = run_mdtest(fs, spec)
+        nodes = args.nodes
     rows = [
         [phase, format_ops(result.ops_per_second[phase]), f"{result.elapsed[phase]:.3f} s"]
         for phase in ("create", "stat", "remove")
@@ -168,7 +226,8 @@ def _cmd_mdtest(args: argparse.Namespace) -> int:
         render_table(
             ["phase", "throughput", "elapsed"],
             rows,
-            title=f"mdtest: {spec.total_files} files, {args.nodes} nodes, "
+            title=f"mdtest: {spec.total_files} files, {nodes} nodes"
+            f"{' (socket)' if args.connect else ''}, "
             f"{'single' if spec.single_dir else 'unique'} dir",
         )
     )
@@ -184,8 +243,12 @@ def _cmd_ior(args: argparse.Namespace) -> int:
         file_per_process=not args.shared_file,
         sequential=not args.random,
     )
-    with GekkoFSCluster(num_nodes=args.nodes, config=config) as fs:
-        result = run_ior(fs, spec)
+    if args.connect:
+        with _connected_deployment(args, config) as fs:
+            result = run_ior(fs, spec)
+    else:
+        with GekkoFSCluster(num_nodes=args.nodes, config=config) as fs:
+            result = run_ior(fs, spec)
     rows = [
         ["write", format_throughput(result.write_bandwidth), f"{result.write_elapsed:.3f} s"],
         ["read", format_throughput(result.read_bandwidth), f"{result.read_elapsed:.3f} s"],
@@ -196,10 +259,26 @@ def _cmd_ior(args: argparse.Namespace) -> int:
             rows,
             title=f"IOR: {spec.total_bytes // KiB} KiB total, "
             f"{'fpp' if spec.file_per_process else 'shared'}, "
-            f"{'seq' if spec.sequential else 'random'}, verified",
+            f"{'seq' if spec.sequential else 'random'}, verified"
+            f"{', socket' if args.connect else ''}",
         )
     )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.net.serve import config_from_json, serve_daemon
+
+    if args.config_json is not None:
+        config = config_from_json(args.config_json)
+    elif args.config is not None:
+        with open(args.config, "r", encoding="utf-8") as fh:
+            config = config_from_json(fh.read())
+    else:
+        config = FSConfig()
+    return serve_daemon(
+        config, args.daemon_id, args.addr, handlers=args.handlers
+    )
 
 
 def _fig2(op: str, label: str, plot: bool) -> None:
@@ -605,6 +684,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_mdtest(args)
     if args.command == "ior":
         return _cmd_ior(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "figures":
         return _cmd_figures(args)
     if args.command == "claims":

@@ -36,7 +36,40 @@ from repro.rpc import (
 from repro.storage import LocalFSChunkStorage, MemoryChunkStorage
 from repro.telemetry.spans import TraceCollector
 
-__all__ = ["GekkoFSCluster"]
+__all__ = ["GekkoFSCluster", "node_dir", "build_node_stores"]
+
+
+def node_dir(base: Optional[str], node: int) -> Optional[str]:
+    """The node-local directory for ``node`` under ``base`` (None stays None)."""
+    return None if base is None else os.path.join(base, f"node_{node:04d}")
+
+
+def build_node_stores(config: FSConfig, node: int):
+    """Build one node's KV store and chunk storage from ``config``.
+
+    The single construction path shared by in-process deployments
+    (:class:`GekkoFSCluster`) and socket daemons
+    (:func:`repro.net.serve.serve_daemon`) — both restart by reopening
+    the same ``kv_dir``/``data_dir`` paths (WAL replay + chunk rescan),
+    so the layouts must match byte for byte.
+    """
+    kv = LSMStore(node_dir(config.kv_dir, node))
+    integrity_opts = {}
+    if config.integrity_enabled:
+        integrity_opts = {
+            "integrity": True,
+            "integrity_block_size": config.integrity_block_size,
+            "integrity_algorithm": config.integrity_algorithm,
+        }
+    if config.data_dir is not None:
+        storage = LocalFSChunkStorage(
+            config.chunk_size,
+            node_dir(config.data_dir, node),
+            **integrity_opts,
+        )
+    else:
+        storage = MemoryChunkStorage(config.chunk_size, **integrity_opts)
+    return kv, storage
 
 
 class GekkoFSCluster:
@@ -154,7 +187,7 @@ class GekkoFSCluster:
 
     @staticmethod
     def _node_dir(base: Optional[str], node: int) -> Optional[str]:
-        return None if base is None else os.path.join(base, f"node_{node:04d}")
+        return node_dir(base, node)
 
     def _build_daemon(self, node: int) -> GekkoDaemon:
         """Bring up the daemon process for ``node``: engine, KV, storage.
@@ -164,22 +197,7 @@ class GekkoFSCluster:
         and disk-backed chunk storage rescans its directory.
         """
         engine = self.network.create_engine(node)
-        kv = LSMStore(self._node_dir(self.config.kv_dir, node))
-        integrity_opts = {}
-        if self.config.integrity_enabled:
-            integrity_opts = {
-                "integrity": True,
-                "integrity_block_size": self.config.integrity_block_size,
-                "integrity_algorithm": self.config.integrity_algorithm,
-            }
-        if self.config.data_dir is not None:
-            storage = LocalFSChunkStorage(
-                self.config.chunk_size,
-                self._node_dir(self.config.data_dir, node),
-                **integrity_opts,
-            )
-        else:
-            storage = MemoryChunkStorage(self.config.chunk_size, **integrity_opts)
+        kv, storage = build_node_stores(self.config, node)
         daemon = GekkoDaemon(node, engine, self.config.chunk_size, kv=kv, storage=storage)
         if self._scheduled_transport is not None:
             scheduled = self._scheduled_transport

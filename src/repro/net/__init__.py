@@ -1,0 +1,30 @@
+"""Real networking for GekkoFS daemons: sockets, wire codec, processes.
+
+Everything below :mod:`repro.rpc`'s ``Transport`` contract, made real:
+
+* :mod:`repro.net.codec` — length-prefixed binary framing (no pickle).
+* :mod:`repro.net.addr` — one endpoint spelling for TCP and UDS.
+* :mod:`repro.net.server` / :mod:`repro.net.client` — the daemon-side
+  RPC server and the drop-in :class:`SocketTransport`.
+* :mod:`repro.net.serve` — the daemon-process entry (``repro serve``).
+* :mod:`repro.net.cluster` — address-book deployments, in-process
+  socket clusters, and one-process-per-daemon clusters.
+"""
+
+from repro.net.addr import format_endpoint, parse_endpoint
+from repro.net.client import SocketTransport
+from repro.net.cluster import LocalSocketCluster, ProcessCluster, SocketDeployment
+from repro.net.serve import serve_daemon, start_daemon
+from repro.net.server import RpcServer
+
+__all__ = [
+    "parse_endpoint",
+    "format_endpoint",
+    "SocketTransport",
+    "RpcServer",
+    "serve_daemon",
+    "start_daemon",
+    "LocalSocketCluster",
+    "ProcessCluster",
+    "SocketDeployment",
+]

@@ -1,0 +1,90 @@
+"""Endpoint addressing for socket deployments.
+
+One spelling for every surface (CLI flags, hosts files, Python API):
+
+* ``"host:port"`` — TCP (``"127.0.0.1:7700"``; port ``0`` lets the OS
+  pick and the server reports the bound port).
+* ``"unix:/path/to.sock"`` or a bare absolute path — a Unix-domain
+  socket.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Tuple, Union
+
+__all__ = ["Endpoint", "parse_endpoint", "format_endpoint", "create_listener",
+           "create_connection", "bound_endpoint"]
+
+#: A parsed endpoint: ``("tcp", (host, port))`` or ``("unix", path)``.
+Endpoint = Tuple[str, Union[Tuple[str, int], str]]
+
+
+def parse_endpoint(spec) -> Endpoint:
+    """Normalise any accepted endpoint spelling to an :data:`Endpoint`."""
+    if isinstance(spec, tuple):
+        if len(spec) == 2 and spec[0] in ("tcp", "unix"):
+            return spec  # already parsed
+        host, port = spec
+        return ("tcp", (host, int(port)))
+    if not isinstance(spec, str) or not spec:
+        raise ValueError(f"unintelligible endpoint {spec!r}")
+    if spec.startswith("unix:"):
+        return ("unix", spec[len("unix:"):])
+    if spec.startswith("/"):
+        return ("unix", spec)
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        raise ValueError(
+            f"endpoint {spec!r} is neither host:port nor unix:/path"
+        )
+    return ("tcp", (host or "127.0.0.1", int(port)))
+
+
+def format_endpoint(endpoint: Endpoint) -> str:
+    """The canonical string spelling (inverse of :func:`parse_endpoint`)."""
+    family, addr = endpoint
+    if family == "unix":
+        return f"unix:{addr}"
+    host, port = addr
+    return f"{host}:{port}"
+
+
+def create_listener(endpoint: Endpoint, backlog: int = 128) -> socket.socket:
+    """Bind + listen on ``endpoint``; returns the listening socket."""
+    family, addr = endpoint
+    if family == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(addr)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(addr)
+    sock.listen(backlog)
+    return sock
+
+
+def create_connection(endpoint: Endpoint, timeout: float) -> socket.socket:
+    """Connect to ``endpoint``; the socket comes back in blocking mode."""
+    family, addr = endpoint
+    if family == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(addr)
+    except BaseException:
+        sock.close()
+        raise
+    sock.settimeout(None)
+    return sock
+
+
+def bound_endpoint(sock: socket.socket) -> Endpoint:
+    """The endpoint a listening socket actually bound (resolves port 0)."""
+    if sock.family == socket.AF_UNIX:
+        return ("unix", sock.getsockname())
+    host, port = sock.getsockname()[:2]
+    return ("tcp", (host, port))

@@ -1,0 +1,102 @@
+"""Server-side bulk handles for socket transports.
+
+In process, a :class:`~repro.rpc.bulk.BulkHandle` lets the daemon read or
+write the client's memory directly.  Across a socket that trick is gone,
+so the daemon gets a :class:`ServerBulkHandle` with the same ``pull`` /
+``push`` surface and byte accounting:
+
+* **pull** (the write path): the client ships its read-only exposure over
+  the *bulk* socket ahead of the request; pulls are served from that
+  received region with zero further wire traffic.
+* **push** (the read path): each push is sent immediately as a tagged
+  segment on the bulk socket; the client lands it at the right offset in
+  the real exposed buffer.  The response frame carries the final
+  pull/push totals so the client can mirror the accounting onto its own
+  handle before the future resolves.
+
+This is Mercury's RPC-vs-RDMA split made literal: control frames on one
+stream, payload on another, correlated by sequence number.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+__all__ = ["ServerBulkHandle"]
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+class ServerBulkHandle:
+    """The daemon-side view of a client's bulk exposure, over sockets.
+
+    :param size: length of the client's exposed region.
+    :param exposed: the shipped region for read-only exposures; ``None``
+        for writable exposures (push-only — over a socket the server
+        cannot read memory the client never sent).
+    :param readonly: whether the client declared the exposure read-only.
+    :param push_fn: ``push_fn(offset, data)`` — delivers one pushed
+        segment to the client (a bulk-socket write).
+    """
+
+    __slots__ = ("_size", "_exposed", "readonly", "_push_fn",
+                 "bytes_pulled", "bytes_pushed")
+
+    def __init__(
+        self,
+        size: int,
+        exposed: Optional[bytes],
+        readonly: bool,
+        push_fn: Callable[[int, bytes], None],
+    ):
+        self._size = size
+        self._exposed = exposed
+        self.readonly = readonly
+        self._push_fn = push_fn
+        self.bytes_pulled = 0
+        self.bytes_pushed = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def pull(self, offset: int = 0, length: int = -1) -> bytes:
+        """Read ``length`` bytes at ``offset`` of the shipped exposure."""
+        if self._exposed is None:
+            raise ValueError(
+                "cannot pull from a writable bulk exposure over a socket "
+                "(the client only ships read-only regions)"
+            )
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if length < 0:
+            length = self._size - offset
+        end = offset + length
+        if end > self._size:
+            raise ValueError(
+                f"pull of [{offset}, {end}) exceeds exposed region of "
+                f"{self._size} bytes"
+            )
+        self.bytes_pulled += length
+        return self._exposed[offset:end]
+
+    def push(self, data: Buffer, offset: int = 0) -> int:
+        """Send ``data`` to land at ``offset`` in the client's buffer."""
+        if self.readonly:
+            raise ValueError("cannot push into a read-only bulk exposure")
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        raw = bytes(data)
+        end = offset + len(raw)
+        if end > self._size:
+            raise ValueError(
+                f"push of [{offset}, {end}) exceeds exposed region of "
+                f"{self._size} bytes"
+            )
+        self._push_fn(offset, raw)
+        self.bytes_pushed += len(raw)
+        return len(raw)
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Total out-of-band traffic through this handle."""
+        return self.bytes_pulled + self.bytes_pushed

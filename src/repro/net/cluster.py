@@ -1,0 +1,419 @@
+"""Socket deployments: address books, in-process servers, real processes.
+
+Three pieces, layered:
+
+* :class:`SocketDeployment` — the *client side* of a socket cluster: an
+  address book (daemon id → endpoint), the full client transport stack
+  (sockets → retry/breaker → instrumentation, identical wiring to
+  :class:`~repro.core.cluster.GekkoFSCluster`), and a client factory.
+  This is GekkoFS's hosts file made live: any process that can parse the
+  address book can mount the file system.
+* :class:`LocalSocketCluster` — every daemon in *this* process, each
+  behind a real socket.  The whole wire stack without process
+  management; what tests and single-process baselines use.
+* :class:`ProcessCluster` — one OS process per daemon (``repro serve``
+  children), bound ports scraped from their READY lines.  The paper's
+  actual deployment shape: daemons with private memory on separate
+  cores, clients reaching them only through the fabric.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from typing import Mapping, Optional
+
+from repro.core.client import GekkoFSClient
+from repro.core.config import FSConfig
+from repro.core.distributor import Distributor, SimpleHashDistributor
+from repro.core.metadata import new_dir_metadata
+from repro.net.client import SocketTransport
+from repro.net.serve import (
+    READY_PREFIX,
+    ServedDaemon,
+    config_to_json,
+    start_daemon,
+)
+from repro.qos import ClientPort
+from repro.rpc import (
+    DaemonHealthTracker,
+    InstrumentedTransport,
+    RetryingTransport,
+    RpcNetwork,
+)
+
+__all__ = ["SocketDeployment", "LocalSocketCluster", "ProcessCluster"]
+
+
+class SocketDeployment:
+    """Mount a socket-served cluster: address book in, clients out.
+
+    :param addresses: daemon address → endpoint spec (any spelling
+        :func:`~repro.net.addr.parse_endpoint` accepts).  Daemon
+        addresses must be ``0..n-1`` — placement hashes over that range.
+    :param config: must match what the daemons were started with (the
+        hosts-file contract; chunk size and feature flags are not
+        negotiated over the wire).
+    :param instrument: wrap the transport for RPC-count inspection.
+    """
+
+    def __init__(
+        self,
+        addresses: Mapping[int, object],
+        config: Optional[FSConfig] = None,
+        distributor: Optional[Distributor] = None,
+        instrument: bool = False,
+        connect_timeout: float = 5.0,
+        request_timeout: float = 30.0,
+    ):
+        if not addresses:
+            raise ValueError("address book is empty")
+        self.config = config or FSConfig()
+        self.num_nodes = len(addresses)
+        if sorted(addresses) != list(range(self.num_nodes)):
+            raise ValueError(
+                f"daemon addresses must be 0..{self.num_nodes - 1}, "
+                f"got {sorted(addresses)}"
+            )
+        self.distributor = distributor or SimpleHashDistributor(self.num_nodes)
+        if self.distributor.num_daemons != self.num_nodes:
+            raise ValueError(
+                f"distributor spans {self.distributor.num_daemons} daemons, "
+                f"address book has {self.num_nodes}"
+            )
+        self.network = RpcNetwork()
+        self.trace_collector = None
+        if self.config.telemetry_enabled:
+            from repro.telemetry.spans import TraceCollector
+
+            self.trace_collector = TraceCollector()
+            self.network.tracer = self.trace_collector
+        self.socket_transport = SocketTransport(
+            addresses,
+            connect_timeout=connect_timeout,
+            request_timeout=request_timeout,
+        )
+        self.network.transport = self.socket_transport
+        # Same fault-tolerance wiring as the in-process cluster: one fused
+        # retry/breaker transport, instrumentation outermost.
+        self.health: Optional[DaemonHealthTracker] = None
+        if self.config.breaker_enabled:
+            self.health = DaemonHealthTracker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown=self.config.breaker_cooldown,
+            )
+        self.retrying: Optional[RetryingTransport] = None
+        if (
+            self.config.rpc_retries > 0
+            or self.config.rpc_deadline is not None
+            or self.health is not None
+        ):
+            self.retrying = RetryingTransport(
+                self.network.transport,
+                max_attempts=self.config.rpc_retries + 1,
+                backoff_base=self.config.rpc_backoff_base,
+                backoff_max=self.config.rpc_backoff_max,
+                deadline=self.config.rpc_deadline,
+                tracker=self.health,
+            )
+            self.network.transport = self.retrying
+        self.transport: Optional[InstrumentedTransport] = None
+        if instrument:
+            self.transport = InstrumentedTransport(self.network.transport)
+            self.network.transport = self.transport
+        self._client_ids = itertools.count()
+
+    def client(self, node_id: int = 0) -> GekkoFSClient:
+        """A client as it would run on ``node_id`` (same semantics as
+        :meth:`repro.core.cluster.GekkoFSCluster.client`)."""
+        if not 0 <= node_id < self.num_nodes:
+            raise ValueError(f"node_id {node_id} out of range [0, {self.num_nodes})")
+        network = self.network
+        if self.config.qos_enabled:
+            network = ClientPort(
+                self.network,
+                next(self._client_ids),
+                window_enabled=self.config.qos_window_enabled,
+                window_initial=self.config.qos_window_initial,
+                window_max=self.config.qos_window_max,
+                throttle_retries=self.config.qos_throttle_retries,
+            )
+        return GekkoFSClient(network, self.distributor, self.config, node_id)
+
+    def format(self) -> None:
+        """Create the root directory record on its owner daemon(s).
+
+        Idempotent (``gkfs_create`` without ``O_EXCL`` keeps an existing
+        record), so every launcher and late-joining client may call it.
+        """
+        root_md = new_dir_metadata(maintain_times=self.config.maintain_mtime)
+        owner = self.distributor.locate_metadata("/")
+        replicas = min(self.config.replication, self.num_nodes)
+        for i in range(replicas):
+            self.network.call(
+                (owner + i) % self.num_nodes,
+                "gkfs_create",
+                "/",
+                root_md.encode(),
+                False,
+            )
+
+    def shutdown(self) -> None:
+        self.socket_transport.shutdown()
+
+    def __enter__(self) -> "SocketDeployment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class _SocketClusterBase:
+    """Shared client-facing surface of the two socket cluster shapes."""
+
+    deployment: SocketDeployment
+
+    @property
+    def config(self) -> FSConfig:
+        return self.deployment.config
+
+    @property
+    def num_nodes(self) -> int:
+        return self.deployment.num_nodes
+
+    @property
+    def distributor(self) -> Distributor:
+        return self.deployment.distributor
+
+    @property
+    def network(self) -> RpcNetwork:
+        return self.deployment.network
+
+    @property
+    def transport(self) -> Optional[InstrumentedTransport]:
+        return self.deployment.transport
+
+    def client(self, node_id: int = 0) -> GekkoFSClient:
+        return self.deployment.client(node_id)
+
+    def _wipe(self) -> None:
+        for base in (self.config.kv_dir, self.config.data_dir):
+            if base is not None and os.path.isdir(base):
+                shutil.rmtree(base, ignore_errors=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()  # type: ignore[attr-defined]
+
+
+class LocalSocketCluster(_SocketClusterBase):
+    """Every daemon in this process, each behind a real socket.
+
+    Exercises the complete wire stack — framing, bulk channel, failure
+    mapping — without forking; daemons stay reachable as objects
+    (``served[i].daemon``) for white-box assertions.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        config: Optional[FSConfig] = None,
+        distributor: Optional[Distributor] = None,
+        instrument: bool = False,
+        handlers_per_daemon: int = 4,
+    ):
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be > 0, got {num_nodes}")
+        config = config or FSConfig()
+        self.served: list[ServedDaemon] = []
+        try:
+            for node in range(num_nodes):
+                self.served.append(
+                    start_daemon(config, node, handlers=handlers_per_daemon)
+                )
+            self.deployment = SocketDeployment(
+                {s.daemon.address: s.address_spec for s in self.served},
+                config=config,
+                distributor=distributor,
+                instrument=instrument,
+            )
+            self.deployment.format()
+        except BaseException:
+            for served in self.served:
+                served.stop(drain=False)
+            raise
+        self._crashed: set[int] = set()
+        self._running = True
+
+    def crash_daemon(self, address: int) -> None:
+        """Crash-stop one daemon: its sockets die abruptly, in-flight
+        requests fail as lost connections, volatile state is gone."""
+        if address in self._crashed:
+            raise RuntimeError(f"daemon {address} is already crashed")
+        self._crashed.add(address)
+        self.served[address].stop(drain=False)
+
+    def shutdown(self, wipe: bool = True) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self.deployment.shutdown()
+        for address, served in enumerate(self.served):
+            if address not in self._crashed:
+                served.stop(drain=True)
+        if wipe:
+            self._wipe()
+
+
+class _Pump(threading.Thread):
+    """Drain one child stream, scraping the READY line and keeping a tail."""
+
+    def __init__(self, stream, name: str):
+        super().__init__(daemon=True, name=name)
+        self.stream = stream
+        self.ready_addr: Optional[str] = None
+        self.ready_event = threading.Event()
+        self.tail: deque = deque(maxlen=50)
+        self.start()
+
+    def run(self) -> None:
+        try:
+            for line in self.stream:
+                line = line.rstrip("\n")
+                self.tail.append(line)
+                if line.startswith(READY_PREFIX):
+                    for token in line.split():
+                        if token.startswith("addr="):
+                            self.ready_addr = token[len("addr="):]
+                    self.ready_event.set()
+        finally:
+            self.ready_event.set()  # EOF: unblock waiters (crash case)
+            try:
+                self.stream.close()
+            except OSError:
+                pass
+
+
+class ProcessCluster(_SocketClusterBase):
+    """One OS process per daemon — real multi-process deployment.
+
+    Children run ``repro serve`` with an OS-assigned port each; the
+    launcher scrapes bound endpoints from their READY lines, builds the
+    address book, and formats the root record over the wire.  Teardown
+    is SIGTERM + drain by default (exit code 0); :meth:`kill_daemon` is
+    the crash path.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        config: Optional[FSConfig] = None,
+        distributor: Optional[Distributor] = None,
+        instrument: bool = False,
+        handlers_per_daemon: int = 4,
+        python: str = sys.executable,
+        startup_timeout: float = 30.0,
+    ):
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be > 0, got {num_nodes}")
+        config = config or FSConfig()
+        config_json = config_to_json(config)
+        env = dict(os.environ)
+        package_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+        self.processes: list[subprocess.Popen] = []
+        self._pumps: list[tuple[_Pump, _Pump]] = []
+        try:
+            for node in range(num_nodes):
+                proc = subprocess.Popen(
+                    [
+                        python, "-m", "repro", "serve",
+                        "--daemon-id", str(node),
+                        "--addr", "127.0.0.1:0",
+                        "--handlers", str(handlers_per_daemon),
+                        "--config-json", config_json,
+                    ],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                    env=env,
+                )
+                self.processes.append(proc)
+                self._pumps.append((
+                    _Pump(proc.stdout, f"gkfs-pump-out-{node}"),
+                    _Pump(proc.stderr, f"gkfs-pump-err-{node}"),
+                ))
+            addresses = {}
+            deadline = time.monotonic() + startup_timeout
+            for node, (out_pump, err_pump) in enumerate(self._pumps):
+                remaining = deadline - time.monotonic()
+                if not out_pump.ready_event.wait(max(0.0, remaining)) or (
+                    out_pump.ready_addr is None
+                ):
+                    raise RuntimeError(
+                        f"daemon {node} did not come up within "
+                        f"{startup_timeout}s; stderr tail: "
+                        f"{list(err_pump.tail)[-5:]}"
+                    )
+                addresses[node] = out_pump.ready_addr
+            self.deployment = SocketDeployment(
+                addresses,
+                config=config,
+                distributor=distributor,
+                instrument=instrument,
+            )
+            self.deployment.format()
+        except BaseException:
+            for proc in self.processes:
+                if proc.poll() is None:
+                    proc.kill()
+            for proc in self.processes:
+                proc.wait()
+            raise
+        self._running = True
+
+    def daemon_pid(self, address: int) -> int:
+        return self.processes[address].pid
+
+    def terminate_daemon(self, address: int, timeout: float = 15.0) -> int:
+        """SIGTERM one daemon and wait for its graceful drain; returns
+        the child's exit code (0 = clean)."""
+        proc = self.processes[address]
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+        return proc.wait(timeout)
+
+    def kill_daemon(self, address: int) -> None:
+        """SIGKILL one daemon — a crash, no drain, no KV flush."""
+        proc = self.processes[address]
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait()
+
+    def shutdown(self, wipe: bool = True) -> None:
+        if not getattr(self, "_running", False):
+            return
+        self._running = False
+        self.deployment.shutdown()
+        for proc in self.processes:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + 15.0
+        for proc in self.processes:
+            try:
+                proc.wait(max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        if wipe:
+            self._wipe()

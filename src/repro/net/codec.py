@@ -1,0 +1,335 @@
+"""Binary wire format for socket RPC: frame header + tagged value codec.
+
+Every message on a GekkoFS socket — RPC request, response, handshake,
+bulk transfer — is one *frame*: a fixed :data:`HEADER_SIZE`-byte header
+followed by a body.  The header is deliberately sized to
+:data:`~repro.rpc.message.ENVELOPE_BYTES`, the per-message envelope the
+performance models have charged for since PR 1 — what the models call
+"Mercury headers" is now literally the bytes on the wire, which is what
+lets ``tests/test_net_codec.py`` reconcile :func:`estimate_wire_size`
+against reality.
+
+The body of control frames (requests/responses/hello) is encoded with a
+small msgpack-style tagged codec (:func:`dumps`/:func:`loads`) covering
+exactly the types that cross the RPC boundary: ``None``, bools, ints of
+any size, floats, ``bytes``, ``str``, lists, tuples (distinct from lists
+so decoded args compare equal to what in-process transports deliver),
+and dicts.  No pickle anywhere — a malicious or corrupt peer can only
+produce these plain values, never code execution.
+
+Bulk frames carry their payload *raw* after the header (the RDMA
+stand-in never re-encodes chunk data); only the header says where the
+bytes land.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Optional, Tuple
+
+from repro.rpc.message import ENVELOPE_BYTES, RemoteError, RpcRequest
+
+__all__ = [
+    "HEADER_SIZE",
+    "MAGIC",
+    "WIRE_VERSION",
+    "KIND_HELLO",
+    "KIND_REQUEST",
+    "KIND_RESPONSE",
+    "KIND_BULK_EXPOSE",
+    "KIND_BULK_PUSH",
+    "FLAG_HAS_BULK",
+    "FLAG_BULK_READONLY",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_FAULT",
+    "Frame",
+    "FrameError",
+    "dumps",
+    "loads",
+    "pack_frame",
+    "unpack_header",
+    "encode_request_body",
+    "decode_request_body",
+    "encode_response_body",
+    "decode_response_body",
+    "framed_request_size",
+]
+
+#: Wire magic: first bytes of every frame header.
+MAGIC = b"GKFS"
+#: Protocol version; bumped on any incompatible layout change.
+WIRE_VERSION = 1
+
+# Frame kinds.
+KIND_HELLO = 1  # (role, token) — pairs the rpc and bulk sockets of a channel
+KIND_REQUEST = 2  # one RPC request (control socket)
+KIND_RESPONSE = 3  # one RPC response (control socket)
+KIND_BULK_EXPOSE = 4  # client -> server: a readonly bulk region (bulk socket)
+KIND_BULK_PUSH = 5  # server -> client: one pushed segment (bulk socket)
+
+# Header flags.
+FLAG_HAS_BULK = 0x01  # request travels with a bulk exposure
+FLAG_BULK_READONLY = 0x02  # ... and the exposure is read-only (pull-only)
+
+# Response statuses.
+STATUS_OK = 0  # body is the handler value
+STATUS_ERROR = 1  # body is (errno, message, retry_after) — a GekkoFS error
+STATUS_FAULT = 2  # body is (type_name, message) — a non-GekkoFS exception
+
+#: Fixed header layout: magic, version, kind, flags, seq, body_len,
+#: aux1, aux2, then zero padding out to ENVELOPE_BYTES.  ``aux1``/``aux2``
+#: are per-kind scalars: requests put the bulk exposure size in aux1;
+#: responses put bytes-pulled in aux1 and bytes-pushed in aux2; bulk
+#: pushes put the destination offset in aux1.
+_HEADER = struct.Struct("!4sBBHIIQQ")
+HEADER_SIZE = ENVELOPE_BYTES
+_PAD = b"\x00" * (HEADER_SIZE - _HEADER.size)
+assert _HEADER.size <= HEADER_SIZE
+
+
+class FrameError(ConnectionError):
+    """A torn, truncated, or foreign frame — the connection is unusable."""
+
+
+class Frame:
+    """One decoded frame header (body/payload handled by the caller)."""
+
+    __slots__ = ("kind", "flags", "seq", "body_len", "aux1", "aux2")
+
+    def __init__(self, kind: int, flags: int, seq: int, body_len: int,
+                 aux1: int, aux2: int):
+        self.kind = kind
+        self.flags = flags
+        self.seq = seq
+        self.body_len = body_len
+        self.aux1 = aux1
+        self.aux2 = aux2
+
+
+def pack_frame(kind: int, seq: int, body: bytes = b"", *, flags: int = 0,
+               aux1: int = 0, aux2: int = 0) -> bytes:
+    """Serialise one frame: fixed header, padding, body."""
+    return b"".join((
+        _HEADER.pack(MAGIC, WIRE_VERSION, kind, flags, seq & 0xFFFFFFFF,
+                     len(body), aux1, aux2),
+        _PAD,
+        body,
+    ))
+
+
+def unpack_header(buf: bytes) -> Frame:
+    """Decode one :data:`HEADER_SIZE`-byte header, validating magic/version."""
+    magic, version, kind, flags, seq, body_len, aux1, aux2 = _HEADER.unpack_from(buf)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r} (torn or foreign stream)")
+    if version != WIRE_VERSION:
+        raise FrameError(f"wire version {version} != {WIRE_VERSION}")
+    return Frame(kind, flags, seq, body_len, aux1, aux2)
+
+
+# -- tagged value codec ------------------------------------------------------
+
+_T_NONE = 0x00
+_T_FALSE = 0x01
+_T_TRUE = 0x02
+_T_INT8 = 0x03  # signed, 1 byte
+_T_INT32 = 0x04  # signed, 4 bytes
+_T_INT64 = 0x05  # signed, 8 bytes
+_T_BIGINT = 0x06  # u32 length + signed big-endian bytes
+_T_FLOAT = 0x07  # IEEE double
+_T_BYTES = 0x08  # u32 length + raw
+_T_STR = 0x09  # u32 length + utf-8
+_T_LIST = 0x0A  # u32 count + items
+_T_TUPLE = 0x0B  # u32 count + items
+_T_DICT = 0x0C  # u32 count + key/value pairs
+
+_pack_i8 = struct.Struct("!b").pack
+_pack_i32 = struct.Struct("!i").pack
+_pack_i64 = struct.Struct("!q").pack
+_pack_u32 = struct.Struct("!I").pack
+_pack_f64 = struct.Struct("!d").pack
+_unpack_i8 = struct.Struct("!b").unpack_from
+_unpack_i32 = struct.Struct("!i").unpack_from
+_unpack_i64 = struct.Struct("!q").unpack_from
+_unpack_u32 = struct.Struct("!I").unpack_from
+_unpack_f64 = struct.Struct("!d").unpack_from
+
+
+def _encode(obj: Any, out: bytearray) -> None:
+    # Ordered by hot-path frequency: ints (offsets/lengths/ids), bytes
+    # (inline payloads, metadata records), str, containers.
+    if obj is None:
+        out.append(_T_NONE)
+    elif obj is True:
+        out.append(_T_TRUE)
+    elif obj is False:
+        out.append(_T_FALSE)
+    elif type(obj) is int or (isinstance(obj, int) and not isinstance(obj, bool)):
+        if -128 <= obj <= 127:
+            out.append(_T_INT8)
+            out += _pack_i8(obj)
+        elif -2147483648 <= obj <= 2147483647:
+            out.append(_T_INT32)
+            out += _pack_i32(obj)
+        elif -(1 << 63) <= obj < (1 << 63):
+            out.append(_T_INT64)
+            out += _pack_i64(obj)
+        else:
+            raw = obj.to_bytes((obj.bit_length() + 8) // 8, "big", signed=True)
+            out.append(_T_BIGINT)
+            out += _pack_u32(len(raw))
+            out += raw
+    elif isinstance(obj, float):
+        out.append(_T_FLOAT)
+        out += _pack_f64(obj)
+    elif isinstance(obj, (bytes, bytearray, memoryview)):
+        raw = bytes(obj)
+        out.append(_T_BYTES)
+        out += _pack_u32(len(raw))
+        out += raw
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        out.append(_T_STR)
+        out += _pack_u32(len(raw))
+        out += raw
+    elif isinstance(obj, (list, tuple)):
+        out.append(_T_TUPLE if isinstance(obj, tuple) else _T_LIST)
+        out += _pack_u32(len(obj))
+        for item in obj:
+            _encode(item, out)
+    elif isinstance(obj, dict):
+        out.append(_T_DICT)
+        out += _pack_u32(len(obj))
+        for key, value in obj.items():
+            _encode(key, out)
+            _encode(value, out)
+    else:
+        raise TypeError(
+            f"type {type(obj).__name__} cannot cross the RPC wire "
+            f"(supported: None/bool/int/float/bytes/str/list/tuple/dict)"
+        )
+
+
+def dumps(obj: Any) -> bytes:
+    """Encode one value to its tagged wire form."""
+    out = bytearray()
+    _encode(obj, out)
+    return bytes(out)
+
+
+def _decode(buf, offset: int) -> Tuple[Any, int]:
+    tag = buf[offset]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT8:
+        return _unpack_i8(buf, offset)[0], offset + 1
+    if tag == _T_INT32:
+        return _unpack_i32(buf, offset)[0], offset + 4
+    if tag == _T_INT64:
+        return _unpack_i64(buf, offset)[0], offset + 8
+    if tag == _T_BIGINT:
+        (length,) = _unpack_u32(buf, offset)
+        offset += 4
+        raw = bytes(buf[offset:offset + length])
+        return int.from_bytes(raw, "big", signed=True), offset + length
+    if tag == _T_FLOAT:
+        return _unpack_f64(buf, offset)[0], offset + 8
+    if tag == _T_BYTES:
+        (length,) = _unpack_u32(buf, offset)
+        offset += 4
+        return bytes(buf[offset:offset + length]), offset + length
+    if tag == _T_STR:
+        (length,) = _unpack_u32(buf, offset)
+        offset += 4
+        return bytes(buf[offset:offset + length]).decode("utf-8"), offset + length
+    if tag in (_T_LIST, _T_TUPLE):
+        (count,) = _unpack_u32(buf, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode(buf, offset)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), offset
+    if tag == _T_DICT:
+        (count,) = _unpack_u32(buf, offset)
+        offset += 4
+        result = {}
+        for _ in range(count):
+            key, offset = _decode(buf, offset)
+            value, offset = _decode(buf, offset)
+            result[key] = value
+        return result, offset
+    raise FrameError(f"unknown wire tag 0x{tag:02x} at offset {offset - 1}")
+
+
+def loads(buf) -> Any:
+    """Decode one tagged value; trailing bytes are a framing bug."""
+    value, offset = _decode(buf, 0)
+    if offset != len(buf):
+        raise FrameError(f"{len(buf) - offset} trailing bytes after value")
+    return value
+
+
+# -- request/response bodies -------------------------------------------------
+
+
+def encode_request_body(request: RpcRequest) -> bytes:
+    """The control-frame body of one request (bulk travels separately)."""
+    return dumps((
+        request.target,
+        request.handler,
+        request.args,
+        request.request_id,
+        request.parent_span,
+        request.client_id,
+    ))
+
+
+def decode_request_body(body, seq_bulk: Optional[Any]) -> RpcRequest:
+    """Rebuild the request; ``seq_bulk`` is the server-side bulk stand-in."""
+    target, handler, args, request_id, parent_span, client_id = loads(body)
+    return RpcRequest(
+        target=target,
+        handler=handler,
+        args=tuple(args),
+        bulk=seq_bulk,
+        request_id=request_id,
+        parent_span=parent_span,
+        client_id=client_id,
+    )
+
+
+def encode_response_body(status: int, payload: Any) -> bytes:
+    """The control-frame body of one response.
+
+    ``payload`` by status: the handler value (:data:`STATUS_OK`), an
+    ``(errno, message, retry_after)`` triple (:data:`STATUS_ERROR`), or a
+    ``(type_name, message)`` pair (:data:`STATUS_FAULT`).
+    """
+    return dumps((status, payload))
+
+
+def decode_response_body(body) -> Tuple[int, Any]:
+    status, payload = loads(body)
+    return status, payload
+
+
+def framed_request_size(request: RpcRequest) -> int:
+    """Actual on-the-wire size of ``request``'s control frame.
+
+    What :attr:`~repro.rpc.message.RpcRequest.wire_size` estimates; the
+    reconciliation test pins the two together.  Excludes any bulk
+    exposure — bulk bytes are accounted out of band, exactly as the
+    models charge them.
+    """
+    return HEADER_SIZE + len(encode_request_body(request))
+
+
+def remote_error_payload(error: RemoteError) -> tuple:
+    return (error.errno, str(error), error.retry_after)

@@ -1,0 +1,178 @@
+"""Run one GekkoFS daemon behind a socket — the daemon-process entry.
+
+:func:`start_daemon` builds a complete daemon (engine, KV store, chunk
+storage, QoS pool, telemetry) from the same :class:`~repro.core.config
+.FSConfig` an in-process cluster uses and puts an
+:class:`~repro.net.server.RpcServer` in front of it.  :func:`serve_daemon`
+is the blocking wrapper the ``repro serve`` CLI and
+:class:`~repro.net.cluster.ProcessCluster` children run: it prints a
+machine-parseable READY line (the launcher scrapes the bound port from
+it) and drains gracefully on SIGTERM/SIGINT.
+
+Configs travel between launcher and daemon as JSON
+(:func:`config_to_json` / :func:`config_from_json`); the round-trip
+restores the int client ids JSON forces into strings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import signal
+import sys
+import threading
+from typing import Optional
+
+from repro.core.cluster import build_node_stores
+from repro.core.config import FSConfig
+from repro.core.daemon import GekkoDaemon
+from repro.net.server import RpcServer
+from repro.rpc.engine import RpcEngine
+
+__all__ = [
+    "ServedDaemon",
+    "start_daemon",
+    "serve_daemon",
+    "config_to_json",
+    "config_from_json",
+    "READY_PREFIX",
+]
+
+#: First token of the line a daemon prints once it is accepting requests:
+#: ``GKFS-SERVE READY daemon=<id> addr=<endpoint>``.
+READY_PREFIX = "GKFS-SERVE READY"
+
+
+def config_to_json(config: FSConfig) -> str:
+    """Serialise a config for shipping to a daemon process."""
+    return json.dumps(dataclasses.asdict(config))
+
+
+def config_from_json(text: str) -> FSConfig:
+    """Rebuild a config from :func:`config_to_json` output.
+
+    JSON object keys are always strings; the QoS per-client maps are
+    keyed by int client ids, so coerce them back.
+    """
+    data = json.loads(text)
+    for key in ("qos_client_weights", "qos_rate_limits"):
+        if data.get(key):
+            data[key] = {int(k): v for k, v in data[key].items()}
+    return FSConfig(**data)
+
+
+class ServedDaemon:
+    """One running socket-served daemon and everything it owns."""
+
+    def __init__(self, daemon: GekkoDaemon, server: RpcServer, dispatch):
+        self.daemon = daemon
+        self.server = server
+        self._dispatch = dispatch
+
+    @property
+    def address_spec(self) -> str:
+        return self.server.address_spec
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful (drain in-flight, flush the KV) or abortive stop."""
+        self.server.stop(drain=drain)
+        self._dispatch.shutdown()
+        if drain:
+            self.daemon.shutdown()
+        else:
+            self.daemon.crash()
+
+    def __enter__(self) -> "ServedDaemon":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def start_daemon(
+    config: FSConfig,
+    daemon_id: int,
+    address=None,
+    *,
+    handlers: int = 4,
+) -> ServedDaemon:
+    """Build and start one daemon's full stack behind a socket.
+
+    Mirrors :meth:`~repro.core.cluster.GekkoFSCluster._build_daemon`
+    exactly — same stores, same QoS pool wiring, same telemetry
+    attachment — except the engine fronts an
+    :class:`~repro.net.server.RpcServer` instead of a shared in-process
+    engine table.
+
+    :param address: endpoint spec; ``None`` = loopback TCP, OS-chosen
+        port (read it back from ``served.address_spec``).
+    :param handlers: pool width when QoS is off (the Margo xstream count).
+    """
+    engine = RpcEngine(daemon_id)
+    kv, storage = build_node_stores(config, daemon_id)
+    daemon = GekkoDaemon(daemon_id, engine, config.chunk_size, kv=kv, storage=storage)
+    collector = None
+    if config.telemetry_enabled:
+        from repro.telemetry.spans import TraceCollector
+
+        collector = TraceCollector()
+        engine.collector = collector
+        engine.metrics = daemon.metrics
+    if config.qos_enabled:
+        from repro.qos import ScheduledTransport
+
+        dispatch = ScheduledTransport(
+            {daemon_id: engine},
+            meta_workers=config.qos_meta_workers,
+            data_workers=config.qos_data_workers,
+            queue_limit=config.qos_queue_limit,
+            default_weight=config.qos_default_weight,
+            weights=config.qos_client_weights,
+            rate_limits=config.qos_rate_limits,
+        )
+        daemon.queue_depth_fn = lambda t=dispatch, n=daemon_id: t.queue_depth(n)
+        dispatch.attach(daemon_id, daemon.metrics, collector)
+    else:
+        from repro.rpc.threaded import ThreadedTransport
+
+        dispatch = ThreadedTransport({daemon_id: engine}, handlers)
+        daemon.queue_depth_fn = lambda t=dispatch, n=daemon_id: t.queue_depth(n)
+    server = RpcServer(engine, address, dispatch=dispatch).start()
+    return ServedDaemon(daemon, server, dispatch)
+
+
+def serve_daemon(
+    config: FSConfig,
+    daemon_id: int,
+    address,
+    *,
+    handlers: int = 4,
+    install_signals: bool = True,
+    ready_stream=None,
+    stop_event: Optional[threading.Event] = None,
+) -> int:
+    """Serve until told to stop; the daemon-process main loop.
+
+    Prints ``GKFS-SERVE READY daemon=<id> addr=<spec>`` once accepting
+    (on ``ready_stream``, default stdout) so launchers can scrape the
+    bound endpoint, then blocks.  SIGTERM/SIGINT trigger a *graceful*
+    stop: the listener closes, in-flight requests run to completion and
+    their responses are delivered, the KV store flushes.  Returns the
+    process exit code (0 on clean drain).
+    """
+    stop = stop_event or threading.Event()
+    if install_signals:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda *_: stop.set())
+    served = start_daemon(config, daemon_id, address, handlers=handlers)
+    stream = ready_stream or sys.stdout
+    print(
+        f"{READY_PREFIX} daemon={daemon_id} addr={served.address_spec}",
+        file=stream,
+        flush=True,
+    )
+    try:
+        stop.wait()
+    finally:
+        served.stop(drain=True)
+    return 0

@@ -1,0 +1,488 @@
+"""Selector-based RPC server: one daemon's engine behind a real socket.
+
+One :class:`RpcServer` is the network face of one GekkoFS daemon.  A
+single I/O thread multiplexes every client connection with
+:mod:`selectors` (accept, frame reassembly, request decode); execution is
+delegated to a *dispatch transport* — the existing
+:class:`~repro.rpc.threaded.ThreadedTransport` (plain handler pools, the
+Argobots model) or :class:`~repro.qos.pool.ScheduledTransport` (WFQ +
+admission control) — so the whole daemon-side scheduling/QoS plane runs
+unchanged behind the wire.  Responses are written from whichever worker
+completed the request, serialised per connection.
+
+Clients connect with a *channel*: a paired RPC socket (control frames)
+and bulk socket (payload frames), associated by a HELLO token — the
+Mercury RPC-vs-RDMA split over TCP/UDS.  See :mod:`repro.net.codec` for
+the frame layout and :mod:`repro.net.bulk` for the server-side handle.
+
+Shutdown is graceful by default: stop accepting, wait for in-flight
+requests to drain (their responses are delivered), then close.  An
+abortive stop (``drain=False``) models a crash: connections die
+mid-request and clients see delivery failures, never hangs.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+from typing import Optional, TYPE_CHECKING
+
+from repro.net.addr import (
+    Endpoint,
+    bound_endpoint,
+    create_listener,
+    format_endpoint,
+    parse_endpoint,
+)
+from repro.net.bulk import ServerBulkHandle
+from repro.net.codec import (
+    FLAG_BULK_READONLY,
+    FLAG_HAS_BULK,
+    FrameError,
+    HEADER_SIZE,
+    KIND_BULK_EXPOSE,
+    KIND_BULK_PUSH,
+    KIND_HELLO,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    STATUS_ERROR,
+    STATUS_FAULT,
+    STATUS_OK,
+    decode_request_body,
+    encode_response_body,
+    loads,
+    pack_frame,
+    unpack_header,
+)
+from repro.rpc.message import RpcRequest, RpcResponse
+from repro.rpc.transport import Transport, deliver_async
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rpc.engine import RpcEngine
+
+__all__ = ["RpcServer"]
+
+_RECV_CHUNK = 1 << 18
+
+
+class _Channel:
+    """One client's paired rpc/bulk connections plus per-seq bulk state."""
+
+    def __init__(self, token: str):
+        self.token = token
+        self.rpc: Optional[socket.socket] = None
+        self.bulk: Optional[socket.socket] = None
+        self.bulk_ready = threading.Event()
+        self.rpc_lock = threading.Lock()
+        self.bulk_lock = threading.Lock()
+        #: seq -> shipped read-only exposure not yet claimed by a request.
+        self.exposures: dict[int, bytes] = {}
+        #: seq -> (frame, body) requests parked waiting for their exposure.
+        self.waiting: dict[int, tuple] = {}
+        self.closed = False
+
+    def send_rpc(self, frame: bytes) -> bool:
+        """Write one control frame; False if the client is gone."""
+        sock = self.rpc
+        if sock is None or self.closed:
+            return False
+        try:
+            with self.rpc_lock:
+                sock.sendall(frame)
+            return True
+        except OSError:
+            return False
+
+    def send_bulk(self, seq: int, offset: int, payload: bytes) -> None:
+        """Write one push segment; raises ConnectionError if impossible."""
+        if not self.bulk_ready.wait(5.0):
+            raise ConnectionError(
+                f"channel {self.token}: bulk socket never attached"
+            )
+        sock = self.bulk
+        if sock is None or self.closed:
+            raise ConnectionError(f"channel {self.token}: bulk socket closed")
+        frame = pack_frame(KIND_BULK_PUSH, seq, payload, aux1=offset)
+        try:
+            with self.bulk_lock:
+                sock.sendall(frame)
+        except OSError as exc:
+            raise ConnectionError(
+                f"channel {self.token}: bulk push failed: {exc}"
+            ) from exc
+
+
+class _ConnState:
+    """Read-side state of one accepted socket."""
+
+    __slots__ = ("sock", "buf", "role", "channel")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.buf = bytearray()
+        self.role: Optional[str] = None  # "rpc" | "bulk" after HELLO
+        self.channel: Optional[_Channel] = None
+
+
+class RpcServer:
+    """Serve one engine's RPCs over TCP or Unix-domain sockets.
+
+    :param engine: the daemon's :class:`~repro.rpc.engine.RpcEngine`.
+    :param address: endpoint spec (see :mod:`repro.net.addr`); ``None``
+        binds TCP on ``127.0.0.1`` with an OS-assigned port.
+    :param dispatch: execution transport requests are delivered through;
+        defaults to a private :class:`~repro.rpc.threaded
+        .ThreadedTransport` with ``handlers`` workers (shut down with the
+        server).  Pass a :class:`~repro.qos.pool.ScheduledTransport` to
+        serve through the QoS plane — the caller then owns its lifecycle.
+    :param handlers: pool width for the default dispatch transport.
+    """
+
+    def __init__(
+        self,
+        engine: "RpcEngine",
+        address=None,
+        *,
+        dispatch: Optional[Transport] = None,
+        handlers: int = 4,
+    ):
+        self.engine = engine
+        self._endpoint: Endpoint = (
+            ("tcp", ("127.0.0.1", 0)) if address is None else parse_endpoint(address)
+        )
+        if dispatch is None:
+            from repro.rpc.threaded import ThreadedTransport
+
+            dispatch = ThreadedTransport({engine.address: engine}, handlers)
+            self._own_dispatch = True
+        else:
+            self._own_dispatch = False
+        self._dispatch = dispatch
+        self._listener: Optional[socket.socket] = None
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._thread: Optional[threading.Thread] = None
+        self._wake_r: Optional[socket.socket] = None
+        self._wake_w: Optional[socket.socket] = None
+        self._conns: dict[socket.socket, _ConnState] = {}
+        self._channels: dict[str, _Channel] = {}
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._drained = threading.Condition(self._lock)
+        self._accepting = False
+        self._closing = False
+        self._started = False
+        self._stopped = False
+        #: Delivery counters (scraped by tests/telemetry).
+        self.requests_served = 0
+        self.connections_accepted = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "RpcServer":
+        if self._started:
+            raise RuntimeError("server already started")
+        self._listener = create_listener(self._endpoint)
+        self._endpoint = bound_endpoint(self._listener)
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._selector.register(self._listener, selectors.EVENT_READ, "accept")
+        self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+        self._accepting = True
+        self._started = True
+        self._thread = threading.Thread(
+            target=self._io_loop,
+            daemon=True,
+            name=f"gkfs-net-d{self.engine.address}",
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def address(self) -> Endpoint:
+        """The endpoint actually bound (port 0 resolved after start)."""
+        return self._endpoint
+
+    @property
+    def address_spec(self) -> str:
+        return format_endpoint(self._endpoint)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"x")
+        except OSError:
+            pass
+
+    def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop serving.
+
+        ``drain=True`` (graceful / SIGTERM): stop accepting, wait up to
+        ``timeout`` for in-flight requests to complete and their
+        responses to be written, then close every connection.
+
+        ``drain=False`` (crash-stop): close everything immediately —
+        clients see the connection die mid-request.
+        """
+        if not self._started or self._stopped:
+            self._stopped = True
+            return
+        self._accepting = False
+        self._wake()
+        if drain:
+            with self._drained:
+                self._drained.wait_for(lambda: self._inflight == 0, timeout)
+        self._closing = True
+        self._stopped = True
+        self._wake()
+        self._thread.join(timeout)
+        if self._own_dispatch:
+            self._dispatch.shutdown()
+
+    def __enter__(self) -> "RpcServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- I/O loop ------------------------------------------------------------
+
+    def _io_loop(self) -> None:
+        listener_open = True
+        try:
+            while True:
+                events = self._selector.select(timeout=0.5)
+                if not self._accepting and listener_open:
+                    self._selector.unregister(self._listener)
+                    self._listener.close()
+                    if self._endpoint[0] == "unix":
+                        import os
+
+                        try:
+                            os.unlink(self._endpoint[1])
+                        except OSError:
+                            pass
+                    listener_open = False
+                if self._closing:
+                    break
+                for key, _mask in events:
+                    if key.data == "wake":
+                        try:
+                            self._wake_r.recv(4096)
+                        except OSError:
+                            pass
+                    elif key.data == "accept":
+                        if listener_open and self._accepting:
+                            self._accept()
+                    else:
+                        self._service(key.data)
+        finally:
+            if listener_open:
+                try:
+                    self._selector.unregister(self._listener)
+                except Exception:
+                    pass
+                self._listener.close()
+                if self._endpoint[0] == "unix":
+                    import os
+
+                    try:
+                        os.unlink(self._endpoint[1])
+                    except OSError:
+                        pass
+            for conn in list(self._conns.values()):
+                self._drop_conn(conn)
+            self._selector.close()
+            self._wake_r.close()
+            self._wake_w.close()
+
+    def _accept(self) -> None:
+        try:
+            sock, _peer = self._listener.accept()
+        except OSError:
+            return
+        if sock.family != socket.AF_UNIX:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn = _ConnState(sock)
+        self._conns[sock] = conn
+        self._selector.register(sock, selectors.EVENT_READ, conn)
+        self.connections_accepted += 1
+
+    def _drop_conn(self, conn: _ConnState) -> None:
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        self._conns.pop(conn.sock, None)
+        channel = conn.channel
+        if channel is not None:
+            channel.closed = True
+            if channel.token in self._channels:
+                del self._channels[channel.token]
+            for peer_sock in (channel.rpc, channel.bulk):
+                if peer_sock is not None and peer_sock is not conn.sock:
+                    peer = self._conns.get(peer_sock)
+                    if peer is not None:
+                        peer.channel = None  # avoid re-entrant teardown
+                        self._drop_conn(peer)
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _service(self, conn: _ConnState) -> None:
+        """Drain readable bytes from one connection, act on whole frames."""
+        try:
+            data = conn.sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            data = b""
+        if not data:
+            self._drop_conn(conn)
+            return
+        conn.buf += data
+        buf = conn.buf
+        try:
+            while True:
+                if len(buf) < HEADER_SIZE:
+                    return
+                frame = unpack_header(buf)
+                total = HEADER_SIZE + frame.body_len
+                if len(buf) < total:
+                    return
+                body = bytes(buf[HEADER_SIZE:total])
+                del buf[:total]
+                self._handle_frame(conn, frame, body)
+        except FrameError:
+            self._drop_conn(conn)
+
+    def _handle_frame(self, conn: _ConnState, frame, body: bytes) -> None:
+        if frame.kind == KIND_HELLO:
+            role, token = loads(body)
+            if role not in ("rpc", "bulk"):
+                raise FrameError(f"bad hello role {role!r}")
+            channel = self._channels.get(token)
+            if channel is None:
+                channel = self._channels[token] = _Channel(token)
+            conn.role = role
+            conn.channel = channel
+            if role == "rpc":
+                channel.rpc = conn.sock
+            else:
+                channel.bulk = conn.sock
+                channel.bulk_ready.set()
+            return
+        channel = conn.channel
+        if channel is None:
+            raise FrameError(f"frame kind {frame.kind} before hello")
+        if frame.kind == KIND_REQUEST and conn.role == "rpc":
+            needs_exposure = bool(frame.flags & FLAG_HAS_BULK) and bool(
+                frame.flags & FLAG_BULK_READONLY
+            )
+            if needs_exposure and frame.seq not in channel.exposures:
+                channel.waiting[frame.seq] = (frame, body)
+                return
+            self._dispatch_request(channel, frame, body)
+        elif frame.kind == KIND_BULK_EXPOSE and conn.role == "bulk":
+            channel.exposures[frame.seq] = body
+            parked = channel.waiting.pop(frame.seq, None)
+            if parked is not None:
+                self._dispatch_request(channel, *parked)
+        else:
+            raise FrameError(
+                f"unexpected frame kind {frame.kind} on {conn.role} socket"
+            )
+
+    # -- execution -----------------------------------------------------------
+
+    def _dispatch_request(self, channel: _Channel, frame, body: bytes) -> None:
+        seq = frame.seq
+        bulk = None
+        if frame.flags & FLAG_HAS_BULK:
+            readonly = bool(frame.flags & FLAG_BULK_READONLY)
+            exposed = channel.exposures.pop(seq, None) if readonly else None
+            bulk = ServerBulkHandle(
+                frame.aux1,
+                exposed,
+                readonly,
+                lambda offset, data, c=channel, s=seq: c.send_bulk(s, offset, data),
+            )
+        try:
+            request = decode_request_body(body, bulk)
+        except Exception as exc:
+            self._respond_fault(channel, seq, bulk, exc)
+            return
+        if request.target != self.engine.address:
+            self._respond_fault(
+                channel,
+                seq,
+                bulk,
+                LookupError(
+                    f"daemon {self.engine.address} received a request for "
+                    f"address {request.target}"
+                ),
+            )
+            return
+        with self._lock:
+            self._inflight += 1
+        future = deliver_async(self._dispatch, request)
+        future.add_done_callback(
+            lambda fut: self._complete(channel, seq, request, fut)
+        )
+
+    def _complete(self, channel: _Channel, seq: int, request: RpcRequest, fut) -> None:
+        try:
+            exc = fut.exception(0)
+            if exc is not None:
+                self._respond_fault(channel, seq, request.bulk, exc)
+                return
+            response: RpcResponse = fut._value
+            if response.error is not None:
+                err = response.error
+                body = encode_response_body(
+                    STATUS_ERROR, (err.errno, str(err), err.retry_after)
+                )
+            else:
+                try:
+                    body = encode_response_body(STATUS_OK, response.value)
+                except TypeError as encode_exc:
+                    self._respond_fault(channel, seq, request.bulk, encode_exc)
+                    return
+            bulk = request.bulk
+            # Count before the response frame goes out: a client that has
+            # the answer in hand must already see it reflected here.
+            self.requests_served += 1
+            channel.send_rpc(
+                pack_frame(
+                    KIND_RESPONSE,
+                    seq,
+                    body,
+                    aux1=bulk.bytes_pulled if bulk is not None else 0,
+                    aux2=bulk.bytes_pushed if bulk is not None else 0,
+                )
+            )
+        finally:
+            with self._drained:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._drained.notify_all()
+
+    def _respond_fault(self, channel: _Channel, seq: int, bulk, exc: BaseException) -> None:
+        """Transport a non-GekkoFS failure (handler bug, lookup, shutdown)."""
+        body = encode_response_body(
+            STATUS_FAULT, (type(exc).__name__, str(exc))
+        )
+        channel.send_rpc(
+            pack_frame(
+                KIND_RESPONSE,
+                seq,
+                body,
+                aux1=bulk.bytes_pulled if bulk is not None else 0,
+                aux2=bulk.bytes_pushed if bulk is not None else 0,
+            )
+        )

@@ -100,13 +100,20 @@ class RpcRequest:
     def wire_size(self) -> int:
         """RPC-channel bytes; bulk payloads travel out of band.
 
-        Trace ids ride inside the fixed :data:`ENVELOPE_BYTES` header
-        budget (Mercury headers carry user metadata the same way), so
-        they do not change accounted sizes between telemetry on/off.
+        The fixed :data:`ENVELOPE_BYTES` covers the frame header the
+        socket codec actually emits (`repro.net.codec` pins its header
+        to this constant); variable-length fields — handler name, args,
+        and the trace/identity ids when set — are charged on top, since
+        they ride in the frame body.  Untraced requests therefore cost
+        exactly what they did before telemetry existed.
         Cached: the engine, the QoS cost model, and the share ledger all
         read it for the same immutable request.
         """
-        return ENVELOPE_BYTES + len(self.handler) + estimate_wire_size(self.args)
+        size = ENVELOPE_BYTES + len(self.handler) + estimate_wire_size(self.args)
+        for extra in (self.request_id, self.parent_span, self.client_id):
+            if extra is not None:
+                size += estimate_wire_size(extra)
+        return size
 
 
 @dataclass

@@ -1,0 +1,245 @@
+"""Wire codec: framing, tagged values, and estimator reconciliation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.codec import (
+    FLAG_BULK_READONLY,
+    FLAG_HAS_BULK,
+    HEADER_SIZE,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    STATUS_ERROR,
+    STATUS_OK,
+    FrameError,
+    decode_request_body,
+    decode_response_body,
+    dumps,
+    encode_request_body,
+    encode_response_body,
+    framed_request_size,
+    loads,
+    pack_frame,
+    unpack_header,
+)
+from repro.rpc.message import ENVELOPE_BYTES, RpcRequest
+
+
+class TestTaggedValues:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            127,
+            -128,
+            128,
+            2**31 - 1,
+            -(2**31),
+            2**63 - 1,
+            -(2**63),
+            2**64 + 17,  # gxh64 digests exceed i64 — must survive
+            -(2**100),
+            3.14159,
+            float("inf"),
+            b"",
+            b"\x00\xff" * 100,
+            "",
+            "path/with/é中文",
+            [],
+            [1, "two", b"three", None],
+            (),
+            (1, (2, (3,))),
+            {},
+            {"k": 1, "nested": {"a": [1, 2]}, "id": 7},
+            [(0, 0, 512), (1, 64, 448)],  # chunk span lists
+        ],
+    )
+    def test_round_trip_exact(self, value):
+        assert loads(dumps(value)) == value
+
+    def test_tuple_and_list_stay_distinct(self):
+        # In-process transports never serialise, so socket transports must
+        # hand handlers the same container types they would have seen.
+        assert loads(dumps((1, 2))) == (1, 2)
+        assert isinstance(loads(dumps((1, 2))), tuple)
+        assert isinstance(loads(dumps([1, 2])), list)
+        assert isinstance(loads(dumps([(1, 2)]))[0], tuple)
+
+    def test_bool_not_confused_with_int(self):
+        assert loads(dumps(True)) is True
+        assert loads(dumps(1)) == 1
+        assert loads(dumps(1)) is not True
+
+    def test_unsupported_type_raises_type_error(self):
+        with pytest.raises(TypeError, match="cannot cross the RPC wire"):
+            dumps(object())
+        with pytest.raises(TypeError):
+            dumps({"ok": {1, 2}})
+
+    def test_trailing_bytes_are_a_framing_bug(self):
+        with pytest.raises(FrameError, match="trailing"):
+            loads(dumps(1) + b"\x00")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(FrameError, match="unknown wire tag"):
+            loads(b"\xfe")
+
+
+class TestFrames:
+    def test_header_is_exactly_the_modelled_envelope(self):
+        # The whole point: what the models call ENVELOPE_BYTES is now the
+        # literal frame header on the socket.
+        assert HEADER_SIZE == ENVELOPE_BYTES
+        frame = pack_frame(KIND_REQUEST, 1)
+        assert len(frame) == HEADER_SIZE
+
+    def test_header_round_trip(self):
+        raw = pack_frame(
+            KIND_RESPONSE, 0xDEAD, b"body", flags=FLAG_HAS_BULK, aux1=7, aux2=9
+        )
+        frame = unpack_header(raw)
+        assert (frame.kind, frame.seq, frame.flags) == (
+            KIND_RESPONSE,
+            0xDEAD,
+            FLAG_HAS_BULK,
+        )
+        assert (frame.body_len, frame.aux1, frame.aux2) == (4, 7, 9)
+
+    def test_foreign_magic_rejected(self):
+        with pytest.raises(FrameError, match="magic"):
+            unpack_header(b"HTTP" + b"\x00" * (HEADER_SIZE - 4))
+
+    def test_torn_frame_rejected(self):
+        good = bytearray(pack_frame(KIND_REQUEST, 1, b"x"))
+        good[0] ^= 0xFF
+        with pytest.raises(FrameError):
+            unpack_header(bytes(good))
+
+    def test_version_mismatch_rejected(self):
+        raw = bytearray(pack_frame(KIND_REQUEST, 1))
+        raw[4] += 1  # version byte
+        with pytest.raises(FrameError, match="version"):
+            unpack_header(bytes(raw))
+
+    def test_frame_error_is_a_delivery_failure(self):
+        # Torn frames must count against daemon health like any other
+        # connection loss.
+        assert issubclass(FrameError, ConnectionError)
+
+
+class TestRequestResponseBodies:
+    def test_request_round_trip_preserves_everything(self):
+        request = RpcRequest(
+            target=3,
+            handler="gkfs_write_chunk",
+            args=("/gkfs/f", 17, 0, b"payload", None),
+            request_id="req-abc",
+            parent_span="span-xyz",
+            client_id=42,
+        )
+        decoded = decode_request_body(encode_request_body(request), None)
+        assert decoded.target == request.target
+        assert decoded.handler == request.handler
+        assert decoded.args == request.args
+        assert decoded.request_id == request.request_id
+        assert decoded.parent_span == request.parent_span
+        assert decoded.client_id == request.client_id
+
+    def test_bulk_stand_in_is_attached(self):
+        request = RpcRequest(target=0, handler="h", args=())
+        marker = object()
+        assert decode_request_body(encode_request_body(request), marker).bulk is marker
+
+    def test_response_statuses(self):
+        status, payload = decode_response_body(
+            encode_response_body(STATUS_OK, {"size": 10})
+        )
+        assert status == STATUS_OK and payload == {"size": 10}
+        status, payload = decode_response_body(
+            encode_response_body(STATUS_ERROR, (2, "gone", None))
+        )
+        assert status == STATUS_ERROR and payload == (2, "gone", None)
+
+
+#: Requests shaped like the real handler traffic the file system issues.
+_REPRESENTATIVE_REQUESTS = [
+    RpcRequest(target=0, handler="gkfs_stat", args=("/gkfs/some/deep/path.txt",)),
+    RpcRequest(target=3, handler="gkfs_create", args=("/gkfs/f", b"x" * 120, False)),
+    RpcRequest(
+        target=1, handler="gkfs_write_chunk", args=("/gkfs/f", 17, 0, b"y" * 512, None)
+    ),
+    RpcRequest(
+        target=2,
+        handler="gkfs_read_chunks",
+        args=("/gkfs/f", [(0, 0, 512), (1, 0, 512), (2, 0, 100)]),
+    ),
+    RpcRequest(target=0, handler="gkfs_update_size", args=("/gkfs/f", 1048576, False)),
+    RpcRequest(target=0, handler="gkfs_readdir", args=("/gkfs",)),
+    RpcRequest(target=0, handler="gkfs_statfs", args=()),
+    RpcRequest(
+        target=5,
+        handler="gkfs_metrics",
+        args=(),
+        request_id="req-0123456789abcdef",
+        parent_span="span-0123456789abcdef",
+        client_id=7,
+    ),
+]
+
+
+class TestEstimatorReconciliation:
+    """Pin :func:`estimate_wire_size`-based accounting to the real frames.
+
+    The instrumented transport, the QoS cost model, and the DES network
+    model all charge ``request.wire_size``; this is the contract that
+    those charges track what a socket actually carries.
+    """
+
+    @pytest.mark.parametrize(
+        "request_", _REPRESENTATIVE_REQUESTS, ids=lambda r: r.handler
+    )
+    def test_estimate_within_pinned_tolerance(self, request_):
+        estimated = request_.wire_size
+        real = framed_request_size(request_)
+        tolerance = max(32, int(0.2 * estimated))
+        assert abs(real - estimated) <= tolerance, (
+            f"{request_.handler}: estimated {estimated}, real {real}, "
+            f"tolerance {tolerance}"
+        )
+
+    def test_payload_bytes_dominate_both(self):
+        # For data-plane sizes the two must agree to within the envelope
+        # noise — a 1 MiB inline payload is ~1 MiB on either meter.
+        request = RpcRequest(
+            target=0, handler="gkfs_write_chunk", args=("/f", 0, 0, b"z" * (1 << 20))
+        )
+        assert abs(framed_request_size(request) - request.wire_size) < 256
+
+    def test_trace_ids_are_charged_when_set(self):
+        bare = RpcRequest(target=0, handler="gkfs_stat", args=("/gkfs/x",))
+        traced = RpcRequest(
+            target=0,
+            handler="gkfs_stat",
+            args=("/gkfs/x",),
+            request_id="req-0123456789abcdef",
+            parent_span="span-0123456789abcdef",
+            client_id=3,
+        )
+        # Real frames grow when ids travel; the estimator must follow.
+        assert framed_request_size(traced) > framed_request_size(bare)
+        assert traced.wire_size > bare.wire_size
+
+    def test_untraced_estimate_unchanged_by_telemetry_fields(self):
+        # Telemetry off ⇒ ids are None ⇒ accounted size is exactly the
+        # pre-telemetry formula (models stay calibrated).
+        from repro.rpc.message import ENVELOPE_BYTES, estimate_wire_size
+
+        request = RpcRequest(target=0, handler="gkfs_stat", args=("/gkfs/x",))
+        assert request.wire_size == ENVELOPE_BYTES + len("gkfs_stat") + (
+            estimate_wire_size(("/gkfs/x",))
+        )

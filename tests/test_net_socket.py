@@ -1,0 +1,287 @@
+"""Socket RPC server + transport: delivery, bulk channel, failure mapping."""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import DaemonUnavailableError, NotFoundError
+from repro.core.config import FSConfig
+from repro.net import LocalSocketCluster, RpcServer, SocketTransport
+from repro.rpc.bulk import BulkHandle
+from repro.rpc.engine import RpcEngine
+from repro.rpc.message import RpcRequest
+from repro.rpc.transport import DELIVERY_FAILURES
+
+
+def _make_engine(address: int = 0) -> RpcEngine:
+    engine = RpcEngine(address)
+    engine.register("echo", lambda *args: list(args))
+    engine.register("add", lambda a, b: a + b)
+
+    def missing(path):
+        raise NotFoundError(path)
+
+    engine.register("missing", missing)
+
+    def bug():
+        raise ValueError("handler bug")
+
+    engine.register("bug", bug)
+
+    def slow(seconds):
+        time.sleep(seconds)
+        return "done"
+
+    engine.register("slow", slow)
+
+    def pull_all(bulk=None):
+        return bulk.pull()
+
+    engine.register("pull_all", pull_all)
+
+    def push_pattern(size, bulk=None):
+        bulk.push(bytes(range(256)) * (size // 256) + bytes(range(size % 256)))
+        return size
+
+    engine.register("push_pattern", push_pattern)
+
+    def pull_then_push(bulk=None):  # needs a writable exposure
+        bulk.push(b"\xab" * len(bulk))
+        return len(bulk)
+
+    engine.register("fill", pull_then_push)
+    return engine
+
+
+@pytest.fixture(params=["tcp", "unix"])
+def served(request, tmp_path):
+    """A running server and a connected transport, over both families."""
+    engine = _make_engine()
+    address = None if request.param == "tcp" else f"unix:{tmp_path}/d0.sock"
+    server = RpcServer(engine, address, handlers=2).start()
+    transport = SocketTransport({0: server.address_spec})
+    yield server, transport
+    transport.shutdown()
+    server.stop()
+
+
+class TestDelivery:
+    def test_round_trip(self, served):
+        _server, transport = served
+        response = transport.send(RpcRequest(target=0, handler="add", args=(2, 3)))
+        assert response.ok
+        assert response.result() == 5
+
+    def test_args_cross_unmangled(self, served):
+        _server, transport = served
+        args = ("/gkfs/f", [(0, 0, 512), (1, 64, 448)], {"k": b"\x00\xff"}, None, True)
+        response = transport.send(RpcRequest(target=0, handler="echo", args=args))
+        assert tuple(response.result()) == args
+
+    def test_gekko_error_rehydrates(self, served):
+        _server, transport = served
+        response = transport.send(
+            RpcRequest(target=0, handler="missing", args=("/gone",))
+        )
+        assert not response.ok
+        with pytest.raises(NotFoundError, match="gone"):
+            response.result()
+
+    def test_handler_bug_keeps_its_class(self, served):
+        _server, transport = served
+        future = transport.send_async(RpcRequest(target=0, handler="bug", args=()))
+        with pytest.raises(ValueError, match="handler bug"):
+            future.result(5)
+
+    def test_concurrent_requests_interleave(self, served):
+        _server, transport = served
+        futures = [
+            transport.send_async(RpcRequest(target=0, handler="add", args=(i, i)))
+            for i in range(50)
+        ]
+        assert [f.result(10).result() for f in futures] == [2 * i for i in range(50)]
+
+    def test_unencodable_args_fail_through_future(self, served):
+        _server, transport = served
+        future = transport.send_async(
+            RpcRequest(target=0, handler="echo", args=(object(),))
+        )
+        with pytest.raises(TypeError, match="cannot cross the RPC wire"):
+            future.result(5)
+
+    def test_requests_served_counter(self, served):
+        server, transport = served
+        before = server.requests_served
+        transport.send(RpcRequest(target=0, handler="add", args=(1, 1)))
+        assert server.requests_served == before + 1
+
+
+class TestBulkChannel:
+    def test_readonly_exposure_is_pulled_server_side(self, served):
+        _server, transport = served
+        payload = os.urandom(4096)
+        bulk = BulkHandle(payload, readonly=True)
+        response = transport.send(
+            RpcRequest(target=0, handler="pull_all", args=(), bulk=bulk)
+        )
+        assert response.result() == payload
+        # Accounting mirrors in-process semantics: the daemon's pulls show
+        # on the client handle and on the response.
+        assert bulk.bytes_pulled == 4096
+        assert response.bulk_bytes == 4096
+
+    def test_push_lands_in_the_real_buffer(self, served):
+        _server, transport = served
+        sink = bytearray(1000)
+        bulk = BulkHandle(sink)
+        response = transport.send(
+            RpcRequest(target=0, handler="push_pattern", args=(1000,), bulk=bulk)
+        )
+        assert response.result() == 1000
+        expected = bytes(range(256)) * 3 + bytes(range(1000 % 256))
+        assert bytes(sink) == expected
+        assert bulk.bytes_pushed == 1000
+        assert response.bulk_bytes == 1000
+
+    def test_large_push_barrier(self, served):
+        # The future must not resolve before every pushed byte has landed,
+        # even though response and bulk travel on different sockets.
+        _server, transport = served
+        size = 1 << 20
+        sink = bytearray(size)
+        bulk = BulkHandle(sink)
+        response = transport.send(
+            RpcRequest(target=0, handler="fill", args=(), bulk=bulk)
+        )
+        assert response.result() == size
+        assert bytes(sink) == b"\xab" * size
+
+
+class TestFailureMapping:
+    def test_unknown_target_is_lookup_error(self, served):
+        _server, transport = served
+        future = transport.send_async(RpcRequest(target=99, handler="add", args=(1, 2)))
+        exc = future.exception(5)
+        assert isinstance(exc, LookupError)
+        assert "no daemon at address 99" in str(exc)
+        assert isinstance(exc, DELIVERY_FAILURES)
+
+    def test_connection_refused_is_connection_error(self):
+        transport = SocketTransport({0: "127.0.0.1:1"})  # reserved, nothing listens
+        future = transport.send_async(RpcRequest(target=0, handler="add", args=(1, 2)))
+        exc = future.exception(5)
+        assert isinstance(exc, ConnectionError)
+        transport.shutdown()
+
+    def test_missing_unix_socket_is_connection_error(self, tmp_path):
+        transport = SocketTransport({0: f"unix:{tmp_path}/never-bound.sock"})
+        exc = transport.send_async(
+            RpcRequest(target=0, handler="add", args=(1, 2))
+        ).exception(5)
+        assert isinstance(exc, ConnectionError)
+        transport.shutdown()
+
+    def test_async_never_raises_at_issue_time(self):
+        transport = SocketTransport({})
+        future = transport.send_async(RpcRequest(target=0, handler="add", args=(1,)))
+        assert isinstance(future.exception(5), LookupError)
+        transport.shutdown()
+
+    def test_wrong_target_frame_is_lookup_error(self, served):
+        # A request routed to the wrong daemon process (stale address
+        # book) must come back as a delivery failure, not hang.
+        server, _transport = served
+        transport = SocketTransport({5: server.address_spec})
+        exc = transport.send_async(
+            RpcRequest(target=5, handler="add", args=(1, 2))
+        ).exception(5)
+        assert isinstance(exc, LookupError)
+        transport.shutdown()
+
+
+class TestShutdown:
+    def test_crash_mid_rpc_fails_fast_not_hangs(self):
+        engine = _make_engine()
+        server = RpcServer(engine, handlers=2).start()
+        transport = SocketTransport({0: server.address_spec})
+        future = transport.send_async(
+            RpcRequest(target=0, handler="slow", args=(5.0,))
+        )
+        time.sleep(0.2)  # let the request reach the handler
+        server.stop(drain=False)  # crash: sockets die abruptly
+        exc = future.exception(10)
+        assert isinstance(exc, ConnectionError)
+        transport.shutdown()
+
+    def test_graceful_stop_drains_in_flight(self):
+        engine = _make_engine()
+        server = RpcServer(engine, handlers=2).start()
+        transport = SocketTransport({0: server.address_spec})
+        future = transport.send_async(
+            RpcRequest(target=0, handler="slow", args=(0.5,))
+        )
+        time.sleep(0.1)
+        server.stop(drain=True)  # SIGTERM path: in-flight completes
+        assert future.result(10).result() == "done"
+        transport.shutdown()
+
+    def test_new_requests_fail_after_stop(self):
+        engine = _make_engine()
+        server = RpcServer(engine, handlers=2).start()
+        addr = server.address_spec
+        server.stop()
+        transport = SocketTransport({0: addr})
+        exc = transport.send_async(
+            RpcRequest(target=0, handler="add", args=(1, 2))
+        ).exception(5)
+        assert isinstance(exc, DELIVERY_FAILURES)
+        transport.shutdown()
+
+    def test_transport_shutdown_fails_pending(self):
+        engine = _make_engine()
+        server = RpcServer(engine, handlers=2).start()
+        transport = SocketTransport({0: server.address_spec})
+        future = transport.send_async(
+            RpcRequest(target=0, handler="slow", args=(5.0,))
+        )
+        time.sleep(0.1)
+        transport.shutdown()
+        assert isinstance(future.exception(5), ConnectionError)
+        server.stop(drain=False)
+
+
+class TestDegradedClient:
+    def test_crash_surfaces_daemon_unavailable_not_hang(self):
+        """The crash-mid-RPC contract at the file-system level: a daemon
+        dying under a degraded-mode client maps to DaemonUnavailableError."""
+        config = FSConfig(chunk_size=64, degraded_mode=True)
+        with LocalSocketCluster(2, config) as cluster:
+            client = cluster.client(0)
+            fd = client.open("/gkfs/f", os.O_CREAT | os.O_RDWR)
+            client.pwrite(fd, b"x" * 256, 0)
+            cluster.crash_daemon(1)
+            deadline = time.monotonic() + 30
+            with pytest.raises(DaemonUnavailableError):
+                while time.monotonic() < deadline:
+                    client.pwrite(fd, b"y" * 256, 0)
+                    client.pread(fd, 256, 0)
+
+    def test_slow_request_in_flight_during_crash(self):
+        config = FSConfig(chunk_size=64, degraded_mode=True)
+        with LocalSocketCluster(1, config) as cluster:
+            served = cluster.served[0]
+            stall = threading.Event()
+            served.daemon.engine.register(
+                "stall", lambda: (stall.wait(5.0), "late")[1]
+            )
+            network = cluster.network
+            future = network.call_async(0, "stall")
+            time.sleep(0.1)
+            cluster.crash_daemon(0)
+            stall.set()
+            with pytest.raises(ConnectionError):
+                future.result(10)
