@@ -25,6 +25,7 @@ __all__ = [
     "DaemonUnavailableError",
     "IntegrityError",
     "AgainError",
+    "StaleEpochError",
     "error_from_errno",
 ]
 
@@ -152,6 +153,30 @@ class AgainError(GekkoError):
         self.retry_after = retry_after
 
 
+class StaleEpochError(GekkoError):
+    """The caller's placement map belongs to a retired membership epoch
+    (ESTALE).
+
+    A client resolves every path to a daemon from its own copy of the
+    placement map.  After a membership change (resize, crash-replace)
+    that map is wrong: silently following it would read from — or worse,
+    write to — a daemon that no longer owns the data.  Both sides defend
+    against that:
+
+    * client-side, a :class:`~repro.core.membership.MembershipView` that
+      has been retired raises this on the next operation, so a client
+      constructed before a stop-the-world resize fails loudly instead of
+      serving stale placement;
+    * server-side, every daemon rejects requests stamped with an epoch
+      below its ``min_epoch`` watermark once the new epoch is sealed.
+
+    The fix is always the same: discard the client and build a fresh one
+    from the deployment (which carries the current epoch).
+    """
+
+    errno = _errno.ESTALE
+
+
 _BY_ERRNO = {
     cls.errno: cls
     for cls in (
@@ -165,6 +190,7 @@ _BY_ERRNO = {
         UnsupportedError,
         IntegrityError,
         AgainError,
+        StaleEpochError,
     )
 }
 

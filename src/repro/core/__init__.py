@@ -21,7 +21,9 @@ from repro.core.distributor import (
 )
 from repro.core.fileobj import GekkoFile, flags_for_mode
 from repro.core.filemap import FD_BASE, OpenFile, OpenFileMap
+from repro.core.membership import MembershipView
 from repro.core.metadata import Metadata, new_dir_metadata, new_file_metadata
+from repro.core.resize import MIGRATION_CLIENT_ID, MigrationReport, Migrator
 from repro.core.posix import PosixShim, StatBuf
 
 __all__ = [
@@ -50,4 +52,8 @@ __all__ = [
     "Metadata",
     "new_dir_metadata",
     "new_file_metadata",
+    "MembershipView",
+    "MigrationReport",
+    "Migrator",
+    "MIGRATION_CLIENT_ID",
 ]

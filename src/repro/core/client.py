@@ -248,6 +248,54 @@ class GekkoFSClient:
         count = min(self.config.replication, self.distributor.num_daemons)
         return [(primary + i) % self.distributor.num_daemons for i in range(count)]
 
+    # -- dual-epoch read fallback (elastic membership) -----------------------
+    #
+    # While a membership change is RELEASING — the new placement is
+    # authoritative but the retiring epoch's owners still hold their
+    # copies — reads extend their fail-over chain with the *old* owners.
+    # A miss or failure under the new placement retries the old owner
+    # until the epoch is sealed; writes never fall back (they must land
+    # on the authoritative owners only).  Outside a membership change the
+    # extras are empty and these collapse to the plain replica sets.
+
+    def _metadata_read_targets(self, rel: str) -> list[int]:
+        """Current metadata replicas plus the retiring epoch's owners."""
+        targets = self._metadata_targets(rel)
+        old = getattr(self.distributor, "old_metadata_targets", None)
+        if old is not None:
+            for target in old(rel, self.config.replication):
+                if target not in targets:
+                    targets.append(target)
+        return targets
+
+    def _chunk_read_targets(self, rel: str, chunk_id: int) -> list[int]:
+        """Current chunk replicas plus the retiring epoch's owners."""
+        targets = self._chunk_targets(rel, chunk_id)
+        old = getattr(self.distributor, "old_chunk_targets", None)
+        if old is not None:
+            for target in old(rel, chunk_id, self.config.replication):
+                if target not in targets:
+                    targets.append(target)
+        return targets
+
+    def _mutation_gate(self) -> None:
+        """Park mutations at the membership write freeze *before* they
+        resolve their owners.
+
+        The network-layer gate alone is not enough: a mutation that
+        resolved its targets under the old placement and then slept
+        through the freeze would land on retired owners *after* the flip
+        — past the final delta pass, so never copied, and deleted by the
+        release pass (a lost acknowledged write).  Gating ahead of
+        resolution means a parked mutation re-resolves under whatever
+        placement the flip installed; the residual window between
+        resolution and delivery is bounded by in-flight RPC latency,
+        which the migrator's post-freeze grace sleep drains.
+        """
+        gate = getattr(self.distributor, "wait_writable", None)
+        if gate is not None:
+            gate()
+
     def _note_fanout(self, depth: int) -> None:
         """Record the widest concurrent RPC fan-out (telemetry)."""
         if depth > self.stats.max_fanout:
@@ -449,21 +497,38 @@ class GekkoFSClient:
         replication: it tolerates crash-stop daemon loss, nothing subtler
         (documented prototype of the follow-on reliability work).
         """
+        last_transient: Optional[Exception] = None
+        if handler in self._META_READS:
+            targets = self._metadata_targets(rel)
+            read_targets = self._metadata_read_targets(rel)
+            # Old-epoch extras present only while an epoch is RELEASING.
+            dual_epoch = len(read_targets) > len(targets)
+            last_missing: Optional[Exception] = None
+            for target in read_targets:
+                try:
+                    return self.network.call(target, handler, rel, *args)
+                except NotFoundError as exc:
+                    if not dual_epoch:
+                        raise
+                    # The record may still be visible only on the
+                    # retiring epoch's owner — keep falling back.
+                    last_missing = exc
+                except self._TRANSIENT as exc:
+                    last_transient = exc
+            if last_missing is not None:
+                raise last_missing
+            # Every replica unreachable.
+            raise self._fatal_transient(last_transient) from last_transient
+        # Mutations gate on the membership write freeze *before* owner
+        # resolution: a parked mutation re-resolves under whatever
+        # placement the flip installed (see :meth:`_mutation_gate`).
+        self._mutation_gate()
         targets = self._metadata_targets(rel)
         if len(targets) == 1:
             try:
                 return self.network.call(targets[0], handler, rel, *args)
             except self._TRANSIENT as exc:
                 raise self._fatal_transient(exc) from exc
-        last_transient: Optional[Exception] = None
-        if handler in self._META_READS:
-            for target in targets:
-                try:
-                    return self.network.call(target, handler, rel, *args)
-                except self._TRANSIENT as exc:
-                    last_transient = exc
-            # Every replica unreachable.
-            raise self._fatal_transient(last_transient) from last_transient
         if self.config.rpc_pipelining:
             futures = [
                 self.network.call_async(target, handler, rel, *args)
@@ -655,6 +720,9 @@ class GekkoFSClient:
             raise BadFileDescriptorError(f"fd for {entry.path} is not open for writing")
         view = memoryview(data)
         spans = list(split_range(offset, len(data), self.config.chunk_size))
+        # Gate before resolving chunk owners, for the same reason as
+        # metadata mutations (see _mutation_gate).
+        self._mutation_gate()
         if self.config.rpc_pipelining:
             self._write_spans_pipelined(entry, view, spans)
         else:
@@ -914,9 +982,11 @@ class GekkoFSClient:
             last_integrity: Optional[IntegrityError] = None
             bad_targets: list[int] = []
             served_from: Optional[int] = None
-            # Replicas are tried in placement order; with replication off
-            # this is exactly the paper's single-target read.
-            for target in self._chunk_targets(entry.path, span.chunk_id):
+            # Replicas are tried in placement order — current epoch first,
+            # then (while RELEASING) the retiring epoch's owners; with
+            # replication off and stable membership this is exactly the
+            # paper's single-target read.
+            for target in self._chunk_read_targets(entry.path, span.chunk_id):
                 try:
                     bulk = BulkHandle(
                         buf_view[span.buffer_offset : span.buffer_offset + span.length]
@@ -939,8 +1009,6 @@ class GekkoFSClient:
                     last_integrity = exc
                     bad_targets.append(target)
                 except self._TRANSIENT as exc:
-                    if self.config.replication == 1:
-                        raise self._fatal_transient(exc) from exc
                     last_transient = exc
             if served_from is None:
                 if last_integrity is not None:
@@ -969,19 +1037,36 @@ class GekkoFSClient:
         back for the next replica round, and every chunk that healed by
         fail-over is read-repaired afterwards.
         """
-        replica_count = min(self.config.replication, self.distributor.num_daemons)
+        # Per-chunk fail-over chains: the replica set under the current
+        # placement, extended with the retiring epoch's owners while a
+        # membership change is RELEASING (chains may differ in length).
+        targets_by_chunk: dict[int, list[int]] = {}
+
+        def chain(chunk_id: int) -> list[int]:
+            targets = targets_by_chunk.get(chunk_id)
+            if targets is None:
+                targets = self._chunk_read_targets(entry.path, chunk_id)
+                targets_by_chunk[chunk_id] = targets
+            return targets
+
         pending = spans
+        exhausted: list = []  # spans whose whole chain failed
         last_transient: Optional[Exception] = None
         integrity_errors: dict[int, IntegrityError] = {}  # chunk_id -> last error
         bad_targets: dict[int, list[int]] = {}  # chunk_id -> replicas that failed verify
         served_from: dict[int, int] = {}  # chunk_id -> replica that finally served it
-        for round_ in range(replica_count):
-            if not pending:
-                break
+        round_ = 0
+        while pending:
             groups: dict[int, list] = {}
             for span in pending:
-                target = self._chunk_targets(entry.path, span.chunk_id)[round_]
-                groups.setdefault(target, []).append(span)
+                targets = chain(span.chunk_id)
+                if round_ >= len(targets):
+                    exhausted.append(span)
+                else:
+                    groups.setdefault(targets[round_], []).append(span)
+            if not groups:
+                pending = []  # everything left is in ``exhausted``
+                break
             order = list(groups)
             futures = [
                 self._issue_read_group(target, entry.path, buf_view, groups[target])
@@ -1031,15 +1116,15 @@ class GekkoFSClient:
                     continue
                 if not isinstance(exc, self._TRANSIENT):
                     raise exc
-                if self.config.replication == 1:
-                    raise self._fatal_transient(exc) from exc
                 last_transient = exc
                 retry.extend(group)
             pending = retry
+            round_ += 1
         for chunk_id, bads in bad_targets.items():
             good = served_from.get(chunk_id)
             if good is not None:
                 self._read_repair(entry.path, chunk_id, bads, good_target=good)
+        pending = exhausted + pending
         if pending:
             for span in pending:
                 err = integrity_errors.get(span.chunk_id)
@@ -1111,19 +1196,33 @@ class GekkoFSClient:
                 buffer[span.buffer_offset : span.buffer_offset + len(piece)] = piece
         if not missing:
             return
-        replica_count = min(self.config.replication, self.distributor.num_daemons)
+        # Per-chunk fail-over chains (current replicas plus the retiring
+        # epoch's owners while a membership change is RELEASING).
+        chains: dict[int, list[int]] = {
+            chunk_id: self._chunk_read_targets(entry.path, chunk_id)
+            for chunk_id in missing
+        }
         pending = sorted(missing)
+        exhausted: list[int] = []
         last_transient: Optional[Exception] = None
         integrity_errors: dict[int, IntegrityError] = {}
         bad_targets: dict[int, list[int]] = {}
         good_copies: dict[int, bytes] = {}  # verified whole chunks for repair
-        for round_ in range(replica_count):
+        round_ = 0
+        while pending:
+            attempting = []
+            for chunk_id in pending:
+                if round_ >= len(chains[chunk_id]):
+                    exhausted.append(chunk_id)
+                else:
+                    attempting.append(chunk_id)
+            pending = attempting
             if not pending:
                 break
             if self.config.rpc_pipelining:
                 futures = [
                     self.network.call_async(
-                        self._chunk_targets(entry.path, chunk_id)[round_],
+                        chains[chunk_id][round_],
                         "gkfs_read_chunk",
                         entry.path,
                         chunk_id,
@@ -1137,7 +1236,7 @@ class GekkoFSClient:
             else:
                 outcomes = []
                 for chunk_id in pending:
-                    target = self._chunk_targets(entry.path, chunk_id)[round_]
+                    target = chains[chunk_id][round_]
                     try:
                         outcomes.append(
                             (
@@ -1156,7 +1255,7 @@ class GekkoFSClient:
                         outcomes.append((None, exc))
             retry: list[int] = []
             for chunk_id, (chunk, exc) in zip(pending, outcomes):
-                target = self._chunk_targets(entry.path, chunk_id)[round_]
+                target = chains[chunk_id][round_]
                 if exc is not None:
                     if isinstance(exc, IntegrityError):
                         self._note_integrity_failover(entry.path, chunk_id, target)
@@ -1166,8 +1265,6 @@ class GekkoFSClient:
                         continue
                     if not isinstance(exc, self._TRANSIENT):
                         raise exc
-                    if self.config.replication == 1:
-                        raise self._fatal_transient(exc) from exc
                     last_transient = exc
                     retry.append(chunk_id)
                     continue
@@ -1191,10 +1288,12 @@ class GekkoFSClient:
                     piece = chunk[span.offset : span.offset + span.length]
                     buffer[span.buffer_offset : span.buffer_offset + len(piece)] = piece
             pending = retry
+            round_ += 1
         for chunk_id, bads in bad_targets.items():
             data = good_copies.get(chunk_id)
             if data is not None:
                 self._read_repair(entry.path, chunk_id, bads, data=data)
+        pending = exhausted + pending
         if pending:
             for chunk_id in pending:
                 err = integrity_errors.get(chunk_id)

@@ -22,6 +22,7 @@ from repro.core.client import GekkoFSClient
 from repro.core.config import FSConfig
 from repro.core.daemon import GekkoDaemon
 from repro.core.distributor import Distributor, SimpleHashDistributor
+from repro.core.membership import EpochStampedNetwork, MembershipView
 from repro.core.fileobj import GekkoFile
 from repro.core.metadata import new_dir_metadata
 from repro.kvstore import LSMStore
@@ -105,6 +106,11 @@ class GekkoFSCluster:
                 f"distributor spans {self.distributor.num_daemons} daemons, "
                 f"cluster has {num_nodes}"
             )
+        # Elastic membership: the versioned placement view every client
+        # routes through.  ``self.distributor`` stays the raw policy (it
+        # seeds ``distributor_factory or type(...)`` on resize and is
+        # kept in sync when a live change flips).
+        self.view = MembershipView(self.distributor)
         self.network = RpcNetwork()
         # Observability plane: one collector per deployment when enabled.
         # network.tracer makes call_async stamp request ids and clients
@@ -121,13 +127,20 @@ class GekkoFSCluster:
         self._threaded_transport: Optional[ThreadedTransport] = None
         self._client_ids = itertools.count()
         if self.config.qos_enabled:
+            # Migration traffic runs as its own (reserved) client with a
+            # deliberately small WFQ share, so a rebalance yields to
+            # foreground I/O instead of competing head-to-head.
+            from repro.core.resize import MIGRATION_CLIENT_ID
+
+            weights = dict(self.config.qos_client_weights or {})
+            weights.setdefault(MIGRATION_CLIENT_ID, self.config.migration_weight)
             self._scheduled_transport = ScheduledTransport(
                 self.network.engine_table,
                 meta_workers=self.config.qos_meta_workers,
                 data_workers=self.config.qos_data_workers,
                 queue_limit=self.config.qos_queue_limit,
                 default_weight=self.config.qos_default_weight,
-                weights=self.config.qos_client_weights,
+                weights=weights,
                 rate_limits=self.config.qos_rate_limits,
             )
             self.network.transport = self._scheduled_transport
@@ -251,7 +264,33 @@ class GekkoFSCluster:
                 window_max=self.config.qos_window_max,
                 throttle_retries=self.config.qos_throttle_retries,
             )
-        return GekkoFSClient(network, self.distributor, self.config, node_id)
+        # Epoch stamping + freeze/stale gating, and the membership view
+        # as the placement source: clients follow live resizes without
+        # being rebuilt, and retired clients fail loudly (StaleEpochError).
+        network = EpochStampedNetwork(network, self.view)
+        return GekkoFSClient(network, self.view, self.config, node_id)
+
+    def migration_network(self):
+        """The port the migrator's movers issue RPCs through.
+
+        Under QoS this is a :class:`~repro.qos.window.ClientPort` bound
+        to the reserved :data:`~repro.core.resize.MIGRATION_CLIENT_ID`
+        (low WFQ weight, AIMD window, throttle absorption); otherwise the
+        raw network.  Deliberately *not* epoch-stamped: the migrator is
+        the cluster's own plane and must keep writing through the freeze.
+        """
+        if self._scheduled_transport is not None:
+            from repro.core.resize import MIGRATION_CLIENT_ID
+
+            return ClientPort(
+                self.network,
+                MIGRATION_CLIENT_ID,
+                window_enabled=self.config.qos_window_enabled,
+                window_initial=self.config.qos_window_initial,
+                window_max=self.config.qos_window_max,
+                throttle_retries=self.config.qos_throttle_retries,
+            )
+        return self.network
 
     def open_file(self, path: str, mode: str = "rb", node_id: int = 0) -> GekkoFile:
         """One-shot pythonic open through a fresh client."""
@@ -339,7 +378,114 @@ class GekkoFSCluster:
 
         self.distributor = new_distributor
         self.num_nodes = new_num_nodes
+        # Stale-client defence: every client built before this resize
+        # holds the retired view and fails loudly from its next call;
+        # daemons reject the retired epoch server-side as well.
+        old_view = self.view
+        self.view = MembershipView(new_distributor, epoch=old_view.epoch + 1)
+        old_view.retire()
+        for daemon in self.live_daemons():
+            daemon.set_epoch(self.view.epoch)
         return report
+
+    def resize_live(
+        self,
+        new_num_nodes: int,
+        distributor_factory: Optional[Callable[[int], Distributor]] = None,
+        *,
+        rate: Optional[float] = None,
+        verify: Optional[bool] = None,
+    ) -> "MigrationReport":
+        """Grow or shrink **online**: clients keep serving throughout.
+
+        Joins new daemons first (live join), then drives the iterative
+        pre-copy protocol of :func:`~repro.core.resize.live_migrate`:
+        throttled background copy under the old placement, a brief write
+        freeze for the final delta, the epoch flip, dual-epoch read
+        fallback while releasing, verified source release, seal.  Any
+        failure before the flip aborts with the old placement
+        authoritative — heal the fault and call again to retry.
+
+        :param rate: mover byte/s cap (default ``config.migration_rate``).
+        :param verify: digest read-back per copied chunk (default
+            ``config.migration_verify``).
+        """
+        from repro.core.resize import live_migrate
+
+        if not self._running:
+            raise RuntimeError("cannot resize a stopped cluster")
+        if self._crashed:
+            raise RuntimeError(
+                f"cannot resize with crashed daemons {sorted(self._crashed)}; "
+                f"restart them first"
+            )
+        if new_num_nodes <= 0:
+            raise ValueError(f"new_num_nodes must be > 0, got {new_num_nodes}")
+        factory = distributor_factory or type(self.distributor)
+        new_distributor = factory(new_num_nodes)
+        if new_distributor.num_daemons != new_num_nodes:
+            raise ValueError("distributor_factory produced a mismatched span")
+
+        # Live join: bring the new daemons up before any data moves.  A
+        # retry after an aborted attempt finds them already built.
+        for node in range(len(self.daemons), new_num_nodes):
+            self.daemons.append(self._build_daemon(node))
+        if new_num_nodes > self.num_nodes:
+            self.num_nodes = new_num_nodes
+
+        report = live_migrate(self, new_distributor, rate=rate, verify=verify)
+
+        # The flip already made the new placement authoritative (and
+        # synced ``self.distributor``); on shrink the drained daemons
+        # can now leave the deployment.
+        for daemon in self.daemons[new_num_nodes:]:
+            if len(daemon.kv) or daemon.storage.used_bytes():
+                raise RuntimeError(
+                    f"daemon {daemon.address} still holds data after migration"
+                )
+            daemon.shutdown()
+            self.network.remove_engine(daemon.address)
+        del self.daemons[new_num_nodes:]
+        self.num_nodes = new_num_nodes
+        return report
+
+    def replace_daemon(
+        self,
+        address: int,
+        *,
+        rate: Optional[float] = None,
+        verify: Optional[bool] = None,
+    ) -> "MigrationReport":
+        """Crash-replace: swap a dead daemon for an empty replacement and
+        re-replicate everything it should hold from surviving replicas.
+
+        The replacement is a *new* node — the dead node's local state is
+        wiped (nothing stale resurrects through WAL replay); redundancy
+        is restored by :func:`~repro.core.resize.rereplicate`, throttled
+        and digest-verified like any rebalance.  Requires an effective
+        replication factor of at least 2, otherwise there are no
+        surviving copies to restore from (use :meth:`restart_daemon`
+        when the node's disk outlived the process).
+        """
+        from repro.core.resize import rereplicate
+
+        if address not in self._crashed:
+            raise RuntimeError(f"daemon {address} is not crashed")
+        if min(self.config.replication, self.num_nodes) < 2:
+            raise ValueError(
+                "crash-replace needs replication >= 2; with a single copy "
+                "there is nothing to re-replicate from"
+            )
+        for base in (self.config.kv_dir, self.config.data_dir):
+            directory = node_dir(base, address)
+            if directory is not None and os.path.isdir(directory):
+                shutil.rmtree(directory, ignore_errors=True)
+        self._crashed.discard(address)
+        self.daemons[address] = self._build_daemon(address)
+        self.daemons[address].set_epoch(self.view.epoch)
+        if self.health is not None:
+            self.health.reset(address)
+        return rereplicate(self, rate=rate, verify=verify)
 
     # -- fault injection / recovery ------------------------------------------
 

@@ -133,6 +133,16 @@ class FSConfig:
         OS like the interposition library would.
     :ivar kv_dir: directory for daemon KV stores (``None`` = in-memory).
     :ivar data_dir: directory for daemon chunk storage (``None`` = in-memory).
+    :ivar migration_rate: byte/s ceiling for the live-rebalance migrator
+        (token-bucketed on the mover side); ``None`` = unthrottled.
+        Foreground traffic additionally outranks migration in the WFQ
+        lanes via ``migration_weight``.
+    :ivar migration_weight: WFQ weight of the migrator's reserved client
+        identity — deliberately far below the default weight so rebalance
+        traffic yields to foreground I/O whenever both are backlogged.
+    :ivar migration_verify: verify every moved chunk's digest on the
+        target against the source before the source copy is released
+        (costs one extra digest RPC per chunk; off only for benchmarks).
     """
 
     chunk_size: int = DEFAULT_CHUNK_SIZE
@@ -174,6 +184,9 @@ class FSConfig:
     passthrough_enabled: bool = True
     kv_dir: Optional[str] = None
     data_dir: Optional[str] = None
+    migration_rate: Optional[float] = None
+    migration_weight: float = 0.1
+    migration_verify: bool = True
 
     def __post_init__(self):
         object.__setattr__(self, "chunk_size", parse_size(self.chunk_size))
@@ -239,6 +252,14 @@ class FSConfig:
             )
         if self.integrity_verify_writes and not self.integrity_enabled:
             raise ValueError("integrity_verify_writes requires integrity_enabled")
+        if self.migration_rate is not None and self.migration_rate <= 0:
+            raise ValueError(
+                f"migration_rate must be > 0 (or None), got {self.migration_rate}"
+            )
+        if self.migration_weight <= 0:
+            raise ValueError(
+                f"migration_weight must be > 0, got {self.migration_weight}"
+            )
         if self.data_cache_enabled and self.data_cache_bytes < self.chunk_size:
             raise ValueError(
                 f"data_cache_bytes ({self.data_cache_bytes}) must hold at least "

@@ -49,6 +49,8 @@ HANDLER_NAMES = (
     "gkfs_replace_chunk",
     "gkfs_remove_chunks",
     "gkfs_truncate_chunks",
+    "gkfs_chunk_digest",
+    "gkfs_set_epoch",
     "gkfs_statfs",
     "gkfs_metrics",
 )
@@ -167,6 +169,8 @@ class GekkoDaemon:
         self.engine.register("gkfs_replace_chunk", self.replace_chunk)
         self.engine.register("gkfs_remove_chunks", self.remove_chunks)
         self.engine.register("gkfs_truncate_chunks", self.truncate_chunks)
+        self.engine.register("gkfs_chunk_digest", self.chunk_digest)
+        self.engine.register("gkfs_set_epoch", self.set_epoch)
         self.engine.register("gkfs_statfs", self.statfs)
         self.engine.register("gkfs_metrics", self.metrics_snapshot)
 
@@ -441,18 +445,24 @@ class GekkoDaemon:
         path: str,
         chunk_id: int,
         data: Optional[bytes] = None,
+        crc: Optional[int] = None,
         bulk: Optional[BulkHandle] = None,
     ) -> int:
         """Authoritatively rewrite one whole chunk from a verified copy.
 
-        The repair RPC: clients performing read-repair and the scrubber
-        push the full replacement payload; the storage drops the old
-        payload and digests, re-checksums, and lifts any quarantine.
+        The repair RPC: clients performing read-repair, the scrubber,
+        and the rebalance migrator push the full replacement payload;
+        the storage drops the old payload and digests, re-checksums,
+        and lifts any quarantine.  ``crc`` (when sent) is the source's
+        whole-payload digest, checked against the received bytes before
+        anything is stored — so a payload corrupted between mover and
+        target is rejected instead of silently installed.
         """
         if bulk is not None:
             data = bulk.pull()
         if data is None:
             raise ValueError("replace_chunk needs inline data or a bulk handle")
+        self._check_wire_digest(path, chunk_id, data, crc)
         return self.storage.replace_chunk(path, chunk_id, data)
 
     def remove_chunks(self, path: str) -> int:
@@ -466,6 +476,38 @@ class GekkoDaemon:
         boundary = new_size % self.chunk_size
         if boundary and new_size // self.chunk_size in self.storage.chunk_ids(path):
             self.storage.truncate_chunk(path, new_size // self.chunk_size, boundary)
+
+    def chunk_digest(self, path: str, chunk_id: int) -> dict:
+        """Whole-payload digest of one locally stored chunk.
+
+        The migrator's verification RPC: after streaming a chunk to its
+        new owner it compares source and target digests before the
+        source copy may be released.  Served from the raw payload (plus
+        :meth:`~repro.storage.backend.ChunkStorage.verify_chunk` when
+        the integrity plane is on, so source bit-rot surfaces as
+        ``IntegrityError`` here instead of propagating to the copy).
+        """
+        if self.storage.integrity and not self.storage.verify_chunk(path, chunk_id):
+            raise IntegrityError(
+                f"chunk {chunk_id} of {path!r} fails digest verification"
+            )
+        data = self.storage.read_chunk(path, chunk_id, 0, self.chunk_size)
+        return {
+            "length": len(data),
+            "digest": chunk_checksum(data, 0, self.storage.algorithm),
+        }
+
+    # -- membership --------------------------------------------------------------
+
+    def set_epoch(self, min_epoch: int) -> int:
+        """Seal retired membership epochs: reject anything older.
+
+        Monotonic — the watermark never moves backwards.  Returns the
+        watermark now in force.
+        """
+        if min_epoch > self.engine.min_epoch:
+            self.engine.min_epoch = min_epoch
+        return self.engine.min_epoch
 
     # -- introspection -----------------------------------------------------------
 

@@ -9,28 +9,102 @@ moves only the records/chunks whose owner changed — with
 the data, with modulo hashing it is nearly everything (the ABL bench
 quantifies exactly this difference).
 
-Resize is a stop-the-world maintenance operation between application
-phases: clients constructed before a resize hold the old distributor and
-MUST be discarded (GekkoFS has no client invalidation protocol — the
-deployment is coordinated by the job script, §III).
+Two migration modes live here:
+
+* :func:`migrate` — the original **offline** path: stop-the-world
+  maintenance between application phases.  Clients constructed before an
+  offline resize hold the old distributor and are *retired*: every
+  subsequent operation fails loudly with
+  :class:`~repro.common.errors.StaleEpochError` instead of silently
+  resolving paths against daemons that no longer own them.
+
+* :func:`live_migrate` — **online** membership change driven by the
+  :class:`Migrator`.  Clients keep serving throughout.  The protocol is
+  iterative pre-copy (the live-VM-migration shape):
+
+  1. ``begin_change`` bumps the membership epoch and stages the new
+     placement; the *old* placement stays fully authoritative.
+  2. Background pre-copy passes stream chunks and KV records to their
+     new owners through ordinary RPC movers — throttled by a client-side
+     token bucket (``migration_rate`` bytes/s) and scheduled in a
+     low-weight QoS share (:data:`MIGRATION_CLIENT_ID`), so foreground
+     I/O keeps priority.  Copies raced by writes go stale and are fixed
+     by the next pass (digest comparison finds them).
+  3. A brief write freeze (mutating RPCs park at the client gate) plus a
+     grace sleep quiesces the sources; the final delta pass then copies
+     exactly what changed.  Every copy is pushed with its whole-payload
+     digest (``gkfs_replace_chunk`` rejects transit corruption) and
+     read back via ``gkfs_chunk_digest`` for verification.
+  4. ``commit_change`` flips: the new placement becomes authoritative
+     and writes unfreeze.  Reads fall back to the old owners while the
+     view is RELEASING (dual-epoch fallback) — covering in-flight
+     operations that resolved their targets before the flip.
+  5. Source copies are released only after their new owners re-verify,
+     the epoch is sealed, and daemons raise ``min_epoch`` so retired
+     epochs are rejected server-side too.
+
+  Any failure *before* the flip aborts the change with the old placement
+  untouched — crash-mid-migration is survivable by construction.
+
+* :func:`rereplicate` — the same copy-pass machinery pointed at the
+  *current* placement: every desired owner that is missing a verified
+  copy receives one from the surviving replicas.  This is crash-replace:
+  wipe the dead node, rebuild an empty daemon, re-replicate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
+from repro.common.errors import DaemonUnavailableError, GekkoError, IntegrityError
 from repro.core.distributor import Distributor
+from repro.core.membership import MIGRATING
+from repro.qos.admission import TokenBucket
+from repro.storage.integrity import chunk_checksum
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.cluster import GekkoFSCluster
 
-__all__ = ["MigrationReport", "migrate"]
+__all__ = [
+    "MIGRATION_CLIENT_ID",
+    "MigrationReport",
+    "Migrator",
+    "migrate",
+    "live_migrate",
+    "rereplicate",
+]
+
+#: Reserved client identity for migration traffic.  Negative so it can
+#: never collide with the cluster's client-id counter; the cluster maps
+#: it to ``config.migration_weight`` in the QoS plane, putting rebalance
+#: I/O in a low-priority WFQ share that yields to foreground clients.
+MIGRATION_CLIENT_ID = -1
+
+#: Pre-copy rounds before the write freeze.  More passes shrink the
+#: frozen delta under heavy write load; the final (frozen) pass always
+#: runs regardless.
+_DEFAULT_PRECOPY_PASSES = 2
+
+#: Grace sleep bracketing the freeze and the flip: long enough for
+#: in-flight operations that resolved their targets under the previous
+#: state to drain (epoch-based-reclamation-style reasoning — nothing
+#: issued *after* the state change can use the old resolution).
+_DEFAULT_GRACE = 0.05
 
 
 @dataclass
 class MigrationReport:
-    """What a resize actually moved."""
+    """What a resize actually moved.
+
+    ``bytes_moved`` counts every payload that crossed the wire —
+    re-copies of write-raced chunks included — which is exactly the
+    figure the EXT-ELASTIC experiment bounds against the closed-form
+    minimum.  ``per_daemon`` breaks traffic down per address:
+    ``{address: {"bytes_in", "bytes_out", "chunks_in", "chunks_out",
+    "records_in", "records_out"}}``.
+    """
 
     old_nodes: int
     new_nodes: int
@@ -39,6 +113,22 @@ class MigrationReport:
     chunks_total: int = 0
     chunks_moved: int = 0
     bytes_moved: int = 0
+    #: Wall-clock seconds the migration took, end to end.
+    duration: float = 0.0
+    #: Copy passes run (pre-copy rounds plus the frozen delta pass).
+    passes: int = 0
+    #: Individual chunk copies verified against their source digest.
+    verified: int = 0
+    #: Target copies whose read-back digest did not match (fatal).
+    verify_failures: int = 0
+    #: Source copies dropped after their new owners re-verified.
+    released: int = 0
+    #: ``offline`` | ``live`` | ``replace``.
+    mode: str = "offline"
+    #: Membership epoch the change created (live/replace modes).
+    epoch: Optional[int] = None
+    #: Per-address traffic breakdown (see class docstring).
+    per_daemon: dict = field(default_factory=dict)
 
     @property
     def metadata_moved_fraction(self) -> float:
@@ -48,13 +138,52 @@ class MigrationReport:
     def chunks_moved_fraction(self) -> float:
         return self.chunks_moved / self.chunks_total if self.chunks_total else 0.0
 
+    def daemon_entry(self, address: int) -> dict:
+        """The (created-on-demand) per-address traffic counters."""
+        return self.per_daemon.setdefault(
+            address,
+            {
+                "bytes_in": 0,
+                "bytes_out": 0,
+                "chunks_in": 0,
+                "chunks_out": 0,
+                "records_in": 0,
+                "records_out": 0,
+            },
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the ``repro resize --json`` export)."""
+        return {
+            "old_nodes": self.old_nodes,
+            "new_nodes": self.new_nodes,
+            "mode": self.mode,
+            "epoch": self.epoch,
+            "metadata_total": self.metadata_total,
+            "metadata_moved": self.metadata_moved,
+            "metadata_moved_fraction": self.metadata_moved_fraction,
+            "chunks_total": self.chunks_total,
+            "chunks_moved": self.chunks_moved,
+            "chunks_moved_fraction": self.chunks_moved_fraction,
+            "bytes_moved": self.bytes_moved,
+            "duration": self.duration,
+            "passes": self.passes,
+            "verified": self.verified,
+            "verify_failures": self.verify_failures,
+            "released": self.released,
+            "per_daemon": {str(addr): dict(entry) for addr, entry in sorted(self.per_daemon.items())},
+        }
+
     def __str__(self) -> str:
-        return (
+        text = (
             f"resize {self.old_nodes}->{self.new_nodes} nodes: moved "
             f"{self.metadata_moved}/{self.metadata_total} records, "
             f"{self.chunks_moved}/{self.chunks_total} chunks "
             f"({self.bytes_moved:,} bytes)"
         )
+        if self.duration:
+            text += f" in {self.duration:.3f}s [{self.mode}, {self.passes} passes]"
+        return text
 
 
 def migrate(
@@ -64,13 +193,14 @@ def migrate(
 ) -> MigrationReport:
     """Move every record/chunk to its owner under ``new_distributor``.
 
-    Scans the daemons that existed before the resize (new, empty daemons
-    have nothing to contribute), computes each item's new owner, and
-    relocates only on change.  Chunk moves go through the storage
-    backends directly — this is the job-script maintenance path, not an
-    RPC-visible file-system operation.
+    The offline path: scans the daemons that existed before the resize
+    (new, empty daemons have nothing to contribute), computes each
+    item's new owner, and relocates only on change.  Chunk moves go
+    through the storage backends directly — this is the job-script
+    maintenance path, not an RPC-visible file-system operation.
     """
     report = MigrationReport(old_nodes=old_daemon_count, new_nodes=new_distributor.num_daemons)
+    started = time.monotonic()
     daemons = cluster.daemons
     scan_count = min(old_daemon_count, len(daemons))
 
@@ -90,6 +220,8 @@ def migrate(
         daemons[owner].kv.put(key, value)
         daemons[source_addr].kv.delete(key)
         report.metadata_moved += 1
+        report.daemon_entry(owner)["records_in"] += 1
+        report.daemon_entry(source_addr)["records_out"] += 1
 
     # -- data chunks -----------------------------------------------------------
     chunk_size = cluster.config.chunk_size
@@ -108,10 +240,509 @@ def migrate(
         source.storage.truncate_chunk(path, chunk_id, 0)
         report.chunks_moved += 1
         report.bytes_moved += len(data)
+        entry = report.daemon_entry(owner)
+        entry["chunks_in"] += 1
+        entry["bytes_in"] += len(data)
+        entry = report.daemon_entry(source_addr)
+        entry["chunks_out"] += 1
+        entry["bytes_out"] += len(data)
     # Drop now-empty per-path containers left behind on the sources.
     for source in daemons[:scan_count]:
         for path in list(source.storage.paths()):
             if not list(source.storage.chunk_ids(path)):
                 source.storage.remove_chunks(path)
 
+    report.duration = time.monotonic() - started
+    return report
+
+
+class Migrator:
+    """Streams chunks and KV records to their owners under a placement.
+
+    The work-horse shared by :func:`live_migrate` and
+    :func:`rereplicate`.  Enumeration is white-box (the cluster owns its
+    daemons' stores — the same privilege the offline path uses), but
+    every *payload* moves through ordinary RPCs against the target:
+    ``gkfs_read_chunk`` on a source replica (a verified read when the
+    integrity plane is on, so source bit-rot fails over to the next
+    replica instead of propagating), ``gkfs_replace_chunk`` with the
+    whole-payload digest on the target (transit corruption is rejected
+    before storage), and ``gkfs_chunk_digest`` read-back verification.
+
+    :param cluster: the deployment being rebalanced.
+    :param report: accounting sink (shared with the orchestrator).
+    :param rate: byte-per-second cap on mover traffic (token bucket);
+        ``None`` is unthrottled.
+    :param verify: read back and compare every copied chunk's digest.
+    """
+
+    #: Failures a source read may survive by falling over to the next
+    #: replica: corruption, crash-stopped daemons, tripped breakers,
+    #: transport loss.  (File-system errors on the *target* stay fatal.)
+    _SOURCE_FAILURES = (
+        IntegrityError,
+        DaemonUnavailableError,
+        GekkoError,
+        LookupError,
+        ConnectionError,
+        TimeoutError,
+        OSError,
+    )
+
+    def __init__(
+        self,
+        cluster: "GekkoFSCluster",
+        report: MigrationReport,
+        *,
+        rate: Optional[float] = None,
+        verify: bool = True,
+    ):
+        self.cluster = cluster
+        self.config = cluster.config
+        self.chunk_size = cluster.config.chunk_size
+        self.report = report
+        self.verify = verify
+        # Burst must cover one whole chunk or a full-chunk acquire could
+        # never succeed; beyond that, one second's worth of rate.
+        self.bucket = (
+            TokenBucket(rate, burst=max(float(rate), float(self.chunk_size)))
+            if rate
+            else None
+        )
+        self.network = cluster.migration_network()
+        # Items already counted in ``*_moved`` — re-copies across passes
+        # count once as a move, but every time in ``bytes_moved``.
+        self._already_moved_meta: set = set()
+        self._already_moved_chunks: set = set()
+
+    # -- throttle -----------------------------------------------------------
+
+    def _throttle(self, nbytes: int) -> None:
+        """Debit ``nbytes`` from the migration token bucket, sleeping as
+        the bucket directs — the client-side half of keeping rebalance
+        traffic under its configured ceiling."""
+        if self.bucket is None or nbytes <= 0:
+            return
+        amount = min(float(nbytes), self.bucket.burst)
+        while True:
+            wait = self.bucket.try_acquire(amount)
+            if wait <= 0:
+                return
+            time.sleep(min(wait, 0.05))
+
+    # -- enumeration --------------------------------------------------------
+
+    def _live_addresses(self) -> list[int]:
+        return [d.address for d in self.cluster.live_daemons()]
+
+    def _index(self) -> tuple[dict, dict]:
+        """Who currently holds what, across every live daemon.
+
+        Returns ``(meta, chunks)``: ``{key: [addresses]}`` and
+        ``{(path, chunk_id): [addresses]}``.
+        """
+        meta: dict[bytes, list[int]] = {}
+        chunks: dict[tuple[str, int], list[int]] = {}
+        for address in self._live_addresses():
+            daemon = self.cluster.daemons[address]
+            for key, _value in daemon.kv.range_iter():
+                meta.setdefault(key, []).append(address)
+            for path in daemon.storage.paths():
+                for chunk_id in daemon.storage.chunk_ids(path):
+                    chunks.setdefault((path, chunk_id), []).append(address)
+        return meta, chunks
+
+    def _owners(self, dist: Distributor, primary: int) -> list[int]:
+        count = min(max(1, self.config.replication), dist.num_daemons)
+        return [(primary + i) % dist.num_daemons for i in range(count)]
+
+    def _ordered_sources(
+        self, holders: list[int], preferred: Optional[list[int]]
+    ) -> list[int]:
+        """Holders ordered with the authoritative (old-owner) set first."""
+        if not preferred:
+            return list(holders)
+        head = [a for a in preferred if a in holders]
+        return head + [a for a in holders if a not in head]
+
+    def _account(self, address: int, **amounts: int) -> None:
+        """Mirror per-daemon report traffic into ``migration.*`` metrics,
+        so rebalance load shows up next to foreground I/O in snapshots."""
+        metrics = getattr(self.cluster.daemons[address], "metrics", None)
+        if metrics is None:
+            return
+        for name, amount in amounts.items():
+            metrics.inc(f"migration.{name}", amount)
+
+    def _raw_digest(self, address: int, path: str, chunk_id: int):
+        """Unverified ``(length, digest)`` of one locally stored copy.
+
+        Planning only — it decides *whether* a copy is needed, never what
+        gets installed.  A quarantined/unreadable copy plans as ``None``
+        (always re-copy).
+        """
+        storage = self.cluster.daemons[address].storage
+        try:
+            data = storage.read_chunk(path, chunk_id, 0, self.chunk_size)
+        except Exception:
+            return None
+        return (len(data), chunk_checksum(data, 0, storage.algorithm))
+
+    # -- movers (RPC) -------------------------------------------------------
+
+    def _check_proofs(
+        self, source: int, path: str, chunk_id: int, data: bytes, proofs
+    ) -> None:
+        """Re-check a verified read's block digests over the received
+        payload — the client half of the end-to-end integrity protocol
+        (the server only verifies blocks the span partially covers)."""
+        algorithm = self.cluster.daemons[source].storage.algorithm
+        for boff, blen, digest in proofs:
+            block = data[boff : boff + blen]
+            if len(block) != blen or chunk_checksum(block, boff, algorithm) != digest:
+                raise IntegrityError(
+                    f"chunk {chunk_id} of {path!r}: source {source} block at "
+                    f"offset {boff} failed its stored digest"
+                )
+
+    def _read_source_chunk(
+        self, sources: list[int], path: str, chunk_id: int, skip: Optional[int] = None
+    ) -> bytes:
+        """Fetch one chunk from the first source replica that serves a
+        clean copy; corruption/unavailability falls over to the next."""
+        last: Optional[Exception] = None
+        for source in sources:
+            if source == skip:
+                continue
+            try:
+                value = self.network.call(
+                    source, "gkfs_read_chunk", path, chunk_id, 0, self.chunk_size
+                )
+                if isinstance(value, dict):
+                    data = bytes(value["data"])
+                    self._check_proofs(
+                        source, path, chunk_id, data, value.get("proofs") or []
+                    )
+                else:
+                    data = bytes(value)
+            except self._SOURCE_FAILURES as exc:
+                last = exc
+                continue
+            return data
+        if last is not None:
+            raise last
+        raise IntegrityError(
+            f"chunk {chunk_id} of {path!r}: no source replica could serve it"
+        )
+
+    def _copy_chunk(
+        self, sources: list[int], path: str, chunk_id: int, target: int
+    ) -> int:
+        """Stream one chunk to ``target``, throttled and digest-checked.
+
+        Returns the payload size.  Raises :class:`IntegrityError` if the
+        target's read-back digest does not match what was sent.
+        """
+        data = self._read_source_chunk(sources, path, chunk_id, skip=target)
+        self._throttle(len(data))
+        algorithm = self.cluster.daemons[target].storage.algorithm
+        digest = chunk_checksum(data, 0, algorithm)
+        self.network.call(target, "gkfs_replace_chunk", path, chunk_id, data, digest)
+        if self.verify:
+            echo = self.network.call(target, "gkfs_chunk_digest", path, chunk_id)
+            if echo["digest"] != digest or echo["length"] != len(data):
+                self.report.verify_failures += 1
+                raise IntegrityError(
+                    f"chunk {chunk_id} of {path!r}: target {target} read-back "
+                    f"digest mismatch after migration copy"
+                )
+            self.report.verified += 1
+        self.report.bytes_moved += len(data)
+        entry = self.report.daemon_entry(target)
+        entry["chunks_in"] += 1
+        entry["bytes_in"] += len(data)
+        self._account(target, chunks_in=1, bytes_in=len(data))
+        if sources:
+            entry = self.report.daemon_entry(sources[0])
+            entry["chunks_out"] += 1
+            entry["bytes_out"] += len(data)
+            self._account(sources[0], chunks_out=1, bytes_out=len(data))
+        return len(data)
+
+    # -- copy pass ----------------------------------------------------------
+
+    def copy_pass(
+        self,
+        new_dist: Distributor,
+        *,
+        source_dist: Optional[Distributor] = None,
+        count_totals: bool = False,
+    ) -> int:
+        """One convergence round: give every desired owner under
+        ``new_dist`` an up-to-date copy of every record and chunk.
+
+        Idempotent — a copy already in place (digest match) costs a local
+        comparison and moves nothing, so repeated passes only transfer
+        the delta that foreground writes dirtied since the last round.
+        Returns the bytes copied this pass (0 = converged).
+
+        ``source_dist`` orders source replicas authoritative-first (the
+        retiring placement's owners took every client write).  With
+        ``count_totals`` the pass also records the scanned universe in
+        ``metadata_total``/``chunks_total``.
+        """
+        meta_index, chunk_index = self._index()
+        if count_totals:
+            self.report.metadata_total = len(meta_index)
+            self.report.chunks_total = len(chunk_index)
+        pass_bytes = 0
+        moved_meta: set[bytes] = set()
+        moved_chunks: set[tuple[str, int]] = set()
+
+        # -- metadata records (tiny values; streamed store-to-store) -------
+        daemons = self.cluster.daemons
+        for key, holders in meta_index.items():
+            rel = key.decode("utf-8")
+            desired = self._owners(new_dist, new_dist.locate_metadata(rel))
+            preferred = (
+                self._owners(source_dist, source_dist.locate_metadata(rel))
+                if source_dist is not None
+                else None
+            )
+            sources = self._ordered_sources(holders, preferred)
+            value = None
+            for source in sources:
+                value = daemons[source].kv.get(key)
+                if value is not None:
+                    break
+            if value is None:
+                continue
+            for target in desired:
+                if daemons[target].kv.get(key) == value:
+                    continue
+                self._throttle(len(key) + len(value))
+                daemons[target].kv.put(key, value)
+                moved_meta.add(key)
+                self.report.daemon_entry(target)["records_in"] += 1
+                self.report.daemon_entry(sources[0])["records_out"] += 1
+                self._account(target, records_in=1)
+                self._account(sources[0], records_out=1)
+
+        # -- data chunks (RPC movers) --------------------------------------
+        for (path, chunk_id), holders in chunk_index.items():
+            desired = self._owners(new_dist, new_dist.locate_chunk(path, chunk_id))
+            preferred = (
+                self._owners(source_dist, source_dist.locate_chunk(path, chunk_id))
+                if source_dist is not None
+                else None
+            )
+            sources = self._ordered_sources(holders, preferred)
+            reference = None
+            reference_known = False
+            for target in desired:
+                if target in holders:
+                    if not reference_known:
+                        reference = self._raw_digest(sources[0], path, chunk_id)
+                        reference_known = True
+                    if (
+                        reference is not None
+                        and self._raw_digest(target, path, chunk_id) == reference
+                    ):
+                        continue  # already in place and current
+                pass_bytes += self._copy_chunk(sources, path, chunk_id, target)
+                moved_chunks.add((path, chunk_id))
+
+        self.report.metadata_moved += len(moved_meta - self._already_moved_meta)
+        self.report.chunks_moved += len(moved_chunks - self._already_moved_chunks)
+        self._already_moved_meta |= moved_meta
+        self._already_moved_chunks |= moved_chunks
+        return pass_bytes
+
+    # -- release pass -------------------------------------------------------
+
+    def release_pass(self, new_dist: Distributor) -> None:
+        """Drop source copies that the sealed placement no longer wants.
+
+        A chunk's surplus copy is released only after every desired owner
+        re-verifies — serves a clean ``gkfs_chunk_digest`` — so a copy
+        that rotted *after* migration still has its source available for
+        the scrubber.  (Digest *equality* with the source is not required
+        here: post-flip writes legitimately diverge the new owners from
+        the retired sources.)
+        """
+        meta_index, chunk_index = self._index()
+        daemons = self.cluster.daemons
+        for key, holders in meta_index.items():
+            rel = key.decode("utf-8")
+            desired = set(self._owners(new_dist, new_dist.locate_metadata(rel)))
+            for holder in holders:
+                if holder not in desired:
+                    daemons[holder].kv.delete(key)
+                    self.report.daemon_entry(holder)["records_out"] += 1
+                    self._account(holder, records_released=1)
+        touched: set[int] = set()
+        for (path, chunk_id), holders in chunk_index.items():
+            desired = set(self._owners(new_dist, new_dist.locate_chunk(path, chunk_id)))
+            surplus = [h for h in holders if h not in desired]
+            if not surplus:
+                continue
+            if self.verify:
+                for target in sorted(desired):
+                    # Raises IntegrityError if the installed copy rotted —
+                    # in which case the source stays put for repair.
+                    self.network.call(target, "gkfs_chunk_digest", path, chunk_id)
+            for holder in surplus:
+                daemons[holder].storage.truncate_chunk(path, chunk_id, 0)
+                self.report.released += 1
+                self.report.daemon_entry(holder)["chunks_out"] += 1
+                self._account(holder, chunks_released=1)
+                touched.add(holder)
+        # Drop now-empty per-path containers left behind on the sources.
+        for address in touched:
+            storage = daemons[address].storage
+            for path in list(storage.paths()):
+                if not list(storage.chunk_ids(path)):
+                    storage.remove_chunks(path)
+
+
+def _instant(cluster: "GekkoFSCluster", name: str, **args) -> None:
+    """Emit one migration timeline event when telemetry is up."""
+    collector = getattr(cluster, "trace_collector", None)
+    if collector is not None:
+        collector.instant(name, "migration", **args)
+
+
+def live_migrate(
+    cluster: "GekkoFSCluster",
+    new_distributor: Distributor,
+    *,
+    rate: Optional[float] = None,
+    verify: Optional[bool] = None,
+    precopy_passes: int = _DEFAULT_PRECOPY_PASSES,
+    grace: float = _DEFAULT_GRACE,
+) -> MigrationReport:
+    """Online membership change: rebalance onto ``new_distributor`` while
+    clients keep serving.  See the module docstring for the protocol.
+
+    The cluster must already have daemons built for every address the new
+    placement spans (:meth:`~repro.core.cluster.GekkoFSCluster
+    .resize_live` handles that).  Raises whatever broke on failure; any
+    failure before the flip leaves the old placement authoritative and
+    the view aborted — safe to retry after healing.
+    """
+    view = cluster.view
+    config = cluster.config
+    old_dist = view.distributor
+    report = MigrationReport(
+        old_nodes=old_dist.num_daemons,
+        new_nodes=new_distributor.num_daemons,
+        mode="live",
+    )
+    rate = rate if rate is not None else config.migration_rate
+    verify = verify if verify is not None else config.migration_verify
+    started = time.monotonic()
+    epoch = view.begin_change(new_distributor)
+    report.epoch = epoch
+    _instant(
+        cluster,
+        "migration.begin",
+        epoch=epoch,
+        old_nodes=old_dist.num_daemons,
+        new_nodes=new_distributor.num_daemons,
+    )
+    migrator = Migrator(cluster, report, rate=rate, verify=verify)
+    try:
+        # Pre-copy rounds: foreground writes keep landing on the old
+        # owners; whatever they dirty is re-copied next round.
+        for round_ in range(max(0, precopy_passes)):
+            moved = migrator.copy_pass(
+                new_distributor,
+                source_dist=old_dist,
+                count_totals=(report.passes == 0),
+            )
+            report.passes += 1
+            _instant(cluster, "migration.pass", epoch=epoch, round=round_, bytes=moved)
+            if moved == 0:
+                break
+        # Freeze + final delta: mutating RPCs park at the client gate;
+        # the grace sleep drains mutations already past it, then the
+        # frozen pass copies exactly what the last round missed.
+        view.freeze_writes()
+        try:
+            time.sleep(grace)
+            moved = migrator.copy_pass(
+                new_distributor,
+                source_dist=old_dist,
+                count_totals=(report.passes == 0),
+            )
+            report.passes += 1
+            _instant(cluster, "migration.freeze", epoch=epoch, bytes=moved)
+            view.commit_change()  # the flip: new placement authoritative
+            cluster.distributor = new_distributor
+        finally:
+            view.unfreeze_writes()
+    except BaseException:
+        if view.state == MIGRATING:
+            view.abort_change()
+            _instant(cluster, "migration.abort", epoch=epoch)
+        raise
+    _instant(cluster, "migration.flip", epoch=epoch)
+    # RELEASING: reads that resolved targets pre-flip drain against the
+    # old owners (which still hold everything); new reads that miss fall
+    # back through the view's old-owner targets.
+    time.sleep(grace)
+    migrator.release_pass(new_distributor)
+    view.seal()
+    for daemon in cluster.live_daemons():
+        daemon.set_epoch(epoch)
+    report.duration = time.monotonic() - started
+    _instant(
+        cluster,
+        "migration.seal",
+        epoch=epoch,
+        bytes_moved=report.bytes_moved,
+        duration=report.duration,
+    )
+    return report
+
+
+def rereplicate(
+    cluster: "GekkoFSCluster",
+    *,
+    rate: Optional[float] = None,
+    verify: Optional[bool] = None,
+) -> MigrationReport:
+    """Restore full redundancy under the *current* placement.
+
+    The crash-replace path: after a dead daemon is rebuilt empty, one
+    copy pass against the unchanged placement streams every record and
+    chunk the replacement should hold from the surviving replicas —
+    throttled and verified exactly like a rebalance.  (It is whole-
+    cluster anti-entropy: any other under-replicated item heals too.)
+    """
+    config = cluster.config
+    dist = cluster.view.distributor
+    report = MigrationReport(
+        old_nodes=dist.num_daemons, new_nodes=dist.num_daemons, mode="replace"
+    )
+    report.epoch = cluster.view.epoch
+    rate = rate if rate is not None else config.migration_rate
+    verify = verify if verify is not None else config.migration_verify
+    started = time.monotonic()
+    _instant(cluster, "migration.rereplicate", epoch=report.epoch)
+    migrator = Migrator(cluster, report, rate=rate, verify=verify)
+    moved = migrator.copy_pass(dist, source_dist=dist, count_totals=True)
+    report.passes = 1
+    # A second pass converges anything dirtied while the first ran.
+    if moved:
+        migrator.copy_pass(dist, source_dist=dist)
+        report.passes += 1
+    report.duration = time.monotonic() - started
+    _instant(
+        cluster,
+        "migration.rereplicate_done",
+        epoch=report.epoch,
+        bytes_moved=report.bytes_moved,
+        duration=report.duration,
+    )
     return report

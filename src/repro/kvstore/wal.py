@@ -49,8 +49,12 @@ class WriteAheadLog:
         body = bytes([op]) + struct.pack("<II", len(key), len(value)) + key + value
         crc = zlib.crc32(body)
         self._fh.write(struct.pack("<I", crc) + body)
+        # Always push the record out of the Python-level buffer: once in the
+        # OS page cache it survives a process crash (SIGKILL), which is the
+        # failure mode replay is meant to cover.  ``sync`` additionally pays
+        # for an fsync, extending durability to power loss.
+        self._fh.flush()
         if self.sync:
-            self._fh.flush()
             os.fsync(self._fh.fileno())
 
     def flush(self) -> None:

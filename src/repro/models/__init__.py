@@ -25,6 +25,11 @@ from repro.models.integrity import (
     survival_curve,
 )
 from repro.models.lustre import LustreModel
+from repro.models.rebalance import (
+    minimum_bytes_moved,
+    modulo_moved_fraction,
+    rendezvous_moved_fraction,
+)
 from repro.models.ssd_peak import aggregated_ssd_peak
 
 __all__ = [
@@ -37,4 +42,7 @@ __all__ = [
     "interval_corruption_probability",
     "mission_survival_probability",
     "survival_curve",
+    "rendezvous_moved_fraction",
+    "modulo_moved_fraction",
+    "minimum_bytes_moved",
 ]

@@ -1,0 +1,86 @@
+"""Analytic twin of the elastic-membership rebalance: how much must move.
+
+When the cluster grows from ``m`` to ``n`` daemons the Migrator streams
+every chunk whose owner changed under the new placement.  The placement
+function therefore *is* the cost model: rendezvous (HRW) hashing moves
+only the keys the new daemons win, while modulo hashing reshuffles
+almost everything.  This module closes both in exact form so the
+EXT-ELASTIC experiment can assert its measured ``bytes_moved`` against
+the theoretical minimum instead of a hand-waved constant.
+
+* **Rendezvous** — each key's owner is the argmax of ``n`` i.i.d. hash
+  weights.  Adding daemons leaves the old weights untouched, so a key
+  moves iff one of the ``n - m`` newcomers wins: probability
+  ``(n - m) / n`` by symmetry.  Shrinking is the mirror image,
+  ``(m - n) / m`` — only keys owned by the departing daemons move.
+  Both are the information-theoretic minimum for a balanced placement.
+* **Modulo** — a key stays iff ``k % m == k % n``.  Over one full
+  period ``lcm(m, n)`` that congruence is counted exactly; no
+  closed-form shortcut is used so the number is unarguable.  For
+  coprime ``m, n`` nearly everything moves.
+
+The twin ignores replication fan-out (each replica group moves the same
+fraction) and migration-pass overlap re-copies (dirty chunks re-streamed
+during pre-copy), both of which only push the empirical number *up* —
+hence EXT-ELASTIC's acceptance bound of 1.5x the minimum here.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "rendezvous_moved_fraction",
+    "modulo_moved_fraction",
+    "minimum_bytes_moved",
+]
+
+
+def _check_sizes(old_size: int, new_size: int) -> None:
+    if old_size < 1 or new_size < 1:
+        raise ValueError("cluster sizes must be >= 1")
+
+
+def rendezvous_moved_fraction(old_size: int, new_size: int) -> float:
+    """Fraction of keys that change owner under HRW placement.
+
+    Grow ``m -> n``: ``(n - m) / n``; shrink: ``(m - n) / m``; equal
+    sizes move nothing.  This is the minimum achievable by any placement
+    that keeps daemons balanced.
+    """
+    _check_sizes(old_size, new_size)
+    if new_size == old_size:
+        return 0.0
+    if new_size > old_size:
+        return (new_size - old_size) / new_size
+    return (old_size - new_size) / old_size
+
+
+def modulo_moved_fraction(old_size: int, new_size: int) -> float:
+    """Exact fraction of keys that change owner under ``key % size``.
+
+    Counted over one full period ``lcm(old_size, new_size)`` of the pair
+    of congruences, so the result is exact rather than asymptotic.
+    """
+    _check_sizes(old_size, new_size)
+    if new_size == old_size:
+        return 0.0
+    period = math.lcm(old_size, new_size)
+    stay = sum(1 for k in range(period) if k % old_size == k % new_size)
+    return 1.0 - stay / period
+
+
+def minimum_bytes_moved(
+    total_bytes: int, old_size: int, new_size: int, replication: int = 1
+) -> float:
+    """Theoretical-minimum bytes the Migrator must stream for a resize.
+
+    ``total_bytes`` is the logical (pre-replication) payload resident in
+    the file system; every replica of a moved chunk is re-streamed, so
+    replication multiplies the bill.
+    """
+    if total_bytes < 0:
+        raise ValueError("total_bytes must be >= 0")
+    if replication < 1:
+        raise ValueError("replication must be >= 1")
+    return total_bytes * replication * rendezvous_moved_fraction(old_size, new_size)

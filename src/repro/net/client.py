@@ -59,7 +59,25 @@ from repro.rpc.future import RpcFuture
 from repro.rpc.message import RemoteError, RpcRequest, RpcResponse
 from repro.rpc.transport import Transport
 
-__all__ = ["SocketTransport"]
+__all__ = ["SocketTransport", "IDEMPOTENT_HANDLERS"]
+
+#: Handlers safe to resubmit transparently after a connection reset:
+#: reads have no server-side effects, so a duplicate delivery cannot
+#: double-apply.  A mutation that died mid-flight may or may not have
+#: been served — its ``ConnectionError`` must surface to the layer that
+#: owns retry policy (RetryingTransport / the application).
+IDEMPOTENT_HANDLERS = frozenset(
+    {
+        "gkfs_stat",
+        "gkfs_readdir",
+        "gkfs_readdir_plus",
+        "gkfs_read_chunk",
+        "gkfs_read_chunks",
+        "gkfs_statfs",
+        "gkfs_metrics",
+        "gkfs_chunk_digest",
+    }
+)
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -339,6 +357,8 @@ class SocketTransport(Transport):
         self._channels: dict[int, _Channel] = {}
         self._lock = threading.Lock()
         self._closed = False
+        #: Transparent idempotent-call resubmissions performed (telemetry).
+        self.reconnects = 0
 
     def add_daemon(self, target: int, spec) -> None:
         """Register (or re-point) one daemon's endpoint."""
@@ -367,6 +387,32 @@ class SocketTransport(Transport):
             return channel
 
     def send_async(self, request: RpcRequest) -> RpcFuture:
+        """Deliver one request; never raises at issue time.
+
+        Idempotent (read-only) calls that die to a reset/closed
+        connection — the peer daemon restarted, or an idle channel was
+        dropped — are transparently resubmitted **once** over a freshly
+        built channel before the ``ConnectionError`` surfaces.  The
+        reconnect count is visible as :attr:`reconnects`.
+        """
+        future = self._issue(request)
+        if request.handler not in IDEMPOTENT_HANDLERS:
+            return future
+        outer = RpcFuture()
+
+        def on_done(fut: RpcFuture) -> None:
+            exc = fut.exception(0)
+            if isinstance(exc, ConnectionError) and not self._closed:
+                # _channel() sees the dead channel and rebuilds it.
+                self.reconnects += 1
+                self._issue(request).add_done_callback(outer._adopt)
+            else:
+                outer._adopt(fut)
+
+        future.add_done_callback(on_done)
+        return outer
+
+    def _issue(self, request: RpcRequest) -> RpcFuture:
         try:
             channel = self._channel(request.target)
             return channel.submit(request)

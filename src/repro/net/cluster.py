@@ -147,6 +147,23 @@ class SocketDeployment:
             )
         return GekkoFSClient(network, self.distributor, self.config, node_id)
 
+    def add_daemon(self, address: int, spec) -> None:
+        """Register (or re-point) one daemon endpoint in the live address
+        book — the restart and live-join path.
+
+        Re-pointing an existing address drops any stale channel, so the
+        next RPC connects to the replacement process.  A brand-new
+        address grows ``num_nodes``; note the *placement* does not change
+        until the deployment owner installs a distributor spanning the
+        new count (and migrates — see ``core.resize``): until then the
+        joined daemon serves no hashed shard.
+        """
+        self.socket_transport.add_daemon(address, spec)
+        if self.health is not None:
+            self.health.reset(address)
+        if address >= self.num_nodes:
+            self.num_nodes = address + 1
+
     def format(self) -> None:
         """Create the root directory record on its owner daemon(s).
 
@@ -326,33 +343,22 @@ class ProcessCluster(_SocketClusterBase):
         if num_nodes <= 0:
             raise ValueError(f"num_nodes must be > 0, got {num_nodes}")
         config = config or FSConfig()
-        config_json = config_to_json(config)
+        self._config_json = config_to_json(config)
+        self._python = python
+        self._handlers_per_daemon = handlers_per_daemon
+        self._startup_timeout = startup_timeout
         env = dict(os.environ)
         package_root = os.path.dirname(os.path.dirname(os.path.dirname(
             os.path.abspath(__file__))))
         env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+        self._env = env
         self.processes: list[subprocess.Popen] = []
         self._pumps: list[tuple[_Pump, _Pump]] = []
         try:
             for node in range(num_nodes):
-                proc = subprocess.Popen(
-                    [
-                        python, "-m", "repro", "serve",
-                        "--daemon-id", str(node),
-                        "--addr", "127.0.0.1:0",
-                        "--handlers", str(handlers_per_daemon),
-                        "--config-json", config_json,
-                    ],
-                    stdout=subprocess.PIPE,
-                    stderr=subprocess.PIPE,
-                    text=True,
-                    env=env,
-                )
+                proc, pumps = self._launch(node)
                 self.processes.append(proc)
-                self._pumps.append((
-                    _Pump(proc.stdout, f"gkfs-pump-out-{node}"),
-                    _Pump(proc.stderr, f"gkfs-pump-err-{node}"),
-                ))
+                self._pumps.append(pumps)
             addresses = {}
             deadline = time.monotonic() + startup_timeout
             for node, (out_pump, err_pump) in enumerate(self._pumps):
@@ -381,6 +387,84 @@ class ProcessCluster(_SocketClusterBase):
                 proc.wait()
             raise
         self._running = True
+
+    def _launch(self, node: int) -> tuple[subprocess.Popen, tuple[_Pump, _Pump]]:
+        """Fork one ``repro serve`` child for daemon ``node``."""
+        proc = subprocess.Popen(
+            [
+                self._python, "-m", "repro", "serve",
+                "--daemon-id", str(node),
+                "--addr", "127.0.0.1:0",
+                "--handlers", str(self._handlers_per_daemon),
+                "--config-json", self._config_json,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=self._env,
+        )
+        return proc, (
+            _Pump(proc.stdout, f"gkfs-pump-out-{node}"),
+            _Pump(proc.stderr, f"gkfs-pump-err-{node}"),
+        )
+
+    def _spawn_and_scrape(self, node: int) -> str:
+        """Fork daemon ``node``, wait for READY, return its bound endpoint.
+
+        The child slot in :attr:`processes`/:attr:`_pumps` is replaced
+        (or appended for a brand-new address).
+        """
+        proc, pumps = self._launch(node)
+        out_pump, err_pump = pumps
+        if not out_pump.ready_event.wait(self._startup_timeout) or (
+            out_pump.ready_addr is None
+        ):
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait()
+            raise RuntimeError(
+                f"daemon {node} did not come up within "
+                f"{self._startup_timeout}s; stderr tail: "
+                f"{list(err_pump.tail)[-5:]}"
+            )
+        if node < len(self.processes):
+            self.processes[node] = proc
+            self._pumps[node] = pumps
+        else:
+            self.processes.append(proc)
+            self._pumps.append(pumps)
+        return out_pump.ready_addr
+
+    def restart_daemon(self, address: int) -> str:
+        """Respawn a dead daemon under the same identity and re-point the
+        address book at its fresh port.
+
+        The child reopens the same ``kv_dir``/``data_dir`` (the config is
+        identical), so a disk-backed KV replays its WAL and chunk storage
+        rescans — everything that reached durable state before the crash
+        is served again.  Returns the new endpoint spec.
+        """
+        proc = self.processes[address]
+        if proc.poll() is None:
+            raise RuntimeError(
+                f"daemon {address} is still running (pid {proc.pid}); "
+                f"kill or terminate it first"
+            )
+        spec = self._spawn_and_scrape(address)
+        self.deployment.add_daemon(address, spec)
+        return spec
+
+    def add_daemon(self) -> int:
+        """Live join: fork one more ``repro serve`` child and register it.
+
+        Returns the new daemon's address.  Placement is unchanged until
+        the caller installs a wider distributor and migrates (see
+        :meth:`SocketDeployment.add_daemon`).
+        """
+        node = len(self.processes)
+        spec = self._spawn_and_scrape(node)
+        self.deployment.add_daemon(node, spec)
+        return node
 
     def daemon_pid(self, address: int) -> int:
         return self.processes[address].pid

@@ -288,12 +288,19 @@ def encode_request_body(request: RpcRequest) -> bytes:
         request.request_id,
         request.parent_span,
         request.client_id,
+        request.epoch,
     ))
 
 
 def decode_request_body(body, seq_bulk: Optional[Any]) -> RpcRequest:
-    """Rebuild the request; ``seq_bulk`` is the server-side bulk stand-in."""
-    target, handler, args, request_id, parent_span, client_id = loads(body)
+    """Rebuild the request; ``seq_bulk`` is the server-side bulk stand-in.
+
+    Accepts the pre-epoch 6-field body too, so a newer daemon can still
+    serve a client built before membership epochs existed.
+    """
+    fields = loads(body)
+    target, handler, args, request_id, parent_span, client_id = fields[:6]
+    epoch = fields[6] if len(fields) > 6 else None
     return RpcRequest(
         target=target,
         handler=handler,
@@ -302,6 +309,7 @@ def decode_request_body(body, seq_bulk: Optional[Any]) -> RpcRequest:
         request_id=request_id,
         parent_span=parent_span,
         client_id=client_id,
+        epoch=epoch,
     )
 
 

@@ -219,16 +219,31 @@ class ClientPort:
 
     # -- synchronous path ----------------------------------------------------
 
-    def call(self, target: int, handler: str, *args: Any, bulk: Any = None) -> Any:
+    def call(
+        self,
+        target: int,
+        handler: str,
+        *args: Any,
+        bulk: Any = None,
+        epoch: Optional[int] = None,
+    ) -> Any:
         window = self.window_for(target) if self.window_enabled else None
         if window is not None:
             window.acquire()
+        # epoch forwarded only when stamped: duck-typed networks predating
+        # membership epochs keep working unchanged.
+        extra = {} if epoch is None else {"epoch": epoch}
         try:
             attempts = 0
             while True:
                 try:
                     value = self._network.call(
-                        target, handler, *args, bulk=bulk, client_id=self.client_id
+                        target,
+                        handler,
+                        *args,
+                        bulk=bulk,
+                        client_id=self.client_id,
+                        **extra,
                     )
                 except AgainError as err:
                     self.qos_stats.throttles += 1
@@ -253,7 +268,12 @@ class ClientPort:
     # -- pipelined path ------------------------------------------------------
 
     def call_async(
-        self, target: int, handler: str, *args: Any, bulk: Any = None
+        self,
+        target: int,
+        handler: str,
+        *args: Any,
+        bulk: Any = None,
+        epoch: Optional[int] = None,
     ) -> RpcFuture:
         """Window-bounded non-blocking call with transparent throttle retry.
 
@@ -295,9 +315,16 @@ class ClientPort:
                 self._sleep(delay)
             issue()
 
+        extra = {} if epoch is None else {"epoch": epoch}
+
         def issue() -> None:
             inner = self._network.call_async(
-                target, handler, *args, bulk=bulk, client_id=self.client_id
+                target,
+                handler,
+                *args,
+                bulk=bulk,
+                client_id=self.client_id,
+                **extra,
             )
             inner.add_done_callback(on_done)
 

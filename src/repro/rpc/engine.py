@@ -8,13 +8,14 @@ GekkoFS distributes at start-up so every client can reach every daemon.
 
 from __future__ import annotations
 
+import errno as _errno
 import threading
 import time
 from collections import Counter
 from typing import Any, Callable, Optional
 
 from repro.rpc.future import RpcFuture, wait_all
-from repro.rpc.message import RpcRequest, RpcResponse
+from repro.rpc.message import RemoteError, RpcRequest, RpcResponse
 from repro.rpc.transport import LoopbackTransport, Transport, deliver_async
 from repro.telemetry.inflight import InflightGauge
 from repro.telemetry.spans import DAEMON_PID_BASE
@@ -34,6 +35,11 @@ class RpcEngine:
         self.address = address
         self._handlers: dict[str, Callable[..., Any]] = {}
         self._lock = threading.Lock()
+        #: Lowest membership epoch this daemon still accepts.  Requests
+        #: stamped with an older epoch are answered with ESTALE — the
+        #: loud server-side half of the stale-client defence.  Bumped by
+        #: the cluster when an epoch is sealed (``gkfs_set_epoch``).
+        self.min_epoch = 0
         self.calls_served: Counter[str] = Counter()
         self.bytes_in = 0
         self.bytes_out = 0
@@ -62,6 +68,15 @@ class RpcEngine:
 
     def handle(self, request: RpcRequest) -> RpcResponse:
         """Serve one request (called by the transport on the server side)."""
+        if request.epoch is not None and request.epoch < self.min_epoch:
+            return RpcResponse(
+                error=RemoteError(
+                    _errno.ESTALE,
+                    f"daemon {self.address} is at membership epoch "
+                    f">= {self.min_epoch}; request carries retired epoch "
+                    f"{request.epoch} — rebuild the client",
+                )
+            )
         with self._lock:
             fn = self._handlers.get(request.handler)
         if fn is None:
@@ -182,10 +197,11 @@ class RpcNetwork:
         *args: Any,
         bulk: Any = None,
         client_id: Optional[int] = None,
+        epoch: Optional[int] = None,
     ) -> Any:
         """Synchronous RPC: returns the handler value or raises its error."""
         return self.call_async(
-            target, handler, *args, bulk=bulk, client_id=client_id
+            target, handler, *args, bulk=bulk, client_id=client_id, epoch=epoch
         ).result()
 
     def call_async(
@@ -195,6 +211,7 @@ class RpcNetwork:
         *args: Any,
         bulk: Any = None,
         client_id: Optional[int] = None,
+        epoch: Optional[int] = None,
     ) -> RpcFuture:
         """Non-blocking RPC — the ``margo_iforward`` path (§III-B).
 
@@ -213,6 +230,7 @@ class RpcNetwork:
                 args=args,
                 bulk=bulk,
                 client_id=client_id,
+                epoch=epoch,
             )
         else:
             context = tracer.current()
@@ -224,6 +242,7 @@ class RpcNetwork:
                 request_id=context.request_id if context else None,
                 parent_span=context.span_id if context else None,
                 client_id=client_id,
+                epoch=epoch,
             )
         self.inflight.launch()
         future = deliver_async(self.transport, request)

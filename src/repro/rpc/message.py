@@ -86,6 +86,12 @@ class RpcRequest:
         RPC, stamped by the per-client port so the daemon scheduler can
         account fair shares.  ``None`` whenever QoS is off; anonymous
         requests are accounted to a shared bucket.
+    :ivar epoch: membership epoch of the placement map the caller used
+        to route this request.  Daemons reject epochs below their
+        ``min_epoch`` watermark with ESTALE, so a client holding a
+        retired map fails loudly instead of touching the wrong shard.
+        ``None`` (unversioned deployments, raw network users) always
+        passes the gate.
     """
 
     target: int
@@ -95,6 +101,7 @@ class RpcRequest:
     request_id: Optional[str] = None
     parent_span: Optional[str] = None
     client_id: Optional[int] = None
+    epoch: Optional[int] = None
 
     @cached_property
     def wire_size(self) -> int:
@@ -110,7 +117,7 @@ class RpcRequest:
         read it for the same immutable request.
         """
         size = ENVELOPE_BYTES + len(self.handler) + estimate_wire_size(self.args)
-        for extra in (self.request_id, self.parent_span, self.client_id):
+        for extra in (self.request_id, self.parent_span, self.client_id, self.epoch):
             if extra is not None:
                 size += estimate_wire_size(extra)
         return size

@@ -1,0 +1,494 @@
+"""Elastic membership: live resize, crash-replace, and the epoch plane.
+
+The scenarios ISSUE-7 demands: online grow under concurrent client load,
+crash mid-migration (abort leaves the old placement authoritative, retry
+succeeds), a partition between mover and target, bitrot on a source
+chunk falling over to the surviving replica, and crash-replace restoring
+full redundancy — plus unit coverage of the MembershipView state machine
+and the server-side ``min_epoch`` stale-epoch defence.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import GekkoError, IntegrityError, StaleEpochError
+from repro.core import (
+    FSConfig,
+    GekkoFSCluster,
+    RendezvousDistributor,
+    SimpleHashDistributor,
+)
+from repro.core.fsck import check as fsck_check
+from repro.core.membership import (
+    MembershipView,
+    MIGRATING,
+    RELEASING,
+    STABLE,
+)
+from repro.core.resize import MIGRATION_CLIENT_ID, Migrator, MigrationReport
+from repro.faults.chaos import ChaosController
+from repro.faults.scrub import Scrubber
+
+#: Everything a failed mover call may legitimately surface as, depending
+#: on which transport layer (partition, crash, breaker) broke first.
+_MOVE_FAILURES = (GekkoError, ConnectionError, LookupError, OSError)
+
+
+def populate(fs, files=20, file_bytes=600, prefix="/gkfs/data"):
+    client = fs.client(0)
+    if not client.exists(prefix):
+        client.mkdir(prefix)
+    contents = {}
+    for i in range(files):
+        path = f"{prefix}/f{i:03d}"
+        payload = bytes([(i + 1) & 0xFF]) * file_bytes
+        fd = client.open(path, os.O_CREAT | os.O_WRONLY)
+        client.write(fd, payload)
+        client.close(fd)
+        contents[path] = payload
+    return contents
+
+
+def verify(fs, contents):
+    client = fs.client(0)
+    for path, payload in contents.items():
+        fd = client.open(path)
+        assert client.read(fd, len(payload) + 1) == payload
+        client.close(fd)
+
+
+class TestMembershipView:
+    def test_initial_state(self):
+        view = MembershipView(SimpleHashDistributor(4))
+        assert view.state == STABLE
+        assert view.epoch == 0
+        assert not view.retired
+        assert view.num_daemons == 4
+        assert view.old_metadata_targets("/x", 2) == []
+        assert view.old_chunk_targets("/x", 0, 2) == []
+
+    def test_change_protocol_walk(self):
+        old = SimpleHashDistributor(2)
+        new = SimpleHashDistributor(4)
+        view = MembershipView(old)
+        epoch = view.begin_change(new)
+        assert epoch == 1
+        assert view.state == MIGRATING
+        # Old placement stays authoritative while MIGRATING.
+        assert view.num_daemons == 2
+        assert view.distributor is old
+        view.commit_change()
+        assert view.state == RELEASING
+        assert view.distributor is new
+        # Dual-epoch fallback targets resolve against the retiring map.
+        assert view.old_metadata_targets("/x", 1) == [old.locate_metadata("/x")]
+        view.seal()
+        assert view.state == STABLE
+        assert view.old_metadata_targets("/x", 1) == []
+
+    def test_abort_restores_stable(self):
+        view = MembershipView(SimpleHashDistributor(2))
+        view.begin_change(SimpleHashDistributor(4))
+        view.abort_change()
+        assert view.state == STABLE
+        assert view.num_daemons == 2
+        # The epoch bump is not rolled back — epochs only move forward.
+        assert view.epoch == 1
+
+    def test_invalid_transitions_rejected(self):
+        view = MembershipView(SimpleHashDistributor(2))
+        with pytest.raises(RuntimeError):
+            view.commit_change()
+        with pytest.raises(RuntimeError):
+            view.abort_change()
+        with pytest.raises(RuntimeError):
+            view.seal()
+        view.begin_change(SimpleHashDistributor(3))
+        with pytest.raises(RuntimeError):
+            view.begin_change(SimpleHashDistributor(4))
+
+    def test_retired_view_fails_loudly(self):
+        view = MembershipView(SimpleHashDistributor(2))
+        view.check()  # fine while live
+        view.retire()
+        with pytest.raises(StaleEpochError):
+            view.check()
+
+    def test_write_freeze_blocks_then_releases(self):
+        view = MembershipView(SimpleHashDistributor(2))
+        view.freeze_writes()
+        waited = []
+
+        def writer():
+            view.wait_writable()
+            waited.append(True)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.02)
+        assert not waited  # parked at the gate
+        view.unfreeze_writes()
+        thread.join(timeout=5)
+        assert waited
+
+
+class TestStaleClients:
+    def test_stale_client_raises_typed_error(self):
+        """Satellite 1: a client built before an offline resize must fail
+        loudly with StaleEpochError, not resolve against wrong owners."""
+        with GekkoFSCluster(num_nodes=2) as fs:
+            stale = fs.client(0)
+            stale.mkdir("/gkfs/d")
+            fs.resize(4)
+            with pytest.raises(StaleEpochError):
+                stale.exists("/gkfs/d")
+            with pytest.raises(StaleEpochError):
+                stale.mkdir("/gkfs/d2")
+            # A fresh client resolves under the new placement.
+            assert fs.client(0).exists("/gkfs/d")
+
+    def test_daemons_reject_retired_epoch_server_side(self):
+        """A duck-typed client that bypasses the view is still rejected
+        by the daemon's min_epoch watermark once the resize seals."""
+        with GekkoFSCluster(num_nodes=2) as fs:
+            fs.client(0).mkdir("/gkfs/d")
+            fs.resize(3)
+            # Daemons key by mount-relative paths: "/gkfs/d" is "/d".
+            with pytest.raises(StaleEpochError):
+                fs.network.call(0, "gkfs_stat", "/d", epoch=0)
+            # Unstamped legacy calls and current-epoch calls still serve.
+            owner = fs.view.locate_metadata("/d")
+            fs.network.call(owner, "gkfs_stat", "/d")
+            fs.network.call(owner, "gkfs_stat", "/d", epoch=fs.view.epoch)
+
+
+class TestLiveResize:
+    def test_live_grow_preserves_everything(self):
+        with GekkoFSCluster(
+            num_nodes=2,
+            config=FSConfig(chunk_size=128),
+            distributor=RendezvousDistributor(2),
+        ) as fs:
+            contents = populate(fs)
+            client = fs.client(0)  # built before the change
+            report = fs.resize_live(5)
+            assert fs.num_nodes == 5
+            assert report.mode == "live"
+            assert report.epoch == 1
+            assert fs.view.state == STABLE
+            assert fs.view.epoch == 1
+            # The pre-resize client follows the flip without a rebuild.
+            for path, payload in contents.items():
+                fd = client.open(path)
+                assert client.read(fd, len(payload) + 1) == payload
+                client.close(fd)
+            client.close(client.creat("/gkfs/data/after"))
+            verify(fs, contents)
+
+    def test_live_shrink_preserves_everything(self):
+        with GekkoFSCluster(
+            num_nodes=5,
+            config=FSConfig(chunk_size=128),
+            distributor=RendezvousDistributor(5),
+        ) as fs:
+            contents = populate(fs)
+            report = fs.resize_live(2)
+            assert fs.num_nodes == 2
+            assert len(fs.daemons) == 2
+            assert report.released > 0  # drained sources gave up copies
+            verify(fs, contents)
+
+    def test_live_grow_moves_about_one_nth(self):
+        with GekkoFSCluster(
+            num_nodes=4,
+            config=FSConfig(chunk_size=64),
+            distributor=RendezvousDistributor(4),
+        ) as fs:
+            populate(fs, files=40, file_bytes=640)  # 400 chunks
+            report = fs.resize_live(5)
+            # Ideal: 1/5 of chunks move.  Slack for hash variance.
+            assert 0 < report.chunks_moved_fraction < 0.4
+            assert report.verified >= report.chunks_moved
+            assert report.verify_failures == 0
+
+    def test_throttled_migration_converges(self):
+        with GekkoFSCluster(
+            num_nodes=2,
+            config=FSConfig(chunk_size=256),
+            distributor=RendezvousDistributor(2),
+        ) as fs:
+            contents = populate(fs, files=8, file_bytes=512)
+            report = fs.resize_live(3, rate=512 * 1024)
+            assert report.bytes_moved > 0
+            assert report.duration > 0
+            verify(fs, contents)
+
+    def test_report_accounting(self):
+        with GekkoFSCluster(
+            num_nodes=2,
+            config=FSConfig(chunk_size=128),
+            distributor=RendezvousDistributor(2),
+        ) as fs:
+            populate(fs, files=12)
+            report = fs.resize_live(4)
+            d = report.as_dict()
+            for key in (
+                "bytes_moved",
+                "duration",
+                "passes",
+                "verified",
+                "released",
+                "per_daemon",
+                "epoch",
+                "mode",
+            ):
+                assert key in d
+            assert d["mode"] == "live"
+            # Traffic in == traffic out, byte for byte.
+            bytes_in = sum(e["bytes_in"] for e in report.per_daemon.values())
+            bytes_out = sum(e["bytes_out"] for e in report.per_daemon.values())
+            assert bytes_in == report.bytes_moved
+            assert bytes_out == report.bytes_moved
+            assert "live" in str(report)
+
+    def test_live_grow_under_concurrent_writes(self):
+        """Clients keep writing through the change; every acknowledged
+        byte is present and correct afterwards."""
+        with GekkoFSCluster(
+            num_nodes=2,
+            config=FSConfig(chunk_size=128),
+            distributor=RendezvousDistributor(2),
+            threaded=True,
+        ) as fs:
+            contents = populate(fs, files=10)
+            client = fs.client(0)
+            client.mkdir("/gkfs/hot")
+            acked = {}
+            errors = []
+            stop = threading.Event()
+
+            def writer():
+                i = 0
+                while not stop.is_set():
+                    path = f"/gkfs/hot/w{i:04d}"
+                    payload = bytes([(i % 251) + 1]) * 300
+                    try:
+                        fd = client.open(path, os.O_CREAT | os.O_WRONLY)
+                        client.write(fd, payload)
+                        client.close(fd)
+                    except Exception as exc:  # pragma: no cover - fatal
+                        errors.append(exc)
+                        return
+                    acked[path] = payload
+                    i += 1
+
+            thread = threading.Thread(target=writer)
+            thread.start()
+            try:
+                time.sleep(0.05)
+                report = fs.resize_live(4)
+                time.sleep(0.05)
+            finally:
+                stop.set()
+                thread.join(timeout=30)
+            assert not errors, f"writer failed during live resize: {errors[0]!r}"
+            assert report.epoch == 1
+            # Writes kept flowing while the migrator ran.
+            assert len(acked) > 0
+            reader = fs.client(0)
+            for path, payload in {**contents, **acked}.items():
+                fd = reader.open(path)
+                assert reader.read(fd, len(payload) + 1) == payload, path
+                reader.close(fd)
+
+    def test_migration_yields_in_qos_lane(self):
+        """With QoS on, mover traffic is accounted to the reserved
+        low-weight migration client, not to any foreground identity."""
+        with GekkoFSCluster(
+            num_nodes=2,
+            config=FSConfig(chunk_size=128, qos_enabled=True),
+            distributor=RendezvousDistributor(2),
+        ) as fs:
+            contents = populate(fs, files=10)
+            fs.resize_live(4)
+            shares = fs.client_shares()
+            assert MIGRATION_CLIENT_ID in shares
+            assert shares[MIGRATION_CLIENT_ID]["ops"] > 0
+            verify(fs, contents)
+
+
+class TestChaosMidMigration:
+    def test_crash_mid_migration_aborts_then_retries(self):
+        """Crash the target of the very first chunk copy: the change
+        aborts with the old placement authoritative, the cluster heals,
+        and a retried resize completes."""
+        with GekkoFSCluster(
+            num_nodes=2,
+            config=FSConfig(chunk_size=128),
+            distributor=RendezvousDistributor(2),
+        ) as fs:
+            contents = populate(fs)
+            chaos = ChaosController(fs, seed=101)
+            chaos.crash_on("gkfs_replace_chunk")
+            with pytest.raises(_MOVE_FAILURES):
+                fs.resize_live(4)
+            # Old placement never stopped being authoritative.
+            assert fs.view.state == STABLE
+            assert fs.view.num_daemons == 2
+            verify(fs, contents)
+            crashed = fs.crashed_daemons
+            assert len(crashed) == 1
+            for address in crashed:
+                fs.restart_daemon(address, recover=False)
+            report = fs.resize_live(4)
+            assert report.epoch == 2  # aborted epoch is not reused
+            assert fs.view.num_daemons == 4
+            verify(fs, contents)
+
+    def test_partition_between_mover_and_target(self):
+        """Cut the joining daemons off mid-copy: abort, heal, retry."""
+        with GekkoFSCluster(
+            num_nodes=2,
+            config=FSConfig(chunk_size=128),
+            distributor=RendezvousDistributor(2),
+        ) as fs:
+            contents = populate(fs)
+            chaos = ChaosController(fs, seed=202)
+            # Pre-build the joining daemons' addresses in the partition
+            # set: they are cut off from the first mover RPC onwards.
+            chaos.partition([2, 3])
+            with pytest.raises(_MOVE_FAILURES):
+                fs.resize_live(4)
+            assert fs.view.state == STABLE
+            assert fs.view.num_daemons == 2
+            verify(fs, contents)
+            chaos.heal()
+            report = fs.resize_live(4)
+            assert fs.view.num_daemons == 4
+            assert report.verify_failures == 0
+            verify(fs, contents)
+
+    def test_bitrot_on_source_falls_to_surviving_replica(self):
+        """A rotted source copy fails its verified read; the mover falls
+        over to the surviving replica and installs a clean copy."""
+        config = FSConfig(chunk_size=128, replication=2, integrity_enabled=True)
+        with GekkoFSCluster(num_nodes=3, config=config) as fs:
+            client = fs.client(0)
+            payload = b"\xa5" * 128
+            fd = client.open("/gkfs/victim", os.O_CREAT | os.O_WRONLY)
+            client.write(fd, payload)
+            client.close(fd)
+            # Daemons key by mount-relative paths: "/gkfs/victim" is "/victim".
+            primary = fs.distributor.locate_chunk("/victim", 0)
+            secondary = (primary + 1) % 3
+            spare = (primary + 2) % 3
+            # Rot the primary's copy below the file system.
+            assert fs.daemons[primary].storage.corrupt_chunk("/victim", 0, 5)
+            report = MigrationReport(old_nodes=3, new_nodes=3)
+            migrator = Migrator(fs, report, verify=True)
+            data = migrator._read_source_chunk([primary, secondary], "/victim", 0)
+            assert data == payload  # served by the survivor
+            migrator._copy_chunk([primary, secondary], "/victim", 0, spare)
+            assert (
+                fs.daemons[spare].storage.read_chunk("/victim", 0, 0, 128) == payload
+            )
+            assert report.verified == 1
+            assert report.verify_failures == 0
+
+    def test_bitrot_on_sole_source_is_fatal(self):
+        """With no surviving replica the mover surfaces the corruption
+        instead of propagating a bad copy."""
+        config = FSConfig(chunk_size=128, integrity_enabled=True)
+        with GekkoFSCluster(num_nodes=2, config=config) as fs:
+            client = fs.client(0)
+            fd = client.open("/gkfs/victim", os.O_CREAT | os.O_WRONLY)
+            client.write(fd, b"\x5a" * 128)
+            client.close(fd)
+            owner = fs.distributor.locate_chunk("/victim", 0)
+            assert fs.daemons[owner].storage.corrupt_chunk("/victim", 0, 3)
+            migrator = Migrator(fs, MigrationReport(old_nodes=2, new_nodes=2))
+            with pytest.raises(IntegrityError):
+                migrator._read_source_chunk([owner], "/victim", 0)
+
+
+class TestCrashReplace:
+    def _chunk_holders(self, fs):
+        holders = {}
+        for daemon in fs.live_daemons():
+            for path in daemon.storage.paths():
+                for chunk_id in daemon.storage.chunk_ids(path):
+                    holders.setdefault((path, chunk_id), set()).add(daemon.address)
+        return holders
+
+    def test_replace_restores_full_redundancy(self):
+        config = FSConfig(chunk_size=128, replication=2, integrity_enabled=True)
+        with GekkoFSCluster(num_nodes=4, config=config) as fs:
+            contents = populate(fs, files=16)
+            victim = 2
+            fs.crash_daemon(victim)
+            report = fs.replace_daemon(victim)
+            assert report.mode == "replace"
+            assert victim not in fs.crashed_daemons
+            # Every chunk is back on its full replica set.
+            for (path, chunk_id), holders in self._chunk_holders(fs).items():
+                primary = fs.distributor.locate_chunk(path, chunk_id)
+                desired = {primary, (primary + 1) % 4}
+                assert desired <= holders, (path, chunk_id)
+            # fsck + a scrub pass agree nothing is lost or corrupt.
+            fsck = fsck_check(fs)
+            assert fsck.clean
+            scrub = Scrubber(fs).run()
+            assert scrub.corrupt_found == 0
+            verify(fs, contents)
+
+    def test_replace_requires_replication(self):
+        with GekkoFSCluster(num_nodes=2) as fs:
+            fs.crash_daemon(1)
+            with pytest.raises(ValueError):
+                fs.replace_daemon(1)
+
+    def test_replace_requires_crashed_daemon(self):
+        config = FSConfig(replication=2)
+        with GekkoFSCluster(num_nodes=3, config=config) as fs:
+            with pytest.raises(RuntimeError):
+                fs.replace_daemon(1)
+
+
+class TestMigrationTelemetry:
+    def test_live_resize_emits_instants_and_metrics(self):
+        """The migration timeline (begin/pass/freeze/flip/seal) lands in
+        the trace stream, and mover traffic shows up as per-daemon
+        migration.* counters next to foreground I/O."""
+        config = FSConfig(chunk_size=128, telemetry_enabled=True)
+        with GekkoFSCluster(
+            num_nodes=2, config=config, distributor=RendezvousDistributor(2)
+        ) as fs:
+            populate(fs, files=8)
+            report = fs.resize_live(4)
+            assert report.chunks_moved > 0
+
+            names = [e.name for e in fs.trace_collector.events]
+            for expected in (
+                "migration.begin",
+                "migration.pass",
+                "migration.freeze",
+                "migration.flip",
+                "migration.seal",
+            ):
+                assert expected in names, expected
+            seal = next(
+                e for e in fs.trace_collector.events if e.name == "migration.seal"
+            )
+            assert seal.args["bytes_moved"] == report.bytes_moved
+
+            counters = {}
+            for daemon in fs.daemons:
+                for name, value in daemon.metrics.snapshot()["counters"].items():
+                    if name.startswith("migration."):
+                        counters[name] = counters.get(name, 0) + value
+            assert counters.get("migration.bytes_in", 0) == report.bytes_moved
+            assert counters.get("migration.chunks_in", 0) >= report.chunks_moved
+            assert counters.get("migration.chunks_released", 0) == report.released

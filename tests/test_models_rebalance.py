@@ -1,0 +1,79 @@
+"""The rebalance twin: closed forms, and the distributor they describe."""
+
+import math
+
+import pytest
+
+from repro.core.distributor import RendezvousDistributor
+from repro.models.rebalance import (
+    minimum_bytes_moved,
+    modulo_moved_fraction,
+    rendezvous_moved_fraction,
+)
+
+
+class TestRendezvousFraction:
+    def test_grow_and_shrink_are_mirrors(self):
+        assert rendezvous_moved_fraction(4, 8) == pytest.approx(0.5)
+        assert rendezvous_moved_fraction(8, 4) == pytest.approx(0.5)
+        assert rendezvous_moved_fraction(4, 5) == pytest.approx(0.2)
+        assert rendezvous_moved_fraction(5, 4) == pytest.approx(0.2)
+
+    def test_no_change_moves_nothing(self):
+        assert rendezvous_moved_fraction(6, 6) == 0.0
+
+    def test_rejects_empty_clusters(self):
+        with pytest.raises(ValueError):
+            rendezvous_moved_fraction(0, 4)
+        with pytest.raises(ValueError):
+            rendezvous_moved_fraction(4, 0)
+
+    def test_matches_live_distributor_within_tolerance(self):
+        """The closed form describes the actual HRW placement: count owner
+        changes over a big key population and compare."""
+        old, new = RendezvousDistributor(4), RendezvousDistributor(8)
+        keys = [(f"/f{i}", c) for i in range(200) for c in range(8)]
+        moved = sum(
+            1
+            for path, c in keys
+            if old.locate_chunk(path, c) != new.locate_chunk(path, c)
+        )
+        fraction = moved / len(keys)
+        expect = rendezvous_moved_fraction(4, 8)
+        # 1600 Bernoulli(0.5) samples: 4 sigma ~ 0.05.
+        assert abs(fraction - expect) < 0.06
+
+
+class TestModuloFraction:
+    def test_exact_values(self):
+        assert modulo_moved_fraction(4, 5) == pytest.approx(0.8)
+        assert modulo_moved_fraction(4, 8) == pytest.approx(0.5)
+        assert modulo_moved_fraction(3, 3) == 0.0
+
+    def test_matches_brute_force_definition(self):
+        for m, n in [(2, 3), (3, 7), (5, 6), (6, 4)]:
+            period = math.lcm(m, n)
+            stay = sum(1 for k in range(period) if k % m == k % n)
+            assert modulo_moved_fraction(m, n) == pytest.approx(1 - stay / period)
+
+    def test_never_beats_rendezvous(self):
+        """Rendezvous is the minimum; modulo can only match or exceed it."""
+        for m in range(1, 10):
+            for n in range(1, 10):
+                assert (
+                    modulo_moved_fraction(m, n)
+                    >= rendezvous_moved_fraction(m, n) - 1e-12
+                )
+
+
+class TestMinimumBytesMoved:
+    def test_scales_with_payload_and_replication(self):
+        assert minimum_bytes_moved(1000, 4, 8) == pytest.approx(500.0)
+        assert minimum_bytes_moved(1000, 4, 8, replication=2) == pytest.approx(1000.0)
+        assert minimum_bytes_moved(0, 4, 8) == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            minimum_bytes_moved(-1, 4, 8)
+        with pytest.raises(ValueError):
+            minimum_bytes_moved(100, 4, 8, replication=0)

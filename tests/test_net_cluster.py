@@ -120,3 +120,54 @@ class TestSignals:
             # Broadcasts degrade instead of failing.
             entries = client.listdir("/gkfs")
             assert isinstance(entries, list)
+
+
+class TestRestartAndJoin:
+    def test_sigkill_restart_replays_wal_over_sockets(self, tmp_path):
+        """Satellite: SIGKILL a daemon process, respawn it under the same
+        identity, and read everything back — the child reopens the same
+        kv_dir/data_dir, so the LSM WAL replays and chunks rescan."""
+        config = FSConfig(
+            chunk_size=4096,
+            kv_dir=str(tmp_path / "kv"),
+            data_dir=str(tmp_path / "data"),
+        )
+        with ProcessCluster(2, config) as cluster:
+            client = cluster.client(0)
+            payload = os.urandom(3 * 4096)
+            fd = client.open("/gkfs/durable.bin", os.O_CREAT | os.O_WRONLY)
+            client.pwrite(fd, payload, 0)
+            client.close(fd)
+            old_pids = {cluster.daemon_pid(0), cluster.daemon_pid(1)}
+            cluster.kill_daemon(0)
+            cluster.kill_daemon(1)
+            cluster.restart_daemon(0)
+            cluster.restart_daemon(1)
+            assert {cluster.daemon_pid(0), cluster.daemon_pid(1)}.isdisjoint(
+                old_pids
+            )
+            fresh = cluster.client(0)
+            fd = fresh.open("/gkfs/durable.bin", os.O_RDONLY)
+            assert fresh.pread(fd, len(payload), 0) == payload
+            fresh.close(fd)
+            # The respawned daemons take new writes too.
+            fd = fresh.open("/gkfs/after.bin", os.O_CREAT | os.O_WRONLY)
+            fresh.pwrite(fd, b"post-restart", 0)
+            fresh.close(fd)
+
+    def test_restart_refuses_running_daemon(self):
+        with ProcessCluster(1, FSConfig(chunk_size=4096)) as cluster:
+            with pytest.raises(RuntimeError):
+                cluster.restart_daemon(0)
+
+    def test_live_join_registers_new_process(self):
+        """add_daemon forks one more `repro serve` child and re-points the
+        address book; the joiner answers RPCs immediately (placement
+        unchanged until the owner migrates)."""
+        with ProcessCluster(2, FSConfig(chunk_size=4096)) as cluster:
+            address = cluster.add_daemon()
+            assert address == 2
+            assert cluster.num_nodes == 3
+            assert cluster.daemon_pid(2) != os.getpid()
+            stats = cluster.network.call(2, "gkfs_statfs")
+            assert isinstance(stats, dict)
