@@ -515,10 +515,15 @@ class GekkoFSClient:
                     last_missing = exc
                 except self._TRANSIENT as exc:
                     last_transient = exc
+            if last_transient is not None:
+                # NotFound is authoritative only when every target
+                # answered: an unreachable replica may be the one that
+                # holds the record, and reporting ENOENT for an outage
+                # would let callers act on a phantom deletion.
+                raise self._fatal_transient(last_transient) from last_transient
             if last_missing is not None:
                 raise last_missing
-            # Every replica unreachable.
-            raise self._fatal_transient(last_transient) from last_transient
+            raise LookupError(rel)  # unreachable: read_targets is never empty
         # Mutations gate on the membership write freeze *before* owner
         # resolution: a parked mutation re-resolves under whatever
         # placement the flip installed (see :meth:`_mutation_gate`).

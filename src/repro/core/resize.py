@@ -31,10 +31,14 @@ Two migration modes live here:
      I/O keeps priority.  Copies raced by writes go stale and are fixed
      by the next pass (digest comparison finds them).
   3. A brief write freeze (mutating RPCs park at the client gate) plus a
-     grace sleep quiesces the sources; the final delta pass then copies
-     exactly what changed.  Every copy is pushed with its whole-payload
-     digest (``gkfs_replace_chunk`` rejects transit corruption) and
-     read back via ``gkfs_chunk_digest`` for verification.
+     grace sleep quiesces the sources; the final delta pass — unthrottled,
+     so the freeze stays short no matter how low ``migration_rate`` is —
+     then copies exactly what changed *and propagates deletions*: an item
+     whose entire old-owner replica set no longer holds it was unlinked
+     mid-migration, and its pre-copied target copies are dropped instead
+     of resurrecting after the flip.  Every copy is pushed with its
+     whole-payload digest (``gkfs_replace_chunk`` rejects transit
+     corruption) and read back via ``gkfs_chunk_digest`` for verification.
   4. ``commit_change`` flips: the new placement becomes authoritative
      and writes unfreeze.  Reads fall back to the old owners while the
      view is RELEASING (dual-epoch fallback) — covering in-flight
@@ -407,9 +411,14 @@ class Migrator:
 
     def _read_source_chunk(
         self, sources: list[int], path: str, chunk_id: int, skip: Optional[int] = None
-    ) -> bytes:
+    ) -> tuple[bytes, int]:
         """Fetch one chunk from the first source replica that serves a
-        clean copy; corruption/unavailability falls over to the next."""
+        clean copy; corruption/unavailability falls over to the next.
+
+        Returns ``(data, serving_address)`` so out-traffic is accounted
+        to the replica that actually served the payload, not merely the
+        preferred one.
+        """
         last: Optional[Exception] = None
         for source in sources:
             if source == skip:
@@ -428,7 +437,7 @@ class Migrator:
             except self._SOURCE_FAILURES as exc:
                 last = exc
                 continue
-            return data
+            return data, source
         if last is not None:
             raise last
         raise IntegrityError(
@@ -443,7 +452,7 @@ class Migrator:
         Returns the payload size.  Raises :class:`IntegrityError` if the
         target's read-back digest does not match what was sent.
         """
-        data = self._read_source_chunk(sources, path, chunk_id, skip=target)
+        data, served_by = self._read_source_chunk(sources, path, chunk_id, skip=target)
         self._throttle(len(data))
         algorithm = self.cluster.daemons[target].storage.algorithm
         digest = chunk_checksum(data, 0, algorithm)
@@ -462,14 +471,31 @@ class Migrator:
         entry["chunks_in"] += 1
         entry["bytes_in"] += len(data)
         self._account(target, chunks_in=1, bytes_in=len(data))
-        if sources:
-            entry = self.report.daemon_entry(sources[0])
-            entry["chunks_out"] += 1
-            entry["bytes_out"] += len(data)
-            self._account(sources[0], chunks_out=1, bytes_out=len(data))
+        entry = self.report.daemon_entry(served_by)
+        entry["chunks_out"] += 1
+        entry["bytes_out"] += len(data)
+        self._account(served_by, chunks_out=1, bytes_out=len(data))
         return len(data)
 
     # -- copy pass ----------------------------------------------------------
+
+    def _deleted_under(
+        self, holders: list[int], preferred: Optional[list[int]], live: set
+    ) -> bool:
+        """Was this item deleted on its authoritative (old-owner) replicas?
+
+        True only when *every* authoritative owner is live (so absence is
+        a fact, not an outage) and *none* of them still holds a copy —
+        the only way a copy can exist solely on non-authoritative holders
+        is that the migrator streamed it there and a client then deleted
+        the original.  Only meaningful under a write freeze, where the
+        index snapshot cannot race a concurrent mutation.
+        """
+        if not preferred:
+            return False
+        if any(address not in live for address in preferred):
+            return False  # an old owner is down: absence is unprovable
+        return not any(address in holders for address in preferred)
 
     def copy_pass(
         self,
@@ -477,6 +503,8 @@ class Migrator:
         *,
         source_dist: Optional[Distributor] = None,
         count_totals: bool = False,
+        propagate_deletes: bool = False,
+        throttle: bool = True,
     ) -> int:
         """One convergence round: give every desired owner under
         ``new_dist`` an up-to-date copy of every record and chunk.
@@ -484,12 +512,27 @@ class Migrator:
         Idempotent — a copy already in place (digest match) costs a local
         comparison and moves nothing, so repeated passes only transfer
         the delta that foreground writes dirtied since the last round.
-        Returns the bytes copied this pass (0 = converged).
+        Returns the bytes copied this pass (0 = converged) — chunk
+        payloads plus key+value bytes for copied metadata records, so a
+        records-only round still reads as churn to convergence checks.
 
         ``source_dist`` orders source replicas authoritative-first (the
         retiring placement's owners took every client write).  With
         ``count_totals`` the pass also records the scanned universe in
         ``metadata_total``/``chunks_total``.
+
+        ``propagate_deletes`` makes the pass propagate *absence* too: an
+        item held only by non-authoritative daemons — its entire (live)
+        old-owner replica set no longer has it — was deleted by a client
+        after a pre-copy streamed it, and the stale copies are dropped
+        instead of kept.  Only safe under the write freeze (requires
+        ``source_dist``); without it, acknowledged deletions silently
+        resurrect on the new owners after the flip.
+
+        ``throttle=False`` bypasses the migration token bucket for this
+        pass — the frozen delta pass runs unthrottled so a low
+        ``migration_rate`` cannot stretch the write freeze past the
+        client gate's timeout.
         """
         meta_index, chunk_index = self._index()
         if count_totals:
@@ -498,59 +541,88 @@ class Migrator:
         pass_bytes = 0
         moved_meta: set[bytes] = set()
         moved_chunks: set[tuple[str, int]] = set()
-
-        # -- metadata records (tiny values; streamed store-to-store) -------
-        daemons = self.cluster.daemons
-        for key, holders in meta_index.items():
-            rel = key.decode("utf-8")
-            desired = self._owners(new_dist, new_dist.locate_metadata(rel))
-            preferred = (
-                self._owners(source_dist, source_dist.locate_metadata(rel))
-                if source_dist is not None
-                else None
-            )
-            sources = self._ordered_sources(holders, preferred)
-            value = None
-            for source in sources:
-                value = daemons[source].kv.get(key)
-                if value is not None:
-                    break
-            if value is None:
-                continue
-            for target in desired:
-                if daemons[target].kv.get(key) == value:
+        live = set(self._live_addresses())
+        saved_bucket = self.bucket
+        if not throttle:
+            self.bucket = None
+        try:
+            # -- metadata records (tiny values; streamed store-to-store) ---
+            daemons = self.cluster.daemons
+            for key, holders in meta_index.items():
+                rel = key.decode("utf-8")
+                desired = self._owners(new_dist, new_dist.locate_metadata(rel))
+                preferred = (
+                    self._owners(source_dist, source_dist.locate_metadata(rel))
+                    if source_dist is not None
+                    else None
+                )
+                if propagate_deletes and self._deleted_under(holders, preferred, live):
+                    for holder in holders:
+                        daemons[holder].kv.delete(key)
+                        self.report.daemon_entry(holder)["records_out"] += 1
+                        self._account(holder, records_deleted=1)
                     continue
-                self._throttle(len(key) + len(value))
-                daemons[target].kv.put(key, value)
-                moved_meta.add(key)
-                self.report.daemon_entry(target)["records_in"] += 1
-                self.report.daemon_entry(sources[0])["records_out"] += 1
-                self._account(target, records_in=1)
-                self._account(sources[0], records_out=1)
+                sources = self._ordered_sources(holders, preferred)
+                value = None
+                supplier = None
+                for source in sources:
+                    value = daemons[source].kv.get(key)
+                    if value is not None:
+                        supplier = source
+                        break
+                if value is None:
+                    continue
+                for target in desired:
+                    if daemons[target].kv.get(key) == value:
+                        continue
+                    self._throttle(len(key) + len(value))
+                    daemons[target].kv.put(key, value)
+                    pass_bytes += len(key) + len(value)
+                    moved_meta.add(key)
+                    self.report.daemon_entry(target)["records_in"] += 1
+                    self.report.daemon_entry(supplier)["records_out"] += 1
+                    self._account(target, records_in=1)
+                    self._account(supplier, records_out=1)
 
-        # -- data chunks (RPC movers) --------------------------------------
-        for (path, chunk_id), holders in chunk_index.items():
-            desired = self._owners(new_dist, new_dist.locate_chunk(path, chunk_id))
-            preferred = (
-                self._owners(source_dist, source_dist.locate_chunk(path, chunk_id))
-                if source_dist is not None
-                else None
-            )
-            sources = self._ordered_sources(holders, preferred)
-            reference = None
-            reference_known = False
-            for target in desired:
-                if target in holders:
-                    if not reference_known:
-                        reference = self._raw_digest(sources[0], path, chunk_id)
-                        reference_known = True
-                    if (
-                        reference is not None
-                        and self._raw_digest(target, path, chunk_id) == reference
-                    ):
-                        continue  # already in place and current
-                pass_bytes += self._copy_chunk(sources, path, chunk_id, target)
-                moved_chunks.add((path, chunk_id))
+            # -- data chunks (RPC movers) ----------------------------------
+            deleted_containers: set[int] = set()
+            for (path, chunk_id), holders in chunk_index.items():
+                desired = self._owners(new_dist, new_dist.locate_chunk(path, chunk_id))
+                preferred = (
+                    self._owners(source_dist, source_dist.locate_chunk(path, chunk_id))
+                    if source_dist is not None
+                    else None
+                )
+                if propagate_deletes and self._deleted_under(holders, preferred, live):
+                    for holder in holders:
+                        daemons[holder].storage.truncate_chunk(path, chunk_id, 0)
+                        self.report.daemon_entry(holder)["chunks_out"] += 1
+                        self._account(holder, chunks_deleted=1)
+                        deleted_containers.add(holder)
+                    continue
+                sources = self._ordered_sources(holders, preferred)
+                reference = None
+                reference_known = False
+                for target in desired:
+                    if target in holders:
+                        if not reference_known:
+                            reference = self._raw_digest(sources[0], path, chunk_id)
+                            reference_known = True
+                        if (
+                            reference is not None
+                            and self._raw_digest(target, path, chunk_id) == reference
+                        ):
+                            continue  # already in place and current
+                    pass_bytes += self._copy_chunk(sources, path, chunk_id, target)
+                    moved_chunks.add((path, chunk_id))
+            # Drop per-path containers the deletions emptied.
+            for address in deleted_containers:
+                storage = daemons[address].storage
+                for path in list(storage.paths()):
+                    if not list(storage.chunk_ids(path)):
+                        storage.remove_chunks(path)
+        finally:
+            self.bucket = saved_bucket
 
         self.report.metadata_moved += len(moved_meta - self._already_moved_meta)
         self.report.chunks_moved += len(moved_chunks - self._already_moved_chunks)
@@ -666,7 +738,11 @@ def live_migrate(
                 break
         # Freeze + final delta: mutating RPCs park at the client gate;
         # the grace sleep drains mutations already past it, then the
-        # frozen pass copies exactly what the last round missed.
+        # frozen pass copies exactly what the last round missed and
+        # propagates deletions made during pre-copy (stale new-owner
+        # copies of unlinked items are dropped, not resurrected).  It
+        # runs unthrottled: the freeze must stay shorter than the client
+        # gate's timeout regardless of how low ``migration_rate`` is.
         view.freeze_writes()
         try:
             time.sleep(grace)
@@ -674,6 +750,8 @@ def live_migrate(
                 new_distributor,
                 source_dist=old_dist,
                 count_totals=(report.passes == 0),
+                propagate_deletes=True,
+                throttle=False,
             )
             report.passes += 1
             _instant(cluster, "migration.freeze", epoch=epoch, bytes=moved)

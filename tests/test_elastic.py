@@ -14,7 +14,12 @@ import time
 
 import pytest
 
-from repro.common.errors import GekkoError, IntegrityError, StaleEpochError
+from repro.common.errors import (
+    GekkoError,
+    IntegrityError,
+    NotFoundError,
+    StaleEpochError,
+)
 from repro.core import (
     FSConfig,
     GekkoFSCluster,
@@ -304,6 +309,151 @@ class TestLiveResize:
                 assert reader.read(fd, len(payload) + 1) == payload, path
                 reader.close(fd)
 
+    def test_unlink_during_migration_does_not_resurrect(self, monkeypatch):
+        """A file unlinked *after* a pre-copy pass streamed it to its new
+        owners must stay deleted: the frozen delta pass propagates the
+        absence, so the stale target copies cannot resurrect an
+        acknowledged deletion after the flip."""
+        with GekkoFSCluster(
+            num_nodes=2,
+            config=FSConfig(chunk_size=128),
+            distributor=RendezvousDistributor(2),
+        ) as fs:
+            contents = populate(fs)
+            # Pick a victim whose record or chunks actually land on the
+            # joining daemons — otherwise nothing would be pre-copied and
+            # the resurrection path would not be exercised.
+            new_dist = RendezvousDistributor(4)
+            victim = None
+            for path in contents:
+                rel = path[len("/gkfs") :]
+                if new_dist.locate_metadata(rel) >= 2 and any(
+                    new_dist.locate_chunk(rel, cid) >= 2 for cid in range(5)
+                ):
+                    victim = path
+                    break
+            assert victim is not None
+            victim_rel = victim[len("/gkfs") :]
+            client = fs.client(0)
+            original = Migrator.copy_pass
+            deleted = {"done": False}
+
+            def hooked(self, *args, **kwargs):
+                result = original(self, *args, **kwargs)
+                if not deleted["done"]:
+                    deleted["done"] = True
+                    client.unlink(victim)  # mutation between pre-copy rounds
+                return result
+
+            monkeypatch.setattr(Migrator, "copy_pass", hooked)
+            fs.resize_live(4)
+            assert deleted["done"]
+            reader = fs.client(0)
+            assert not reader.exists(victim)
+            # No daemon still holds the record or any chunk copy.
+            for daemon in fs.live_daemons():
+                assert daemon.kv.get(victim_rel.encode("utf-8")) is None
+                assert victim_rel not in set(daemon.storage.paths())
+            del contents[victim]
+            verify(fs, contents)
+            assert fsck_check(fs).clean
+
+    def test_frozen_delta_pass_runs_unthrottled(self, monkeypatch):
+        """live_migrate's final pass must bypass the token bucket (and
+        propagate deletions): a low migration_rate throttles pre-copy
+        only, never the write freeze."""
+        calls = []
+        original = Migrator.copy_pass
+
+        def recording(self, *args, **kwargs):
+            calls.append(dict(kwargs))
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(Migrator, "copy_pass", recording)
+        with GekkoFSCluster(
+            num_nodes=2,
+            config=FSConfig(chunk_size=128),
+            distributor=RendezvousDistributor(2),
+        ) as fs:
+            contents = populate(fs, files=6)
+            fs.resize_live(4, rate=1024 * 1024)
+            verify(fs, contents)
+        frozen = calls[-1]
+        assert frozen.get("throttle") is False
+        assert frozen.get("propagate_deletes") is True
+        assert all(k.get("throttle", True) for k in calls[:-1])
+
+    def test_unthrottled_pass_bypasses_token_bucket(self):
+        """``throttle=False`` ignores the rate cap entirely — the
+        guarantee that keeps the write freeze shorter than the client
+        gate's timeout regardless of ``migration_rate``."""
+        with GekkoFSCluster(
+            num_nodes=4,
+            config=FSConfig(chunk_size=128),
+            distributor=SimpleHashDistributor(4),
+        ) as fs:
+            populate(fs, files=6, file_bytes=600)
+            report = MigrationReport(old_nodes=4, new_nodes=4)
+            # 16 B/s: a throttled pass over kilobytes would take minutes.
+            migrator = Migrator(fs, report, rate=16.0)
+            started = time.monotonic()
+            moved = migrator.copy_pass(
+                RendezvousDistributor(4),
+                source_dist=fs.view.distributor,
+                throttle=False,
+            )
+            assert moved > 0
+            assert time.monotonic() - started < 5.0
+
+    def test_records_only_pass_reports_nonzero(self):
+        """A pass that moves only KV records returns a nonzero cost, so
+        convergence loops (rereplicate's second pass, live pre-copy)
+        see metadata churn instead of declaring convergence early."""
+        config = FSConfig(chunk_size=128, replication=2)
+        with GekkoFSCluster(num_nodes=3, config=config) as fs:
+            client = fs.client(0)
+            client.mkdir("/gkfs/dir")  # one record, zero chunks
+            primary = fs.distributor.locate_metadata("/dir")
+            secondary = (primary + 1) % 3
+            assert fs.daemons[secondary].kv.get(b"/dir") is not None
+            fs.daemons[secondary].kv.delete(b"/dir")
+            migrator = Migrator(fs, MigrationReport(old_nodes=3, new_nodes=3))
+            moved = migrator.copy_pass(
+                fs.view.distributor, source_dist=fs.view.distributor
+            )
+            assert moved > 0  # key+value bytes of the healed record
+            assert fs.daemons[secondary].kv.get(b"/dir") is not None
+
+    def test_dual_epoch_outage_is_not_enoent(self):
+        """During RELEASING, a transient failure on the current-epoch
+        owner plus NotFound from the retiring owner must surface the
+        outage: ENOENT is authoritative only when every target answered."""
+        with GekkoFSCluster(num_nodes=4, config=FSConfig(chunk_size=128)) as fs:
+            old_dist = fs.view.distributor
+            new_dist = RendezvousDistributor(4)
+            rel = next(
+                (
+                    f"/nope{i}"
+                    for i in range(64)
+                    if new_dist.locate_metadata(f"/nope{i}")
+                    != old_dist.locate_metadata(f"/nope{i}")
+                ),
+                None,
+            )
+            assert rel is not None
+            client = fs.client(0)
+            fs.view.begin_change(new_dist)
+            fs.view.commit_change()  # RELEASING: dual-epoch reads active
+            try:
+                fs.crash_daemon(new_dist.locate_metadata(rel))
+                with pytest.raises(Exception) as excinfo:
+                    client.stat("/gkfs" + rel)
+                # The unreachable authoritative replica may hold the
+                # record; reporting ENOENT would be a phantom deletion.
+                assert not isinstance(excinfo.value, NotFoundError)
+            finally:
+                fs.view.seal()
+
     def test_migration_yields_in_qos_lane(self):
         """With QoS on, mover traffic is accounted to the reserved
         low-weight migration client, not to any foreground identity."""
@@ -389,14 +539,21 @@ class TestChaosMidMigration:
             assert fs.daemons[primary].storage.corrupt_chunk("/victim", 0, 5)
             report = MigrationReport(old_nodes=3, new_nodes=3)
             migrator = Migrator(fs, report, verify=True)
-            data = migrator._read_source_chunk([primary, secondary], "/victim", 0)
+            data, served_by = migrator._read_source_chunk(
+                [primary, secondary], "/victim", 0
+            )
             assert data == payload  # served by the survivor
+            assert served_by == secondary
             migrator._copy_chunk([primary, secondary], "/victim", 0, spare)
             assert (
                 fs.daemons[spare].storage.read_chunk("/victim", 0, 0, 128) == payload
             )
             assert report.verified == 1
             assert report.verify_failures == 0
+            # Out-traffic is charged to the replica that actually served
+            # the payload, not the corrupt preferred source.
+            assert report.per_daemon[secondary]["bytes_out"] == 128
+            assert report.per_daemon.get(primary, {}).get("bytes_out", 0) == 0
 
     def test_bitrot_on_sole_source_is_fatal(self):
         """With no surviving replica the mover surfaces the corruption
