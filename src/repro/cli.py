@@ -9,12 +9,17 @@ Commands mirror how the paper's artefacts are exercised:
 * ``claims``    — print the §IV in-text claims, paper vs measured.
 * ``trace``     — traced IOR run, exported as Chrome trace-event JSON.
 * ``metrics``   — telemetry IOR run, cluster metrics + load-balance report.
+* ``top``       — live cluster dashboard over running ``serve`` daemons.
+* ``postmortem``— read flight-recorder dumps back after a daemon died.
 * ``scrub``     — inject bit-rot, read through it, scrub it away.
 * ``serve``     — run ONE daemon behind a TCP/Unix socket (real deployment).
 
-``mdtest``/``ior`` accept ``--connect host:port,host:port,...`` to run
-against already-running ``serve`` daemons instead of an in-process
-cluster.
+``mdtest``/``ior``/``trace``/``metrics`` accept ``--connect
+host:port,host:port,...`` to run against already-running ``serve``
+daemons instead of an in-process cluster; for ``trace``/``metrics`` the
+results are then *harvested over the wire* from every daemon's private
+collector/registry (clock-aligned and merged by
+:class:`~repro.telemetry.observer.ClusterObserver`).
 """
 
 from __future__ import annotations
@@ -113,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run an IOR-clone workload with tracing on; export Chrome trace JSON",
     )
     _add_smoke_workload_args(p)
+    _add_connect_args(p)
     p.add_argument("--out", default=None, help="write Chrome trace JSON here")
     p.add_argument("--timeline", action="store_true", help="print the ASCII timeline")
     p.add_argument("--timeline-rows", type=int, default=40)
@@ -123,7 +129,38 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics + load-balance report",
     )
     _add_smoke_workload_args(p)
+    _add_connect_args(p)
     p.add_argument("--out", default=None, help="write the metrics report JSON here")
+    p.add_argument(
+        "--slo",
+        action="store_true",
+        help="also harvest metric windows and print the SLO burn-rate "
+        "report (--connect only)",
+    )
+
+    p = sub.add_parser(
+        "top",
+        help="live cluster dashboard over running `repro serve` daemons: "
+        "per-daemon throughput, queue depth, p99, epoch, SLO alerts",
+    )
+    _add_connect_args(p)
+    p.add_argument("--interval", type=float, default=1.0, help="refresh seconds")
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render N frames then exit (default: until Ctrl-C)",
+    )
+    p.add_argument("--once", action="store_true", help="render one frame and exit")
+
+    p = sub.add_parser(
+        "postmortem",
+        help="read flight-recorder dumps back (a directory of "
+        "flight-d*.json files, or one file)",
+    )
+    p.add_argument("target", help="flight dump directory or a single dump file")
+    p.add_argument("--tail", type=int, default=20, help="trailing records to show per daemon")
 
     p = sub.add_parser(
         "overload",
@@ -448,7 +485,17 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _traced_ior_run(args: argparse.Namespace):
-    """Shared by ``trace``/``metrics``: IOR clone with the plane enabled."""
+    """Shared by ``trace``/``metrics``: IOR clone with the plane enabled.
+
+    With ``--connect`` the workload runs against already-running
+    ``serve`` daemons and the trace/metrics are **harvested over the
+    wire**: each daemon keeps a private collector/registry, so a
+    :class:`~repro.telemetry.ClusterObserver` pings every daemon for its
+    clock offset, pulls the buffers, and merges them onto the client's
+    causal axis.  Returns ``(spec, result, metrics, collector, fold)``
+    where ``fold`` is the harvested cluster window series (``None``
+    in-process — the shared registry needs no windows to be complete).
+    """
     config = FSConfig(telemetry_enabled=True)
     spec = IorSpec(
         procs=args.procs,
@@ -456,17 +503,27 @@ def _traced_ior_run(args: argparse.Namespace):
         block_size=args.block_size,
         file_per_process=not args.shared_file,
     )
+    if getattr(args, "connect", None):
+        from repro.telemetry import ClusterObserver
+
+        with _connected_deployment(args, config) as fs:
+            result = run_ior(fs, spec)
+            observer = ClusterObserver(fs)
+            collector = observer.harvest_trace()
+            metrics = observer.harvest_metrics()
+            fold = observer.harvest_windows()
+        return spec, result, metrics, collector, fold
     with GekkoFSCluster(num_nodes=args.nodes, config=config) as fs:
         result = run_ior(fs, spec)
         metrics = fs.metrics()
         collector = fs.trace_collector
-    return spec, result, metrics, collector
+    return spec, result, metrics, collector, None
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.telemetry.spans import ascii_timeline, parse_chrome_trace
 
-    spec, _result, _metrics, collector = _traced_ior_run(args)
+    spec, _result, _metrics, collector, _fold = _traced_ior_run(args)
     payload = collector.to_chrome_json()
     # Self-validation: the export must round-trip through our own parser
     # and actually contain spans — an empty or malformed trace is a
@@ -483,18 +540,34 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(payload)
+    rows = [
+        ["client spans", str(len(client_spans))],
+        ["daemon spans", str(len(daemon_spans))],
+        ["instant events", str(len(events))],
+        ["requests", str(len({s.request_id for s in spans if s.request_id}))],
+    ]
+    harvest = getattr(collector, "harvest_meta", None)
+    if harvest is not None:
+        per_daemon = harvest["per_daemon"]
+        rows.append(["daemons harvested", str(len(per_daemon))])
+        rows.append(
+            ["daemons missing", str(len(harvest["missing_daemons"])) or "0"]
+        )
+        if per_daemon:
+            worst = max(abs(m["offset"]) for m in per_daemon.values())
+            rows.append(["worst clock offset", f"{worst * 1e3:.3f} ms"])
+    rows.append(["exported to", args.out or "(not written; use --out)"])
     print(
         render_table(
             ["metric", "value"],
-            [
-                ["client spans", str(len(client_spans))],
-                ["daemon spans", str(len(daemon_spans))],
-                ["instant events", str(len(events))],
-                ["requests", str(len({s.request_id for s in spans if s.request_id}))],
-                ["exported to", args.out or "(not written; use --out)"],
-            ],
+            rows,
             title=f"trace: IOR {spec.total_bytes // KiB} KiB, "
-            f"{'shared' if not spec.file_per_process else 'fpp'}, {args.nodes} nodes",
+            f"{'shared' if not spec.file_per_process else 'fpp'}"
+            + (
+                f", {len(harvest['per_daemon'])} daemons (harvested)"
+                if harvest is not None
+                else f", {args.nodes} nodes"
+            ),
         )
     )
     if args.timeline:
@@ -507,23 +580,176 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
     from repro.analysis.loadmap import balance_report, render_balance
 
-    spec, _result, metrics, _collector = _traced_ior_run(args)
+    spec, _result, metrics, _collector, fold = _traced_ior_run(args)
+    connected = bool(getattr(args, "connect", None))
     stats = balance_report(metrics)
+    nodes = metrics["daemons"] if connected else args.nodes
     print(
         render_balance(
             stats,
             title=f"load balance: IOR {spec.total_bytes // KiB} KiB, "
-            f"{'shared' if not spec.file_per_process else 'fpp'}, {args.nodes} nodes",
+            f"{'shared' if not spec.file_per_process else 'fpp'}, {nodes} nodes"
+            f"{' (harvested)' if connected else ''}",
         )
     )
     cluster = metrics["cluster"]
     rows = [[name, f"{value:,.0f}"] for name, value in sorted(cluster["gauges"].items())]
     print()
     print(render_table(["metric", "cluster total"], rows, title="aggregated gauges"))
+    if metrics.get("missing_daemons"):
+        print(f"\nWARNING: daemons unreachable during harvest: {metrics['missing_daemons']}")
+    if getattr(args, "slo", False):
+        from repro.telemetry import SloEngine, render_slo_report
+
+        if fold is None:
+            print("\n--slo needs --connect (windows live on socket daemons)")
+            return 2
+        print()
+        print(render_slo_report(SloEngine().evaluate(fold)))
     if args.out:
+        report = dict(metrics)
+        if fold is not None:
+            report["windows_fold"] = {
+                k: v for k, v in fold.items() if k != "per_daemon"
+            }
         with open(args.out, "w", encoding="utf-8") as fh:
-            json.dump(metrics, fh, indent=1, sort_keys=True, default=str)
+            json.dump(report, fh, indent=1, sort_keys=True, default=str)
         print(f"\nfull report written to {args.out}")
+    return 0
+
+
+def _top_frame(observer) -> str:
+    """One rendered dashboard frame: per-daemon table + cluster footer."""
+    from repro.analysis.loadmap import gini
+    from repro.telemetry.windows import merge_hist_states, state_percentile
+
+    ping = observer.ping_offsets()
+    fold = observer.harvest_windows()
+    report = observer.slo_report(fold=fold)
+    raw = fold.get("per_daemon", {})
+    missing = set(fold.get("missing_daemons", [])) | set(ping["missing_daemons"])
+
+    rows = []
+    rpc_totals = []
+    cluster_bps = 0.0
+    for daemon in range(observer.deployment.num_nodes):
+        if daemon in missing:
+            rows.append([f"d{daemon}", "DOWN", "-", "-", "-", "-", "-"])
+            continue
+        info = ping["daemons"].get(daemon, {})
+        windows = raw.get(daemon, {}).get("windows", [])
+        if not windows:
+            rows.append(
+                [f"d{daemon}", "up", "-", "-", "-",
+                 str(info.get("min_epoch", "-")),
+                 f"{ping['rtts'].get(daemon, 0.0) * 1e3:.2f} ms"]
+            )
+            continue
+        last = windows[-1]
+        span = max(last["end"] - last["start"], 1e-9)
+        deltas = last.get("gauge_deltas", {})
+        bps = (
+            deltas.get("storage.bytes_written", 0)
+            + deltas.get("storage.bytes_read", 0)
+        ) / span
+        rps = sum(
+            v for k, v in deltas.items() if k.startswith("rpc.calls.")
+        ) / span
+        rpc_totals.append(sum(v for k, v in deltas.items() if k.startswith("rpc.calls.")))
+        cluster_bps += bps
+        merged = merge_hist_states(
+            state
+            for name, state in last.get("histograms", {}).items()
+            if name.startswith("rpc.latency.")
+        )
+        p99 = state_percentile(merged, 99) if merged else None
+        rows.append(
+            [
+                f"d{daemon}",
+                "up",
+                f"{format_throughput(bps)} ({rps:,.0f} rpc/s)",
+                str(last.get("gauges", {}).get("server.queue_depth", 0)),
+                f"{p99 * 1e3:.2f} ms" if p99 is not None else "-",
+                str(info.get("min_epoch", "-")),
+                f"{ping['rtts'].get(daemon, 0.0) * 1e3:.2f} ms",
+            ]
+        )
+    frame = render_table(
+        ["daemon", "state", "throughput (last window)", "queue", "p99", "epoch", "rtt"],
+        rows,
+        title=f"gkfs top — {observer.deployment.num_nodes} daemons, "
+        f"{len(missing)} down, interval "
+        f"{fold.get('interval') if fold.get('interval') is not None else '?'}s",
+    )
+    lines = [frame]
+    live_rpcs = [t for t in rpc_totals if t > 0]
+    balance = (
+        f"gini {gini([float(t) for t in rpc_totals]):.3f}"
+        if len(rpc_totals) > 1 and live_rpcs
+        else "gini -"
+    )
+    lines.append(
+        f"cluster: {format_throughput(cluster_bps)} data, rpc-load {balance}"
+    )
+    alerts = report.get("alerts", [])
+    if alerts:
+        for alert in alerts:
+            lines.append(
+                f"ALERT [{alert['severity']}] {alert['slo']}: burn "
+                f"{alert['short_burn']:.1f}x/{alert['long_burn']:.1f}x over "
+                f"{alert['short_windows']}/{alert['long_windows']} windows"
+            )
+    else:
+        lines.append("SLOs: no burn-rate alerts")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import sys
+    import time
+
+    from repro.telemetry import ClusterObserver
+
+    if not args.connect:
+        print("top: --connect host:port,... is required (live daemons only)")
+        return 2
+    iterations = 1 if args.once else args.iterations
+    with _connected_deployment(args, FSConfig(telemetry_enabled=True)) as fs:
+        observer = ClusterObserver(fs)
+        frames = 0
+        try:
+            while iterations is None or frames < iterations:
+                if frames:
+                    time.sleep(args.interval)
+                    if sys.stdout.isatty():
+                        print("\033[2J\033[H", end="")
+                print(_top_frame(observer))
+                frames += 1
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def _cmd_postmortem(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.telemetry import find_flight_dumps, load_flight_dump, render_flight_dump
+
+    if os.path.isdir(args.target):
+        paths = find_flight_dumps(args.target)
+        if not paths:
+            print(f"postmortem: no flight-d*.json dumps under {args.target}")
+            return 1
+    elif os.path.isfile(args.target):
+        paths = [args.target]
+    else:
+        print(f"postmortem: {args.target} does not exist")
+        return 1
+    for index, path in enumerate(paths):
+        if index:
+            print()
+        payload = load_flight_dump(path)
+        print(render_flight_dump(payload, tail=args.tail))
     return 0
 
 
@@ -846,6 +1072,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "postmortem":
+        return _cmd_postmortem(args)
     if args.command == "overload":
         return _cmd_overload(args)
     if args.command == "scrub":

@@ -1748,7 +1748,7 @@ class GekkoFSClient:
         result = {
             "daemons": self.distributor.num_daemons,
             "per_daemon": per_daemon,
-            "cluster": merge_snapshots(per_daemon.values()),
+            "cluster": merge_snapshots(per_daemon),
             "client": self.metrics_registry.snapshot(),
         }
         if self.config.degraded_mode:

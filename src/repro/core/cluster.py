@@ -227,6 +227,24 @@ class GekkoFSCluster:
             # histograms (recorded into the daemon's registry).
             engine.collector = self.trace_collector
             engine.metrics = daemon.metrics
+            from repro.telemetry.windows import MetricsWindows
+
+            daemon.windows = MetricsWindows(
+                daemon.metrics,
+                interval=self.config.metrics_window_interval,
+                capacity=self.config.metrics_window_capacity,
+                daemon_id=node,
+            )
+        if self.config.flight_recorder_dir is not None:
+            from repro.telemetry.flightrecorder import FlightRecorder
+
+            daemon.flight_recorder = FlightRecorder(
+                node,
+                self.config.flight_recorder_dir,
+                capacity=self.config.flight_recorder_capacity,
+                collector=self.trace_collector,
+                windows=daemon.windows,
+            )
         return daemon
 
     def _format(self) -> None:

@@ -129,6 +129,19 @@ class FSConfig:
         every daemon's :class:`~repro.telemetry.metrics.MetricsRegistry`.
         Off by default: the hot path then never allocates a span or
         stamps an id (the zero-cost path the micro-benchmark asserts).
+    :ivar metrics_window_interval: seconds per fixed-interval metrics
+        window (the time-series ring each daemon keeps when telemetry is
+        on; harvested over ``gkfs_metrics_window``, drives the SLO
+        burn-rate engine).
+    :ivar metrics_window_capacity: windows retained per daemon (ring).
+    :ivar flight_recorder_dir: directory for per-daemon flight-recorder
+        dumps (``flight-d<id>.json``); ``None`` disables the recorder.
+        Socket daemons flush the ring there on every window tick, so the
+        file survives SIGKILL; terminal events (SIGTERM, crash,
+        quarantine, migration abort) stamp a reason.  Read back with
+        ``repro postmortem``.
+    :ivar flight_recorder_capacity: max spans/events/windows retained
+        per flight dump (bounds the file no matter the uptime).
     :ivar passthrough_enabled: forward non-mountpoint paths to the real
         OS like the interposition library would.
     :ivar kv_dir: directory for daemon KV stores (``None`` = in-memory).
@@ -181,6 +194,10 @@ class FSConfig:
     integrity_algorithm: str = "gxh64"
     integrity_verify_writes: bool = False
     telemetry_enabled: bool = False
+    metrics_window_interval: float = 1.0
+    metrics_window_capacity: int = 60
+    flight_recorder_dir: Optional[str] = None
+    flight_recorder_capacity: int = 256
     passthrough_enabled: bool = True
     kv_dir: Optional[str] = None
     data_dir: Optional[str] = None
@@ -259,6 +276,21 @@ class FSConfig:
         if self.migration_weight <= 0:
             raise ValueError(
                 f"migration_weight must be > 0, got {self.migration_weight}"
+            )
+        if self.metrics_window_interval <= 0:
+            raise ValueError(
+                f"metrics_window_interval must be > 0, "
+                f"got {self.metrics_window_interval}"
+            )
+        if self.metrics_window_capacity < 1:
+            raise ValueError(
+                f"metrics_window_capacity must be >= 1, "
+                f"got {self.metrics_window_capacity}"
+            )
+        if self.flight_recorder_capacity < 1:
+            raise ValueError(
+                f"flight_recorder_capacity must be >= 1, "
+                f"got {self.flight_recorder_capacity}"
             )
         if self.data_cache_enabled and self.data_cache_bytes < self.chunk_size:
             raise ValueError(

@@ -53,6 +53,10 @@ HANDLER_NAMES = (
     "gkfs_set_epoch",
     "gkfs_statfs",
     "gkfs_metrics",
+    "gkfs_ping",
+    "gkfs_trace_dump",
+    "gkfs_metrics_window",
+    "gkfs_flight_dump",
 )
 
 #: Handlers that move chunk payloads.  The QoS plane routes these onto a
@@ -105,6 +109,11 @@ class GekkoDaemon:
         #: Queue-depth probe, wired by the cluster when the transport has
         #: per-daemon queues (ThreadedTransport); 0 otherwise.
         self.queue_depth_fn = lambda: 0
+        #: Observability attach points, wired by the cluster / serve
+        #: launcher when telemetry is on; all default None so the
+        #: handlers answer honestly on an uninstrumented daemon.
+        self.windows = None  # MetricsWindows ring
+        self.flight_recorder = None  # FlightRecorder
         self.metrics = self._build_metrics()
         self._register_handlers()
 
@@ -173,6 +182,10 @@ class GekkoDaemon:
         self.engine.register("gkfs_set_epoch", self.set_epoch)
         self.engine.register("gkfs_statfs", self.statfs)
         self.engine.register("gkfs_metrics", self.metrics_snapshot)
+        self.engine.register("gkfs_ping", self.ping)
+        self.engine.register("gkfs_trace_dump", self.trace_dump)
+        self.engine.register("gkfs_metrics_window", self.metrics_window)
+        self.engine.register("gkfs_flight_dump", self.flight_dump)
 
     # -- metadata handlers ---------------------------------------------------
 
@@ -533,8 +546,65 @@ class GekkoDaemon:
         """
         return self.metrics.snapshot()
 
+    def ping(self) -> dict:
+        """The ``gkfs_ping`` handler: identity plus this daemon's clocks.
+
+        ``clock`` is the daemon collector's current reading (seconds
+        since its private epoch) — the observer brackets the exchange
+        with its own clock and the minimum-RTT midpoint estimates the
+        epoch offset between the two collectors.  Daemons without
+        telemetry report ``telemetry: False`` and a zero clock.
+        """
+        collector = self.engine.collector
+        return {
+            "daemon_id": self.address,
+            "clock": collector.now() if collector is not None else 0.0,
+            "min_epoch": self.engine.min_epoch,
+            "telemetry": collector is not None,
+        }
+
+    def trace_dump(self) -> dict:
+        """The ``gkfs_trace_dump`` handler: this daemon's span/event rings.
+
+        Plain codec types; merged across daemons (with clock alignment)
+        by :class:`~repro.telemetry.observer.ClusterObserver`.
+        """
+        collector = self.engine.collector
+        if collector is None:
+            return {"daemon_id": self.address, "telemetry": False,
+                    "clock": 0.0, "spans": [], "events": []}
+        dump = collector.dump()
+        dump["daemon_id"] = self.address
+        dump["telemetry"] = True
+        return dump
+
+    def metrics_window(self, limit: Optional[int] = None) -> Optional[dict]:
+        """The ``gkfs_metrics_window`` handler: the window ring's wire form.
+
+        Lazy-ticks first, so a harvest always sees data no older than one
+        interval even if the background ticker is disabled.  ``None``
+        when no window ring is attached (telemetry off).
+        """
+        windows = self.windows
+        if windows is None:
+            return None
+        windows.maybe_tick()
+        return windows.to_wire(limit=limit)
+
+    def flight_dump(self, reason: str = "remote-request") -> Optional[str]:
+        """The ``gkfs_flight_dump`` handler: persist the black box now.
+
+        Returns the dump path, or ``None`` when no recorder is attached.
+        """
+        recorder = self.flight_recorder
+        if recorder is None:
+            return None
+        return recorder.dump(str(reason))
+
     def shutdown(self) -> None:
         """Flush and close the metadata store."""
+        if self.flight_recorder is not None:
+            self.flight_recorder.dump("shutdown")
         self.kv.close()
 
     def crash(self) -> None:
@@ -545,4 +615,8 @@ class GekkoDaemon:
         storage dies with the process, disk-backed chunk files survive
         and are rediscovered by the restarted daemon's directory rescan.
         """
+        if self.flight_recorder is not None:
+            # The last gasp a real daemon gets from its crash handler
+            # (SIGKILL recovery instead relies on the periodic flush).
+            self.flight_recorder.dump("crash")
         self.kv.crash()

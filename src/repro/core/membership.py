@@ -54,6 +54,10 @@ READONLY_HANDLERS = frozenset(
         "gkfs_statfs",
         "gkfs_metrics",
         "gkfs_chunk_digest",
+        "gkfs_ping",
+        "gkfs_trace_dump",
+        "gkfs_metrics_window",
+        "gkfs_flight_dump",
     }
 )
 

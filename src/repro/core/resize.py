@@ -684,6 +684,21 @@ def _instant(cluster: "GekkoFSCluster", name: str, **args) -> None:
         collector.instant(name, "migration", **args)
 
 
+def _flight_dump(cluster: "GekkoFSCluster", reason: str, **context) -> None:
+    """Snapshot every live daemon's black box (migration failure path).
+
+    Best-effort: a dump that cannot be written must not mask the
+    migration error that triggered it.
+    """
+    for daemon in cluster.live_daemons():
+        recorder = getattr(daemon, "flight_recorder", None)
+        if recorder is not None:
+            try:
+                recorder.dump(reason, **context)
+            except OSError:
+                pass
+
+
 def live_migrate(
     cluster: "GekkoFSCluster",
     new_distributor: Distributor,
@@ -763,6 +778,7 @@ def live_migrate(
         if view.state == MIGRATING:
             view.abort_change()
             _instant(cluster, "migration.abort", epoch=epoch)
+            _flight_dump(cluster, "migration-abort", epoch=epoch)
         raise
     _instant(cluster, "migration.flip", epoch=epoch)
     # RELEASING: reads that resolved targets pre-flip drain against the

@@ -163,6 +163,15 @@ class Scrubber:
                     path=path,
                     chunk_id=chunk_id,
                 )
+                if daemon.flight_recorder is not None:
+                    # Quarantine is a terminal-enough event to warrant a
+                    # black-box snapshot of what led up to it.
+                    try:
+                        daemon.flight_recorder.dump(
+                            "quarantine", path=path, chunk_id=chunk_id
+                        )
+                    except OSError:
+                        pass
         return report
 
     # -- internals ---------------------------------------------------------

@@ -25,6 +25,14 @@ from repro.models.integrity import (
     survival_curve,
 )
 from repro.models.lustre import LustreModel
+from repro.models.observability import (
+    flight_loss_bound,
+    offset_error_bound,
+    steady_burn_rate,
+    time_to_budget_exhaustion,
+    time_to_detect,
+    windows_to_fire,
+)
 from repro.models.rebalance import (
     minimum_bytes_moved,
     modulo_moved_fraction,
@@ -45,4 +53,10 @@ __all__ = [
     "rendezvous_moved_fraction",
     "modulo_moved_fraction",
     "minimum_bytes_moved",
+    "steady_burn_rate",
+    "windows_to_fire",
+    "time_to_detect",
+    "time_to_budget_exhaustion",
+    "offset_error_bound",
+    "flight_loss_bound",
 ]

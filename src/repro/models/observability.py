@@ -1,0 +1,162 @@
+"""Analytic twin of the observability plane: detection time in closed form.
+
+The SLO engine (:mod:`repro.telemetry.slo`) fires a burn-rate rule when
+both its short and long trailing windows burn above the rule's
+threshold.  For a step failure — the cluster is healthy, then from one
+window onward a constant fraction ``f`` of events is bad — the engine's
+behaviour closes exactly:
+
+* the steady-state **burn rate** of a bad fraction ``f`` against an
+  objective ``p`` is ``f / (1 - p)``;
+* a trailing window of ``w`` intervals, ``k`` intervals after onset,
+  has seen ``min(k, w)`` bad intervals, so its measured burn is
+  ``f * min(k, w) / w / (1 - p)``.  It crosses a threshold ``B`` at
+  ``k = ceil(B * (1 - p) * w / f)`` intervals — or never, when the
+  steady-state burn itself stays below ``B``;
+* a **rule** (short ``s``, long ``l``) needs both windows over the
+  threshold, so it fires at the *max* of the two crossing times, and
+  the **ladder** detects at the *min* over its rules.
+
+The same closed forms bound the rest of the plane: an NTP-style offset
+estimate from a ping handshake is wrong by at most half the round-trip
+it was measured over (the reply could have landed anywhere inside it),
+and a flight recorder flushed every ``interval`` seconds loses at most
+the records of one interval to a SIGKILL.
+
+These are the oracles ``tests/test_telemetry_windows.py`` asserts the
+measured plane against: the engine must fire exactly when the twin says
+a step failure becomes detectable, never earlier.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.telemetry.slo import DEFAULT_RULES, BurnRateRule
+
+__all__ = [
+    "steady_burn_rate",
+    "windows_to_cross",
+    "windows_to_fire",
+    "time_to_detect",
+    "time_to_budget_exhaustion",
+    "offset_error_bound",
+    "flight_loss_bound",
+]
+
+
+def _check_fraction(bad_fraction: float) -> None:
+    if not 0.0 <= bad_fraction <= 1.0:
+        raise ValueError(f"bad_fraction must be in [0, 1], got {bad_fraction}")
+
+
+def _check_objective(objective: float) -> None:
+    if not 0.0 < objective < 1.0:
+        raise ValueError(f"objective must be in (0, 1), got {objective}")
+
+
+def steady_burn_rate(bad_fraction: float, objective: float) -> float:
+    """Burn rate a constant bad fraction settles at: ``f / (1 - p)``.
+
+    1.0 means the error budget is consumed exactly at the objective
+    horizon; 10.0 means ten times too fast.
+    """
+    _check_fraction(bad_fraction)
+    _check_objective(objective)
+    return bad_fraction / (1.0 - objective)
+
+
+def windows_to_cross(
+    bad_fraction: float, objective: float, window: int, burn: float
+) -> Optional[int]:
+    """Intervals after onset until a trailing window burns past ``burn``.
+
+    ``None`` when the steady-state burn never reaches the threshold
+    (the failure is too mild for this window to see).
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if burn <= 0:
+        raise ValueError(f"burn must be > 0, got {burn}")
+    steady = steady_burn_rate(bad_fraction, objective)
+    if steady < burn:
+        return None
+    # f * k / w / (1-p) >= B  <=>  k >= B * (1-p) * w / f
+    k = math.ceil(burn * (1.0 - objective) * window / bad_fraction - 1e-12)
+    return max(1, min(k, window))
+
+
+def windows_to_fire(
+    rule: BurnRateRule, bad_fraction: float, objective: float
+) -> Optional[int]:
+    """Intervals after onset until one rule fires (both windows hot)."""
+    short = windows_to_cross(bad_fraction, objective, rule.short, rule.burn)
+    long = windows_to_cross(bad_fraction, objective, rule.long, rule.burn)
+    if short is None or long is None:
+        return None
+    return max(short, long)
+
+
+def time_to_detect(
+    bad_fraction: float,
+    objective: float,
+    rules: Sequence[BurnRateRule] = DEFAULT_RULES,
+    interval: float = 1.0,
+) -> Optional[float]:
+    """Seconds from failure onset until the rule ladder first fires.
+
+    The fastest rule wins; ``None`` when no rule can ever fire at this
+    severity (the failure burns budget slower than every threshold).
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be > 0, got {interval}")
+    candidates = [
+        fired
+        for rule in rules
+        if (fired := windows_to_fire(rule, bad_fraction, objective)) is not None
+    ]
+    if not candidates:
+        return None
+    return min(candidates) * interval
+
+
+def time_to_budget_exhaustion(
+    bad_fraction: float, objective: float, horizon: float
+) -> Optional[float]:
+    """Seconds until the whole error budget for ``horizon`` is consumed.
+
+    A bad fraction ``f`` consumes budget ``(1 - p)`` of a horizon in
+    ``horizon / steady_burn`` seconds — the number an SRE compares a
+    page's detection time against.  ``None`` when nothing is burning.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    steady = steady_burn_rate(bad_fraction, objective)
+    if steady <= 0:
+        return None
+    return horizon / steady
+
+
+def offset_error_bound(rtt: float) -> float:
+    """Worst-case clock-offset estimation error from one ping round.
+
+    The daemon's clock sample could have been taken anywhere inside the
+    round trip; the midpoint assumption is therefore wrong by at most
+    ``rtt / 2``.  Minimum-RTT sampling over several rounds tightens the
+    bound to the best observed round.
+    """
+    if rtt < 0:
+        raise ValueError(f"rtt must be >= 0, got {rtt}")
+    return rtt / 2.0
+
+
+def flight_loss_bound(flush_interval: float) -> float:
+    """Worst-case telemetry window lost to a SIGKILL.
+
+    The flight recorder persists on every ticker beat; an uncatchable
+    kill can only lose what accrued since the last beat — one interval.
+    """
+    if flush_interval <= 0:
+        raise ValueError(f"flush_interval must be > 0, got {flush_interval}")
+    return flush_interval

@@ -76,6 +76,10 @@ IDEMPOTENT_HANDLERS = frozenset(
         "gkfs_statfs",
         "gkfs_metrics",
         "gkfs_chunk_digest",
+        "gkfs_ping",
+        "gkfs_trace_dump",
+        "gkfs_metrics_window",
+        "gkfs_flight_dump",
     }
 )
 

@@ -61,13 +61,43 @@ def config_from_json(text: str) -> FSConfig:
     return FSConfig(**data)
 
 
+class _ObservabilityTicker(threading.Thread):
+    """Advance the window ring and flush the flight recorder on a beat.
+
+    The flush half is the SIGKILL-survival property: a killed daemon
+    cannot run any handler, so the black box on disk is whatever the
+    last beat persisted — at most one interval stale.
+    """
+
+    def __init__(self, windows, recorder, interval: float):
+        super().__init__(daemon=True, name="gkfs-obs-ticker")
+        self.windows = windows
+        self.recorder = recorder
+        self.interval = interval
+        self._stopped = threading.Event()
+
+    def run(self) -> None:
+        while not self._stopped.wait(self.interval):
+            if self.windows is not None:
+                self.windows.maybe_tick()
+            if self.recorder is not None:
+                try:
+                    self.recorder.flush()
+                except OSError:
+                    pass  # a full/unwritable disk must not kill the daemon
+
+    def stop(self) -> None:
+        self._stopped.set()
+
+
 class ServedDaemon:
     """One running socket-served daemon and everything it owns."""
 
-    def __init__(self, daemon: GekkoDaemon, server: RpcServer, dispatch):
+    def __init__(self, daemon: GekkoDaemon, server: RpcServer, dispatch, ticker=None):
         self.daemon = daemon
         self.server = server
         self._dispatch = dispatch
+        self._ticker = ticker
 
     @property
     def address_spec(self) -> str:
@@ -75,6 +105,8 @@ class ServedDaemon:
 
     def stop(self, drain: bool = True) -> None:
         """Graceful (drain in-flight, flush the KV) or abortive stop."""
+        if self._ticker is not None:
+            self._ticker.stop()
         self.server.stop(drain=drain)
         self._dispatch.shutdown()
         if drain:
@@ -114,10 +146,27 @@ def start_daemon(
     collector = None
     if config.telemetry_enabled:
         from repro.telemetry.spans import TraceCollector
+        from repro.telemetry.windows import MetricsWindows
 
         collector = TraceCollector()
         engine.collector = collector
         engine.metrics = daemon.metrics
+        daemon.windows = MetricsWindows(
+            daemon.metrics,
+            interval=config.metrics_window_interval,
+            capacity=config.metrics_window_capacity,
+            daemon_id=daemon_id,
+        )
+    if config.flight_recorder_dir is not None:
+        from repro.telemetry.flightrecorder import FlightRecorder
+
+        daemon.flight_recorder = FlightRecorder(
+            daemon_id,
+            config.flight_recorder_dir,
+            capacity=config.flight_recorder_capacity,
+            collector=collector,
+            windows=daemon.windows,
+        )
     if config.qos_enabled:
         from repro.qos import ScheduledTransport
 
@@ -137,8 +186,14 @@ def start_daemon(
 
         dispatch = ThreadedTransport({daemon_id: engine}, handlers)
         daemon.queue_depth_fn = lambda t=dispatch, n=daemon_id: t.queue_depth(n)
+    ticker = None
+    if daemon.windows is not None or daemon.flight_recorder is not None:
+        ticker = _ObservabilityTicker(
+            daemon.windows, daemon.flight_recorder, config.metrics_window_interval
+        )
+        ticker.start()
     server = RpcServer(engine, address, dispatch=dispatch).start()
-    return ServedDaemon(daemon, server, dispatch)
+    return ServedDaemon(daemon, server, dispatch, ticker=ticker)
 
 
 def serve_daemon(
@@ -175,4 +230,8 @@ def serve_daemon(
         stop.wait()
     finally:
         served.stop(drain=True)
+        if served.daemon.flight_recorder is not None:
+            # Re-stamp after the drain so the black box on disk names the
+            # signal, not the generic "shutdown" the drain wrote.
+            served.daemon.flight_recorder.dump("sigterm")
     return 0

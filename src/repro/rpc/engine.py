@@ -22,6 +22,22 @@ from repro.telemetry.spans import DAEMON_PID_BASE
 
 __all__ = ["RpcEngine", "RpcNetwork"]
 
+#: Errnos that are *answers*, not failures: a stat miss, a create
+#: collision, a directory-shape complaint, an admission throttle.  The
+#: daemon did its job; counting these in ``rpc.errors.*`` would make the
+#: error-budget SLO burn on every O_CREAT existence probe.  Everything
+#: else (EIO, ESTALE, internal faults) is a genuine server-fault error.
+_EXPECTED_ERRNOS = frozenset(
+    {
+        _errno.ENOENT,
+        _errno.EEXIST,
+        _errno.ENOTDIR,
+        _errno.EISDIR,
+        _errno.ENOTEMPTY,
+        _errno.EAGAIN,
+    }
+)
+
 
 class RpcEngine:
     """One daemon's RPC server: a named-handler table plus statistics.
@@ -119,6 +135,14 @@ class RpcEngine:
                     f"rpc.latency.{handler}"
                 )
             hist.record(elapsed)
+            if (
+                not response.ok
+                and response.error.errno not in _EXPECTED_ERRNOS
+            ):
+                # Error-path only, so the lock in inc() is off the hot
+                # path; the SLO engine's error burn rate reads these
+                # against the rpc.calls.* mirrors.
+                metrics.inc(f"rpc.errors.{handler}")
         if collector is not None:
             epoch = collector.perf_epoch
             start = t0 - epoch if epoch is not None else collector.now() - elapsed

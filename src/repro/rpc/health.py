@@ -104,6 +104,12 @@ class DaemonHealthTracker:
         #: lock).  The observability plane hooks this to emit health
         #: events into the shared trace timeline.
         self.listener: Optional[Callable[[int, str, str, str], None]] = None
+        #: SLO burn-rate alerts surfaced by the observer, newest last
+        #: (bounded).  Orthogonal to the breaker: an alert never gates
+        #: traffic, it only makes "the cluster is burning budget" visible
+        #: wherever health is already being watched.
+        self.slo_alerts: list = []
+        self._slo_alert_cap = 64
 
     def _notify(self, transitions: list) -> None:
         """Deliver queued transitions to the listener, outside the lock."""
@@ -222,6 +228,21 @@ class DaemonHealthTracker:
             self._recompute_all_clear()
         self._notify(transitions)
 
+    def note_slo_alert(
+        self,
+        slo: str,
+        severity: str = "page",
+        burn: float = 0.0,
+        daemon: Optional[int] = None,
+    ) -> None:
+        """Record one fired burn-rate alert (called by the SLO engine)."""
+        with self._lock:
+            self.slo_alerts.append(
+                {"slo": slo, "severity": severity, "burn": burn, "daemon": daemon}
+            )
+            if len(self.slo_alerts) > self._slo_alert_cap:
+                del self.slo_alerts[: -self._slo_alert_cap]
+
     # -- introspection -------------------------------------------------------
 
     def state(self, address: int) -> str:
@@ -245,6 +266,11 @@ class DaemonHealthTracker:
                 }
                 for address, health in self._daemons.items()
             }
+
+    def recent_slo_alerts(self, limit: int = 10) -> list:
+        """The most recent surfaced burn-rate alerts, oldest first."""
+        with self._lock:
+            return list(self.slo_alerts[-limit:])
 
 
 class CircuitBreakerTransport(Transport):

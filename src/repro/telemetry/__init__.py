@@ -5,13 +5,33 @@ an evaluation of its raw performance capabilities" (§III-A) and reports
 op rates, bandwidths, and latency bounds.  This package provides the
 instrumentation a user needs to produce the same observables from their
 own workloads: log-bucketed latency histograms with percentiles, a
-transparent client wrapper that times every file-system call, and an
-in-flight RPC depth gauge for the pipelined fan-out path.
+transparent client wrapper that times every file-system call, an
+in-flight RPC depth gauge for the pipelined fan-out path — and, since
+the stack went multi-process, the cluster-wide plane: fixed-interval
+metric windows with an SLO burn-rate engine, a per-daemon flight
+recorder, and a :class:`ClusterObserver` that harvests traces/metrics
+from live socket daemons and merges them onto one causal axis.
 """
 
+from repro.telemetry.flightrecorder import (
+    FLIGHT_FORMAT,
+    FlightRecorder,
+    find_flight_dumps,
+    load_flight_dump,
+    render_flight_dump,
+)
 from repro.telemetry.histogram import LatencyHistogram
 from repro.telemetry.inflight import InflightGauge
 from repro.telemetry.metrics import MetricsRegistry, merge_snapshots
+from repro.telemetry.observer import ClusterObserver, HarvestError
+from repro.telemetry.slo import (
+    DEFAULT_RULES,
+    DEFAULT_SLOS,
+    SLO,
+    BurnRateRule,
+    SloEngine,
+    render_slo_report,
+)
 from repro.telemetry.spans import (
     InstantEvent,
     SpanContext,
@@ -19,20 +39,38 @@ from repro.telemetry.spans import (
     TraceCollector,
     ascii_timeline,
     parse_chrome_trace,
+    records_from_wire,
 )
 from repro.telemetry.tracer import OpTracer, TracedClient
+from repro.telemetry.windows import MetricsWindows, fold_windows
 
 __all__ = [
     "LatencyHistogram",
     "InflightGauge",
     "MetricsRegistry",
     "merge_snapshots",
+    "MetricsWindows",
+    "fold_windows",
+    "SLO",
+    "BurnRateRule",
+    "SloEngine",
+    "DEFAULT_SLOS",
+    "DEFAULT_RULES",
+    "render_slo_report",
+    "FLIGHT_FORMAT",
+    "FlightRecorder",
+    "load_flight_dump",
+    "find_flight_dumps",
+    "render_flight_dump",
+    "ClusterObserver",
+    "HarvestError",
     "SpanContext",
     "SpanRecord",
     "InstantEvent",
     "TraceCollector",
     "ascii_timeline",
     "parse_chrome_trace",
+    "records_from_wire",
     "OpTracer",
     "TracedClient",
 ]

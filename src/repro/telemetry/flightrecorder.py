@@ -1,0 +1,214 @@
+"""Flight recorder: bounded per-daemon black box, recoverable after SIGKILL.
+
+Each daemon keeps a ring of its most recent spans, instant events and
+metric-window deltas, and persists them to a single JSON file with an
+atomic rename.  Two write paths:
+
+* :meth:`FlightRecorder.flush` — the periodic path, driven by the same
+  ticker that advances the metrics windows.  Because a SIGKILL cannot be
+  caught, crash recoverability comes from *always having flushed
+  recently*: after a kill, the file on disk holds the state as of the
+  last tick, which is exactly what a black box is for.
+* :meth:`FlightRecorder.dump` — the terminal path, called with a reason
+  on SIGTERM, daemon crash/shutdown, integrity quarantine and migration
+  abort (and remotely via the ``gkfs_flight_dump`` RPC), stamping the
+  reason and any context into the file.
+
+Files are ``flight-d{daemon_id}.json`` under the configured directory
+(``FSConfig.flight_recorder_dir``), one per daemon, truncating history
+to the configured capacity per stream so the file stays bounded no
+matter how long the daemon runs.  ``repro postmortem`` reads them back
+via :func:`load_flight_dump` / :func:`render_flight_dump`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Optional
+
+from repro.telemetry.spans import InstantEvent, SpanRecord, records_from_wire
+
+__all__ = [
+    "FlightRecorder",
+    "load_flight_dump",
+    "find_flight_dumps",
+    "render_flight_dump",
+]
+
+FLIGHT_FORMAT = "gkfs-flight-v1"
+
+
+class FlightRecorder:
+    """Bounded black box for one daemon.
+
+    :param daemon_id: whose flight this is (names the file).
+    :param directory: where dumps land; created on first write.
+    :param capacity: max spans / events / windows retained per dump.
+    :param collector: the daemon's :class:`TraceCollector` (optional —
+        without telemetry spans/events sections are empty).
+    :param windows: the daemon's :class:`MetricsWindows` (optional).
+    """
+
+    def __init__(
+        self,
+        daemon_id: int,
+        directory: str,
+        capacity: int = 256,
+        *,
+        collector=None,
+        windows=None,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.daemon_id = daemon_id
+        self.directory = directory
+        self.capacity = capacity
+        self.collector = collector
+        self.windows = windows
+        self.flushes = 0
+        self.dumps = 0
+        self._lock = threading.Lock()
+        self._last_reason: Optional[str] = None
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, f"flight-d{self.daemon_id}.json")
+
+    # -- write paths ----------------------------------------------------------
+
+    def _payload(self, reason: str, context: Optional[dict]) -> dict:
+        payload = {
+            "format": FLIGHT_FORMAT,
+            "daemon_id": self.daemon_id,
+            "reason": reason,
+            "context": dict(context or {}),
+            "flushes": self.flushes,
+            "spans": [],
+            "events": [],
+            "clock": None,
+            "windows": [],
+        }
+        if self.collector is not None:
+            trace = self.collector.dump(limit=self.capacity)
+            payload["spans"] = trace["spans"]
+            payload["events"] = trace["events"]
+            payload["clock"] = trace["clock"]
+        if self.windows is not None:
+            wire = self.windows.to_wire(limit=self.capacity)
+            payload["windows"] = wire["windows"]
+            payload["interval"] = wire["interval"]
+        return payload
+
+    def _write(self, payload: dict) -> str:
+        """Serialise then atomically rename into place.
+
+        The rename is the crash-safety property: a reader (postmortem
+        after SIGKILL) sees either the previous complete file or the new
+        complete file, never a torn one.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path
+        tmp = f"{path}.tmp.{os.getpid()}"
+        data = json.dumps(payload, sort_keys=True)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return path
+
+    def flush(self) -> str:
+        """Periodic persist (the SIGKILL-survival path)."""
+        with self._lock:
+            self.flushes += 1
+            return self._write(self._payload("periodic", None))
+
+    def dump(self, reason: str, **context) -> str:
+        """Terminal persist with a reason (SIGTERM, crash, quarantine,
+        migration abort, remote request).  Returns the file path."""
+        with self._lock:
+            self.dumps += 1
+            self._last_reason = reason
+            return self._write(self._payload(reason, context))
+
+
+# -- read side (repro postmortem) ---------------------------------------------
+
+
+def load_flight_dump(path: str) -> dict:
+    """Read one flight file back; validates the format marker.
+
+    Returns the raw payload with ``spans``/``events`` additionally
+    rehydrated into records under ``span_records``/``event_records``.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("format") != FLIGHT_FORMAT:
+        raise ValueError(f"{path}: not a flight dump (format={payload.get('format')!r})")
+    spans, events = records_from_wire(payload)
+    payload["span_records"] = spans
+    payload["event_records"] = events
+    return payload
+
+
+def find_flight_dumps(directory: str) -> list[str]:
+    """All flight files under ``directory``, sorted by daemon id."""
+    if not os.path.isdir(directory):
+        return []
+    names = [
+        name
+        for name in os.listdir(directory)
+        if name.startswith("flight-d") and name.endswith(".json")
+    ]
+
+    def daemon_key(name: str):
+        stem = name[len("flight-d"):-len(".json")]
+        return (0, int(stem)) if stem.isdigit() else (1, stem)
+
+    return [os.path.join(directory, name) for name in sorted(names, key=daemon_key)]
+
+
+def _fmt_ts(value) -> str:
+    return f"{value * 1e3:10.3f}ms" if isinstance(value, (int, float)) else "-"
+
+
+def render_flight_dump(payload: dict, tail: int = 20) -> str:
+    """Human-readable postmortem of one flight file."""
+    lines = [
+        f"flight recorder · daemon {payload.get('daemon_id')}"
+        f" · reason={payload.get('reason')!r}"
+        f" · flushes={payload.get('flushes')}"
+    ]
+    context = payload.get("context") or {}
+    if context:
+        lines.append(f"  context: {json.dumps(context, sort_keys=True)}")
+    windows = payload.get("windows") or []
+    if windows:
+        last = windows[-1]
+        rate_keys = sorted(
+            (k, v) for k, v in last.get("gauge_deltas", {}).items() if v
+        )[:6]
+        lines.append(
+            f"  windows: {len(windows)} retained"
+            f" · last deltas: {dict(rate_keys) or '{}'}"
+        )
+    spans = payload.get("span_records") or []
+    events = payload.get("event_records") or []
+    lines.append(f"  spans: {len(spans)} retained · events: {len(events)} retained")
+    merged = sorted(
+        list(spans) + list(events), key=lambda r: r.seq
+    )[-tail:]
+    for record in merged:
+        if isinstance(record, SpanRecord):
+            mark = f" !{record.error}" if record.error else ""
+            lines.append(
+                f"    {_fmt_ts(record.start)} span  {record.name}{mark}"
+                f" dur={record.duration * 1e6:,.1f}us req={record.request_id or '-'}"
+            )
+        elif isinstance(record, InstantEvent):
+            lines.append(
+                f"    {_fmt_ts(record.ts)} event {record.name} {record.args}"
+            )
+    return "\n".join(lines)

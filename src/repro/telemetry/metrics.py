@@ -26,7 +26,7 @@ Metric names are dotted paths, ``<layer>.<name>`` (``rpc.calls.write``,
 from __future__ import annotations
 
 import threading
-from typing import Callable, Iterable, Optional
+from typing import Callable, Mapping, Optional
 
 from repro.telemetry.histogram import LatencyHistogram
 
@@ -126,18 +126,31 @@ class MetricsRegistry:
         }
 
 
-def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+def merge_snapshots(snapshots) -> dict:
     """Fold per-daemon snapshots into one cluster-wide snapshot.
 
     Counters and gauges sum; histograms merge via their wire state.  The
     result has the same shape as a single snapshot (histogram values are
     summaries rather than wire states, since the merged distribution is
     a terminal artifact).
+
+    Pass a **mapping** of ``daemon_id → snapshot`` instead of a bare
+    iterable and the fold keeps provenance: the result gains a
+    ``daemons`` list and a ``per_daemon`` section with each daemon's raw
+    counters and gauges, so skew between daemons stays recoverable from
+    the merged object (nothing is *silently* summed away).
     """
+    if isinstance(snapshots, Mapping):
+        items = list(snapshots.items())
+        keyed = True
+    else:
+        items = [(None, snap) for snap in snapshots]
+        keyed = False
     counters: dict[str, float] = {}
     gauges: dict[str, float] = {}
     merged_hists: dict[str, LatencyHistogram] = {}
-    for snap in snapshots:
+    per_daemon: dict = {}
+    for daemon, snap in items:
         for name, value in snap.get("counters", {}).items():
             counters[name] = counters.get(name, 0) + value
         for name, value in snap.get("gauges", {}).items():
@@ -148,8 +161,17 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
                 merged_hists[name].merge(hist)
             else:
                 merged_hists[name] = hist
-    return {
+        if keyed:
+            per_daemon[daemon] = {
+                "counters": dict(snap.get("counters", {})),
+                "gauges": dict(snap.get("gauges", {})),
+            }
+    merged = {
         "counters": counters,
         "gauges": gauges,
         "histograms": {name: h.summary() for name, h in merged_hists.items()},
     }
+    if keyed:
+        merged["daemons"] = sorted(per_daemon)
+        merged["per_daemon"] = per_daemon
+    return merged

@@ -44,6 +44,7 @@ __all__ = [
     "TraceCollector",
     "install_op_spans",
     "parse_chrome_trace",
+    "records_from_wire",
     "ascii_timeline",
 ]
 
@@ -255,6 +256,50 @@ class TraceCollector:
         merged: list = list(self.spans) + list(self.events)
         return sorted(merged, key=lambda item: item.seq)
 
+    # -- wire dump / ingest ---------------------------------------------------
+
+    def dump(self, limit: Optional[int] = None) -> dict:
+        """The collected records as plain codec/JSON types.
+
+        The payload of the ``gkfs_trace_dump`` RPC and the flight
+        recorder's span section.  ``clock`` is this collector's *current*
+        reading — paired with the requester's send/receive times it lets
+        :class:`~repro.telemetry.observer.ClusterObserver` estimate the
+        epoch offset between two collectors.  ``limit`` keeps only the
+        most recent N of each stream (flight-recorder rings).
+        """
+        spans = list(self.spans)
+        events = list(self.events)
+        if limit is not None and limit >= 0:
+            spans = spans[-limit:]
+            events = events[-limit:]
+        return {
+            "clock": self.now(),
+            "spans": [
+                [s.name, s.cat, s.start, s.duration, s.pid, s.tid, s.span_id,
+                 s.request_id, s.parent_span, s.seq, s.error, dict(s.args)]
+                for s in spans
+            ],
+            "events": [
+                [e.name, e.cat, e.ts, e.seq, dict(e.args)] for e in events
+            ],
+        }
+
+    def ingest(self, spans, events) -> None:
+        """Append already-materialised records (trace merging).
+
+        The observer's merge path: records arrive with their final ids,
+        timestamps and sequence numbers already resolved — they are
+        appended verbatim, bypassing this collector's allocators.
+        """
+        for s in spans:
+            self._span_buf.append(
+                (s.name, s.cat, s.start, s.duration, s.pid, s.tid, s.span_id,
+                 s.request_id, s.parent_span, s.seq, s.error, dict(s.args))
+            )
+        for e in events:
+            self._event_buf.append((e.name, e.cat, e.ts, e.seq, dict(e.args)))
+
     def clear(self) -> None:
         """Drop collected records (between measured phases); ids keep
         counting so a request never collides with a pre-clear one.  In
@@ -425,6 +470,26 @@ def parse_chrome_trace(payload) -> tuple[list[SpanRecord], list[InstantEvent]]:
             )
         else:
             raise ValueError(f"traceEvents[{i}]: unsupported phase {phase!r}")
+    return spans, events
+
+
+def records_from_wire(dump: dict) -> tuple[list[SpanRecord], list[InstantEvent]]:
+    """Rehydrate a :meth:`TraceCollector.dump` payload into records.
+
+    The inverse of the wire form (used by the observer on harvested
+    ``gkfs_trace_dump`` replies and by ``repro postmortem`` on flight
+    files).  Raises ``ValueError`` on malformed rows.
+    """
+    spans: list[SpanRecord] = []
+    events: list[InstantEvent] = []
+    for i, row in enumerate(dump.get("spans", [])):
+        if len(row) != 12:
+            raise ValueError(f"span row {i} has {len(row)} fields, expected 12")
+        spans.append(SpanRecord(*row[:11], args=dict(row[11] or {})))
+    for i, row in enumerate(dump.get("events", [])):
+        if len(row) != 5:
+            raise ValueError(f"event row {i} has {len(row)} fields, expected 5")
+        events.append(InstantEvent(*row[:4], args=dict(row[4] or {})))
     return spans, events
 
 

@@ -1,0 +1,309 @@
+"""Fixed-interval metric windows: the time-series plane over the registry.
+
+A :class:`~repro.telemetry.metrics.MetricsRegistry` answers "how much has
+happened since this daemon started" — cumulative counters and mirror
+gauges.  Operability questions are about *now*: requests per second this
+second, p99 over the last ten seconds, whether the error budget is
+burning.  :class:`MetricsWindows` closes that gap with a bounded ring of
+fixed-interval **windows**, each holding the registry *deltas* accrued
+during its interval:
+
+* ``counters`` — owned-counter deltas;
+* ``gauges`` — the raw gauge sample at window close (queue depth and
+  other level gauges are meaningful as-is);
+* ``gauge_deltas`` — per-window deltas of the same gauges, which is what
+  turns the cumulative mirrors (``rpc.calls.*``, ``storage.bytes_*``)
+  into rates;
+* ``histograms`` — per-window :class:`LatencyHistogram` delta states
+  (bucket-wise subtraction of consecutive cumulative snapshots), so
+  percentiles can be computed *per interval*, not since boot.
+
+Ticking is cooperative and cheap: callers invoke :meth:`maybe_tick`
+(the ``gkfs_metrics_window`` handler does, and socket daemons run a
+background ticker) and a tick only happens when the interval has
+elapsed.  Everything in a window is plain JSON/codec types, so windows
+ride RPCs unchanged; :func:`fold_windows` merges per-daemon window
+streams into a cluster series that keeps per-daemon provenance — skew
+stays recoverable from the fold (the same contract
+:func:`~repro.telemetry.metrics.merge_snapshots` honours).
+
+The whole plane is opt-in with telemetry: with telemetry off no
+``MetricsWindows`` is constructed anywhere.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterable, Mapping, Optional
+
+from repro.telemetry.histogram import LatencyHistogram
+
+__all__ = [
+    "MetricsWindows",
+    "fold_windows",
+    "subtract_hist_states",
+    "state_fraction_above",
+    "state_percentile",
+    "merge_hist_states",
+]
+
+
+def subtract_hist_states(current: dict, previous: Optional[dict]) -> dict:
+    """Bucket-wise ``current - previous`` of two cumulative wire states.
+
+    ``min``/``max`` of the *interval* are not recoverable from cumulative
+    states; the delta carries the current cumulative extremes, which
+    bound the interval's (documented approximation — percentile math
+    interpolates inside buckets and never relies on them).
+    """
+    if previous is None or not previous.get("count"):
+        return current
+    prev_buckets = dict((i, c) for i, c in previous.get("buckets", ()))
+    buckets = []
+    for index, count in current.get("buckets", ()):
+        delta = count - prev_buckets.get(index, 0)
+        if delta > 0:
+            buckets.append([index, delta])
+    count = current["count"] - previous["count"]
+    return {
+        "count": max(0, count),
+        "total": max(0.0, current["total"] - previous["total"]),
+        "min": current.get("min"),
+        "max": current.get("max"),
+        "buckets": buckets,
+    }
+
+
+def merge_hist_states(states: Iterable[dict]) -> Optional[dict]:
+    """Fold several delta states into one (cluster window merge)."""
+    merged: Optional[LatencyHistogram] = None
+    for state in states:
+        if not state or not state.get("count"):
+            continue
+        hist = LatencyHistogram.from_state(state)
+        if merged is None:
+            merged = hist
+        else:
+            merged.merge(hist)
+    return merged.to_state() if merged is not None else None
+
+
+def _state_hist(state: dict) -> Optional[LatencyHistogram]:
+    if not state or not state.get("count"):
+        return None
+    return LatencyHistogram.from_state(state)
+
+
+def state_percentile(state: dict, p: float) -> Optional[float]:
+    """Percentile of a wire-state histogram; None when empty."""
+    hist = _state_hist(state)
+    return hist.percentile(p) if hist is not None else None
+
+
+def state_fraction_above(state: dict, threshold: float) -> float:
+    """Fraction of a state's observations above ``threshold`` seconds.
+
+    The SLO engine's "bad events" estimator.  Bucket-resolution: an
+    observation counts as above the threshold when its whole bucket lies
+    above it, and contributes fractionally when the threshold falls
+    inside its bucket (linear interpolation, same approximation the
+    percentile math makes).
+    """
+    hist = _state_hist(state)
+    if hist is None:
+        return 0.0
+    above = 0.0
+    for index, count in enumerate(hist._buckets):
+        if not count:
+            continue
+        lo, hi = hist._bucket_bounds(index)
+        if lo >= threshold:
+            above += count
+        elif hi > threshold:
+            above += count * (hi - threshold) / (hi - lo)
+    return min(1.0, above / hist.count)
+
+
+class MetricsWindows:
+    """Bounded ring of fixed-interval delta windows over one registry.
+
+    :param registry: the daemon's (or client's) metrics registry.
+    :param interval: seconds per window.
+    :param capacity: windows retained (ring; oldest evicted).
+    :param daemon_id: provenance stamp carried in the wire form.
+    :param clock: injectable time source (tests pin it).
+    """
+
+    def __init__(
+        self,
+        registry,
+        interval: float = 1.0,
+        capacity: int = 60,
+        *,
+        daemon_id: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.registry = registry
+        self.interval = interval
+        self.daemon_id = daemon_id
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.windows: deque = deque(maxlen=capacity)
+        self._epoch = clock()
+        self._last_tick = self._epoch
+        self._prev = registry.snapshot()
+        self.ticks = 0
+
+    # -- capture -------------------------------------------------------------
+
+    def maybe_tick(self) -> bool:
+        """Capture one window iff the interval has elapsed; True if it did.
+
+        The cooperative driver: RPC handlers and background tickers call
+        this freely — at most one capture per interval happens, whoever
+        arrives first wins, and the loser pays one clock read.
+        """
+        now = self._clock()
+        if now - self._last_tick < self.interval:
+            return False
+        self.tick(now)
+        return True
+
+    def tick(self, now: Optional[float] = None) -> dict:
+        """Force-capture one window (tests and shutdown paths)."""
+        snap = self.registry.snapshot()
+        with self._lock:
+            now = self._clock() if now is None else now
+            prev = self._prev
+            window = {
+                "start": self._last_tick - self._epoch,
+                "end": now - self._epoch,
+                "counters": {
+                    name: value - prev.get("counters", {}).get(name, 0)
+                    for name, value in snap.get("counters", {}).items()
+                },
+                "gauges": dict(snap.get("gauges", {})),
+                "gauge_deltas": {
+                    name: value - prev.get("gauges", {}).get(name, 0)
+                    for name, value in snap.get("gauges", {}).items()
+                },
+                "histograms": {
+                    name: subtract_hist_states(
+                        state, prev.get("histograms", {}).get(name)
+                    )
+                    for name, state in snap.get("histograms", {}).items()
+                },
+            }
+            self._prev = snap
+            self._last_tick = now
+            self.ticks += 1
+            self.windows.append(window)
+            return window
+
+    # -- wire form -----------------------------------------------------------
+
+    def to_wire(self, limit: Optional[int] = None) -> dict:
+        """Recent windows as plain codec types (the RPC payload).
+
+        ``limit`` bounds the reply to the most recent N windows.
+        """
+        with self._lock:
+            windows = list(self.windows)
+        if limit is not None and limit >= 0:
+            windows = windows[-limit:]
+        return {
+            "daemon_id": self.daemon_id,
+            "interval": self.interval,
+            "ticks": self.ticks,
+            "windows": windows,
+        }
+
+    # -- derived -------------------------------------------------------------
+
+    def rate(self, gauge: str, windows: int = 1) -> float:
+        """Per-second rate of a cumulative gauge over the last N windows."""
+        with self._lock:
+            recent = list(self.windows)[-windows:]
+        if not recent:
+            return 0.0
+        span = sum(w["end"] - w["start"] for w in recent)
+        if span <= 0:
+            return 0.0
+        return sum(w["gauge_deltas"].get(gauge, 0) for w in recent) / span
+
+
+def _sum_into(acc: dict, values: Mapping) -> None:
+    for name, value in values.items():
+        acc[name] = acc.get(name, 0) + value
+
+
+def fold_windows(per_daemon: Mapping[int, dict], depth: Optional[int] = None) -> dict:
+    """Merge per-daemon window streams into one cluster time-series.
+
+    Windows are aligned **from the most recent backwards** (daemon clocks
+    and start times differ; the k-th-latest window of each daemon covers
+    approximately the same wall interval when intervals match).  Each
+    folded window sums counter/gauge deltas, merges histogram deltas,
+    and — the provenance contract — carries ``per_daemon`` breakdowns of
+    counters and gauge deltas keyed by daemon id, so per-daemon skew is
+    recoverable from the fold without the raw streams.
+
+    :param per_daemon: daemon id → :meth:`MetricsWindows.to_wire` dict.
+    :param depth: fold at most this many trailing windows (None = as
+        many as the shallowest daemon provides).
+    """
+    streams = {
+        daemon: wire.get("windows", []) for daemon, wire in per_daemon.items()
+    }
+    if not streams:
+        return {"daemons": [], "interval": None, "windows": []}
+    available = min((len(w) for w in streams.values()), default=0)
+    if depth is not None:
+        available = min(available, depth)
+    intervals = {wire.get("interval") for wire in per_daemon.values()}
+    folded: list[dict] = []
+    for back in range(available, 0, -1):
+        counters: dict = {}
+        gauges: dict = {}
+        gauge_deltas: dict = {}
+        hist_parts: dict[str, list] = {}
+        provenance: dict[int, dict] = {}
+        spans = []
+        for daemon, windows in streams.items():
+            window = windows[-back]
+            _sum_into(counters, window.get("counters", {}))
+            _sum_into(gauges, window.get("gauges", {}))
+            _sum_into(gauge_deltas, window.get("gauge_deltas", {}))
+            for name, state in window.get("histograms", {}).items():
+                hist_parts.setdefault(name, []).append(state)
+            provenance[daemon] = {
+                "counters": dict(window.get("counters", {})),
+                "gauge_deltas": dict(window.get("gauge_deltas", {})),
+            }
+            spans.append(window["end"] - window["start"])
+        histograms = {
+            name: state
+            for name, parts in hist_parts.items()
+            if (state := merge_hist_states(parts)) is not None
+        }
+        folded.append(
+            {
+                "counters": counters,
+                "gauges": gauges,
+                "gauge_deltas": gauge_deltas,
+                "histograms": histograms,
+                "per_daemon": provenance,
+                "span": max(spans) if spans else 0.0,
+            }
+        )
+    return {
+        "daemons": sorted(streams),
+        "interval": intervals.pop() if len(intervals) == 1 else None,
+        "windows": folded,
+    }

@@ -166,6 +166,102 @@ class TestObservabilityCommands:
         assert payload["daemons"] == 2
 
 
+class TestConnectedObservability:
+    """--connect plumbing: the CLI harvesting live socket daemons."""
+
+    @pytest.fixture(scope="class")
+    def specs(self, request):
+        from repro.core.config import FSConfig
+        from repro.net import LocalSocketCluster
+
+        cluster = LocalSocketCluster(
+            2, FSConfig(telemetry_enabled=True, metrics_window_interval=0.1)
+        )
+        request.addfinalizer(cluster.shutdown)
+        return ",".join(served.address_spec for served in cluster.served)
+
+    def test_trace_connect_reports_harvest(self, capsys, specs):
+        assert main(
+            ["trace", "--connect", specs, "--procs", "2",
+             "--transfer-size", "4k", "--block-size", "16k"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "daemons harvested" in out
+        assert "worst clock offset" in out
+        assert "(harvested)" in out
+        assert "ERROR" not in out
+
+    def test_metrics_connect_slo_report(self, capsys, specs):
+        assert main(
+            ["metrics", "--connect", specs, "--slo", "--procs", "2",
+             "--transfer-size", "4k", "--block-size", "16k"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "(harvested)" in out
+        assert "SLO report" in out
+        assert "meta-latency" in out
+
+    def test_metrics_slo_without_connect_rejected(self, capsys):
+        assert main(
+            ["metrics", "--nodes", "2", "--procs", "1", "--slo",
+             "--transfer-size", "4k", "--block-size", "8k"]
+        ) == 2
+        assert "--slo needs --connect" in capsys.readouterr().out
+
+    def test_top_once_renders_dashboard(self, capsys, specs):
+        assert main(["top", "--connect", specs, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "gkfs top — 2 daemons" in out
+        assert "d0" in out and "d1" in out
+        assert "cluster:" in out
+        assert "SLOs:" in out or "ALERT" in out
+
+    def test_top_without_connect_rejected(self, capsys):
+        assert main(["top", "--once"]) == 2
+        assert "--connect" in capsys.readouterr().out
+
+
+class TestPostmortemCommand:
+    def test_renders_every_dump_in_directory(self, capsys, tmp_path):
+        from repro.telemetry import FlightRecorder
+        from repro.telemetry.spans import TraceCollector
+
+        for daemon in (0, 1):
+            collector = TraceCollector()
+            collector.record_span(
+                "gkfs_write_chunks", "daemon", start=0.0, duration=0.002,
+                pid=1, tid=1, span_id=f"s{daemon}",
+            )
+            FlightRecorder(daemon, str(tmp_path), collector=collector).dump(
+                "crash"
+            )
+        assert main(["postmortem", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "daemon 0" in out and "daemon 1" in out
+        assert "reason='crash'" in out
+        assert "gkfs_write_chunks" in out
+
+    def test_single_file_and_tail(self, capsys, tmp_path):
+        from repro.telemetry import FlightRecorder
+        from repro.telemetry.spans import TraceCollector
+
+        collector = TraceCollector()
+        for i in range(10):
+            collector.record_span(
+                f"op-{i}", "daemon", start=float(i), duration=0.001,
+                pid=1, tid=1, span_id=f"s{i}",
+            )
+        path = FlightRecorder(7, str(tmp_path), collector=collector).dump("sigterm")
+        assert main(["postmortem", path, "--tail", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "op-9" in out
+        assert "op-0" not in out
+
+    def test_missing_target_fails(self, capsys, tmp_path):
+        assert main(["postmortem", str(tmp_path / "gone")]) == 1
+        assert main(["postmortem", str(tmp_path)]) == 1  # empty dir
+
+
 class TestOverloadCommand:
     def test_share_table(self, capsys):
         assert main(

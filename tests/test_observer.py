@@ -1,0 +1,308 @@
+"""ClusterObserver: remote trace/metrics harvesting over real sockets.
+
+The observer's whole job is cross-process: every ``repro serve`` daemon
+keeps a private collector on a private clock epoch, and the observer
+must reassemble one causally consistent cluster timeline from nothing
+but RPCs.  LocalSocketCluster covers the wire mechanics cheaply (real
+sockets, white-box daemon access); ProcessCluster proves the same
+invariants hold with genuinely distinct OS processes and clock epochs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.loadmap import balance_report
+from repro.core.config import FSConfig
+from repro.net import LocalSocketCluster, ProcessCluster
+from repro.telemetry import ClusterObserver, HarvestError
+from repro.telemetry.spans import DAEMON_PID_BASE, parse_chrome_trace
+
+
+def _workload(cluster, path="/gkfs/obs.bin", size=3 * 4096):
+    client = cluster.client(0)
+    fd = client.open(path, os.O_CREAT | os.O_RDWR)
+    data = os.urandom(size)
+    assert client.pwrite(fd, data, 0) == size
+    assert client.pread(fd, size, 0) == data
+    client.stat(path)
+    client.close(fd)
+    return client
+
+
+def _assert_causal(collector):
+    """No span may start before its parent — the merge invariant."""
+    spans = collector.spans
+    by_id = {s.span_id: s for s in spans}
+    checked = 0
+    for span in spans:
+        parent = by_id.get(span.parent_span) if span.parent_span else None
+        if parent is None:
+            continue
+        checked += 1
+        assert span.start >= parent.start - 1e-9, (
+            f"{span.name} (start {span.start}) precedes its parent "
+            f"{parent.name} (start {parent.start})"
+        )
+    return checked
+
+
+@pytest.fixture(scope="module")
+def socket_cluster():
+    config = FSConfig(chunk_size=4096, telemetry_enabled=True, degraded_mode=True)
+    with LocalSocketCluster(3, config) as cluster:
+        _workload(cluster)
+        yield cluster
+
+
+@pytest.fixture(scope="module")
+def observer(socket_cluster):
+    return ClusterObserver(socket_cluster.deployment)
+
+
+class TestPingOffsets:
+    def test_every_daemon_answers(self, observer):
+        ping = observer.ping_offsets()
+        assert sorted(ping["offsets"]) == [0, 1, 2]
+        assert ping["missing_daemons"] == []
+        for daemon in range(3):
+            assert ping["rtts"][daemon] >= 0.0
+            assert ping["daemons"][daemon]["telemetry"] is True
+
+    def test_offsets_reflect_collector_epoch_gap(self, observer, socket_cluster):
+        """Daemon collectors started before the deployment's reference
+        collector, so every daemon clock reads *ahead* of the reference
+        (positive offset), by at most the cluster's age."""
+        ping = observer.ping_offsets()
+        for daemon, offset in ping["offsets"].items():
+            assert offset > 0.0, f"daemon {daemon} offset {offset}"
+            assert offset < 300.0
+
+    def test_ping_rounds_validated(self, socket_cluster):
+        with pytest.raises(ValueError):
+            ClusterObserver(socket_cluster.deployment, ping_rounds=0)
+
+
+class TestHarvestTrace:
+    def test_merged_trace_spans_both_sides(self, observer):
+        merged = observer.harvest_trace()
+        cats = {s.cat for s in merged.spans}
+        assert "client" in cats and "daemon" in cats
+        meta = merged.harvest_meta
+        assert sorted(meta["per_daemon"]) == [0, 1, 2]
+        assert meta["missing_daemons"] == []
+
+    def test_daemon_ids_are_namespaced_and_stamped(self, observer):
+        merged = observer.harvest_trace()
+        daemon_spans = [s for s in merged.spans if s.cat == "daemon"]
+        assert daemon_spans
+        for span in daemon_spans:
+            daemon, _, local = span.span_id.partition("/")
+            assert local, f"daemon span id {span.span_id!r} not namespaced"
+            assert span.args["daemon_id"] == int(daemon)
+            assert span.pid == DAEMON_PID_BASE + int(daemon)
+
+    def test_no_child_starts_before_its_parent(self, observer):
+        merged = observer.harvest_trace()
+        assert _assert_causal(merged) > 0
+
+    def test_seq_is_merged_timeline_order(self, observer):
+        merged = observer.harvest_trace()
+        records = sorted(
+            list(merged.spans) + list(merged.events), key=lambda r: r.seq
+        )
+        seqs = [r.seq for r in records]
+        assert seqs == sorted(set(seqs)), "seq must be unique and increasing"
+        starts = [
+            getattr(r, "start", getattr(r, "ts", None)) for r in records
+        ]
+        assert starts == sorted(starts), "seq order must follow merged time"
+
+    def test_chrome_export_round_trips(self, observer):
+        merged = observer.harvest_trace()
+        spans, events = parse_chrome_trace(merged.to_chrome_json())
+        assert len(spans) == len(merged.spans)
+        assert len(events) == len(merged.events)
+
+    def test_rpc_daemon_spans_parent_to_client_spans(self, observer):
+        """The cross-process link itself: a harvested daemon handler span
+        must resolve its parent to a client-side RPC span."""
+        merged = observer.harvest_trace()
+        by_id = {s.span_id: s for s in merged.spans}
+        linked = [
+            s
+            for s in merged.spans
+            if s.cat == "daemon"
+            and s.parent_span
+            and s.parent_span in by_id
+            and by_id[s.parent_span].cat == "client"
+        ]
+        assert linked, "no daemon span linked to a client parent"
+
+
+class TestHarvestMetrics:
+    def test_shape_feeds_balance_report(self, observer):
+        metrics = observer.harvest_metrics()
+        assert metrics["daemons"] == 3
+        assert sorted(metrics["per_daemon"]) == [0, 1, 2]
+        assert metrics["missing_daemons"] == []
+        assert metrics["cluster"]["per_daemon"], "fold must carry provenance"
+        stats = balance_report(metrics)
+        assert any(s.metric == "rpc ops served" for s in stats)
+
+    def test_cluster_fold_sums_per_daemon(self, observer):
+        metrics = observer.harvest_metrics()
+        total = sum(
+            snap["gauges"].get("storage.bytes_written", 0)
+            for snap in metrics["per_daemon"].values()
+        )
+        assert metrics["cluster"]["gauges"]["storage.bytes_written"] == total
+        assert total >= 3 * 4096
+
+    def test_windows_fold_has_provenance(self, socket_cluster, observer):
+        for served in socket_cluster.served:
+            served.daemon.windows.tick()
+        fold = observer.harvest_windows()
+        assert fold["daemons"] == [0, 1, 2]
+        assert fold["windows"], "every daemon ticked, fold must hold a window"
+        assert sorted(fold["windows"][-1]["per_daemon"]) == [0, 1, 2]
+        assert fold["missing_daemons"] == []
+
+
+class TestDegradedHarvest:
+    def test_missing_daemon_reported_not_fatal(self):
+        config = FSConfig(chunk_size=4096, telemetry_enabled=True, degraded_mode=True)
+        with LocalSocketCluster(3, config) as cluster:
+            _workload(cluster)
+            cluster.crash_daemon(2)
+            observer = ClusterObserver(cluster.deployment)
+            merged = observer.harvest_trace()
+            assert 2 in merged.harvest_meta["missing_daemons"]
+            assert sorted(merged.harvest_meta["per_daemon"]) == [0, 1]
+            metrics = observer.harvest_metrics()
+            assert metrics["degraded"] is True
+            assert metrics["missing_daemons"] == [2]
+
+    def test_strict_mode_raises_harvest_error(self):
+        config = FSConfig(chunk_size=4096, telemetry_enabled=True)
+        with LocalSocketCluster(2, config) as cluster:
+            _workload(cluster)
+            cluster.crash_daemon(1)
+            observer = ClusterObserver(cluster.deployment)
+            with pytest.raises(HarvestError):
+                observer.harvest_trace()
+
+    def test_telemetry_off_daemons_answer_honestly(self):
+        with LocalSocketCluster(2, FSConfig(chunk_size=4096)) as cluster:
+            _workload(cluster)
+            observer = ClusterObserver(cluster.deployment)
+            ping = observer.ping_offsets()
+            assert ping["daemons"][0]["telemetry"] is False
+            merged = observer.harvest_trace()
+            # Nothing to merge: no collector anywhere, but no crash either.
+            assert merged.spans == []
+            fold = observer.harvest_windows()
+            assert fold["windows"] == []
+
+
+class TestInducedSloBurn:
+    def test_slow_daemon_fires_meta_latency_alert(self):
+        """Chaos latency on the server side must surface as a burn-rate
+        alert in the harvested SLO report, an ``slo.burn_rate`` instant
+        on the reference stream, and a note on the health tracker."""
+        config = FSConfig(
+            chunk_size=4096, telemetry_enabled=True, breaker_enabled=True
+        )
+        with LocalSocketCluster(2, config) as cluster:
+            client = _workload(cluster)
+            # Server-side latency injection: every stat handler now
+            # sleeps past the 25ms meta-latency SLO threshold.
+            for served in cluster.served:
+                engine = served.daemon.engine
+                orig = engine._handlers["gkfs_stat"]
+
+                def slow_stat(*args, _orig=orig):
+                    time.sleep(0.03)
+                    return _orig(*args)
+
+                engine._handlers["gkfs_stat"] = slow_stat
+            # Three hot windows: enough for the 3/15-window page rule
+            # (burn_rate folds what history exists).
+            for _ in range(3):
+                for _ in range(4):
+                    client.stat("/gkfs/obs.bin")
+                for served in cluster.served:
+                    served.daemon.windows.tick()
+            observer = ClusterObserver(cluster.deployment)
+            report = observer.slo_report()
+            fired = {alert["slo"] for alert in report["alerts"]}
+            assert "meta-latency" in fired
+            instants = [
+                e
+                for e in cluster.deployment.trace_collector.events
+                if e.name == "slo.burn_rate"
+            ]
+            assert instants, "alert must land in the reference event stream"
+            noted = cluster.deployment.health.recent_slo_alerts()
+            assert any(a["slo"] == "meta-latency" for a in noted)
+
+    def test_healthy_cluster_reports_no_alerts(self, socket_cluster, observer):
+        report = observer.slo_report()
+        assert report["alerts"] == []
+
+
+class TestProcessClusterHarvest:
+    """Satellite 3: the merge invariants against real OS processes.
+
+    Four daemons, four private perf_counter epochs started seconds
+    apart — if the clock alignment or the causality clamp were wrong,
+    cross-process parent/child nesting would invert immediately.
+    """
+
+    @pytest.fixture(scope="class")
+    def harvested(self):
+        config = FSConfig(chunk_size=4096, telemetry_enabled=True)
+        with ProcessCluster(4, config) as cluster:
+            client = cluster.client(0)
+            fd = client.open("/gkfs/merge.bin", os.O_CREAT | os.O_RDWR)
+            data = os.urandom(8 * 4096)  # chunks land on every daemon
+            client.pwrite(fd, data, 0)
+            client.pread(fd, len(data), 0)
+            client.stat("/gkfs/merge.bin")
+            client.close(fd)
+            observer = ClusterObserver(cluster.deployment)
+            merged = observer.harvest_trace()
+        return merged
+
+    def test_all_four_daemons_contribute(self, harvested):
+        pids = {s.pid for s in harvested.spans if s.cat == "daemon"}
+        assert pids == {DAEMON_PID_BASE + d for d in range(4)}
+        assert sorted(harvested.harvest_meta["per_daemon"]) == [0, 1, 2, 3]
+
+    def test_distinct_clock_epochs_were_aligned(self, harvested):
+        """Each child process booted at a different instant, so the raw
+        collector clocks disagree by construction; the recorded offsets
+        must reflect that and the merge must still be causal."""
+        offsets = harvested.harvest_meta["offsets"]
+        assert len(offsets) == 4
+        assert any(abs(offset) > 1e-4 for offset in offsets.values())
+
+    def test_cross_process_nesting_is_causal(self, harvested):
+        assert _assert_causal(harvested) > 0
+
+    def test_chrome_round_trip_at_scale(self, harvested):
+        spans, _events = parse_chrome_trace(harvested.to_chrome_json())
+        cats = {s.cat for s in spans}
+        assert "client" in cats and "daemon" in cats
+
+    def test_seq_unique_and_time_ordered(self, harvested):
+        records = sorted(
+            list(harvested.spans) + list(harvested.events), key=lambda r: r.seq
+        )
+        seqs = [r.seq for r in records]
+        assert seqs == sorted(set(seqs))
+        starts = [getattr(r, "start", getattr(r, "ts", None)) for r in records]
+        assert starts == sorted(starts)
