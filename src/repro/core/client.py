@@ -43,6 +43,7 @@ from repro.core.config import FSConfig
 from repro.core.distributor import Distributor
 from repro.core.filemap import FD_BASE, OpenFile, OpenFileMap
 from repro.core.metadata import Metadata, new_dir_metadata, new_file_metadata
+from repro.metacache import ClientMetaCache, hot_replica_targets, meta_version
 from repro.rpc import BulkHandle, RpcFuture, RpcNetwork
 from repro.telemetry.metrics import MetricsRegistry, merge_snapshots
 from repro.telemetry.spans import install_op_spans
@@ -113,6 +114,11 @@ class GekkoFSClient:
             if config.data_cache_enabled
             else None
         )
+        self.meta_cache = (
+            ClientMetaCache(config.metacache_ttl, config.metacache_capacity)
+            if config.metacache_enabled
+            else None
+        )
         self.stats = ClientStats()
         # Integrity plane: verify read proofs end-to-end; optionally ship
         # span digests with writes.  Cached — the config is frozen.
@@ -166,7 +172,7 @@ class GekkoFSClient:
     #: this leg fail instantly instead of after a timeout.
     _TRANSIENT = (LookupError, ConnectionError, TimeoutError, DaemonUnavailableError)
     #: Metadata handlers that only read (replica fallback allowed).
-    _META_READS = frozenset({"gkfs_stat"})
+    _META_READS = frozenset({"gkfs_stat", "gkfs_stat_lease", "gkfs_stat_if_changed"})
 
     def _fatal_transient(self, exc: Exception) -> Exception:
         """The exception a *fatal* transient delivery failure surfaces as.
@@ -228,6 +234,28 @@ class GekkoFSClient:
             registry.gauge(
                 "client.qos_throttle_wait", lambda s=qos_stats: s.throttle_wait
             )
+        # Cache effectiveness counters, mirrored like everything else so
+        # ``repro metrics``/``repro top`` report them (cache.* family for
+        # the pre-existing caches, metacache.* for the metadata cache).
+        if self.size_cache is not None:
+            for field in ("updates_buffered", "flushes", "rpcs_saved"):
+                registry.gauge(
+                    f"cache.size_{field}",
+                    lambda f=field: getattr(self.size_cache.stats, f),
+                )
+        if self.data_cache is not None:
+            for field in ("hits", "misses", "evictions", "invalidations", "hit_rate"):
+                registry.gauge(
+                    f"cache.data_{field}",
+                    lambda f=field: getattr(self.data_cache.stats, f),
+                )
+        if self.meta_cache is not None:
+            for field in list(self.meta_cache.stats.__dataclass_fields__) + ["hit_rate"]:
+                registry.gauge(
+                    f"metacache.{field}",
+                    lambda f=field: getattr(self.meta_cache.stats, f),
+                )
+            registry.gauge("metacache.entries", lambda: len(self.meta_cache))
         return registry
 
     def _metadata_targets(self, rel: str) -> list[int]:
@@ -567,23 +595,194 @@ class GekkoFSClient:
 
     def _stat_rel(self, rel: str, *, count: bool = True) -> Metadata:
         """Authoritative stat; ``count=False`` marks an internal size probe
-        (data-path bookkeeping) that application stat counters skip."""
+        (data-path bookkeeping) that application stat counters skip.
+
+        With the metadata cache enabled the record is served from a fresh
+        lease when one exists, revalidated by version when the lease
+        expired, and fetched (and cached) otherwise.  A locally buffered
+        size update is always published *and* its cache entry dropped
+        first — a buffered size must never read stale through the cache
+        (the §IV-B integration contract).
+        """
         if self.size_cache is not None:
             pending = self.size_cache.take(rel)
             if pending is not None:
+                if self.meta_cache is not None:
+                    self.meta_cache.invalidate_attr(rel)
                 self._meta_call(rel, "gkfs_update_size", pending, False)
         if count:
             self.stats.stats_ += 1
-        return Metadata.decode(self._meta_call(rel, "gkfs_stat"))
+        if self.meta_cache is None:
+            return Metadata.decode(self._meta_call(rel, "gkfs_stat"))
+        return Metadata.decode(self._cached_attr(rel))
 
     def _publish_size(self, rel: str, size: int) -> None:
-        """Cache-aware size-update after a write."""
+        """Cache-aware size-update after a write.
+
+        A write past the recorded size is a metadata mutation: the cached
+        attr entry is dropped whether the update is published now or
+        buffered, so the next stat observes the new size (via the flushed
+        buffer) instead of a stale lease.
+        """
+        self._invalidate_meta(rel)
         if self.size_cache is None:
             self._meta_call(rel, "gkfs_update_size", size, False)
             return
         due = self.size_cache.record(rel, size)
         if due is not None:
             self._meta_call(rel, "gkfs_update_size", due, False)
+
+    # -- metadata cache (TTL leases + hot-key revalidation spreading) --------
+
+    def _parent_rel(self, rel: str) -> str:
+        return rel.rsplit("/", 1)[0] or "/"
+
+    def _invalidate_meta(self, rel: str) -> None:
+        """Invalidation-on-mutation: drop ``rel``'s cached metadata.
+
+        Drops the attr entry, any cached listing pages of ``rel`` itself
+        and of its parent directory (namespace/attr content changed), and
+        — when the entry was known hot — broadcasts best-effort replica
+        drops so sibling daemons stop serving the stale record early
+        (their TTL bounds the worst case regardless).
+        """
+        if self.meta_cache is None:
+            return
+        entry = self.meta_cache.invalidate_attr(rel)
+        self.meta_cache.invalidate_pages(rel)
+        self.meta_cache.invalidate_pages(self._parent_rel(rel))
+        if entry is not None and entry.hot_k > 0:
+            self._drop_hot_replicas(rel, entry.hot_k)
+
+    def _hot_ring(self, rel: str, k: int) -> list[int]:
+        """Owner followed by the K rendezvous replica targets for ``rel``.
+
+        Computed from the live view per call, so a membership change
+        re-resolves automatically (epoch-aware by construction).
+        """
+        owner = self.distributor.locate_metadata(rel)
+        return [owner] + hot_replica_targets(
+            rel, owner, self.distributor.num_daemons, k
+        )
+
+    def _drop_hot_replicas(self, rel: str, k: int) -> None:
+        """Best-effort replica invalidation after a local mutation."""
+        for target in self._hot_ring(rel, k)[1:]:
+            try:
+                self.network.call(target, "gkfs_drop_hot_replica", rel)
+            except Exception:
+                continue  # TTL expiry is the backstop
+
+    def _seed_hot_replicas(self, rel: str, record: bytes, k: int) -> None:
+        """Push a freshly promoted hot record to its replica daemons.
+
+        The owner hands the one-shot seed flag to exactly one reader per
+        promotion window; that reader (us) fans the record out.  Strictly
+        best-effort — a lost put heals at the next window re-arm.
+        """
+        targets = self._hot_ring(rel, k)[1:]
+        if not targets:
+            return
+        self.meta_cache.stats.replica_seeds += 1
+        if self.config.rpc_pipelining:
+            futures = []
+            for target in targets:
+                try:
+                    futures.append(
+                        self.network.call_async(
+                            target, "gkfs_put_hot_replica", rel, record
+                        )
+                    )
+                except Exception:
+                    continue
+            self._gather(futures)  # outcomes irrelevant, drain them
+        else:
+            for target in targets:
+                try:
+                    self.network.call(target, "gkfs_put_hot_replica", rel, record)
+                except Exception:
+                    continue
+        tracer = getattr(self.network, "tracer", None)
+        if tracer is not None:
+            tracer.instant("metacache.seed", "metacache", path=rel, k=k)
+
+    def _absorb_hot_state(self, rel: str, record: bytes, reply: dict) -> None:
+        """React to the owner's hot-key signalling in a lease reply."""
+        if reply.get("seed"):
+            self._seed_hot_replicas(rel, record, int(reply.get("hot", 0)))
+
+    def _cached_attr(self, rel: str) -> bytes:
+        """The metadata record of ``rel`` through the lease cache."""
+        entry, fresh = self.meta_cache.lookup_attr(rel)
+        if entry is not None and fresh:
+            return entry.record
+        if entry is not None:
+            return self._revalidate_attr(rel, entry)
+        return self._fetch_attr(rel)
+
+    def _fetch_attr(self, rel: str) -> bytes:
+        """Cache miss: full fetch via the lease RPC, then cache."""
+        reply = self._meta_call(rel, "gkfs_stat_lease")
+        record = reply["record"]
+        self.meta_cache.put_attr(
+            rel, record, meta_version(record), int(reply.get("hot", 0))
+        )
+        self._absorb_hot_state(rel, record, reply)
+        return record
+
+    def _revalidate_attr(self, rel: str, entry) -> bytes:
+        """Lease expired: conditional read by version, lease renewed.
+
+        For hot keys the conditional read rotates across owner plus the
+        K replica daemons (per-client cursor offset by node id, so a
+        million clients spread evenly); a replica that cannot answer —
+        expired copy, not seeded yet, unreachable — falls back to the
+        authoritative owner path, which also serves the dual-epoch
+        fallback during membership changes.  ``ENOENT`` from the owner
+        drops the entry and propagates: the path is gone.
+        """
+        self.meta_cache.stats.revalidations += 1
+        if entry.hot_k > 0 and self.distributor.num_daemons > 1:
+            ring = self._hot_ring(rel, entry.hot_k)
+            slot = (self.node_id + entry.rotation) % len(ring)
+            entry.rotation += 1
+            target = ring[slot]
+            if target != ring[0]:
+                reply = self._replica_stat_if_changed(target, rel, entry.version)
+                if reply is not None:
+                    self.meta_cache.stats.replica_reads += 1
+                    return self._apply_revalidation(rel, entry, reply)
+        try:
+            reply = self._meta_call(rel, "gkfs_stat_if_changed", entry.version)
+        except NotFoundError:
+            self.meta_cache.invalidate_attr(rel)
+            raise
+        return self._apply_revalidation(rel, entry, reply)
+
+    def _replica_stat_if_changed(
+        self, target: int, rel: str, version: int
+    ) -> Optional[dict]:
+        """One conditional read against a replica; ``None`` = fall back."""
+        try:
+            return self.network.call(target, "gkfs_stat_if_changed", rel, version)
+        except (NotFoundError, *self._TRANSIENT):
+            return None
+
+    def _apply_revalidation(self, rel: str, entry, reply: dict) -> bytes:
+        """Land a conditional-read reply: renew or replace the entry."""
+        if reply.get("replica"):
+            hot_k = entry.hot_k  # replicas don't track hotness; keep ours
+        else:
+            hot_k = int(reply.get("hot", 0))
+        if not reply["changed"]:
+            self.meta_cache.stats.revalidated_unchanged += 1
+            self.meta_cache.renew_attr(rel, hot_k=hot_k)
+            record = entry.record
+        else:
+            record = reply["record"]
+            self.meta_cache.put_attr(rel, record, meta_version(record), hot_k)
+        self._absorb_hot_state(rel, record, reply)
+        return record
 
     def _involved_daemons(self, rel: str, size: int) -> list[int]:
         """Daemons that may hold chunks of a file of ``size`` bytes.
@@ -673,6 +872,12 @@ class GekkoFSClient:
             )
             md = Metadata.decode(stored)
             self.stats.creates += 1
+            if self.meta_cache is not None:
+                # The namespace changed under the parent; the returned
+                # record itself is authoritative — cache it (zero-RPC
+                # read-your-writes for the stat that usually follows).
+                self.meta_cache.invalidate_pages(self._parent_rel(rel))
+                self.meta_cache.put_attr(rel, stored, meta_version(stored))
         else:
             md = self._stat_rel(rel)
         accmode = flags & os.O_ACCMODE
@@ -702,6 +907,8 @@ class GekkoFSClient:
         if self.size_cache is not None and not entry.is_dir:
             pending = self.size_cache.take(entry.path)
             if pending is not None:
+                if self.meta_cache is not None:
+                    self.meta_cache.invalidate_attr(entry.path)
                 self._meta_call(entry.path, "gkfs_update_size", pending, False)
 
     # -- data path ----------------------------------------------------------------
@@ -923,6 +1130,7 @@ class GekkoFSClient:
         the owner would hand out a region before this client's own
         earlier writes.
         """
+        self._invalidate_meta(rel)
         if self.size_cache is not None:
             pending = self.size_cache.take(rel)
             if pending is not None:
@@ -1344,6 +1552,8 @@ class GekkoFSClient:
         if self.size_cache is not None:
             pending = self.size_cache.take(entry.path)
             if pending is not None:
+                if self.meta_cache is not None:
+                    self.meta_cache.invalidate_attr(entry.path)
                 self._meta_call(entry.path, "gkfs_update_size", pending, False)
 
     # -- metadata operations ------------------------------------------------------
@@ -1391,6 +1601,7 @@ class GekkoFSClient:
             self.size_cache.take(rel)  # drop stale buffered size
         if self.data_cache is not None:
             self.data_cache.invalidate_path(rel)
+        self._invalidate_meta(rel)
         removed = Metadata.decode(self._meta_call(rel, "gkfs_remove_metadata"))
         self._broadcast_fanout(
             self._involved_daemons(rel, max(removed.size, md.size)),
@@ -1408,8 +1619,11 @@ class GekkoFSClient:
         if rel == "/":
             raise ExistsError(path)
         record = new_dir_metadata(mode, maintain_times=self.config.maintain_mtime)
-        self._meta_call(rel, "gkfs_create", record.encode(), True)
+        stored = self._meta_call(rel, "gkfs_create", record.encode(), True)
         self.stats.creates += 1
+        if self.meta_cache is not None:
+            self.meta_cache.invalidate_pages(self._parent_rel(rel))
+            self.meta_cache.put_attr(rel, stored, meta_version(stored))
 
     def rmdir(self, path: str) -> None:
         """Remove an *empty* directory.
@@ -1429,6 +1643,7 @@ class GekkoFSClient:
             raise InvalidArgumentError("cannot remove the file system root")
         if self.listdir(path):
             raise NotEmptyError(path)
+        self._invalidate_meta(rel)
         self._meta_call(rel, "gkfs_remove_metadata")
         self.stats.removes += 1
 
@@ -1459,6 +1674,7 @@ class GekkoFSClient:
     def _truncate_rel(self, rel: str, new_size: int, old_size: int) -> None:
         if self.data_cache is not None:
             self.data_cache.invalidate_path(rel)
+        self._invalidate_meta(rel)
         self._meta_call(rel, "gkfs_truncate_metadata", new_size)
         if new_size < old_size:
             self._broadcast_fanout(
@@ -1486,6 +1702,11 @@ class GekkoFSClient:
         md = self._stat_rel(rel)
         if not md.is_dir:
             raise NotADirectoryError_(path)
+        if self.meta_cache is not None:
+            page = self.meta_cache.lookup_page("readdir", rel)
+            if page is not None:
+                self.stats.readdirs += 1
+                return list(page)
         entries: set[tuple[str, bool]] = set()
         for partial in self._broadcast_fanout(
             self.distributor.locate_all(), "gkfs_readdir", rel
@@ -1493,7 +1714,10 @@ class GekkoFSClient:
             if partial is not None:
                 entries.update(tuple(item) for item in partial)
         self.stats.readdirs += 1
-        return sorted(entries)
+        result = sorted(entries)
+        if self.meta_cache is not None:
+            self.meta_cache.put_page("readdir", rel, result)
+        return result
 
     def listdir_plus(self, path: str) -> list[tuple[str, Metadata]]:
         """Listing with attributes — the ``ls -l`` path, batched.
@@ -1511,6 +1735,11 @@ class GekkoFSClient:
         md = self._stat_rel(rel)
         if not md.is_dir:
             raise NotADirectoryError_(path)
+        if self.meta_cache is not None:
+            page = self.meta_cache.lookup_page("readdir_plus", rel)
+            if page is not None:
+                self.stats.readdirs += 1
+                return list(page)
         by_name: dict[str, Metadata] = {}
         for partial in self._broadcast_fanout(
             self.distributor.locate_all(), "gkfs_readdir_plus", rel
@@ -1520,7 +1749,10 @@ class GekkoFSClient:
             for name, record in partial:
                 by_name.setdefault(name, Metadata.decode(record))
         self.stats.readdirs += 1
-        return sorted(by_name.items(), key=lambda item: item[0])
+        result = sorted(by_name.items(), key=lambda item: item[0])
+        if self.meta_cache is not None:
+            self.meta_cache.put_page("readdir_plus", rel, result)
+        return result
 
     def opendir(self, path: str) -> int:
         """Open a directory stream; the listing is snapshotted now."""
@@ -1634,11 +1866,38 @@ class GekkoFSClient:
             self.close(src_fd)
         return offset
 
-    # -- deliberately unsupported (§III-A) ----------------------------------------------
-
     def rename(self, old: str, new: str) -> None:
-        """GekkoFS does not support rename/move."""
-        raise UnsupportedError(f"rename({old!r}, {new!r}): GekkoFS has no rename support")
+        """Rename — unsupported by default (§III-A), opt-in emulation.
+
+        With ``rename_emulation`` the sanctioned copy-then-unlink
+        substitute runs under the hood.  Crucially, *every* client cache
+        drops its destination-path state first: the destination may have
+        been removed and recreated by other clients since this client
+        last touched it, and a cached chunk surviving into the renamed
+        file would serve stale bytes where the daemons hold holes (the
+        cross-client staleness hole ``unlink``/``truncate`` already
+        close for their own paths).  Not atomic — a data movement, with
+        the documented relaxed-consistency window while it runs.
+        """
+        if not self.config.rename_emulation:
+            raise UnsupportedError(
+                f"rename({old!r}, {new!r}): GekkoFS has no rename support"
+            )
+        if self._passthrough(old) and self._passthrough(new):
+            os.rename(old, new)
+            return
+        dst_rel = self._rel(new)
+        src_rel = self._rel(old)
+        if self.size_cache is not None:
+            self.size_cache.take(dst_rel)  # drop stale buffered size
+        if self.data_cache is not None:
+            self.data_cache.invalidate_path(dst_rel)
+        self._invalidate_meta(dst_rel)
+        self.copy(old, new)
+        self.unlink(old)
+        self._invalidate_meta(src_rel)
+
+    # -- deliberately unsupported (§III-A) ----------------------------------------------
 
     def link(self, target: str, name: str) -> None:
         """GekkoFS does not support hard links."""

@@ -26,6 +26,7 @@ from repro.core.membership import EpochStampedNetwork, MembershipView
 from repro.core.fileobj import GekkoFile
 from repro.core.metadata import new_dir_metadata
 from repro.kvstore import LSMStore
+from repro.metacache import HotMetaPlane
 from repro.qos import ClientPort, ScheduledTransport
 from repro.rpc import (
     DaemonHealthTracker,
@@ -211,7 +212,14 @@ class GekkoFSCluster:
         """
         engine = self.network.create_engine(node)
         kv, storage = build_node_stores(self.config, node)
-        daemon = GekkoDaemon(node, engine, self.config.chunk_size, kv=kv, storage=storage)
+        daemon = GekkoDaemon(
+            node,
+            engine,
+            self.config.chunk_size,
+            kv=kv,
+            storage=storage,
+            hotmeta=HotMetaPlane.from_config(self.config),
+        )
         if self._scheduled_transport is not None:
             scheduled = self._scheduled_transport
             daemon.queue_depth_fn = lambda t=scheduled, n=node: t.queue_depth(n)

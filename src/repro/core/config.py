@@ -156,6 +156,42 @@ class FSConfig:
     :ivar migration_verify: verify every moved chunk's digest on the
         target against the source before the source copy is released
         (costs one extra digest RPC per chunk; off only for benchmarks).
+    :ivar metacache_enabled: client-side metadata/dentry cache — a
+        bounded LRU holding getattr records and readdir pages under TTL
+        leases.  Fresh entries answer stat/open/listdir with zero RPCs;
+        expired entries revalidate with a version-stamped conditional
+        RPC (``gkfs_stat_if_changed``) that ships the record only when
+        it actually changed.  Every local mutation invalidates its own
+        entries (read-your-writes); cross-client staleness is bounded by
+        ``metacache_ttl`` plus one revalidation round-trip.  Off by
+        default: the paper's one-RPC-per-stat behaviour, zero structure
+        on the hot path.
+    :ivar metacache_ttl: lease duration in seconds; a cached entry older
+        than this revalidates before being served.
+    :ivar metacache_capacity: max cached entries per client (attr
+        records + readdir pages combined, LRU-evicted).
+    :ivar metacache_hot_enabled: daemon-side hot-metadata mitigation.
+        Owners count per-key reads in sliding windows; a key crossing
+        ``metacache_hot_threshold`` reads per window is flagged hot and
+        its record is replicated (client-assisted — daemons never talk
+        to each other) to ``metacache_hot_k`` sibling daemons chosen by
+        rendezvous hashing.  Clients then spread lease revalidations
+        across owner + replicas, flattening single-key stat storms.
+        Requires ``metacache_enabled``.
+    :ivar metacache_hot_threshold: reads of one key within one window
+        that promote it to hot.
+    :ivar metacache_hot_window: seconds per hot-key accounting window;
+        a hot key cooling below the threshold for a full window demotes.
+    :ivar metacache_hot_k: sibling daemons each hot record is replicated
+        to (clamped to the cluster size minus the owner).
+    :ivar metacache_replica_ttl: seconds a daemon serves a hot replica
+        before discarding it unrefreshed — the staleness backstop for
+        mutations by clients that never saw the key as hot.
+    :ivar rename_emulation: serve ``rename`` as copy-then-unlink.  The
+        paper deliberately drops rename (§III-A); this opt-in emulation
+        exists for workloads that need it and carries rename's full
+        client-cache invalidation (size, data, metadata) for the
+        destination path.
     """
 
     chunk_size: int = DEFAULT_CHUNK_SIZE
@@ -204,6 +240,15 @@ class FSConfig:
     migration_rate: Optional[float] = None
     migration_weight: float = 0.1
     migration_verify: bool = True
+    metacache_enabled: bool = False
+    metacache_ttl: float = 0.5
+    metacache_capacity: int = 4096
+    metacache_hot_enabled: bool = False
+    metacache_hot_threshold: int = 64
+    metacache_hot_window: float = 1.0
+    metacache_hot_k: int = 3
+    metacache_replica_ttl: float = 2.0
+    rename_emulation: bool = False
 
     def __post_init__(self):
         object.__setattr__(self, "chunk_size", parse_size(self.chunk_size))
@@ -296,6 +341,32 @@ class FSConfig:
             raise ValueError(
                 f"data_cache_bytes ({self.data_cache_bytes}) must hold at least "
                 f"one chunk ({self.chunk_size})"
+            )
+        if self.metacache_ttl <= 0:
+            raise ValueError(f"metacache_ttl must be > 0, got {self.metacache_ttl}")
+        if self.metacache_capacity < 1:
+            raise ValueError(
+                f"metacache_capacity must be >= 1, got {self.metacache_capacity}"
+            )
+        if self.metacache_hot_enabled and not self.metacache_enabled:
+            raise ValueError("metacache_hot_enabled requires metacache_enabled")
+        if self.metacache_hot_threshold < 1:
+            raise ValueError(
+                f"metacache_hot_threshold must be >= 1, "
+                f"got {self.metacache_hot_threshold}"
+            )
+        if self.metacache_hot_window <= 0:
+            raise ValueError(
+                f"metacache_hot_window must be > 0, got {self.metacache_hot_window}"
+            )
+        if self.metacache_hot_k < 1:
+            raise ValueError(
+                f"metacache_hot_k must be >= 1, got {self.metacache_hot_k}"
+            )
+        if self.metacache_replica_ttl <= 0:
+            raise ValueError(
+                f"metacache_replica_ttl must be > 0, "
+                f"got {self.metacache_replica_ttl}"
             )
 
     def with_(self, **changes) -> "FSConfig":

@@ -26,6 +26,7 @@ from repro.common.errors import (
 from repro.storage.integrity import chunk_checksum
 from repro.core.metadata import Metadata
 from repro.kvstore import LSMStore
+from repro.metacache import HotMetaPlane, meta_version
 from repro.rpc import BulkHandle, RpcEngine
 from repro.storage import ChunkStorage, MemoryChunkStorage
 from repro.telemetry.metrics import MetricsRegistry
@@ -37,6 +38,10 @@ __all__ = ["GekkoDaemon", "HANDLER_NAMES", "DATA_HANDLER_NAMES"]
 HANDLER_NAMES = (
     "gkfs_create",
     "gkfs_stat",
+    "gkfs_stat_lease",
+    "gkfs_stat_if_changed",
+    "gkfs_put_hot_replica",
+    "gkfs_drop_hot_replica",
     "gkfs_remove_metadata",
     "gkfs_update_size",
     "gkfs_truncate_metadata",
@@ -83,6 +88,9 @@ class GekkoDaemon:
     :param chunk_size: deployment chunk size (must match all clients).
     :param kv: metadata store; a fresh in-memory LSM store by default.
     :param storage: chunk backend; in-memory by default.
+    :param hotmeta: hot-metadata plane (tracker + replica table); ``None``
+        keeps the paper behaviour — lease RPCs still work, nothing is
+        counted or replicated.
     """
 
     def __init__(
@@ -92,6 +100,7 @@ class GekkoDaemon:
         chunk_size: int,
         kv: Optional[LSMStore] = None,
         storage: Optional[ChunkStorage] = None,
+        hotmeta: Optional[HotMetaPlane] = None,
     ):
         self.address = address
         self.engine = engine
@@ -114,6 +123,7 @@ class GekkoDaemon:
         #: handlers answer honestly on an uninstrumented daemon.
         self.windows = None  # MetricsWindows ring
         self.flight_recorder = None  # FlightRecorder
+        self.hotmeta = hotmeta
         self.metrics = self._build_metrics()
         self._register_handlers()
 
@@ -151,6 +161,21 @@ class GekkoDaemon:
             registry.gauge(
                 "integrity.quarantined_now", lambda: len(self.storage.quarantined)
             )
+        # hot-metadata plane (only when this daemon runs one).
+        if self.hotmeta is not None:
+            for field in ("reads_noted", "mutations_noted", "promotions",
+                          "demotions", "seeds_issued"):
+                registry.gauge(
+                    f"metacache.{field}",
+                    lambda f=field: getattr(self.hotmeta.tracker.stats, f),
+                )
+            for field in ("puts", "hits", "misses", "drops", "expirations"):
+                registry.gauge(
+                    f"metacache.replica_{field}",
+                    lambda f=field: getattr(self.hotmeta.replicas.stats, f),
+                )
+            registry.gauge("metacache.hot_now", lambda: self.hotmeta.tracker.hot_count())
+            registry.gauge("metacache.replica_entries", lambda: len(self.hotmeta.replicas))
         # RPC server.
         for name in HANDLER_NAMES:
             registry.gauge(
@@ -166,6 +191,10 @@ class GekkoDaemon:
     def _register_handlers(self) -> None:
         self.engine.register("gkfs_create", self.create)
         self.engine.register("gkfs_stat", self.stat)
+        self.engine.register("gkfs_stat_lease", self.stat_lease)
+        self.engine.register("gkfs_stat_if_changed", self.stat_if_changed)
+        self.engine.register("gkfs_put_hot_replica", self.put_hot_replica)
+        self.engine.register("gkfs_drop_hot_replica", self.drop_hot_replica)
         self.engine.register("gkfs_remove_metadata", self.remove_metadata)
         self.engine.register("gkfs_update_size", self.update_size)
         self.engine.register("gkfs_truncate_metadata", self.truncate_metadata)
@@ -204,7 +233,8 @@ class GekkoDaemon:
                     raise ExistsError(path)
                 return existing
             self.kv.put(key, metadata)
-            return metadata
+        self._note_meta_mutation(path)
+        return metadata
 
     def stat(self, path: str) -> bytes:
         """Return the metadata record or raise ENOENT."""
@@ -212,6 +242,81 @@ class GekkoDaemon:
         if value is None:
             raise NotFoundError(path)
         return value
+
+    def _note_meta_mutation(self, path: str) -> None:
+        """The record changed: demote the key, drop any replica copy."""
+        if self.hotmeta is not None:
+            was_hot = self.hotmeta.tracker.note_mutation(path)
+            dropped = self.hotmeta.replicas.drop(path)
+            if (was_hot or dropped) and self.engine.collector is not None:
+                self.engine.collector.instant(
+                    "metacache.demote", "metacache", path=path
+                )
+
+    def stat_lease(self, path: str) -> dict:
+        """Metadata record plus hot-replication state — the cache-fill RPC.
+
+        ``hot`` is the replication fan-out the client should spread its
+        revalidations across (0 = cold key); ``seed`` tells exactly one
+        reader per promotion window to push the record to the replicas
+        (client-assisted replication — daemons never talk to each other).
+        """
+        value = self.kv.get(path.encode("utf-8"))
+        if value is None:
+            raise NotFoundError(path)
+        hot, seed = (0, False)
+        if self.hotmeta is not None:
+            hot, seed = self.hotmeta.tracker.note_read(path)
+            if seed and self.engine.collector is not None:
+                self.engine.collector.instant(
+                    "metacache.seed", "metacache", path=path, k=hot
+                )
+        return {"record": value, "hot": hot, "seed": seed}
+
+    def stat_if_changed(self, path: str, version: int) -> dict:
+        """Conditional stat: ship the record only if its version differs.
+
+        Served from the owner's KV store when this daemon has the record,
+        else from the hot-replica side table (the replica revalidation
+        path).  ``ENOENT`` when neither has it — the client falls back to
+        an authoritative owner read.
+        """
+        value = self.kv.get(path.encode("utf-8"))
+        if value is not None:
+            hot, seed = (0, False)
+            if self.hotmeta is not None:
+                hot, seed = self.hotmeta.tracker.note_read(path)
+            if meta_version(value) == version:
+                return {"changed": False, "hot": hot, "seed": seed}
+            return {"changed": True, "record": value, "hot": hot, "seed": seed}
+        if self.hotmeta is not None:
+            record = self.hotmeta.replicas.get(path)
+            if record is not None:
+                if meta_version(record) == version:
+                    return {"changed": False, "hot": 0, "seed": False, "replica": True}
+                return {
+                    "changed": True, "record": record,
+                    "hot": 0, "seed": False, "replica": True,
+                }
+        raise NotFoundError(path)
+
+    def put_hot_replica(self, path: str, record: bytes) -> bool:
+        """Accept a hot record pushed by a seeding client.
+
+        Stored in the volatile TTL side table only — never the KV store,
+        so ownership and recovery semantics are untouched.  ``False``
+        (not stored) when this daemon runs no hot plane.
+        """
+        if self.hotmeta is None:
+            return False
+        self.hotmeta.replicas.put(path, record)
+        return True
+
+    def drop_hot_replica(self, path: str) -> int:
+        """Invalidate a replica copy after a mutation (client broadcast)."""
+        if self.hotmeta is None:
+            return 0
+        return 1 if self.hotmeta.replicas.drop(path) else 0
 
     def remove_metadata(self, path: str) -> bytes:
         """Delete the record, returning it (client needs size/type)."""
@@ -221,7 +326,8 @@ class GekkoDaemon:
             if value is None:
                 raise NotFoundError(path)
             self.kv.delete(key)
-            return value
+        self._note_meta_mutation(path)
+        return value
 
     def update_size(self, path: str, new_size: int, append: bool = False) -> int:
         """Grow the recorded size; the write path calls this after data lands.
@@ -243,6 +349,7 @@ class GekkoDaemon:
 
         with self._meta_lock:
             result = self.kv.merge(path.encode("utf-8"), apply)
+        self._note_meta_mutation(path)
         return Metadata.decode(result).size
 
     def truncate_metadata(self, path: str, new_size: int) -> int:
@@ -261,6 +368,7 @@ class GekkoDaemon:
 
         with self._meta_lock:
             self.kv.merge(path.encode("utf-8"), apply)
+        self._note_meta_mutation(path)
         return old_size
 
     def readdir(self, dir_path: str) -> list[tuple[str, bool]]:
@@ -479,11 +587,21 @@ class GekkoDaemon:
         return self.storage.replace_chunk(path, chunk_id, data)
 
     def remove_chunks(self, path: str) -> int:
-        """Drop every local chunk of ``path`` (remove broadcast)."""
+        """Drop every local chunk of ``path`` (remove broadcast).
+
+        The broadcast reaches every daemon, so it doubles as cluster-wide
+        hot-replica invalidation for the removed path.
+        """
+        self._note_meta_mutation(path)
         return self.storage.remove_chunks(path)
 
     def truncate_chunks(self, path: str, new_size: int) -> None:
-        """Drop/trim local chunks beyond ``new_size`` (truncate broadcast)."""
+        """Drop/trim local chunks beyond ``new_size`` (truncate broadcast).
+
+        Like :meth:`remove_chunks`, also drops any hot-replica copy —
+        the record's size changed.
+        """
+        self._note_meta_mutation(path)
         first_dead = (new_size + self.chunk_size - 1) // self.chunk_size
         self.storage.remove_chunks_from(path, first_dead)
         boundary = new_size % self.chunk_size

@@ -11,7 +11,10 @@ of whole chunks on the client.
 * The client's own writes update the cached copy (read-your-writes).
 * Remote writes are NOT invalidated — cross-client staleness is the
   documented price, acceptable under GekkoFS's no-overlapping-access
-  application contract (§III-A).  `unlink`/`truncate` drop cached state.
+  application contract (§III-A).  `unlink`/`truncate`/`rename` drop
+  cached state (rename drops the *destination* path too: the path may
+  have been removed and recreated by other clients, and a surviving
+  entry would serve stale bytes where the daemons hold holes).
 
 The ABL-CACHE-DATA bench quantifies the RPC savings.
 """
@@ -125,7 +128,8 @@ class ChunkCache:
             self._entries.move_to_end(key)
 
     def invalidate_path(self, path: str) -> int:
-        """Drop every cached chunk of ``path`` (unlink/truncate); returns count."""
+        """Drop every cached chunk of ``path`` (unlink/truncate/rename);
+        returns count."""
         with self._lock:
             doomed = [key for key in self._entries if key[0] == path]
             for key in doomed:

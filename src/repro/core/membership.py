@@ -47,6 +47,13 @@ RELEASING = "releasing"  # new placement live; old owners still hold copies
 READONLY_HANDLERS = frozenset(
     {
         "gkfs_stat",
+        "gkfs_stat_lease",
+        "gkfs_stat_if_changed",
+        # The replica put/drop pair mutates only the volatile TTL-bounded
+        # hot-replica side table — never the KV store — so parking it on
+        # the write freeze would deadlock seeding clients for nothing.
+        "gkfs_put_hot_replica",
+        "gkfs_drop_hot_replica",
         "gkfs_readdir",
         "gkfs_readdir_plus",
         "gkfs_read_chunk",

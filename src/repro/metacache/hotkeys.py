@@ -1,0 +1,215 @@
+"""Daemon plane: hot-key detection and the TTL-bounded replica table.
+
+The metadata owner counts per-key reads in fixed sliding windows; a key
+crossing the promotion threshold within one window is *hot* and the next
+reader is handed a one-shot ``seed`` flag — that client pushes the
+record to the K rendezvous siblings (client-assisted replication keeps
+the architecture invariant: daemons never talk to each other).  Every
+window a still-hot key re-arms its seed flag, so replicas that expired
+or missed a mutation are re-seeded within one window.  A key that cools
+below the threshold for a full window demotes; a mutation demotes it
+immediately (the record changed — replicas are stale by definition).
+
+Replica holders keep records in a :class:`HotReplicaStore`: a plain
+dict with a per-entry TTL.  The TTL is the consistency backstop — a
+mutation by a client that never saw the key as hot reaches replicas at
+latest when their copies age out.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["HotKeyTracker", "HotReplicaStore", "HotMetaPlane"]
+
+
+@dataclass
+class HotKeyStats:
+    reads_noted: int = 0
+    mutations_noted: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    seeds_issued: int = 0
+
+
+class HotKeyTracker:
+    """Windowed per-key read accounting with promote/demote hysteresis.
+
+    :param threshold: reads of one key within one window that promote it.
+    :param window: seconds per accounting window (lazily rotated).
+    :param k: replication fan-out reported to readers of hot keys.
+    :param clock: injectable monotonic clock for tests.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        window: float,
+        k: int,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.threshold = threshold
+        self.window = window
+        self.k = k
+        self.clock = clock
+        self.stats = HotKeyStats()
+        self._lock = threading.Lock()
+        self._window_start = clock()
+        self._counts: dict[str, int] = {}
+        self._hot: set[str] = set()
+        self._seed_pending: set[str] = set()
+
+    def note_read(self, key: str) -> tuple[int, bool]:
+        """Account one read of ``key``; return ``(hot_k, seed)``.
+
+        ``hot_k`` is the replication fan-out (0 when the key is cold);
+        ``seed`` is the one-shot flag telling exactly one reader to push
+        the record to the replicas.
+        """
+        with self._lock:
+            self._rotate_locked()
+            self.stats.reads_noted += 1
+            count = self._counts.get(key, 0) + 1
+            self._counts[key] = count
+            if key not in self._hot and count >= self.threshold:
+                self._hot.add(key)
+                self._seed_pending.add(key)
+                self.stats.promotions += 1
+            if key in self._hot:
+                seed = key in self._seed_pending
+                if seed:
+                    self._seed_pending.discard(key)
+                    self.stats.seeds_issued += 1
+                return self.k, seed
+            return 0, False
+
+    def note_mutation(self, key: str) -> bool:
+        """The record changed: demote immediately.  Returns prior hotness."""
+        with self._lock:
+            self._rotate_locked()
+            self.stats.mutations_noted += 1
+            self._counts.pop(key, None)
+            self._seed_pending.discard(key)
+            if key in self._hot:
+                self._hot.discard(key)
+                self.stats.demotions += 1
+                return True
+            return False
+
+    def is_hot(self, key: str) -> bool:
+        with self._lock:
+            self._rotate_locked()
+            return key in self._hot
+
+    def hot_count(self) -> int:
+        with self._lock:
+            return len(self._hot)
+
+    def _rotate_locked(self) -> None:
+        now = self.clock()
+        if now - self._window_start < self.window:
+            return
+        # Demote keys that cooled below the threshold for the whole
+        # completed window; re-arm seeding for the survivors so expired
+        # or invalidated replicas heal within one window.
+        cooled = {k for k in self._hot if self._counts.get(k, 0) < self.threshold}
+        self._hot -= cooled
+        self.stats.demotions += len(cooled)
+        self._seed_pending = set(self._hot)
+        self._counts.clear()
+        self._window_start = now
+
+
+@dataclass
+class HotReplicaStats:
+    puts: int = 0
+    hits: int = 0
+    misses: int = 0
+    drops: int = 0
+    expirations: int = 0
+
+
+class HotReplicaStore:
+    """Volatile path → record side table with per-entry TTL."""
+
+    def __init__(self, ttl: float, clock: Callable[[], float] = time.monotonic):
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        self.ttl = ttl
+        self.clock = clock
+        self.stats = HotReplicaStats()
+        self._lock = threading.Lock()
+        self._entries: dict[str, tuple[bytes, float]] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def put(self, path: str, record: bytes) -> None:
+        with self._lock:
+            self._entries[path] = (record, self.clock())
+            self.stats.puts += 1
+
+    def get(self, path: str) -> Optional[bytes]:
+        with self._lock:
+            entry = self._entries.get(path)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            record, stored_at = entry
+            if self.clock() - stored_at >= self.ttl:
+                del self._entries[path]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return record
+
+    def drop(self, path: str) -> bool:
+        with self._lock:
+            if self._entries.pop(path, None) is not None:
+                self.stats.drops += 1
+                return True
+            return False
+
+
+class HotMetaPlane:
+    """Everything one daemon needs for hot-metadata mitigation.
+
+    Bundles the owner-side :class:`HotKeyTracker` with the holder-side
+    :class:`HotReplicaStore` — every daemon is potentially both, for
+    different keys.
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: int,
+        window: float,
+        k: int,
+        replica_ttl: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.tracker = HotKeyTracker(threshold, window, k, clock=clock)
+        self.replicas = HotReplicaStore(replica_ttl, clock=clock)
+
+    @classmethod
+    def from_config(cls, config) -> Optional["HotMetaPlane"]:
+        """The plane a daemon under ``config`` should run, or ``None``."""
+        if not (config.metacache_enabled and config.metacache_hot_enabled):
+            return None
+        return cls(
+            threshold=config.metacache_hot_threshold,
+            window=config.metacache_hot_window,
+            k=config.metacache_hot_k,
+            replica_ttl=config.metacache_replica_ttl,
+        )

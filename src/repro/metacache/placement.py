@@ -1,0 +1,38 @@
+"""Version stamps and hot-replica placement.
+
+Both are pure functions every client and daemon computes independently —
+the same no-central-service property the distributors keep (§III-B).
+"""
+
+from __future__ import annotations
+
+from repro.common.hashing import fnv1a_64, hash_path
+
+__all__ = ["meta_version", "hot_replica_targets"]
+
+
+def meta_version(record: bytes) -> int:
+    """Content-hash version stamp of an encoded metadata record.
+
+    Two records compare equal under this stamp iff their bytes are
+    identical, so a conditional read is exact; being content-derived it
+    needs no extra field in the record layout and survives restarts.
+    """
+    return fnv1a_64(record)
+
+
+def hot_replica_targets(rel: str, owner: int, num_daemons: int, k: int) -> list[int]:
+    """The K sibling daemons a hot record for ``rel`` replicates to.
+
+    Rendezvous ranking seeded by the path hash: deterministic for a given
+    (path, membership), stable under resize for untouched daemons, and
+    computable by any client without coordination.  The owner is excluded;
+    K is clamped to the remaining daemons.
+    """
+    key = hash_path(rel)
+    others = [d for d in range(num_daemons) if d != owner]
+    others.sort(
+        key=lambda d: (fnv1a_64(d.to_bytes(4, "little"), seed=key), d),
+        reverse=True,
+    )
+    return others[: max(0, min(k, len(others)))]

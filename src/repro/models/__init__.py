@@ -25,6 +25,14 @@ from repro.models.integrity import (
     survival_curve,
 )
 from repro.models.lustre import LustreModel
+from repro.models.metacache import (
+    hot_ring_size,
+    hottest_share,
+    offload_ratio,
+    owner_stat_rps,
+    simulate_stat_storm,
+    stat_hit_rate,
+)
 from repro.models.observability import (
     flight_loss_bound,
     offset_error_bound,
@@ -59,4 +67,10 @@ __all__ = [
     "time_to_budget_exhaustion",
     "offset_error_bound",
     "flight_loss_bound",
+    "stat_hit_rate",
+    "hot_ring_size",
+    "hottest_share",
+    "offload_ratio",
+    "owner_stat_rps",
+    "simulate_stat_storm",
 ]

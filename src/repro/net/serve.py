@@ -26,6 +26,7 @@ from typing import Optional
 from repro.core.cluster import build_node_stores
 from repro.core.config import FSConfig
 from repro.core.daemon import GekkoDaemon
+from repro.metacache import HotMetaPlane
 from repro.net.server import RpcServer
 from repro.rpc.engine import RpcEngine
 
@@ -142,7 +143,14 @@ def start_daemon(
     """
     engine = RpcEngine(daemon_id)
     kv, storage = build_node_stores(config, daemon_id)
-    daemon = GekkoDaemon(daemon_id, engine, config.chunk_size, kv=kv, storage=storage)
+    daemon = GekkoDaemon(
+        daemon_id,
+        engine,
+        config.chunk_size,
+        kv=kv,
+        storage=storage,
+        hotmeta=HotMetaPlane.from_config(config),
+    )
     collector = None
     if config.telemetry_enabled:
         from repro.telemetry.spans import TraceCollector

@@ -284,3 +284,23 @@ class TestOverloadCommand:
         # Weighted 2x against unit-weight rivals: share ratio well above 1.
         share = float(victim_row.split()[-1].rstrip("x"))
         assert share > 1.2
+
+
+class TestHotspotCommand:
+    def test_curve_and_report(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "storm.json"
+        assert main(
+            ["hotspot", "--daemons", "4", "--threads", "4",
+             "--duration", "0.5", "--seed", "101",
+             "--out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hottest-daemon share" in out
+        assert "flatter" in out
+        assert "cache hit rate" in out
+        report = json.loads(out_path.read_text())
+        assert report["share_ratio"] > 1.0
+        assert report["on"]["errors"] == 0
+        assert len(report["off"]["per_daemon_stat_rpcs"]) == 4

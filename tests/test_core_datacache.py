@@ -176,3 +176,64 @@ class TestClientIntegration:
     def test_config_requires_cache_at_least_one_chunk(self):
         with pytest.raises(ValueError):
             FSConfig(chunk_size=1024, data_cache_enabled=True, data_cache_bytes=512)
+
+
+class TestRenameInvalidation:
+    """Regression: rename must drop the *destination* path's cached chunks.
+
+    The staleness hole: client A holds cached chunks of ``dst``; other
+    clients unlink ``dst`` and create a fresh ``src``; A renames
+    ``src -> dst``.  The copy creates ``dst`` at size 0, so the O_TRUNC
+    invalidation never fires, and A's stale chunk-1-range bytes would
+    survive.  A later write leaving a hole then reads garbage from the
+    cache where the daemons hold zeros — unless rename invalidates
+    ``dst`` explicitly.
+    """
+
+    def test_rename_drops_stale_destination_chunks(self):
+        config = FSConfig(
+            chunk_size=256,
+            data_cache_enabled=True,
+            data_cache_bytes=16 * 1024,
+            rename_emulation=True,
+        )
+        with GekkoFSCluster(num_nodes=4, config=config) as fs:
+            a, b = fs.client(0), fs.client(1)
+            # A caches both chunks of /gkfs/dst
+            fd = a.open("/gkfs/dst", os.O_CREAT | os.O_RDWR)
+            a.write(fd, b"A" * 512)
+            assert a.pread(fd, 512, 0) == b"A" * 512
+            a.close(fd)
+            # other clients replace the file out from under A's cache
+            b.unlink("/gkfs/dst")
+            fd = b.open("/gkfs/src", os.O_CREAT | os.O_WRONLY)
+            b.write(fd, b"B" * 100)
+            b.close(fd)
+            # A renames src over the dead dst, then writes past a hole
+            a.rename("/gkfs/src", "/gkfs/dst")
+            fd = a.open("/gkfs/dst", os.O_RDWR)
+            a.pwrite(fd, b"P", 200)
+            got = a.pread(fd, 201, 0)
+            a.close(fd)
+            # bytes 100..200 are a hole: zeros from the daemons, never
+            # stale 'A's from the pre-rename cache entry
+            assert got == b"B" * 100 + b"\x00" * 100 + b"P"
+
+    def test_rename_source_chunks_dropped_too(self):
+        config = FSConfig(
+            chunk_size=256,
+            data_cache_enabled=True,
+            data_cache_bytes=16 * 1024,
+            rename_emulation=True,
+        )
+        with GekkoFSCluster(num_nodes=4, config=config) as fs:
+            client = fs.client(0)
+            fd = client.open("/gkfs/s", os.O_CREAT | os.O_RDWR)
+            client.write(fd, b"S" * 300)
+            client.pread(fd, 300, 0)  # cache source chunks
+            client.close(fd)
+            client.rename("/gkfs/s", "/gkfs/t")
+            assert all(key[0] != "/s" for key in client.data_cache._entries)
+            fd = client.open("/gkfs/t", os.O_RDONLY)
+            assert client.pread(fd, 300, 0) == b"S" * 300
+            client.close(fd)

@@ -1,0 +1,117 @@
+"""Metacache analytic twin: closed forms, and the cohort DES pinned to them."""
+
+import pytest
+
+from repro.models.metacache import (
+    hot_ring_size,
+    hottest_share,
+    offload_ratio,
+    owner_stat_rps,
+    simulate_stat_storm,
+    stat_hit_rate,
+)
+
+
+class TestClosedForms:
+    def test_hit_rate_basic(self):
+        # 10 stats/s, 0.5 s lease: 1 revalidation per 5 accesses
+        assert stat_hit_rate(10, 0.5) == pytest.approx(0.8)
+
+    def test_hit_rate_mutations_cost_refetches(self):
+        assert stat_hit_rate(10, 0.5, mutation_rate=1.0) == pytest.approx(0.7)
+        assert stat_hit_rate(10, 0.5, 0.5) < stat_hit_rate(10, 0.5)
+
+    def test_hit_rate_floors_at_zero(self):
+        assert stat_hit_rate(1, 0.5) == 0.0  # slower than the lease: no help
+
+    def test_hit_rate_validation(self):
+        with pytest.raises(ValueError):
+            stat_hit_rate(0, 0.5)
+        with pytest.raises(ValueError):
+            stat_hit_rate(10, 0)
+        with pytest.raises(ValueError):
+            stat_hit_rate(10, 0.5, -1)
+
+    def test_ring_size_clamped(self):
+        assert hot_ring_size(8, 5) == 6
+        assert hot_ring_size(4, 5) == 4
+        assert hot_ring_size(1, 5) == 1
+        with pytest.raises(ValueError):
+            hot_ring_size(0, 5)
+        with pytest.raises(ValueError):
+            hot_ring_size(8, -1)
+
+    def test_share_and_offload_are_ring_reciprocals(self):
+        assert hottest_share(8, 5) == pytest.approx(1 / 6)
+        assert offload_ratio(8, 5) == pytest.approx(6.0)
+        assert hottest_share(8, 0) == 1.0  # no replication: owner takes all
+
+    def test_owner_rps_million_clients(self):
+        # 1M clients, 0.5 s lease, K=5: 2M revals/s split 6 ways
+        assert owner_stat_rps(1_000_000, 0.5, 5, 8) == pytest.approx(
+            2_000_000 / 6
+        )
+        # without the hot plane the owner absorbs everything
+        assert owner_stat_rps(1_000_000, 0.5, 0, 8) == pytest.approx(2_000_000)
+
+
+class TestSimulationPins:
+    """The cohort DES must land on the closed forms (steady state)."""
+
+    def test_hit_rate_pin(self):
+        sim = simulate_stat_storm(
+            clients=1_000_000, duration=60, access_rate=10, ttl=0.5, k=5
+        )
+        assert sim["hit_rate"] == pytest.approx(stat_hit_rate(10, 0.5), rel=0.05)
+
+    def test_owner_rps_pin(self):
+        sim = simulate_stat_storm(
+            clients=1_000_000, duration=60, access_rate=10, ttl=0.5, k=5,
+            num_daemons=8,
+        )
+        assert sim["owner_rps"] == pytest.approx(
+            owner_stat_rps(1_000_000, 0.5, 5, 8), rel=0.05
+        )
+
+    def test_hottest_share_pin(self):
+        sim = simulate_stat_storm(
+            clients=1_000_000, duration=60, access_rate=10, ttl=0.5, k=5,
+            num_daemons=8,
+        )
+        assert sim["hottest_share"] == pytest.approx(hottest_share(8, 5), rel=0.05)
+
+    def test_mutation_rate_pin(self):
+        sim = simulate_stat_storm(
+            clients=100_000, duration=120, access_rate=20, ttl=0.5, k=5,
+            mutation_rate=2.0,
+        )
+        assert sim["hit_rate"] == pytest.approx(
+            stat_hit_rate(20, 0.5, 2.0), rel=0.05
+        )
+
+    def test_cache_off_twin_concentrates_on_owner(self):
+        sim = simulate_stat_storm(
+            clients=1000, duration=30, access_rate=10, ttl=0.5, k=0,
+            num_daemons=8,
+        )
+        assert sim["hottest_share"] == 1.0
+
+    def test_million_clients_cost_no_more_than_thousand(self):
+        # cohort aggregation: the loop is O(duration/ttl), not O(clients)
+        small = simulate_stat_storm(clients=1_000, duration=60)
+        large = simulate_stat_storm(clients=1_000_000_000, duration=60)
+        assert large["rounds"] == small["rounds"]
+        assert large["hit_rate"] == pytest.approx(small["hit_rate"], rel=1e-6)
+
+    def test_conservation(self):
+        sim = simulate_stat_storm(clients=10_000, duration=30)
+        assert sim["total_rpcs"] == pytest.approx(sum(sim["per_daemon_rpcs"]))
+        assert sim["hits"] > 0 and sim["revalidations"] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_stat_storm(clients=0)
+        with pytest.raises(ValueError):
+            simulate_stat_storm(duration=0)
+        with pytest.raises(ValueError):
+            simulate_stat_storm(hot_threshold=0)
