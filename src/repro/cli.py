@@ -12,6 +12,8 @@ Commands mirror how the paper's artefacts are exercised:
 * ``top``       — live cluster dashboard over running ``serve`` daemons.
 * ``postmortem``— read flight-recorder dumps back after a daemon died.
 * ``scrub``     — inject bit-rot, read through it, scrub it away.
+* ``soak``      — randomized chaos soak over a real process cluster with
+  the self-healing control plane running hands-free.
 * ``serve``     — run ONE daemon behind a TCP/Unix socket (real deployment).
 
 ``mdtest``/``ior``/``trace``/``metrics`` accept ``--connect
@@ -218,6 +220,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replication", type=int, default=1)
     p.add_argument("--rate", type=parse_size, default=None, help="migration byte/s cap")
     p.add_argument("--out", default=None, help="write the JSON migration report here")
+
+    p = sub.add_parser(
+        "soak",
+        help="randomized chaos soak: real daemon processes, foreground "
+        "load, seeded kills/hangs/partitions/bitrot, self-healing on; "
+        "exit 0 only if every invariant held",
+    )
+    p.add_argument("--seed", type=int, default=None, help="chaos seed (default: $CHAOS_SEED or 101)")
+    p.add_argument("--duration", type=float, default=20.0, help="fault-injection seconds")
+    p.add_argument("--nodes", type=int, default=4, help="daemon process count")
+    p.add_argument("--fault-interval", type=float, default=2.0, help="mean seconds between faults")
+    p.add_argument("--files", type=int, default=8, help="foreground working-set size")
+    p.add_argument("--mttr-budget", type=float, default=None, help="per-repair bound, seconds")
+    p.add_argument(
+        "--workdir",
+        default=None,
+        help="scratch dir for daemon data (default: a temp dir, removed after)",
+    )
+    p.add_argument("--out", default=None, help="write the JSON soak report (verdicts + supervisor journal) here")
 
     p = sub.add_parser(
         "hotspot",
@@ -631,7 +652,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
-def _top_frame(observer) -> str:
+def _top_frame(observer, pushed=None) -> str:
     """One rendered dashboard frame: per-daemon table + cluster footer."""
     from repro.analysis.loadmap import gini
     from repro.telemetry.windows import merge_hist_states, state_percentile
@@ -714,6 +735,18 @@ def _top_frame(observer) -> str:
             )
     else:
         lines.append("SLOs: no burn-rate alerts")
+    if pushed:
+        # Push-mode ticker: alerts delivered through the engine's sink
+        # persist across frames (with their age), so a burn that fired
+        # between two quiet renders is still visible.
+        import time as _time
+
+        now = _time.monotonic()
+        for stamp, alert in list(pushed):
+            lines.append(
+                f"pushed {now - stamp:4.0f}s ago: [{alert['severity']}] "
+                f"{alert['slo']}"
+            )
     return "\n".join(lines)
 
 
@@ -728,7 +761,13 @@ def _cmd_top(args: argparse.Namespace) -> int:
         return 2
     iterations = 1 if args.once else args.iterations
     with _connected_deployment(args, FSConfig(telemetry_enabled=True)) as fs:
+        from collections import deque
+
         observer = ClusterObserver(fs)
+        pushed: deque = deque(maxlen=8)
+        observer.slo_engine.add_sink(
+            lambda alert: pushed.append((time.monotonic(), alert))
+        )
         frames = 0
         try:
             while iterations is None or frames < iterations:
@@ -736,7 +775,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
                     time.sleep(args.interval)
                     if sys.stdout.isatty():
                         print("\033[2J\033[H", end="")
-                print(_top_frame(observer))
+                print(_top_frame(observer, pushed=pushed))
                 frames += 1
         except KeyboardInterrupt:
             pass
@@ -1061,6 +1100,74 @@ def _cmd_resize(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """Run one seeded chaos soak and print the invariant verdicts.
+
+    Exit status *is* the verdict: 0 only if no acked byte was lost, the
+    availability floor held, every repair stayed within budget, the
+    cluster quiesced back to full redundancy, and nothing was falsely
+    condemned.
+    """
+    import json
+    import os
+    import shutil
+    import tempfile
+
+    from repro.faults.soak import SoakHarness
+
+    seed = args.seed if args.seed is not None else int(os.environ.get("CHAOS_SEED", "101"))
+    workdir = args.workdir
+    cleanup = workdir is None
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="gkfs-soak-")
+    try:
+        harness = SoakHarness(
+            workdir,
+            seed=seed,
+            duration=args.duration,
+            num_nodes=args.nodes,
+            fault_interval=args.fault_interval,
+            files=args.files,
+            mttr_budget=args.mttr_budget,
+        )
+        report = harness.run()
+    finally:
+        if cleanup:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    kinds: dict[str, int] = {}
+    for fault in report.faults:
+        kinds[fault["kind"]] = kinds.get(fault["kind"], 0) + 1
+    rows = [
+        ["faults injected", ", ".join(f"{k}={v}" for k, v in sorted(kinds.items())) or "none"],
+        ["foreground ops", f"{report.ops:,} ({report.ops_failed:,} failed)"],
+        ["availability", f"{report.availability:.3f} (floor {harness.availability_floor})"],
+        ["longest blackout", f"{report.max_blackout_windows} windows (max {harness.max_blackout})"],
+        ["repairs", f"{report.repairs} ({report.restarts} restart, {report.replaces} replace, {report.repair_failures} failed)"],
+        ["max MTTR", f"{report.max_mttr:.2f} s" + (f" (budget {args.mttr_budget:.2f} s)" if args.mttr_budget else "")],
+        ["partitions held at suspect", str(report.partitions_detected)],
+        ["false condemnations", str(len(report.false_condemnations))],
+        ["replica resyncs", str(report.resyncs)],
+        ["residual restores", str(report.residual_restores)],
+        ["acked data verified", f"{report.files_verified} files / {format_size(report.bytes_verified)}"],
+    ]
+    print(
+        render_table(
+            ["invariant evidence", "value"],
+            rows,
+            title=f"soak: seed {seed}, {args.nodes} daemons, "
+            f"{report.duration:.1f}s — {'PASSED' if report.passed else 'FAILED'}",
+        )
+    )
+    for violation in report.violations:
+        print(f"VIOLATION: {violation}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=1, sort_keys=True, default=str)
+        print(f"soak report written to {args.out}")
+    return 0 if report.passed else 1
+
+
 def _cmd_hotspot(args: argparse.Namespace) -> int:
     """Stat-storm one shared file, cache off then on; print the curve.
 
@@ -1171,6 +1278,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_scrub(args)
     if args.command == "resize":
         return _cmd_resize(args)
+    if args.command == "soak":
+        return _cmd_soak(args)
     if args.command == "hotspot":
         return _cmd_hotspot(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -80,6 +80,12 @@ class ClientStats:
     #: Corrupt replica chunks rewritten in place from a verified copy
     #: after a successful fail-over (read-repair).
     read_repairs: int = 0
+    #: Replica write legs that failed while the op still acked — the
+    #: replica now holds stale data until something resyncs it.
+    dirty_marks: int = 0
+    #: Dirty marks dropped because the ledger hit capacity (resync
+    #: coverage lost; anti-entropy must fall back to a full pass).
+    dirty_overflow: int = 0
 
 
 class GekkoFSClient:
@@ -127,6 +133,15 @@ class GekkoFSClient:
         #: Per-op records of tolerated broadcast leg failures (telemetry):
         #: ``{"handler": ..., "failed": {address: exception class name}}``.
         self.degraded_events: list[dict] = []
+        #: Chunk replicas known to have missed an acked write — keys are
+        #: ``(rel, chunk_id, stale_address)``, insertion-ordered.  The
+        #: consensus-free write path acks once *one* replica lands a
+        #: span; the legs that failed hold stale (same-length!) data a
+        #: digest comparison cannot arbitrate, so the client records the
+        #: ground truth here for the self-healing plane to drain
+        #: (:meth:`repro.selfheal.Supervisor.register_client`).
+        self.dirty_replicas: dict = {}
+        self._dirty_seq = 0
         #: Registry mirroring :class:`ClientStats` (``client.*`` gauges) —
         #: the same enumeration path as the daemon-side registries, so
         #: ``degraded_ops``/``leg_failures`` appear in metrics reports.
@@ -217,6 +232,46 @@ class GekkoFSClient:
                     target: type(exc).__name__ for target, exc in failed.items()
                 },
             )
+
+    _DIRTY_CAPACITY = 4096
+
+    def _next_dirty_seq(self) -> int:
+        """One sequence number per *write op* that lost a replica leg.
+
+        Every leg the same write lost shares the seq, so a resync driver
+        can tell which marks belong to the latest write: its surviving
+        legs are authoritative over everything earlier.
+        """
+        self._dirty_seq += 1
+        return self._dirty_seq
+
+    def _note_dirty_replica(
+        self, rel: str, chunk_id: int, target: int, seq: int
+    ) -> None:
+        """Record one replica write leg that failed under an acked op."""
+        self.stats.dirty_marks += 1
+        ledger = self.dirty_replicas
+        if len(ledger) >= self._DIRTY_CAPACITY and (
+            (rel, chunk_id, target) not in ledger
+        ):
+            ledger.pop(next(iter(ledger)))
+            self.stats.dirty_overflow += 1
+        ledger[(rel, chunk_id, target)] = seq
+
+    def drain_dirty_replicas(self) -> list:
+        """Hand the dirty-replica ledger to a resync driver (destructive).
+
+        Returns ``[((rel, chunk_id, target), seq), ...]``.  Thread-safe
+        against concurrent marking: entries are popped one at a time, so
+        a mark landing mid-drain is kept for the next one.
+        """
+        drained = []
+        ledger = self.dirty_replicas
+        while True:
+            try:
+                drained.append(ledger.popitem())
+            except KeyError:
+                return drained
 
     def _build_metrics_registry(self) -> MetricsRegistry:
         registry = MetricsRegistry()
@@ -712,17 +767,32 @@ class GekkoFSClient:
             self._seed_hot_replicas(rel, record, int(reply.get("hot", 0)))
 
     def _cached_attr(self, rel: str) -> bytes:
-        """The metadata record of ``rel`` through the lease cache."""
+        """The metadata record of ``rel`` through the lease cache.
+
+        A fresh negative entry short-circuits to ``NotFoundError`` with
+        zero RPCs — the ENOENT analogue of an attr hit.
+        """
         entry, fresh = self.meta_cache.lookup_attr(rel)
         if entry is not None and fresh:
             return entry.record
+        if entry is None and self.meta_cache.lookup_negative(rel):
+            raise NotFoundError(rel)
         if entry is not None:
             return self._revalidate_attr(rel, entry)
         return self._fetch_attr(rel)
 
     def _fetch_attr(self, rel: str) -> bytes:
-        """Cache miss: full fetch via the lease RPC, then cache."""
-        reply = self._meta_call(rel, "gkfs_stat_lease")
+        """Cache miss: full fetch via the lease RPC, then cache.
+
+        ``ENOENT`` is cached too (a negative entry under the same
+        lease), so repeated stats of a missing path — the open-search
+        storm every build system generates — stop costing one RPC each.
+        """
+        try:
+            reply = self._meta_call(rel, "gkfs_stat_lease")
+        except NotFoundError:
+            self.meta_cache.put_negative(rel)
+            raise
         record = reply["record"]
         self.meta_cache.put_attr(
             rel, record, meta_version(record), int(reply.get("hot", 0))
@@ -756,6 +826,7 @@ class GekkoFSClient:
             reply = self._meta_call(rel, "gkfs_stat_if_changed", entry.version)
         except NotFoundError:
             self.meta_cache.invalidate_attr(rel)
+            self.meta_cache.put_negative(rel)
             raise
         return self._apply_revalidation(rel, entry, reply)
 
@@ -958,6 +1029,7 @@ class GekkoFSClient:
             crc = (self._span_digest(piece),) if self._verify_writes else ()
             written_somewhere = False
             last_transient: Optional[Exception] = None
+            span_seq: Optional[int] = None
             for target in self._chunk_targets(entry.path, span.chunk_id):
                 try:
                     if span.length <= INLINE_WRITE_THRESHOLD:
@@ -991,6 +1063,11 @@ class GekkoFSClient:
                         # degraded mode bounds the failure, raw otherwise).
                         raise self._fatal_transient(exc) from exc
                     last_transient = exc
+                    if span_seq is None:
+                        span_seq = self._next_dirty_seq()
+                    self._note_dirty_replica(
+                        entry.path, span.chunk_id, target, span_seq
+                    )
             if not written_somewhere:
                 if last_transient is not None:
                     raise self._fatal_transient(last_transient) from last_transient
@@ -1035,6 +1112,15 @@ class GekkoFSClient:
             if all(target in failed for target in targets):
                 # No replica took this span.
                 raise self._fatal_transient(failed[targets[0]]) from failed[targets[0]]
+        for span in spans:
+            span_seq = None
+            for target in self._chunk_targets(entry.path, span.chunk_id):
+                if target in failed:
+                    if span_seq is None:
+                        span_seq = self._next_dirty_seq()
+                    self._note_dirty_replica(
+                        entry.path, span.chunk_id, target, span_seq
+                    )
 
     def _issue_write_group(
         self, target: int, rel: str, view: memoryview, group: list

@@ -55,6 +55,13 @@ class FSConfig:
         attempts and backoff sleeps; ``None`` leaves latency bounded by
         the attempt count alone.  Setting it (even with 0 retries)
         routes calls through the deadline-aware retrying transport.
+    :ivar rpc_call_timeout: per-call stall deadline on socket transports
+        (seconds).  A watchdog fails any in-flight RPC older than this
+        with ``TimeoutError`` even while its connection stays open — so
+        a hung-but-connected daemon (SIGSTOP) becomes breaker-visible
+        health evidence instead of stalling callers until the sync RPC
+        deadline.  ``None`` disables the watchdog (in-process transports
+        ignore the knob).
     :ivar rpc_backoff_base: first retry delay in seconds.
     :ivar rpc_backoff_max: cap on any single backoff delay.
     :ivar breaker_enabled: per-daemon circuit breaker — after
@@ -208,6 +215,7 @@ class FSConfig:
     rpc_pipelining: bool = True
     rpc_retries: int = 0
     rpc_deadline: Optional[float] = None
+    rpc_call_timeout: Optional[float] = None
     rpc_backoff_base: float = 0.001
     rpc_backoff_max: float = 0.1
     breaker_enabled: bool = False
@@ -268,6 +276,10 @@ class FSConfig:
             raise ValueError(f"rpc_retries must be >= 0, got {self.rpc_retries}")
         if self.rpc_deadline is not None and self.rpc_deadline <= 0:
             raise ValueError(f"rpc_deadline must be > 0, got {self.rpc_deadline}")
+        if self.rpc_call_timeout is not None and self.rpc_call_timeout <= 0:
+            raise ValueError(
+                f"rpc_call_timeout must be > 0, got {self.rpc_call_timeout}"
+            )
         if self.rpc_backoff_base < 0 or self.rpc_backoff_max < 0:
             raise ValueError("rpc backoff delays must be >= 0")
         if self.breaker_failure_threshold < 1:

@@ -5,6 +5,12 @@ One bounded LRU holds two entry kinds:
 * **attr** — the encoded metadata record of one path plus its content
   version stamp and the owner's hot-replication fan-out (0 = not hot).
 * **page** — a merged readdir/readdir_plus result for one directory.
+* **neg** — a negative (ENOENT) entry: the owner said the path does not
+  exist.  Lives under the same TTL lease and LRU budget; a fresh one
+  answers stat/open with a zero-RPC ``NotFoundError``.  Any local
+  create/mutation of the path drops it (invalidation-on-create), so
+  read-your-writes holds; cross-client creates are visible within one
+  lease, the same staleness bound positive entries carry.
 
 Freshness is a pure TTL lease: an entry younger than the lease answers
 locally; an older one must revalidate (the client sends the version to
@@ -31,6 +37,8 @@ class MetaCacheStats:
 
     attr_hits: int = 0
     attr_misses: int = 0
+    negative_hits: int = 0
+    negative_puts: int = 0
     readdir_hits: int = 0
     readdir_misses: int = 0
     revalidations: int = 0
@@ -116,12 +124,18 @@ class ClientMetaCache:
             return entry, False
 
     def put_attr(self, rel: str, record: bytes, version: int, hot_k: int = 0) -> AttrEntry:
-        """Cache (or replace) the attr record for ``rel`` with a fresh lease."""
+        """Cache (or replace) the attr record for ``rel`` with a fresh lease.
+
+        Also drops any negative entry for the path — the
+        invalidation-on-create rule: once this client has seen (or made)
+        the path exist, a stale ENOENT must never answer again.
+        """
         entry = AttrEntry(record, version, self.clock(), hot_k)
         with self._lock:
             old = self._entries.get(("attr", rel))
             if old is not None:
                 entry.rotation = old.rotation
+            self._entries.pop(("neg", rel), None)
             self._entries[("attr", rel)] = entry
             self._entries.move_to_end(("attr", rel))
             self._evict_locked()
@@ -135,6 +149,42 @@ class ClientMetaCache:
                 entry.fetched_at = self.clock()
                 if hot_k is not None:
                     entry.hot_k = hot_k
+
+    # -- negative (ENOENT) entries ------------------------------------
+
+    def lookup_negative(self, rel: str) -> bool:
+        """True when a *fresh* negative entry covers ``rel``.
+
+        A fresh hit answers stat/open with a zero-RPC ``NotFoundError``
+        on the caller's side.  A stale entry is dropped (the lease
+        expired — the path may exist by now) and reads as a miss; the
+        caller's normal fetch path then re-learns the truth.
+        """
+        key = ("neg", rel)
+        with self._lock:
+            stamp = self._entries.get(key)
+            if stamp is None:
+                return False
+            if self.clock() - stamp < self.ttl:
+                self._entries.move_to_end(key)
+                self.stats.negative_hits += 1
+                return True
+            self.stats.expirations += 1
+            del self._entries[key]
+            return False
+
+    def put_negative(self, rel: str) -> None:
+        """Cache "``rel`` does not exist" under a fresh lease.
+
+        Any positive entry for the path is dropped — the owner just
+        contradicted it.
+        """
+        with self._lock:
+            self._entries.pop(("attr", rel), None)
+            self._entries[("neg", rel)] = self.clock()
+            self._entries.move_to_end(("neg", rel))
+            self.stats.negative_puts += 1
+            self._evict_locked()
 
     # -- readdir pages ------------------------------------------------
 
@@ -166,11 +216,16 @@ class ClientMetaCache:
         """Drop the attr entry for ``rel`` (mutation / read-your-writes).
 
         Returns the dropped entry — the client uses its ``hot_k`` to
-        decide whether replica drops are worth broadcasting.
+        decide whether replica drops are worth broadcasting.  Negative
+        entries fall with the positive one: a local mutation (create or
+        unlink) makes either cached answer suspect, and the next lookup
+        re-learns whichever is true.
         """
         with self._lock:
             entry = self._entries.pop(("attr", rel), None)
             if entry is not None:
+                self.stats.invalidations += 1
+            if self._entries.pop(("neg", rel), None) is not None:
                 self.stats.invalidations += 1
             return entry
 

@@ -1,0 +1,167 @@
+"""Closed-form twin of the self-healing control plane.
+
+The live engine (``repro.selfheal``) is a phi-accrual failure detector
+feeding a restart-first repair supervisor.  This module predicts its
+three headline numbers from first principles, so experiments can pin the
+measured system against an analytic envelope instead of a magic number.
+
+**Phi accrual** (Hayashibara et al.).  Healthy probe successes arrive
+roughly every ``mean`` seconds with jitter ``std``.  Model the
+inter-arrival as Normal(mean, std); with ``t`` seconds elapsed since the
+last success, the suspicion level is::
+
+    phi(t) = -log10( P[interarrival > t] ) = -log10( sf((t - mean) / std) )
+
+where ``sf`` is the standard normal survival function.  phi = 1 means
+"only 10% of healthy gaps are this long", phi = 8 means one healthy gap
+in 10^8 — the graded scale the detector thresholds against.
+
+**Detection time.**  Inverting phi: the detector condemns (modulo
+corroboration) once ``t`` crosses::
+
+    T_detect(threshold) = mean + std * z   where  sf(z) = 10^-threshold
+
+**False positives.**  By construction a healthy daemon exceeds a phi
+threshold with probability ``10^-threshold`` per observation gap — the
+false-condemnation *candidate* rate before corroboration; the second
+vantage multiplies it by its own (independent) failure probability,
+which is why the soak demands *zero* false condemnations outright.
+
+**MTTR.**  Repair time decomposes into detection, corroboration
+(one extra probe round), process respawn, and redundancy restoration at
+the repair lane's copy rate::
+
+    MTTR = T_detect + probe_interval + restart_seconds + bytes / repair_rate
+
+All functions validate inputs with ``ValueError`` and use only the
+standard library (an ``erfc`` bisection stands in for the inverse
+survival function).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "phi",
+    "detection_time",
+    "false_positive_rate",
+    "repair_time",
+    "mttr",
+]
+
+
+def _normal_sf(z: float) -> float:
+    """Standard normal survival function P[Z > z]."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def _normal_isf(p: float) -> float:
+    """Inverse survival function: the z with ``sf(z) = p`` (bisection).
+
+    ``erfc`` underflows to 0 around z ≈ 39, bounding meaningful phi at
+    roughly 300 — far beyond any practical threshold.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    lo, hi = -40.0, 40.0
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if _normal_sf(mid) > p:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def phi(elapsed: float, mean: float, std: float) -> float:
+    """Suspicion level after ``elapsed`` seconds without a probe success.
+
+    :param elapsed: seconds since the last successful probe (>= 0).
+    :param mean: mean healthy inter-success gap (> 0).
+    :param std: gap standard deviation (> 0; floor tiny jitters before
+        calling — a zero std makes every late probe infinitely damning).
+    """
+    if elapsed < 0:
+        raise ValueError(f"elapsed must be >= 0, got {elapsed}")
+    if mean <= 0:
+        raise ValueError(f"mean must be > 0, got {mean}")
+    if std <= 0:
+        raise ValueError(f"std must be > 0, got {std}")
+    sf = _normal_sf((elapsed - mean) / std)
+    if sf <= 0.0:
+        return 320.0  # erfc underflow: beyond any threshold in use
+    return -math.log10(sf)
+
+
+def detection_time(threshold: float, mean: float, std: float) -> float:
+    """Seconds of silence before phi crosses ``threshold``.
+
+    The crash-to-condemnation-candidate latency: a daemon killed the
+    instant after a successful probe stays below the threshold for
+    exactly this long.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be > 0, got {threshold}")
+    if mean <= 0 or std <= 0:
+        raise ValueError("mean and std must be > 0")
+    return mean + std * _normal_isf(10.0 ** (-threshold))
+
+
+def false_positive_rate(threshold: float, probe_interval: float) -> float:
+    """Expected healthy-daemon threshold crossings per second.
+
+    Each probe gap independently exceeds the threshold with probability
+    ``10^-threshold``; at one gap per ``probe_interval`` seconds the
+    crossing rate is their ratio.  This is the *pre-corroboration*
+    candidate rate — condemnation additionally requires an independent
+    vantage to fail, so the live engine's false-condemnation rate is
+    strictly lower (zero in every soak we accept).
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be > 0, got {threshold}")
+    if probe_interval <= 0:
+        raise ValueError(f"probe_interval must be > 0, got {probe_interval}")
+    return (10.0 ** (-threshold)) / probe_interval
+
+
+def repair_time(
+    restart_seconds: float,
+    bytes_to_restore: int,
+    repair_rate: float,
+) -> float:
+    """Seconds from condemnation to restored redundancy.
+
+    :param restart_seconds: process respawn + READY handshake.
+    :param bytes_to_restore: replica bytes the dead daemon owned.
+    :param repair_rate: byte/s the repair lane sustains.
+    """
+    if restart_seconds < 0:
+        raise ValueError(f"restart_seconds must be >= 0, got {restart_seconds}")
+    if bytes_to_restore < 0:
+        raise ValueError(f"bytes_to_restore must be >= 0, got {bytes_to_restore}")
+    if repair_rate <= 0:
+        raise ValueError(f"repair_rate must be > 0, got {repair_rate}")
+    return restart_seconds + bytes_to_restore / repair_rate
+
+
+def mttr(
+    threshold: float,
+    mean: float,
+    std: float,
+    probe_interval: float,
+    restart_seconds: float,
+    bytes_to_restore: int,
+    repair_rate: float,
+) -> float:
+    """End-to-end mean time to repair: detect, corroborate, respawn, copy.
+
+    Corroboration costs one extra probe round (the independent-vantage
+    check runs inside the round that crosses the threshold, but the
+    supervisor acts at its next loop tick — bounded by one interval).
+    """
+    return (
+        detection_time(threshold, mean, std)
+        + probe_interval
+        + repair_time(restart_seconds, bytes_to_restore, repair_rate)
+    )

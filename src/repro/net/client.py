@@ -33,6 +33,7 @@ import builtins
 import itertools
 import socket
 import threading
+import time
 import uuid
 from typing import Mapping, Optional
 
@@ -115,11 +116,12 @@ class _Pending:
     """One in-flight request: response/push barrier + resolution."""
 
     __slots__ = ("future", "bulk", "lock", "responded", "status", "payload",
-                 "pulled", "pushed_total", "applied", "done")
+                 "pulled", "pushed_total", "applied", "done", "issued_at")
 
     def __init__(self, bulk):
         self.future = RpcFuture()
         self.bulk = bulk
+        self.issued_at = time.monotonic()
         self.lock = threading.Lock()
         self.responded = False
         self.status = 0
@@ -315,6 +317,33 @@ class _Channel:
         with self.lock:
             self.pending.pop(seq, None)
 
+    def fail_overdue(self, cutoff: float) -> int:
+        """Fail every in-flight request issued at/before ``cutoff``.
+
+        The stall watchdog's teeth: a hung-but-connected daemon (think
+        SIGSTOP) keeps its sockets alive, so ``_die`` never fires and,
+        before per-call timeouts existed, callers blocked until the sync
+        deadline while the breaker saw nothing.  Overdue entries are
+        popped from the table and failed with ``TimeoutError`` — a
+        :data:`~repro.rpc.transport.DELIVERY_FAILURES` member, so the
+        retry/breaker layer records the stall as health evidence.  A late
+        response for a failed entry is ignored by the ``done`` guard.
+        """
+        stalled = []
+        with self.lock:
+            if self.dead:
+                return 0
+            for seq, pending in list(self.pending.items()):
+                if pending.issued_at <= cutoff and not pending.done:
+                    del self.pending[seq]
+                    stalled.append(pending)
+        for pending in stalled:
+            pending.fail(TimeoutError(
+                f"RPC to daemon {self.target} stalled past the per-call "
+                f"timeout (daemon hung or unresponsive)"
+            ))
+        return len(stalled)
+
     def _die(self, exc: ConnectionError) -> None:
         with self.lock:
             if self.dead:
@@ -344,6 +373,12 @@ class SocketTransport(Transport):
         ``TimeoutError``.
     :param request_timeout: synchronous :meth:`send` deadline; the async
         path leaves deadlines to the caller (``wait_all`` owns them).
+    :param call_timeout: optional per-call stall deadline enforced by a
+        watchdog thread on **every** in-flight request, async included.
+        A request older than this fails with ``TimeoutError`` even while
+        its sockets stay connected — the hung-daemon (SIGSTOP) case —
+        so the circuit breaker opens on stalls, not just resets.
+        ``None`` (default) keeps the legacy no-watchdog behaviour.
     """
 
     def __init__(
@@ -352,17 +387,39 @@ class SocketTransport(Transport):
         *,
         connect_timeout: float = 5.0,
         request_timeout: float = 30.0,
+        call_timeout: Optional[float] = None,
     ):
+        if call_timeout is not None and call_timeout <= 0:
+            raise ValueError(f"call_timeout must be > 0, got {call_timeout}")
         self._endpoints: dict[int, Endpoint] = {
             target: parse_endpoint(spec) for target, spec in addresses.items()
         }
         self._connect_timeout = connect_timeout
         self._request_timeout = request_timeout
+        self._call_timeout = call_timeout
         self._channels: dict[int, _Channel] = {}
         self._lock = threading.Lock()
         self._closed = False
         #: Transparent idempotent-call resubmissions performed (telemetry).
         self.reconnects = 0
+        #: In-flight calls failed by the stall watchdog (telemetry).
+        self.stalled_calls = 0
+        self._watchdog_stop = threading.Event()
+        self._watchdog: Optional[threading.Thread] = None
+        if call_timeout is not None:
+            self._watchdog = threading.Thread(
+                target=self._watch_stalls, daemon=True, name="gkfs-net-watchdog"
+            )
+            self._watchdog.start()
+
+    def _watch_stalls(self) -> None:
+        interval = max(min(self._call_timeout / 4.0, 0.25), 0.005)
+        while not self._watchdog_stop.wait(interval):
+            cutoff = time.monotonic() - self._call_timeout
+            with self._lock:
+                channels = list(self._channels.values())
+            for channel in channels:
+                self.stalled_calls += channel.fail_overdue(cutoff)
 
     def add_daemon(self, target: int, spec) -> None:
         """Register (or re-point) one daemon's endpoint."""
@@ -442,6 +499,7 @@ class SocketTransport(Transport):
 
     def shutdown(self) -> None:
         """Close every channel; in-flight requests fail as lost connections."""
+        self._watchdog_stop.set()
         with self._lock:
             self._closed = True
             channels, self._channels = list(self._channels.values()), {}

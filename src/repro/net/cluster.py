@@ -31,8 +31,10 @@ from collections import deque
 from typing import Mapping, Optional
 
 from repro.core.client import GekkoFSClient
+from repro.core.cluster import node_dir
 from repro.core.config import FSConfig
 from repro.core.distributor import Distributor, SimpleHashDistributor
+from repro.core.membership import EpochStampedNetwork, MembershipView
 from repro.core.metadata import new_dir_metadata
 from repro.net.client import SocketTransport
 from repro.net.serve import (
@@ -49,7 +51,12 @@ from repro.rpc import (
     RpcNetwork,
 )
 
-__all__ = ["SocketDeployment", "LocalSocketCluster", "ProcessCluster"]
+__all__ = [
+    "SocketDeployment",
+    "LocalSocketCluster",
+    "ElasticLocalSocketCluster",
+    "ProcessCluster",
+]
 
 
 class SocketDeployment:
@@ -99,6 +106,7 @@ class SocketDeployment:
             addresses,
             connect_timeout=connect_timeout,
             request_timeout=request_timeout,
+            call_timeout=self.config.rpc_call_timeout,
         )
         self.network.transport = self.socket_transport
         # Same fault-tolerance wiring as the in-process cluster: one fused
@@ -251,6 +259,7 @@ class LocalSocketCluster(_SocketClusterBase):
         if num_nodes <= 0:
             raise ValueError(f"num_nodes must be > 0, got {num_nodes}")
         config = config or FSConfig()
+        self._handlers_per_daemon = handlers_per_daemon
         self.served: list[ServedDaemon] = []
         try:
             for node in range(num_nodes):
@@ -279,6 +288,29 @@ class LocalSocketCluster(_SocketClusterBase):
         self._crashed.add(address)
         self.served[address].stop(drain=False)
 
+    def daemon_alive(self, address: int) -> bool:
+        return address not in self._crashed
+
+    def restart_daemon(self, address: int) -> str:
+        """Rebuild a crashed daemon under the same identity (fresh port).
+
+        The replacement reopens the same ``kv_dir``/``data_dir``; with
+        in-memory stores it comes back empty — restoring redundancy from
+        its replicas is the caller's job (see ``selfheal.WireRepairer``).
+        Returns the new endpoint spec.
+        """
+        if address not in self._crashed:
+            raise RuntimeError(
+                f"daemon {address} is still running; crash it first"
+            )
+        served = start_daemon(
+            self.config, address, handlers=self._handlers_per_daemon
+        )
+        self.served[address] = served
+        self._crashed.discard(address)
+        self.deployment.add_daemon(address, served.address_spec)
+        return served.address_spec
+
     def shutdown(self, wipe: bool = True) -> None:
         if not self._running:
             return
@@ -289,6 +321,89 @@ class LocalSocketCluster(_SocketClusterBase):
                 served.stop(drain=True)
         if wipe:
             self._wipe()
+
+
+class ElasticLocalSocketCluster(LocalSocketCluster):
+    """A :class:`LocalSocketCluster` with live membership: the PR 7
+    elastic protocol (``live_migrate`` / ``rereplicate``) running over
+    real sockets.
+
+    The migrator needs two things a plain socket deployment lacks: a
+    versioned :class:`~repro.core.membership.MembershipView` that every
+    client routes through (so the write freeze and the epoch flip reach
+    them), and white-box daemon objects for its source-side scans.  An
+    in-process socket cluster has both — ``served[i].daemon`` is the
+    real :class:`~repro.core.daemon.GekkoDaemon` behind the socket — so
+    this adapter only has to expose the :class:`~repro.core.cluster
+    .GekkoFSCluster` elastic surface over the wire stack.  That makes it
+    the vehicle for crash-during-migration tests with real connection
+    failures, and for supervisors that must stamp repairs with the live
+    epoch.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.view = MembershipView(self.deployment.distributor)
+
+    # -- GekkoFSCluster elastic surface ------------------------------------
+
+    @property
+    def daemons(self):
+        """White-box daemon objects, indexed by address (migrator API)."""
+        return [served.daemon for served in self.served]
+
+    @property
+    def crashed_daemons(self) -> set:
+        return set(self._crashed)
+
+    def live_daemons(self) -> list:
+        return [
+            served.daemon
+            for address, served in enumerate(self.served)
+            if address not in self._crashed
+        ]
+
+    @property
+    def distributor(self) -> Distributor:
+        return self.deployment.distributor
+
+    @distributor.setter
+    def distributor(self, value: Distributor) -> None:
+        # The migrator's post-flip sync; clients keep routing through
+        # the view, the deployment book is for view-less consumers.
+        self.deployment.distributor = value
+
+    def client(self, node_id: int = 0) -> GekkoFSClient:
+        """An epoch-stamped client: placement from the live view, writes
+        parked at the freeze gate, retired views failing loudly."""
+        if not 0 <= node_id < self.num_nodes:
+            raise ValueError(
+                f"node_id {node_id} out of range [0, {self.num_nodes})"
+            )
+        network = self.deployment.network
+        if self.config.qos_enabled:
+            network = ClientPort(
+                network,
+                next(self.deployment._client_ids),
+                window_enabled=self.config.qos_window_enabled,
+                window_initial=self.config.qos_window_initial,
+                window_max=self.config.qos_window_max,
+                throttle_retries=self.config.qos_throttle_retries,
+            )
+        network = EpochStampedNetwork(network, self.view)
+        return GekkoFSClient(network, self.view, self.config, node_id)
+
+    def migration_network(self):
+        """The migrator's port: deliberately *not* epoch-stamped — the
+        migration plane must keep writing through its own freeze."""
+        return self.deployment.network
+
+    def restart_daemon(self, address: int) -> str:
+        spec = super().restart_daemon(address)
+        # The replacement must enforce the current epoch floor like its
+        # predecessor did, or retired clients could write through it.
+        self.served[address].daemon.set_epoch(self.view.epoch)
+        return spec
 
 
 class _Pump(threading.Thread):
@@ -468,6 +583,60 @@ class ProcessCluster(_SocketClusterBase):
 
     def daemon_pid(self, address: int) -> int:
         return self.processes[address].pid
+
+    def daemon_alive(self, address: int) -> bool:
+        """Whether the child process still exists (a SIGSTOPped daemon
+        counts as alive — it is hung, not dead)."""
+        return self.processes[address].poll() is None
+
+    def suspend_daemon(self, address: int) -> None:
+        """SIGSTOP one daemon: hung-but-connected.  Its sockets stay
+        open, so without per-call timeouts clients would stall silently.
+
+        Returns only once the kernel reports the process stopped:
+        ``kill(2)`` returns when the signal is *generated*, not
+        *delivered*, so a daemon still runnable for a few more
+        microseconds could answer one last RPC after this call.
+        """
+        pid = self.daemon_pid(address)
+        os.kill(pid, signal.SIGSTOP)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                with open(f"/proc/{pid}/stat", "rb") as f:
+                    state = f.read().rsplit(b")", 1)[1].split()[0]
+            except OSError:
+                return  # no /proc or process gone: best effort
+            if state in (b"T", b"t"):
+                return
+            time.sleep(0.001)
+
+    def resume_daemon(self, address: int) -> None:
+        """SIGCONT a suspended daemon."""
+        os.kill(self.daemon_pid(address), signal.SIGCONT)
+
+    def replace_daemon(self, address: int) -> str:
+        """Crash-replace one daemon with a *blank* successor.
+
+        Force-kills the child if it still exists (covers the hung case —
+        a SIGSTOPped process cannot drain), wipes its node-local
+        ``kv_dir``/``data_dir`` so the replacement starts empty, and
+        respawns under the same identity.  Restoring redundancy from the
+        surviving replicas is the caller's job (``selfheal.WireRepairer``
+        or the migration lane's ``rereplicate``).  Returns the new
+        endpoint spec.
+        """
+        proc = self.processes[address]
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait()
+        for base in (self.config.kv_dir, self.config.data_dir):
+            directory = node_dir(base, address)
+            if directory is not None and os.path.isdir(directory):
+                shutil.rmtree(directory, ignore_errors=True)
+        spec = self._spawn_and_scrape(address)
+        self.deployment.add_daemon(address, spec)
+        return spec
 
     def terminate_daemon(self, address: int, timeout: float = 15.0) -> int:
         """SIGTERM one daemon and wait for its graceful drain; returns

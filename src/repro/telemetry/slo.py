@@ -141,6 +141,30 @@ class SloEngine:
     ):
         self.slos = tuple(slos)
         self.rules = tuple(rules)
+        self._sinks: List = []
+
+    # -- push-mode delivery ---------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        """Register a push-mode alert consumer.
+
+        ``sink`` is any callable taking one alert dict (the same shape
+        the report's ``alerts`` list carries).  Every alert fired by
+        :meth:`evaluate_and_emit` is delivered to every sink — this is
+        how the self-healing supervisor and ``repro top`` hear about
+        burns without polling.  A sink that raises is dropped from that
+        delivery only; alerting must never take down the evaluator.
+        """
+        if not callable(sink):
+            raise TypeError(f"sink must be callable, got {type(sink).__name__}")
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        """Unregister a sink previously added; unknown sinks are ignored."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
 
     # -- per-window accounting ------------------------------------------------
 
@@ -251,11 +275,17 @@ class SloEngine:
     def evaluate_and_emit(self, wire: Mapping, collector=None, health=None) -> dict:
         """Evaluate, then push fired alerts into the event stream/health.
 
-        Each alert becomes a ``slo.burn_rate`` instant (PR-3 stream) and
-        a :meth:`note_slo_alert` on the health tracker when provided.
+        Each alert becomes a ``slo.burn_rate`` instant (PR-3 stream), a
+        :meth:`note_slo_alert` on the health tracker when provided, and
+        one call per registered push sink (:meth:`add_sink`).
         """
         report = self.evaluate(wire)
         for alert in report["alerts"]:
+            for sink in tuple(self._sinks):
+                try:
+                    sink(dict(alert))
+                except Exception:
+                    pass  # a broken consumer must not break evaluation
             if collector is not None:
                 collector.instant(
                     "slo.burn_rate",

@@ -66,6 +66,9 @@ TRACE_EXEMPT = frozenset(
         "chmod",
         # Pure local predicate, no RPC.
         "is_gekkofs_path",
+        # Local ledger hand-off to the supervisor: drains in-memory
+        # dirty-replica marks, no RPC.
+        "drain_dirty_replicas",
         # Introspection broadcasts: observability reading its own plane
         # would perturb the numbers it reports.
         "statfs",

@@ -12,7 +12,7 @@ class TestRegistry:
             "FIG2a", "FIG2b", "FIG2c", "FIG3a", "FIG3b",
             "T-DATA", "T-RAND", "T-SHARED", "T-START", "T-LDATA",
             "EXT-AVAIL", "EXT-BALANCE", "EXT-OVERLOAD", "EXT-INTEGRITY",
-            "EXT-ELASTIC", "EXT-HOTSPOT",
+            "EXT-ELASTIC", "EXT-HOTSPOT", "EXT-SELFHEAL",
         }
         assert set(REGISTRY) == expected
 

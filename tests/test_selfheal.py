@@ -1,0 +1,997 @@
+"""Self-healing control plane: detection, repair, resync, and satellites.
+
+The ISSUE-10 battery: phi-accrual grading with second-vantage partition
+disambiguation (pure partitions never condemn), the supervisor's
+restart-first escalation ladder with flap damping and cooldowns, the
+client dirty-replica ledger feeding seq-arbitrated resyncs, wire-level
+redundancy repair over real sockets, a SIGKILL inside a migration write
+freeze (the gate must unpark and the repair must not race the aborted
+epoch), plus the satellites: the per-call stall watchdog, negative
+(ENOENT) metadata caching, and push-mode SLO alert sinks.
+"""
+
+import os
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.common.errors import NotFoundError
+from repro.core import FSConfig, RendezvousDistributor
+from repro.core.client import ClientStats, GekkoFSClient
+from repro.core.resize import live_migrate
+from repro.metacache import ClientMetaCache
+from repro.models import selfheal as twin
+from repro.net.cluster import (
+    ElasticLocalSocketCluster,
+    LocalSocketCluster,
+    ProcessCluster,
+)
+from repro.selfheal import (
+    CONDEMNED,
+    HEALTHY,
+    SUSPECT,
+    PhiAccrualDetector,
+    Supervisor,
+    WireRepairer,
+)
+from repro.storage.integrity import chunk_checksum
+from repro.telemetry.slo import SLO, BurnRateRule, SloEngine
+
+
+# -- shared fakes -------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class FakeNet:
+    """A ping-only network: daemons in ``down`` refuse every call."""
+
+    def __init__(self):
+        self.down = set()
+
+    def call(self, address, handler, *args, **kwargs):
+        if address in self.down:
+            raise ConnectionError(f"daemon {address} is down")
+        return {"min_epoch": 0}
+
+
+class FakeDeployment:
+    def __init__(self, num_nodes: int):
+        self.num_nodes = num_nodes
+        self.network = FakeNet()
+
+
+class FakeDetector:
+    """Just enough detector surface for supervisor unit tests."""
+
+    def __init__(self):
+        self.listeners = []
+        self.cleared = []
+        self.condemned = set()
+        self.partitions_detected = 0
+
+    def add_listener(self, fn):
+        self.listeners.append(fn)
+
+    def poll(self):
+        return []
+
+    def clear(self, address):
+        self.cleared.append(address)
+        self.condemned.discard(address)
+
+    def state(self, address):
+        return CONDEMNED if address in self.condemned else HEALTHY
+
+    def fire(self, address, new=CONDEMNED, evidence=None):
+        for fn in self.listeners:
+            fn(address, HEALTHY, new, evidence or {})
+
+
+class FakeRepairer:
+    def __init__(self):
+        self.passes = 0
+        self.resyncs = []
+        self.resync_status = "resynced"
+
+    def repair(self):
+        self.passes += 1
+        return SimpleNamespace(as_dict=lambda: {"chunks_restored": 0})
+
+    def resync_chunk(self, rel, cid, stale, attempts=3, exclude=()):
+        self.resyncs.append((rel, cid, stale, tuple(sorted(exclude))))
+        return self.resync_status
+
+
+class FakeCluster:
+    def __init__(self, num_nodes=4):
+        self.num_nodes = num_nodes
+        self.deployment = None
+        self.config = SimpleNamespace(flight_recorder_dir=None)
+        self.dead = set()
+        self.restarts = []
+        self.replaces = []
+        self.kills = []
+
+    def daemon_alive(self, address):
+        return address not in self.dead
+
+    def restart_daemon(self, address):
+        self.restarts.append(address)
+        self.dead.discard(address)
+
+    def replace_daemon(self, address):
+        self.replaces.append(address)
+        self.dead.discard(address)
+
+    def kill_daemon(self, address):
+        self.kills.append(address)
+        self.dead.add(address)
+
+
+class FakeLedgerClient:
+    def __init__(self, marks=None):
+        self.dirty_replicas = dict(marks or {})
+
+    def drain_dirty_replicas(self):
+        drained = list(self.dirty_replicas.items())
+        self.dirty_replicas = {}
+        return drained
+
+
+def _supervisor(cluster=None, detector=None, **kwargs):
+    cluster = cluster or FakeCluster()
+    detector = detector or FakeDetector()
+    kwargs.setdefault("repairer", FakeRepairer())
+    sup = Supervisor(cluster, detector, **kwargs)
+    return cluster, detector, sup
+
+
+def populate(cluster, files=12, file_bytes=600, prefix="/gkfs/data"):
+    client = cluster.client(0)
+    if not client.exists(prefix):
+        client.mkdir(prefix)
+    contents = {}
+    for i in range(files):
+        path = f"{prefix}/f{i:03d}"
+        payload = bytes([(i + 1) & 0xFF]) * file_bytes
+        fd = client.open(path, os.O_CREAT | os.O_WRONLY)
+        client.write(fd, payload)
+        client.close(fd)
+        contents[path] = payload
+    return contents
+
+
+def verify(cluster, contents):
+    client = cluster.client(0)
+    for path, payload in contents.items():
+        fd = client.open(path)
+        assert client.read(fd, len(payload) + 1) == payload, path
+        client.close(fd)
+
+
+# -- the analytic twin --------------------------------------------------------
+
+
+class TestAnalyticTwin:
+    def test_phi_is_monotonic_in_silence(self):
+        levels = [twin.phi(t, 0.1, 0.05) for t in (0.1, 0.2, 0.4, 0.8)]
+        assert levels == sorted(levels)
+        assert levels[-1] > levels[0]
+
+    def test_phi_at_mean_silence(self):
+        # Half of healthy gaps exceed the mean: phi = -log10(0.5).
+        assert twin.phi(0.1, 0.1, 0.05) == pytest.approx(0.30103, rel=1e-3)
+
+    def test_detection_time_inverts_phi(self):
+        for threshold in (1.0, 4.0, 8.0):
+            t = twin.detection_time(threshold, 0.1, 0.05)
+            assert twin.phi(t, 0.1, 0.05) == pytest.approx(threshold, rel=1e-3)
+
+    def test_deep_silence_saturates_instead_of_overflowing(self):
+        assert twin.phi(1e6, 0.1, 0.05) == 320.0
+
+    def test_false_positive_rate(self):
+        # phi 8 at 4 probes/s: one healthy crossing per 2.5e7 seconds.
+        rate = twin.false_positive_rate(8.0, 0.25)
+        assert rate == pytest.approx(4e-8, rel=1e-6)
+
+    def test_mttr_composition(self):
+        total = twin.mttr(8.0, 0.1, 0.05, 0.25, 0.5, 2**20, 2**26)
+        parts = (
+            twin.detection_time(8.0, 0.1, 0.05)
+            + 0.25
+            + twin.repair_time(0.5, 2**20, 2**26)
+        )
+        assert total == pytest.approx(parts)
+
+    @pytest.mark.parametrize(
+        "fn, args",
+        [
+            (twin.phi, (-1.0, 0.1, 0.05)),
+            (twin.phi, (1.0, 0.0, 0.05)),
+            (twin.phi, (1.0, 0.1, 0.0)),
+            (twin.detection_time, (0.0, 0.1, 0.05)),
+            (twin.false_positive_rate, (8.0, 0.0)),
+            (twin.repair_time, (-1.0, 0, 1.0)),
+            (twin.repair_time, (0.0, -1, 1.0)),
+            (twin.repair_time, (0.0, 0, 0.0)),
+        ],
+    )
+    def test_validation(self, fn, args):
+        with pytest.raises(ValueError):
+            fn(*args)
+
+
+# -- the detector -------------------------------------------------------------
+
+
+def _warmed(num_nodes=2, polls=10, gap=0.1, probe=None, **kwargs):
+    """A detector with healthy gap history for every daemon."""
+    dep = FakeDeployment(num_nodes)
+    clock = FakeClock()
+    det = PhiAccrualDetector(
+        dep,
+        independent_probe=probe or (lambda a: False),
+        clock=clock,
+        **kwargs,
+    )
+    for _ in range(polls):
+        det.poll()
+        clock.advance(gap)
+    return dep, clock, det
+
+
+class TestPhiAccrualDetector:
+    def test_constructor_validation(self):
+        dep = FakeDeployment(1)
+        with pytest.raises(ValueError):
+            PhiAccrualDetector(dep, suspect_phi=0.0)
+        with pytest.raises(ValueError):
+            PhiAccrualDetector(dep, suspect_phi=3.0, condemn_phi=2.0)
+        with pytest.raises(ValueError):
+            PhiAccrualDetector(dep, fallback_failures=1)
+
+    def test_healthy_cluster_stays_healthy(self):
+        dep, clock, det = _warmed()
+        assert det.state(0) == HEALTHY
+        assert det.state(1) == HEALTHY
+        assert det.partitions_detected == 0
+        track = det.track(0)
+        assert len(track.gaps) >= 3
+        assert all(g == pytest.approx(0.1) for g in track.gaps)
+
+    def test_crash_walks_healthy_suspect_condemned(self):
+        dep, clock, det = _warmed()
+        dep.network.down.add(1)
+        clock.advance(0.15)  # ~2.5 std of silence: suspicious, not damning
+        transitions = det.poll()
+        assert [(a, o, n) for a, o, n, _ in transitions] == [
+            (1, HEALTHY, SUSPECT)
+        ]
+        clock.advance(1.0)  # phi far past 8: condemnable, probe dead too
+        transitions = det.poll()
+        assert [(a, o, n) for a, o, n, _ in transitions] == [
+            (1, SUSPECT, CONDEMNED)
+        ]
+        assert transitions[0][3]["classification"] == "crash"
+        assert det.state(1) == CONDEMNED
+        assert det.state(0) == HEALTHY
+
+    def test_condemned_is_sticky_until_cleared(self):
+        dep, clock, det = _warmed()
+        dep.network.down.add(1)
+        clock.advance(2.0)
+        det.poll()
+        assert det.state(1) == CONDEMNED
+        # Even a revived daemon stays condemned until the supervisor
+        # clears it — repair owns the transition back.
+        dep.network.down.discard(1)
+        clock.advance(0.1)
+        det.poll()
+        assert det.state(1) == CONDEMNED
+        det.clear(1)
+        assert det.state(1) == HEALTHY
+        det.poll()
+        assert det.state(1) == HEALTHY
+
+    def test_partition_never_condemns(self):
+        """The primary vantage screams, the fresh-socket probe answers:
+        classification partition, held at suspect indefinitely."""
+        dep, clock, det = _warmed(probe=lambda a: True)
+        dep.network.down.add(0)  # client-side fault: primary path only
+        clock.advance(2.0)
+        transitions = det.poll()
+        assert det.state(0) == SUSPECT
+        assert transitions[0][3]["classification"] == "partition"
+        assert det.partitions_detected == 1
+        for _ in range(20):  # no amount of silence upgrades a partition
+            clock.advance(1.0)
+            det.poll()
+        assert det.state(0) == SUSPECT
+        assert det.partitions_detected == 1  # counted once per episode
+
+    def test_partition_heals_back_to_healthy(self):
+        dep, clock, det = _warmed(probe=lambda a: True)
+        dep.network.down.add(0)
+        clock.advance(2.0)
+        det.poll()
+        assert det.state(0) == SUSPECT
+        dep.network.down.discard(0)
+        clock.advance(0.1)
+        transitions = det.poll()
+        assert det.state(0) == HEALTHY
+        assert (0, SUSPECT, HEALTHY) in [
+            (a, o, n) for a, o, n, _ in transitions
+        ]
+
+    def test_tracker_veto_blocks_condemnation(self):
+        """With a breaker present but all-clear, real traffic disagrees
+        with the prober: the condemnation is uncorroborated."""
+        dep, clock, det = _warmed()
+        dep.health = SimpleNamespace(
+            snapshot=lambda: {
+                1: {"state": "closed", "consecutive_failures": 0}
+            }
+        )
+        dep.network.down.add(1)
+        clock.advance(2.0)
+        transitions = det.poll()
+        assert det.state(1) == SUSPECT
+        assert transitions[0][3]["classification"] == "uncorroborated"
+
+    def test_fallback_streak_grading_without_history(self):
+        """A fresh track has no gaps: grade on the failure streak."""
+        dep = FakeDeployment(1)
+        clock = FakeClock()
+        det = PhiAccrualDetector(
+            dep, independent_probe=lambda a: False, clock=clock
+        )
+        dep.network.down.add(0)
+        det.poll()
+        assert det.state(0) == HEALTHY  # one miss proves nothing
+        det.poll()
+        assert det.state(0) == SUSPECT
+        for _ in range(det.fallback_failures - 2):
+            det.poll()
+        assert det.state(0) == CONDEMNED
+
+    def test_listener_hears_every_transition(self):
+        heard = []
+        dep, clock, det = _warmed()
+        det.add_listener(lambda a, o, n, e: heard.append((a, o, n)))
+        dep.network.down.add(1)
+        clock.advance(2.0)
+        det.poll()
+        assert heard == [(1, HEALTHY, CONDEMNED)]
+
+
+# -- the supervisor ladder ----------------------------------------------------
+
+
+class TestSupervisorLadder:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _supervisor(max_restarts=-1)
+
+    def test_restart_comes_first(self):
+        clock = FakeClock()
+        cluster, det, sup = _supervisor(clock=clock)
+        cluster.dead.add(2)
+        entry = sup.repair(2)
+        assert entry["event"] == "repair_complete"
+        assert entry["action"] == "restart"
+        assert cluster.restarts == [2]
+        assert cluster.replaces == []
+        assert det.cleared == [2]
+        assert sup.repairer.passes == 1
+        assert sup.metrics.counter("selfheal.restarts") == 1
+
+    def test_hung_daemon_is_force_killed_before_respawn(self):
+        """A SIGSTOPped daemon is alive-but-dead: the ladder must kill
+        it first, because respawn requires death."""
+        clock = FakeClock()
+        cluster, det, sup = _supervisor(clock=clock)
+        assert cluster.daemon_alive(1)
+        entry = sup.repair(1)
+        assert entry["event"] == "repair_complete"
+        assert cluster.kills == [1]
+        assert cluster.restarts == [1]
+
+    def test_flap_damping_escalates_to_replace(self):
+        clock = FakeClock()
+        cluster, det, sup = _supervisor(
+            max_restarts=1, flap_window=60.0, backoff_base=0.25, clock=clock
+        )
+        cluster.dead.add(0)
+        assert sup.repair(0)["action"] == "restart"
+        clock.advance(5.0)  # past the cooldown, inside the flap window
+        cluster.dead.add(0)
+        entry = sup.repair(0)
+        assert entry["action"] == "replace"
+        assert cluster.replaces == [0]
+
+    def test_quiet_flapper_outside_window_keeps_restarting(self):
+        clock = FakeClock()
+        cluster, det, sup = _supervisor(
+            max_restarts=1, flap_window=10.0, clock=clock
+        )
+        cluster.dead.add(0)
+        assert sup.repair(0)["action"] == "restart"
+        clock.advance(30.0)  # the first condemnation aged out
+        cluster.dead.add(0)
+        assert sup.repair(0)["action"] == "restart"
+
+    def test_cooldown_defers_back_to_back_repairs(self):
+        clock = FakeClock()
+        cluster, det, sup = _supervisor(backoff_base=1.0, clock=clock)
+        cluster.dead.add(3)
+        sup.repair(3)
+        cluster.dead.add(3)
+        entry = sup.repair(3)  # clock unchanged: still cooling down
+        assert entry["event"] == "repair_deferred"
+        assert cluster.restarts == [3]
+        assert sup.metrics.counter("selfheal.deferred") == 1
+
+    def test_condemn_transition_queues_and_step_drains(self):
+        cluster, det, sup = _supervisor()
+        cluster.dead.add(1)
+        det.fire(1)
+        assert sup.pending_repairs() == 1
+        assert sup.busy
+        det.fire(1)  # duplicate condemnations do not double-queue
+        assert sup.pending_repairs() == 1
+        assert sup.step() == 1
+        assert sup.pending_repairs() == 0
+        assert not sup.busy
+        assert [e["address"] for e in sup.repairs()] == [1]
+
+    def test_repair_failure_is_journaled_not_raised(self):
+        cluster, det, sup = _supervisor()
+
+        def broken(address):
+            raise RuntimeError("respawn refused")
+
+        cluster.dead.add(2)
+        cluster.restart_daemon = broken
+        entry = sup.repair(2)
+        assert entry["event"] == "repair_failed"
+        assert "respawn refused" in entry["error"]
+        assert sup.metrics.counter("selfheal.repairs_failed") == 1
+        assert det.cleared == []  # an unrepaired daemon stays condemned
+
+    def test_slo_alert_sink_journals_but_never_condemns(self):
+        cluster, det, sup = _supervisor()
+        sup.on_slo_alert({"slo": "meta", "severity": "page"})
+        assert sup.metrics.counter("selfheal.slo_alerts") == 1
+        assert sup.pending_repairs() == 0  # advisory only
+
+    def test_report_shape(self):
+        cluster, det, sup = _supervisor()
+        cluster.dead.add(1)
+        det.fire(1)
+        sup.step()
+        report = sup.report()
+        assert len(report["repairs"]) == 1
+        assert report["failures"] == []
+        assert report["condemned"] == 1
+        assert report["restarts"] == 1
+        assert report["partitions_detected"] == 0
+
+
+# -- dirty-replica ledger and resync arbitration ------------------------------
+
+
+def _bare_client():
+    """A GekkoFSClient shell carrying only the dirty-ledger state."""
+    client = object.__new__(GekkoFSClient)
+    client.stats = ClientStats()
+    client.dirty_replicas = {}
+    client._dirty_seq = 0
+    return client
+
+
+class TestDirtyLedger:
+    def test_marks_round_trip_with_sequence(self):
+        client = _bare_client()
+        seq1 = client._next_dirty_seq()
+        client._note_dirty_replica("/f", 0, 2, seq1)
+        seq2 = client._next_dirty_seq()
+        client._note_dirty_replica("/f", 1, 3, seq2)
+        assert seq2 > seq1
+        drained = dict(client.drain_dirty_replicas())
+        assert drained == {("/f", 0, 2): seq1, ("/f", 1, 3): seq2}
+        assert client.dirty_replicas == {}
+        assert client.stats.dirty_marks == 2
+
+    def test_remark_keeps_latest_sequence(self):
+        client = _bare_client()
+        client._note_dirty_replica("/f", 0, 2, client._next_dirty_seq())
+        later = client._next_dirty_seq()
+        client._note_dirty_replica("/f", 0, 2, later)
+        assert client.drain_dirty_replicas() == [(("/f", 0, 2), later)]
+
+    def test_capacity_overflow_evicts_oldest(self):
+        client = _bare_client()
+        client._DIRTY_CAPACITY = 2
+        for chunk in range(3):
+            client._note_dirty_replica(
+                "/f", chunk, 1, client._next_dirty_seq()
+            )
+        assert client.stats.dirty_overflow == 1
+        keys = {k for k, _ in client.drain_dirty_replicas()}
+        assert keys == {("/f", 1, 1), ("/f", 2, 1)}  # chunk 0 evicted
+
+
+class TestResyncArbitration:
+    def test_latest_write_wins_superseded_marks_drop(self):
+        """Two legs of the same chunk marked at different writes: only
+        the newest mark's target is stale — the older mark's daemon took
+        every later write, so copying over it would lose acked data."""
+        cluster, det, sup = _supervisor()
+        sup.register_client(
+            FakeLedgerClient({("/f", 0, 1): 1, ("/f", 0, 2): 2})
+        )
+        sup._resync_dirty()
+        assert sup.repairer.resyncs == [("/f", 0, 2, ())]
+        assert sup.metrics.counter("selfheal.resyncs.superseded") == 1
+        assert sup.metrics.counter("selfheal.resyncs.resynced") == 1
+        assert sup.resync_pending() == 0
+
+    def test_sibling_legs_of_one_write_exclude_each_other(self):
+        """Replication 3: both legs one write lost share a seq; neither
+        may be a resync source for the other."""
+        cluster, det, sup = _supervisor()
+        sup.register_client(
+            FakeLedgerClient({("/f", 0, 1): 7, ("/f", 0, 2): 7})
+        )
+        sup._resync_dirty()
+        assert sorted(sup.repairer.resyncs) == [
+            ("/f", 0, 1, (2,)),
+            ("/f", 0, 2, (1,)),
+        ]
+
+    def test_dead_target_holds_without_charging_attempts(self):
+        """A mark on a dead daemon waits for the repair ladder; it burns
+        no attempts and survives in the backlog."""
+        cluster, det, sup = _supervisor()
+        cluster.dead.add(1)
+        sup.register_client(FakeLedgerClient({("/f", 0, 1): 1}))
+        sup._resync_dirty()
+        assert sup.repairer.resyncs == []
+        assert sup.resync_pending() == 1
+        assert sup._resync_backlog[("/f", 0, 1)]["attempts"] == 0
+        cluster.dead.discard(1)  # the ladder brought it back
+        sup._resync_dirty()
+        assert sup.repairer.resyncs == [("/f", 0, 1, ())]
+        assert sup.resync_pending() == 0
+        assert any(e["event"] == "resync" for e in sup.journal)
+
+    def test_condemned_target_also_holds(self):
+        cluster, det, sup = _supervisor()
+        det.condemned.add(1)
+        sup.register_client(FakeLedgerClient({("/f", 0, 1): 1}))
+        sup._resync_dirty()
+        assert sup.repairer.resyncs == []
+        assert sup.resync_pending() == 1
+
+    def test_unreachable_requeues_then_abandons_at_cap(self):
+        cluster, det, sup = _supervisor()
+        sup.repairer.resync_status = "unreachable"
+        sup.register_client(FakeLedgerClient({("/f", 0, 1): 1}))
+        for round_ in range(Supervisor.RESYNC_ATTEMPTS - 1):
+            sup._resync_dirty()
+            assert sup._resync_backlog[("/f", 0, 1)]["attempts"] == round_ + 1
+        sup._resync_dirty()  # the capping attempt
+        assert sup.resync_pending() == 0
+        assert any(
+            e["event"] == "resync_abandoned" for e in sup.journal
+        )
+        assert sup.metrics.counter("selfheal.resyncs.abandoned") == 1
+
+    def test_step_drains_ledgers(self):
+        cluster, det, sup = _supervisor()
+        ledger = FakeLedgerClient({("/f", 3, 2): 9})
+        sup.register_client(ledger)
+        sup.step()
+        assert ledger.dirty_replicas == {}
+        assert sup.repairer.resyncs == [("/f", 3, 2, ())]
+
+
+# -- wire repair over real sockets --------------------------------------------
+
+
+def _divergent_payload(payload: bytes) -> bytes:
+    return bytes(b ^ 0xFF for b in payload)
+
+
+class TestWireRepairOverSockets:
+    CFG = dict(chunk_size=256, replication=2, integrity_enabled=True)
+
+    def test_resync_pushes_authoritative_copy(self):
+        with LocalSocketCluster(3, config=FSConfig(**self.CFG)) as cluster:
+            client = cluster.client(0)
+            payload = bytes(range(256)) * 2  # two full chunks
+            fd = client.open("/gkfs/r", os.O_CREAT | os.O_WRONLY)
+            client.write(fd, payload)
+            client.close(fd)
+            repairer = WireRepairer(cluster.deployment)
+            owners = repairer._chunk_owners("/r", 0)
+            stale, source = owners[1], owners[0]
+            bad = _divergent_payload(payload[:256])
+            crc = chunk_checksum(
+                bad, 0, cluster.config.integrity_algorithm
+            )
+            cluster.deployment.network.call(
+                stale, "gkfs_replace_chunk", "/r", 0, bad, crc
+            )
+            digest = lambda owner: cluster.deployment.network.call(
+                owner, "gkfs_chunk_digest", "/r", 0
+            )["digest"]
+            assert digest(stale) != digest(source)
+            assert repairer.resync_chunk("/r", 0, stale) == "resynced"
+            assert digest(stale) == digest(source)
+            fd = client.open("/gkfs/r")
+            assert client.read(fd, len(payload) + 1) == payload
+            client.close(fd)
+
+    def test_resync_converged_and_gone(self):
+        with LocalSocketCluster(3, config=FSConfig(**self.CFG)) as cluster:
+            client = cluster.client(0)
+            fd = client.open("/gkfs/c", os.O_CREAT | os.O_WRONLY)
+            client.write(fd, b"x" * 256)
+            client.close(fd)
+            repairer = WireRepairer(cluster.deployment)
+            stale = repairer._chunk_owners("/c", 0)[1]
+            assert repairer.resync_chunk("/c", 0, stale) == "converged"
+            # A path nobody holds has no healthy copy to push: daemons
+            # report empty digests (not ENOENT) for unknown chunks, so
+            # the mark settles as no-source and the supervisor's attempt
+            # cap eventually abandons it.
+            assert repairer.resync_chunk("/nope", 0, stale) == "no-source"
+
+    def test_repair_rebuilds_blank_replacement(self):
+        """Crash, respawn blank, repair: every record and chunk the dead
+        daemon owed comes back from the surviving replicas."""
+        with LocalSocketCluster(3, config=FSConfig(**self.CFG)) as cluster:
+            contents = populate(cluster, files=8, file_bytes=600)
+            victim = 1
+            cluster.crash_daemon(victim)
+            cluster.restart_daemon(victim)  # in-memory stores: blank
+            report = WireRepairer(cluster.deployment).repair()
+            assert report.paths_seen >= len(contents)
+            assert report.records_restored > 0
+            assert report.chunks_restored > 0
+            verify(cluster, contents)
+            # A second pass finds nothing left to heal.
+            again = WireRepairer(cluster.deployment).repair()
+            assert again.chunks_restored == 0
+            assert again.records_restored == 0
+
+
+# -- SIGKILL inside a migration write freeze (satellite 4) --------------------
+
+
+class TestFreezeCrashDuringMigration:
+    def test_crash_in_freeze_unparks_gate_and_repairs_cleanly(
+        self, monkeypatch
+    ):
+        """Kill a daemon after the write freeze engages, with delta work
+        destined for it: the migration aborts, the mutation gate
+        unparks, the bumped epoch is not reused, and a supervisor repair
+        completes without racing the aborted change."""
+        cfg = FSConfig(chunk_size=256, replication=2)
+        with ElasticLocalSocketCluster(4, config=cfg) as fs:
+            contents = populate(fs, files=10, file_bytes=600)
+            old_dist = fs.view.distributor
+            new_dist = RendezvousDistributor(4)
+
+            def owners(dist, rel):
+                meta = dist.locate_metadata(rel)
+                chunk = dist.locate_chunk(rel, 0)
+                return {(meta + k) % 4 for k in range(2)} | {
+                    (chunk + k) % 4 for k in range(2)
+                }
+
+            # A path whose *new* owner set gains a daemon: the frozen
+            # delta pass must contact that daemon — our victim.
+            fresh_rel = victim = None
+            for i in range(256):
+                gained = owners(new_dist, f"/fresh{i}") - owners(
+                    old_dist, f"/fresh{i}"
+                )
+                if gained:
+                    fresh_rel, victim = f"/fresh{i}", min(gained)
+                    break
+            assert fresh_rel is not None
+            # A path the victim serves no role for under the *old*
+            # placement: its writer must sail through after the abort.
+            parked_rel = next(
+                f"/parked{i}"
+                for i in range(256)
+                if victim not in owners(old_dist, f"/parked{i}")
+            )
+
+            writer = fs.client(0)
+            parked_done = threading.Event()
+            parked_errors = []
+
+            def parked_writer():
+                try:
+                    client = fs.client(1)
+                    fd = client.open(
+                        "/gkfs" + parked_rel, os.O_CREAT | os.O_WRONLY
+                    )
+                    client.write(fd, b"late" * 64)
+                    client.close(fd)
+                except Exception as exc:  # pragma: no cover - fatal
+                    parked_errors.append(exc)
+                finally:
+                    parked_done.set()
+
+            original_freeze = fs.view.freeze_writes
+            thread = threading.Thread(target=parked_writer)
+
+            def hooked_freeze():
+                # Dirty a path the victim must receive, then freeze,
+                # then kill the victim and park a writer at the gate.
+                fd = writer.open(
+                    "/gkfs" + fresh_rel, os.O_CREAT | os.O_WRONLY
+                )
+                writer.write(fd, bytes(range(256)))
+                writer.close(fd)
+                original_freeze()
+                fs.crash_daemon(victim)
+                thread.start()
+
+            monkeypatch.setattr(fs.view, "freeze_writes", hooked_freeze)
+            epoch_before = fs.view.epoch
+            with pytest.raises(Exception):
+                live_migrate(fs, new_dist, grace=0.05)
+            # Abort left the old placement authoritative, the gate open,
+            # and the epoch consumed (never reused).
+            assert fs.view.state == "stable"
+            assert fs.view._writable.is_set()
+            assert fs.view.epoch == epoch_before + 1
+            assert fs.view.distributor is old_dist
+            # The parked writer sailed through once the gate lifted.
+            assert parked_done.wait(timeout=10.0)
+            thread.join(timeout=10.0)
+            assert not parked_errors, f"parked writer: {parked_errors[0]!r}"
+            # Hands-free repair of the victim must not race the aborted
+            # epoch: restart, epoch-stamped redundancy restore, no
+            # StaleEpochError, everything acked still readable.
+            sup = Supervisor(fs, FakeDetector(), view=fs.view)
+            entry = sup.repair(victim)
+            assert entry["event"] == "repair_complete", entry
+            assert not [
+                e for e in sup.journal if e["event"] == "repair_failed"
+            ]
+            acked = dict(contents)
+            acked["/gkfs" + fresh_rel] = bytes(range(256))
+            acked["/gkfs" + parked_rel] = b"late" * 64
+            verify(fs, acked)
+
+
+# -- the per-call stall watchdog (satellite 3) --------------------------------
+
+
+class TestStallWatchdog:
+    def test_sigstop_turns_into_timeout_with_breaker_evidence(self):
+        """A SIGSTOPped daemon keeps its sockets open: without the
+        watchdog the call would hang forever.  With ``rpc_call_timeout``
+        it fails fast, counts as a stall, and feeds the breaker."""
+        cfg = FSConfig(
+            rpc_call_timeout=0.5, breaker_enabled=True, rpc_retries=0
+        )
+        with ProcessCluster(2, config=cfg) as cluster:
+            cluster.deployment.network.call(0, "gkfs_ping")  # warm channel
+            cluster.suspend_daemon(0)
+            try:
+                started = time.monotonic()
+                with pytest.raises(Exception):
+                    cluster.deployment.network.call(0, "gkfs_ping")
+                assert time.monotonic() - started < 5.0  # no silent hang
+                assert cluster.deployment.socket_transport.stalled_calls >= 1
+                health = cluster.deployment.health.snapshot()[0]
+                assert (
+                    health["consecutive_failures"] > 0
+                    or health["state"] != "closed"
+                )
+            finally:
+                cluster.resume_daemon(0)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                try:
+                    cluster.deployment.network.call(0, "gkfs_ping")
+                    break
+                except Exception:
+                    time.sleep(0.2)
+            else:
+                pytest.fail("daemon never recovered after SIGCONT")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FSConfig(rpc_call_timeout=0.0)
+
+
+# -- negative (ENOENT) metadata caching (satellite 2) -------------------------
+
+
+class TestNegativeCaching:
+    def test_lease_lifecycle(self):
+        clock = FakeClock()
+        cache = ClientMetaCache(ttl=1.0, capacity=8, clock=clock)
+        assert not cache.lookup_negative("/x")
+        cache.put_negative("/x")
+        assert cache.lookup_negative("/x")
+        assert cache.stats.negative_puts == 1
+        assert cache.stats.negative_hits == 1
+        clock.advance(1.5)  # lease expired: the path may exist by now
+        assert not cache.lookup_negative("/x")
+        assert cache.stats.expirations == 1
+
+    def test_invalidation_on_create(self):
+        clock = FakeClock()
+        cache = ClientMetaCache(ttl=10.0, capacity=8, clock=clock)
+        cache.put_negative("/x")
+        cache.put_attr("/x", b"record", version=1)
+        assert not cache.lookup_negative("/x")  # create killed the ENOENT
+        entry, fresh = cache.lookup_attr("/x")
+        assert fresh and entry.record == b"record"
+
+    def test_positive_falls_when_owner_says_enoent(self):
+        clock = FakeClock()
+        cache = ClientMetaCache(ttl=10.0, capacity=8, clock=clock)
+        cache.put_attr("/x", b"record", version=1)
+        cache.put_negative("/x")
+        entry, fresh = cache.lookup_attr("/x")
+        assert entry is None
+
+    def test_invalidate_attr_drops_both(self):
+        clock = FakeClock()
+        cache = ClientMetaCache(ttl=10.0, capacity=8, clock=clock)
+        cache.put_negative("/x")
+        cache.invalidate_attr("/x")
+        assert not cache.lookup_negative("/x")
+        assert cache.stats.negative_hits == 0
+
+    def test_client_answers_repeat_enoent_from_cache(self):
+        cfg = FSConfig(metacache_enabled=True, metacache_ttl=30.0)
+        with LocalSocketCluster(2, config=cfg) as cluster:
+            client = cluster.client(0)
+            with pytest.raises(NotFoundError):
+                client.stat("/gkfs/nope")
+            assert client.meta_cache.stats.negative_puts >= 1
+            with pytest.raises(NotFoundError):
+                client.stat("/gkfs/nope")
+            assert client.meta_cache.stats.negative_hits >= 1
+            # Creating the path must bust the cached ENOENT immediately.
+            fd = client.open("/gkfs/nope", os.O_CREAT | os.O_WRONLY)
+            client.write(fd, b"alive")
+            client.close(fd)
+            assert client.stat("/gkfs/nope").size == 5
+
+
+# -- push-mode SLO alert sinks (satellite 1) ----------------------------------
+
+
+def _burning_window(errors: int, calls: int) -> dict:
+    return {
+        "start": 0.0,
+        "end": 1.0,
+        "counters": {"rpc.errors.gkfs_stat": errors} if errors else {},
+        "gauges": {},
+        "gauge_deltas": {"rpc.calls.gkfs_stat": calls},
+        "histograms": {},
+    }
+
+
+class TestSloAlertSinks:
+    def _engine(self):
+        return SloEngine(
+            slos=[
+                SLO(
+                    name="rpc-errors",
+                    objective=0.999,
+                    kind="error",
+                    source="rpc.errors.*",
+                    total="rpc.calls.*",
+                )
+            ],
+            rules=[BurnRateRule(short=1, long=1, burn=10.0, severity="page")],
+        )
+
+    def test_sinks_hear_every_alert(self):
+        engine = self._engine()
+        heard = []
+        engine.add_sink(heard.append)
+        report = engine.evaluate_and_emit(
+            {"windows": [_burning_window(errors=5, calls=10)]}
+        )
+        assert report["alerts"]
+        assert [a["slo"] for a in heard] == ["rpc-errors"]
+        assert heard[0]["severity"] == "page"
+
+    def test_quiet_windows_push_nothing(self):
+        engine = self._engine()
+        heard = []
+        engine.add_sink(heard.append)
+        engine.evaluate_and_emit(
+            {"windows": [_burning_window(errors=0, calls=1000)]}
+        )
+        assert heard == []
+
+    def test_raising_sink_never_breaks_delivery(self):
+        engine = self._engine()
+        heard = []
+
+        def hostile(alert):
+            raise RuntimeError("sink crashed")
+
+        engine.add_sink(hostile)
+        engine.add_sink(heard.append)
+        report = engine.evaluate_and_emit(
+            {"windows": [_burning_window(errors=5, calls=10)]}
+        )
+        assert report["alerts"] and heard  # the good sink still heard it
+
+    def test_remove_sink_and_type_check(self):
+        engine = self._engine()
+        heard = []
+        engine.add_sink(heard.append)
+        engine.remove_sink(heard.append)  # bound-method identity differs
+        engine.remove_sink(heard.append)  # unknown sinks are ignored
+        with pytest.raises(TypeError):
+            engine.add_sink("not callable")
+
+    def test_supervisor_rides_the_sink(self):
+        engine = self._engine()
+        cluster, det, sup = _supervisor()
+        engine.add_sink(sup.on_slo_alert)
+        engine.evaluate_and_emit(
+            {"windows": [_burning_window(errors=5, calls=10)]}
+        )
+        assert sup.metrics.counter("selfheal.slo_alerts") == 1
+        assert any(e["event"] == "slo_alert" for e in sup.journal)
+
+
+# -- the chaos soak, in miniature ---------------------------------------------
+
+
+class TestSoakSmoke:
+    def test_short_seeded_soak_holds_every_invariant(self, tmp_path):
+        """Three seconds of seeded chaos over a real process cluster:
+        every acked byte verified, zero false condemnations, and the
+        full supervisor journal archived in the report."""
+        from repro.faults.soak import SoakHarness
+
+        harness = SoakHarness(
+            workdir=str(tmp_path),
+            seed=101,
+            duration=3.0,
+            num_nodes=4,
+            fault_interval=1.0,
+            files=6,
+        )
+        report = harness.run()
+        assert report.passed, report.violations
+        assert report.seed == 101
+        assert report.ops > 0
+        assert report.availability > 0.5
+        assert report.false_condemnations == []
+        payload = report.as_dict()
+        assert payload["passed"] is True
+        assert "journal" in payload["supervisor"]
+        assert payload["bytes_verified"] > 0
