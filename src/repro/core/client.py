@@ -239,8 +239,11 @@ class GekkoFSClient:
         """One sequence number per *write op* that lost a replica leg.
 
         Every leg the same write lost shares the seq, so a resync driver
-        can tell which marks belong to the latest write: its surviving
-        legs are authoritative over everything earlier.
+        can order marks *per target* (a later mark on the same leg
+        replaces an earlier one — a single whole-chunk resync settles
+        both).  Seqs carry no cross-target authority: writes may span
+        part of a chunk, so a leg that took the latest write can still
+        be missing an earlier write's bytes.
         """
         self._dirty_seq += 1
         return self._dirty_seq
@@ -254,8 +257,15 @@ class GekkoFSClient:
         if len(ledger) >= self._DIRTY_CAPACITY and (
             (rel, chunk_id, target) not in ledger
         ):
-            ledger.pop(next(iter(ledger)))
-            self.stats.dirty_overflow += 1
+            # The supervisor thread's drain_dirty_replicas() may empty
+            # the ledger between the length check and the pop — losing
+            # the eviction race is fine, raising in the write path isn't.
+            try:
+                ledger.pop(next(iter(ledger)))
+            except (KeyError, StopIteration, RuntimeError):
+                pass
+            else:
+                self.stats.dirty_overflow += 1
         ledger[(rel, chunk_id, target)] = seq
 
     def drain_dirty_replicas(self) -> list:

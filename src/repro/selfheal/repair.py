@@ -24,10 +24,14 @@ Algorithm, per pass:
    existing record always wins, so concurrent foreground writes are
    never clobbered);
 4. for every file chunk, compare ``gkfs_chunk_digest`` across the
-   desired owners: an owner with no payload (or one whose integrity
-   verification fails — bitrot) is restored from the longest healthy
-   copy via ``read_chunk`` → ``replace_chunk`` (whole-payload CRC
-   checked by the target before storing) and digest-verified after.
+   desired owners: an owner with no payload, a shorter payload, or one
+   whose integrity verification fails (bitrot) is restored from the
+   longest healthy copy via ``read_chunk`` → ``replace_chunk``
+   (whole-payload CRC checked by the target before storing) and
+   digest-verified after — guarded by a CAS-style re-read of the
+   target's digest immediately before the replace, so a foreground
+   write that lands after the snapshot is never rolled back by the
+   stale payload.
 
 The repairer restores *redundancy*, deliberately not *consensus*: two
 healthy same-length divergent copies (a write raced the crash) are left
@@ -52,6 +56,16 @@ class EpochMovedError(RuntimeError):
     """The membership epoch advanced mid-repair; the pass must rerun."""
 
 
+def _digest_unchanged(before: Optional[dict], after: Optional[dict]) -> bool:
+    """Same copy state across two digest reads (``None`` = rotted)."""
+    if before is None or after is None:
+        return before is None and after is None
+    return (
+        before["length"] == after["length"]
+        and before["digest"] == after["digest"]
+    )
+
+
 @dataclass
 class RepairReport:
     """What one repair pass did."""
@@ -60,6 +74,7 @@ class RepairReport:
     records_restored: int = 0
     chunks_checked: int = 0
     chunks_restored: int = 0
+    chunks_skipped_racing: int = 0
     bytes_restored: int = 0
     unreachable: list = field(default_factory=list)
     epoch: int = 0
@@ -70,6 +85,7 @@ class RepairReport:
             "records_restored": self.records_restored,
             "chunks_checked": self.chunks_checked,
             "chunks_restored": self.chunks_restored,
+            "chunks_skipped_racing": self.chunks_skipped_racing,
             "bytes_restored": self.bytes_restored,
             "unreachable": sorted(set(self.unreachable)),
             "epoch": self.epoch,
@@ -206,6 +222,7 @@ class WireRepairer:
         source = max(healthy, key=lambda o: healthy[o]["length"])
         want = healthy[source]
         payload = None
+        crc = None
         for owner, digest in digests.items():
             missing = digest is None or digest["length"] == 0
             shorter = (
@@ -215,9 +232,27 @@ class WireRepairer:
                 continue  # healthy, or divergent-at-same-length (leave it)
             if payload is None:
                 payload = self._chunk_payload(source, rel, cid)
-            crc = chunk_checksum(
-                payload, 0, self.deployment.config.integrity_algorithm
-            )
+                crc = chunk_checksum(
+                    payload, 0, self.deployment.config.integrity_algorithm
+                )
+            # CAS guard: re-read the copy immediately before replacing.
+            # The snapshot above is stale by now — a foreground write
+            # landing on this owner in between makes the copy *newer*
+            # than the source payload, and overwriting it would roll an
+            # acked write back undetectably (the post-restore check
+            # compares against the source digest, which the rollback
+            # matches by construction).  Any change since the snapshot
+            # skips this owner; the next pass re-evaluates.
+            try:
+                current = self._call(owner, "gkfs_chunk_digest", rel, cid)
+            except IntegrityError:
+                current = None
+            except Exception:
+                report.unreachable.append(owner)
+                continue
+            if not _digest_unchanged(digest, current):
+                report.chunks_skipped_racing += 1
+                continue
             self._call(owner, "gkfs_replace_chunk", rel, cid, payload, crc)
             check = self._call(owner, "gkfs_chunk_digest", rel, cid)
             if check["digest"] != want["digest"]:
@@ -305,7 +340,9 @@ class WireRepairer:
         underneath the pass — the caller (the supervisor) re-runs under
         the new placement.  Safe to run concurrently with foreground
         traffic: every restore is either create-if-absent or a
-        whole-chunk replace of a copy that had *no* payload.
+        whole-chunk replace CAS-guarded against the target having
+        changed since the digest snapshot (a changed copy took a
+        foreground write and is skipped, never overwritten).
         """
         report = RepairReport()
         report.epoch = before = self._epoch_watermark()

@@ -318,11 +318,15 @@ class Supervisor:
     def _resync_dirty(self) -> int:
         """Drain dirty-replica ledgers and settle divergence.
 
-        Marks carry per-write sequence numbers; for each chunk only the
-        *latest* failed write matters — its surviving legs took every
-        earlier write too, so superseded marks (an older write's failed
-        leg that a later write then reached) are dropped, not copied
-        over.  Unreachable or racing targets go back to the backlog.
+        Every target holding a mark for a chunk is dirty.  Writes can
+        span *part* of a chunk, so a later write's surviving legs did
+        not necessarily take an earlier write's bytes — marks are never
+        superseded across targets (per target, a newer mark replaces an
+        older one: a single whole-chunk resync settles both).  All dirty
+        targets are excluded from source consideration for that chunk;
+        if no clean leg survives, the resync reports ``no-source`` and
+        retries rather than copying from a stale leg.  Unreachable or
+        racing targets go back to the backlog.
         """
         marks: dict = dict(self._resync_backlog)
         self._resync_backlog = {}
@@ -342,14 +346,8 @@ class Supervisor:
         settled = 0
         with self._repair_lock:
             for (rel, cid), targets in groups.items():
-                latest = max(e["seq"] for e in targets.values())
-                stale = {
-                    t for t, e in targets.items() if e["seq"] == latest
-                }
-                self.metrics.inc(
-                    "selfheal.resyncs.superseded", len(targets) - len(stale)
-                )
-                for target in stale:
+                dirty = set(targets)
+                for target in dirty:
                     entry = targets[target]
                     down = (
                         self.detector.state(target) == CONDEMNED
@@ -361,7 +359,7 @@ class Supervisor:
                         self._resync_backlog[(rel, cid, target)] = entry
                         continue
                     status = self.repairer.resync_chunk(
-                        rel, cid, target, exclude=stale - {target}
+                        rel, cid, target, exclude=dirty - {target}
                     )
                     self.metrics.inc(f"selfheal.resyncs.{status}")
                     if status in ("unreachable", "racing", "no-source"):
@@ -393,18 +391,39 @@ class Supervisor:
 
     # -- run loop -------------------------------------------------------------
 
+    #: Repair outcomes that leave the daemon condemned-but-unrepaired.
+    _UNSETTLED = frozenset({"repair_deferred", "repair_failed"})
+
     def step(self) -> int:
-        """One supervision beat: poll, harvest stamps, drain repairs."""
+        """One supervision beat: poll, harvest stamps, drain repairs.
+
+        A repair that comes back deferred (cooldown ledger) or failed
+        stays in the pending queue: ``detector.poll()`` never re-emits
+        a transition for an already-CONDEMNED track, so this queue is
+        the only retry path — dropping the address would strand the
+        daemon condemned and the cluster under-replicated forever.
+        Returns the number of repairs *settled* this beat.
+        """
         self.detector.poll()
         self.scan_flight_stamps()
         drained = 0
+        requeue = []
         while True:
             with self._pending_lock:
                 if not self._pending:
                     break
                 address, detected_at = self._pending.popleft()
-            self.repair(address, detected_at=detected_at)
-            drained += 1
+            outcome = self.repair(address, detected_at=detected_at)
+            if outcome.get("event") in self._UNSETTLED:
+                requeue.append((address, detected_at))
+            else:
+                drained += 1
+        if requeue:
+            with self._pending_lock:
+                queued = {a for a, _ in self._pending}
+                for address, detected_at in requeue:
+                    if address not in queued:
+                        self._pending.append((address, detected_at))
         self._resync_dirty()
         return drained
 

@@ -457,6 +457,48 @@ class TestSupervisorLadder:
         assert not sup.busy
         assert [e["address"] for e in sup.repairs()] == [1]
 
+    def test_step_keeps_deferred_repair_pending_until_cooldown(self):
+        """A condemnation landing inside a cooldown must not be dropped:
+        the detector never re-emits for an already-CONDEMNED track, so
+        the pending queue is the only retry path."""
+        clock = FakeClock()
+        cluster, det, sup = _supervisor(backoff_base=1.0, clock=clock)
+        cluster.dead.add(2)
+        sup.repair(2)  # succeeds, starts the 1s cooldown
+        cluster.dead.add(2)  # dies again immediately
+        det.fire(2)
+        assert sup.step() == 0  # still cooling down: deferred
+        assert sup.pending_repairs() == 1  # NOT dropped
+        assert sup.busy
+        clock.advance(5.0)
+        assert sup.step() == 1
+        assert sup.pending_repairs() == 0
+        assert cluster.restarts == [2, 2]
+        assert cluster.dead == set()
+
+    def test_step_requeues_failed_repair_for_retry(self):
+        clock = FakeClock()
+        cluster, det, sup = _supervisor(backoff_base=0.5, clock=clock)
+        real_restart = cluster.restart_daemon
+        attempts = []
+
+        def flaky(address):
+            attempts.append(address)
+            if len(attempts) == 1:
+                raise RuntimeError("respawn refused")
+            real_restart(address)
+
+        cluster.restart_daemon = flaky
+        cluster.dead.add(1)
+        det.fire(1)
+        assert sup.step() == 0  # the rung raised
+        assert sup.pending_repairs() == 1  # held for retry
+        clock.advance(5.0)  # past the cooldown the attempt charged
+        assert sup.step() == 1
+        assert sup.pending_repairs() == 0
+        assert cluster.dead == set()
+        assert attempts == [1, 1]
+
     def test_repair_failure_is_journaled_not_raised(self):
         cluster, det, sup = _supervisor()
 
@@ -533,20 +575,35 @@ class TestDirtyLedger:
         keys = {k for k, _ in client.drain_dirty_replicas()}
         assert keys == {("/f", 1, 1), ("/f", 2, 1)}  # chunk 0 evicted
 
+    def test_capacity_eviction_survives_concurrent_drain(self):
+        """The supervisor thread may empty the ledger between the
+        capacity check and the eviction pop; losing that race must not
+        raise in the write path.  Capacity 0 over an empty ledger is
+        exactly the post-drain shape the check mistakes for full."""
+        client = _bare_client()
+        client._DIRTY_CAPACITY = 0
+        seq = client._next_dirty_seq()
+        client._note_dirty_replica("/f", 0, 1, seq)  # must not raise
+        assert client.dirty_replicas == {("/f", 0, 1): seq}
+        assert client.stats.dirty_overflow == 0  # nothing was evicted
+
 
 class TestResyncArbitration:
-    def test_latest_write_wins_superseded_marks_drop(self):
-        """Two legs of the same chunk marked at different writes: only
-        the newest mark's target is stale — the older mark's daemon took
-        every later write, so copying over it would lose acked data."""
+    def test_marks_never_superseded_across_targets(self):
+        """Two legs of the same chunk marked at different writes: BOTH
+        are dirty — writes can span part of a chunk, so the leg that
+        took the later write may still be missing the earlier write's
+        bytes.  Neither dirty leg may source the other's resync."""
         cluster, det, sup = _supervisor()
         sup.register_client(
             FakeLedgerClient({("/f", 0, 1): 1, ("/f", 0, 2): 2})
         )
         sup._resync_dirty()
-        assert sup.repairer.resyncs == [("/f", 0, 2, ())]
-        assert sup.metrics.counter("selfheal.resyncs.superseded") == 1
-        assert sup.metrics.counter("selfheal.resyncs.resynced") == 1
+        assert sorted(sup.repairer.resyncs) == [
+            ("/f", 0, 1, (2,)),
+            ("/f", 0, 2, (1,)),
+        ]
+        assert sup.metrics.counter("selfheal.resyncs.resynced") == 2
         assert sup.resync_pending() == 0
 
     def test_sibling_legs_of_one_write_exclude_each_other(self):
@@ -660,6 +717,52 @@ class TestWireRepairOverSockets:
             # the mark settles as no-source and the supervisor's attempt
             # cap eventually abandons it.
             assert repairer.resync_chunk("/nope", 0, stale) == "no-source"
+
+    def test_restore_cas_guard_skips_copy_taken_by_foreground_write(self):
+        """A foreground write landing on a restore target between the
+        digest snapshot and the replace must survive: the CAS re-read
+        sees the copy changed and skips it instead of rolling the acked
+        write back with the stale source payload."""
+        from repro.selfheal import RepairReport
+
+        with LocalSocketCluster(3, config=FSConfig(**self.CFG)) as cluster:
+            client = cluster.client(0)
+            payload = bytes(range(256))
+            fd = client.open("/gkfs/w", os.O_CREAT | os.O_WRONLY)
+            client.write(fd, payload)
+            client.close(fd)
+            repairer = WireRepairer(cluster.deployment)
+            lagging = repairer._chunk_owners("/w", 0)[1]
+            algo = cluster.config.integrity_algorithm
+            # The lagging replica holds a shorter prefix — the shape a
+            # restore targets.
+            short = payload[:128]
+            cluster.deployment.network.call(
+                lagging, "gkfs_replace_chunk", "/w", 0, short,
+                chunk_checksum(short, 0, algo),
+            )
+            fresh = _divergent_payload(payload)
+            original = repairer._chunk_payload
+
+            def racing_payload(src, rel, cid):
+                data = original(src, rel, cid)
+                # The race: a foreground write lands on the lagging
+                # copy after the snapshot, before the replace.
+                cluster.deployment.network.call(
+                    lagging, "gkfs_replace_chunk", rel, cid, fresh,
+                    chunk_checksum(fresh, 0, algo),
+                )
+                return data
+
+            repairer._chunk_payload = racing_payload
+            report = RepairReport()
+            repairer._ensure_chunk("/w", 0, report)
+            assert report.chunks_skipped_racing == 1
+            assert report.chunks_restored == 0
+            echo = cluster.deployment.network.call(
+                lagging, "gkfs_chunk_digest", "/w", 0
+            )
+            assert echo["digest"] == chunk_checksum(fresh, 0, algo)
 
     def test_repair_rebuilds_blank_replacement(self):
         """Crash, respawn blank, repair: every record and chunk the dead
